@@ -1,0 +1,76 @@
+// Calibration: the paper treats σ(f) as the probability that a fact
+// is true (§3.2) and feeds its entropy into fact selection. This
+// bench asks how probability-like each method's σ(f) actually is on
+// the restaurant golden set (expected calibration error and Brier
+// score; lower is better).
+
+#include <cstdio>
+#include <string>
+
+#include "bench_common.h"
+#include "core/registry.h"
+#include "eval/calibration.h"
+#include "synth/restaurant_sim.h"
+
+int main(int argc, char** argv) {
+  corrob::FlagParser flags = corrob::bench::ParseFlags(argc, argv);
+  corrob::RestaurantSimOptions options;
+  options.num_facts =
+      static_cast<int32_t>(flags.GetInt("facts", options.num_facts));
+  options.seed = static_cast<uint64_t>(flags.GetInt("seed", 2012));
+
+  corrob::bench::PrintHeader(
+      "Calibration of sigma(f) (restaurant golden set)",
+      "ECE = expected calibration error over 10 bins; Brier = mean "
+      "squared error against the 0/1 truth. The rounding fixpoints "
+      "emit hard 0/1 scores (maximal overconfidence); IncEstimate and "
+      "BayesEstimate emit graded scores.");
+
+  corrob::RestaurantCorpus corpus =
+      corrob::GenerateRestaurantCorpus(options).ValueOrDie();
+
+  corrob::TablePrinter table({"Method", "ECE", "Brier", "Graded facts"});
+  for (const std::string& name :
+       {std::string("Voting"), std::string("TwoEstimate"),
+        std::string("BayesEstimate"), std::string("TruthFinder"),
+        std::string("IncEstPS"), std::string("IncEstHeu")}) {
+    auto algorithm = corrob::MakeCorroborator(name).ValueOrDie();
+    corrob::CorroborationResult result =
+        algorithm->Run(corpus.dataset).ValueOrDie();
+    corrob::CalibrationReport report =
+        corrob::CalibrationOnGolden(result, corpus.golden, 10).ValueOrDie();
+    // How many golden facts carry a score strictly between 0 and 1.
+    int64_t graded = 0;
+    for (size_t i = 0; i < corpus.golden.size(); ++i) {
+      double p = result.fact_probability[static_cast<size_t>(
+          corpus.golden.fact(i))];
+      if (p > 0.0 && p < 1.0) ++graded;
+    }
+    table.AddRow({name,
+                  corrob::FormatDouble(report.expected_calibration_error, 3),
+                  corrob::FormatDouble(report.brier_score, 3),
+                  std::to_string(graded) + " / " +
+                      std::to_string(corpus.golden.size())});
+  }
+  std::fputs(table.ToString().c_str(), stdout);
+
+  // Reliability diagram of the most graded method.
+  auto algorithm = corrob::MakeCorroborator("IncEstHeu").ValueOrDie();
+  corrob::CorroborationResult result =
+      algorithm->Run(corpus.dataset).ValueOrDie();
+  corrob::CalibrationReport report =
+      corrob::CalibrationOnGolden(result, corpus.golden, 10).ValueOrDie();
+  std::printf("\nIncEstHeu reliability diagram:\n");
+  corrob::TablePrinter diagram(
+      {"Bin", "Count", "Mean sigma", "Fraction true"});
+  for (const corrob::CalibrationBin& bin : report.bins) {
+    if (bin.count == 0) continue;
+    diagram.AddRow({corrob::FormatDouble(bin.lower, 1) + "-" +
+                        corrob::FormatDouble(bin.upper, 1),
+                    std::to_string(bin.count),
+                    corrob::FormatDouble(bin.mean_predicted, 2),
+                    corrob::FormatDouble(bin.fraction_true, 2)});
+  }
+  std::fputs(diagram.ToString().c_str(), stdout);
+  return 0;
+}

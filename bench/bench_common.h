@@ -1,0 +1,28 @@
+#ifndef CORROB_BENCH_BENCH_COMMON_H_
+#define CORROB_BENCH_BENCH_COMMON_H_
+
+// Shared plumbing for the per-table/figure benchmark binaries. Every
+// binary runs stand-alone with defaults matching the paper's setup
+// and accepts --facts/--seed/--seeds style flags for quick runs.
+
+#include <cstdio>
+
+#include "common/flags.h"
+#include "common/string_util.h"
+#include "common/table_printer.h"
+
+namespace corrob {
+namespace bench {
+
+inline FlagParser ParseFlags(int argc, char** argv) {
+  return FlagParser::Parse(argc - 1, argv + 1).ValueOrDie();
+}
+
+inline void PrintHeader(const char* experiment, const char* description) {
+  std::printf("=== %s ===\n%s\n\n", experiment, description);
+}
+
+}  // namespace bench
+}  // namespace corrob
+
+#endif  // CORROB_BENCH_BENCH_COMMON_H_

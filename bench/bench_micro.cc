@@ -1,0 +1,177 @@
+// Google-benchmark micro-kernels for the hot paths: grouping, Eq. 5
+// scoring, ΔH evaluation, fixpoint iterations, Gibbs sweeps, and the
+// dedup text kernels.
+
+#include <benchmark/benchmark.h>
+
+#include "core/bayes_estimate.h"
+#include "core/fact_group.h"
+#include "core/inc_estimate.h"
+#include "core/online.h"
+#include "core/two_estimate.h"
+#include "core/voting.h"
+#include "synth/restaurant_sim.h"
+#include "synth/rumor_sim.h"
+#include "synth/synthetic.h"
+#include "text/address.h"
+#include "text/phonetic.h"
+#include "text/similarity.h"
+
+namespace corrob {
+namespace {
+
+const SyntheticDataset& SharedSynthetic(int64_t facts) {
+  static auto* cache = new std::map<int64_t, SyntheticDataset>();
+  auto it = cache->find(facts);
+  if (it == cache->end()) {
+    SyntheticOptions options;
+    options.num_facts = static_cast<int32_t>(facts);
+    options.num_sources = 10;
+    options.num_inaccurate = 2;
+    options.eta = 0.02;
+    options.seed = 77;
+    it = cache->emplace(facts, GenerateSynthetic(options).ValueOrDie())
+             .first;
+  }
+  return it->second;
+}
+
+void BM_BuildFactGroups(benchmark::State& state) {
+  const SyntheticDataset& data = SharedSynthetic(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BuildFactGroups(data.dataset));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BuildFactGroups)->Arg(1000)->Arg(10000)->Arg(36916);
+
+void BM_CorrobScore(benchmark::State& state) {
+  const SyntheticDataset& data = SharedSynthetic(10000);
+  std::vector<double> trust(10, 0.9);
+  FactId f = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        CorrobScore(data.dataset.VotesOnFact(f), trust));
+    f = (f + 1) % data.dataset.num_facts();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CorrobScore);
+
+void BM_EntropyDelta(benchmark::State& state) {
+  const SyntheticDataset& data = SharedSynthetic(state.range(0));
+  IncrementalEngine engine(data.dataset, IncEstimateOptions{});
+  int32_t g = 0;
+  int32_t num_groups = static_cast<int32_t>(engine.groups().size());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.EntropyDelta(g));
+    g = (g + 1) % num_groups;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EntropyDelta)->Arg(1000)->Arg(10000);
+
+void BM_VotingFull(benchmark::State& state) {
+  const SyntheticDataset& data = SharedSynthetic(state.range(0));
+  VotingCorroborator voting;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(voting.Run(data.dataset).ValueOrDie());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_VotingFull)->Arg(10000)->Arg(36916);
+
+void BM_TwoEstimateFull(benchmark::State& state) {
+  const SyntheticDataset& data = SharedSynthetic(state.range(0));
+  TwoEstimateCorroborator two_estimate;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(two_estimate.Run(data.dataset).ValueOrDie());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TwoEstimateFull)->Arg(10000)->Arg(36916);
+
+void BM_IncEstHeuFull(benchmark::State& state) {
+  const SyntheticDataset& data = SharedSynthetic(state.range(0));
+  IncEstimateCorroborator inc_est;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(inc_est.Run(data.dataset).ValueOrDie());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_IncEstHeuFull)->Arg(1000)->Arg(10000);
+
+void BM_BayesGibbsSweeps(benchmark::State& state) {
+  const SyntheticDataset& data = SharedSynthetic(5000);
+  BayesEstimateOptions options;
+  options.iterations = 20;
+  options.burn_in = 5;
+  BayesEstimateCorroborator bayes(options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bayes.Run(data.dataset).ValueOrDie());
+  }
+  // 20 sweeps over 5000 facts per run.
+  state.SetItemsProcessed(state.iterations() * 20 * 5000);
+}
+BENCHMARK(BM_BayesGibbsSweeps);
+
+void BM_OnlineObserve(benchmark::State& state) {
+  const SyntheticDataset& data = SharedSynthetic(10000);
+  OnlineCorroborator online;
+  for (SourceId s = 0; s < data.dataset.num_sources(); ++s) {
+    online.AddSource(data.dataset.source_name(s));
+  }
+  FactId f = 0;
+  std::vector<SourceVote> votes;
+  for (auto _ : state) {
+    auto span = data.dataset.VotesOnFact(f);
+    votes.assign(span.begin(), span.end());
+    benchmark::DoNotOptimize(online.Observe(votes));
+    f = (f + 1) % data.dataset.num_facts();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_OnlineObserve);
+
+void BM_GenerateRumors(benchmark::State& state) {
+  for (auto _ : state) {
+    RumorSimOptions options;
+    options.num_rumors = static_cast<int32_t>(state.range(0));
+    benchmark::DoNotOptimize(GenerateRumors(options).ValueOrDie());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_GenerateRumors)->Arg(1000)->Arg(5000);
+
+void BM_Soundex(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Soundex("Grandiose"));
+    benchmark::DoNotOptimize(Soundex("Pallace"));
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_Soundex);
+
+void BM_NormalizeAddress(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        NormalizeAddress("346 West 46th Street, Suite 4B, New York"));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NormalizeAddress);
+
+void BM_ListingSimilarity(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ListingSimilarity("Danny's Grand Sea Palace 346 W 46 St",
+                          "dannys grand sea palace 346 west 46 street"));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ListingSimilarity);
+
+}  // namespace
+}  // namespace corrob
+
+BENCHMARK_MAIN();

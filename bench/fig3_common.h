@@ -1,0 +1,79 @@
+#ifndef CORROB_BENCH_FIG3_COMMON_H_
+#define CORROB_BENCH_FIG3_COMMON_H_
+
+// Shared sweep driver for the three Figure 3 panels: accuracy of each
+// method on §6.3.1 synthetic corpora, averaged over seeds, one row
+// per swept parameter value.
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/thread_pool.h"
+#include "core/registry.h"
+#include "eval/metrics.h"
+#include "synth/synthetic.h"
+
+namespace corrob {
+namespace bench {
+
+inline const std::vector<std::string>& Figure3Methods() {
+  static const auto* kMethods = new std::vector<std::string>{
+      "Voting", "Counting", "TwoEstimate", "BayesEstimate", "IncEstHeu"};
+  return *kMethods;
+}
+
+/// Runs one Figure 3 panel: for each (label, options) row, reports
+/// each method's mean accuracy over `seeds` seeds. Every
+/// (row, method, seed) cell is an independent generate+run+score, so
+/// the grid is fanned out over a thread pool.
+inline void RunFigure3Sweep(
+    const std::vector<std::pair<std::string, SyntheticOptions>>& rows,
+    const std::string& x_label, int seeds) {
+  const auto& methods = Figure3Methods();
+  const int64_t cells =
+      static_cast<int64_t>(rows.size()) * methods.size() * seeds;
+  std::vector<double> accuracy(static_cast<size_t>(cells), 0.0);
+
+  ParallelFor(cells, DefaultThreadCount(), [&](int64_t cell) {
+    size_t row_index = static_cast<size_t>(cell) /
+                       (methods.size() * static_cast<size_t>(seeds));
+    size_t within = static_cast<size_t>(cell) %
+                    (methods.size() * static_cast<size_t>(seeds));
+    size_t method_index = within / static_cast<size_t>(seeds);
+    int seed = static_cast<int>(within % static_cast<size_t>(seeds));
+
+    SyntheticOptions options = rows[row_index].second;
+    options.seed = 40 + static_cast<uint64_t>(seed);
+    SyntheticDataset data = GenerateSynthetic(options).ValueOrDie();
+    auto algorithm = MakeCorroborator(methods[method_index]).ValueOrDie();
+    CorroborationResult result = algorithm->Run(data.dataset).ValueOrDie();
+    accuracy[static_cast<size_t>(cell)] =
+        EvaluateOnTruth(result, data.truth).accuracy;
+  });
+
+  std::vector<std::string> headers{x_label};
+  for (const std::string& m : methods) headers.push_back(m);
+  TablePrinter table(headers);
+  for (size_t r = 0; r < rows.size(); ++r) {
+    std::vector<double> row;
+    for (size_t m = 0; m < methods.size(); ++m) {
+      double sum = 0.0;
+      for (int seed = 0; seed < seeds; ++seed) {
+        sum += accuracy[(r * methods.size() + m) *
+                            static_cast<size_t>(seeds) +
+                        static_cast<size_t>(seed)];
+      }
+      row.push_back(sum / seeds);
+    }
+    table.AddRow(rows[r].first, row, 3);
+  }
+  std::printf("%s", table.ToString().c_str());
+}
+
+}  // namespace bench
+}  // namespace corrob
+
+#endif  // CORROB_BENCH_FIG3_COMMON_H_

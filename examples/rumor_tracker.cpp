@@ -1,0 +1,119 @@
+// Rumor tracker: the paper's second motivating domain — technology
+// blogs claiming product releases, where every statement is
+// affirmative and fabricated rumors go viral (manufactured
+// consensus). Shows why voting fails here and how IncEstHeu ranks
+// the blogs.
+//
+//   ./example_rumor_tracker [--rumors 5000] [--virality 0.18]
+//                           [--seed 404] [--show 12]
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "common/flags.h"
+#include "common/string_util.h"
+#include "common/table_printer.h"
+#include "core/registry.h"
+#include "eval/metrics.h"
+#include "synth/rumor_sim.h"
+
+namespace {
+
+const char* TierName(corrob::BlogTier tier) {
+  switch (tier) {
+    case corrob::BlogTier::kInsider:
+      return "insider";
+    case corrob::BlogTier::kAggregator:
+      return "aggregator";
+    case corrob::BlogTier::kTabloid:
+      return "tabloid";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  corrob::FlagParser flags =
+      corrob::FlagParser::Parse(argc - 1, argv + 1).ValueOrDie();
+  corrob::RumorSimOptions options;
+  options.num_rumors =
+      static_cast<int32_t>(flags.GetInt("rumors", options.num_rumors));
+  options.virality = flags.GetDouble("virality", options.virality);
+  options.seed = static_cast<uint64_t>(flags.GetInt("seed", 404));
+  const int64_t show = flags.GetInt("show", 12);
+
+  corrob::RumorCorpus corpus =
+      corrob::GenerateRumors(options).ValueOrDie();
+  std::printf("Tracking %d product rumors across %d blogs "
+              "(%lld statements, virality %.2f).\n\n",
+              corpus.dataset.num_facts(), corpus.dataset.num_sources(),
+              static_cast<long long>(corpus.dataset.num_votes()),
+              options.virality);
+
+  // Compare the strategies on manufactured consensus.
+  corrob::TablePrinter quality(
+      {"Algorithm", "Precision", "Recall", "Accuracy", "F-1"});
+  corrob::CorroborationResult inc_result;
+  for (const std::string& name :
+       {std::string("Voting"), std::string("TwoEstimate"),
+        std::string("TruthFinder"), std::string("IncEstHeu")}) {
+    auto algorithm = corrob::MakeCorroborator(name).ValueOrDie();
+    corrob::CorroborationResult result =
+        algorithm->Run(corpus.dataset).ValueOrDie();
+    corrob::BinaryMetrics metrics =
+        corrob::EvaluateOnTruth(result, corpus.truth);
+    quality.AddRow(name, {metrics.precision, metrics.recall,
+                          metrics.accuracy, metrics.f1});
+    if (name == "IncEstHeu") inc_result = std::move(result);
+  }
+  std::fputs(quality.ToString().c_str(), stdout);
+
+  // Blog ranking by learned trust.
+  std::vector<corrob::SourceId> ranking(
+      static_cast<size_t>(corpus.dataset.num_sources()));
+  std::iota(ranking.begin(), ranking.end(), 0);
+  std::sort(ranking.begin(), ranking.end(),
+            [&](corrob::SourceId a, corrob::SourceId b) {
+              return inc_result.source_trust[static_cast<size_t>(a)] >
+                     inc_result.source_trust[static_cast<size_t>(b)];
+            });
+  std::printf("\nBlog ranking by IncEstHeu trust:\n");
+  corrob::TablePrinter blogs({"Blog", "Tier", "Trust"});
+  for (corrob::SourceId s : ranking) {
+    blogs.AddRow({corpus.dataset.source_name(s),
+                  TierName(corpus.tiers[static_cast<size_t>(s)]),
+                  corrob::FormatDouble(
+                      inc_result.source_trust[static_cast<size_t>(s)], 2)});
+  }
+  std::fputs(blogs.ToString().c_str(), stdout);
+
+  // The actionable output: loud rumors flagged as fabricated.
+  std::printf("\nViral rumors flagged as fabricated (top %lld by "
+              "affirmations):\n",
+              static_cast<long long>(show));
+  std::vector<corrob::FactId> flagged;
+  for (corrob::FactId f = 0; f < corpus.dataset.num_facts(); ++f) {
+    if (!inc_result.Decide(f)) flagged.push_back(f);
+  }
+  std::sort(flagged.begin(), flagged.end(),
+            [&](corrob::FactId a, corrob::FactId b) {
+              return corpus.dataset.CountVotes(a, corrob::Vote::kTrue) >
+                     corpus.dataset.CountVotes(b, corrob::Vote::kTrue);
+            });
+  int64_t shown = 0;
+  for (corrob::FactId f : flagged) {
+    if (shown >= show) break;
+    std::printf("  %-10s %d blogs repeat it, sigma=%.2f%s\n",
+                corpus.dataset.fact_name(f).c_str(),
+                corpus.dataset.CountVotes(f, corrob::Vote::kTrue),
+                inc_result.fact_probability[static_cast<size_t>(f)],
+                corpus.truth.IsTrue(f) ? "  [actually real!]" : "");
+    ++shown;
+  }
+  if (shown == 0) std::printf("  (none)\n");
+  return 0;
+}

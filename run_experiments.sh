@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Regenerates every table and figure of the paper plus the extension
+# experiments, and captures the library's test results.
+#
+#   ./run_experiments.sh [build-dir]
+set -u
+BUILD="${1:-build}"
+cd "$(dirname "$0")"
+
+ctest --test-dir "$BUILD" 2>&1 | tee test_output.txt
+
+{
+  for b in "$BUILD"/bench/bench_*; do
+    [ -x "$b" ] || continue
+    echo "================================================================"
+    echo "== $b"
+    echo "================================================================"
+    "$b"
+    echo
+  done
+} 2>&1 | tee bench_output.txt

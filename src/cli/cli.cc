@@ -1,0 +1,424 @@
+#include "cli/cli.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "common/csv.h"
+#include "common/flags.h"
+#include "common/string_util.h"
+#include "common/table_printer.h"
+#include "core/inc_estimate.h"
+#include "core/registry.h"
+#include "data/dataset_io.h"
+#include "data/dataset_stats.h"
+#include "data/golden_io.h"
+#include "eval/metrics.h"
+#include "eval/report_io.h"
+#include "synth/hubdub_sim.h"
+#include "synth/restaurant_sim.h"
+#include "synth/synthetic.h"
+#include "text/dedup.h"
+
+namespace corrob {
+
+namespace {
+
+constexpr char kHelp[] = R"(corrob — truth discovery from conflicting web sources
+(reproduction of Wu & Marian, "Corroborating Facts from Affirmative
+Statements", EDBT 2014)
+
+USAGE
+  corrob run      --input data.csv --algorithm IncEstHeu
+                  [--output results.csv] [--trust trust.csv]
+      Corroborate a vote matrix; prints per-fact probabilities or
+      writes them as CSV (fact,probability,decision).
+
+  corrob eval     --input data.csv [--algorithm NAME | --all]
+                  [--extended] [--golden golden.csv]
+      Score algorithms against the dataset's __truth__ column, or
+      against a hand-checked golden subset (CSV: fact,label).
+
+  corrob stats    --input data.csv
+      Coverage, overlap and vote statistics of a dataset.
+
+  corrob generate --kind synthetic|restaurant|hubdub --output data.csv
+                  [--facts N] [--sources N] [--inaccurate N]
+                  [--eta F] [--seed N]
+      Write a synthetic corpus (with ground truth) as CSV.
+
+  corrob dedup    --input listings.csv --output data.csv
+      Entity-resolve raw listings (columns: source,name,address,closed)
+      into a vote matrix.
+
+  corrob trajectory --input data.csv --output trust.csv
+                    [--strategy IncEstHeu|IncEstPS]
+      Run the incremental algorithm and write the per-round
+      multi-value trust series (the Figure 2 data) as CSV.
+
+  corrob compare  --input data.csv --left IncEstHeu --right Voting
+                  [--show 20]
+      Run two algorithms and report where and how they disagree
+      (scored against __truth__ when the column is present).
+
+  corrob help
+      This text.
+
+DATASET CSV
+  fact,<source1>,...,<sourceN>[,__truth__]   with cells T, F or '-'.
+
+ALGORITHMS
+  Voting Counting TwoEstimate ThreeEstimate BayesEstimate IncEstPS
+  IncEstHeu, plus extended baselines: Cosine TruthFinder AvgLog
+  Invest PooledInvest.
+)";
+
+int Fail(std::ostream& err, const Status& status) {
+  err << "corrob: " << status.ToString() << "\n";
+  return 1;
+}
+
+int Fail(std::ostream& err, const std::string& message) {
+  err << "corrob: " << message << "\n";
+  return 1;
+}
+
+Result<LabeledDataset> LoadInput(const FlagParser& flags) {
+  std::string path = flags.GetString("input", "");
+  if (path.empty()) {
+    return Status::InvalidArgument("--input is required");
+  }
+  return LoadDatasetCsv(path);
+}
+
+int CmdRun(const FlagParser& flags, std::ostream& out, std::ostream& err) {
+  auto loaded = LoadInput(flags);
+  if (!loaded.ok()) return Fail(err, loaded.status());
+  const Dataset& dataset = loaded.ValueOrDie().dataset;
+
+  std::string algorithm_name = flags.GetString("algorithm", "IncEstHeu");
+  auto algorithm = MakeCorroborator(algorithm_name);
+  if (!algorithm.ok()) return Fail(err, algorithm.status());
+  auto result = algorithm.ValueOrDie()->Run(dataset);
+  if (!result.ok()) return Fail(err, result.status());
+  const CorroborationResult& corroboration = result.ValueOrDie();
+
+  std::string output = flags.GetString("output", "");
+  std::string decisions = DecisionsToCsv(dataset, corroboration);
+  if (output.empty()) {
+    out << decisions;
+  } else {
+    Status status = WriteStringToFile(output, decisions);
+    if (!status.ok()) return Fail(err, status);
+    out << "wrote " << dataset.num_facts() << " decisions to " << output
+        << "\n";
+  }
+
+  std::string trust_path = flags.GetString("trust", "");
+  if (!trust_path.empty()) {
+    std::vector<std::vector<std::string>> trust_rows;
+    trust_rows.push_back({"source", "trust"});
+    for (SourceId s = 0; s < dataset.num_sources(); ++s) {
+      trust_rows.push_back(
+          {dataset.source_name(s),
+           FormatDouble(corroboration.source_trust[static_cast<size_t>(s)],
+                        4)});
+    }
+    Status status = WriteCsvFile(trust_path, trust_rows);
+    if (!status.ok()) return Fail(err, status);
+    out << "wrote source trust to " << trust_path << "\n";
+  }
+  return 0;
+}
+
+int CmdEval(const FlagParser& flags, std::ostream& out, std::ostream& err) {
+  auto loaded = LoadInput(flags);
+  if (!loaded.ok()) return Fail(err, loaded.status());
+  const LabeledDataset& labeled = loaded.ValueOrDie();
+  GoldenSet golden;
+  std::string golden_path = flags.GetString("golden", "");
+  if (!golden_path.empty()) {
+    auto parsed_golden = LoadGoldenCsv(golden_path, labeled.dataset);
+    if (!parsed_golden.ok()) return Fail(err, parsed_golden.status());
+    golden = std::move(parsed_golden).ValueOrDie();
+  } else if (labeled.truth.has_value()) {
+    golden = GoldenSet::FromFullTruth(*labeled.truth);
+  } else {
+    return Fail(err,
+                "eval requires a complete __truth__ column or --golden");
+  }
+
+  std::vector<std::string> names;
+  if (flags.Has("algorithm")) {
+    names.push_back(flags.GetString("algorithm", ""));
+  } else {
+    names = CorroboratorNames();
+    if (flags.GetBool("extended", false)) {
+      for (const std::string& name : ExtendedCorroboratorNames()) {
+        names.push_back(name);
+      }
+    }
+  }
+
+  TablePrinter table({"Algorithm", "Precision", "Recall", "Accuracy", "F-1"});
+  for (const std::string& name : names) {
+    auto algorithm = MakeCorroborator(name);
+    if (!algorithm.ok()) return Fail(err, algorithm.status());
+    auto result = algorithm.ValueOrDie()->Run(labeled.dataset);
+    if (!result.ok()) return Fail(err, result.status());
+    BinaryMetrics metrics = EvaluateOnGolden(result.ValueOrDie(), golden);
+    table.AddRow(name, {metrics.precision, metrics.recall, metrics.accuracy,
+                        metrics.f1});
+  }
+  out << table.ToString();
+  return 0;
+}
+
+int CmdStats(const FlagParser& flags, std::ostream& out, std::ostream& err) {
+  auto loaded = LoadInput(flags);
+  if (!loaded.ok()) return Fail(err, loaded.status());
+  const Dataset& dataset = loaded.ValueOrDie().dataset;
+
+  out << "facts: " << dataset.num_facts()
+      << "\nsources: " << dataset.num_sources()
+      << "\nvotes: " << dataset.num_votes() << "\nfacts with F votes: "
+      << CountFactsWithFalseVotes(dataset)
+      << "\naffirmative-only fraction: "
+      << FormatDouble(AffirmativeOnlyFraction(dataset), 4) << "\n\n";
+
+  SourceStats stats = ComputeSourceStats(dataset);
+  std::vector<int64_t> f_votes = CountFalseVotesBySource(dataset);
+  TablePrinter table({"Source", "Coverage", "F votes"});
+  for (SourceId s = 0; s < dataset.num_sources(); ++s) {
+    table.AddRow({dataset.source_name(s),
+                  FormatDouble(stats.coverage[s], 4),
+                  std::to_string(f_votes[s])});
+  }
+  out << table.ToString();
+  return 0;
+}
+
+int CmdGenerate(const FlagParser& flags, std::ostream& out,
+                std::ostream& err) {
+  std::string output = flags.GetString("output", "");
+  if (output.empty()) return Fail(err, "--output is required");
+  std::string kind = flags.GetString("kind", "synthetic");
+  uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+
+  Dataset dataset;
+  GroundTruth truth;
+  if (kind == "synthetic") {
+    SyntheticOptions options;
+    options.num_facts = static_cast<int32_t>(flags.GetInt("facts", 20000));
+    options.num_sources =
+        static_cast<int32_t>(flags.GetInt("sources", 10));
+    options.num_inaccurate =
+        static_cast<int32_t>(flags.GetInt("inaccurate", 2));
+    options.eta = flags.GetDouble("eta", 0.02);
+    options.seed = seed;
+    auto data = GenerateSynthetic(options);
+    if (!data.ok()) return Fail(err, data.status());
+    dataset = std::move(data.ValueOrDie().dataset);
+    truth = std::move(data.ValueOrDie().truth);
+  } else if (kind == "restaurant") {
+    RestaurantSimOptions options;
+    options.num_facts = static_cast<int32_t>(flags.GetInt("facts", 36916));
+    options.seed = seed;
+    auto data = GenerateRestaurantCorpus(options);
+    if (!data.ok()) return Fail(err, data.status());
+    dataset = std::move(data.ValueOrDie().dataset);
+    truth = std::move(data.ValueOrDie().truth);
+  } else if (kind == "hubdub") {
+    HubdubSimOptions options;
+    options.seed = seed;
+    auto data = GenerateHubdub(options);
+    if (!data.ok()) return Fail(err, data.status());
+    dataset = data.ValueOrDie().WithNegativeClosure();
+    truth = data.ValueOrDie().truth();
+  } else {
+    return Fail(err, "unknown --kind '" + kind +
+                         "' (expected synthetic|restaurant|hubdub)");
+  }
+
+  Status status = SaveDatasetCsv(output, dataset, &truth);
+  if (!status.ok()) return Fail(err, status);
+  out << "wrote " << dataset.num_facts() << " facts x "
+      << dataset.num_sources() << " sources to " << output << "\n";
+  return 0;
+}
+
+int CmdDedup(const FlagParser& flags, std::ostream& out, std::ostream& err) {
+  std::string input = flags.GetString("input", "");
+  std::string output = flags.GetString("output", "");
+  if (input.empty() || output.empty()) {
+    return Fail(err, "--input and --output are required");
+  }
+  auto doc = ReadCsvFile(input);
+  if (!doc.ok()) return Fail(err, doc.status());
+  const auto& rows = doc.ValueOrDie().rows;
+  if (rows.empty() || rows[0] !=
+                          std::vector<std::string>{"source", "name",
+                                                   "address", "closed"}) {
+    return Fail(err,
+                "listings CSV must have header: source,name,address,closed");
+  }
+  std::vector<RawListing> listings;
+  for (size_t r = 1; r < rows.size(); ++r) {
+    if (rows[r].size() != 4) {
+      return Fail(err, "row " + std::to_string(r) + " has " +
+                           std::to_string(rows[r].size()) +
+                           " cells, expected 4");
+    }
+    RawListing listing;
+    listing.source = rows[r][0];
+    listing.name = rows[r][1];
+    listing.address = rows[r][2];
+    std::string closed = ToLower(Trim(rows[r][3]));
+    if (closed == "true" || closed == "1" || closed == "closed") {
+      listing.closed = true;
+    } else if (closed == "false" || closed == "0" || closed.empty()) {
+      listing.closed = false;
+    } else {
+      return Fail(err, "bad closed cell '" + rows[r][3] + "' at row " +
+                           std::to_string(r));
+    }
+    listings.push_back(std::move(listing));
+  }
+
+  auto dedup = Deduplicate(listings);
+  if (!dedup.ok()) return Fail(err, dedup.status());
+  Status status = SaveDatasetCsv(output, dedup.ValueOrDie().dataset);
+  if (!status.ok()) return Fail(err, status);
+  out << "deduplicated " << listings.size() << " listings into "
+      << dedup.ValueOrDie().entities.size() << " entities; wrote " << output
+      << "\n";
+  return 0;
+}
+
+int CmdTrajectory(const FlagParser& flags, std::ostream& out,
+                  std::ostream& err) {
+  auto loaded = LoadInput(flags);
+  if (!loaded.ok()) return Fail(err, loaded.status());
+  std::string output = flags.GetString("output", "");
+  if (output.empty()) return Fail(err, "--output is required");
+
+  IncEstimateOptions options;
+  options.record_trajectory = true;
+  std::string strategy = flags.GetString("strategy", "IncEstHeu");
+  if (strategy == "IncEstPS") {
+    options.strategy = IncSelectStrategy::kProbability;
+  } else if (strategy != "IncEstHeu") {
+    return Fail(err, "unknown --strategy '" + strategy +
+                         "' (expected IncEstHeu|IncEstPS)");
+  }
+  IncEstimateCorroborator algorithm(options);
+  auto result = algorithm.Run(loaded.ValueOrDie().dataset);
+  if (!result.ok()) return Fail(err, result.status());
+  Status status = SaveTrajectoryCsv(output, loaded.ValueOrDie().dataset,
+                                    result.ValueOrDie());
+  if (!status.ok()) return Fail(err, status);
+  out << "wrote " << result.ValueOrDie().trajectory.size()
+      << " time points to " << output << "\n";
+  return 0;
+}
+
+int CmdCompare(const FlagParser& flags, std::ostream& out,
+               std::ostream& err) {
+  auto loaded = LoadInput(flags);
+  if (!loaded.ok()) return Fail(err, loaded.status());
+  const LabeledDataset& labeled = loaded.ValueOrDie();
+  const Dataset& dataset = labeled.dataset;
+  const std::string left_name = flags.GetString("left", "IncEstHeu");
+  const std::string right_name = flags.GetString("right", "Voting");
+  const int64_t show = flags.GetInt("show", 20);
+
+  auto run = [&](const std::string& name) -> Result<CorroborationResult> {
+    CORROB_ASSIGN_OR_RETURN(std::unique_ptr<Corroborator> algorithm,
+                            MakeCorroborator(name));
+    return algorithm->Run(dataset);
+  };
+  auto left = run(left_name);
+  if (!left.ok()) return Fail(err, left.status());
+  auto right = run(right_name);
+  if (!right.ok()) return Fail(err, right.status());
+
+  int64_t disagreements = 0;
+  int64_t left_right_on_disagreement = 0;
+  TablePrinter table(labeled.truth.has_value()
+                         ? std::vector<std::string>{"Fact", left_name,
+                                                    right_name, "Truth"}
+                         : std::vector<std::string>{"Fact", left_name,
+                                                    right_name});
+  for (FactId f = 0; f < dataset.num_facts(); ++f) {
+    bool l = left.ValueOrDie().Decide(f);
+    bool r = right.ValueOrDie().Decide(f);
+    if (l == r) continue;
+    ++disagreements;
+    if (labeled.truth.has_value() && l == labeled.truth->IsTrue(f)) {
+      ++left_right_on_disagreement;
+    }
+    if (disagreements <= show) {
+      std::vector<std::string> row{dataset.fact_name(f),
+                                   l ? "true" : "false",
+                                   r ? "true" : "false"};
+      if (labeled.truth.has_value()) {
+        row.push_back(labeled.truth->IsTrue(f) ? "true" : "false");
+      }
+      table.AddRow(std::move(row));
+    }
+  }
+
+  out << left_name << " vs " << right_name << ": " << disagreements
+      << " of " << dataset.num_facts() << " facts decided differently ("
+      << FormatDouble(dataset.num_facts() > 0
+                          ? 100.0 * static_cast<double>(disagreements) /
+                                static_cast<double>(dataset.num_facts())
+                          : 0.0,
+                      1)
+      << "%).\n";
+  if (labeled.truth.has_value() && disagreements > 0) {
+    out << left_name << " is right on " << left_right_on_disagreement
+        << " of the " << disagreements << " disagreements ("
+        << FormatDouble(100.0 *
+                            static_cast<double>(left_right_on_disagreement) /
+                            static_cast<double>(disagreements),
+                        1)
+        << "%).\n";
+  }
+  if (disagreements > 0) {
+    out << "\nFirst " << std::min<int64_t>(show, disagreements)
+        << " disagreements:\n"
+        << table.ToString();
+  }
+  return 0;
+}
+
+}  // namespace
+
+int RunCli(const std::vector<std::string>& args, std::ostream& out,
+           std::ostream& err) {
+  if (args.empty() || args[0] == "help" || args[0] == "--help") {
+    out << kHelp;
+    return 0;
+  }
+  const std::string& command = args[0];
+
+  std::vector<const char*> rest;
+  rest.reserve(args.size() - 1);
+  for (size_t i = 1; i < args.size(); ++i) rest.push_back(args[i].c_str());
+  auto flags =
+      FlagParser::Parse(static_cast<int>(rest.size()), rest.data());
+  if (!flags.ok()) return Fail(err, flags.status());
+  const FlagParser& parsed = flags.ValueOrDie();
+
+  if (command == "run") return CmdRun(parsed, out, err);
+  if (command == "eval") return CmdEval(parsed, out, err);
+  if (command == "stats") return CmdStats(parsed, out, err);
+  if (command == "generate") return CmdGenerate(parsed, out, err);
+  if (command == "dedup") return CmdDedup(parsed, out, err);
+  if (command == "trajectory") return CmdTrajectory(parsed, out, err);
+  if (command == "compare") return CmdCompare(parsed, out, err);
+  return Fail(err, "unknown command '" + command +
+                       "' (try `corrob help`)");
+}
+
+}  // namespace corrob

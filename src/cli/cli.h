@@ -1,0 +1,32 @@
+#ifndef CORROB_CLI_CLI_H_
+#define CORROB_CLI_CLI_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace corrob {
+
+/// Entry point of the `corrob` command-line tool, factored out of
+/// main() so tests can drive it with in-memory streams.
+///
+/// Subcommands:
+///   corrob run      --input data.csv --algorithm IncEstHeu
+///                   [--output results.csv] [--trust trust.csv]
+///   corrob eval     --input data.csv (requires a __truth__ column)
+///                   [--algorithm NAME | --all] [--extended]
+///   corrob stats    --input data.csv
+///   corrob generate --kind synthetic|restaurant|hubdub --output data.csv
+///                   [generator-specific flags, see `corrob help`]
+///   corrob dedup    --input listings.csv --output data.csv
+///                   (listings.csv columns: source,name,address,closed)
+///   corrob help
+///
+/// Returns a process exit code (0 on success). Normal output goes to
+/// `out`, diagnostics to `err`.
+int RunCli(const std::vector<std::string>& args, std::ostream& out,
+           std::ostream& err);
+
+}  // namespace corrob
+
+#endif  // CORROB_CLI_CLI_H_

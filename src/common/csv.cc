@@ -1,0 +1,136 @@
+#include "common/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace corrob {
+
+Result<CsvDocument> ParseCsv(std::string_view text, char delimiter) {
+  CsvDocument doc;
+  std::vector<std::string> row;
+  std::string field;
+  bool in_quotes = false;
+  bool field_started = false;
+  bool row_started = false;
+
+  auto end_field = [&]() {
+    row.push_back(std::move(field));
+    field.clear();
+    field_started = false;
+  };
+  auto end_row = [&]() {
+    end_field();
+    doc.rows.push_back(std::move(row));
+    row.clear();
+    row_started = false;
+  };
+
+  for (size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field += c;
+      }
+      continue;
+    }
+    if (c == '"') {
+      if (field_started && !field.empty()) {
+        return Status::ParseError("quote inside unquoted field at offset " +
+                                  std::to_string(i));
+      }
+      in_quotes = true;
+      field_started = true;
+      row_started = true;
+    } else if (c == delimiter) {
+      end_field();
+      row_started = true;
+    } else if (c == '\n') {
+      end_row();
+    } else if (c == '\r') {
+      // Swallow \r of \r\n; a bare \r also terminates the row.
+      end_row();
+      if (i + 1 < text.size() && text[i + 1] == '\n') ++i;
+    } else {
+      field += c;
+      field_started = true;
+      row_started = true;
+    }
+  }
+  if (in_quotes) {
+    return Status::ParseError("unterminated quoted field at end of input");
+  }
+  if (row_started || field_started || !row.empty()) {
+    end_row();
+  }
+  return doc;
+}
+
+namespace {
+
+bool NeedsQuoting(const std::string& field, char delimiter) {
+  for (char c : field) {
+    if (c == delimiter || c == '"' || c == '\n' || c == '\r') return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string WriteCsv(const std::vector<std::vector<std::string>>& rows,
+                     char delimiter) {
+  std::string out;
+  for (const auto& row : rows) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out += delimiter;
+      if (NeedsQuoting(row[i], delimiter)) {
+        out += '"';
+        for (char c : row[i]) {
+          if (c == '"') out += '"';
+          out += c;
+        }
+        out += '"';
+      } else {
+        out += row[i];
+      }
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+Result<CsvDocument> ReadCsvFile(const std::string& path, char delimiter) {
+  CORROB_ASSIGN_OR_RETURN(std::string contents, ReadFileToString(path));
+  return ParseCsv(contents, delimiter);
+}
+
+Status WriteCsvFile(const std::string& path,
+                    const std::vector<std::vector<std::string>>& rows,
+                    char delimiter) {
+  return WriteStringToFile(path, WriteCsv(rows, delimiter));
+}
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open for reading: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) return Status::IoError("read failed: " + path);
+  return buffer.str();
+}
+
+Status WriteStringToFile(const std::string& path, std::string_view contents) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IoError("cannot open for writing: " + path);
+  out.write(contents.data(), static_cast<std::streamsize>(contents.size()));
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace corrob

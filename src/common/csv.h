@@ -1,0 +1,47 @@
+#ifndef CORROB_COMMON_CSV_H_
+#define CORROB_COMMON_CSV_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace corrob {
+
+/// A parsed CSV document: rows of string fields.
+struct CsvDocument {
+  std::vector<std::vector<std::string>> rows;
+};
+
+/// Parses RFC-4180-style CSV text: fields separated by `delimiter`,
+/// optionally quoted with '"' (doubled quote escapes a quote, quoted
+/// fields may contain delimiters and newlines). Both \n and \r\n row
+/// terminators are accepted; a trailing newline does not produce an
+/// empty row.
+Result<CsvDocument> ParseCsv(std::string_view text, char delimiter = ',');
+
+/// Serializes rows into CSV text, quoting fields that contain the
+/// delimiter, quotes or newlines.
+std::string WriteCsv(const std::vector<std::vector<std::string>>& rows,
+                     char delimiter = ',');
+
+/// Reads and parses a CSV file from disk.
+Result<CsvDocument> ReadCsvFile(const std::string& path,
+                                char delimiter = ',');
+
+/// Writes rows to `path` as CSV.
+Status WriteCsvFile(const std::string& path,
+                    const std::vector<std::vector<std::string>>& rows,
+                    char delimiter = ',');
+
+/// Reads a whole file into a string.
+Result<std::string> ReadFileToString(const std::string& path);
+
+/// Writes `contents` to `path`, replacing any existing file.
+Status WriteStringToFile(const std::string& path, std::string_view contents);
+
+}  // namespace corrob
+
+#endif  // CORROB_COMMON_CSV_H_

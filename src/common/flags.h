@@ -1,0 +1,49 @@
+#ifndef CORROB_COMMON_FLAGS_H_
+#define CORROB_COMMON_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace corrob {
+
+/// Minimal command-line flag parser for the example and benchmark
+/// binaries. Accepts `--name=value`, `--name value` and bare boolean
+/// `--name`; everything else is collected as a positional argument.
+class FlagParser {
+ public:
+  /// Parses argv (excluding argv[0]). Returns an error on malformed
+  /// input such as an empty flag name.
+  static Result<FlagParser> Parse(int argc, const char* const* argv);
+
+  /// True if --name was present.
+  bool Has(const std::string& name) const;
+
+  /// String value of --name, or `fallback` when absent.
+  std::string GetString(const std::string& name,
+                        const std::string& fallback) const;
+
+  /// Integer value of --name; aborts on a malformed integer.
+  int64_t GetInt(const std::string& name, int64_t fallback) const;
+
+  /// Double value of --name; aborts on a malformed number.
+  double GetDouble(const std::string& name, double fallback) const;
+
+  /// Boolean value: bare flag or true/false/1/0.
+  bool GetBool(const std::string& name, bool fallback) const;
+
+  /// Arguments that were not flags, in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace corrob
+
+#endif  // CORROB_COMMON_FLAGS_H_

@@ -1,0 +1,80 @@
+#ifndef CORROB_COMMON_LOGGING_H_
+#define CORROB_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace corrob {
+namespace internal_logging {
+
+/// Severity of a log line. kFatal aborts the process after logging.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+/// Stream-style log sink: accumulates a message and emits it (to
+/// stderr) on destruction. Used through the CORROB_LOG/CHECK macros.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Returns the minimum level that will actually be emitted.
+LogLevel MinLogLevel();
+
+/// Sets the minimum emitted level (default kInfo). Thread-compatible:
+/// set it once at startup.
+void SetMinLogLevel(LogLevel level);
+
+}  // namespace internal_logging
+
+#define CORROB_LOG_DEBUG                                        \
+  ::corrob::internal_logging::LogMessage(                      \
+      ::corrob::internal_logging::LogLevel::kDebug, __FILE__, __LINE__)
+#define CORROB_LOG_INFO                                         \
+  ::corrob::internal_logging::LogMessage(                      \
+      ::corrob::internal_logging::LogLevel::kInfo, __FILE__, __LINE__)
+#define CORROB_LOG_WARNING                                      \
+  ::corrob::internal_logging::LogMessage(                      \
+      ::corrob::internal_logging::LogLevel::kWarning, __FILE__, __LINE__)
+#define CORROB_LOG_ERROR                                        \
+  ::corrob::internal_logging::LogMessage(                      \
+      ::corrob::internal_logging::LogLevel::kError, __FILE__, __LINE__)
+#define CORROB_LOG_FATAL                                        \
+  ::corrob::internal_logging::LogMessage(                      \
+      ::corrob::internal_logging::LogLevel::kFatal, __FILE__, __LINE__)
+
+/// Aborts with a diagnostic if `condition` is false. Enabled in all
+/// build types: corroboration invariants are cheap relative to the
+/// numeric work, and silent corruption of trust scores is worse than
+/// a crash.
+#define CORROB_CHECK(condition) \
+  if (!(condition)) CORROB_LOG_FATAL << "Check failed: " #condition " "
+
+#define CORROB_CHECK_OK(expr)                                       \
+  if (::corrob::Status _corrob_chk = (expr); !_corrob_chk.ok())     \
+  CORROB_LOG_FATAL << "Check failed (status): " << _corrob_chk.ToString() << " "
+
+/// Debug-only check for hot paths.
+#ifndef NDEBUG
+#define CORROB_DCHECK(condition) CORROB_CHECK(condition)
+#else
+#define CORROB_DCHECK(condition) \
+  if (false && !(condition)) CORROB_LOG_FATAL << ""
+#endif
+
+}  // namespace corrob
+
+#endif  // CORROB_COMMON_LOGGING_H_

@@ -1,0 +1,67 @@
+#include "common/math_util.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace corrob {
+
+double BinaryEntropy(double p) {
+  p = Clamp(p, 0.0, 1.0);
+  if (p <= 0.0 || p >= 1.0) return 0.0;
+  return -p * std::log2(p) - (1.0 - p) * std::log2(1.0 - p);
+}
+
+double Clamp(double value, double lo, double hi) {
+  if (value < lo) return lo;
+  if (value > hi) return hi;
+  return value;
+}
+
+double Mean(const std::vector<double>& values, double empty_value) {
+  if (values.empty()) return empty_value;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double Variance(const std::vector<double>& values) {
+  if (values.size() < 2) return 0.0;
+  double mean = Mean(values);
+  double sum = 0.0;
+  for (double v : values) sum += (v - mean) * (v - mean);
+  return sum / static_cast<double>(values.size());
+}
+
+double MeanSquaredError(const std::vector<double>& expected,
+                        const std::vector<double>& actual) {
+  CORROB_CHECK(expected.size() == actual.size())
+      << "MSE size mismatch: " << expected.size() << " vs " << actual.size();
+  if (expected.empty()) return 0.0;
+  double sum = 0.0;
+  for (size_t i = 0; i < expected.size(); ++i) {
+    double d = expected[i] - actual[i];
+    sum += d * d;
+  }
+  return sum / static_cast<double>(expected.size());
+}
+
+double Log1pExp(double x) {
+  if (x > 0.0) return x + std::log1p(std::exp(-x));
+  return std::log1p(std::exp(x));
+}
+
+double Sigmoid(double x) {
+  if (x >= 0.0) {
+    double e = std::exp(-x);
+    return 1.0 / (1.0 + e);
+  }
+  double e = std::exp(x);
+  return e / (1.0 + e);
+}
+
+bool NearlyEqual(double a, double b, double tolerance) {
+  return std::fabs(a - b) <= tolerance;
+}
+
+}  // namespace corrob

@@ -1,0 +1,39 @@
+#ifndef CORROB_COMMON_MATH_UTIL_H_
+#define CORROB_COMMON_MATH_UTIL_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace corrob {
+
+/// Binary (Shannon) entropy of a Bernoulli(p) variable, in bits.
+/// BinaryEntropy(0) == BinaryEntropy(1) == 0; maximum is 1 at p=0.5.
+/// Inputs outside [0,1] are clamped.
+double BinaryEntropy(double p);
+
+/// Clamps `value` into [lo, hi].
+double Clamp(double value, double lo, double hi);
+
+/// Arithmetic mean; returns `empty_value` for an empty range.
+double Mean(const std::vector<double>& values, double empty_value = 0.0);
+
+/// Population variance; returns 0 for fewer than 2 elements.
+double Variance(const std::vector<double>& values);
+
+/// Mean squared error between two equally sized vectors.
+/// Returns 0 for empty inputs. Aborts if sizes differ.
+double MeanSquaredError(const std::vector<double>& expected,
+                        const std::vector<double>& actual);
+
+/// Numerically stable log(1+exp(x)).
+double Log1pExp(double x);
+
+/// Logistic sigmoid 1/(1+exp(-x)).
+double Sigmoid(double x);
+
+/// True if |a-b| <= tolerance.
+bool NearlyEqual(double a, double b, double tolerance = 1e-9);
+
+}  // namespace corrob
+
+#endif  // CORROB_COMMON_MATH_UTIL_H_

@@ -1,0 +1,70 @@
+#ifndef CORROB_COMMON_RESULT_H_
+#define CORROB_COMMON_RESULT_H_
+
+#include <optional>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/status.h"
+
+namespace corrob {
+
+/// Either a value of type T or an error Status — the return type of
+/// fallible factory/parse functions throughout the library.
+///
+/// Usage:
+///   Result<Dataset> r = LoadDataset(path);
+///   if (!r.ok()) return r.status();
+///   Dataset d = std::move(r).ValueOrDie();
+template <typename T>
+class Result {
+ public:
+  /// Constructs a successful result holding `value`.
+  Result(T value)  // NOLINT(google-explicit-constructor)
+      : status_(Status::OK()), value_(std::move(value)) {}
+
+  /// Constructs a failed result. `status` must not be OK.
+  Result(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {
+    CORROB_CHECK(!status_.ok()) << "Result constructed from OK status";
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Returns the value; aborts the process if the result holds an error.
+  const T& ValueOrDie() const& {
+    CORROB_CHECK(ok()) << "Result::ValueOrDie on error: " << status_.ToString();
+    return *value_;
+  }
+  T& ValueOrDie() & {
+    CORROB_CHECK(ok()) << "Result::ValueOrDie on error: " << status_.ToString();
+    return *value_;
+  }
+  T ValueOrDie() && {
+    CORROB_CHECK(ok()) << "Result::ValueOrDie on error: " << status_.ToString();
+    return std::move(*value_);
+  }
+
+  /// Returns the value if OK, otherwise `fallback`.
+  T ValueOr(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Assigns the value of a Result expression to `lhs`, or returns its
+/// error Status from the enclosing function.
+#define CORROB_ASSIGN_OR_RETURN(lhs, expr)          \
+  auto CORROB_CONCAT_(_corrob_result_, __LINE__) = (expr); \
+  if (!CORROB_CONCAT_(_corrob_result_, __LINE__).ok())     \
+    return CORROB_CONCAT_(_corrob_result_, __LINE__).status(); \
+  lhs = std::move(CORROB_CONCAT_(_corrob_result_, __LINE__)).ValueOrDie()
+
+#define CORROB_CONCAT_IMPL_(a, b) a##b
+#define CORROB_CONCAT_(a, b) CORROB_CONCAT_IMPL_(a, b)
+
+}  // namespace corrob
+
+#endif  // CORROB_COMMON_RESULT_H_

@@ -1,0 +1,42 @@
+#ifndef CORROB_COMMON_STRING_UTIL_H_
+#define CORROB_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace corrob {
+
+/// Splits `text` on `delimiter`, keeping empty fields.
+/// Split("a,,b", ',') -> {"a", "", "b"}; Split("", ',') -> {""}.
+std::vector<std::string> Split(std::string_view text, char delimiter);
+
+/// Splits on any run of ASCII whitespace, dropping empty fields.
+std::vector<std::string> SplitWhitespace(std::string_view text);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view text);
+
+/// ASCII lower-casing (locale-independent).
+std::string ToLower(std::string_view text);
+
+/// ASCII upper-casing (locale-independent).
+std::string ToUpper(std::string_view text);
+
+bool StartsWith(std::string_view text, std::string_view prefix);
+bool EndsWith(std::string_view text, std::string_view suffix);
+
+/// Joins `parts` with `separator`.
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view separator);
+
+/// Replaces every occurrence of `from` (non-empty) with `to`.
+std::string ReplaceAll(std::string_view text, std::string_view from,
+                       std::string_view to);
+
+/// Formats a double with `digits` digits after the decimal point.
+std::string FormatDouble(double value, int digits);
+
+}  // namespace corrob
+
+#endif  // CORROB_COMMON_STRING_UTIL_H_

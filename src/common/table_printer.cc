@@ -1,0 +1,73 @@
+#include "common/table_printer.h"
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace corrob {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  CORROB_CHECK(!headers_.empty()) << "table needs at least one column";
+}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  CORROB_CHECK(cells.size() <= headers_.size())
+      << "row has " << cells.size() << " cells, table has "
+      << headers_.size() << " columns";
+  cells.resize(headers_.size());
+  rows_.push_back(Row{false, std::move(cells)});
+}
+
+void TablePrinter::AddRow(const std::string& label,
+                          const std::vector<double>& values, int digits) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size() + 1);
+  cells.push_back(label);
+  for (double v : values) cells.push_back(FormatDouble(v, digits));
+  AddRow(std::move(cells));
+}
+
+void TablePrinter::AddSeparator() { rows_.push_back(Row{true, {}}); }
+
+std::string TablePrinter::ToString() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const Row& row : rows_) {
+    if (row.separator) continue;
+    for (size_t c = 0; c < row.cells.size(); ++c) {
+      widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+  }
+
+  auto rule = [&]() {
+    std::string line = "+";
+    for (size_t w : widths) {
+      line += std::string(w + 2, '-');
+      line += '+';
+    }
+    line += '\n';
+    return line;
+  };
+  auto format_row = [&](const std::vector<std::string>& cells) {
+    std::string line = "|";
+    for (size_t c = 0; c < cells.size(); ++c) {
+      line += ' ';
+      line += cells[c];
+      line += std::string(widths[c] - cells[c].size() + 1, ' ');
+      line += '|';
+    }
+    line += '\n';
+    return line;
+  };
+
+  std::string out = rule();
+  out += format_row(headers_);
+  out += rule();
+  for (const Row& row : rows_) {
+    out += row.separator ? rule() : format_row(row.cells);
+  }
+  out += rule();
+  return out;
+}
+
+}  // namespace corrob

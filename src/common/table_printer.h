@@ -1,0 +1,47 @@
+#ifndef CORROB_COMMON_TABLE_PRINTER_H_
+#define CORROB_COMMON_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace corrob {
+
+/// Renders aligned ASCII tables for benchmark and example output,
+/// mirroring the tables in the paper.
+///
+///   TablePrinter t({"Method", "Precision", "Recall"});
+///   t.AddRow({"Voting", "0.65", "1.00"});
+///   std::cout << t.ToString();
+class TablePrinter {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends a row; missing cells render empty, extra cells abort.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with `digits` decimals.
+  void AddRow(const std::string& label, const std::vector<double>& values,
+              int digits = 2);
+
+  /// Adds a horizontal separator line before the next row.
+  void AddSeparator();
+
+  /// Renders the table with a header rule and column padding.
+  std::string ToString() const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  struct Row {
+    bool separator = false;
+    std::vector<std::string> cells;
+  };
+
+  std::vector<std::string> headers_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace corrob
+
+#endif  // CORROB_COMMON_TABLE_PRINTER_H_

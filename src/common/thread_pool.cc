@@ -1,0 +1,90 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace corrob {
+
+ThreadPool::ThreadPool(int num_threads) {
+  int count = std::max(1, num_threads);
+  workers_.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+void ThreadPool::Submit(std::function<void()> task) {
+  CORROB_CHECK(task != nullptr) << "null task";
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    CORROB_CHECK(!shutting_down_) << "Submit after Shutdown";
+    queue_.push_back(std::move(task));
+    ++in_flight_;
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  work_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (shutting_down_) return;
+    shutting_down_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_available_.wait(
+          lock, [this] { return !queue_.empty() || shutting_down_; });
+      if (queue_.empty()) {
+        if (shutting_down_) return;
+        continue;
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --in_flight_;
+      if (in_flight_ == 0) work_done_.notify_all();
+    }
+  }
+}
+
+void ParallelFor(int64_t count, int num_threads,
+                 const std::function<void(int64_t)>& fn) {
+  if (count <= 0) return;
+  if (num_threads <= 1 || count == 1) {
+    for (int64_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  ThreadPool pool(static_cast<int>(
+      std::min<int64_t>(count, static_cast<int64_t>(num_threads))));
+  for (int64_t i = 0; i < count; ++i) {
+    pool.Submit([&fn, i] { fn(i); });
+  }
+  pool.Wait();
+}
+
+int DefaultThreadCount() {
+  unsigned hardware = std::thread::hardware_concurrency();
+  return hardware == 0 ? 4 : static_cast<int>(hardware);
+}
+
+}  // namespace corrob

@@ -1,0 +1,63 @@
+#ifndef CORROB_COMMON_THREAD_POOL_H_
+#define CORROB_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace corrob {
+
+/// Fixed-size worker pool for embarrassingly parallel experiment
+/// sweeps (each Figure 3 cell is an independent generate+run+score).
+/// Tasks must not throw; the library is exception-free by convention
+/// and a throwing task would terminate the process.
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers (values < 1 are clamped to 1).
+  explicit ThreadPool(int num_threads);
+
+  /// Drains outstanding work, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Must not be called after Shutdown().
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished executing.
+  void Wait();
+
+  /// Drains and joins. Idempotent; implied by the destructor.
+  void Shutdown();
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable work_done_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  int64_t in_flight_ = 0;  // queued + currently executing
+  bool shutting_down_ = false;
+};
+
+/// Runs fn(i) for i in [0, count) across `num_threads` workers and
+/// blocks until all iterations complete. `fn` must be safe to call
+/// concurrently for distinct i.
+void ParallelFor(int64_t count, int num_threads,
+                 const std::function<void(int64_t)>& fn);
+
+/// A reasonable worker count for compute-bound sweeps.
+int DefaultThreadCount();
+
+}  // namespace corrob
+
+#endif  // CORROB_COMMON_THREAD_POOL_H_

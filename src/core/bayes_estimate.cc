@@ -1,0 +1,136 @@
+#include "core/bayes_estimate.h"
+
+#include <cmath>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace corrob {
+
+namespace {
+
+/// Per-source sufficient statistics: counts of (truth label, vote)
+/// combinations over currently labeled facts.
+struct SourceCounts {
+  // n[t][o]: #facts with label t on which the source's vote is o
+  // (o=1 for T, o=0 for F).
+  double n[2][2] = {{0.0, 0.0}, {0.0, 0.0}};
+};
+
+}  // namespace
+
+Result<CorroborationResult> BayesEstimateCorroborator::Run(
+    const Dataset& dataset) const {
+  if (options_.iterations < 1) {
+    return Status::InvalidArgument("iterations must be >= 1");
+  }
+  if (options_.burn_in < 0 || options_.burn_in >= options_.iterations) {
+    return Status::InvalidArgument("burn_in must be in [0, iterations)");
+  }
+
+  const size_t facts = static_cast<size_t>(dataset.num_facts());
+  const size_t sources = static_cast<size_t>(dataset.num_sources());
+  Rng rng(options_.seed);
+
+  // Initialize labels by simple voting.
+  std::vector<uint8_t> label(facts, 1);
+  for (FactId f = 0; f < dataset.num_facts(); ++f) {
+    int32_t t = dataset.CountVotes(f, Vote::kTrue);
+    int32_t n = dataset.CountVotes(f, Vote::kFalse);
+    label[static_cast<size_t>(f)] = t >= n ? 1 : 0;
+  }
+
+  std::vector<SourceCounts> counts(sources);
+  double n_true = 0.0;
+  for (FactId f = 0; f < dataset.num_facts(); ++f) {
+    uint8_t t = label[static_cast<size_t>(f)];
+    n_true += t;
+    for (const SourceVote& sv : dataset.VotesOnFact(f)) {
+      int o = sv.vote == Vote::kTrue ? 1 : 0;
+      counts[static_cast<size_t>(sv.source)].n[t][o] += 1.0;
+    }
+  }
+  double n_facts = static_cast<double>(facts);
+
+  const BetaPrior& fp = options_.false_positive_prior;   // t=0 votes
+  const BetaPrior& sens = options_.sensitivity_prior;    // t=1 votes
+  const BetaPrior& prior = options_.truth_prior;
+
+  std::vector<double> truth_sum(facts, 0.0);
+  int samples_kept = 0;
+
+  for (int sweep = 0; sweep < options_.iterations; ++sweep) {
+    for (FactId f = 0; f < dataset.num_facts(); ++f) {
+      size_t fi = static_cast<size_t>(f);
+      auto votes = dataset.VotesOnFact(f);
+      uint8_t old_label = label[fi];
+
+      // Remove f from the sufficient statistics.
+      n_true -= old_label;
+      for (const SourceVote& sv : votes) {
+        int o = sv.vote == Vote::kTrue ? 1 : 0;
+        counts[static_cast<size_t>(sv.source)].n[old_label][o] -= 1.0;
+      }
+
+      // Collapsed conditional: Beta-Bernoulli predictive per source.
+      double log_p1 = std::log(prior.alpha + n_true);
+      double log_p0 = std::log(prior.beta + (n_facts - 1.0 - n_true));
+      for (const SourceVote& sv : votes) {
+        const SourceCounts& sc = counts[static_cast<size_t>(sv.source)];
+        int o = sv.vote == Vote::kTrue ? 1 : 0;
+        // t = 1: vote modeled by sensitivity prior.
+        double a1 = sens.alpha + sc.n[1][1];
+        double b1 = sens.beta + sc.n[1][0];
+        log_p1 += std::log(o == 1 ? a1 : b1) - std::log(a1 + b1);
+        // t = 0: vote modeled by false-positive prior.
+        double a0 = fp.alpha + sc.n[0][1];
+        double b0 = fp.beta + sc.n[0][0];
+        log_p0 += std::log(o == 1 ? a0 : b0) - std::log(a0 + b0);
+      }
+
+      double max_log = std::max(log_p1, log_p0);
+      double p1 = std::exp(log_p1 - max_log);
+      double p0 = std::exp(log_p0 - max_log);
+      uint8_t new_label = rng.Bernoulli(p1 / (p1 + p0)) ? 1 : 0;
+
+      label[fi] = new_label;
+      n_true += new_label;
+      for (const SourceVote& sv : votes) {
+        int o = sv.vote == Vote::kTrue ? 1 : 0;
+        counts[static_cast<size_t>(sv.source)].n[new_label][o] += 1.0;
+      }
+    }
+    if (sweep >= options_.burn_in) {
+      for (size_t fi = 0; fi < facts; ++fi) truth_sum[fi] += label[fi];
+      ++samples_kept;
+    }
+  }
+
+  CorroborationResult result;
+  result.algorithm = std::string(name());
+  result.fact_probability.resize(facts);
+  CORROB_CHECK(samples_kept > 0);
+  for (size_t fi = 0; fi < facts; ++fi) {
+    result.fact_probability[fi] =
+        truth_sum[fi] / static_cast<double>(samples_kept);
+  }
+  // Report source trust as precision against the decided labels.
+  result.source_trust.assign(sources, 0.0);
+  std::vector<bool> decisions = result.Decisions();
+  for (SourceId s = 0; s < dataset.num_sources(); ++s) {
+    auto votes = dataset.VotesBySource(s);
+    if (votes.empty()) continue;
+    double correct = 0.0;
+    for (const FactVote& fv : votes) {
+      bool voted_true = fv.vote == Vote::kTrue;
+      if (voted_true == decisions[static_cast<size_t>(fv.fact)]) correct += 1.0;
+    }
+    result.source_trust[static_cast<size_t>(s)] =
+        correct / static_cast<double>(votes.size());
+  }
+  result.iterations = options_.iterations;
+  return result;
+}
+
+}  // namespace corrob

@@ -1,0 +1,88 @@
+#ifndef CORROB_CORE_CORROBORATOR_H_
+#define CORROB_CORE_CORROBORATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "data/dataset.h"
+
+namespace corrob {
+
+/// Decision threshold of paper Eq. 2: σ(f) >= 0.5 means true.
+inline constexpr double kDecisionThreshold = 0.5;
+
+/// One time point of an incremental run: the multi-value trust score
+/// σ_i(S) in effect after round i, and how many facts round i
+/// committed (Figure 2 plots these trajectories).
+struct TrajectoryPoint {
+  std::vector<double> trust;
+  int64_t facts_committed = 0;
+};
+
+/// Output of a corroboration run: per-fact truth probabilities σ(f)
+/// and per-source trust scores σ(s) (paper §3).
+struct CorroborationResult {
+  /// Name of the algorithm that produced the result.
+  std::string algorithm;
+  /// σ(f) for every fact, in fact-id order.
+  std::vector<double> fact_probability;
+  /// Final σ(s) for every source, in source-id order. For IncEstimate
+  /// this is the trust at the last time point (trustworthiness over
+  /// the whole dataset, §6.2.3).
+  std::vector<double> source_trust;
+  /// Iterations to convergence (fixpoint methods), Gibbs sweeps
+  /// (BayesEstimate), or rounds/time points (IncEstimate).
+  int iterations = 0;
+  /// Round-by-round trust scores; non-empty only for IncEstimate.
+  /// points[0] holds the initial trust at t0, before any evaluation.
+  std::vector<TrajectoryPoint> trajectory;
+  /// For incremental runs: the 0-based round at which each fact was
+  /// committed (its t(f) of paper Definition 1). Empty for batch
+  /// algorithms, which evaluate every fact with the same final state.
+  std::vector<int32_t> fact_commit_round;
+
+  /// Decision for fact f per Eq. 2.
+  bool Decide(FactId f) const {
+    return fact_probability[static_cast<size_t>(f)] >= kDecisionThreshold;
+  }
+
+  /// All decisions, in fact-id order.
+  std::vector<bool> Decisions() const;
+};
+
+/// Interface of every truth-discovery algorithm in the library.
+/// Implementations are immutable and thread-compatible: one instance
+/// may run on several datasets concurrently.
+class Corroborator {
+ public:
+  virtual ~Corroborator() = default;
+
+  /// Stable algorithm name (e.g. "TwoEstimate", "IncEstHeu").
+  virtual std::string_view name() const = 0;
+
+  /// Corroborates `dataset`. Fails on malformed configuration; always
+  /// succeeds on well-formed input, including empty datasets.
+  virtual Result<CorroborationResult> Run(const Dataset& dataset) const = 0;
+};
+
+/// The corroboration score of paper Eq. 5, generalized to F votes:
+/// the mean over voters of σ(s) for a T vote and 1-σ(s) for an F
+/// vote. Facts with no votes score 0.5 (maximum uncertainty).
+double CorrobScore(std::span<const SourceVote> votes,
+                   const std::vector<double>& trust);
+
+/// Trust of every source computed against fixed fact decisions: the
+/// fraction of the source's votes that agree with the decisions
+/// (sources with no votes get `no_vote_value`). This is both the
+/// trust readout of the baseline methods and the Update step of
+/// IncEstimate restricted to evaluated facts (paper Eq. 8).
+std::vector<double> TrustAgainstDecisions(const Dataset& dataset,
+                                          const std::vector<bool>& decisions,
+                                          double no_vote_value);
+
+}  // namespace corrob
+
+#endif  // CORROB_CORE_CORROBORATOR_H_

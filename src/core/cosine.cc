@@ -1,0 +1,97 @@
+#include "core/cosine.h"
+
+#include <cmath>
+
+#include "common/math_util.h"
+
+namespace corrob {
+
+Result<CorroborationResult> CosineCorroborator::Run(
+    const Dataset& dataset) const {
+  if (options_.damping < 0.0 || options_.damping >= 1.0) {
+    return Status::InvalidArgument("damping must be in [0,1)");
+  }
+  if (options_.trust_power <= 0.0) {
+    return Status::InvalidArgument("trust_power must be positive");
+  }
+  if (options_.max_iterations < 1) {
+    return Status::InvalidArgument("max_iterations must be >= 1");
+  }
+
+  const size_t facts = static_cast<size_t>(dataset.num_facts());
+  const size_t sources = static_cast<size_t>(dataset.num_sources());
+  std::vector<double> trust(sources, options_.initial_trust);
+  std::vector<double> value(facts, 0.0);  // V(f) in [-1, 1].
+
+  auto vote_sign = [](Vote v) { return v == Vote::kTrue ? 1.0 : -1.0; };
+
+  int iteration = 0;
+  for (; iteration < options_.max_iterations; ++iteration) {
+    // Truth update, weighted by T(s)^p (negative trust flips votes).
+    for (FactId f = 0; f < dataset.num_facts(); ++f) {
+      auto votes = dataset.VotesOnFact(f);
+      if (votes.empty()) {
+        value[static_cast<size_t>(f)] = 0.0;
+        continue;
+      }
+      double numerator = 0.0;
+      double denominator = 0.0;
+      for (const SourceVote& sv : votes) {
+        double t = trust[static_cast<size_t>(sv.source)];
+        double w = std::copysign(
+            std::pow(std::fabs(t), options_.trust_power), t);
+        numerator += vote_sign(sv.vote) * w;
+        denominator += std::fabs(w);
+      }
+      value[static_cast<size_t>(f)] =
+          denominator > 0.0 ? Clamp(numerator / denominator, -1.0, 1.0)
+                            : 0.0;
+    }
+
+    // Trust update: damped cosine similarity between the source's
+    // vote vector and the current estimates.
+    double max_change = 0.0;
+    for (SourceId s = 0; s < dataset.num_sources(); ++s) {
+      auto votes = dataset.VotesBySource(s);
+      if (votes.empty()) continue;
+      double dot = 0.0;
+      double value_norm_sq = 0.0;
+      for (const FactVote& fv : votes) {
+        double v = value[static_cast<size_t>(fv.fact)];
+        dot += vote_sign(fv.vote) * v;
+        value_norm_sq += v * v;
+      }
+      double vote_norm = std::sqrt(static_cast<double>(votes.size()));
+      double value_norm = std::sqrt(value_norm_sq);
+      double cosine = (vote_norm > 0.0 && value_norm > 0.0)
+                          ? dot / (vote_norm * value_norm)
+                          : 0.0;
+      double next = options_.damping * trust[static_cast<size_t>(s)] +
+                    (1.0 - options_.damping) * cosine;
+      max_change =
+          std::max(max_change, std::fabs(next - trust[static_cast<size_t>(s)]));
+      trust[static_cast<size_t>(s)] = next;
+    }
+    if (max_change < options_.tolerance) {
+      ++iteration;
+      break;
+    }
+  }
+
+  CorroborationResult result;
+  result.algorithm = std::string(name());
+  result.fact_probability.resize(facts);
+  for (size_t f = 0; f < facts; ++f) {
+    result.fact_probability[f] = (value[f] + 1.0) / 2.0;
+  }
+  // Report trust mapped into [0, 1] for comparability with the other
+  // methods (a perfectly anti-correlated source reads 0).
+  result.source_trust.resize(sources);
+  for (size_t s = 0; s < sources; ++s) {
+    result.source_trust[s] = (Clamp(trust[s], -1.0, 1.0) + 1.0) / 2.0;
+  }
+  result.iterations = iteration;
+  return result;
+}
+
+}  // namespace corrob

@@ -1,0 +1,46 @@
+#ifndef CORROB_CORE_COSINE_H_
+#define CORROB_CORE_COSINE_H_
+
+#include "core/corroborator.h"
+
+namespace corrob {
+
+struct CosineOptions {
+  /// Initial truth estimate weight given to a source's raw vote.
+  double initial_trust = 0.8;
+  /// Damping β: new trust = (1-β)·cosine + β·old trust (Galland et
+  /// al. damp the fixpoint to stabilize oscillation).
+  double damping = 0.2;
+  /// Exponent sharpening the influence of trusted sources in the
+  /// truth update (Galland et al. use T(s)^3).
+  double trust_power = 3.0;
+  int max_iterations = 100;
+  double tolerance = 1e-9;
+};
+
+/// Cosine (Galland, Abiteboul, Marian & Senellart, WSDM'10) — the
+/// third fixpoint family from [8], completing the TwoEstimate /
+/// ThreeEstimate set. Truth values live in [-1, 1]:
+///   V(f)  = Σ_{s∈S(f)} v(s,f)·T(s)^p / Σ_{s∈S(f)} T(s)^p
+///   T(s)  = cosine similarity between s's vote vector (±1) and the
+///           current truth estimates over the facts s voted on,
+///           damped by β.
+/// σ(f) = (V(f)+1)/2 maps back to a probability. Like the other
+/// fixpoints, on affirmative-only data every fact converges to true.
+class CosineCorroborator final : public Corroborator {
+ public:
+  explicit CosineCorroborator(CosineOptions options = {})
+      : options_(options) {}
+
+  std::string_view name() const override { return "Cosine"; }
+  Result<CorroborationResult> Run(const Dataset& dataset) const override;
+
+  const CosineOptions& options() const { return options_; }
+
+ private:
+  CosineOptions options_;
+};
+
+}  // namespace corrob
+
+#endif  // CORROB_CORE_COSINE_H_

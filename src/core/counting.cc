@@ -1,0 +1,27 @@
+#include "core/counting.h"
+
+namespace corrob {
+
+Result<CorroborationResult> CountingCorroborator::Run(
+    const Dataset& dataset) const {
+  if (options_.min_true_votes < 0) {
+    return Status::InvalidArgument("min_true_votes must be >= 0");
+  }
+  CorroborationResult result;
+  result.algorithm = std::string(name());
+  result.fact_probability.resize(static_cast<size_t>(dataset.num_facts()));
+  const int32_t threshold = options_.min_true_votes > 0
+                                ? options_.min_true_votes
+                                : dataset.num_sources() / 2 + 1;
+  for (FactId f = 0; f < dataset.num_facts(); ++f) {
+    int32_t t = dataset.CountVotes(f, Vote::kTrue);
+    result.fact_probability[static_cast<size_t>(f)] =
+        t >= threshold ? 1.0 : 0.0;
+  }
+  result.source_trust =
+      TrustAgainstDecisions(dataset, result.Decisions(), /*no_vote_value=*/0.0);
+  result.iterations = 1;
+  return result;
+}
+
+}  // namespace corrob

@@ -1,0 +1,38 @@
+#include "core/fact_group.h"
+
+#include <string>
+#include <unordered_map>
+
+namespace corrob {
+
+std::vector<FactGroup> BuildFactGroups(const Dataset& dataset) {
+  std::vector<FactGroup> groups;
+  std::unordered_map<std::string, size_t> index;
+  for (FactId f = 0; f < dataset.num_facts(); ++f) {
+    std::string key = dataset.SignatureKey(f);
+    auto [it, inserted] = index.emplace(key, groups.size());
+    if (inserted) {
+      FactGroup group;
+      auto votes = dataset.VotesOnFact(f);
+      group.signature.assign(votes.begin(), votes.end());
+      groups.push_back(std::move(group));
+    }
+    groups[it->second].facts.push_back(f);
+  }
+  return groups;
+}
+
+std::vector<std::vector<int32_t>> BuildSourceGroupIndex(
+    const std::vector<FactGroup>& groups, int32_t num_sources) {
+  std::vector<std::vector<int32_t>> by_source(
+      static_cast<size_t>(num_sources));
+  for (size_t g = 0; g < groups.size(); ++g) {
+    for (const SourceVote& sv : groups[g].signature) {
+      by_source[static_cast<size_t>(sv.source)].push_back(
+          static_cast<int32_t>(g));
+    }
+  }
+  return by_source;
+}
+
+}  // namespace corrob

@@ -1,0 +1,41 @@
+#ifndef CORROB_CORE_FACT_GROUP_H_
+#define CORROB_CORE_FACT_GROUP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace corrob {
+
+/// A fact group (paper §5.1): the set of facts sharing one vote
+/// signature. "Facts with the same votes should have the same
+/// corroboration result", so IncEstimate selects and evaluates whole
+/// groups (or balanced slices of them).
+struct FactGroup {
+  /// The shared (source, vote) signature, sorted by source id.
+  std::vector<SourceVote> signature;
+  /// Member facts in ascending fact-id order.
+  std::vector<FactId> facts;
+  /// Members facts[0..committed) have been evaluated.
+  size_t committed = 0;
+
+  size_t size() const { return facts.size(); }
+  size_t remaining() const { return facts.size() - committed; }
+  bool exhausted() const { return committed == facts.size(); }
+};
+
+/// Partitions the dataset's facts into groups by vote signature.
+/// Groups are ordered by their smallest member fact id, making group
+/// indices deterministic. Facts with no votes form one group with an
+/// empty signature.
+std::vector<FactGroup> BuildFactGroups(const Dataset& dataset);
+
+/// Adjacency from source id to the indices of groups whose signature
+/// contains that source. Used for incremental ΔH computation.
+std::vector<std::vector<int32_t>> BuildSourceGroupIndex(
+    const std::vector<FactGroup>& groups, int32_t num_sources);
+
+}  // namespace corrob
+
+#endif  // CORROB_CORE_FACT_GROUP_H_

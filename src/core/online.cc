@@ -1,0 +1,91 @@
+#include "core/online.h"
+
+#include <cmath>
+#include <unordered_set>
+
+#include "core/corroborator.h"
+
+namespace corrob {
+
+OnlineCorroborator::OnlineCorroborator(OnlineCorroboratorOptions options)
+    : options_(options) {}
+
+SourceId OnlineCorroborator::AddSource(const std::string& name) {
+  auto it = source_index_.find(name);
+  if (it != source_index_.end()) return it->second;
+  SourceId id = static_cast<SourceId>(source_names_.size());
+  source_names_.push_back(name);
+  source_index_.emplace(name, id);
+  correct_.push_back(0.0);
+  total_.push_back(0.0);
+  return id;
+}
+
+Result<OnlineCorroborator::Verdict> OnlineCorroborator::Observe(
+    const std::vector<SourceVote>& votes) {
+  std::unordered_set<SourceId> seen;
+  for (const SourceVote& sv : votes) {
+    if (sv.source < 0 || sv.source >= num_sources()) {
+      return Status::OutOfRange("unregistered source id " +
+                                std::to_string(sv.source));
+    }
+    if (sv.vote == Vote::kNone) {
+      return Status::InvalidArgument("observations may not contain '-'");
+    }
+    if (!seen.insert(sv.source).second) {
+      return Status::InvalidArgument(
+          "duplicate vote from source " +
+          source_names_[static_cast<size_t>(sv.source)]);
+    }
+  }
+
+  Verdict verdict;
+  if (votes.empty()) {
+    ++facts_observed_;
+    return verdict;  // σ = 0.5, decided true; no trust movement.
+  }
+
+  // Eq. 5 under the trust at this time point.
+  double sum = 0.0;
+  for (const SourceVote& sv : votes) {
+    double t = trust(sv.source);
+    sum += sv.vote == Vote::kTrue ? t : 1.0 - t;
+  }
+  verdict.probability = sum / static_cast<double>(votes.size());
+  verdict.decision = verdict.probability >= kDecisionThreshold;
+
+  // Eq. 8 update with the committed (rounded) decision — unless the
+  // verdict is a weak positive, which would override dissent on
+  // coin-flip evidence (negative verdicts always commit).
+  bool weak_positive =
+      verdict.probability >= kDecisionThreshold &&
+      verdict.probability < kDecisionThreshold + options_.tie_margin;
+  if (!weak_positive) {
+    for (const SourceVote& sv : votes) {
+      size_t s = static_cast<size_t>(sv.source);
+      bool vote_correct = (sv.vote == Vote::kTrue) == verdict.decision;
+      total_[s] += 1.0;
+      if (vote_correct) correct_[s] += 1.0;
+    }
+  }
+  ++facts_observed_;
+  return verdict;
+}
+
+double OnlineCorroborator::trust(SourceId s) const {
+  size_t index = static_cast<size_t>(s);
+  if (total_[index] <= 0.0) return options_.initial_trust;
+  const double w = options_.trust_prior_weight;
+  return (correct_[index] + w * options_.initial_trust) /
+         (total_[index] + w);
+}
+
+std::vector<double> OnlineCorroborator::trust_snapshot() const {
+  std::vector<double> snapshot(static_cast<size_t>(num_sources()));
+  for (SourceId s = 0; s < num_sources(); ++s) {
+    snapshot[static_cast<size_t>(s)] = trust(s);
+  }
+  return snapshot;
+}
+
+}  // namespace corrob

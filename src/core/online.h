@@ -1,0 +1,97 @@
+#ifndef CORROB_CORE_ONLINE_H_
+#define CORROB_CORE_ONLINE_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "data/vote.h"
+
+namespace corrob {
+
+struct OnlineCorroboratorOptions {
+  /// Default trust for sources with no evaluated votes yet (σ0).
+  double initial_trust = 0.9;
+  /// Pseudo-observation weight behind the Eq. 8 trust update, as in
+  /// IncEstimateOptions::trust_prior_weight.
+  double trust_prior_weight = 8.0;
+  /// Weak-positive verdicts (0.5 <= σ(f) < 0.5 + tie_margin) are
+  /// returned but do NOT move source trust: a barely-positive
+  /// decision overrides dissent on coin-flip evidence and would
+  /// punish the dissenting sources. Negative verdicts always commit
+  /// (the paper's walkthrough commits r5 at σ = 0.45) — the streaming
+  /// analogue of IncEstHeu's asymmetric deferral band (DESIGN.md
+  /// §3.1). 0 disables deferral entirely (paper-exact Eq. 8).
+  double tie_margin = 0.05;
+};
+
+/// Streaming corroboration: the paper's incrementally calculated
+/// trust (Definition 1) with *arrival order* as the fact-selection
+/// strategy. Facts are evaluated once, at the moment they are
+/// observed, with the multi-value trust in effect at that time point;
+/// the committed decision immediately updates the trust of the
+/// voting sources.
+///
+/// This is the deployment-shaped variant of IncEstimate: a crawler
+/// that discovers listings over time can corroborate each one on
+/// arrival with O(votes) work, instead of re-running a batch
+/// algorithm. Batch IncEstHeu remains more accurate because it
+/// *chooses* the evaluation order; Observe() takes the order as
+/// given.
+///
+/// Not thread-safe; wrap with external synchronization if shared.
+class OnlineCorroborator {
+ public:
+  explicit OnlineCorroborator(OnlineCorroboratorOptions options = {});
+
+  /// Registers a source (idempotent per name) and returns its id.
+  SourceId AddSource(const std::string& name);
+
+  int32_t num_sources() const {
+    return static_cast<int32_t>(source_names_.size());
+  }
+  const std::string& source_name(SourceId s) const {
+    return source_names_[static_cast<size_t>(s)];
+  }
+
+  /// The verdict for one observed fact.
+  struct Verdict {
+    double probability = 0.5;  ///< σ(f) at the observation time point
+    bool decision = true;      ///< Eq. 2 threshold
+  };
+
+  /// Evaluates a fact from its votes under the current trust, commits
+  /// the decision into the trust state, and returns the verdict.
+  /// Votes must reference registered sources; duplicate sources in
+  /// one observation are rejected. An empty vote list yields the
+  /// maximum-uncertainty verdict (σ = 0.5, decided true) and does not
+  /// move any trust.
+  Result<Verdict> Observe(const std::vector<SourceVote>& votes);
+
+  /// Current trust σ(s) of one source.
+  double trust(SourceId s) const;
+
+  /// Current trust of every source, in id order.
+  std::vector<double> trust_snapshot() const;
+
+  /// True once at least one of s's votes has been evaluated.
+  bool SourceEvaluated(SourceId s) const {
+    return total_[static_cast<size_t>(s)] > 0.0;
+  }
+
+  int64_t facts_observed() const { return facts_observed_; }
+
+ private:
+  OnlineCorroboratorOptions options_;
+  std::vector<std::string> source_names_;
+  std::unordered_map<std::string, SourceId> source_index_;
+  std::vector<double> correct_;
+  std::vector<double> total_;
+  int64_t facts_observed_ = 0;
+};
+
+}  // namespace corrob
+
+#endif  // CORROB_CORE_ONLINE_H_

@@ -1,0 +1,160 @@
+#include "core/pasternack.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math_util.h"
+
+namespace corrob {
+
+namespace {
+
+/// Max-normalizes a vector in place; no-op for all-zero input.
+void MaxNormalize(std::vector<double>* values) {
+  double max_value = 0.0;
+  for (double v : *values) max_value = std::max(max_value, v);
+  if (max_value <= 0.0) return;
+  for (double& v : *values) v /= max_value;
+}
+
+}  // namespace
+
+Result<CorroborationResult> PasternackCorroborator::Run(
+    const Dataset& dataset) const {
+  if (options_.growth <= 0.0) {
+    return Status::InvalidArgument("growth must be positive");
+  }
+  if (options_.max_iterations < 1) {
+    return Status::InvalidArgument("max_iterations must be >= 1");
+  }
+
+  const size_t facts = static_cast<size_t>(dataset.num_facts());
+  const size_t sources = static_cast<size_t>(dataset.num_sources());
+
+  // Claims are indexed 2f (f-true) and 2f+1 (f-false).
+  std::vector<double> trust(sources, 1.0);
+  std::vector<double> belief(2 * facts, 0.0);
+
+  auto claim_index = [](const FactVote& fv) {
+    return 2 * static_cast<size_t>(fv.fact) +
+           (fv.vote == Vote::kTrue ? 0 : 1);
+  };
+  auto claim_index_sv = [](FactId f, const SourceVote& sv) {
+    return 2 * static_cast<size_t>(f) + (sv.vote == Vote::kTrue ? 0 : 1);
+  };
+
+  int iteration = 0;
+  for (; iteration < options_.max_iterations; ++iteration) {
+    std::fill(belief.begin(), belief.end(), 0.0);
+
+    if (options_.variant == PasternackVariant::kAvgLog) {
+      // B(c) = Σ_{s asserts c} T(s).
+      for (FactId f = 0; f < dataset.num_facts(); ++f) {
+        for (const SourceVote& sv : dataset.VotesOnFact(f)) {
+          belief[claim_index_sv(f, sv)] +=
+              trust[static_cast<size_t>(sv.source)];
+        }
+      }
+    } else {
+      // Invest: each source spreads its trust over its claims.
+      for (SourceId s = 0; s < dataset.num_sources(); ++s) {
+        auto votes = dataset.VotesBySource(s);
+        if (votes.empty()) continue;
+        double stake = trust[static_cast<size_t>(s)] /
+                       static_cast<double>(votes.size());
+        for (const FactVote& fv : votes) {
+          belief[claim_index(fv)] += stake;
+        }
+      }
+      // Growth G(x) = x^g, per claim (Invest) or on the claim's share
+      // of its mutual-exclusion pool (PooledInvest).
+      if (options_.variant == PasternackVariant::kPooledInvest) {
+        for (size_t f = 0; f < facts; ++f) {
+          double pool = belief[2 * f] + belief[2 * f + 1];
+          if (pool <= 0.0) continue;
+          double grown_true = std::pow(belief[2 * f] / pool, options_.growth);
+          double grown_false =
+              std::pow(belief[2 * f + 1] / pool, options_.growth);
+          double grown_pool = grown_true + grown_false;
+          belief[2 * f] = pool * grown_true / grown_pool;
+          belief[2 * f + 1] = pool * grown_false / grown_pool;
+        }
+      } else {
+        for (double& b : belief) b = std::pow(b, options_.growth);
+      }
+    }
+    MaxNormalize(&belief);
+
+    // Trust update.
+    std::vector<double> next_trust(sources, 0.0);
+    if (options_.variant == PasternackVariant::kAvgLog) {
+      for (SourceId s = 0; s < dataset.num_sources(); ++s) {
+        auto votes = dataset.VotesBySource(s);
+        if (votes.empty()) continue;
+        double sum = 0.0;
+        for (const FactVote& fv : votes) sum += belief[claim_index(fv)];
+        next_trust[static_cast<size_t>(s)] =
+            std::log1p(static_cast<double>(votes.size())) * sum /
+            static_cast<double>(votes.size());
+      }
+    } else {
+      // Credit each claim's belief back in proportion to the share of
+      // the total investment the source contributed.
+      std::vector<double> total_stake(2 * facts, 0.0);
+      for (SourceId s = 0; s < dataset.num_sources(); ++s) {
+        auto votes = dataset.VotesBySource(s);
+        if (votes.empty()) continue;
+        double stake = trust[static_cast<size_t>(s)] /
+                       static_cast<double>(votes.size());
+        for (const FactVote& fv : votes) {
+          total_stake[claim_index(fv)] += stake;
+        }
+      }
+      for (SourceId s = 0; s < dataset.num_sources(); ++s) {
+        auto votes = dataset.VotesBySource(s);
+        if (votes.empty()) continue;
+        double stake = trust[static_cast<size_t>(s)] /
+                       static_cast<double>(votes.size());
+        double sum = 0.0;
+        for (const FactVote& fv : votes) {
+          size_t c = claim_index(fv);
+          if (total_stake[c] > 0.0) {
+            sum += belief[c] * stake / total_stake[c];
+          }
+        }
+        next_trust[static_cast<size_t>(s)] = sum;
+      }
+    }
+    MaxNormalize(&next_trust);
+
+    double max_change = 0.0;
+    for (size_t s = 0; s < sources; ++s) {
+      max_change = std::max(max_change, std::fabs(next_trust[s] - trust[s]));
+    }
+    trust = std::move(next_trust);
+    if (max_change < options_.tolerance) {
+      ++iteration;
+      break;
+    }
+  }
+
+  CorroborationResult result;
+  result.algorithm = std::string(name());
+  result.fact_probability.resize(facts, 0.5);
+  for (size_t f = 0; f < facts; ++f) {
+    double pool = belief[2 * f] + belief[2 * f + 1];
+    if (dataset.VotesOnFact(static_cast<FactId>(f)).empty()) {
+      result.fact_probability[f] = 0.5;
+    } else if (pool <= 0.0) {
+      // Voted on, but every asserting source has zero trust.
+      result.fact_probability[f] = 0.0;
+    } else {
+      result.fact_probability[f] = belief[2 * f] / pool;
+    }
+  }
+  result.source_trust = std::move(trust);
+  result.iterations = iteration;
+  return result;
+}
+
+}  // namespace corrob

@@ -1,0 +1,69 @@
+#ifndef CORROB_CORE_PASTERNACK_H_
+#define CORROB_CORE_PASTERNACK_H_
+
+#include "core/corroborator.h"
+
+namespace corrob {
+
+/// Which Pasternack & Roth (COLING 2010) fixpoint to run.
+enum class PasternackVariant {
+  /// AvgLog: T(s) = log(1+|C_s|) · mean belief of s's claims;
+  /// B(c) = Σ trust of asserting sources.
+  kAvgLog,
+  /// Invest: sources invest trust uniformly over their claims; claim
+  /// beliefs grow super-linearly (G(x) = x^g) and pay back credit in
+  /// proportion to the invested share.
+  kInvest,
+  /// PooledInvest: Invest with the growth applied to the claim's
+  /// share within its mutual-exclusion pool (the true/false pair of
+  /// one fact).
+  kPooledInvest,
+};
+
+struct PasternackOptions {
+  PasternackVariant variant = PasternackVariant::kAvgLog;
+  /// Growth exponent g for the Invest variants (the authors use 1.2
+  /// for Invest and 1.4 for PooledInvest).
+  double growth = 1.2;
+  int max_iterations = 100;
+  double tolerance = 1e-9;
+};
+
+/// The "Knowing What to Believe" family of corroborators (cited as
+/// [16] in the paper's related work), adapted to the T/F vote model:
+/// every fact is a two-claim mutual-exclusion set {f-true, f-false},
+/// a T vote asserts the former, an F vote the latter, and σ(f) is the
+/// true-claim's share of belief. Trust and belief vectors are
+/// max-normalized each iteration to keep the fixpoint bounded.
+///
+/// These extend the paper's comparison set with the remaining classic
+/// truth-discovery baselines; on affirmative-dominated data they
+/// inherit the same "everything true" fixpoint as TwoEstimate, which
+/// bench_extended_baselines demonstrates.
+class PasternackCorroborator final : public Corroborator {
+ public:
+  explicit PasternackCorroborator(PasternackOptions options = {})
+      : options_(options) {}
+
+  std::string_view name() const override {
+    switch (options_.variant) {
+      case PasternackVariant::kAvgLog:
+        return "AvgLog";
+      case PasternackVariant::kInvest:
+        return "Invest";
+      case PasternackVariant::kPooledInvest:
+        return "PooledInvest";
+    }
+    return "Pasternack";
+  }
+  Result<CorroborationResult> Run(const Dataset& dataset) const override;
+
+  const PasternackOptions& options() const { return options_; }
+
+ private:
+  PasternackOptions options_;
+};
+
+}  // namespace corrob
+
+#endif  // CORROB_CORE_PASTERNACK_H_

@@ -1,0 +1,71 @@
+#include "core/registry.h"
+
+#include "core/bayes_estimate.h"
+#include "core/cosine.h"
+#include "core/counting.h"
+#include "core/inc_estimate.h"
+#include "core/pasternack.h"
+#include "core/three_estimate.h"
+#include "core/truth_finder.h"
+#include "core/two_estimate.h"
+#include "core/voting.h"
+
+namespace corrob {
+
+Result<std::unique_ptr<Corroborator>> MakeCorroborator(
+    const std::string& name) {
+  if (name == "Voting") {
+    return std::unique_ptr<Corroborator>(new VotingCorroborator());
+  }
+  if (name == "Counting") {
+    return std::unique_ptr<Corroborator>(new CountingCorroborator());
+  }
+  if (name == "TwoEstimate") {
+    return std::unique_ptr<Corroborator>(new TwoEstimateCorroborator());
+  }
+  if (name == "ThreeEstimate") {
+    return std::unique_ptr<Corroborator>(new ThreeEstimateCorroborator());
+  }
+  if (name == "BayesEstimate") {
+    return std::unique_ptr<Corroborator>(new BayesEstimateCorroborator());
+  }
+  if (name == "Cosine") {
+    return std::unique_ptr<Corroborator>(new CosineCorroborator());
+  }
+  if (name == "TruthFinder") {
+    return std::unique_ptr<Corroborator>(new TruthFinderCorroborator());
+  }
+  if (name == "AvgLog" || name == "Invest" || name == "PooledInvest") {
+    PasternackOptions options;
+    if (name == "Invest") {
+      options.variant = PasternackVariant::kInvest;
+      options.growth = 1.2;
+    } else if (name == "PooledInvest") {
+      options.variant = PasternackVariant::kPooledInvest;
+      options.growth = 1.4;
+    }
+    return std::unique_ptr<Corroborator>(new PasternackCorroborator(options));
+  }
+  if (name == "IncEstHeu") {
+    IncEstimateOptions options;
+    options.strategy = IncSelectStrategy::kHeuristic;
+    return std::unique_ptr<Corroborator>(new IncEstimateCorroborator(options));
+  }
+  if (name == "IncEstPS") {
+    IncEstimateOptions options;
+    options.strategy = IncSelectStrategy::kProbability;
+    return std::unique_ptr<Corroborator>(new IncEstimateCorroborator(options));
+  }
+  return Status::NotFound("unknown corroborator: '" + name + "'");
+}
+
+std::vector<std::string> CorroboratorNames() {
+  return {"Voting",        "Counting",  "BayesEstimate", "TwoEstimate",
+          "ThreeEstimate", "IncEstPS",  "IncEstHeu"};
+}
+
+std::vector<std::string> ExtendedCorroboratorNames() {
+  return {"Cosine", "TruthFinder", "AvgLog", "Invest", "PooledInvest"};
+}
+
+}  // namespace corrob

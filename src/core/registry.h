@@ -1,0 +1,33 @@
+#ifndef CORROB_CORE_REGISTRY_H_
+#define CORROB_CORE_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/corroborator.h"
+
+namespace corrob {
+
+/// Constructs a corroborator by its canonical name with default
+/// options. Known names (case-sensitive):
+///   "Voting", "Counting", "TwoEstimate", "ThreeEstimate",
+///   "BayesEstimate", "IncEstHeu", "IncEstPS",
+/// plus the extended baselines beyond the paper's comparison set:
+///   "Cosine", "TruthFinder", "AvgLog", "Invest", "PooledInvest".
+Result<std::unique_ptr<Corroborator>> MakeCorroborator(
+    const std::string& name);
+
+/// The names of the paper's own methods, in the order its Table 4
+/// lists them.
+std::vector<std::string> CorroboratorNames();
+
+/// Extra classic truth-discovery baselines from the paper's related
+/// work (Galland et al.'s Cosine; Yin et al.'s TruthFinder;
+/// Pasternack & Roth's AvgLog / Invest / PooledInvest).
+std::vector<std::string> ExtendedCorroboratorNames();
+
+}  // namespace corrob
+
+#endif  // CORROB_CORE_REGISTRY_H_

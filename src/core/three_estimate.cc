@@ -1,0 +1,106 @@
+#include "core/three_estimate.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math_util.h"
+
+namespace corrob {
+
+Result<CorroborationResult> ThreeEstimateCorroborator::Run(
+    const Dataset& dataset) const {
+  if (options_.initial_trust < 0.0 || options_.initial_trust > 1.0) {
+    return Status::InvalidArgument("initial_trust must be in [0,1]");
+  }
+  if (options_.initial_difficulty < 0.0 || options_.initial_difficulty > 1.0) {
+    return Status::InvalidArgument("initial_difficulty must be in [0,1]");
+  }
+  if (options_.max_iterations < 1) {
+    return Status::InvalidArgument("max_iterations must be >= 1");
+  }
+
+  const size_t facts = static_cast<size_t>(dataset.num_facts());
+  const size_t sources = static_cast<size_t>(dataset.num_sources());
+  std::vector<double> trust(sources, options_.initial_trust);
+  std::vector<double> difficulty(facts, options_.initial_difficulty);
+  std::vector<double> probability(facts, 0.5);
+  const double delta_smooth = options_.smoothing;
+
+  int iteration = 0;
+  for (; iteration < options_.max_iterations; ++iteration) {
+    // Corrob step with difficulty-discounted correctness.
+    for (FactId f = 0; f < dataset.num_facts(); ++f) {
+      auto votes = dataset.VotesOnFact(f);
+      if (votes.empty()) {
+        probability[static_cast<size_t>(f)] = 0.5;
+        continue;
+      }
+      double eps = difficulty[static_cast<size_t>(f)];
+      double sum = 0.0;
+      for (const SourceVote& sv : votes) {
+        double correct =
+            1.0 - eps * (1.0 - trust[static_cast<size_t>(sv.source)]);
+        sum += sv.vote == Vote::kTrue ? correct : 1.0 - correct;
+      }
+      probability[static_cast<size_t>(f)] =
+          sum / static_cast<double>(votes.size());
+    }
+    NormalizeEstimates(options_.normalization, &probability);
+
+    // Difficulty update: how much disagreement the decisions leave,
+    // attributed to the voters' residual untrustworthiness.
+    std::vector<double> next_difficulty(facts, options_.initial_difficulty);
+    for (FactId f = 0; f < dataset.num_facts(); ++f) {
+      auto votes = dataset.VotesOnFact(f);
+      if (votes.empty()) continue;
+      bool decision = probability[static_cast<size_t>(f)] >= 0.5;
+      double wrong = 0.0;
+      double capacity = 0.0;
+      for (const SourceVote& sv : votes) {
+        bool voted_true = sv.vote == Vote::kTrue;
+        if (voted_true != decision) wrong += 1.0;
+        capacity += 1.0 - trust[static_cast<size_t>(sv.source)];
+      }
+      next_difficulty[static_cast<size_t>(f)] = Clamp(
+          (wrong + delta_smooth / 2.0) / (capacity + delta_smooth), 0.0, 1.0);
+    }
+    difficulty = std::move(next_difficulty);
+
+    // Trust update: wrong votes discounted by fact difficulty.
+    std::vector<double> next_trust(sources, options_.initial_trust);
+    for (SourceId s = 0; s < dataset.num_sources(); ++s) {
+      auto votes = dataset.VotesBySource(s);
+      if (votes.empty()) continue;
+      double wrong = 0.0;
+      double capacity = 0.0;
+      for (const FactVote& fv : votes) {
+        bool decision = probability[static_cast<size_t>(fv.fact)] >= 0.5;
+        bool voted_true = fv.vote == Vote::kTrue;
+        if (voted_true != decision) wrong += 1.0;
+        capacity += difficulty[static_cast<size_t>(fv.fact)];
+      }
+      next_trust[static_cast<size_t>(s)] = Clamp(
+          1.0 - (wrong + delta_smooth / 2.0) / (capacity + delta_smooth), 0.0,
+          1.0);
+    }
+
+    double max_change = 0.0;
+    for (size_t s = 0; s < sources; ++s) {
+      max_change = std::max(max_change, std::fabs(next_trust[s] - trust[s]));
+    }
+    trust = std::move(next_trust);
+    if (max_change < options_.tolerance) {
+      ++iteration;
+      break;
+    }
+  }
+
+  CorroborationResult result;
+  result.algorithm = std::string(name());
+  result.fact_probability = std::move(probability);
+  result.source_trust = std::move(trust);
+  result.iterations = iteration;
+  return result;
+}
+
+}  // namespace corrob

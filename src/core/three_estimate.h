@@ -1,0 +1,55 @@
+#ifndef CORROB_CORE_THREE_ESTIMATE_H_
+#define CORROB_CORE_THREE_ESTIMATE_H_
+
+#include "core/two_estimate.h"
+
+namespace corrob {
+
+struct ThreeEstimateOptions {
+  double initial_trust = 0.9;
+  /// Initial per-fact error factor ε(f) (0 = trivially easy fact).
+  double initial_difficulty = 0.5;
+  Normalization normalization = Normalization::kRound;
+  int max_iterations = 100;
+  double tolerance = 1e-9;
+  /// Additive smoothing applied to the ε/θ moment updates so that
+  /// facts voted on by perfectly trusted sources keep finite
+  /// difficulty estimates.
+  double smoothing = 0.1;
+};
+
+/// ThreeEstimate (Galland et al., WSDM'10): extends TwoEstimate with a
+/// per-fact error factor ε(f) modelling how hard a fact is. A source's
+/// probability of being correct on f is 1 - ε(f)·(1 - σ(s)): trusted
+/// sources are right everywhere, untrusted sources are wrong only on
+/// hard facts.
+///
+/// Updates (a moment-matching variant of Galland §3, documented in
+/// DESIGN.md):
+///   Corrob:  σ(f) = mean over voters of (T ? c(s,f) : 1-c(s,f)),
+///            c(s,f) = 1 - ε(f)(1-σ(s)); then normalize σ(f).
+///   ε(f)  <- (Σ_s wrong(s,f) + δ/2) / (Σ_s (1-σ(s)) + δ)
+///   σ(s)  <- 1 - (Σ_f wrong(s,f) + δ/2) / (Σ_f ε(f) + δ)
+/// with wrong(s,f) the indicator that s's vote disagrees with the
+/// normalized decision, and all values clamped to [0,1].
+///
+/// The paper notes (§2.1 footnote 3) that on affirmative-only data
+/// ThreeEstimate degenerates to TwoEstimate; it participates in the
+/// conflict-rich Hubdub comparison (Table 7).
+class ThreeEstimateCorroborator final : public Corroborator {
+ public:
+  explicit ThreeEstimateCorroborator(ThreeEstimateOptions options = {})
+      : options_(options) {}
+
+  std::string_view name() const override { return "ThreeEstimate"; }
+  Result<CorroborationResult> Run(const Dataset& dataset) const override;
+
+  const ThreeEstimateOptions& options() const { return options_; }
+
+ private:
+  ThreeEstimateOptions options_;
+};
+
+}  // namespace corrob
+
+#endif  // CORROB_CORE_THREE_ESTIMATE_H_

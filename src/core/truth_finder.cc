@@ -1,0 +1,80 @@
+#include "core/truth_finder.h"
+
+#include <cmath>
+
+#include "common/math_util.h"
+
+namespace corrob {
+
+Result<CorroborationResult> TruthFinderCorroborator::Run(
+    const Dataset& dataset) const {
+  if (options_.initial_trust <= 0.0 || options_.initial_trust >= 1.0) {
+    return Status::InvalidArgument("initial_trust must be in (0,1)");
+  }
+  if (options_.dampening <= 0.0) {
+    return Status::InvalidArgument("dampening must be positive");
+  }
+  if (options_.max_iterations < 1) {
+    return Status::InvalidArgument("max_iterations must be >= 1");
+  }
+
+  const size_t facts = static_cast<size_t>(dataset.num_facts());
+  const size_t sources = static_cast<size_t>(dataset.num_sources());
+  std::vector<double> trust(sources, options_.initial_trust);
+  std::vector<double> probability(facts, 0.5);
+
+  int iteration = 0;
+  for (; iteration < options_.max_iterations; ++iteration) {
+    // Claim scores and fact confidence.
+    for (FactId f = 0; f < dataset.num_facts(); ++f) {
+      auto votes = dataset.VotesOnFact(f);
+      if (votes.empty()) {
+        probability[static_cast<size_t>(f)] = 0.5;
+        continue;
+      }
+      double score_true = 0.0;
+      double score_false = 0.0;
+      for (const SourceVote& sv : votes) {
+        double tau = -std::log(
+            Clamp(1.0 - trust[static_cast<size_t>(sv.source)],
+                  options_.epsilon, 1.0));
+        (sv.vote == Vote::kTrue ? score_true : score_false) += tau;
+      }
+      double adjusted_true =
+          score_true - options_.exclusion_weight * score_false;
+      double adjusted_false =
+          score_false - options_.exclusion_weight * score_true;
+      probability[static_cast<size_t>(f)] = Sigmoid(
+          options_.dampening * (adjusted_true - adjusted_false));
+    }
+
+    // Trust update.
+    double max_change = 0.0;
+    for (SourceId s = 0; s < dataset.num_sources(); ++s) {
+      auto votes = dataset.VotesBySource(s);
+      if (votes.empty()) continue;
+      double sum = 0.0;
+      for (const FactVote& fv : votes) {
+        double p = probability[static_cast<size_t>(fv.fact)];
+        sum += fv.vote == Vote::kTrue ? p : 1.0 - p;
+      }
+      double next = sum / static_cast<double>(votes.size());
+      max_change =
+          std::max(max_change, std::fabs(next - trust[static_cast<size_t>(s)]));
+      trust[static_cast<size_t>(s)] = next;
+    }
+    if (max_change < options_.tolerance) {
+      ++iteration;
+      break;
+    }
+  }
+
+  CorroborationResult result;
+  result.algorithm = std::string(name());
+  result.fact_probability = std::move(probability);
+  result.source_trust = std::move(trust);
+  result.iterations = iteration;
+  return result;
+}
+
+}  // namespace corrob

@@ -1,0 +1,52 @@
+#ifndef CORROB_CORE_TRUTH_FINDER_H_
+#define CORROB_CORE_TRUTH_FINDER_H_
+
+#include "core/corroborator.h"
+
+namespace corrob {
+
+struct TruthFinderOptions {
+  /// Initial source trustworthiness A(s).
+  double initial_trust = 0.9;
+  /// Dampening factor γ applied to the evidence score before the
+  /// logistic squash (Yin et al. use 0.3).
+  double dampening = 0.3;
+  /// Weight ρ of the mutual-exclusion adjustment between the "true"
+  /// and "false" claims about one fact.
+  double exclusion_weight = 0.5;
+  /// Guard keeping ln(1 - A(s)) finite for perfect sources.
+  double epsilon = 1e-6;
+  int max_iterations = 100;
+  /// L∞ convergence tolerance on source trust.
+  double tolerance = 1e-6;
+};
+
+/// TruthFinder (Yin, Han & Yu, TKDE 2008) adapted to the T/F vote
+/// model — an extended baseline beyond the paper's comparison set
+/// (cited as [19, 20] in its related work).
+///
+/// Each fact induces two mutually exclusive claims, "f is true"
+/// (asserted by T votes) and "f is false" (asserted by F votes).
+/// Per iteration:
+///   score(claim)  = Σ_{s asserts claim} -ln(1 - A(s) + ε)
+///   adjusted      = score(claim) - ρ·score(other claim)
+///   σ(f)          = logistic(γ · (adjusted_true - adjusted_false))
+///   A(s)          = mean over voted facts of (T ? σ(f) : 1 - σ(f))
+/// Facts with no votes keep σ = 0.5.
+class TruthFinderCorroborator final : public Corroborator {
+ public:
+  explicit TruthFinderCorroborator(TruthFinderOptions options = {})
+      : options_(options) {}
+
+  std::string_view name() const override { return "TruthFinder"; }
+  Result<CorroborationResult> Run(const Dataset& dataset) const override;
+
+  const TruthFinderOptions& options() const { return options_; }
+
+ private:
+  TruthFinderOptions options_;
+};
+
+}  // namespace corrob
+
+#endif  // CORROB_CORE_TRUTH_FINDER_H_

@@ -1,0 +1,84 @@
+#include "core/two_estimate.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math_util.h"
+
+namespace corrob {
+
+void NormalizeEstimates(Normalization scheme, std::vector<double>* values) {
+  switch (scheme) {
+    case Normalization::kNone:
+      return;
+    case Normalization::kRound:
+      for (double& v : *values) v = v >= 0.5 ? 1.0 : 0.0;
+      return;
+    case Normalization::kLinear: {
+      if (values->empty()) return;
+      auto [lo_it, hi_it] = std::minmax_element(values->begin(), values->end());
+      double lo = *lo_it, hi = *hi_it;
+      if (hi - lo < 1e-12) return;  // Degenerate span: leave unchanged.
+      for (double& v : *values) v = (v - lo) / (hi - lo);
+      return;
+    }
+  }
+}
+
+Result<CorroborationResult> TwoEstimateCorroborator::Run(
+    const Dataset& dataset) const {
+  if (options_.initial_trust < 0.0 || options_.initial_trust > 1.0) {
+    return Status::InvalidArgument("initial_trust must be in [0,1]");
+  }
+  if (options_.max_iterations < 1) {
+    return Status::InvalidArgument("max_iterations must be >= 1");
+  }
+
+  const size_t facts = static_cast<size_t>(dataset.num_facts());
+  const size_t sources = static_cast<size_t>(dataset.num_sources());
+  std::vector<double> trust(sources, options_.initial_trust);
+  std::vector<double> probability(facts, 0.5);
+
+  int iteration = 0;
+  for (; iteration < options_.max_iterations; ++iteration) {
+    // Corrob step (paper Eq. 6).
+    for (FactId f = 0; f < dataset.num_facts(); ++f) {
+      probability[static_cast<size_t>(f)] =
+          CorrobScore(dataset.VotesOnFact(f), trust);
+    }
+    NormalizeEstimates(options_.normalization, &probability);
+
+    // Update step (paper Eq. 7).
+    std::vector<double> next_trust(sources, options_.initial_trust);
+    for (SourceId s = 0; s < dataset.num_sources(); ++s) {
+      auto votes = dataset.VotesBySource(s);
+      if (votes.empty()) continue;
+      double sum = 0.0;
+      for (const FactVote& fv : votes) {
+        double p = probability[static_cast<size_t>(fv.fact)];
+        sum += fv.vote == Vote::kTrue ? p : 1.0 - p;
+      }
+      next_trust[static_cast<size_t>(s)] =
+          sum / static_cast<double>(votes.size());
+    }
+
+    double delta = 0.0;
+    for (size_t s = 0; s < sources; ++s) {
+      delta = std::max(delta, std::fabs(next_trust[s] - trust[s]));
+    }
+    trust = std::move(next_trust);
+    if (delta < options_.tolerance) {
+      ++iteration;
+      break;
+    }
+  }
+
+  CorroborationResult result;
+  result.algorithm = std::string(name());
+  result.fact_probability = std::move(probability);
+  result.source_trust = std::move(trust);
+  result.iterations = iteration;
+  return result;
+}
+
+}  // namespace corrob

@@ -1,0 +1,21 @@
+#include "core/voting.h"
+
+namespace corrob {
+
+Result<CorroborationResult> VotingCorroborator::Run(
+    const Dataset& dataset) const {
+  CorroborationResult result;
+  result.algorithm = std::string(name());
+  result.fact_probability.resize(static_cast<size_t>(dataset.num_facts()));
+  for (FactId f = 0; f < dataset.num_facts(); ++f) {
+    int32_t t = dataset.CountVotes(f, Vote::kTrue);
+    int32_t n = dataset.CountVotes(f, Vote::kFalse);
+    result.fact_probability[static_cast<size_t>(f)] = t > n ? 1.0 : 0.0;
+  }
+  result.source_trust =
+      TrustAgainstDecisions(dataset, result.Decisions(), /*no_vote_value=*/0.0);
+  result.iterations = 1;
+  return result;
+}
+
+}  // namespace corrob

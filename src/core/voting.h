@@ -1,0 +1,19 @@
+#ifndef CORROB_CORE_VOTING_H_
+#define CORROB_CORE_VOTING_H_
+
+#include "core/corroborator.h"
+
+namespace corrob {
+
+/// The Voting baseline (paper §6.1.1): a fact is true iff strictly
+/// more sources vote T than F. Facts with no votes are false. Source
+/// trust is read out against the voted decisions.
+class VotingCorroborator final : public Corroborator {
+ public:
+  std::string_view name() const override { return "Voting"; }
+  Result<CorroborationResult> Run(const Dataset& dataset) const override;
+};
+
+}  // namespace corrob
+
+#endif  // CORROB_CORE_VOTING_H_

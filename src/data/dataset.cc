@@ -1,0 +1,175 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace corrob {
+
+Result<SourceId> Dataset::FindSource(const std::string& name) const {
+  auto it = source_index_.find(name);
+  if (it == source_index_.end()) {
+    return Status::NotFound("no source named '" + name + "'");
+  }
+  return it->second;
+}
+
+Result<FactId> Dataset::FindFact(const std::string& name) const {
+  auto it = fact_index_.find(name);
+  if (it == fact_index_.end()) {
+    return Status::NotFound("no fact named '" + name + "'");
+  }
+  return it->second;
+}
+
+Vote Dataset::GetVote(SourceId s, FactId f) const {
+  auto votes = VotesOnFact(f);
+  auto it = std::lower_bound(
+      votes.begin(), votes.end(), s,
+      [](const SourceVote& sv, SourceId id) { return sv.source < id; });
+  if (it != votes.end() && it->source == s) return it->vote;
+  return Vote::kNone;
+}
+
+int32_t Dataset::CountVotes(FactId f, Vote vote) const {
+  int32_t count = 0;
+  for (const SourceVote& sv : VotesOnFact(f)) {
+    if (sv.vote == vote) ++count;
+  }
+  return count;
+}
+
+bool Dataset::IsAffirmativeOnly(FactId f) const {
+  auto votes = VotesOnFact(f);
+  if (votes.empty()) return false;
+  for (const SourceVote& sv : votes) {
+    if (sv.vote != Vote::kTrue) return false;
+  }
+  return true;
+}
+
+std::string Dataset::SignatureKey(FactId f) const {
+  std::string key;
+  auto votes = VotesOnFact(f);
+  key.reserve(votes.size() * 4);
+  for (const SourceVote& sv : votes) {
+    if (!key.empty()) key += '|';
+    key += std::to_string(sv.source);
+    key += VoteToChar(sv.vote);
+  }
+  return key;
+}
+
+SourceId DatasetBuilder::AddSource(const std::string& name) {
+  auto it = source_index_.find(name);
+  if (it != source_index_.end()) return it->second;
+  SourceId id = static_cast<SourceId>(source_names_.size());
+  source_names_.push_back(name);
+  source_index_.emplace(name, id);
+  return id;
+}
+
+FactId DatasetBuilder::AddFact(const std::string& name) {
+  auto it = fact_index_.find(name);
+  if (it != fact_index_.end()) return it->second;
+  FactId id = static_cast<FactId>(fact_names_.size());
+  fact_names_.push_back(name);
+  fact_index_.emplace(name, id);
+  votes_per_fact_.emplace_back();
+  return id;
+}
+
+Status DatasetBuilder::SetVote(SourceId s, FactId f, Vote vote) {
+  if (s < 0 || s >= num_sources()) {
+    return Status::OutOfRange("source id " + std::to_string(s) +
+                              " out of range [0, " +
+                              std::to_string(num_sources()) + ")");
+  }
+  if (f < 0 || f >= num_facts()) {
+    return Status::OutOfRange("fact id " + std::to_string(f) +
+                              " out of range [0, " +
+                              std::to_string(num_facts()) + ")");
+  }
+  auto& row = votes_per_fact_[f];
+  auto it = std::find_if(row.begin(), row.end(),
+                         [s](const SourceVote& sv) { return sv.source == s; });
+  if (vote == Vote::kNone) {
+    if (it != row.end()) row.erase(it);
+    return Status::OK();
+  }
+  if (it != row.end()) {
+    it->vote = vote;  // Last writer wins.
+  } else {
+    row.push_back(SourceVote{s, vote});
+  }
+  return Status::OK();
+}
+
+Vote DatasetBuilder::GetVote(SourceId s, FactId f) const {
+  CORROB_CHECK(s >= 0 && s < num_sources()) << "source id out of range";
+  CORROB_CHECK(f >= 0 && f < num_facts()) << "fact id out of range";
+  for (const SourceVote& sv : votes_per_fact_[static_cast<size_t>(f)]) {
+    if (sv.source == s) return sv.vote;
+  }
+  return Vote::kNone;
+}
+
+void DatasetBuilder::SetVoteByName(const std::string& source,
+                                   const std::string& fact, Vote vote) {
+  SourceId s = AddSource(source);
+  FactId f = AddFact(fact);
+  CORROB_CHECK_OK(SetVote(s, f, vote));
+}
+
+Dataset DatasetBuilder::Build() {
+  Dataset out;
+  out.source_names_ = std::move(source_names_);
+  out.fact_names_ = std::move(fact_names_);
+  out.source_index_ = std::move(source_index_);
+  out.fact_index_ = std::move(fact_index_);
+
+  const int32_t facts = out.num_facts();
+  const int32_t sources = out.num_sources();
+
+  out.fact_offsets_.assign(static_cast<size_t>(facts) + 1, 0);
+  size_t total = 0;
+  for (int32_t f = 0; f < facts; ++f) {
+    auto& row = votes_per_fact_[f];
+    std::sort(row.begin(), row.end(),
+              [](const SourceVote& a, const SourceVote& b) {
+                return a.source < b.source;
+              });
+    out.fact_offsets_[f] = total;
+    total += row.size();
+  }
+  out.fact_offsets_[facts] = total;
+  out.num_votes_ = static_cast<int64_t>(total);
+
+  out.fact_votes_.reserve(total);
+  std::vector<size_t> per_source_count(static_cast<size_t>(sources), 0);
+  for (int32_t f = 0; f < facts; ++f) {
+    for (const SourceVote& sv : votes_per_fact_[f]) {
+      out.fact_votes_.push_back(sv);
+      ++per_source_count[static_cast<size_t>(sv.source)];
+    }
+  }
+
+  out.source_offsets_.assign(static_cast<size_t>(sources) + 1, 0);
+  for (int32_t s = 0; s < sources; ++s) {
+    out.source_offsets_[s + 1] = out.source_offsets_[s] + per_source_count[s];
+  }
+  out.source_votes_.resize(total);
+  std::vector<size_t> cursor(out.source_offsets_.begin(),
+                             out.source_offsets_.end() - 1);
+  for (int32_t f = 0; f < facts; ++f) {
+    for (const SourceVote& sv : votes_per_fact_[f]) {
+      out.source_votes_[cursor[static_cast<size_t>(sv.source)]++] =
+          FactVote{f, sv.vote};
+    }
+  }
+
+  votes_per_fact_.clear();
+  return out;
+}
+
+}  // namespace corrob

@@ -1,0 +1,126 @@
+#ifndef CORROB_DATA_DATASET_H_
+#define CORROB_DATA_DATASET_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "data/vote.h"
+
+namespace corrob {
+
+/// Immutable sparse source × fact vote matrix — the input to every
+/// corroboration algorithm. Built via DatasetBuilder; provides both
+/// the per-fact view (who voted on f) and the per-source view (what
+/// did s vote on), each sorted by id.
+class Dataset {
+ public:
+  Dataset() = default;
+
+  Dataset(const Dataset&) = default;
+  Dataset& operator=(const Dataset&) = default;
+  Dataset(Dataset&&) noexcept = default;
+  Dataset& operator=(Dataset&&) noexcept = default;
+
+  int32_t num_sources() const { return static_cast<int32_t>(source_names_.size()); }
+  int32_t num_facts() const { return static_cast<int32_t>(fact_names_.size()); }
+  /// Total number of materialized (non '-') votes.
+  int64_t num_votes() const { return num_votes_; }
+
+  const std::string& source_name(SourceId s) const { return source_names_[s]; }
+  const std::string& fact_name(FactId f) const { return fact_names_[f]; }
+
+  /// Id lookup by name; NotFound if absent.
+  Result<SourceId> FindSource(const std::string& name) const;
+  Result<FactId> FindFact(const std::string& name) const;
+
+  /// Votes cast on fact `f`, sorted by source id.
+  std::span<const SourceVote> VotesOnFact(FactId f) const {
+    return {fact_votes_.data() + fact_offsets_[f],
+            fact_offsets_[f + 1] - fact_offsets_[f]};
+  }
+
+  /// Votes cast by source `s`, sorted by fact id.
+  std::span<const FactVote> VotesBySource(SourceId s) const {
+    return {source_votes_.data() + source_offsets_[s],
+            source_offsets_[s + 1] - source_offsets_[s]};
+  }
+
+  /// The vote of `s` on `f`, or kNone when `s` did not vote on `f`.
+  Vote GetVote(SourceId s, FactId f) const;
+
+  /// Number of T / F votes on fact `f`.
+  int32_t CountVotes(FactId f, Vote vote) const;
+
+  /// True if every vote on `f` is affirmative (f ∈ F*, paper §3.3).
+  /// Facts with no votes at all are not affirmative-only.
+  bool IsAffirmativeOnly(FactId f) const;
+
+  /// Canonical signature of fact `f`: its (source, vote) list rendered
+  /// as e.g. "0T|2F|4T". Facts with equal signatures form one fact
+  /// group (paper §5.1).
+  std::string SignatureKey(FactId f) const;
+
+ private:
+  friend class DatasetBuilder;
+
+  std::vector<std::string> source_names_;
+  std::vector<std::string> fact_names_;
+  std::unordered_map<std::string, SourceId> source_index_;
+  std::unordered_map<std::string, FactId> fact_index_;
+
+  // CSR layouts for both orientations.
+  std::vector<size_t> fact_offsets_;     // size num_facts()+1
+  std::vector<SourceVote> fact_votes_;   // sorted by (fact, source)
+  std::vector<size_t> source_offsets_;   // size num_sources()+1
+  std::vector<FactVote> source_votes_;   // sorted by (source, fact)
+  int64_t num_votes_ = 0;
+};
+
+/// Accumulates sources, facts and votes, then freezes them into a
+/// Dataset. Duplicate (source, fact) votes overwrite the earlier vote
+/// (last writer wins), mirroring how a re-crawl updates a listing.
+class DatasetBuilder {
+ public:
+  DatasetBuilder() = default;
+
+  /// Registers a source; returns the existing id if the name is known.
+  SourceId AddSource(const std::string& name);
+
+  /// Registers a fact; returns the existing id if the name is known.
+  FactId AddFact(const std::string& name);
+
+  /// Records a vote. kNone erases any previous vote for the pair.
+  /// Fails on out-of-range ids.
+  Status SetVote(SourceId s, FactId f, Vote vote);
+
+  /// Convenience: registers names as needed, then records the vote.
+  void SetVoteByName(const std::string& source, const std::string& fact,
+                     Vote vote);
+
+  /// The vote currently recorded for (s, f); kNone when unset.
+  /// Aborts on out-of-range ids.
+  Vote GetVote(SourceId s, FactId f) const;
+
+  int32_t num_sources() const { return static_cast<int32_t>(source_names_.size()); }
+  int32_t num_facts() const { return static_cast<int32_t>(fact_names_.size()); }
+
+  /// Freezes into an immutable Dataset. The builder is left empty.
+  Dataset Build();
+
+ private:
+  std::vector<std::string> source_names_;
+  std::vector<std::string> fact_names_;
+  std::unordered_map<std::string, SourceId> source_index_;
+  std::unordered_map<std::string, FactId> fact_index_;
+  // Per fact: source -> vote map kept small and flat.
+  std::vector<std::vector<SourceVote>> votes_per_fact_;
+};
+
+}  // namespace corrob
+
+#endif  // CORROB_DATA_DATASET_H_

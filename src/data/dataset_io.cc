@@ -1,0 +1,116 @@
+#include "data/dataset_io.h"
+
+#include "common/csv.h"
+#include "common/string_util.h"
+
+namespace corrob {
+
+namespace {
+
+constexpr char kTruthColumn[] = "__truth__";
+
+}  // namespace
+
+Result<LabeledDataset> ParseDatasetCsv(const std::string& text) {
+  CORROB_ASSIGN_OR_RETURN(CsvDocument doc, ParseCsv(text));
+  if (doc.rows.empty()) {
+    return Status::ParseError("dataset CSV has no header row");
+  }
+  const auto& header = doc.rows[0];
+  if (header.empty() || header[0] != "fact") {
+    return Status::ParseError("dataset CSV must start with a 'fact' column");
+  }
+  bool has_truth = !header.empty() && header.back() == kTruthColumn;
+  size_t num_sources = header.size() - 1 - (has_truth ? 1 : 0);
+  if (num_sources == 0) {
+    return Status::ParseError("dataset CSV has no source columns");
+  }
+
+  DatasetBuilder builder;
+  for (size_t c = 1; c <= num_sources; ++c) {
+    builder.AddSource(header[c]);
+  }
+
+  std::vector<bool> truth_labels;
+  bool truth_complete = has_truth;
+  for (size_t r = 1; r < doc.rows.size(); ++r) {
+    const auto& row = doc.rows[r];
+    if (row.size() == 1 && row[0].empty()) continue;  // blank line
+    if (row.size() != header.size()) {
+      return Status::ParseError("row " + std::to_string(r) + " has " +
+                                std::to_string(row.size()) + " cells; header has " +
+                                std::to_string(header.size()));
+    }
+    FactId f = builder.AddFact(row[0]);
+    for (size_t c = 1; c <= num_sources; ++c) {
+      std::string cell(Trim(row[c]));
+      if (cell.empty() || cell == "-") continue;
+      if (cell.size() != 1) {
+        return Status::ParseError("bad vote cell '" + cell + "' at row " +
+                                  std::to_string(r));
+      }
+      CORROB_ASSIGN_OR_RETURN(Vote vote, VoteFromChar(cell[0]));
+      if (vote == Vote::kNone) continue;
+      CORROB_RETURN_NOT_OK(builder.SetVote(static_cast<SourceId>(c - 1), f, vote));
+    }
+    if (has_truth) {
+      std::string cell = ToLower(Trim(row.back()));
+      if (cell == "true" || cell == "1") {
+        truth_labels.push_back(true);
+      } else if (cell == "false" || cell == "0") {
+        truth_labels.push_back(false);
+      } else if (cell == "?") {
+        truth_complete = false;
+        truth_labels.push_back(false);  // placeholder, dropped below
+      } else {
+        return Status::ParseError("bad truth cell '" + cell + "' at row " +
+                                  std::to_string(r));
+      }
+    }
+  }
+
+  LabeledDataset out;
+  out.dataset = builder.Build();
+  if (has_truth && truth_complete) {
+    out.truth = GroundTruth(std::move(truth_labels));
+  }
+  return out;
+}
+
+Result<LabeledDataset> LoadDatasetCsv(const std::string& path) {
+  CORROB_ASSIGN_OR_RETURN(std::string text, ReadFileToString(path));
+  return ParseDatasetCsv(text);
+}
+
+std::string DatasetToCsv(const Dataset& dataset, const GroundTruth* truth) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> header;
+  header.push_back("fact");
+  for (SourceId s = 0; s < dataset.num_sources(); ++s) {
+    header.push_back(dataset.source_name(s));
+  }
+  if (truth != nullptr) header.push_back(kTruthColumn);
+  rows.push_back(std::move(header));
+
+  for (FactId f = 0; f < dataset.num_facts(); ++f) {
+    std::vector<std::string> row;
+    row.push_back(dataset.fact_name(f));
+    std::vector<char> cells(static_cast<size_t>(dataset.num_sources()), '-');
+    for (const SourceVote& sv : dataset.VotesOnFact(f)) {
+      cells[static_cast<size_t>(sv.source)] = VoteToChar(sv.vote);
+    }
+    for (char c : cells) row.emplace_back(1, c);
+    if (truth != nullptr) {
+      row.push_back(truth->IsTrue(f) ? "true" : "false");
+    }
+    rows.push_back(std::move(row));
+  }
+  return WriteCsv(rows);
+}
+
+Status SaveDatasetCsv(const std::string& path, const Dataset& dataset,
+                      const GroundTruth* truth) {
+  return WriteStringToFile(path, DatasetToCsv(dataset, truth));
+}
+
+}  // namespace corrob

@@ -1,0 +1,41 @@
+#ifndef CORROB_DATA_DATASET_IO_H_
+#define CORROB_DATA_DATASET_IO_H_
+
+#include <optional>
+#include <string>
+
+#include "common/result.h"
+#include "data/dataset.h"
+#include "data/truth.h"
+
+namespace corrob {
+
+/// A dataset bundled with optional ground truth, as stored on disk.
+struct LabeledDataset {
+  Dataset dataset;
+  /// Present when the CSV has a __truth__ column with no '?' entries.
+  std::optional<GroundTruth> truth;
+};
+
+/// CSV layout:
+///   fact,<source1>,...,<sourceN>[,__truth__]
+///   r1,T,-,F,...,true
+/// Vote cells are T/F/-; truth cells are true/false/? (a '?' anywhere
+/// drops the truth column from the loaded result).
+Result<LabeledDataset> LoadDatasetCsv(const std::string& path);
+
+/// Parses the same layout from an in-memory string.
+Result<LabeledDataset> ParseDatasetCsv(const std::string& text);
+
+/// Serializes `dataset` (and truth, when provided) into the layout
+/// accepted by LoadDatasetCsv.
+std::string DatasetToCsv(const Dataset& dataset,
+                         const GroundTruth* truth = nullptr);
+
+/// Writes DatasetToCsv output to `path`.
+Status SaveDatasetCsv(const std::string& path, const Dataset& dataset,
+                      const GroundTruth* truth = nullptr);
+
+}  // namespace corrob
+
+#endif  // CORROB_DATA_DATASET_IO_H_

@@ -1,0 +1,44 @@
+#include "data/dataset_merge.h"
+
+namespace corrob {
+
+Result<Dataset> MergeDatasets(const std::vector<const Dataset*>& datasets,
+                              MergeConflictPolicy policy) {
+  DatasetBuilder builder;
+  for (const Dataset* dataset : datasets) {
+    if (dataset == nullptr) {
+      return Status::InvalidArgument("null dataset in merge input");
+    }
+    for (SourceId s = 0; s < dataset->num_sources(); ++s) {
+      builder.AddSource(dataset->source_name(s));
+    }
+    for (FactId f = 0; f < dataset->num_facts(); ++f) {
+      FactId merged_fact = builder.AddFact(dataset->fact_name(f));
+      for (const SourceVote& sv : dataset->VotesOnFact(f)) {
+        SourceId merged_source =
+            builder.AddSource(dataset->source_name(sv.source));
+        Vote existing = builder.GetVote(merged_source, merged_fact);
+        Vote incoming = sv.vote;
+        if (existing != Vote::kNone && existing != incoming) {
+          switch (policy) {
+            case MergeConflictPolicy::kLastWins:
+              break;  // Overwrite below.
+            case MergeConflictPolicy::kFalsePrevails:
+              incoming = Vote::kFalse;
+              break;
+            case MergeConflictPolicy::kError:
+              return Status::AlreadyExists(
+                  "conflicting votes for source '" +
+                  dataset->source_name(sv.source) + "' on fact '" +
+                  dataset->fact_name(f) + "'");
+          }
+        }
+        CORROB_RETURN_NOT_OK(
+            builder.SetVote(merged_source, merged_fact, incoming));
+      }
+    }
+  }
+  return builder.Build();
+}
+
+}  // namespace corrob

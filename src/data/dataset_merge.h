@@ -1,0 +1,33 @@
+#ifndef CORROB_DATA_DATASET_MERGE_H_
+#define CORROB_DATA_DATASET_MERGE_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "data/dataset.h"
+
+namespace corrob {
+
+/// How conflicting votes for the same (source, fact) pair are
+/// resolved when merging datasets.
+enum class MergeConflictPolicy {
+  /// The later dataset's vote wins (a re-crawl updates a listing).
+  kLastWins,
+  /// An F vote wins over a T vote (an explicit CLOSED marker beats a
+  /// stale affirmative copy, as in the dedup pipeline).
+  kFalsePrevails,
+  /// Conflicting votes fail the merge.
+  kError,
+};
+
+/// Merges datasets by source/fact *name*: sources and facts with
+/// equal names are identified, ids are reassigned densely in
+/// first-appearance order across the inputs. Typical use: combining
+/// incremental crawl snapshots before a batch corroboration run.
+Result<Dataset> MergeDatasets(
+    const std::vector<const Dataset*>& datasets,
+    MergeConflictPolicy policy = MergeConflictPolicy::kLastWins);
+
+}  // namespace corrob
+
+#endif  // CORROB_DATA_DATASET_MERGE_H_

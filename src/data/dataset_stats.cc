@@ -1,0 +1,101 @@
+#include "data/dataset_stats.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace corrob {
+
+SourceStats ComputeSourceStats(const Dataset& dataset) {
+  const int32_t sources = dataset.num_sources();
+  const int32_t facts = dataset.num_facts();
+  SourceStats stats;
+  stats.coverage.assign(static_cast<size_t>(sources), 0.0);
+  stats.overlap.assign(static_cast<size_t>(sources),
+                       std::vector<double>(static_cast<size_t>(sources), 0.0));
+
+  for (int32_t s = 0; s < sources; ++s) {
+    double votes = static_cast<double>(dataset.VotesBySource(s).size());
+    stats.coverage[s] = facts > 0 ? votes / facts : 0.0;
+  }
+
+  for (int32_t a = 0; a < sources; ++a) {
+    auto va = dataset.VotesBySource(a);
+    for (int32_t b = a; b < sources; ++b) {
+      auto vb = dataset.VotesBySource(b);
+      // Both spans are sorted by fact id: merge to count intersection.
+      size_t i = 0, j = 0, both = 0;
+      while (i < va.size() && j < vb.size()) {
+        if (va[i].fact < vb[j].fact) {
+          ++i;
+        } else if (vb[j].fact < va[i].fact) {
+          ++j;
+        } else {
+          ++both;
+          ++i;
+          ++j;
+        }
+      }
+      size_t either = va.size() + vb.size() - both;
+      double jaccard =
+          either == 0 ? 0.0 : static_cast<double>(both) / either;
+      if (a == b) jaccard = va.empty() ? 0.0 : 1.0;
+      stats.overlap[a][b] = jaccard;
+      stats.overlap[b][a] = jaccard;
+    }
+  }
+  return stats;
+}
+
+std::vector<double> SourceAccuracyOnGolden(const Dataset& dataset,
+                                           const GoldenSet& golden,
+                                           double no_vote_value) {
+  const int32_t sources = dataset.num_sources();
+  std::vector<int64_t> correct(static_cast<size_t>(sources), 0);
+  std::vector<int64_t> total(static_cast<size_t>(sources), 0);
+  for (size_t i = 0; i < golden.size(); ++i) {
+    FactId f = golden.fact(i);
+    bool truth = golden.label(i);
+    for (const SourceVote& sv : dataset.VotesOnFact(f)) {
+      bool vote_true = sv.vote == Vote::kTrue;
+      ++total[static_cast<size_t>(sv.source)];
+      if (vote_true == truth) ++correct[static_cast<size_t>(sv.source)];
+    }
+  }
+  std::vector<double> accuracy(static_cast<size_t>(sources), no_vote_value);
+  for (int32_t s = 0; s < sources; ++s) {
+    if (total[s] > 0) {
+      accuracy[s] = static_cast<double>(correct[s]) / total[s];
+    }
+  }
+  return accuracy;
+}
+
+std::vector<int64_t> CountFalseVotesBySource(const Dataset& dataset) {
+  std::vector<int64_t> counts(static_cast<size_t>(dataset.num_sources()), 0);
+  for (SourceId s = 0; s < dataset.num_sources(); ++s) {
+    for (const FactVote& fv : dataset.VotesBySource(s)) {
+      if (fv.vote == Vote::kFalse) ++counts[static_cast<size_t>(s)];
+    }
+  }
+  return counts;
+}
+
+int64_t CountFactsWithFalseVotes(const Dataset& dataset) {
+  int64_t count = 0;
+  for (FactId f = 0; f < dataset.num_facts(); ++f) {
+    if (dataset.CountVotes(f, Vote::kFalse) > 0) ++count;
+  }
+  return count;
+}
+
+double AffirmativeOnlyFraction(const Dataset& dataset) {
+  if (dataset.num_facts() == 0) return 0.0;
+  int64_t count = 0;
+  for (FactId f = 0; f < dataset.num_facts(); ++f) {
+    if (dataset.IsAffirmativeOnly(f)) ++count;
+  }
+  return static_cast<double>(count) / dataset.num_facts();
+}
+
+}  // namespace corrob

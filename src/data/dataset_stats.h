@@ -1,0 +1,46 @@
+#ifndef CORROB_DATA_DATASET_STATS_H_
+#define CORROB_DATA_DATASET_STATS_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/truth.h"
+
+namespace corrob {
+
+/// Descriptive statistics of a dataset's sources — the quantities the
+/// paper reports in Table 3.
+struct SourceStats {
+  /// coverage[s]: fraction of all facts source s casts any vote on.
+  std::vector<double> coverage;
+  /// overlap[s1][s2]: Jaccard overlap |V(s1) ∩ V(s2)| / |V(s1) ∪ V(s2)|
+  /// of the fact sets the two sources vote on (1.0 on the diagonal,
+  /// 0.0 when both sources cast no votes).
+  std::vector<std::vector<double>> overlap;
+};
+
+/// Computes coverage and pairwise overlap.
+SourceStats ComputeSourceStats(const Dataset& dataset);
+
+/// Accuracy of each source over a golden set: the fraction of its
+/// votes on golden facts that agree with the golden label (a T vote on
+/// a true fact or an F vote on a false fact is correct). Sources with
+/// no votes on golden facts get `no_vote_value` (default 0, mirroring
+/// an unknown source).
+std::vector<double> SourceAccuracyOnGolden(const Dataset& dataset,
+                                           const GoldenSet& golden,
+                                           double no_vote_value = 0.0);
+
+/// Count of F votes cast by each source over the whole dataset
+/// (paper §6.2.1 reports 10/256/425 for 3 of the 6 sources).
+std::vector<int64_t> CountFalseVotesBySource(const Dataset& dataset);
+
+/// Number of facts with at least one F vote.
+int64_t CountFactsWithFalseVotes(const Dataset& dataset);
+
+/// Fraction of facts whose votes are all affirmative (|F*| / |F|).
+double AffirmativeOnlyFraction(const Dataset& dataset);
+
+}  // namespace corrob
+
+#endif  // CORROB_DATA_DATASET_STATS_H_

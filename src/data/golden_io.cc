@@ -1,0 +1,64 @@
+#include "data/golden_io.h"
+
+#include <unordered_set>
+
+#include "common/csv.h"
+#include "common/string_util.h"
+
+namespace corrob {
+
+Result<GoldenSet> ParseGoldenCsv(const std::string& text,
+                                 const Dataset& dataset) {
+  CORROB_ASSIGN_OR_RETURN(CsvDocument doc, ParseCsv(text));
+  if (doc.rows.empty() ||
+      doc.rows[0] != std::vector<std::string>{"fact", "label"}) {
+    return Status::ParseError("golden CSV must start with: fact,label");
+  }
+  GoldenSet golden;
+  std::unordered_set<FactId> seen;
+  for (size_t r = 1; r < doc.rows.size(); ++r) {
+    const auto& row = doc.rows[r];
+    if (row.size() == 1 && row[0].empty()) continue;  // blank line
+    if (row.size() != 2) {
+      return Status::ParseError("golden row " + std::to_string(r) +
+                                " must have 2 cells");
+    }
+    CORROB_ASSIGN_OR_RETURN(FactId fact, dataset.FindFact(row[0]));
+    if (!seen.insert(fact).second) {
+      return Status::AlreadyExists("duplicate golden fact '" + row[0] + "'");
+    }
+    std::string label = ToLower(Trim(row[1]));
+    if (label == "true" || label == "1") {
+      golden.Add(fact, true);
+    } else if (label == "false" || label == "0") {
+      golden.Add(fact, false);
+    } else {
+      return Status::ParseError("bad golden label '" + row[1] +
+                                "' at row " + std::to_string(r));
+    }
+  }
+  return golden;
+}
+
+Result<GoldenSet> LoadGoldenCsv(const std::string& path,
+                                const Dataset& dataset) {
+  CORROB_ASSIGN_OR_RETURN(std::string text, ReadFileToString(path));
+  return ParseGoldenCsv(text, dataset);
+}
+
+std::string GoldenToCsv(const GoldenSet& golden, const Dataset& dataset) {
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"fact", "label"});
+  for (size_t i = 0; i < golden.size(); ++i) {
+    rows.push_back({dataset.fact_name(golden.fact(i)),
+                    golden.label(i) ? "true" : "false"});
+  }
+  return WriteCsv(rows);
+}
+
+Status SaveGoldenCsv(const std::string& path, const GoldenSet& golden,
+                     const Dataset& dataset) {
+  return WriteStringToFile(path, GoldenToCsv(golden, dataset));
+}
+
+}  // namespace corrob

@@ -1,0 +1,34 @@
+#ifndef CORROB_DATA_GOLDEN_IO_H_
+#define CORROB_DATA_GOLDEN_IO_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "data/dataset.h"
+#include "data/truth.h"
+
+namespace corrob {
+
+/// Golden-set CSV layout (one hand-checked fact per row):
+///   fact,label
+///   listing_17,true
+///   listing_23,false
+/// Labels accept true/false/1/0. Fact names must exist in `dataset`;
+/// duplicates are rejected.
+Result<GoldenSet> ParseGoldenCsv(const std::string& text,
+                                 const Dataset& dataset);
+
+/// Reads ParseGoldenCsv input from a file.
+Result<GoldenSet> LoadGoldenCsv(const std::string& path,
+                                const Dataset& dataset);
+
+/// Serializes a golden set against its dataset's fact names.
+std::string GoldenToCsv(const GoldenSet& golden, const Dataset& dataset);
+
+/// Writes GoldenToCsv output to `path`.
+Status SaveGoldenCsv(const std::string& path, const GoldenSet& golden,
+                     const Dataset& dataset);
+
+}  // namespace corrob
+
+#endif  // CORROB_DATA_GOLDEN_IO_H_

@@ -1,0 +1,51 @@
+#include "data/motivating_example.h"
+
+#include "common/logging.h"
+
+namespace corrob {
+
+MotivatingExample MakeMotivatingExample() {
+  // Table 1, transcribed row by row. '-' means no vote.
+  //        s1   s2   s3   s4   s5   truth
+  // r1      -    T    -    T    -   true
+  // r2      T    T    -    T    T   true
+  // r3      T    -    T    -    T   true
+  // r4      -    -    -    T    T   false
+  // r5      T    -    -    T    -   false
+  // r6      -    -    F    T    -   false
+  // r7      -    T    -    T    T   true
+  // r8      -    T    -    T    T   true
+  // r9      -    -    T    -    T   true
+  // r10     -    -    -    T    T   false
+  // r11     -    -    T    T    T   true
+  // r12     -    F    F    T    -   false
+  static constexpr const char* kRows[12] = {
+      "-T-T-", "TT-TT", "T-T-T", "---TT", "T--T-", "--FT-",
+      "-T-TT", "-T-TT", "--T-T", "---TT", "--TTT", "-FFT-",
+  };
+  static constexpr bool kTruth[12] = {true, true,  true,  false, false, false,
+                                      true, true,  true,  false, true,  false};
+
+  DatasetBuilder builder;
+  for (int s = 1; s <= 5; ++s) builder.AddSource("s" + std::to_string(s));
+  for (int r = 1; r <= 12; ++r) builder.AddFact("r" + std::to_string(r));
+
+  for (FactId f = 0; f < 12; ++f) {
+    const char* row = kRows[f];
+    for (SourceId s = 0; s < 5; ++s) {
+      char c = row[s];
+      if (c == 'T') {
+        CORROB_CHECK_OK(builder.SetVote(s, f, Vote::kTrue));
+      } else if (c == 'F') {
+        CORROB_CHECK_OK(builder.SetVote(s, f, Vote::kFalse));
+      }
+    }
+  }
+
+  MotivatingExample example;
+  example.dataset = builder.Build();
+  example.truth = GroundTruth(std::vector<bool>(kTruth, kTruth + 12));
+  return example;
+}
+
+}  // namespace corrob

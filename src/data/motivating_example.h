@@ -1,0 +1,26 @@
+#ifndef CORROB_DATA_MOTIVATING_EXAMPLE_H_
+#define CORROB_DATA_MOTIVATING_EXAMPLE_H_
+
+#include "data/dataset.h"
+#include "data/truth.h"
+
+namespace corrob {
+
+/// The paper's motivating example (Table 1): 5 sources s1..s5 and 12
+/// restaurants r1..r12 with mostly affirmative votes and the ground
+/// truth in the last column. Golden results on this dataset (Table 2):
+///   TwoEstimate   P=0.64 R=1 Acc=0.67
+///   BayesEstimate P=0.58 R=1 Acc=0.58
+///   IncEstimate   P=0.78 R=1 Acc=0.83
+struct MotivatingExample {
+  Dataset dataset;
+  GroundTruth truth;
+};
+
+/// Builds the Table 1 dataset. Source ids 0..4 are s1..s5 and fact
+/// ids 0..11 are r1..r12, in paper order.
+MotivatingExample MakeMotivatingExample();
+
+}  // namespace corrob
+
+#endif  // CORROB_DATA_MOTIVATING_EXAMPLE_H_

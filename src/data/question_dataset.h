@@ -1,0 +1,86 @@
+#ifndef CORROB_DATA_QUESTION_DATASET_H_
+#define CORROB_DATA_QUESTION_DATASET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "data/dataset.h"
+#include "data/truth.h"
+
+namespace corrob {
+
+using QuestionId = int32_t;
+
+/// A dataset whose facts are candidate answers to questions with
+/// exactly one correct answer each — the structure of the Hubdub
+/// benchmark (Galland et al., used by the paper for Table 7).
+///
+/// A source voting T for one answer of a question implicitly votes F
+/// on the question's other answers; `WithNegativeClosure()`
+/// materializes those implicit votes so that corroborators designed
+/// for T/F matrices can consume the data (this is the closure Galland
+/// et al. apply).
+class QuestionDataset {
+ public:
+  QuestionDataset() = default;
+  QuestionDataset(Dataset dataset, std::vector<QuestionId> question_of_fact,
+                  GroundTruth truth);
+
+  const Dataset& dataset() const { return dataset_; }
+  const GroundTruth& truth() const { return truth_; }
+  int32_t num_questions() const { return num_questions_; }
+  QuestionId question_of(FactId f) const {
+    return question_of_fact_[static_cast<size_t>(f)];
+  }
+  /// Facts (candidate answers) belonging to question `q`.
+  const std::vector<FactId>& answers(QuestionId q) const {
+    return answers_[static_cast<size_t>(q)];
+  }
+
+  /// Returns a plain Dataset in which every T vote on an answer is
+  /// accompanied by F votes on the question's sibling answers.
+  /// Explicit F votes present in the input are preserved.
+  Dataset WithNegativeClosure() const;
+
+ private:
+  Dataset dataset_;
+  std::vector<QuestionId> question_of_fact_;
+  std::vector<std::vector<FactId>> answers_;
+  GroundTruth truth_;
+  int32_t num_questions_ = 0;
+};
+
+/// Builder for QuestionDataset: declare questions, attach answers,
+/// record votes for answers.
+class QuestionDatasetBuilder {
+ public:
+  /// Declares a question; returns its id.
+  QuestionId AddQuestion(const std::string& name);
+
+  /// Adds a candidate answer to a question; `is_correct` marks the
+  /// single true answer. Returns the fact id.
+  FactId AddAnswer(QuestionId q, const std::string& name, bool is_correct);
+
+  SourceId AddSource(const std::string& name);
+
+  /// Records that `s` voted for answer `f` (an affirmative vote), or
+  /// explicitly against it.
+  Status SetVote(SourceId s, FactId f, Vote vote);
+
+  /// Validates (every question has exactly one correct answer) and
+  /// freezes. The builder is left empty.
+  Result<QuestionDataset> Build();
+
+ private:
+  DatasetBuilder builder_;
+  std::vector<QuestionId> question_of_fact_;
+  std::vector<bool> fact_truth_;
+  std::vector<int32_t> correct_answers_per_question_;
+  std::vector<std::string> question_names_;
+};
+
+}  // namespace corrob
+
+#endif  // CORROB_DATA_QUESTION_DATASET_H_

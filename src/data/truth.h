@@ -1,0 +1,76 @@
+#ifndef CORROB_DATA_TRUTH_H_
+#define CORROB_DATA_TRUTH_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "data/vote.h"
+
+namespace corrob {
+
+/// Ground-truth label of every fact in a dataset (synthetic data and
+/// simulated crawls know the full truth; real deployments only know a
+/// golden subset).
+class GroundTruth {
+ public:
+  GroundTruth() = default;
+  /// Creates truth labels for `labels.size()` facts; labels[f] is true
+  /// iff fact f is factually correct.
+  explicit GroundTruth(std::vector<bool> labels)
+      : labels_(std::move(labels)) {}
+
+  int32_t num_facts() const { return static_cast<int32_t>(labels_.size()); }
+  bool IsTrue(FactId f) const { return labels_[static_cast<size_t>(f)]; }
+
+  const std::vector<bool>& labels() const { return labels_; }
+
+ private:
+  std::vector<bool> labels_;
+};
+
+/// A labeled subset of facts — the hand-checked "golden set" used for
+/// evaluation (paper §6.2.1: 601 listings, 340 true / 261 false).
+class GoldenSet {
+ public:
+  GoldenSet() = default;
+
+  /// Adds a labeled fact. Duplicate fact ids are allowed but
+  /// discouraged; evaluation treats each entry independently.
+  void Add(FactId fact, bool is_true) {
+    facts_.push_back(fact);
+    labels_.push_back(is_true);
+  }
+
+  size_t size() const { return facts_.size(); }
+  bool empty() const { return facts_.empty(); }
+  FactId fact(size_t i) const { return facts_[i]; }
+  bool label(size_t i) const { return labels_[i]; }
+
+  /// Number of entries labeled true.
+  int32_t CountTrue() const {
+    int32_t n = 0;
+    for (bool b : labels_) n += b ? 1 : 0;
+    return n;
+  }
+  int32_t CountFalse() const {
+    return static_cast<int32_t>(size()) - CountTrue();
+  }
+
+  /// Builds a golden set covering every fact of `truth`.
+  static GoldenSet FromFullTruth(const GroundTruth& truth) {
+    GoldenSet golden;
+    for (FactId f = 0; f < truth.num_facts(); ++f) {
+      golden.Add(f, truth.IsTrue(f));
+    }
+    return golden;
+  }
+
+ private:
+  std::vector<FactId> facts_;
+  std::vector<bool> labels_;
+};
+
+}  // namespace corrob
+
+#endif  // CORROB_DATA_TRUTH_H_

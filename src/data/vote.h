@@ -1,0 +1,76 @@
+#ifndef CORROB_DATA_VOTE_H_
+#define CORROB_DATA_VOTE_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+
+namespace corrob {
+
+/// Identifier types. Ids are dense indices assigned by DatasetBuilder
+/// in insertion order.
+using SourceId = int32_t;
+using FactId = int32_t;
+
+/// A source's statement about a fact (paper Eq. 1):
+///   kTrue  (T) — the source affirms the fact,
+///   kFalse (F) — the source disputes the fact,
+///   kNone  (-) — the source has no knowledge of the fact.
+///
+/// kNone is never materialized in a Dataset; it exists for parsing
+/// and for APIs that probe an arbitrary (source, fact) pair.
+enum class Vote : int8_t {
+  kTrue = 1,
+  kFalse = 0,
+  kNone = -1,
+};
+
+/// Renders a vote as 'T', 'F' or '-'.
+inline char VoteToChar(Vote vote) {
+  switch (vote) {
+    case Vote::kTrue:
+      return 'T';
+    case Vote::kFalse:
+      return 'F';
+    case Vote::kNone:
+      return '-';
+  }
+  return '?';
+}
+
+/// Parses 'T'/'t' -> kTrue, 'F'/'f' -> kFalse, '-' -> kNone.
+inline Result<Vote> VoteFromChar(char c) {
+  switch (c) {
+    case 'T':
+    case 't':
+      return Vote::kTrue;
+    case 'F':
+    case 'f':
+      return Vote::kFalse;
+    case '-':
+      return Vote::kNone;
+    default:
+      return Status::ParseError(std::string("invalid vote character: '") + c +
+                                "'");
+  }
+}
+
+/// A materialized statement: which source voted and what it said.
+struct SourceVote {
+  SourceId source = -1;
+  Vote vote = Vote::kNone;
+
+  friend bool operator==(const SourceVote&, const SourceVote&) = default;
+};
+
+/// A statement from the per-source view.
+struct FactVote {
+  FactId fact = -1;
+  Vote vote = Vote::kNone;
+
+  friend bool operator==(const FactVote&, const FactVote&) = default;
+};
+
+}  // namespace corrob
+
+#endif  // CORROB_DATA_VOTE_H_

@@ -1,0 +1,96 @@
+#include "eval/bootstrap.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/random.h"
+
+namespace corrob {
+
+namespace {
+
+Status ValidateParameters(size_t n, double confidence, int resamples) {
+  if (n == 0) return Status::InvalidArgument("cannot bootstrap an empty sample");
+  if (confidence <= 0.0 || confidence >= 1.0) {
+    return Status::InvalidArgument("confidence must be in (0,1)");
+  }
+  if (resamples < 100) {
+    return Status::InvalidArgument("resamples must be >= 100");
+  }
+  return Status::OK();
+}
+
+BootstrapInterval PercentileInterval(std::vector<double> statistics,
+                                     double point, double confidence) {
+  std::sort(statistics.begin(), statistics.end());
+  double alpha = (1.0 - confidence) / 2.0;
+  size_t n = statistics.size();
+  auto index = [&](double q) {
+    double position = q * static_cast<double>(n - 1);
+    return statistics[static_cast<size_t>(std::llround(position))];
+  };
+  BootstrapInterval interval;
+  interval.point = point;
+  interval.lower = index(alpha);
+  interval.upper = index(1.0 - alpha);
+  interval.confidence = confidence;
+  return interval;
+}
+
+}  // namespace
+
+Result<BootstrapInterval> BootstrapAccuracy(const std::vector<bool>& correct,
+                                            double confidence, int resamples,
+                                            uint64_t seed) {
+  CORROB_RETURN_NOT_OK(ValidateParameters(correct.size(), confidence,
+                                          resamples));
+  const size_t n = correct.size();
+  double point = 0.0;
+  for (bool b : correct) point += b ? 1.0 : 0.0;
+  point /= static_cast<double>(n);
+
+  Rng rng(seed);
+  std::vector<double> statistics(static_cast<size_t>(resamples));
+  for (int r = 0; r < resamples; ++r) {
+    int64_t hits = 0;
+    for (size_t i = 0; i < n; ++i) {
+      hits += correct[rng.NextBelow(n)] ? 1 : 0;
+    }
+    statistics[static_cast<size_t>(r)] =
+        static_cast<double>(hits) / static_cast<double>(n);
+  }
+  return PercentileInterval(std::move(statistics), point, confidence);
+}
+
+Result<BootstrapInterval> BootstrapPairedDifference(
+    const std::vector<bool>& correct_a, const std::vector<bool>& correct_b,
+    double confidence, int resamples, uint64_t seed) {
+  if (correct_a.size() != correct_b.size()) {
+    return Status::InvalidArgument("paired samples must have equal size");
+  }
+  CORROB_RETURN_NOT_OK(ValidateParameters(correct_a.size(), confidence,
+                                          resamples));
+  const size_t n = correct_a.size();
+  double point = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    point += static_cast<double>(correct_a[i]) -
+             static_cast<double>(correct_b[i]);
+  }
+  point /= static_cast<double>(n);
+
+  Rng rng(seed);
+  std::vector<double> statistics(static_cast<size_t>(resamples));
+  for (int r = 0; r < resamples; ++r) {
+    int64_t diff = 0;
+    for (size_t i = 0; i < n; ++i) {
+      size_t pick = rng.NextBelow(n);
+      diff += static_cast<int>(correct_a[pick]) -
+              static_cast<int>(correct_b[pick]);
+    }
+    statistics[static_cast<size_t>(r)] =
+        static_cast<double>(diff) / static_cast<double>(n);
+  }
+  return PercentileInterval(std::move(statistics), point, confidence);
+}
+
+}  // namespace corrob

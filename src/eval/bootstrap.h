@@ -1,0 +1,36 @@
+#ifndef CORROB_EVAL_BOOTSTRAP_H_
+#define CORROB_EVAL_BOOTSTRAP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+
+namespace corrob {
+
+/// A two-sided percentile bootstrap confidence interval.
+struct BootstrapInterval {
+  double point = 0.0;  ///< statistic on the original sample
+  double lower = 0.0;
+  double upper = 0.0;
+  double confidence = 0.95;
+};
+
+/// Percentile-bootstrap CI for an accuracy (the mean of per-item
+/// correctness indicators). Deterministic for a fixed seed. Requires
+/// non-empty input, resamples >= 100 and confidence in (0, 1).
+Result<BootstrapInterval> BootstrapAccuracy(
+    const std::vector<bool>& correct, double confidence = 0.95,
+    int resamples = 2000, uint64_t seed = 1234);
+
+/// Percentile-bootstrap CI for the accuracy *difference* of two
+/// paired methods (mean of correct_a[i] - correct_b[i], resampling
+/// items jointly). The interval excluding 0 indicates a significant
+/// gap at the chosen confidence.
+Result<BootstrapInterval> BootstrapPairedDifference(
+    const std::vector<bool>& correct_a, const std::vector<bool>& correct_b,
+    double confidence = 0.95, int resamples = 2000, uint64_t seed = 1234);
+
+}  // namespace corrob
+
+#endif  // CORROB_EVAL_BOOTSTRAP_H_

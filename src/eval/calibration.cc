@@ -1,0 +1,81 @@
+#include "eval/calibration.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace corrob {
+
+Result<CalibrationReport> ComputeCalibration(
+    const std::vector<double>& probability, const std::vector<bool>& truth,
+    int num_bins) {
+  if (probability.size() != truth.size()) {
+    return Status::InvalidArgument("probability/truth size mismatch");
+  }
+  if (num_bins < 1) {
+    return Status::InvalidArgument("num_bins must be >= 1");
+  }
+
+  CalibrationReport report;
+  report.total = static_cast<int64_t>(probability.size());
+  report.bins.resize(static_cast<size_t>(num_bins));
+  for (int b = 0; b < num_bins; ++b) {
+    report.bins[static_cast<size_t>(b)].lower =
+        static_cast<double>(b) / num_bins;
+    report.bins[static_cast<size_t>(b)].upper =
+        static_cast<double>(b + 1) / num_bins;
+  }
+
+  std::vector<double> sum_predicted(static_cast<size_t>(num_bins), 0.0);
+  std::vector<int64_t> sum_true(static_cast<size_t>(num_bins), 0);
+  double brier = 0.0;
+  for (size_t i = 0; i < probability.size(); ++i) {
+    double p = probability[i];
+    if (!(p >= 0.0 && p <= 1.0)) {
+      return Status::InvalidArgument("probability out of [0,1] at index " +
+                                     std::to_string(i));
+    }
+    int bin = std::min(num_bins - 1,
+                       static_cast<int>(p * static_cast<double>(num_bins)));
+    CalibrationBin& cell = report.bins[static_cast<size_t>(bin)];
+    ++cell.count;
+    sum_predicted[static_cast<size_t>(bin)] += p;
+    sum_true[static_cast<size_t>(bin)] += truth[i] ? 1 : 0;
+    double target = truth[i] ? 1.0 : 0.0;
+    brier += (p - target) * (p - target);
+  }
+  if (report.total > 0) {
+    report.brier_score = brier / static_cast<double>(report.total);
+  }
+
+  double weighted_error = 0.0;
+  for (int b = 0; b < num_bins; ++b) {
+    CalibrationBin& cell = report.bins[static_cast<size_t>(b)];
+    if (cell.count == 0) continue;
+    cell.mean_predicted =
+        sum_predicted[static_cast<size_t>(b)] / static_cast<double>(cell.count);
+    cell.fraction_true = static_cast<double>(sum_true[static_cast<size_t>(b)]) /
+                         static_cast<double>(cell.count);
+    weighted_error += static_cast<double>(cell.count) *
+                      std::fabs(cell.mean_predicted - cell.fraction_true);
+  }
+  if (report.total > 0) {
+    report.expected_calibration_error =
+        weighted_error / static_cast<double>(report.total);
+  }
+  return report;
+}
+
+Result<CalibrationReport> CalibrationOnGolden(
+    const CorroborationResult& result, const GoldenSet& golden,
+    int num_bins) {
+  std::vector<double> probability(golden.size());
+  std::vector<bool> truth(golden.size());
+  for (size_t i = 0; i < golden.size(); ++i) {
+    probability[i] =
+        result.fact_probability[static_cast<size_t>(golden.fact(i))];
+    truth[i] = golden.label(i);
+  }
+  return ComputeCalibration(probability, truth, num_bins);
+}
+
+}  // namespace corrob

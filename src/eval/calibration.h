@@ -1,0 +1,48 @@
+#ifndef CORROB_EVAL_CALIBRATION_H_
+#define CORROB_EVAL_CALIBRATION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "core/corroborator.h"
+#include "data/truth.h"
+
+namespace corrob {
+
+/// One reliability-diagram bin.
+struct CalibrationBin {
+  double lower = 0.0;           ///< bin interval [lower, upper)
+  double upper = 0.0;
+  int64_t count = 0;            ///< facts whose σ(f) falls in the bin
+  double mean_predicted = 0.0;  ///< mean σ(f) within the bin
+  double fraction_true = 0.0;   ///< empirical truth rate within the bin
+};
+
+/// How well σ(f) behaves as a probability (paper §3.2 treats it as
+/// one; most corroborators emit it as a score).
+struct CalibrationReport {
+  std::vector<CalibrationBin> bins;
+  /// Expected calibration error: count-weighted mean of
+  /// |mean_predicted - fraction_true| over non-empty bins.
+  double expected_calibration_error = 0.0;
+  /// Brier score: mean squared error of σ(f) against the 0/1 truth.
+  double brier_score = 0.0;
+  int64_t total = 0;
+};
+
+/// Bins `probability` against `truth` labels into `num_bins` equal
+/// intervals of [0, 1] (the last bin is closed). Sizes must match and
+/// num_bins must be >= 1.
+Result<CalibrationReport> ComputeCalibration(
+    const std::vector<double>& probability, const std::vector<bool>& truth,
+    int num_bins = 10);
+
+/// Calibration of a corroboration result against a golden subset.
+Result<CalibrationReport> CalibrationOnGolden(
+    const CorroborationResult& result, const GoldenSet& golden,
+    int num_bins = 10);
+
+}  // namespace corrob
+
+#endif  // CORROB_EVAL_CALIBRATION_H_

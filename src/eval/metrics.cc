@@ -1,0 +1,87 @@
+#include "eval/metrics.h"
+
+#include "common/logging.h"
+#include "common/math_util.h"
+
+namespace corrob {
+
+ConfusionCounts CountConfusion(const std::vector<bool>& predicted,
+                               const std::vector<bool>& actual) {
+  CORROB_CHECK(predicted.size() == actual.size())
+      << "prediction/label size mismatch";
+  ConfusionCounts counts;
+  for (size_t i = 0; i < predicted.size(); ++i) {
+    if (predicted[i] && actual[i]) {
+      ++counts.true_positives;
+    } else if (predicted[i] && !actual[i]) {
+      ++counts.false_positives;
+    } else if (!predicted[i] && actual[i]) {
+      ++counts.false_negatives;
+    } else {
+      ++counts.true_negatives;
+    }
+  }
+  return counts;
+}
+
+BinaryMetrics MetricsFromConfusion(const ConfusionCounts& confusion) {
+  BinaryMetrics m;
+  m.confusion = confusion;
+  int64_t predicted_positive =
+      confusion.true_positives + confusion.false_positives;
+  int64_t actual_positive =
+      confusion.true_positives + confusion.false_negatives;
+  m.precision = predicted_positive > 0
+                    ? static_cast<double>(confusion.true_positives) /
+                          static_cast<double>(predicted_positive)
+                    : 0.0;
+  m.recall = actual_positive > 0
+                 ? static_cast<double>(confusion.true_positives) /
+                       static_cast<double>(actual_positive)
+                 : 0.0;
+  m.accuracy = confusion.total() > 0
+                   ? static_cast<double>(confusion.true_positives +
+                                         confusion.true_negatives) /
+                         static_cast<double>(confusion.total())
+                   : 0.0;
+  m.f1 = (m.precision + m.recall) > 0.0
+             ? 2.0 * m.precision * m.recall / (m.precision + m.recall)
+             : 0.0;
+  return m;
+}
+
+BinaryMetrics EvaluateOnGolden(const CorroborationResult& result,
+                               const GoldenSet& golden) {
+  std::vector<bool> predicted(golden.size());
+  std::vector<bool> actual(golden.size());
+  for (size_t i = 0; i < golden.size(); ++i) {
+    predicted[i] = result.Decide(golden.fact(i));
+    actual[i] = golden.label(i);
+  }
+  return MetricsFromConfusion(CountConfusion(predicted, actual));
+}
+
+BinaryMetrics EvaluatePredictionsOnGolden(const std::vector<bool>& predicted,
+                                          const GoldenSet& golden) {
+  CORROB_CHECK(predicted.size() == golden.size())
+      << "prediction count must match golden size";
+  std::vector<bool> actual(golden.size());
+  for (size_t i = 0; i < golden.size(); ++i) actual[i] = golden.label(i);
+  return MetricsFromConfusion(CountConfusion(predicted, actual));
+}
+
+BinaryMetrics EvaluateOnTruth(const CorroborationResult& result,
+                              const GroundTruth& truth) {
+  std::vector<bool> predicted(static_cast<size_t>(truth.num_facts()));
+  for (FactId f = 0; f < truth.num_facts(); ++f) {
+    predicted[static_cast<size_t>(f)] = result.Decide(f);
+  }
+  return MetricsFromConfusion(CountConfusion(predicted, truth.labels()));
+}
+
+double TrustMse(const std::vector<double>& reference,
+                const std::vector<double>& computed) {
+  return MeanSquaredError(reference, computed);
+}
+
+}  // namespace corrob

@@ -1,0 +1,67 @@
+#ifndef CORROB_EVAL_METRICS_H_
+#define CORROB_EVAL_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/corroborator.h"
+#include "data/dataset.h"
+#include "data/truth.h"
+
+namespace corrob {
+
+/// Binary confusion counts with "fact is true" as the positive class.
+struct ConfusionCounts {
+  int64_t true_positives = 0;
+  int64_t false_positives = 0;
+  int64_t true_negatives = 0;
+  int64_t false_negatives = 0;
+
+  int64_t total() const {
+    return true_positives + false_positives + true_negatives +
+           false_negatives;
+  }
+  /// FP + FN — the Hubdub "number of errors" metric (Table 7).
+  int64_t errors() const { return false_positives + false_negatives; }
+};
+
+/// The quality metrics the paper reports (§6.1.2, Table 4).
+struct BinaryMetrics {
+  ConfusionCounts confusion;
+  double precision = 0.0;
+  double recall = 0.0;
+  double accuracy = 0.0;
+  double f1 = 0.0;
+};
+
+/// Counts the confusion matrix of `predicted` against `actual`.
+/// The vectors must be equally sized.
+ConfusionCounts CountConfusion(const std::vector<bool>& predicted,
+                               const std::vector<bool>& actual);
+
+/// Derives precision/recall/accuracy/F1 from confusion counts.
+/// Degenerate denominators yield 0 (e.g. precision with no positive
+/// predictions).
+BinaryMetrics MetricsFromConfusion(const ConfusionCounts& confusion);
+
+/// Evaluates corroboration decisions on a golden set.
+BinaryMetrics EvaluateOnGolden(const CorroborationResult& result,
+                               const GoldenSet& golden);
+
+/// Evaluates per-row predictions aligned with the golden entries
+/// (used for the cross-validated ML baselines).
+BinaryMetrics EvaluatePredictionsOnGolden(const std::vector<bool>& predicted,
+                                          const GoldenSet& golden);
+
+/// Evaluates decisions against full ground truth.
+BinaryMetrics EvaluateOnTruth(const CorroborationResult& result,
+                              const GroundTruth& truth);
+
+/// Mean squared error between computed source trust and reference
+/// source accuracies (paper Eq. 10, Table 5).
+double TrustMse(const std::vector<double>& reference,
+                const std::vector<double>& computed);
+
+}  // namespace corrob
+
+#endif  // CORROB_EVAL_METRICS_H_

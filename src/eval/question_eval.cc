@@ -1,0 +1,59 @@
+#include "eval/question_eval.h"
+
+#include "eval/metrics.h"
+
+namespace corrob {
+
+Result<QuestionEvalReport> EvaluateQuestions(
+    const CorroborationResult& result, const QuestionDataset& questions) {
+  const int32_t facts = questions.dataset().num_facts();
+  if (static_cast<int32_t>(result.fact_probability.size()) != facts) {
+    return Status::InvalidArgument(
+        "result covers " + std::to_string(result.fact_probability.size()) +
+        " facts; dataset has " + std::to_string(facts));
+  }
+
+  QuestionEvalReport report;
+  report.questions_total = questions.num_questions();
+  report.winners.resize(static_cast<size_t>(questions.num_questions()), -1);
+
+  int64_t correct_answers = 0;
+  for (FactId f = 0; f < facts; ++f) {
+    bool predicted = result.Decide(f);
+    bool actual = questions.truth().IsTrue(f);
+    if (predicted == actual) {
+      ++correct_answers;
+    } else if (predicted) {
+      ++report.false_positives;
+    } else {
+      ++report.false_negatives;
+    }
+  }
+  report.answer_errors = report.false_positives + report.false_negatives;
+  report.answer_accuracy =
+      facts > 0 ? static_cast<double>(correct_answers) / facts : 0.0;
+
+  for (QuestionId q = 0; q < questions.num_questions(); ++q) {
+    FactId best = -1;
+    double best_p = -1.0;
+    for (FactId f : questions.answers(q)) {
+      double p = result.fact_probability[static_cast<size_t>(f)];
+      if (p > best_p) {
+        best_p = p;
+        best = f;
+      }
+    }
+    report.winners[static_cast<size_t>(q)] = best;
+    if (best >= 0 && questions.truth().IsTrue(best)) {
+      ++report.questions_correct;
+    }
+  }
+  report.question_accuracy =
+      report.questions_total > 0
+          ? static_cast<double>(report.questions_correct) /
+                static_cast<double>(report.questions_total)
+          : 0.0;
+  return report;
+}
+
+}  // namespace corrob

@@ -1,0 +1,41 @@
+#ifndef CORROB_EVAL_QUESTION_EVAL_H_
+#define CORROB_EVAL_QUESTION_EVAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "core/corroborator.h"
+#include "data/question_dataset.h"
+
+namespace corrob {
+
+/// Quality of a corroboration result on a multi-answer question
+/// dataset (the Hubdub setting of Table 7).
+struct QuestionEvalReport {
+  /// FP + FN over candidate answers — the paper's Table 7 metric.
+  int64_t answer_errors = 0;
+  int64_t false_positives = 0;
+  int64_t false_negatives = 0;
+  /// Answer-level accuracy.
+  double answer_accuracy = 0.0;
+  /// Questions whose top-σ answer is the correct one.
+  int64_t questions_correct = 0;
+  int64_t questions_total = 0;
+  /// questions_correct / questions_total.
+  double question_accuracy = 0.0;
+  /// Per-question winner (fact id of the highest-σ answer; ties break
+  /// toward the lower fact id).
+  std::vector<FactId> winners;
+};
+
+/// Scores `result` (typically produced on the dataset returned by
+/// QuestionDataset::WithNegativeClosure) against the question
+/// structure and truth. Fails if the result's size does not match
+/// the dataset.
+Result<QuestionEvalReport> EvaluateQuestions(
+    const CorroborationResult& result, const QuestionDataset& questions);
+
+}  // namespace corrob
+
+#endif  // CORROB_EVAL_QUESTION_EVAL_H_

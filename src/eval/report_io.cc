@@ -1,0 +1,51 @@
+#include "eval/report_io.h"
+
+#include "common/csv.h"
+#include "common/string_util.h"
+
+namespace corrob {
+
+Result<std::string> TrajectoryToCsv(const Dataset& dataset,
+                                    const CorroborationResult& result) {
+  if (result.trajectory.empty()) {
+    return Status::FailedPrecondition(
+        "result has no trajectory; run with record_trajectory = true");
+  }
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> header{"t", "facts_committed"};
+  for (SourceId s = 0; s < dataset.num_sources(); ++s) {
+    header.push_back(dataset.source_name(s));
+  }
+  rows.push_back(std::move(header));
+  for (size_t point = 0; point < result.trajectory.size(); ++point) {
+    std::vector<std::string> row{
+        std::to_string(point),
+        std::to_string(result.trajectory[point].facts_committed)};
+    for (double trust : result.trajectory[point].trust) {
+      row.push_back(FormatDouble(trust, 6));
+    }
+    rows.push_back(std::move(row));
+  }
+  return WriteCsv(rows);
+}
+
+Status SaveTrajectoryCsv(const std::string& path, const Dataset& dataset,
+                         const CorroborationResult& result) {
+  CORROB_ASSIGN_OR_RETURN(std::string csv, TrajectoryToCsv(dataset, result));
+  return WriteStringToFile(path, csv);
+}
+
+std::string DecisionsToCsv(const Dataset& dataset,
+                           const CorroborationResult& result) {
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"fact", "probability", "decision"});
+  for (FactId f = 0; f < dataset.num_facts(); ++f) {
+    rows.push_back(
+        {dataset.fact_name(f),
+         FormatDouble(result.fact_probability[static_cast<size_t>(f)], 6),
+         result.Decide(f) ? "true" : "false"});
+  }
+  return WriteCsv(rows);
+}
+
+}  // namespace corrob

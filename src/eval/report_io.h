@@ -1,0 +1,30 @@
+#ifndef CORROB_EVAL_REPORT_IO_H_
+#define CORROB_EVAL_REPORT_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "core/corroborator.h"
+#include "data/dataset.h"
+
+namespace corrob {
+
+/// Serializes a trust trajectory (Figure 2's data) as CSV with one
+/// row per time point:
+///   t,facts_committed,<source1>,...,<sourceN>
+/// Fails if the result has no recorded trajectory.
+Status SaveTrajectoryCsv(const std::string& path, const Dataset& dataset,
+                         const CorroborationResult& result);
+
+/// Same, to a string (used by tests and the Figure 2 bench).
+Result<std::string> TrajectoryToCsv(const Dataset& dataset,
+                                    const CorroborationResult& result);
+
+/// Serializes per-fact probabilities and decisions:
+///   fact,probability,decision
+std::string DecisionsToCsv(const Dataset& dataset,
+                           const CorroborationResult& result);
+
+}  // namespace corrob
+
+#endif  // CORROB_EVAL_REPORT_IO_H_

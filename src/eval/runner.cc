@@ -1,0 +1,102 @@
+#include "eval/runner.h"
+
+#include <memory>
+
+#include "common/logging.h"
+#include "common/timer.h"
+#include "core/registry.h"
+#include "ml/logistic_regression.h"
+#include "ml/svm.h"
+
+namespace corrob {
+
+namespace {
+
+std::vector<bool> GoldenCorrectness(const std::vector<bool>& predicted,
+                                    const GoldenSet& golden) {
+  std::vector<bool> correct(golden.size());
+  for (size_t i = 0; i < golden.size(); ++i) {
+    correct[i] = predicted[i] == golden.label(i);
+  }
+  return correct;
+}
+
+}  // namespace
+
+Result<MethodReport> RunCorroborationMethod(const std::string& name,
+                                            const Dataset& dataset,
+                                            const GoldenSet& golden) {
+  CORROB_ASSIGN_OR_RETURN(std::unique_ptr<Corroborator> algorithm,
+                          MakeCorroborator(name));
+  Stopwatch watch;
+  CORROB_ASSIGN_OR_RETURN(CorroborationResult result,
+                          algorithm->Run(dataset));
+  double seconds = watch.ElapsedSeconds();
+
+  MethodReport report;
+  report.name = name;
+  report.metrics = EvaluateOnGolden(result, golden);
+  report.source_trust = result.source_trust;
+  report.seconds = seconds;
+  std::vector<bool> predicted(golden.size());
+  for (size_t i = 0; i < golden.size(); ++i) {
+    predicted[i] = result.Decide(golden.fact(i));
+  }
+  report.golden_correct = GoldenCorrectness(predicted, golden);
+  return report;
+}
+
+Result<MethodReport> RunMlMethod(const std::string& name,
+                                 const Dataset& dataset,
+                                 const GoldenSet& golden,
+                                 const CrossValidationOptions& options) {
+  std::function<std::unique_ptr<BinaryClassifier>()> factory;
+  if (name == "ML-Logistic") {
+    factory = [] {
+      return std::unique_ptr<BinaryClassifier>(new LogisticRegression());
+    };
+  } else if (name == "ML-SVM") {
+    factory = [] { return std::unique_ptr<BinaryClassifier>(new LinearSvm()); };
+  } else {
+    return Status::NotFound("unknown ML method: '" + name + "'");
+  }
+
+  Stopwatch watch;
+  MlDataset data =
+      ExtractGoldenFeatures(dataset, golden, VoteEncoding::kSigned);
+  CORROB_ASSIGN_OR_RETURN(std::vector<bool> predictions,
+                          CrossValidatePredictions(data, factory, options));
+  double seconds = watch.ElapsedSeconds();
+
+  MethodReport report;
+  report.name = name;
+  report.metrics = EvaluatePredictionsOnGolden(predictions, golden);
+  report.source_trust = MlSourceTrust(dataset, golden, predictions);
+  report.seconds = seconds;
+  report.golden_correct = GoldenCorrectness(predictions, golden);
+  return report;
+}
+
+std::vector<double> MlSourceTrust(const Dataset& dataset,
+                                  const GoldenSet& golden,
+                                  const std::vector<bool>& predictions) {
+  CORROB_CHECK(predictions.size() == golden.size());
+  std::vector<double> correct(static_cast<size_t>(dataset.num_sources()), 0.0);
+  std::vector<double> total(static_cast<size_t>(dataset.num_sources()), 0.0);
+  for (size_t i = 0; i < golden.size(); ++i) {
+    for (const SourceVote& sv : dataset.VotesOnFact(golden.fact(i))) {
+      bool voted_true = sv.vote == Vote::kTrue;
+      total[static_cast<size_t>(sv.source)] += 1.0;
+      if (voted_true == predictions[i]) {
+        correct[static_cast<size_t>(sv.source)] += 1.0;
+      }
+    }
+  }
+  std::vector<double> trust(static_cast<size_t>(dataset.num_sources()), 0.0);
+  for (size_t s = 0; s < trust.size(); ++s) {
+    if (total[s] > 0.0) trust[s] = correct[s] / total[s];
+  }
+  return trust;
+}
+
+}  // namespace corrob

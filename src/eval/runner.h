@@ -1,0 +1,54 @@
+#ifndef CORROB_EVAL_RUNNER_H_
+#define CORROB_EVAL_RUNNER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/corroborator.h"
+#include "data/dataset.h"
+#include "data/truth.h"
+#include "eval/metrics.h"
+#include "ml/cross_validation.h"
+
+namespace corrob {
+
+/// Everything the Table 4/5/6 experiments report about one method.
+struct MethodReport {
+  std::string name;
+  BinaryMetrics metrics;
+  /// Per-source trust readout (empty for ML methods evaluated purely
+  /// out-of-fold — see MlSourceTrust()).
+  std::vector<double> source_trust;
+  /// Wall-clock seconds of the corroboration/training run.
+  double seconds = 0.0;
+  /// Per-golden-entry correctness, for paired significance tests.
+  std::vector<bool> golden_correct;
+};
+
+/// Runs a registered corroborator on `dataset` and scores it on
+/// `golden`; wall time covers only Corroborator::Run.
+Result<MethodReport> RunCorroborationMethod(const std::string& name,
+                                            const Dataset& dataset,
+                                            const GoldenSet& golden);
+
+/// Cross-validates an ML baseline ("ML-Logistic" or "ML-SVM") on the
+/// golden set with the paper's 10-fold protocol and scores the
+/// out-of-fold predictions. Wall time covers feature extraction,
+/// training and prediction (the paper's ML timings likewise run over
+/// the golden set only).
+Result<MethodReport> RunMlMethod(const std::string& name,
+                                 const Dataset& dataset,
+                                 const GoldenSet& golden,
+                                 const CrossValidationOptions& options = {});
+
+/// Source trust induced by a set of fact decisions on golden facts:
+/// each source's vote accuracy against the predictions — the Table 5
+/// readout for ML-Logistic.
+std::vector<double> MlSourceTrust(const Dataset& dataset,
+                                  const GoldenSet& golden,
+                                  const std::vector<bool>& predictions);
+
+}  // namespace corrob
+
+#endif  // CORROB_EVAL_RUNNER_H_

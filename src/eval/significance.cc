@@ -1,0 +1,90 @@
+#include "eval/significance.h"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "common/random.h"
+
+namespace corrob {
+
+namespace {
+
+/// log of the binomial coefficient via lgamma.
+double LogChoose(int64_t n, int64_t k) {
+  return std::lgamma(static_cast<double>(n + 1)) -
+         std::lgamma(static_cast<double>(k + 1)) -
+         std::lgamma(static_cast<double>(n - k + 1));
+}
+
+}  // namespace
+
+Result<double> McNemarPValue(const std::vector<bool>& correct_a,
+                             const std::vector<bool>& correct_b) {
+  if (correct_a.size() != correct_b.size()) {
+    return Status::InvalidArgument("paired vectors must have equal size");
+  }
+  if (correct_a.empty()) {
+    return Status::InvalidArgument("cannot test empty samples");
+  }
+  int64_t a_only = 0;  // a correct, b wrong
+  int64_t b_only = 0;  // b correct, a wrong
+  for (size_t i = 0; i < correct_a.size(); ++i) {
+    if (correct_a[i] && !correct_b[i]) ++a_only;
+    if (!correct_a[i] && correct_b[i]) ++b_only;
+  }
+  int64_t discordant = a_only + b_only;
+  if (discordant == 0) return 1.0;
+
+  // Exact binomial: P(X <= min | n, 1/2), doubled for two sides.
+  int64_t k = std::min(a_only, b_only);
+  double log_half_n = static_cast<double>(discordant) * std::log(0.5);
+  double tail = 0.0;
+  for (int64_t i = 0; i <= k; ++i) {
+    tail += std::exp(LogChoose(discordant, i) + log_half_n);
+  }
+  double p = 2.0 * tail;
+  // The central term is counted on both sides when a_only == b_only.
+  if (a_only == b_only) {
+    p -= std::exp(LogChoose(discordant, k) + log_half_n);
+  }
+  return std::min(1.0, p);
+}
+
+Result<double> PairedPermutationPValue(const std::vector<bool>& correct_a,
+                                       const std::vector<bool>& correct_b,
+                                       int iterations, uint64_t seed) {
+  if (correct_a.size() != correct_b.size()) {
+    return Status::InvalidArgument("paired vectors must have equal size");
+  }
+  if (correct_a.empty()) {
+    return Status::InvalidArgument("cannot test empty samples");
+  }
+  if (iterations < 1) {
+    return Status::InvalidArgument("iterations must be >= 1");
+  }
+
+  const size_t n = correct_a.size();
+  int64_t observed_diff = 0;
+  for (size_t i = 0; i < n; ++i) {
+    observed_diff += static_cast<int>(correct_a[i]) -
+                     static_cast<int>(correct_b[i]);
+  }
+  int64_t observed_abs = std::llabs(observed_diff);
+
+  Rng rng(seed);
+  int64_t at_least_as_extreme = 0;
+  for (int it = 0; it < iterations; ++it) {
+    int64_t diff = 0;
+    for (size_t i = 0; i < n; ++i) {
+      int d = static_cast<int>(correct_a[i]) - static_cast<int>(correct_b[i]);
+      if (d == 0) continue;
+      diff += rng.Bernoulli(0.5) ? d : -d;
+    }
+    if (std::llabs(diff) >= observed_abs) ++at_least_as_extreme;
+  }
+  // Add-one smoothing keeps the estimate strictly positive.
+  return (static_cast<double>(at_least_as_extreme) + 1.0) /
+         (static_cast<double>(iterations) + 1.0);
+}
+
+}  // namespace corrob

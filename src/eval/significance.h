@@ -1,0 +1,31 @@
+#ifndef CORROB_EVAL_SIGNIFICANCE_H_
+#define CORROB_EVAL_SIGNIFICANCE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+
+namespace corrob {
+
+/// McNemar's test on paired classifier decisions: given per-item
+/// correctness of two methods on the same golden items, tests the
+/// null hypothesis that both have the same error rate. Returns the
+/// two-sided p-value using the exact binomial distribution on the
+/// discordant pairs (suitable for the paper's "p-value < 0.001"
+/// claims at golden-set scale).
+Result<double> McNemarPValue(const std::vector<bool>& correct_a,
+                             const std::vector<bool>& correct_b);
+
+/// Paired randomization (permutation) test on accuracy: swaps the two
+/// methods' outcomes per item with probability 1/2 and measures how
+/// often the absolute accuracy difference is at least the observed
+/// one. Returns the two-sided p-value estimate.
+Result<double> PairedPermutationPValue(const std::vector<bool>& correct_a,
+                                       const std::vector<bool>& correct_b,
+                                       int iterations = 10000,
+                                       uint64_t seed = 99);
+
+}  // namespace corrob
+
+#endif  // CORROB_EVAL_SIGNIFICANCE_H_

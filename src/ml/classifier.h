@@ -1,0 +1,33 @@
+#ifndef CORROB_ML_CLASSIFIER_H_
+#define CORROB_ML_CLASSIFIER_H_
+
+#include <vector>
+
+#include "common/result.h"
+
+namespace corrob {
+
+/// Interface shared by the ML baselines so the cross-validation
+/// harness can treat them uniformly.
+class BinaryClassifier {
+ public:
+  virtual ~BinaryClassifier() = default;
+
+  /// Trains on rows `features` with labels in {0, 1}. Fails on shape
+  /// mismatches or degenerate input (e.g. a single class for models
+  /// that cannot represent it).
+  virtual Status Fit(const std::vector<std::vector<double>>& features,
+                     const std::vector<int>& labels) = 0;
+
+  /// Raw decision value; >= 0 means the positive class.
+  virtual double DecisionValue(const std::vector<double>& features) const = 0;
+
+  /// Predicted label in {0, 1}.
+  bool Predict(const std::vector<double>& features) const {
+    return DecisionValue(features) >= 0.0;
+  }
+};
+
+}  // namespace corrob
+
+#endif  // CORROB_ML_CLASSIFIER_H_

@@ -1,0 +1,70 @@
+#include "ml/cross_validation.h"
+
+#include "common/random.h"
+
+namespace corrob {
+
+Result<std::vector<int>> StratifiedFolds(
+    const std::vector<int>& labels, const CrossValidationOptions& options) {
+  if (options.folds < 2) {
+    return Status::InvalidArgument("folds must be >= 2");
+  }
+  if (static_cast<size_t>(options.folds) > labels.size()) {
+    return Status::InvalidArgument("more folds than rows");
+  }
+  std::vector<size_t> positives;
+  std::vector<size_t> negatives;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    (labels[i] == 1 ? positives : negatives).push_back(i);
+  }
+  Rng rng(options.seed);
+  rng.Shuffle(&positives);
+  rng.Shuffle(&negatives);
+
+  std::vector<int> fold_of(labels.size(), 0);
+  int cursor = 0;
+  for (size_t i : positives) {
+    fold_of[i] = cursor;
+    cursor = (cursor + 1) % options.folds;
+  }
+  for (size_t i : negatives) {
+    fold_of[i] = cursor;
+    cursor = (cursor + 1) % options.folds;
+  }
+  return fold_of;
+}
+
+Result<std::vector<bool>> CrossValidatePredictions(
+    const MlDataset& data,
+    const std::function<std::unique_ptr<BinaryClassifier>()>& make_classifier,
+    const CrossValidationOptions& options) {
+  if (data.features.size() != data.labels.size()) {
+    return Status::InvalidArgument("features/labels size mismatch");
+  }
+  CORROB_ASSIGN_OR_RETURN(std::vector<int> fold_of,
+                          StratifiedFolds(data.labels, options));
+
+  std::vector<bool> predictions(data.labels.size(), false);
+  for (int fold = 0; fold < options.folds; ++fold) {
+    std::vector<std::vector<double>> train_x;
+    std::vector<int> train_y;
+    std::vector<size_t> test_rows;
+    for (size_t i = 0; i < data.labels.size(); ++i) {
+      if (fold_of[i] == fold) {
+        test_rows.push_back(i);
+      } else {
+        train_x.push_back(data.features[i]);
+        train_y.push_back(data.labels[i]);
+      }
+    }
+    if (test_rows.empty()) continue;
+    std::unique_ptr<BinaryClassifier> model = make_classifier();
+    CORROB_RETURN_NOT_OK(model->Fit(train_x, train_y));
+    for (size_t i : test_rows) {
+      predictions[i] = model->Predict(data.features[i]);
+    }
+  }
+  return predictions;
+}
+
+}  // namespace corrob

@@ -1,0 +1,38 @@
+#ifndef CORROB_ML_CROSS_VALIDATION_H_
+#define CORROB_ML_CROSS_VALIDATION_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "ml/classifier.h"
+#include "ml/features.h"
+
+namespace corrob {
+
+struct CrossValidationOptions {
+  /// Paper §6.1.1 reports 10-fold cross-validation.
+  int folds = 10;
+  uint64_t seed = 10;
+};
+
+/// Assigns each row to a fold with per-class (stratified) round-robin
+/// after a seeded shuffle. Returned vector holds fold ids in [0,
+/// folds). Fails if folds < 2 or folds > number of rows.
+Result<std::vector<int>> StratifiedFolds(const std::vector<int>& labels,
+                                         const CrossValidationOptions& options);
+
+/// Runs k-fold cross-validation: for each fold, trains a fresh
+/// classifier from `make_classifier` on the other folds and predicts
+/// the held-out rows. Returns out-of-fold predictions aligned with
+/// `data` rows.
+Result<std::vector<bool>> CrossValidatePredictions(
+    const MlDataset& data,
+    const std::function<std::unique_ptr<BinaryClassifier>()>& make_classifier,
+    const CrossValidationOptions& options = {});
+
+}  // namespace corrob
+
+#endif  // CORROB_ML_CROSS_VALIDATION_H_

@@ -1,0 +1,36 @@
+#include "ml/features.h"
+
+namespace corrob {
+
+std::vector<double> VoteFeatures(const Dataset& dataset, FactId fact,
+                                 VoteEncoding encoding) {
+  size_t sources = static_cast<size_t>(dataset.num_sources());
+  size_t width = encoding == VoteEncoding::kSigned ? sources : 2 * sources;
+  std::vector<double> features(width, 0.0);
+  for (const SourceVote& sv : dataset.VotesOnFact(fact)) {
+    size_t s = static_cast<size_t>(sv.source);
+    if (encoding == VoteEncoding::kSigned) {
+      features[s] = sv.vote == Vote::kTrue ? 1.0 : -1.0;
+    } else {
+      features[2 * s + (sv.vote == Vote::kTrue ? 0 : 1)] = 1.0;
+    }
+  }
+  return features;
+}
+
+MlDataset ExtractGoldenFeatures(const Dataset& dataset,
+                                const GoldenSet& golden,
+                                VoteEncoding encoding) {
+  MlDataset out;
+  out.features.reserve(golden.size());
+  out.labels.reserve(golden.size());
+  out.facts.reserve(golden.size());
+  for (size_t i = 0; i < golden.size(); ++i) {
+    out.features.push_back(VoteFeatures(dataset, golden.fact(i), encoding));
+    out.labels.push_back(golden.label(i) ? 1 : 0);
+    out.facts.push_back(golden.fact(i));
+  }
+  return out;
+}
+
+}  // namespace corrob

@@ -1,0 +1,42 @@
+#ifndef CORROB_ML_FEATURES_H_
+#define CORROB_ML_FEATURES_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/truth.h"
+
+namespace corrob {
+
+/// How votes are turned into classifier features (paper §6.1.1 "using
+/// the votes as features").
+enum class VoteEncoding {
+  /// One feature per source: T -> +1, F -> -1, '-' -> 0. Makes the F
+  /// votes the most discriminating features, as the paper observes.
+  kSigned,
+  /// Two indicator features per source: (voted T, voted F). Lets a
+  /// model weight affirmative and negative evidence independently.
+  kIndicator,
+};
+
+/// A supervised dataset extracted from votes.
+struct MlDataset {
+  std::vector<std::vector<double>> features;
+  /// Labels in {0, 1}; 1 = fact is true.
+  std::vector<int> labels;
+  /// The fact behind each row (golden entry order).
+  std::vector<FactId> facts;
+};
+
+/// Feature vector of one fact.
+std::vector<double> VoteFeatures(const Dataset& dataset, FactId fact,
+                                 VoteEncoding encoding);
+
+/// Supervised rows for every golden entry, in golden order.
+MlDataset ExtractGoldenFeatures(const Dataset& dataset,
+                                const GoldenSet& golden,
+                                VoteEncoding encoding);
+
+}  // namespace corrob
+
+#endif  // CORROB_ML_FEATURES_H_

@@ -1,0 +1,78 @@
+#include "ml/logistic_regression.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/math_util.h"
+
+namespace corrob {
+
+Status LogisticRegression::Fit(
+    const std::vector<std::vector<double>>& features,
+    const std::vector<int>& labels) {
+  if (features.size() != labels.size()) {
+    return Status::InvalidArgument("features/labels size mismatch");
+  }
+  if (features.empty()) {
+    return Status::InvalidArgument("cannot fit on an empty dataset");
+  }
+  const size_t n = features.size();
+  const size_t dim = features[0].size();
+  for (const auto& row : features) {
+    if (row.size() != dim) {
+      return Status::InvalidArgument("ragged feature matrix");
+    }
+  }
+  for (int label : labels) {
+    if (label != 0 && label != 1) {
+      return Status::InvalidArgument("labels must be 0 or 1");
+    }
+  }
+
+  weights_.assign(dim, 0.0);
+  bias_ = 0.0;
+  std::vector<double> grad(dim);
+
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    std::fill(grad.begin(), grad.end(), 0.0);
+    double grad_bias = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      double margin = bias_;
+      for (size_t d = 0; d < dim; ++d) margin += weights_[d] * features[i][d];
+      double error = Sigmoid(margin) - static_cast<double>(labels[i]);
+      for (size_t d = 0; d < dim; ++d) grad[d] += error * features[i][d];
+      grad_bias += error;
+    }
+    double inv_n = 1.0 / static_cast<double>(n);
+    double max_grad = std::fabs(grad_bias * inv_n);
+    for (size_t d = 0; d < dim; ++d) {
+      grad[d] = grad[d] * inv_n + options_.l2 * weights_[d];
+      max_grad = std::max(max_grad, std::fabs(grad[d]));
+    }
+    for (size_t d = 0; d < dim; ++d) {
+      weights_[d] -= options_.learning_rate * grad[d];
+    }
+    bias_ -= options_.learning_rate * grad_bias * inv_n;
+    if (max_grad < options_.gradient_tolerance) break;
+  }
+  return Status::OK();
+}
+
+double LogisticRegression::DecisionValue(
+    const std::vector<double>& features) const {
+  CORROB_CHECK(features.size() == weights_.size())
+      << "feature width " << features.size() << " != model width "
+      << weights_.size();
+  double margin = bias_;
+  for (size_t d = 0; d < weights_.size(); ++d) {
+    margin += weights_[d] * features[d];
+  }
+  return margin;
+}
+
+double LogisticRegression::PredictProbability(
+    const std::vector<double>& features) const {
+  return Sigmoid(DecisionValue(features));
+}
+
+}  // namespace corrob

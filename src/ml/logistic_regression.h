@@ -1,0 +1,47 @@
+#ifndef CORROB_ML_LOGISTIC_REGRESSION_H_
+#define CORROB_ML_LOGISTIC_REGRESSION_H_
+
+#include <vector>
+
+#include "ml/classifier.h"
+
+namespace corrob {
+
+struct LogisticRegressionOptions {
+  double learning_rate = 0.5;
+  int epochs = 2000;
+  /// L2 penalty on the weights (not the intercept).
+  double l2 = 1e-3;
+  /// Early-stop when the max absolute gradient falls below this.
+  double gradient_tolerance = 1e-6;
+};
+
+/// L2-regularized logistic regression trained with full-batch
+/// gradient descent — the "logistic classifier with default
+/// parameter" baseline of paper §6.1.1 (ML-Logistic).
+class LogisticRegression final : public BinaryClassifier {
+ public:
+  explicit LogisticRegression(LogisticRegressionOptions options = {})
+      : options_(options) {}
+
+  Status Fit(const std::vector<std::vector<double>>& features,
+             const std::vector<int>& labels) override;
+
+  /// Log-odds of the positive class.
+  double DecisionValue(const std::vector<double>& features) const override;
+
+  /// P(label = 1 | features).
+  double PredictProbability(const std::vector<double>& features) const;
+
+  const std::vector<double>& weights() const { return weights_; }
+  double bias() const { return bias_; }
+
+ private:
+  LogisticRegressionOptions options_;
+  std::vector<double> weights_;
+  double bias_ = 0.0;
+};
+
+}  // namespace corrob
+
+#endif  // CORROB_ML_LOGISTIC_REGRESSION_H_

@@ -1,0 +1,144 @@
+#include "ml/svm.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace corrob {
+
+namespace {
+
+double Dot(const std::vector<double>& a, const std::vector<double>& b) {
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+}  // namespace
+
+Status LinearSvm::Fit(const std::vector<std::vector<double>>& features,
+                      const std::vector<int>& labels) {
+  if (features.size() != labels.size()) {
+    return Status::InvalidArgument("features/labels size mismatch");
+  }
+  if (features.empty()) {
+    return Status::InvalidArgument("cannot fit on an empty dataset");
+  }
+  const size_t n = features.size();
+  const size_t dim = features[0].size();
+  for (const auto& row : features) {
+    if (row.size() != dim) {
+      return Status::InvalidArgument("ragged feature matrix");
+    }
+  }
+  bool has_pos = false, has_neg = false;
+  std::vector<double> y(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (labels[i] != 0 && labels[i] != 1) {
+      return Status::InvalidArgument("labels must be 0 or 1");
+    }
+    y[i] = labels[i] == 1 ? 1.0 : -1.0;
+    (labels[i] == 1 ? has_pos : has_neg) = true;
+  }
+  if (!has_pos || !has_neg) {
+    return Status::FailedPrecondition(
+        "SVM training requires both classes to be present");
+  }
+
+  // Simplified SMO over the dual variables.
+  std::vector<double> alpha(n, 0.0);
+  double b = 0.0;
+  Rng rng(options_.seed);
+
+  // Linear kernel values are recomputed on demand; the weight vector
+  // shortcut keeps decision evaluations O(dim).
+  auto decision = [&](size_t i) {
+    double sum = b;
+    for (size_t j = 0; j < n; ++j) {
+      if (alpha[j] == 0.0) continue;
+      sum += alpha[j] * y[j] * Dot(features[j], features[i]);
+    }
+    return sum;
+  };
+
+  int stale_passes = 0;
+  int total_passes = 0;
+  const double c = options_.c;
+  const double tol = options_.tolerance;
+  while (stale_passes < options_.max_stale_passes &&
+         total_passes < options_.max_passes) {
+    int changed = 0;
+    for (size_t i = 0; i < n; ++i) {
+      double error_i = decision(i) - y[i];
+      bool violates = (y[i] * error_i < -tol && alpha[i] < c) ||
+                      (y[i] * error_i > tol && alpha[i] > 0.0);
+      if (!violates) continue;
+
+      size_t j = static_cast<size_t>(rng.NextBelow(n - 1));
+      if (j >= i) ++j;
+      double error_j = decision(j) - y[j];
+
+      double alpha_i_old = alpha[i];
+      double alpha_j_old = alpha[j];
+      double lo, hi;
+      if (y[i] != y[j]) {
+        lo = std::max(0.0, alpha[j] - alpha[i]);
+        hi = std::min(c, c + alpha[j] - alpha[i]);
+      } else {
+        lo = std::max(0.0, alpha[i] + alpha[j] - c);
+        hi = std::min(c, alpha[i] + alpha[j]);
+      }
+      if (lo >= hi) continue;
+
+      double kii = Dot(features[i], features[i]);
+      double kjj = Dot(features[j], features[j]);
+      double kij = Dot(features[i], features[j]);
+      double eta = 2.0 * kij - kii - kjj;
+      if (eta >= 0.0) continue;
+
+      alpha[j] -= y[j] * (error_i - error_j) / eta;
+      alpha[j] = std::clamp(alpha[j], lo, hi);
+      if (std::fabs(alpha[j] - alpha_j_old) < 1e-7) continue;
+      alpha[i] += y[i] * y[j] * (alpha_j_old - alpha[j]);
+
+      double b1 = b - error_i - y[i] * (alpha[i] - alpha_i_old) * kii -
+                  y[j] * (alpha[j] - alpha_j_old) * kij;
+      double b2 = b - error_j - y[i] * (alpha[i] - alpha_i_old) * kij -
+                  y[j] * (alpha[j] - alpha_j_old) * kjj;
+      if (alpha[i] > 0.0 && alpha[i] < c) {
+        b = b1;
+      } else if (alpha[j] > 0.0 && alpha[j] < c) {
+        b = b2;
+      } else {
+        b = (b1 + b2) / 2.0;
+      }
+      ++changed;
+    }
+    ++total_passes;
+    stale_passes = changed == 0 ? stale_passes + 1 : 0;
+  }
+
+  // Collapse the dual solution into a primal weight vector.
+  weights_.assign(dim, 0.0);
+  num_support_vectors_ = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (alpha[i] == 0.0) continue;
+    ++num_support_vectors_;
+    for (size_t d = 0; d < dim; ++d) {
+      weights_[d] += alpha[i] * y[i] * features[i][d];
+    }
+  }
+  bias_ = b;
+  return Status::OK();
+}
+
+double LinearSvm::DecisionValue(const std::vector<double>& features) const {
+  CORROB_CHECK(features.size() == weights_.size())
+      << "feature width " << features.size() << " != model width "
+      << weights_.size();
+  return Dot(weights_, features) + bias_;
+}
+
+}  // namespace corrob

@@ -1,0 +1,51 @@
+#ifndef CORROB_ML_SVM_H_
+#define CORROB_ML_SVM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/classifier.h"
+
+namespace corrob {
+
+struct LinearSvmOptions {
+  /// Soft-margin penalty.
+  double c = 1.0;
+  /// KKT violation tolerance.
+  double tolerance = 1e-3;
+  /// SMO terminates after this many consecutive full passes without
+  /// an alpha update.
+  int max_stale_passes = 5;
+  /// Hard cap on total passes over the data.
+  int max_passes = 200;
+  uint64_t seed = 17;
+};
+
+/// Linear support-vector machine trained with the simplified SMO
+/// algorithm (Platt 1998) — the ML-SVM (SMO) baseline of paper
+/// §6.1.1, mirroring Weka's SMO with a linear kernel.
+class LinearSvm final : public BinaryClassifier {
+ public:
+  explicit LinearSvm(LinearSvmOptions options = {}) : options_(options) {}
+
+  Status Fit(const std::vector<std::vector<double>>& features,
+             const std::vector<int>& labels) override;
+
+  /// Signed distance to the separating hyperplane (unnormalized).
+  double DecisionValue(const std::vector<double>& features) const override;
+
+  const std::vector<double>& weights() const { return weights_; }
+  double bias() const { return bias_; }
+  /// Number of support vectors of the last fit.
+  int num_support_vectors() const { return num_support_vectors_; }
+
+ private:
+  LinearSvmOptions options_;
+  std::vector<double> weights_;
+  double bias_ = 0.0;
+  int num_support_vectors_ = 0;
+};
+
+}  // namespace corrob
+
+#endif  // CORROB_ML_SVM_H_

@@ -1,0 +1,152 @@
+#include "synth/hubdub_sim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/math_util.h"
+#include "common/random.h"
+
+namespace corrob {
+
+namespace {
+
+/// Crude Beta(a, b) sampler via the ratio of Gamma draws, themselves
+/// approximated with the Marsaglia-Tsang method for a >= 1 (our
+/// priors are comfortably above 1).
+double SampleGamma(double shape, Rng* rng) {
+  CORROB_CHECK(shape >= 1.0) << "SampleGamma requires shape >= 1";
+  double d = shape - 1.0 / 3.0;
+  double c = 1.0 / std::sqrt(9.0 * d);
+  for (;;) {
+    double x = rng->Gaussian();
+    double v = 1.0 + c * x;
+    if (v <= 0.0) continue;
+    v = v * v * v;
+    double u = rng->NextDouble();
+    if (u < 1.0 - 0.0331 * x * x * x * x) return d * v;
+    if (u > 0.0 && std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v)))
+      return d * v;
+  }
+}
+
+double SampleBeta(double a, double b, Rng* rng) {
+  double x = SampleGamma(a, rng);
+  double y = SampleGamma(b, rng);
+  return x / (x + y);
+}
+
+}  // namespace
+
+Result<QuestionDataset> GenerateHubdub(const HubdubSimOptions& options) {
+  if (options.num_questions < 1) {
+    return Status::InvalidArgument("num_questions must be >= 1");
+  }
+  if (options.num_answers < 2 * options.num_questions) {
+    return Status::InvalidArgument(
+        "need at least two candidate answers per question");
+  }
+  if (options.num_users < 1) {
+    return Status::InvalidArgument("num_users must be >= 1");
+  }
+  if (options.accuracy_alpha < 1.0 || options.accuracy_beta < 1.0) {
+    return Status::InvalidArgument("accuracy Beta parameters must be >= 1");
+  }
+
+  Rng rng(options.seed);
+  QuestionDatasetBuilder builder;
+
+  // Distribute answers: two per question, extras spread at random.
+  std::vector<int32_t> answers_per_question(
+      static_cast<size_t>(options.num_questions), 2);
+  int32_t extras = options.num_answers - 2 * options.num_questions;
+  for (int32_t i = 0; i < extras; ++i) {
+    ++answers_per_question[static_cast<size_t>(
+        rng.NextBelow(static_cast<uint64_t>(options.num_questions)))];
+  }
+
+  std::vector<std::vector<FactId>> question_answers(
+      static_cast<size_t>(options.num_questions));
+  std::vector<FactId> correct_answer(
+      static_cast<size_t>(options.num_questions));
+  for (int32_t q = 0; q < options.num_questions; ++q) {
+    QuestionId qid = builder.AddQuestion("q" + std::to_string(q));
+    int32_t count = answers_per_question[static_cast<size_t>(q)];
+    int32_t correct_index = static_cast<int32_t>(
+        rng.NextBelow(static_cast<uint64_t>(count)));
+    for (int32_t a = 0; a < count; ++a) {
+      FactId f = builder.AddAnswer(
+          qid, "q" + std::to_string(q) + "_a" + std::to_string(a),
+          a == correct_index);
+      question_answers[static_cast<size_t>(q)].push_back(f);
+      if (a == correct_index) correct_answer[static_cast<size_t>(q)] = f;
+    }
+  }
+
+  // User profiles: latent accuracy and Zipf-ish participation weight.
+  std::vector<double> accuracy(static_cast<size_t>(options.num_users));
+  std::vector<double> weight(static_cast<size_t>(options.num_users));
+  double weight_sum = 0.0;
+  for (int32_t u = 0; u < options.num_users; ++u) {
+    accuracy[static_cast<size_t>(u)] =
+        SampleBeta(options.accuracy_alpha, options.accuracy_beta, &rng);
+    weight[static_cast<size_t>(u)] =
+        1.0 / std::pow(static_cast<double>(u + 1), options.participation_skew);
+    weight_sum += weight[static_cast<size_t>(u)];
+    builder.AddSource("user" + std::to_string(u));
+  }
+
+  // Votes: for each question draw ~mean_votes_per_question distinct
+  // users (weighted without replacement, clamped to the user count).
+  int64_t total_votes = 0;
+  for (int32_t q = 0; q < options.num_questions; ++q) {
+    int32_t votes = static_cast<int32_t>(std::max<int64_t>(
+        1, std::llround(options.mean_votes_per_question *
+                        (0.5 + rng.NextDouble()))));
+    votes = std::min<int32_t>(votes, options.num_users);
+    std::vector<bool> used(static_cast<size_t>(options.num_users), false);
+    for (int32_t v = 0; v < votes; ++v) {
+      // Weighted draw with rejection on reuse.
+      int32_t user = -1;
+      for (int attempt = 0; attempt < 64; ++attempt) {
+        double target = rng.NextDouble() * weight_sum;
+        double acc = 0.0;
+        int32_t candidate = options.num_users - 1;
+        for (int32_t u = 0; u < options.num_users; ++u) {
+          acc += weight[static_cast<size_t>(u)];
+          if (acc >= target) {
+            candidate = u;
+            break;
+          }
+        }
+        if (!used[static_cast<size_t>(candidate)]) {
+          user = candidate;
+          break;
+        }
+      }
+      if (user < 0) continue;  // Heavy contention: skip this vote.
+      used[static_cast<size_t>(user)] = true;
+
+      const auto& answers = question_answers[static_cast<size_t>(q)];
+      FactId pick;
+      if (rng.Bernoulli(accuracy[static_cast<size_t>(user)])) {
+        pick = correct_answer[static_cast<size_t>(q)];
+      } else {
+        // A uniformly random wrong answer.
+        for (;;) {
+          pick = answers[static_cast<size_t>(rng.NextBelow(answers.size()))];
+          if (pick != correct_answer[static_cast<size_t>(q)]) break;
+        }
+      }
+      CORROB_RETURN_NOT_OK(builder.SetVote(user, pick, Vote::kTrue));
+      ++total_votes;
+    }
+  }
+  CORROB_CHECK(total_votes > 0);
+
+  return builder.Build();
+}
+
+}  // namespace corrob

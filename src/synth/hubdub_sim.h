@@ -1,0 +1,40 @@
+#ifndef CORROB_SYNTH_HUBDUB_SIM_H_
+#define CORROB_SYNTH_HUBDUB_SIM_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "data/question_dataset.h"
+
+namespace corrob {
+
+/// Shape parameters of the Hubdub-style prediction-market benchmark
+/// (Galland et al.; paper Table 7: 830 candidate answers over 357
+/// settled questions from 471 users).
+struct HubdubSimOptions {
+  int32_t num_questions = 357;
+  int32_t num_answers = 830;  ///< total candidate answers (>= 2/question)
+  int32_t num_users = 471;
+  /// Expected number of user votes per question.
+  double mean_votes_per_question = 7.0;
+  /// Per-user accuracy ~ Beta(a, b): the probability the user backs
+  /// the eventually-correct answer. The default mean of ~0.58 models
+  /// bettors that beat chance but err often — the conflict-rich
+  /// regime in which the Table 7 error counts (~260-330 of 830) live.
+  double accuracy_alpha = 7.0;
+  double accuracy_beta = 5.0;
+  /// Zipf-ish exponent of user participation (a few heavy bettors,
+  /// a long tail of one-off users).
+  double participation_skew = 1.1;
+  uint64_t seed = 830;
+};
+
+/// Generates a QuestionDataset with the configured shape: every
+/// question carries one correct answer; each participating user backs
+/// one answer per question (correct with their latent accuracy,
+/// otherwise a uniformly random wrong answer).
+Result<QuestionDataset> GenerateHubdub(const HubdubSimOptions& options);
+
+}  // namespace corrob
+
+#endif  // CORROB_SYNTH_HUBDUB_SIM_H_

@@ -1,0 +1,366 @@
+#include "synth/restaurant_sim.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/math_util.h"
+#include "common/random.h"
+#include "common/string_util.h"
+
+namespace corrob {
+
+std::vector<RestaurantSourceSpec> PaperRestaurantSources() {
+  // Table 3 coverage/accuracy; §6.2.1 F-vote counts.
+  return {
+      {"YellowPages", 0.59, 0.59, 0},
+      {"Foursquare", 0.24, 0.78, 10},
+      {"MenuPages", 0.20, 0.93, 256},
+      {"OpenTable", 0.07, 0.96, 0},
+      {"CitySearch", 0.50, 0.62, 0},
+      {"Yelp", 0.35, 0.84, 425},
+  };
+}
+
+namespace {
+
+/// Truth-conditioned coverage implied by a source's marginal coverage
+/// and accuracy: P(listed | open) and P(listed | defunct).
+struct ConditionedCoverage {
+  double when_true = 0.0;
+  double when_false = 0.0;
+};
+
+Result<ConditionedCoverage> ConditionCoverage(const RestaurantSourceSpec& spec,
+                                              double false_fraction) {
+  double p_true = 1.0 - false_fraction;
+  if (p_true <= 0.0 || false_fraction <= 0.0) {
+    return Status::InvalidArgument("false_fraction must be in (0,1)");
+  }
+  ConditionedCoverage cc;
+  cc.when_true = spec.coverage * spec.accuracy / p_true;
+  cc.when_false = spec.coverage * (1.0 - spec.accuracy) / false_fraction;
+  if (cc.when_true > 1.0 + 1e-9 || cc.when_false > 1.0 + 1e-9) {
+    return Status::InvalidArgument(
+        "source '" + spec.name +
+        "': coverage/accuracy marginals are infeasible for false_fraction " +
+        FormatDouble(false_fraction, 3));
+  }
+  cc.when_true = Clamp(cc.when_true, 0.0, 1.0);
+  cc.when_false = Clamp(cc.when_false, 0.0, 1.0);
+  return cc;
+}
+
+}  // namespace
+
+Result<RestaurantCorpus> GenerateRestaurantCorpus(
+    const RestaurantSimOptions& options) {
+  if (options.num_facts < 1) {
+    return Status::InvalidArgument("num_facts must be >= 1");
+  }
+  if (options.sources.empty()) {
+    return Status::InvalidArgument("at least one source is required");
+  }
+  if (options.golden_true < 0 || options.golden_false < 0) {
+    return Status::InvalidArgument("golden sizes must be non-negative");
+  }
+
+  std::vector<ConditionedCoverage> conditioned;
+  conditioned.reserve(options.sources.size());
+  for (const RestaurantSourceSpec& spec : options.sources) {
+    CORROB_ASSIGN_OR_RETURN(ConditionedCoverage cc,
+                            ConditionCoverage(spec, options.false_fraction));
+    conditioned.push_back(cc);
+  }
+
+  Rng rng(options.seed);
+  const int32_t facts = options.num_facts;
+
+  // Every fact in the corpus is a *listing* — it exists because at
+  // least one source carries it. Generation conditions on visibility
+  // (redraw until some source lists the fact), so the raw inclusion
+  // probabilities must be deflated to keep the measured (visible)
+  // coverage at the Table 3 targets: solve a = c · P(visible) by
+  // fixed-point iteration, separately per truth value.
+  const size_t num_sources = options.sources.size();
+  std::vector<double> adj_true(num_sources);
+  std::vector<double> adj_false(num_sources);
+  double visible_true = 1.0;
+  double visible_false = 1.0;
+  for (int truth_side = 0; truth_side < 2; ++truth_side) {
+    std::vector<double>& adjusted = truth_side == 0 ? adj_true : adj_false;
+    double& visible = truth_side == 0 ? visible_true : visible_false;
+    for (int iter = 0; iter < 25; ++iter) {
+      double not_listed = 1.0;
+      for (size_t s = 0; s < num_sources; ++s) {
+        double base = truth_side == 0 ? conditioned[s].when_true
+                                      : conditioned[s].when_false;
+        adjusted[s] = Clamp(base * visible, 0.0, 1.0);
+        not_listed *= 1.0 - adjusted[s];
+      }
+      visible = 1.0 - not_listed;
+      if (visible <= 1e-9) {
+        return Status::FailedPrecondition(
+            "source coverages are too small to generate visible listings");
+      }
+    }
+  }
+  // The published false fraction (261/601) is measured over visible
+  // listings; defunct restaurants are less visible, so the raw draw
+  // probability must be inflated accordingly.
+  const double ff = options.false_fraction;
+  const double draw_false =
+      ff * visible_true / (visible_false * (1.0 - ff) + ff * visible_true);
+
+  std::vector<bool> truth(static_cast<size_t>(facts));
+  std::vector<FactId> true_facts;
+  std::vector<FactId> false_facts;
+
+  DatasetBuilder builder;
+  for (const RestaurantSourceSpec& spec : options.sources) {
+    builder.AddSource(spec.name);
+  }
+  for (int32_t f = 0; f < facts; ++f) {
+    builder.AddFact("listing_" + std::to_string(f));
+  }
+
+  std::vector<size_t> listers;
+  for (int32_t f = 0; f < facts; ++f) {
+    for (int attempt = 0;; ++attempt) {
+      if (attempt >= 10000) {
+        return Status::FailedPrecondition(
+            "source coverages are too small to generate visible listings");
+      }
+      bool is_true = !rng.Bernoulli(draw_false);
+      // Shared popularity factor: popular restaurants are listed by
+      // more sources, which raises pairwise overlap (Table 3) above
+      // the independent-coverage level.
+      double popularity =
+          Clamp(1.0 + options.popularity_weight * rng.Gaussian(), 0.25, 2.5);
+      listers.clear();
+      for (size_t s = 0; s < num_sources; ++s) {
+        double p = Clamp((is_true ? adj_true[s] : adj_false[s]) * popularity,
+                         0.0, 1.0);
+        if (rng.Bernoulli(p)) listers.push_back(s);
+      }
+      if (listers.empty()) continue;  // Nobody carries it: not a listing.
+      truth[static_cast<size_t>(f)] = is_true;
+      (is_true ? true_facts : false_facts).push_back(f);
+      for (size_t s : listers) {
+        CORROB_CHECK_OK(
+            builder.SetVote(static_cast<SourceId>(s), f, Vote::kTrue));
+      }
+      break;
+    }
+  }
+  if (true_facts.empty() || false_facts.empty()) {
+    return Status::FailedPrecondition(
+        "degenerate corpus: need both open and defunct listings");
+  }
+
+  // F (CLOSED) votes: each source marks its specified number of
+  // defunct listings. A CLOSED marker replaces any affirmative copy
+  // the source carried.
+  for (size_t s = 0; s < options.sources.size(); ++s) {
+    int64_t target = options.sources[s].f_votes;
+    if (target <= 0) continue;
+    std::vector<FactId> pool = false_facts;
+    rng.Shuffle(&pool);
+    int64_t take = std::min<int64_t>(target, static_cast<int64_t>(pool.size()));
+    for (int64_t i = 0; i < take; ++i) {
+      CORROB_CHECK_OK(builder.SetVote(static_cast<SourceId>(s),
+                                      pool[static_cast<size_t>(i)],
+                                      Vote::kFalse));
+    }
+  }
+
+  // Golden set with the published size and split.
+  GoldenSet golden;
+  std::vector<FactId> true_pool = true_facts;
+  std::vector<FactId> false_pool = false_facts;
+  rng.Shuffle(&true_pool);
+  rng.Shuffle(&false_pool);
+  if (static_cast<int64_t>(true_pool.size()) < options.golden_true ||
+      static_cast<int64_t>(false_pool.size()) < options.golden_false) {
+    return Status::FailedPrecondition(
+        "corpus too small for the requested golden set");
+  }
+  for (int32_t i = 0; i < options.golden_true; ++i) {
+    golden.Add(true_pool[static_cast<size_t>(i)], true);
+  }
+  for (int32_t i = 0; i < options.golden_false; ++i) {
+    golden.Add(false_pool[static_cast<size_t>(i)], false);
+  }
+
+  RestaurantCorpus corpus;
+  corpus.dataset = builder.Build();
+  corpus.truth = GroundTruth(std::move(truth));
+  corpus.golden = std::move(golden);
+  return corpus;
+}
+
+namespace {
+
+constexpr std::array<const char*, 18> kNameAdjectives = {
+    "Grand",  "Golden", "Little", "Royal",  "Blue",   "Lucky",
+    "Silver", "Happy",  "Old",    "New",    "Red",    "Green",
+    "Sunny",  "Corner", "Famous", "Village", "Uptown", "Downtown"};
+
+constexpr std::array<const char*, 20> kNameNouns = {
+    "Dragon",  "Garden",  "Palace",  "Kitchen", "Table",  "Bistro",
+    "Grill",   "Tavern",  "Diner",   "Cantina", "Trattoria", "Brasserie",
+    "Noodle",  "Curry",   "Pizzeria", "Deli",   "Cafe",   "Oyster",
+    "Harvest", "Lantern"};
+
+constexpr std::array<const char*, 12> kNameSuffixes = {
+    "House",      "Bar",   "Room",    "Spot",    "Club", "Express",
+    "Restaurant", "Place", "Company", "Corner",  "Co",   "Eatery"};
+
+constexpr std::array<const char*, 16> kStreetNames = {
+    "Main",    "Oak",     "Maple",  "Cedar",   "Park",   "Lake",
+    "Hill",    "River",   "Spring", "Madison", "Lexington", "Hudson",
+    "Mulberry", "Greene", "Bleecker", "Delancey"};
+
+constexpr std::array<const char*, 6> kStreetSuffixFull = {
+    "Street", "Avenue", "Boulevard", "Road", "Place", "Lane"};
+constexpr std::array<const char*, 6> kStreetSuffixAbbrev = {
+    "St", "Ave", "Blvd", "Rd", "Pl", "Ln"};
+
+constexpr std::array<const char*, 4> kDirectionFull = {"West", "East", "North",
+                                                       "South"};
+constexpr std::array<const char*, 4> kDirectionAbbrev = {"W", "E", "N", "S"};
+
+struct CanonicalRestaurant {
+  std::string name;
+  // Address pieces kept separate so perturbations can re-render them.
+  int number = 0;
+  int direction = -1;  // index into kDirection*, -1 = none
+  std::string street;
+  int suffix = 0;  // index into kStreetSuffix*
+  // Whether listings of this restaurant carry a ", New York" suffix.
+  // Fixed per restaurant: a city suffix is not erased by address
+  // normalization, so varying it per listing would split the entity
+  // across dedup blocks.
+  bool with_city = false;
+};
+
+std::string RenderAddress(const CanonicalRestaurant& r, bool abbrev_direction,
+                          bool abbrev_suffix) {
+  std::string out = std::to_string(r.number);
+  if (r.direction >= 0) {
+    out += " ";
+    out += abbrev_direction ? kDirectionAbbrev[static_cast<size_t>(r.direction)]
+                            : kDirectionFull[static_cast<size_t>(r.direction)];
+  }
+  out += " " + r.street + " ";
+  out += abbrev_suffix ? kStreetSuffixAbbrev[static_cast<size_t>(r.suffix)]
+                       : kStreetSuffixFull[static_cast<size_t>(r.suffix)];
+  if (r.with_city) out += ", New York";
+  return out;
+}
+
+std::string PerturbName(const std::string& name, Rng* rng) {
+  std::string out = name;
+  switch (rng->NextBelow(4)) {
+    case 0:  // Drop apostrophes and periods.
+      out = ReplaceAll(out, "'", "");
+      out = ReplaceAll(out, ".", "");
+      break;
+    case 1:  // Lowercase rendering.
+      out = ToLower(out);
+      break;
+    case 2: {  // Drop a trailing word if there are several.
+      std::vector<std::string> words = SplitWhitespace(out);
+      if (words.size() > 2) {
+        words.pop_back();
+        out = Join(words, " ");
+      }
+      break;
+    }
+    case 3: {  // Single-character typo (swap two adjacent letters).
+      if (out.size() > 3) {
+        size_t i = 1 + rng->NextBelow(out.size() - 2);
+        std::swap(out[i], out[i + 1]);
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<RawCrawl> GenerateRawCrawl(const RawCrawlOptions& options) {
+  if (options.num_restaurants < 1) {
+    return Status::InvalidArgument("num_restaurants must be >= 1");
+  }
+  if (options.sources.empty()) {
+    return Status::InvalidArgument("at least one source is required");
+  }
+
+  std::vector<ConditionedCoverage> conditioned;
+  conditioned.reserve(options.sources.size());
+  for (const RestaurantSourceSpec& spec : options.sources) {
+    CORROB_ASSIGN_OR_RETURN(ConditionedCoverage cc,
+                            ConditionCoverage(spec, options.false_fraction));
+    conditioned.push_back(cc);
+  }
+
+  Rng rng(options.seed);
+  RawCrawl crawl;
+  std::vector<CanonicalRestaurant> restaurants(
+      static_cast<size_t>(options.num_restaurants));
+  for (int32_t i = 0; i < options.num_restaurants; ++i) {
+    CanonicalRestaurant& r = restaurants[static_cast<size_t>(i)];
+    r.name = std::string(kNameAdjectives[rng.NextBelow(kNameAdjectives.size())]) +
+             " " + kNameNouns[rng.NextBelow(kNameNouns.size())] + " " +
+             kNameSuffixes[rng.NextBelow(kNameSuffixes.size())];
+    r.number = static_cast<int>(1 + rng.NextBelow(999));
+    r.direction = rng.Bernoulli(0.4)
+                      ? static_cast<int>(rng.NextBelow(kDirectionFull.size()))
+                      : -1;
+    r.street = kStreetNames[rng.NextBelow(kStreetNames.size())];
+    r.suffix = static_cast<int>(rng.NextBelow(kStreetSuffixFull.size()));
+    r.with_city = rng.Bernoulli(0.3);
+
+    crawl.entity_keys.push_back("R" + std::to_string(i));
+    crawl.entity_truth.push_back(!rng.Bernoulli(options.false_fraction));
+  }
+
+  auto emit_listing = [&](size_t source_index, int32_t restaurant,
+                          bool closed) {
+    const CanonicalRestaurant& r =
+        restaurants[static_cast<size_t>(restaurant)];
+    RawListing listing;
+    listing.source = options.sources[source_index].name;
+    listing.entity_hint = crawl.entity_keys[static_cast<size_t>(restaurant)];
+    listing.closed = closed;
+    bool perturb = rng.Bernoulli(options.perturbation_rate);
+    listing.name = perturb ? PerturbName(r.name, &rng) : r.name;
+    listing.address = RenderAddress(r, /*abbrev_direction=*/rng.Bernoulli(0.5),
+                                    /*abbrev_suffix=*/rng.Bernoulli(0.5));
+    crawl.listings.push_back(std::move(listing));
+  };
+
+  for (size_t s = 0; s < options.sources.size(); ++s) {
+    bool casts_f_votes = options.sources[s].f_votes > 0;
+    for (int32_t i = 0; i < options.num_restaurants; ++i) {
+      bool open = crawl.entity_truth[static_cast<size_t>(i)];
+      double coverage =
+          open ? conditioned[s].when_true : conditioned[s].when_false;
+      // A source that audits its listings may instead carry the
+      // restaurant as CLOSED (an F vote) when it is defunct.
+      bool closed_marker =
+          !open && casts_f_votes && rng.Bernoulli(0.05);
+      if (!closed_marker && !rng.Bernoulli(coverage)) continue;
+      emit_listing(s, i, closed_marker);
+      if (!closed_marker && rng.Bernoulli(options.duplicate_rate)) {
+        emit_listing(s, i, false);  // A second, differently formatted copy.
+      }
+    }
+  }
+  return crawl;
+}
+
+}  // namespace corrob

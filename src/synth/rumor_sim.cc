@@ -1,0 +1,118 @@
+#include "synth/rumor_sim.h"
+
+#include <string>
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace corrob {
+
+Result<RumorCorpus> GenerateRumors(const RumorSimOptions& options) {
+  if (options.num_rumors < 1) {
+    return Status::InvalidArgument("num_rumors must be >= 1");
+  }
+  if (options.num_insiders < 0 || options.num_aggregators < 0 ||
+      options.num_tabloids < 1) {
+    return Status::InvalidArgument(
+        "need non-negative insider/aggregator counts and >= 1 tabloid");
+  }
+  if (options.true_fraction < 0.0 || options.true_fraction > 1.0) {
+    return Status::InvalidArgument("true_fraction must be in [0,1]");
+  }
+  if (options.virality < 0.0 || options.virality > 1.0) {
+    return Status::InvalidArgument("virality must be in [0,1]");
+  }
+  if (options.debunk_rate < 0.0 || options.debunk_rate > 1.0) {
+    return Status::InvalidArgument("debunk_rate must be in [0,1]");
+  }
+
+  Rng rng(options.seed);
+  RumorCorpus corpus;
+  DatasetBuilder builder;
+  for (int32_t i = 0; i < options.num_insiders; ++i) {
+    builder.AddSource("insider_" + std::to_string(i));
+    corpus.tiers.push_back(BlogTier::kInsider);
+  }
+  for (int32_t i = 0; i < options.num_aggregators; ++i) {
+    builder.AddSource("aggregator_" + std::to_string(i));
+    corpus.tiers.push_back(BlogTier::kAggregator);
+  }
+  for (int32_t i = 0; i < options.num_tabloids; ++i) {
+    builder.AddSource("tabloid_" + std::to_string(i));
+    corpus.tiers.push_back(BlogTier::kTabloid);
+  }
+  const SourceId first_aggregator = options.num_insiders;
+  const SourceId first_tabloid =
+      options.num_insiders + options.num_aggregators;
+  const SourceId num_sources = static_cast<SourceId>(corpus.tiers.size());
+
+  std::vector<bool> truth(static_cast<size_t>(options.num_rumors));
+  for (int32_t r = 0; r < options.num_rumors; ++r) {
+    FactId f = builder.AddFact("rumor_" + std::to_string(r));
+    bool is_true = rng.Bernoulli(options.true_fraction);
+    truth[static_cast<size_t>(r)] = is_true;
+
+    if (is_true) {
+      // Real product news: covered broadly and independently.
+      bool covered = false;
+      for (SourceId s = 0; s < num_sources; ++s) {
+        double coverage = corpus.tiers[static_cast<size_t>(s)] ==
+                                  BlogTier::kTabloid
+                              ? 0.25
+                              : 0.5;
+        if (rng.Bernoulli(coverage)) {
+          CORROB_CHECK_OK(builder.SetVote(s, f, Vote::kTrue));
+          covered = true;
+        }
+      }
+      if (!covered) {
+        // Somebody broke the story; pick a random non-tabloid outlet
+        // (or a tabloid when nothing else exists).
+        SourceId s = first_tabloid > 0
+                         ? static_cast<SourceId>(rng.NextBelow(
+                               static_cast<uint64_t>(first_tabloid)))
+                         : 0;
+        CORROB_CHECK_OK(builder.SetVote(s, f, Vote::kTrue));
+      }
+      continue;
+    }
+
+    // Fabricated rumor: originates at a tabloid (90%) or a careless
+    // aggregator (10%, when any exists).
+    SourceId origin;
+    if (options.num_aggregators > 0 && rng.Bernoulli(0.1)) {
+      origin = first_aggregator + static_cast<SourceId>(rng.NextBelow(
+                   static_cast<uint64_t>(options.num_aggregators)));
+    } else {
+      origin = first_tabloid + static_cast<SourceId>(rng.NextBelow(
+                   static_cast<uint64_t>(options.num_tabloids)));
+    }
+    CORROB_CHECK_OK(builder.SetVote(origin, f, Vote::kTrue));
+
+    // Virality: the cascade of uncritical reblogs.
+    for (SourceId s = first_aggregator; s < first_tabloid; ++s) {
+      if (s != origin && rng.Bernoulli(options.virality)) {
+        CORROB_CHECK_OK(builder.SetVote(s, f, Vote::kTrue));
+      }
+    }
+    for (SourceId s = first_tabloid; s < num_sources; ++s) {
+      if (s != origin && rng.Bernoulli(options.virality / 2.0)) {
+        CORROB_CHECK_OK(builder.SetVote(s, f, Vote::kTrue));
+      }
+    }
+    // Insiders investigate: debunk, get fooled, or stay silent.
+    for (SourceId s = 0; s < first_aggregator; ++s) {
+      if (rng.Bernoulli(options.debunk_rate)) {
+        CORROB_CHECK_OK(builder.SetVote(s, f, Vote::kFalse));
+      } else if (rng.Bernoulli(0.1)) {
+        CORROB_CHECK_OK(builder.SetVote(s, f, Vote::kTrue));
+      }
+    }
+  }
+
+  corpus.dataset = builder.Build();
+  corpus.truth = GroundTruth(std::move(truth));
+  return corpus;
+}
+
+}  // namespace corrob

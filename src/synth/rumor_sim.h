@@ -1,0 +1,67 @@
+#ifndef CORROB_SYNTH_RUMOR_SIM_H_
+#define CORROB_SYNTH_RUMOR_SIM_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "data/dataset.h"
+#include "data/truth.h"
+
+namespace corrob {
+
+/// Role of a simulated tech blog.
+enum class BlogTier {
+  /// Few, careful, low coverage; the only tier that debunks (casts
+  /// F votes) — the Menupages/OpenTable analogue.
+  kInsider,
+  /// Many, medium quality; reblog whatever is circulating, including
+  /// false rumors that went viral.
+  kAggregator,
+  /// Rumor mills: originate most false claims, never retract.
+  kTabloid,
+};
+
+/// Parameters of the product-rumor domain from the paper's
+/// introduction ("technology blogs usually provide claims regarding
+/// major product releases, each of which could be viewed as facts
+/// with only supportive statements"). Unlike the restaurant corpus,
+/// false claims here *propagate*: an invented rumor is reblogged by
+/// aggregators, manufacturing the apparent consensus of §1.
+struct RumorSimOptions {
+  int32_t num_rumors = 5000;
+  int32_t num_insiders = 4;
+  int32_t num_aggregators = 8;
+  int32_t num_tabloids = 5;
+  /// Fraction of rumors that are actually true.
+  double true_fraction = 0.6;
+  /// Per-aggregator probability of repeating a circulating false
+  /// rumor (the virality of fabricated claims).
+  double virality = 0.18;
+  /// Per-insider probability of publishing a debunk (an F vote) for a
+  /// false rumor it has investigated.
+  double debunk_rate = 0.4;
+  uint64_t seed = 404;
+};
+
+struct RumorCorpus {
+  Dataset dataset;
+  GroundTruth truth;
+  /// Tier of each source, in source-id order.
+  std::vector<BlogTier> tiers;
+};
+
+/// Generates the rumor vote matrix. Per rumor:
+///  - true claims are covered independently (insiders 0.5,
+///    aggregators 0.5, tabloids 0.25), all affirmative;
+///  - false claims originate at a tabloid (or, rarely, an
+///    aggregator), are reblogged by each aggregator with probability
+///    `virality` and by each tabloid with half of it, and are
+///    investigated by each insider, which then either debunks
+///    (F vote, probability debunk_rate), gets fooled into reblogging
+///    (probability 0.1), or stays silent.
+/// Every rumor has at least one statement (the originator's).
+Result<RumorCorpus> GenerateRumors(const RumorSimOptions& options);
+
+}  // namespace corrob
+
+#endif  // CORROB_SYNTH_RUMOR_SIM_H_

@@ -1,0 +1,131 @@
+#include "synth/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/math_util.h"
+#include "common/random.h"
+
+namespace corrob {
+
+Result<SyntheticDataset> GenerateSynthetic(const SyntheticOptions& options) {
+  if (options.num_sources < 1) {
+    return Status::InvalidArgument("num_sources must be >= 1");
+  }
+  if (options.num_inaccurate < 0 ||
+      options.num_inaccurate > options.num_sources) {
+    return Status::InvalidArgument(
+        "num_inaccurate must be in [0, num_sources]");
+  }
+  if (options.num_facts < 1) {
+    return Status::InvalidArgument("num_facts must be >= 1");
+  }
+  if (options.true_fraction < 0.0 || options.true_fraction > 1.0) {
+    return Status::InvalidArgument("true_fraction must be in [0,1]");
+  }
+  if (options.eta < 0.0 || options.eta > 1.0 - options.true_fraction + 1e-12) {
+    return Status::InvalidArgument(
+        "eta must be in [0, 1 - true_fraction]: flagged facts are false");
+  }
+
+  Rng rng(options.seed);
+
+  // Source profiles. The first num_inaccurate ids are the inaccurate
+  // sources so sweeps can hold that block fixed while varying totals.
+  std::vector<SyntheticSourceProfile> profiles(
+      static_cast<size_t>(options.num_sources));
+  for (int32_t s = 0; s < options.num_sources; ++s) {
+    SyntheticSourceProfile& p = profiles[static_cast<size_t>(s)];
+    p.accurate = s >= options.num_inaccurate;
+    if (p.accurate) {
+      p.trust = rng.Uniform(0.7, 1.0);
+      p.f_vote_prob = rng.Uniform(0.0, 0.5);
+    } else {
+      p.trust = rng.Uniform(0.5, 0.7);
+      p.f_vote_prob = 0.0;
+    }
+    p.coverage = Clamp(1.0 - p.trust + rng.NextDouble() * 0.2, 0.0, 1.0);
+  }
+
+  DatasetBuilder builder;
+  for (int32_t s = 0; s < options.num_sources; ++s) {
+    builder.AddSource((profiles[static_cast<size_t>(s)].accurate
+                           ? std::string("acc_")
+                           : std::string("inacc_")) +
+                      std::to_string(s));
+  }
+  for (int32_t f = 0; f < options.num_facts; ++f) {
+    builder.AddFact("f" + std::to_string(f));
+  }
+
+  std::vector<int32_t> accurate_ids;
+  for (int32_t s = 0; s < options.num_sources; ++s) {
+    if (profiles[static_cast<size_t>(s)].accurate) accurate_ids.push_back(s);
+  }
+
+  // A fact only exists in the corpus if at least one source lists it
+  // (a restaurant nobody ever listed is not a listing); each fact is
+  // redrawn until it receives a vote. η is applied to false facts as
+  // the conditional flagging probability eta / (1 - true_fraction) so
+  // that the unconditional flagged fraction is ≈ η.
+  const double flag_prob =
+      options.true_fraction >= 1.0
+          ? 0.0
+          : Clamp(options.eta / (1.0 - options.true_fraction), 0.0, 1.0);
+  std::vector<bool> truth(static_cast<size_t>(options.num_facts));
+  std::vector<SourceVote> votes;
+  for (int32_t f = 0; f < options.num_facts; ++f) {
+    for (int attempt = 0;; ++attempt) {
+      if (attempt >= 10000) {
+        // Degenerate profiles (all coverages ≈ 0) cannot produce a
+        // visible fact in reasonable time.
+        return Status::FailedPrecondition(
+            "source coverages are too small to generate visible facts");
+      }
+      votes.clear();
+      bool is_true = rng.Bernoulli(options.true_fraction);
+      bool flagged = !is_true && rng.Bernoulli(flag_prob);
+      bool has_f_vote = false;
+      for (int32_t s = 0; s < options.num_sources; ++s) {
+        const SyntheticSourceProfile& p = profiles[static_cast<size_t>(s)];
+        if (!rng.Bernoulli(p.coverage)) continue;
+        if (is_true) {
+          votes.push_back(SourceVote{s, Vote::kTrue});
+        } else if (rng.Bernoulli(Clamp((1.0 - p.trust) / p.trust, 0.0, 1.0))) {
+          // The source errs and keeps the bogus listing. The error
+          // rate (1-σ)/σ makes the source's precision equal σ(s),
+          // matching the paper's definition of the trust score as
+          // the source's precision (§3.1).
+          votes.push_back(SourceVote{s, Vote::kTrue});
+        } else if (p.accurate && flagged && rng.Bernoulli(p.f_vote_prob)) {
+          votes.push_back(SourceVote{s, Vote::kFalse});
+          has_f_vote = true;
+        }
+        // Otherwise the source silently drops the bogus listing.
+      }
+      // Flagged facts are guaranteed an F vote while any accurate
+      // source exists to cast it.
+      if (flagged && !has_f_vote && !accurate_ids.empty()) {
+        votes.push_back(SourceVote{
+            accurate_ids[static_cast<size_t>(
+                rng.NextBelow(accurate_ids.size()))],
+            Vote::kFalse});
+      }
+      if (votes.empty()) continue;  // Invisible fact: redraw.
+      truth[static_cast<size_t>(f)] = is_true;
+      for (const SourceVote& sv : votes) {
+        CORROB_CHECK_OK(builder.SetVote(sv.source, f, sv.vote));
+      }
+      break;
+    }
+  }
+
+  SyntheticDataset out;
+  out.dataset = builder.Build();
+  out.truth = GroundTruth(std::move(truth));
+  out.profiles = std::move(profiles);
+  return out;
+}
+
+}  // namespace corrob

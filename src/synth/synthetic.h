@@ -1,0 +1,64 @@
+#ifndef CORROB_SYNTH_SYNTHETIC_H_
+#define CORROB_SYNTH_SYNTHETIC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "data/dataset.h"
+#include "data/truth.h"
+
+namespace corrob {
+
+/// Generated profile of one synthetic source (paper §6.3.1).
+struct SyntheticSourceProfile {
+  /// σ(s): U[0.7, 1.0] for accurate sources, U[0.5, 0.7] for
+  /// inaccurate ones (every synthetic source is a positive source).
+  double trust = 0.0;
+  /// c(s) = 1 - σ(s) + 0.2·U[0,1]: inaccurate sources cover more.
+  double coverage = 0.0;
+  /// m(s): probability that an accurate source casts an F vote for a
+  /// false fact it detects; U[0, 0.5]. Zero for inaccurate sources,
+  /// which never cast F votes.
+  double f_vote_prob = 0.0;
+  bool accurate = false;
+};
+
+/// Parameters of the paper's synthetic data model (§6.3.1).
+struct SyntheticOptions {
+  int32_t num_sources = 10;
+  int32_t num_inaccurate = 2;
+  int32_t num_facts = 20000;
+  /// η: the fraction of facts that end up with at least one F vote.
+  /// Implemented by flagging round(η·|F|) false facts; flagged facts
+  /// collect F votes from detecting accurate sources (per m(s)) and
+  /// are guaranteed at least one F vote while any accurate source
+  /// exists. Must satisfy η <= 1 - true_fraction.
+  double eta = 0.02;
+  /// Probability a fact's correct value is true ("randomly assigned a
+  /// correct value of either true or false").
+  double true_fraction = 0.5;
+  uint64_t seed = 42;
+};
+
+/// A generated synthetic corpus.
+struct SyntheticDataset {
+  Dataset dataset;
+  GroundTruth truth;
+  std::vector<SyntheticSourceProfile> profiles;
+};
+
+/// Generates votes per §6.3.1. For each (source, fact) pair covered
+/// by the source:
+///   - true fact: the source lists it (T vote);
+///   - false fact: with probability 1-σ(s) the source erroneously
+///     lists it (T vote); otherwise it detects the error and either
+///     casts an F vote (accurate source, flagged fact, probability
+///     m(s)) or omits the listing.
+/// Fails if the options are inconsistent (e.g. more inaccurate
+/// sources than sources, η > 1 - true_fraction).
+Result<SyntheticDataset> GenerateSynthetic(const SyntheticOptions& options);
+
+}  // namespace corrob
+
+#endif  // CORROB_SYNTH_SYNTHETIC_H_

@@ -1,0 +1,121 @@
+#include "text/address.h"
+
+#include <array>
+#include <cctype>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace corrob {
+
+namespace {
+
+// Canonical abbreviation table: token -> replacement.
+constexpr std::array<std::pair<std::string_view, std::string_view>, 34>
+    kTokenRewrites = {{
+        // Directionals.
+        {"west", "w"},
+        {"east", "e"},
+        {"north", "n"},
+        {"south", "s"},
+        {"northwest", "nw"},
+        {"northeast", "ne"},
+        {"southwest", "sw"},
+        {"southeast", "se"},
+        // Street suffixes (USPS-style).
+        {"street", "st"},
+        {"avenue", "ave"},
+        {"av", "ave"},
+        {"boulevard", "blvd"},
+        {"road", "rd"},
+        {"drive", "dr"},
+        {"place", "pl"},
+        {"lane", "ln"},
+        {"court", "ct"},
+        {"square", "sq"},
+        {"parkway", "pkwy"},
+        {"highway", "hwy"},
+        {"terrace", "ter"},
+        {"circle", "cir"},
+        {"plaza", "plz"},
+        {"alley", "aly"},
+        // Number words.
+        {"first", "1"},
+        {"second", "2"},
+        {"third", "3"},
+        {"fourth", "4"},
+        {"fifth", "5"},
+        {"sixth", "6"},
+        {"seventh", "7"},
+        {"eighth", "8"},
+        {"ninth", "9"},
+        {"tenth", "10"},
+    }};
+
+constexpr std::array<std::string_view, 8> kUnitDesignators = {
+    "apt", "apartment", "suite", "ste", "floor", "fl", "unit", "rm"};
+
+bool IsUnitDesignator(std::string_view token) {
+  for (std::string_view unit : kUnitDesignators) {
+    if (token == unit) return true;
+  }
+  return false;
+}
+
+// Strips an ordinal suffix from a digits+suffix token: "46th" -> "46".
+std::string StripOrdinal(const std::string& token) {
+  size_t digits = 0;
+  while (digits < token.size() &&
+         std::isdigit(static_cast<unsigned char>(token[digits])))
+    ++digits;
+  if (digits == 0 || digits == token.size()) return token;
+  std::string suffix = token.substr(digits);
+  if (suffix == "st" || suffix == "nd" || suffix == "rd" || suffix == "th") {
+    return token.substr(0, digits);
+  }
+  return token;
+}
+
+std::string RewriteToken(const std::string& token) {
+  for (const auto& [from, to] : kTokenRewrites) {
+    if (token == from) return std::string(to);
+  }
+  return StripOrdinal(token);
+}
+
+}  // namespace
+
+std::string NormalizeAddress(std::string_view address) {
+  // Step 1: lowercase and split on non-alphanumerics.
+  std::string spaced;
+  spaced.reserve(address.size());
+  for (char c : address) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      spaced +=
+          static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    } else {
+      spaced += ' ';
+    }
+  }
+  std::vector<std::string> tokens = SplitWhitespace(spaced);
+
+  // Step 2: drop unit designators together with their operand.
+  std::vector<std::string> kept;
+  kept.reserve(tokens.size());
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    if (IsUnitDesignator(tokens[i])) {
+      ++i;  // Skip the unit number as well (if present).
+      continue;
+    }
+    kept.push_back(tokens[i]);
+  }
+
+  // Steps 3-6: per-token rewrites.
+  for (std::string& token : kept) token = RewriteToken(token);
+
+  return Join(kept, " ");
+}
+
+}  // namespace corrob

@@ -1,0 +1,31 @@
+#ifndef CORROB_TEXT_ADDRESS_H_
+#define CORROB_TEXT_ADDRESS_H_
+
+#include <string>
+#include <string_view>
+
+namespace corrob {
+
+/// Rule-based US street-address normalizer — the "rule-based script to
+/// normalize the addresses of all listings" from the paper's dedup
+/// pipeline (§6.2.1). Two listings share a dedup group iff their
+/// normalized addresses are byte-identical.
+///
+/// Rules applied, in order:
+///  1. lowercase; punctuation and '#' become spaces; whitespace
+///     collapsed,
+///  2. unit designators and their operand dropped (apt/suite/ste/
+///     floor/fl/unit/rm followed by a token),
+///  3. directionals abbreviated (west -> w, northeast/north-east -> ne, ...),
+///  4. street suffixes abbreviated (street -> st, avenue -> ave,
+///     boulevard -> blvd, road -> rd, drive -> dr, place -> pl,
+///     lane -> ln, court -> ct, square -> sq, parkway -> pkwy,
+///     highway -> hwy, terrace -> ter, ...),
+///  5. ordinal suffixes stripped from numbers (46th -> 46, 2nd -> 2),
+///  6. number words first..tenth mapped to digits (useful for
+///     "Fifth Avenue" -> "5 ave").
+std::string NormalizeAddress(std::string_view address);
+
+}  // namespace corrob
+
+#endif  // CORROB_TEXT_ADDRESS_H_

@@ -1,0 +1,156 @@
+#include "text/dedup.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "text/address.h"
+#include "text/phonetic.h"
+#include "text/similarity.h"
+#include "text/tokenizer.h"
+#include "text/union_find.h"
+
+namespace corrob {
+
+namespace {
+
+/// The string compared across listings: the raw name plus the
+/// *normalized* address. Address formatting differences are exactly
+/// what NormalizeAddress already canonicalized away; leaving the raw
+/// form in would re-introduce them as spurious dissimilarity.
+std::string ComparisonText(const RawListing& listing,
+                           const std::string& normalized_address) {
+  return listing.name + " " + normalized_address;
+}
+
+}  // namespace
+
+Result<DedupResult> Deduplicate(const std::vector<RawListing>& listings,
+                                const DedupOptions& options) {
+  if (options.similarity_threshold < 0.0 ||
+      options.similarity_threshold > 1.0) {
+    return Status::InvalidArgument("similarity_threshold must be in [0,1]");
+  }
+
+  const size_t n = listings.size();
+  UnionFind clusters(n);
+
+  // Group by normalized address; only listings in the same group are
+  // candidate duplicates (the paper's blocking step).
+  std::unordered_map<std::string, std::vector<size_t>> by_address;
+  std::vector<std::string> normalized(n);
+  for (size_t i = 0; i < n; ++i) {
+    normalized[i] = NormalizeAddress(listings[i].address);
+    by_address[normalized[i]].push_back(i);
+  }
+
+  // Pairwise similarity within each block; union matches.
+  for (const auto& [address, members] : by_address) {
+    std::vector<TermVector> term_vectors(members.size());
+    std::vector<TermVector> gram_vectors(members.size());
+    for (size_t i = 0; i < members.size(); ++i) {
+      std::string text =
+          ComparisonText(listings[members[i]], normalized[members[i]]);
+      term_vectors[i] = TermVector::FromFeatures(WordTokens(text));
+      gram_vectors[i] = TermVector::FromFeatures(CharNgrams(text, 3));
+    }
+    for (size_t i = 0; i < members.size(); ++i) {
+      for (size_t j = i + 1; j < members.size(); ++j) {
+        if (clusters.Connected(members[i], members[j])) continue;
+        double sim = std::max(term_vectors[i].Cosine(term_vectors[j]),
+                              gram_vectors[i].Cosine(gram_vectors[j]));
+        bool merge = sim >= options.similarity_threshold;
+        if (!merge && options.use_phonetic_fallback) {
+          merge = PhoneticallySimilarNames(listings[members[i]].name,
+                                           listings[members[j]].name);
+        }
+        if (merge) {
+          clusters.Union(members[i], members[j]);
+        }
+      }
+    }
+  }
+
+  // Materialize entities in a deterministic order (by smallest member
+  // index) so repeated runs produce identical fact ids.
+  DedupResult result;
+  result.entity_of.assign(n, 0);
+  std::map<size_t, size_t> root_to_entity;  // ordered by root index
+  std::vector<size_t> roots(n);
+  for (size_t i = 0; i < n; ++i) roots[i] = clusters.Find(i);
+  // A root is not necessarily the smallest member; remap through the
+  // smallest member index per root.
+  std::unordered_map<size_t, size_t> root_min;
+  for (size_t i = 0; i < n; ++i) {
+    auto it = root_min.find(roots[i]);
+    if (it == root_min.end()) {
+      root_min.emplace(roots[i], i);
+    } else {
+      it->second = std::min(it->second, i);
+    }
+  }
+  for (const auto& [root, min_member] : root_min) {
+    root_to_entity[min_member] = root;
+  }
+  std::unordered_map<size_t, size_t> root_to_index;
+  for (const auto& [min_member, root] : root_to_entity) {
+    size_t entity_index = result.entities.size();
+    root_to_index[root] = entity_index;
+    result.entities.push_back(DedupEntity{});
+  }
+  for (size_t i = 0; i < n; ++i) {
+    result.entity_of[i] = root_to_index[roots[i]];
+    result.entities[result.entity_of[i]].members.push_back(i);
+  }
+
+  // Canonical names and addresses.
+  for (DedupEntity& entity : result.entities) {
+    std::map<std::string, int> name_counts;
+    for (size_t member : entity.members) {
+      ++name_counts[listings[member].name];
+    }
+    int best = 0;
+    for (const auto& [name, count] : name_counts) {
+      if (count > best) {  // std::map order breaks ties lexicographically.
+        best = count;
+        entity.canonical_name = name;
+      }
+    }
+    entity.normalized_address = normalized[entity.members.front()];
+  }
+
+  // Build the vote matrix: one fact per entity, named
+  // "<canonical name> @ <normalized address>#<index>" for uniqueness.
+  DatasetBuilder builder;
+  for (size_t e = 0; e < result.entities.size(); ++e) {
+    builder.AddFact(result.entities[e].canonical_name + " @ " +
+                    result.entities[e].normalized_address + " #" +
+                    std::to_string(e));
+  }
+  // Register sources in first-appearance order for determinism.
+  for (const RawListing& listing : listings) {
+    builder.AddSource(listing.source);
+  }
+  // F beats T within one (source, entity): an explicit CLOSED marker
+  // is a deliberate negative statement; a surviving affirmative copy
+  // is usually just stale.
+  std::unordered_map<int64_t, Vote> pair_votes;
+  for (size_t i = 0; i < n; ++i) {
+    SourceId s = builder.AddSource(listings[i].source);
+    int64_t key = static_cast<int64_t>(s) * static_cast<int64_t>(n + 1) +
+                  static_cast<int64_t>(result.entity_of[i]);
+    Vote vote = listings[i].closed ? Vote::kFalse : Vote::kTrue;
+    auto [it, inserted] = pair_votes.emplace(key, vote);
+    if (!inserted && vote == Vote::kFalse) it->second = Vote::kFalse;
+  }
+  for (const auto& [key, vote] : pair_votes) {
+    SourceId s = static_cast<SourceId>(key / static_cast<int64_t>(n + 1));
+    FactId f = static_cast<FactId>(key % static_cast<int64_t>(n + 1));
+    CORROB_CHECK_OK(builder.SetVote(s, f, vote));
+  }
+  result.dataset = builder.Build();
+  return result;
+}
+
+}  // namespace corrob

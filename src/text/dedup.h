@@ -1,0 +1,72 @@
+#ifndef CORROB_TEXT_DEDUP_H_
+#define CORROB_TEXT_DEDUP_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "data/dataset.h"
+
+namespace corrob {
+
+/// One listing as crawled from a source, before entity resolution.
+struct RawListing {
+  std::string source;   ///< e.g. "Yellowpages"
+  std::string name;     ///< e.g. "Danny's Grand Sea Palace"
+  std::string address;  ///< e.g. "346 West 46th St, New York"
+  /// True when the source marks the listing CLOSED (an F vote);
+  /// otherwise the listing is an affirmative statement (a T vote).
+  bool closed = false;
+  /// Optional stable key identifying the underlying real-world entity,
+  /// used only to *audit* dedup quality on simulated crawls where the
+  /// generator knows the truth. Ignored by the pipeline itself.
+  std::string entity_hint;
+};
+
+/// Configuration of the deduplication pipeline (paper §6.2.1).
+struct DedupOptions {
+  /// Minimum ListingSimilarity (max of term and 3-gram cosine) between
+  /// two listings' "name address" strings for them to be merged.
+  double similarity_threshold = 0.8;
+  /// When true, two listings in the same address block whose names
+  /// are phonetically equivalent (token-wise Soundex match, see
+  /// text/phonetic.h) also merge, even below the cosine threshold —
+  /// catches misspellings like "Palace" vs "Pallace" that 3-grams
+  /// punish. Off by default to keep the paper's pipeline exact.
+  bool use_phonetic_fallback = false;
+};
+
+/// One resolved entity: a cluster of raw listings judged to denote the
+/// same real-world restaurant.
+struct DedupEntity {
+  /// Canonical display name: the most frequent raw name in the
+  /// cluster (ties broken lexicographically).
+  std::string canonical_name;
+  /// Normalized address shared by the cluster.
+  std::string normalized_address;
+  /// Indices into the input listing vector.
+  std::vector<size_t> members;
+};
+
+/// Result of deduplication: entities plus the vote matrix they induce.
+struct DedupResult {
+  std::vector<DedupEntity> entities;
+  /// entity_of[i] = index into `entities` for input listing i.
+  std::vector<size_t> entity_of;
+  /// One fact per entity (fact id == entity index), one source per
+  /// distinct RawListing::source. A source with both an open and a
+  /// CLOSED listing for the same entity yields an F vote (an explicit
+  /// dispute outweighs a stale affirmative copy).
+  Dataset dataset;
+};
+
+/// Runs the paper's cleaning strategy: normalize addresses, group
+/// listings by normalized address, link listings within a group whose
+/// similarity is >= the threshold (union-find closure), and emit one
+/// fact per cluster.
+Result<DedupResult> Deduplicate(const std::vector<RawListing>& listings,
+                                const DedupOptions& options = {});
+
+}  // namespace corrob
+
+#endif  // CORROB_TEXT_DEDUP_H_

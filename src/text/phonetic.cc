@@ -1,0 +1,98 @@
+#include "text/phonetic.h"
+
+#include <cctype>
+#include <vector>
+
+#include "text/tokenizer.h"
+
+namespace corrob {
+
+namespace {
+
+/// Soundex digit for a letter, '0' for vowels/Y, or 0 for H/W (which
+/// are transparent: they do not break runs of equal codes).
+char SoundexCode(char c) {
+  switch (std::tolower(static_cast<unsigned char>(c))) {
+    case 'b':
+    case 'f':
+    case 'p':
+    case 'v':
+      return '1';
+    case 'c':
+    case 'g':
+    case 'j':
+    case 'k':
+    case 'q':
+    case 's':
+    case 'x':
+    case 'z':
+      return '2';
+    case 'd':
+    case 't':
+      return '3';
+    case 'l':
+      return '4';
+    case 'm':
+    case 'n':
+      return '5';
+    case 'r':
+      return '6';
+    case 'h':
+    case 'w':
+      return 0;  // Transparent.
+    default:
+      return '0';  // Vowels and y: separators.
+  }
+}
+
+}  // namespace
+
+std::string Soundex(std::string_view word) {
+  std::string letters;
+  for (char c : word) {
+    if (std::isalpha(static_cast<unsigned char>(c))) {
+      letters += static_cast<char>(
+          std::toupper(static_cast<unsigned char>(c)));
+    }
+  }
+  if (letters.empty()) return "";
+
+  std::string out(1, letters[0]);
+  char previous_code = SoundexCode(letters[0]);
+  for (size_t i = 1; i < letters.size() && out.size() < 4; ++i) {
+    char code = SoundexCode(letters[i]);
+    if (code == 0) continue;  // H/W: keep previous_code as-is.
+    if (code != '0' && code != previous_code) {
+      out += code;
+    }
+    previous_code = code;
+  }
+  out.resize(4, '0');
+  return out;
+}
+
+bool PhoneticallySimilarNames(std::string_view a, std::string_view b) {
+  std::vector<std::string> tokens_a = WordTokens(a);
+  std::vector<std::string> tokens_b = WordTokens(b);
+  if (tokens_a.empty() || tokens_b.empty()) {
+    return tokens_a.empty() && tokens_b.empty();
+  }
+  auto covered = [](const std::vector<std::string>& from,
+                    const std::vector<std::string>& into) {
+    for (const std::string& token : from) {
+      std::string code = Soundex(token);
+      bool found = false;
+      for (const std::string& other : into) {
+        if (Soundex(other) == code) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) return false;
+    }
+    return true;
+  };
+  return covered(tokens_a, tokens_b) && covered(tokens_b, tokens_a);
+}
+
+}  // namespace corrob

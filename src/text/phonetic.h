@@ -1,0 +1,24 @@
+#ifndef CORROB_TEXT_PHONETIC_H_
+#define CORROB_TEXT_PHONETIC_H_
+
+#include <string>
+#include <string_view>
+
+namespace corrob {
+
+/// American Soundex code of a word: first letter plus three digits
+/// ("Robert" -> "R163", "Rupert" -> "R163"). Non-alphabetic
+/// characters are ignored; an input with no letters yields "".
+/// Classic rules: adjacent same-code letters collapse (including
+/// across 'H'/'W'), vowels separate codes, pad with zeros.
+std::string Soundex(std::string_view word);
+
+/// True if every word token of `a` has a Soundex match among the
+/// tokens of `b` and vice versa — a loose phonetic equality usable as
+/// an extra dedup signal for misspelled restaurant names
+/// ("Palace" vs "Pallace").
+bool PhoneticallySimilarNames(std::string_view a, std::string_view b);
+
+}  // namespace corrob
+
+#endif  // CORROB_TEXT_PHONETIC_H_

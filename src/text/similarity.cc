@@ -1,0 +1,51 @@
+#include "text/similarity.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "text/tokenizer.h"
+
+namespace corrob {
+
+TermVector TermVector::FromFeatures(const std::vector<std::string>& features) {
+  TermVector v;
+  for (const std::string& f : features) v.counts_[f] += 1.0;
+  double sum_sq = 0.0;
+  for (const auto& [feature, count] : v.counts_) sum_sq += count * count;
+  v.norm_ = std::sqrt(sum_sq);
+  return v;
+}
+
+double TermVector::Cosine(const TermVector& other) const {
+  if (counts_.empty() || other.counts_.empty()) return 0.0;
+  // Iterate over the smaller map.
+  const TermVector* small = this;
+  const TermVector* large = &other;
+  if (small->counts_.size() > large->counts_.size()) std::swap(small, large);
+  double dot = 0.0;
+  for (const auto& [feature, count] : small->counts_) {
+    auto it = large->counts_.find(feature);
+    if (it != large->counts_.end()) dot += count * it->second;
+  }
+  double cosine = dot / (norm_ * other.norm_);
+  // Guard the floating-point boundary so identical vectors compare
+  // equal to a threshold of exactly 1.0.
+  if (cosine > 1.0 - 1e-12) return 1.0;
+  return cosine < 0.0 ? 0.0 : cosine;
+}
+
+double TermCosine(std::string_view a, std::string_view b) {
+  return TermVector::FromFeatures(WordTokens(a))
+      .Cosine(TermVector::FromFeatures(WordTokens(b)));
+}
+
+double TrigramCosine(std::string_view a, std::string_view b) {
+  return TermVector::FromFeatures(CharNgrams(a, 3))
+      .Cosine(TermVector::FromFeatures(CharNgrams(b, 3)));
+}
+
+double ListingSimilarity(std::string_view a, std::string_view b) {
+  return std::max(TermCosine(a, b), TrigramCosine(a, b));
+}
+
+}  // namespace corrob

@@ -1,0 +1,45 @@
+#ifndef CORROB_TEXT_SIMILARITY_H_
+#define CORROB_TEXT_SIMILARITY_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace corrob {
+
+/// Sparse count vector over string features (terms or n-grams).
+class TermVector {
+ public:
+  TermVector() = default;
+
+  /// Builds a count vector from features.
+  static TermVector FromFeatures(const std::vector<std::string>& features);
+
+  /// Cosine similarity with `other`; 0 when either vector is empty.
+  double Cosine(const TermVector& other) const;
+
+  bool empty() const { return counts_.empty(); }
+  size_t num_features() const { return counts_.size(); }
+
+ private:
+  std::unordered_map<std::string, double> counts_;
+  double norm_ = 0.0;
+};
+
+/// Cosine similarity of word-token count vectors (paper: "cosine
+/// similarity score at the term level").
+double TermCosine(std::string_view a, std::string_view b);
+
+/// Cosine similarity of character 3-gram count vectors (paper:
+/// "as well as 3-gram level").
+double TrigramCosine(std::string_view a, std::string_view b);
+
+/// The dedup pipeline's listing similarity: the maximum of the term
+/// and 3-gram cosines, so either representation can establish a match
+/// (the paper combines both levels under one 0.8 threshold).
+double ListingSimilarity(std::string_view a, std::string_view b);
+
+}  // namespace corrob
+
+#endif  // CORROB_TEXT_SIMILARITY_H_

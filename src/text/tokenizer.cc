@@ -1,0 +1,49 @@
+#include "text/tokenizer.h"
+
+#include <cctype>
+
+#include "common/logging.h"
+
+namespace corrob {
+
+std::vector<std::string> WordTokens(std::string_view text) {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (char c : text) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      current += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    } else if (!current.empty()) {
+      tokens.push_back(std::move(current));
+      current.clear();
+    }
+  }
+  if (!current.empty()) tokens.push_back(std::move(current));
+  return tokens;
+}
+
+std::vector<std::string> CharNgrams(std::string_view text, int n) {
+  CORROB_CHECK(n >= 1) << "n-gram size must be positive";
+  // Canonicalize: lowercase, collapse non-alphanumeric runs to ' '.
+  std::string canon = " ";
+  bool last_space = true;
+  for (char c : text) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      canon += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+      last_space = false;
+    } else if (!last_space) {
+      canon += ' ';
+      last_space = true;
+    }
+  }
+  if (!last_space) canon += ' ';
+
+  std::vector<std::string> grams;
+  if (static_cast<int>(canon.size()) < n) return grams;
+  grams.reserve(canon.size() - static_cast<size_t>(n) + 1);
+  for (size_t i = 0; i + static_cast<size_t>(n) <= canon.size(); ++i) {
+    grams.push_back(canon.substr(i, static_cast<size_t>(n)));
+  }
+  return grams;
+}
+
+}  // namespace corrob

@@ -1,0 +1,23 @@
+#ifndef CORROB_TEXT_TOKENIZER_H_
+#define CORROB_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace corrob {
+
+/// Splits text into lower-cased alphanumeric word tokens; every other
+/// character is a separator. "Danny's Grand!" -> {"danny", "s", "grand"}.
+std::vector<std::string> WordTokens(std::string_view text);
+
+/// Character n-grams of the lower-cased text with non-alphanumeric
+/// runs collapsed to single spaces and the result padded with one
+/// leading/trailing space, e.g. CharNgrams("ab", 3) over " ab " ->
+/// {" ab", "ab "}. Returns an empty vector when the padded text is
+/// shorter than n. Requires n >= 1.
+std::vector<std::string> CharNgrams(std::string_view text, int n);
+
+}  // namespace corrob
+
+#endif  // CORROB_TEXT_TOKENIZER_H_

@@ -1,0 +1,62 @@
+#ifndef CORROB_TEXT_UNION_FIND_H_
+#define CORROB_TEXT_UNION_FIND_H_
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace corrob {
+
+/// Disjoint-set forest with path halving and union by size, used to
+/// merge listing clusters during deduplication.
+class UnionFind {
+ public:
+  /// Creates `n` singleton sets labeled 0..n-1.
+  explicit UnionFind(size_t n) : parent_(n), size_(n, 1), num_sets_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+
+  /// Representative of x's set.
+  size_t Find(size_t x) {
+    CORROB_DCHECK(x < parent_.size());
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];  // Path halving.
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  /// Merges the sets of a and b; returns true if they were distinct.
+  bool Union(size_t a, size_t b) {
+    size_t ra = Find(a);
+    size_t rb = Find(b);
+    if (ra == rb) return false;
+    if (size_[ra] < size_[rb]) std::swap(ra, rb);
+    parent_[rb] = ra;
+    size_[ra] += size_[rb];
+    --num_sets_;
+    return true;
+  }
+
+  /// True if a and b are in the same set.
+  bool Connected(size_t a, size_t b) { return Find(a) == Find(b); }
+
+  /// Size of x's set.
+  size_t SetSize(size_t x) { return size_[Find(x)]; }
+
+  /// Number of disjoint sets remaining.
+  size_t num_sets() const { return num_sets_; }
+
+  size_t num_elements() const { return parent_.size(); }
+
+ private:
+  std::vector<size_t> parent_;
+  std::vector<size_t> size_;
+  size_t num_sets_;
+};
+
+}  // namespace corrob
+
+#endif  // CORROB_TEXT_UNION_FIND_H_

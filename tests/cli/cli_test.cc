@@ -1,0 +1,233 @@
+#include "cli/cli.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/csv.h"
+#include "data/dataset_io.h"
+#include "data/motivating_example.h"
+
+namespace corrob {
+namespace {
+
+class CliTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dataset_path_ = ::testing::TempDir() + "/corrob_cli_dataset.csv";
+    MotivatingExample example = MakeMotivatingExample();
+    ASSERT_TRUE(
+        SaveDatasetCsv(dataset_path_, example.dataset, &example.truth).ok());
+  }
+
+  void TearDown() override {
+    std::remove(dataset_path_.c_str());
+    for (const std::string& path : cleanup_) std::remove(path.c_str());
+  }
+
+  std::string TempPath(const std::string& name) {
+    std::string path = ::testing::TempDir() + "/" + name;
+    cleanup_.push_back(path);
+    return path;
+  }
+
+  int Run(std::vector<std::string> args) {
+    out_.str("");
+    err_.str("");
+    return RunCli(args, out_, err_);
+  }
+
+  std::string dataset_path_;
+  std::vector<std::string> cleanup_;
+  std::ostringstream out_;
+  std::ostringstream err_;
+};
+
+TEST_F(CliTest, HelpPrintsUsage) {
+  EXPECT_EQ(Run({"help"}), 0);
+  EXPECT_NE(out_.str().find("USAGE"), std::string::npos);
+  EXPECT_EQ(Run({}), 0);
+  EXPECT_NE(out_.str().find("corrob run"), std::string::npos);
+}
+
+TEST_F(CliTest, UnknownCommandFails) {
+  EXPECT_EQ(Run({"frobnicate"}), 1);
+  EXPECT_NE(err_.str().find("unknown command"), std::string::npos);
+}
+
+TEST_F(CliTest, RunPrintsDecisionsCsv) {
+  ASSERT_EQ(Run({"run", "--input", dataset_path_, "--algorithm",
+                 "TwoEstimate"}),
+            0);
+  CsvDocument doc = ParseCsv(out_.str()).ValueOrDie();
+  ASSERT_EQ(doc.rows.size(), 13u);  // header + 12 facts
+  EXPECT_EQ(doc.rows[0],
+            (std::vector<std::string>{"fact", "probability", "decision"}));
+  // TwoEstimate: everything true except r12.
+  EXPECT_EQ(doc.rows[1][2], "true");
+  EXPECT_EQ(doc.rows[12][0], "r12");
+  EXPECT_EQ(doc.rows[12][2], "false");
+}
+
+TEST_F(CliTest, RunWritesOutputAndTrustFiles) {
+  std::string output = TempPath("cli_out.csv");
+  std::string trust = TempPath("cli_trust.csv");
+  ASSERT_EQ(Run({"run", "--input", dataset_path_, "--algorithm", "IncEstHeu",
+                 "--output", output, "--trust", trust}),
+            0);
+  CsvDocument decisions = ReadCsvFile(output).ValueOrDie();
+  EXPECT_EQ(decisions.rows.size(), 13u);
+  CsvDocument trust_doc = ReadCsvFile(trust).ValueOrDie();
+  ASSERT_EQ(trust_doc.rows.size(), 6u);  // header + 5 sources
+  EXPECT_EQ(trust_doc.rows[0],
+            (std::vector<std::string>{"source", "trust"}));
+}
+
+TEST_F(CliTest, RunRejectsUnknownAlgorithm) {
+  EXPECT_EQ(Run({"run", "--input", dataset_path_, "--algorithm", "Oracle"}),
+            1);
+  EXPECT_NE(err_.str().find("Oracle"), std::string::npos);
+}
+
+TEST_F(CliTest, RunRequiresInput) {
+  EXPECT_EQ(Run({"run"}), 1);
+  EXPECT_NE(err_.str().find("--input"), std::string::npos);
+}
+
+TEST_F(CliTest, EvalScoresAllAlgorithms) {
+  ASSERT_EQ(Run({"eval", "--input", dataset_path_}), 0);
+  std::string output = out_.str();
+  EXPECT_NE(output.find("TwoEstimate"), std::string::npos);
+  EXPECT_NE(output.find("IncEstHeu"), std::string::npos);
+  EXPECT_EQ(output.find("TruthFinder"), std::string::npos);
+
+  ASSERT_EQ(Run({"eval", "--input", dataset_path_, "--extended"}), 0);
+  EXPECT_NE(out_.str().find("TruthFinder"), std::string::npos);
+}
+
+TEST_F(CliTest, EvalSingleAlgorithm) {
+  ASSERT_EQ(
+      Run({"eval", "--input", dataset_path_, "--algorithm", "Voting"}), 0);
+  EXPECT_NE(out_.str().find("Voting"), std::string::npos);
+  EXPECT_EQ(out_.str().find("IncEstHeu"), std::string::npos);
+}
+
+TEST_F(CliTest, EvalWithGoldenSubset) {
+  std::string golden = TempPath("cli_golden.csv");
+  std::ofstream file(golden);
+  file << "fact,label\nr1,true\nr12,false\n";
+  file.close();
+  ASSERT_EQ(Run({"eval", "--input", dataset_path_, "--algorithm",
+                 "TwoEstimate", "--golden", golden}),
+            0);
+  // TwoEstimate is right on both golden entries: accuracy 1.00.
+  EXPECT_NE(out_.str().find("1.00"), std::string::npos);
+}
+
+TEST_F(CliTest, EvalRequiresTruth) {
+  // Strip the truth column by re-saving without it.
+  MotivatingExample example = MakeMotivatingExample();
+  std::string no_truth = TempPath("cli_no_truth.csv");
+  ASSERT_TRUE(SaveDatasetCsv(no_truth, example.dataset).ok());
+  EXPECT_EQ(Run({"eval", "--input", no_truth}), 1);
+  EXPECT_NE(err_.str().find("__truth__"), std::string::npos);
+}
+
+TEST_F(CliTest, StatsReportsShape) {
+  ASSERT_EQ(Run({"stats", "--input", dataset_path_}), 0);
+  std::string output = out_.str();
+  EXPECT_NE(output.find("facts: 12"), std::string::npos);
+  EXPECT_NE(output.find("sources: 5"), std::string::npos);
+  EXPECT_NE(output.find("facts with F votes: 2"), std::string::npos);
+}
+
+TEST_F(CliTest, GenerateSyntheticRoundTrips) {
+  std::string output = TempPath("cli_synth.csv");
+  ASSERT_EQ(Run({"generate", "--kind", "synthetic", "--facts", "200",
+                 "--sources", "6", "--output", output}),
+            0);
+  LabeledDataset loaded = LoadDatasetCsv(output).ValueOrDie();
+  EXPECT_EQ(loaded.dataset.num_facts(), 200);
+  EXPECT_EQ(loaded.dataset.num_sources(), 6);
+  ASSERT_TRUE(loaded.truth.has_value());
+}
+
+TEST_F(CliTest, GenerateRejectsUnknownKind) {
+  EXPECT_EQ(Run({"generate", "--kind", "weather", "--output",
+                 TempPath("x.csv")}),
+            1);
+  EXPECT_NE(err_.str().find("unknown --kind"), std::string::npos);
+}
+
+TEST_F(CliTest, DedupEndToEnd) {
+  std::string listings = TempPath("cli_listings.csv");
+  std::ofstream file(listings);
+  file << "source,name,address,closed\n"
+          "Yelp,M Bar,12 W 44th St,false\n"
+          "Citysearch,M Bar,12 West 44 Street,false\n"
+          "Yelp,Other Place,99 Oak Ave,true\n";
+  file.close();
+
+  std::string output = TempPath("cli_dedup.csv");
+  ASSERT_EQ(Run({"dedup", "--input", listings, "--output", output}), 0);
+  EXPECT_NE(out_.str().find("into 2 entities"), std::string::npos);
+  LabeledDataset loaded = LoadDatasetCsv(output).ValueOrDie();
+  EXPECT_EQ(loaded.dataset.num_facts(), 2);
+  EXPECT_EQ(loaded.dataset.num_sources(), 2);
+}
+
+TEST_F(CliTest, TrajectoryWritesTimeSeries) {
+  std::string output = TempPath("cli_trajectory.csv");
+  ASSERT_EQ(
+      Run({"trajectory", "--input", dataset_path_, "--output", output}), 0);
+  CsvDocument doc = ReadCsvFile(output).ValueOrDie();
+  ASSERT_GE(doc.rows.size(), 3u);
+  EXPECT_EQ(doc.rows[0][0], "t");
+  EXPECT_EQ(doc.rows[0][2], "s1");
+
+  EXPECT_EQ(Run({"trajectory", "--input", dataset_path_, "--output",
+                 output, "--strategy", "Greedy"}),
+            1);
+  EXPECT_EQ(Run({"trajectory", "--input", dataset_path_}), 1);
+}
+
+TEST_F(CliTest, CompareReportsDisagreements) {
+  // IncEstHeu rejects r6; TwoEstimate accepts it — one disagreement.
+  ASSERT_EQ(Run({"compare", "--input", dataset_path_, "--left", "IncEstHeu",
+                 "--right", "TwoEstimate"}),
+            0);
+  std::string output = out_.str();
+  EXPECT_NE(output.find("decided differently"), std::string::npos);
+  // The truth column is present, so the win rate is reported.
+  EXPECT_NE(output.find("is right on"), std::string::npos);
+  EXPECT_NE(output.find("r6"), std::string::npos);
+}
+
+TEST_F(CliTest, CompareIdenticalAlgorithmsAgree) {
+  ASSERT_EQ(Run({"compare", "--input", dataset_path_, "--left", "Voting",
+                 "--right", "Voting"}),
+            0);
+  EXPECT_NE(out_.str().find("0 of 12 facts decided differently"),
+            std::string::npos);
+}
+
+TEST_F(CliTest, CompareRejectsUnknownAlgorithm) {
+  EXPECT_EQ(Run({"compare", "--input", dataset_path_, "--left", "Oracle"}),
+            1);
+}
+
+TEST_F(CliTest, DedupRejectsBadHeader) {
+  std::string listings = TempPath("cli_bad_listings.csv");
+  std::ofstream file(listings);
+  file << "a,b\n1,2\n";
+  file.close();
+  EXPECT_EQ(Run({"dedup", "--input", listings, "--output",
+                 TempPath("y.csv")}),
+            1);
+  EXPECT_NE(err_.str().find("header"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace corrob

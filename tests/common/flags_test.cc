@@ -1,0 +1,83 @@
+#include "common/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace corrob {
+namespace {
+
+FlagParser MakeParser(std::vector<const char*> args) {
+  return FlagParser::Parse(static_cast<int>(args.size()), args.data())
+      .ValueOrDie();
+}
+
+TEST(FlagParserTest, EqualsSyntax) {
+  FlagParser p = MakeParser({"--facts=100", "--eta=0.02"});
+  EXPECT_EQ(p.GetInt("facts", 0), 100);
+  EXPECT_DOUBLE_EQ(p.GetDouble("eta", 0.0), 0.02);
+}
+
+TEST(FlagParserTest, SpaceSyntax) {
+  FlagParser p = MakeParser({"--name", "hello"});
+  EXPECT_EQ(p.GetString("name", ""), "hello");
+}
+
+TEST(FlagParserTest, BareBooleanFlag) {
+  FlagParser p = MakeParser({"--verbose"});
+  EXPECT_TRUE(p.Has("verbose"));
+  EXPECT_TRUE(p.GetBool("verbose", false));
+}
+
+TEST(FlagParserTest, BoolSpellings) {
+  EXPECT_TRUE(MakeParser({"--x=yes"}).GetBool("x", false));
+  EXPECT_TRUE(MakeParser({"--x=1"}).GetBool("x", false));
+  EXPECT_TRUE(MakeParser({"--x=On"}).GetBool("x", false));
+  EXPECT_FALSE(MakeParser({"--x=false"}).GetBool("x", true));
+  EXPECT_FALSE(MakeParser({"--x=0"}).GetBool("x", true));
+  EXPECT_FALSE(MakeParser({"--x=off"}).GetBool("x", true));
+}
+
+TEST(FlagParserTest, FallbacksWhenAbsent) {
+  FlagParser p = MakeParser({});
+  EXPECT_EQ(p.GetInt("missing", 7), 7);
+  EXPECT_DOUBLE_EQ(p.GetDouble("missing", 1.5), 1.5);
+  EXPECT_EQ(p.GetString("missing", "d"), "d");
+  EXPECT_FALSE(p.GetBool("missing", false));
+  EXPECT_FALSE(p.Has("missing"));
+}
+
+TEST(FlagParserTest, PositionalArguments) {
+  FlagParser p = MakeParser({"input.csv", "--k=3", "output.csv"});
+  EXPECT_EQ(p.positional(),
+            (std::vector<std::string>{"input.csv", "output.csv"}));
+  EXPECT_EQ(p.GetInt("k", 0), 3);
+}
+
+TEST(FlagParserTest, NegativeNumbers) {
+  FlagParser p = MakeParser({"--delta=-4"});
+  EXPECT_EQ(p.GetInt("delta", 0), -4);
+}
+
+TEST(FlagParserTest, LastOccurrenceWins) {
+  FlagParser p = MakeParser({"--k=1", "--k=2"});
+  EXPECT_EQ(p.GetInt("k", 0), 2);
+}
+
+TEST(FlagParserTest, EmptyFlagNameIsError) {
+  std::vector<const char*> args{"--=3"};
+  auto result = FlagParser::Parse(1, args.data());
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FlagParserDeathTest, MalformedIntAborts) {
+  FlagParser p = MakeParser({"--k=abc"});
+  EXPECT_DEATH({ p.GetInt("k", 0); }, "malformed integer");
+}
+
+TEST(FlagParserDeathTest, MalformedBoolAborts) {
+  FlagParser p = MakeParser({"--k=maybe"});
+  EXPECT_DEATH({ p.GetBool("k", false); }, "malformed bool");
+}
+
+}  // namespace
+}  // namespace corrob

@@ -1,0 +1,71 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+#include "common/status.h"
+#include "common/timer.h"
+
+namespace corrob {
+namespace {
+
+TEST(LoggingTest, MinLevelRoundTrips) {
+  internal_logging::LogLevel original = internal_logging::MinLogLevel();
+  internal_logging::SetMinLogLevel(internal_logging::LogLevel::kError);
+  EXPECT_EQ(internal_logging::MinLogLevel(),
+            internal_logging::LogLevel::kError);
+  internal_logging::SetMinLogLevel(original);
+}
+
+TEST(LoggingTest, NonFatalLevelsDoNotAbort) {
+  CORROB_LOG_DEBUG << "debug message";
+  CORROB_LOG_INFO << "info message " << 42;
+  CORROB_LOG_WARNING << "warning message";
+  CORROB_LOG_ERROR << "error message";
+  SUCCEED();
+}
+
+TEST(LoggingTest, CheckPassesOnTrueCondition) {
+  CORROB_CHECK(1 + 1 == 2) << "never printed";
+  CORROB_CHECK_OK(Status::OK());
+  CORROB_DCHECK(true);
+  SUCCEED();
+}
+
+TEST(LoggingDeathTest, CheckFailureAborts) {
+  EXPECT_DEATH({ CORROB_CHECK(false) << "boom"; }, "Check failed");
+}
+
+TEST(LoggingDeathTest, CheckOkFailureAborts) {
+  EXPECT_DEATH({ CORROB_CHECK_OK(Status::Internal("bad")); },
+               "Check failed \\(status\\)");
+}
+
+TEST(LoggingDeathTest, FatalAborts) {
+  EXPECT_DEATH({ CORROB_LOG_FATAL << "fatal message"; }, "fatal message");
+}
+
+TEST(StopwatchTest, MeasuresElapsedTime) {
+  Stopwatch watch;
+  double first = watch.ElapsedSeconds();
+  EXPECT_GE(first, 0.0);
+  // Burn a little CPU; elapsed time must be non-decreasing.
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink += i * 0.5;
+  double second = watch.ElapsedSeconds();
+  EXPECT_GE(second, first);
+  EXPECT_NEAR(watch.ElapsedMillis(), watch.ElapsedSeconds() * 1e3,
+              watch.ElapsedSeconds() * 1e3 * 0.5 + 1.0);
+}
+
+TEST(StopwatchTest, ResetRestarts) {
+  Stopwatch watch;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink += i * 0.5;
+  double before = watch.ElapsedSeconds();
+  watch.Reset();
+  // Immediately after reset, the reading is (almost surely) smaller.
+  EXPECT_LE(watch.ElapsedSeconds(), before + 1e-3);
+}
+
+}  // namespace
+}  // namespace corrob

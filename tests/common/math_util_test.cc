@@ -1,0 +1,97 @@
+#include "common/math_util.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace corrob {
+namespace {
+
+TEST(BinaryEntropyTest, EndpointsAreZero) {
+  EXPECT_DOUBLE_EQ(BinaryEntropy(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(BinaryEntropy(1.0), 0.0);
+}
+
+TEST(BinaryEntropyTest, MaximumAtOneHalf) {
+  EXPECT_DOUBLE_EQ(BinaryEntropy(0.5), 1.0);
+}
+
+TEST(BinaryEntropyTest, KnownValue) {
+  // H(0.9) in bits.
+  EXPECT_NEAR(BinaryEntropy(0.9), 0.468995, 1e-5);
+}
+
+TEST(BinaryEntropyTest, ClampsOutOfRangeInputs) {
+  EXPECT_DOUBLE_EQ(BinaryEntropy(-0.3), 0.0);
+  EXPECT_DOUBLE_EQ(BinaryEntropy(1.7), 0.0);
+}
+
+/// Property sweep: symmetry, bounds, and unimodality around 0.5.
+class EntropyPropertyTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(EntropyPropertyTest, SymmetricAndBounded) {
+  double p = GetParam();
+  double h = BinaryEntropy(p);
+  EXPECT_GE(h, 0.0);
+  EXPECT_LE(h, 1.0);
+  EXPECT_NEAR(h, BinaryEntropy(1.0 - p), 1e-12);
+  // Moving towards 0.5 never decreases entropy.
+  double closer = p + (0.5 - p) * 0.5;
+  EXPECT_LE(h, BinaryEntropy(closer) + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, EntropyPropertyTest,
+                         ::testing::Values(0.0, 0.01, 0.05, 0.1, 0.2, 0.3,
+                                           0.35, 0.4, 0.45, 0.49, 0.5, 0.6,
+                                           0.75, 0.9, 0.99, 1.0));
+
+TEST(ClampTest, Clamps) {
+  EXPECT_DOUBLE_EQ(Clamp(5.0, 0.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(Clamp(-5.0, 0.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(Clamp(0.25, 0.0, 1.0), 0.25);
+}
+
+TEST(MeanTest, ComputesMean) {
+  EXPECT_DOUBLE_EQ(Mean({1.0, 2.0, 3.0}), 2.0);
+  EXPECT_DOUBLE_EQ(Mean({}, 0.9), 0.9);
+}
+
+TEST(VarianceTest, KnownVariance) {
+  EXPECT_DOUBLE_EQ(Variance({1.0, 1.0, 1.0}), 0.0);
+  EXPECT_DOUBLE_EQ(Variance({0.0, 2.0}), 1.0);
+  EXPECT_DOUBLE_EQ(Variance({7.0}), 0.0);
+}
+
+TEST(MseTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(MeanSquaredError({1.0, 0.0}, {0.0, 0.0}), 0.5);
+  EXPECT_DOUBLE_EQ(MeanSquaredError({}, {}), 0.0);
+  EXPECT_DOUBLE_EQ(MeanSquaredError({0.5}, {0.5}), 0.0);
+}
+
+TEST(MseDeathTest, SizeMismatchAborts) {
+  EXPECT_DEATH({ MeanSquaredError({1.0}, {1.0, 2.0}); }, "MSE size mismatch");
+}
+
+TEST(SigmoidTest, SymmetryAndKnownValues) {
+  EXPECT_DOUBLE_EQ(Sigmoid(0.0), 0.5);
+  EXPECT_NEAR(Sigmoid(2.0) + Sigmoid(-2.0), 1.0, 1e-12);
+  EXPECT_NEAR(Sigmoid(35.0), 1.0, 1e-12);
+  EXPECT_NEAR(Sigmoid(-35.0), 0.0, 1e-12);
+}
+
+TEST(Log1pExpTest, MatchesNaiveInSafeRange) {
+  for (double x : {-5.0, -1.0, 0.0, 1.0, 5.0}) {
+    EXPECT_NEAR(Log1pExp(x), std::log1p(std::exp(x)), 1e-12);
+  }
+  // No overflow for large inputs.
+  EXPECT_NEAR(Log1pExp(1000.0), 1000.0, 1e-9);
+}
+
+TEST(NearlyEqualTest, Tolerance) {
+  EXPECT_TRUE(NearlyEqual(1.0, 1.0 + 1e-10));
+  EXPECT_FALSE(NearlyEqual(1.0, 1.01));
+  EXPECT_TRUE(NearlyEqual(1.0, 1.01, 0.1));
+}
+
+}  // namespace
+}  // namespace corrob

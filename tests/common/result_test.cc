@@ -1,0 +1,71 @@
+#include "common/result.h"
+
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace corrob {
+namespace {
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ValueOrDie(), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("nope");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.status().message(), "nope");
+}
+
+TEST(ResultTest, ValueOrFallback) {
+  Result<std::string> ok = std::string("hit");
+  Result<std::string> err = Status::Internal("x");
+  EXPECT_EQ(ok.ValueOr("fallback"), "hit");
+  EXPECT_EQ(err.ValueOr("fallback"), "fallback");
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(7);
+  std::unique_ptr<int> v = std::move(r).ValueOrDie();
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(*v, 7);
+}
+
+TEST(ResultTest, AssignOrReturnPropagatesError) {
+  auto inner = []() -> Result<int> { return Status::ParseError("bad"); };
+  auto outer = [&]() -> Status {
+    CORROB_ASSIGN_OR_RETURN(int value, inner());
+    (void)value;
+    return Status::OK();
+  };
+  EXPECT_EQ(outer().code(), StatusCode::kParseError);
+}
+
+TEST(ResultTest, AssignOrReturnBindsValue) {
+  auto inner = []() -> Result<int> { return 5; };
+  int seen = 0;
+  auto outer = [&]() -> Status {
+    CORROB_ASSIGN_OR_RETURN(int value, inner());
+    seen = value;
+    return Status::OK();
+  };
+  EXPECT_TRUE(outer().ok());
+  EXPECT_EQ(seen, 5);
+}
+
+TEST(ResultDeathTest, ValueOrDieOnErrorAborts) {
+  Result<int> r = Status::Internal("boom");
+  EXPECT_DEATH({ (void)r.ValueOrDie(); }, "ValueOrDie");
+}
+
+TEST(ResultDeathTest, OkStatusIntoResultAborts) {
+  EXPECT_DEATH({ Result<int> r(Status::OK()); (void)r; },
+               "constructed from OK");
+}
+
+}  // namespace
+}  // namespace corrob

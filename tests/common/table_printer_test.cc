@@ -1,0 +1,60 @@
+#include "common/table_printer.h"
+
+#include <gtest/gtest.h>
+
+namespace corrob {
+namespace {
+
+TEST(TablePrinterTest, RendersAlignedTable) {
+  TablePrinter table({"Method", "Acc"});
+  table.AddRow({"Voting", "0.66"});
+  table.AddRow({"IncEstHeu", "0.83"});
+  std::string out = table.ToString();
+  EXPECT_NE(out.find("| Method    | Acc  |"), std::string::npos) << out;
+  EXPECT_NE(out.find("| IncEstHeu | 0.83 |"), std::string::npos) << out;
+  EXPECT_NE(out.find("+-----------+------+"), std::string::npos) << out;
+}
+
+TEST(TablePrinterTest, DoubleRowFormatting) {
+  TablePrinter table({"Method", "P", "R"});
+  table.AddRow("Voting", {0.654, 1.0}, 2);
+  std::string out = table.ToString();
+  EXPECT_NE(out.find("0.65"), std::string::npos);
+  EXPECT_NE(out.find("1.00"), std::string::npos);
+}
+
+TEST(TablePrinterTest, ShortRowsPadded) {
+  TablePrinter table({"A", "B", "C"});
+  table.AddRow({"only-a"});
+  EXPECT_EQ(table.num_rows(), 1u);
+  // Must not crash and must render three columns.
+  std::string out = table.ToString();
+  EXPECT_NE(out.find("only-a"), std::string::npos);
+}
+
+TEST(TablePrinterTest, SeparatorRendersRule) {
+  TablePrinter table({"A"});
+  table.AddRow({"x"});
+  table.AddSeparator();
+  table.AddRow({"y"});
+  std::string out = table.ToString();
+  // Header rule + top + separator + bottom = 4 rules.
+  size_t rules = 0;
+  for (size_t pos = out.find("+--"); pos != std::string::npos;
+       pos = out.find("+--", pos + 1)) {
+    ++rules;
+  }
+  EXPECT_EQ(rules, 4u);
+}
+
+TEST(TablePrinterDeathTest, TooManyCellsAborts) {
+  TablePrinter table({"A"});
+  EXPECT_DEATH({ table.AddRow({"1", "2"}); }, "row has");
+}
+
+TEST(TablePrinterDeathTest, EmptyHeaderAborts) {
+  EXPECT_DEATH({ TablePrinter table({}); }, "at least one column");
+}
+
+}  // namespace
+}  // namespace corrob

@@ -1,0 +1,101 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace corrob {
+namespace {
+
+TEST(ThreadPoolTest, ExecutesAllTasks) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(4);
+    for (int i = 0; i < 1000; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+    pool.Wait();
+    EXPECT_EQ(counter.load(), 1000);
+  }
+}
+
+TEST(ThreadPoolTest, WaitBlocksUntilDone) {
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 50; ++i) {
+    pool.Submit([&done] {
+      // Tiny busy work to give Wait something to wait for.
+      volatile int x = 0;
+      for (int j = 0; j < 10000; ++j) x += j;
+      done.fetch_add(1);
+    });
+  }
+  pool.Wait();
+  EXPECT_EQ(done.load(), 50);
+}
+
+TEST(ThreadPoolTest, WaitOnIdlePoolReturnsImmediately) {
+  ThreadPool pool(3);
+  pool.Wait();  // Must not deadlock.
+  SUCCEED();
+}
+
+TEST(ThreadPoolTest, ShutdownDrainsQueue) {
+  std::atomic<int> counter{0};
+  ThreadPool pool(2);
+  for (int i = 0; i < 200; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Shutdown();
+  EXPECT_EQ(counter.load(), 200);
+  pool.Shutdown();  // Idempotent.
+}
+
+TEST(ThreadPoolTest, ClampsThreadCount) {
+  ThreadPool pool(-3);
+  EXPECT_EQ(pool.num_threads(), 1);
+  std::atomic<int> counter{0};
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  constexpr int64_t kCount = 500;
+  std::vector<std::atomic<int>> hits(kCount);
+  for (auto& h : hits) h.store(0);
+  ParallelFor(kCount, 8, [&](int64_t i) { hits[i].fetch_add(1); });
+  for (int64_t i = 0; i < kCount; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << i;
+  }
+}
+
+TEST(ParallelForTest, SequentialFallback) {
+  std::vector<int64_t> order;
+  ParallelFor(5, 1, [&](int64_t i) { order.push_back(i); });
+  EXPECT_EQ(order, (std::vector<int64_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ParallelForTest, ZeroAndNegativeCounts) {
+  int calls = 0;
+  ParallelFor(0, 4, [&](int64_t) { ++calls; });
+  ParallelFor(-5, 4, [&](int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ParallelForTest, ParallelSumMatchesSequential) {
+  constexpr int64_t kCount = 10000;
+  std::atomic<int64_t> sum{0};
+  ParallelFor(kCount, 8, [&](int64_t i) { sum.fetch_add(i); });
+  EXPECT_EQ(sum.load(), kCount * (kCount - 1) / 2);
+}
+
+TEST(DefaultThreadCountTest, Positive) {
+  EXPECT_GE(DefaultThreadCount(), 1);
+}
+
+}  // namespace
+}  // namespace corrob

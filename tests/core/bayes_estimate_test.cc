@@ -1,0 +1,106 @@
+#include "core/bayes_estimate.h"
+
+#include <gtest/gtest.h>
+
+#include "data/motivating_example.h"
+#include "eval/metrics.h"
+
+namespace corrob {
+namespace {
+
+TEST(BayesEstimateTest, MotivatingExampleAllTrue) {
+  // Paper §2.2: with the high-precision/low-recall prior,
+  // BayesEstimate returns true for every restaurant (precision 0.58,
+  // recall 1.0) — even r12 with its two F votes.
+  MotivatingExample example = MakeMotivatingExample();
+  CorroborationResult result =
+      BayesEstimateCorroborator().Run(example.dataset).ValueOrDie();
+  for (FactId f = 0; f < 12; ++f) {
+    EXPECT_TRUE(result.Decide(f)) << "r" << (f + 1);
+  }
+  BinaryMetrics metrics = EvaluateOnTruth(result, example.truth);
+  EXPECT_NEAR(metrics.precision, 7.0 / 12.0, 1e-12);  // 0.583 ≈ 0.58
+  EXPECT_NEAR(metrics.recall, 1.0, 1e-12);
+}
+
+TEST(BayesEstimateTest, DeterministicForFixedSeed) {
+  MotivatingExample example = MakeMotivatingExample();
+  CorroborationResult a =
+      BayesEstimateCorroborator().Run(example.dataset).ValueOrDie();
+  CorroborationResult b =
+      BayesEstimateCorroborator().Run(example.dataset).ValueOrDie();
+  EXPECT_EQ(a.fact_probability, b.fact_probability);
+}
+
+TEST(BayesEstimateTest, WeaklyInformativePriorsFollowStrongConflict) {
+  // Fully symmetric priors leave the model invariant under flipping
+  // every label (and swapping the sensitivity/FPR roles), so the
+  // sampler mixes between mirrored modes. Weakly informative priors
+  // that expect claims to correlate with truth break the symmetry;
+  // the disputed fact then lands false.
+  DatasetBuilder builder;
+  for (int s = 0; s < 6; ++s) builder.AddSource("s" + std::to_string(s));
+  FactId disputed = builder.AddFact("disputed");
+  FactId backed = builder.AddFact("backed");
+  for (int s = 0; s < 5; ++s) {
+    ASSERT_TRUE(builder.SetVote(s, disputed, Vote::kFalse).ok());
+    ASSERT_TRUE(builder.SetVote(s, backed, Vote::kTrue).ok());
+  }
+  ASSERT_TRUE(builder.SetVote(5, disputed, Vote::kTrue).ok());
+  Dataset d = builder.Build();
+
+  BayesEstimateOptions options;
+  options.false_positive_prior = {1.0, 3.0};  // Claims on false facts rare.
+  options.sensitivity_prior = {3.0, 1.0};     // Claims on true facts common.
+  options.truth_prior = {1.0, 1.0};
+  CorroborationResult result =
+      BayesEstimateCorroborator(options).Run(d).ValueOrDie();
+  EXPECT_FALSE(result.Decide(disputed));
+  EXPECT_TRUE(result.Decide(backed));
+}
+
+TEST(BayesEstimateTest, ProbabilitiesAreWellFormed) {
+  MotivatingExample example = MakeMotivatingExample();
+  CorroborationResult result =
+      BayesEstimateCorroborator().Run(example.dataset).ValueOrDie();
+  for (double p : result.fact_probability) {
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+  for (double t : result.source_trust) {
+    EXPECT_GE(t, 0.0);
+    EXPECT_LE(t, 1.0);
+  }
+}
+
+TEST(BayesEstimateTest, PriorMeanHelper) {
+  BetaPrior prior{100.0, 10000.0};
+  EXPECT_NEAR(prior.Mean(), 100.0 / 10100.0, 1e-12);
+}
+
+TEST(BayesEstimateTest, InvalidOptionsRejected) {
+  BayesEstimateOptions bad;
+  bad.burn_in = 500;
+  bad.iterations = 100;
+  EXPECT_EQ(BayesEstimateCorroborator(bad)
+                .Run(DatasetBuilder().Build())
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  BayesEstimateOptions zero;
+  zero.iterations = 0;
+  EXPECT_EQ(BayesEstimateCorroborator(zero)
+                .Run(DatasetBuilder().Build())
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(BayesEstimateTest, EmptyDataset) {
+  CorroborationResult result =
+      BayesEstimateCorroborator().Run(DatasetBuilder().Build()).ValueOrDie();
+  EXPECT_TRUE(result.fact_probability.empty());
+}
+
+}  // namespace
+}  // namespace corrob

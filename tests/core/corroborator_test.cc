@@ -1,0 +1,71 @@
+#include "core/corroborator.h"
+
+#include <gtest/gtest.h>
+
+#include "data/motivating_example.h"
+
+namespace corrob {
+namespace {
+
+TEST(CorrobScoreTest, AveragesTrustForTVotes) {
+  std::vector<SourceVote> votes{{0, Vote::kTrue}, {1, Vote::kTrue}};
+  std::vector<double> trust{0.8, 0.6};
+  EXPECT_NEAR(CorrobScore(votes, trust), 0.7, 1e-12);
+}
+
+TEST(CorrobScoreTest, FVotesContributeComplement) {
+  std::vector<SourceVote> votes{{0, Vote::kFalse}, {1, Vote::kTrue}};
+  std::vector<double> trust{0.9, 0.9};
+  // (1-0.9 + 0.9) / 2 = 0.5.
+  EXPECT_NEAR(CorrobScore(votes, trust), 0.5, 1e-12);
+}
+
+TEST(CorrobScoreTest, NoVotesIsMaximallyUncertain) {
+  std::vector<double> trust{0.9};
+  EXPECT_DOUBLE_EQ(CorrobScore({}, trust), 0.5);
+}
+
+TEST(CorrobScoreTest, MotivatingExampleR12AtDefaultTrust) {
+  // Paper §2.3: σ(r12) with all-0.9 trust = (0.1+0.1+0.9)/3.
+  MotivatingExample example = MakeMotivatingExample();
+  std::vector<double> trust(5, 0.9);
+  double p = CorrobScore(example.dataset.VotesOnFact(11), trust);
+  EXPECT_NEAR(p, (0.1 + 0.1 + 0.9) / 3.0, 1e-12);
+}
+
+TEST(DecisionTest, ThresholdIsInclusive) {
+  CorroborationResult result;
+  result.fact_probability = {0.5, 0.49999, 1.0, 0.0};
+  EXPECT_TRUE(result.Decide(0));
+  EXPECT_FALSE(result.Decide(1));
+  EXPECT_TRUE(result.Decide(2));
+  EXPECT_FALSE(result.Decide(3));
+  EXPECT_EQ(result.Decisions(),
+            (std::vector<bool>{true, false, true, false}));
+}
+
+TEST(TrustAgainstDecisionsTest, FractionOfAgreeingVotes) {
+  MotivatingExample example = MakeMotivatingExample();
+  // Decisions equal to the ground truth must give the true source
+  // accuracies: {2/3, 1, 1, 0.5, 0.75}.
+  std::vector<bool> decisions = example.truth.labels();
+  std::vector<double> trust =
+      TrustAgainstDecisions(example.dataset, decisions, 0.9);
+  EXPECT_NEAR(trust[0], 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(trust[1], 1.0, 1e-12);
+  EXPECT_NEAR(trust[2], 1.0, 1e-12);
+  EXPECT_NEAR(trust[3], 0.5, 1e-12);
+  EXPECT_NEAR(trust[4], 0.75, 1e-12);
+}
+
+TEST(TrustAgainstDecisionsTest, SourcesWithoutVotesGetDefault) {
+  DatasetBuilder builder;
+  builder.AddSource("silent");
+  builder.AddFact("f");
+  Dataset d = builder.Build();
+  std::vector<double> trust = TrustAgainstDecisions(d, {true}, 0.42);
+  EXPECT_DOUBLE_EQ(trust[0], 0.42);
+}
+
+}  // namespace
+}  // namespace corrob

@@ -1,0 +1,89 @@
+#include "core/cosine.h"
+
+#include <gtest/gtest.h>
+
+#include "data/motivating_example.h"
+#include "eval/metrics.h"
+
+namespace corrob {
+namespace {
+
+TEST(CosineTest, ResolvesClearConflicts) {
+  DatasetBuilder builder;
+  for (int s = 0; s < 4; ++s) builder.AddSource("s" + std::to_string(s));
+  FactId good = builder.AddFact("good");
+  FactId bad = builder.AddFact("bad");
+  for (int s = 0; s < 3; ++s) {
+    ASSERT_TRUE(builder.SetVote(s, good, Vote::kTrue).ok());
+    ASSERT_TRUE(builder.SetVote(s, bad, Vote::kFalse).ok());
+  }
+  ASSERT_TRUE(builder.SetVote(3, good, Vote::kFalse).ok());
+  ASSERT_TRUE(builder.SetVote(3, bad, Vote::kTrue).ok());
+  Dataset d = builder.Build();
+
+  CorroborationResult result = CosineCorroborator().Run(d).ValueOrDie();
+  EXPECT_TRUE(result.Decide(good));
+  EXPECT_FALSE(result.Decide(bad));
+  EXPECT_LT(result.source_trust[3], result.source_trust[0]);
+}
+
+TEST(CosineTest, CollapsesOnAffirmativeOnlyData) {
+  // Like the other fixpoints: with mostly T votes, everything true
+  // except possibly the F-majority facts.
+  MotivatingExample example = MakeMotivatingExample();
+  CorroborationResult result =
+      CosineCorroborator().Run(example.dataset).ValueOrDie();
+  for (FactId f = 0; f < 12; ++f) {
+    if (f == 5 || f == 11) continue;  // r6 and r12 carry F votes.
+    EXPECT_TRUE(result.Decide(f)) << "r" << (f + 1);
+  }
+}
+
+TEST(CosineTest, WellFormedOutputs) {
+  MotivatingExample example = MakeMotivatingExample();
+  CorroborationResult result =
+      CosineCorroborator().Run(example.dataset).ValueOrDie();
+  ASSERT_EQ(result.fact_probability.size(), 12u);
+  for (double p : result.fact_probability) {
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+  for (double t : result.source_trust) {
+    EXPECT_GE(t, 0.0);
+    EXPECT_LE(t, 1.0);
+  }
+  EXPECT_GE(result.iterations, 1);
+}
+
+TEST(CosineTest, NoVoteFactsStayUncertain) {
+  DatasetBuilder builder;
+  builder.AddSource("s");
+  FactId voted = builder.AddFact("voted");
+  FactId orphan = builder.AddFact("orphan");
+  ASSERT_TRUE(builder.SetVote(0, voted, Vote::kTrue).ok());
+  Dataset d = builder.Build();
+  CorroborationResult result = CosineCorroborator().Run(d).ValueOrDie();
+  EXPECT_DOUBLE_EQ(result.fact_probability[static_cast<size_t>(orphan)], 0.5);
+  EXPECT_TRUE(result.Decide(voted));
+}
+
+TEST(CosineTest, OptionValidation) {
+  CosineOptions bad;
+  bad.damping = 1.0;
+  EXPECT_FALSE(CosineCorroborator(bad).Run(DatasetBuilder().Build()).ok());
+  bad = {};
+  bad.trust_power = 0.0;
+  EXPECT_FALSE(CosineCorroborator(bad).Run(DatasetBuilder().Build()).ok());
+  bad = {};
+  bad.max_iterations = 0;
+  EXPECT_FALSE(CosineCorroborator(bad).Run(DatasetBuilder().Build()).ok());
+}
+
+TEST(CosineTest, EmptyDataset) {
+  CorroborationResult result =
+      CosineCorroborator().Run(DatasetBuilder().Build()).ValueOrDie();
+  EXPECT_TRUE(result.fact_probability.empty());
+}
+
+}  // namespace
+}  // namespace corrob

@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include "core/pasternack.h"
+#include "core/registry.h"
+#include "core/truth_finder.h"
+#include "data/motivating_example.h"
+#include "eval/metrics.h"
+#include "synth/synthetic.h"
+
+namespace corrob {
+namespace {
+
+TEST(TruthFinderTest, ResolvesClearConflicts) {
+  DatasetBuilder builder;
+  for (int s = 0; s < 4; ++s) builder.AddSource("s" + std::to_string(s));
+  FactId good = builder.AddFact("good");
+  FactId bad = builder.AddFact("bad");
+  for (int s = 0; s < 3; ++s) {
+    ASSERT_TRUE(builder.SetVote(s, good, Vote::kTrue).ok());
+    ASSERT_TRUE(builder.SetVote(s, bad, Vote::kFalse).ok());
+  }
+  ASSERT_TRUE(builder.SetVote(3, good, Vote::kFalse).ok());
+  ASSERT_TRUE(builder.SetVote(3, bad, Vote::kTrue).ok());
+  Dataset d = builder.Build();
+
+  CorroborationResult result = TruthFinderCorroborator().Run(d).ValueOrDie();
+  EXPECT_TRUE(result.Decide(good));
+  EXPECT_FALSE(result.Decide(bad));
+  EXPECT_LT(result.source_trust[3], result.source_trust[0]);
+}
+
+TEST(TruthFinderTest, CollapsesOnAffirmativeOnlyData) {
+  // The paper's thesis applies to this related-work method too:
+  // with only T votes everything resolves true.
+  MotivatingExample example = MakeMotivatingExample();
+  CorroborationResult result =
+      TruthFinderCorroborator().Run(example.dataset).ValueOrDie();
+  int decided_true = 0;
+  for (FactId f = 0; f < 12; ++f) {
+    if (result.Decide(f)) ++decided_true;
+  }
+  EXPECT_GE(decided_true, 10);  // At most the two F-vote facts differ.
+}
+
+TEST(TruthFinderTest, WellFormedOutputs) {
+  MotivatingExample example = MakeMotivatingExample();
+  CorroborationResult result =
+      TruthFinderCorroborator().Run(example.dataset).ValueOrDie();
+  for (double p : result.fact_probability) {
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+  for (double t : result.source_trust) {
+    EXPECT_GE(t, 0.0);
+    EXPECT_LE(t, 1.0);
+  }
+}
+
+TEST(TruthFinderTest, OptionValidation) {
+  TruthFinderOptions bad;
+  bad.initial_trust = 1.0;
+  EXPECT_FALSE(
+      TruthFinderCorroborator(bad).Run(DatasetBuilder().Build()).ok());
+  bad = {};
+  bad.dampening = 0.0;
+  EXPECT_FALSE(
+      TruthFinderCorroborator(bad).Run(DatasetBuilder().Build()).ok());
+}
+
+class PasternackVariantTest
+    : public ::testing::TestWithParam<PasternackVariant> {};
+
+TEST_P(PasternackVariantTest, ResolvesClearConflicts) {
+  DatasetBuilder builder;
+  for (int s = 0; s < 5; ++s) builder.AddSource("s" + std::to_string(s));
+  FactId good = builder.AddFact("good");
+  FactId bad = builder.AddFact("bad");
+  for (int s = 0; s < 4; ++s) {
+    ASSERT_TRUE(builder.SetVote(s, good, Vote::kTrue).ok());
+    ASSERT_TRUE(builder.SetVote(s, bad, Vote::kFalse).ok());
+  }
+  ASSERT_TRUE(builder.SetVote(4, good, Vote::kFalse).ok());
+  ASSERT_TRUE(builder.SetVote(4, bad, Vote::kTrue).ok());
+  Dataset d = builder.Build();
+
+  PasternackOptions options;
+  options.variant = GetParam();
+  CorroborationResult result =
+      PasternackCorroborator(options).Run(d).ValueOrDie();
+  EXPECT_TRUE(result.Decide(good));
+  EXPECT_FALSE(result.Decide(bad));
+}
+
+TEST_P(PasternackVariantTest, WellFormedOnSyntheticData) {
+  SyntheticOptions synth;
+  synth.num_facts = 500;
+  synth.num_sources = 6;
+  synth.num_inaccurate = 2;
+  synth.seed = 8;
+  SyntheticDataset data = GenerateSynthetic(synth).ValueOrDie();
+
+  PasternackOptions options;
+  options.variant = GetParam();
+  CorroborationResult result =
+      PasternackCorroborator(options).Run(data.dataset).ValueOrDie();
+  ASSERT_EQ(result.fact_probability.size(), 500u);
+  for (double p : result.fact_probability) {
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+  for (double t : result.source_trust) {
+    EXPECT_GE(t, 0.0);
+    EXPECT_LE(t, 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Variants, PasternackVariantTest,
+                         ::testing::Values(PasternackVariant::kAvgLog,
+                                           PasternackVariant::kInvest,
+                                           PasternackVariant::kPooledInvest));
+
+TEST(PasternackTest, NamesFollowVariant) {
+  PasternackOptions options;
+  EXPECT_EQ(PasternackCorroborator(options).name(), "AvgLog");
+  options.variant = PasternackVariant::kInvest;
+  EXPECT_EQ(PasternackCorroborator(options).name(), "Invest");
+  options.variant = PasternackVariant::kPooledInvest;
+  EXPECT_EQ(PasternackCorroborator(options).name(), "PooledInvest");
+}
+
+TEST(PasternackTest, OptionValidation) {
+  PasternackOptions bad;
+  bad.growth = 0.0;
+  EXPECT_FALSE(
+      PasternackCorroborator(bad).Run(DatasetBuilder().Build()).ok());
+}
+
+TEST(ExtendedRegistryTest, AllExtendedNamesConstructAndRun) {
+  MotivatingExample example = MakeMotivatingExample();
+  for (const std::string& name : ExtendedCorroboratorNames()) {
+    auto algorithm = MakeCorroborator(name);
+    ASSERT_TRUE(algorithm.ok()) << name;
+    EXPECT_EQ(algorithm.ValueOrDie()->name(), name);
+    auto result = algorithm.ValueOrDie()->Run(example.dataset);
+    ASSERT_TRUE(result.ok()) << name;
+    EXPECT_EQ(result.ValueOrDie().fact_probability.size(), 12u);
+  }
+}
+
+}  // namespace
+}  // namespace corrob

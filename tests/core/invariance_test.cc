@@ -1,0 +1,109 @@
+// Property tests: corroboration results must be invariant under
+// renaming/permutation of facts and sources. Decisions are a function
+// of the vote structure, not of insertion order or labels.
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/registry.h"
+#include "synth/synthetic.h"
+
+namespace corrob {
+namespace {
+
+struct Permutation {
+  std::vector<int32_t> source_map;  // old id -> new id
+  std::vector<int32_t> fact_map;
+};
+
+/// Rebuilds `dataset` with permuted source/fact insertion orders.
+Dataset Permute(const Dataset& dataset, const Permutation& perm) {
+  DatasetBuilder builder;
+  // Register in permuted order so ids change but names persist.
+  std::vector<SourceId> source_order(
+      static_cast<size_t>(dataset.num_sources()));
+  for (SourceId s = 0; s < dataset.num_sources(); ++s) {
+    source_order[static_cast<size_t>(perm.source_map[s])] = s;
+  }
+  std::vector<FactId> fact_order(static_cast<size_t>(dataset.num_facts()));
+  for (FactId f = 0; f < dataset.num_facts(); ++f) {
+    fact_order[static_cast<size_t>(perm.fact_map[f])] = f;
+  }
+  for (SourceId s : source_order) builder.AddSource(dataset.source_name(s));
+  for (FactId f : fact_order) builder.AddFact(dataset.fact_name(f));
+  for (FactId f = 0; f < dataset.num_facts(); ++f) {
+    for (const SourceVote& sv : dataset.VotesOnFact(f)) {
+      EXPECT_TRUE(builder
+                      .SetVote(perm.source_map[sv.source],
+                               perm.fact_map[f], sv.vote)
+                      .ok());
+    }
+  }
+  return builder.Build();
+}
+
+Permutation RandomPermutation(const Dataset& dataset, uint64_t seed) {
+  Rng rng(seed);
+  Permutation perm;
+  perm.source_map.resize(static_cast<size_t>(dataset.num_sources()));
+  perm.fact_map.resize(static_cast<size_t>(dataset.num_facts()));
+  for (size_t i = 0; i < perm.source_map.size(); ++i) {
+    perm.source_map[i] = static_cast<int32_t>(i);
+  }
+  for (size_t i = 0; i < perm.fact_map.size(); ++i) {
+    perm.fact_map[i] = static_cast<int32_t>(i);
+  }
+  rng.Shuffle(&perm.source_map);
+  rng.Shuffle(&perm.fact_map);
+  return perm;
+}
+
+class InvarianceTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(InvarianceTest, DecisionsInvariantUnderPermutation) {
+  // Deterministic fixpoint methods must produce identical decisions
+  // on the permuted dataset (modulo the permutation). The sampled
+  // BayesEstimate and order-sensitive IncEstimate tie-breaks are
+  // checked with a weaker agreement bound.
+  SyntheticOptions options;
+  options.num_facts = 400;
+  options.num_sources = 7;
+  options.num_inaccurate = 2;
+  options.eta = 0.03;
+  options.seed = 97;
+  SyntheticDataset data = GenerateSynthetic(options).ValueOrDie();
+  Permutation perm = RandomPermutation(data.dataset, 13);
+  Dataset permuted = Permute(data.dataset, perm);
+
+  const std::string& name = GetParam();
+  auto algorithm = MakeCorroborator(name).ValueOrDie();
+  std::vector<bool> original =
+      algorithm->Run(data.dataset).ValueOrDie().Decisions();
+  std::vector<bool> shuffled =
+      algorithm->Run(permuted).ValueOrDie().Decisions();
+
+  bool exact = name != "BayesEstimate" && name != "IncEstHeu" &&
+               name != "IncEstPS";
+  int64_t agreements = 0;
+  for (FactId f = 0; f < data.dataset.num_facts(); ++f) {
+    bool same =
+        original[static_cast<size_t>(f)] ==
+        shuffled[static_cast<size_t>(perm.fact_map[f])];
+    if (exact) {
+      EXPECT_TRUE(same) << name << " fact " << f;
+    }
+    agreements += same ? 1 : 0;
+  }
+  // Even the order-sensitive methods must agree on nearly all facts.
+  EXPECT_GE(agreements, data.dataset.num_facts() * 95 / 100) << name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAlgorithms, InvarianceTest,
+    ::testing::Values("Voting", "Counting", "TwoEstimate", "ThreeEstimate",
+                      "Cosine", "TruthFinder", "AvgLog", "Invest",
+                      "PooledInvest", "BayesEstimate", "IncEstPS",
+                      "IncEstHeu"));
+
+}  // namespace
+}  // namespace corrob

@@ -1,0 +1,80 @@
+// Behavioural coverage for the TwoEstimate normalization variants
+// the paper discusses in §2.1/§4.2: without renormalization the
+// fixpoint sits at the prior; with rounding it commits hard.
+
+#include <gtest/gtest.h>
+
+#include "core/two_estimate.h"
+#include "data/motivating_example.h"
+
+namespace corrob {
+namespace {
+
+TEST(NormalizationModesTest, NoneKeepsSoftScores) {
+  MotivatingExample example = MakeMotivatingExample();
+  TwoEstimateOptions options;
+  options.normalization = Normalization::kNone;
+  CorroborationResult result =
+      TwoEstimateCorroborator(options).Run(example.dataset).ValueOrDie();
+  // Probabilities stay strictly inside (0, 1) — no hard commitment.
+  int soft = 0;
+  for (double p : result.fact_probability) {
+    if (p > 0.0 && p < 1.0) ++soft;
+  }
+  EXPECT_EQ(soft, 12);
+  // And the strongly disputed r12 still scores lowest.
+  double min_p = 1.0;
+  FactId argmin = -1;
+  for (FactId f = 0; f < 12; ++f) {
+    if (result.fact_probability[static_cast<size_t>(f)] < min_p) {
+      min_p = result.fact_probability[static_cast<size_t>(f)];
+      argmin = f;
+    }
+  }
+  EXPECT_EQ(argmin, 11);
+}
+
+TEST(NormalizationModesTest, RoundCommitsHard) {
+  MotivatingExample example = MakeMotivatingExample();
+  TwoEstimateOptions options;
+  options.normalization = Normalization::kRound;
+  CorroborationResult result =
+      TwoEstimateCorroborator(options).Run(example.dataset).ValueOrDie();
+  for (double p : result.fact_probability) {
+    EXPECT_TRUE(p == 0.0 || p == 1.0) << p;
+  }
+}
+
+TEST(NormalizationModesTest, LinearSpreadsTheRange) {
+  MotivatingExample example = MakeMotivatingExample();
+  TwoEstimateOptions options;
+  options.normalization = Normalization::kLinear;
+  CorroborationResult result =
+      TwoEstimateCorroborator(options).Run(example.dataset).ValueOrDie();
+  double lo = 1.0, hi = 0.0;
+  for (double p : result.fact_probability) {
+    lo = std::min(lo, p);
+    hi = std::max(hi, p);
+  }
+  // Linear rescaling pins the extremes to the full range.
+  EXPECT_DOUBLE_EQ(lo, 0.0);
+  EXPECT_DOUBLE_EQ(hi, 1.0);
+  // The bottom of the range is the disputed r12.
+  EXPECT_DOUBLE_EQ(result.fact_probability[11], 0.0);
+}
+
+TEST(NormalizationModesTest, AllModesAgreeOnTheClearCases) {
+  MotivatingExample example = MakeMotivatingExample();
+  for (Normalization mode : {Normalization::kRound, Normalization::kLinear}) {
+    TwoEstimateOptions options;
+    options.normalization = mode;
+    CorroborationResult result =
+        TwoEstimateCorroborator(options).Run(example.dataset).ValueOrDie();
+    // r2 (4 affirmations) true; r12 (2 F vs 1 T) false.
+    EXPECT_TRUE(result.Decide(1));
+    EXPECT_FALSE(result.Decide(11));
+  }
+}
+
+}  // namespace
+}  // namespace corrob

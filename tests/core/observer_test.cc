@@ -1,0 +1,66 @@
+#include <gtest/gtest.h>
+
+#include "core/inc_estimate.h"
+#include "data/motivating_example.h"
+
+namespace corrob {
+namespace {
+
+TEST(RoundObserverTest, ReceivesEveryRoundInOrder) {
+  MotivatingExample example = MakeMotivatingExample();
+  std::vector<IncRoundInfo> rounds;
+  IncEstimateOptions options;
+  options.round_observer = [&](const IncRoundInfo& info) {
+    rounds.push_back(info);
+  };
+  CorroborationResult result =
+      IncEstimateCorroborator(options).Run(example.dataset).ValueOrDie();
+
+  ASSERT_EQ(static_cast<int>(rounds.size()), result.iterations);
+  int64_t committed = 0;
+  for (size_t i = 0; i < rounds.size(); ++i) {
+    EXPECT_EQ(rounds[i].round, static_cast<int>(i) + 1);
+    EXPECT_GT(rounds[i].facts_committed, 0);
+    committed += rounds[i].facts_committed;
+  }
+  EXPECT_EQ(committed, 12);
+  // The run ends with the terminal wholesale commit of the leftover
+  // side/ties, never with a balanced round.
+  IncRoundInfo::Kind last = rounds.back().kind;
+  EXPECT_TRUE(last == IncRoundInfo::Kind::kFinalTies ||
+              last == IncRoundInfo::Kind::kOneSidedPositive ||
+              last == IncRoundInfo::Kind::kOneSidedNegative);
+}
+
+TEST(RoundObserverTest, BalancedRoundsCarryGroupIds) {
+  MotivatingExample example = MakeMotivatingExample();
+  std::vector<IncRoundInfo> balanced;
+  IncEstimateOptions options;
+  options.round_observer = [&](const IncRoundInfo& info) {
+    if (info.kind == IncRoundInfo::Kind::kBalanced) balanced.push_back(info);
+  };
+  IncEstimateCorroborator(options).Run(example.dataset).ValueOrDie();
+  ASSERT_FALSE(balanced.empty());
+  for (const IncRoundInfo& info : balanced) {
+    EXPECT_GE(info.positive_group, 0);
+    EXPECT_GE(info.negative_group, 0);
+    EXPECT_NE(info.positive_group, info.negative_group);
+  }
+}
+
+TEST(RoundObserverTest, GreedyRoundsForIncEstPS) {
+  MotivatingExample example = MakeMotivatingExample();
+  int greedy_rounds = 0;
+  IncEstimateOptions options;
+  options.strategy = IncSelectStrategy::kProbability;
+  options.round_observer = [&](const IncRoundInfo& info) {
+    if (info.kind == IncRoundInfo::Kind::kGreedy) ++greedy_rounds;
+    EXPECT_EQ(info.negative_group, -1);
+  };
+  CorroborationResult result =
+      IncEstimateCorroborator(options).Run(example.dataset).ValueOrDie();
+  EXPECT_EQ(greedy_rounds, result.iterations);
+}
+
+}  // namespace
+}  // namespace corrob

@@ -1,0 +1,49 @@
+// Validation coverage for the IncEstimate option surface added in
+// DESIGN.md §3.1.
+
+#include <gtest/gtest.h>
+
+#include "core/inc_estimate.h"
+
+namespace corrob {
+namespace {
+
+Dataset Empty() { return DatasetBuilder().Build(); }
+
+TEST(IncOptionsValidationTest, RejectsNegativePriorWeight) {
+  IncEstimateOptions bad;
+  bad.trust_prior_weight = -1.0;
+  EXPECT_EQ(IncEstimateCorroborator(bad).Run(Empty()).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(IncOptionsValidationTest, RejectsBadTieMargin) {
+  IncEstimateOptions bad;
+  bad.tie_margin = -0.01;
+  EXPECT_EQ(IncEstimateCorroborator(bad).Run(Empty()).status().code(),
+            StatusCode::kInvalidArgument);
+  bad.tie_margin = 0.5;
+  EXPECT_EQ(IncEstimateCorroborator(bad).Run(Empty()).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(IncOptionsValidationTest, RejectsNegativeExtremeBand) {
+  IncEstimateOptions bad;
+  bad.extreme_band = -0.1;
+  EXPECT_EQ(IncEstimateCorroborator(bad).Run(Empty()).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(IncOptionsValidationTest, BoundaryValuesAccepted) {
+  IncEstimateOptions edge;
+  edge.trust_prior_weight = 0.0;
+  edge.tie_margin = 0.0;
+  edge.extreme_band = 0.0;
+  EXPECT_TRUE(IncEstimateCorroborator(edge).Run(Empty()).ok());
+  edge.tie_margin = 0.49;
+  edge.extreme_band = 1.0;
+  EXPECT_TRUE(IncEstimateCorroborator(edge).Run(Empty()).ok());
+}
+
+}  // namespace
+}  // namespace corrob

@@ -1,0 +1,42 @@
+#include "core/registry.h"
+
+#include <gtest/gtest.h>
+
+#include "data/motivating_example.h"
+
+namespace corrob {
+namespace {
+
+TEST(RegistryTest, AllNamesConstruct) {
+  for (const std::string& name : CorroboratorNames()) {
+    auto corroborator = MakeCorroborator(name);
+    ASSERT_TRUE(corroborator.ok()) << name;
+    EXPECT_EQ(corroborator.ValueOrDie()->name(), name);
+  }
+}
+
+TEST(RegistryTest, UnknownNameIsNotFound) {
+  EXPECT_EQ(MakeCorroborator("Oracle").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(MakeCorroborator("voting").status().code(),
+            StatusCode::kNotFound);  // Case-sensitive.
+}
+
+TEST(RegistryTest, EveryAlgorithmRunsOnTheMotivatingExample) {
+  MotivatingExample example = MakeMotivatingExample();
+  for (const std::string& name : CorroboratorNames()) {
+    auto corroborator = MakeCorroborator(name).ValueOrDie();
+    auto result = corroborator->Run(example.dataset);
+    ASSERT_TRUE(result.ok()) << name;
+    EXPECT_EQ(result.ValueOrDie().fact_probability.size(), 12u) << name;
+  }
+}
+
+TEST(RegistryTest, StrategiesAreDistinct) {
+  auto heu = MakeCorroborator("IncEstHeu").ValueOrDie();
+  auto ps = MakeCorroborator("IncEstPS").ValueOrDie();
+  EXPECT_NE(heu->name(), ps->name());
+}
+
+}  // namespace
+}  // namespace corrob

@@ -1,0 +1,78 @@
+#include "core/three_estimate.h"
+
+#include <gtest/gtest.h>
+
+#include "core/two_estimate.h"
+#include "data/motivating_example.h"
+
+namespace corrob {
+namespace {
+
+TEST(ThreeEstimateTest, ResolvesClearMajorities) {
+  DatasetBuilder builder;
+  for (int s = 0; s < 4; ++s) builder.AddSource("s" + std::to_string(s));
+  FactId good = builder.AddFact("good");
+  FactId bad = builder.AddFact("bad");
+  for (int s = 0; s < 3; ++s) {
+    ASSERT_TRUE(builder.SetVote(s, good, Vote::kTrue).ok());
+    ASSERT_TRUE(builder.SetVote(s, bad, Vote::kFalse).ok());
+  }
+  ASSERT_TRUE(builder.SetVote(3, good, Vote::kFalse).ok());
+  ASSERT_TRUE(builder.SetVote(3, bad, Vote::kTrue).ok());
+  Dataset d = builder.Build();
+
+  CorroborationResult result =
+      ThreeEstimateCorroborator().Run(d).ValueOrDie();
+  EXPECT_TRUE(result.Decide(good));
+  EXPECT_FALSE(result.Decide(bad));
+  // The consistently outvoted source ends less trusted.
+  EXPECT_LT(result.source_trust[3], result.source_trust[0]);
+}
+
+TEST(ThreeEstimateTest, DegeneratesToTwoEstimateOnAffirmativeData) {
+  // Paper footnote 3: with T votes only, ThreeEstimate simplifies to
+  // TwoEstimate — both mark everything true.
+  MotivatingExample example = MakeMotivatingExample();
+  CorroborationResult three =
+      ThreeEstimateCorroborator().Run(example.dataset).ValueOrDie();
+  CorroborationResult two =
+      TwoEstimateCorroborator().Run(example.dataset).ValueOrDie();
+  int agreements = 0;
+  for (FactId f = 0; f < example.dataset.num_facts(); ++f) {
+    if (three.Decide(f) == two.Decide(f)) ++agreements;
+  }
+  EXPECT_GE(agreements, 11);  // Identical up to at most one boundary fact.
+}
+
+TEST(ThreeEstimateTest, DifficultyBoundsRespected) {
+  MotivatingExample example = MakeMotivatingExample();
+  CorroborationResult result =
+      ThreeEstimateCorroborator().Run(example.dataset).ValueOrDie();
+  for (double p : result.fact_probability) {
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+  for (double t : result.source_trust) {
+    EXPECT_GE(t, 0.0);
+    EXPECT_LE(t, 1.0);
+  }
+}
+
+TEST(ThreeEstimateTest, InvalidOptionsRejected) {
+  ThreeEstimateOptions bad;
+  bad.initial_difficulty = -0.5;
+  EXPECT_EQ(ThreeEstimateCorroborator(bad)
+                .Run(DatasetBuilder().Build())
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ThreeEstimateTest, EmptyDataset) {
+  CorroborationResult result =
+      ThreeEstimateCorroborator().Run(DatasetBuilder().Build()).ValueOrDie();
+  EXPECT_TRUE(result.fact_probability.empty());
+}
+
+}  // namespace
+}  // namespace corrob

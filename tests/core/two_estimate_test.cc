@@ -1,0 +1,137 @@
+#include "core/two_estimate.h"
+
+#include <gtest/gtest.h>
+
+#include "data/motivating_example.h"
+#include "eval/metrics.h"
+
+namespace corrob {
+namespace {
+
+TEST(NormalizeEstimatesTest, RoundScheme) {
+  std::vector<double> v{0.4999, 0.5, 0.9, 0.0};
+  NormalizeEstimates(Normalization::kRound, &v);
+  EXPECT_EQ(v, (std::vector<double>{0.0, 1.0, 1.0, 0.0}));
+}
+
+TEST(NormalizeEstimatesTest, LinearScheme) {
+  std::vector<double> v{0.2, 0.4, 0.6};
+  NormalizeEstimates(Normalization::kLinear, &v);
+  EXPECT_NEAR(v[0], 0.0, 1e-12);
+  EXPECT_NEAR(v[1], 0.5, 1e-12);
+  EXPECT_NEAR(v[2], 1.0, 1e-12);
+}
+
+TEST(NormalizeEstimatesTest, LinearDegenerateSpanUnchanged) {
+  std::vector<double> v{0.7, 0.7};
+  NormalizeEstimates(Normalization::kLinear, &v);
+  EXPECT_EQ(v, (std::vector<double>{0.7, 0.7}));
+}
+
+TEST(NormalizeEstimatesTest, NoneSchemeUnchanged) {
+  std::vector<double> v{0.3, 0.8};
+  NormalizeEstimates(Normalization::kNone, &v);
+  EXPECT_EQ(v, (std::vector<double>{0.3, 0.8}));
+}
+
+TEST(TwoEstimateTest, MotivatingExampleDecisionsMatchSection21) {
+  // Paper §2.1: TwoEstimate returns true for everything except r12.
+  MotivatingExample example = MakeMotivatingExample();
+  CorroborationResult result =
+      TwoEstimateCorroborator().Run(example.dataset).ValueOrDie();
+  for (FactId f = 0; f < 12; ++f) {
+    EXPECT_EQ(result.Decide(f), f != 11) << "r" << (f + 1);
+  }
+}
+
+TEST(TwoEstimateTest, MotivatingExampleTrustMatchesSection21) {
+  // Paper §2.1: trust {1, 1, 0.8, 0.9, 1} for s1..s5.
+  MotivatingExample example = MakeMotivatingExample();
+  CorroborationResult result =
+      TwoEstimateCorroborator().Run(example.dataset).ValueOrDie();
+  ASSERT_EQ(result.source_trust.size(), 5u);
+  EXPECT_NEAR(result.source_trust[0], 1.0, 1e-9);
+  EXPECT_NEAR(result.source_trust[1], 1.0, 1e-9);
+  EXPECT_NEAR(result.source_trust[2], 0.8, 1e-9);
+  EXPECT_NEAR(result.source_trust[3], 0.9, 1e-9);
+  EXPECT_NEAR(result.source_trust[4], 1.0, 1e-9);
+}
+
+TEST(TwoEstimateTest, MotivatingExampleMetricsMatchTable2) {
+  // Paper Table 2: precision 0.64, recall 1, accuracy 0.67.
+  MotivatingExample example = MakeMotivatingExample();
+  CorroborationResult result =
+      TwoEstimateCorroborator().Run(example.dataset).ValueOrDie();
+  BinaryMetrics metrics = EvaluateOnTruth(result, example.truth);
+  EXPECT_NEAR(metrics.precision, 7.0 / 11.0, 1e-12);  // 0.636 ≈ 0.64
+  EXPECT_NEAR(metrics.recall, 1.0, 1e-12);
+  EXPECT_NEAR(metrics.accuracy, 8.0 / 12.0, 1e-12);  // 0.667 ≈ 0.67
+}
+
+TEST(TwoEstimateTest, AffirmativeOnlyDataCollapsesToAllTrue) {
+  // §4.2: with only T votes, every fact converges to true and every
+  // source to trust 1 — the limitation the paper demonstrates.
+  DatasetBuilder builder;
+  for (int s = 0; s < 4; ++s) builder.AddSource("s" + std::to_string(s));
+  for (int f = 0; f < 20; ++f) {
+    FactId id = builder.AddFact("f" + std::to_string(f));
+    ASSERT_TRUE(builder.SetVote(f % 4, id, Vote::kTrue).ok());
+    ASSERT_TRUE(builder.SetVote((f + 1) % 4, id, Vote::kTrue).ok());
+  }
+  Dataset d = builder.Build();
+  CorroborationResult result = TwoEstimateCorroborator().Run(d).ValueOrDie();
+  for (FactId f = 0; f < 20; ++f) {
+    EXPECT_TRUE(result.Decide(f));
+  }
+  for (double trust : result.source_trust) {
+    EXPECT_NEAR(trust, 1.0, 1e-9);
+  }
+}
+
+TEST(TwoEstimateTest, ConvergesQuickly) {
+  MotivatingExample example = MakeMotivatingExample();
+  CorroborationResult result =
+      TwoEstimateCorroborator().Run(example.dataset).ValueOrDie();
+  EXPECT_LE(result.iterations, 10);
+  EXPECT_GE(result.iterations, 2);
+}
+
+TEST(TwoEstimateTest, RespectsInitialTrustOption) {
+  // Any initial trust above 0.5 yields the same fixpoint here.
+  MotivatingExample example = MakeMotivatingExample();
+  for (double initial : {0.6, 0.75, 0.95}) {
+    TwoEstimateOptions options;
+    options.initial_trust = initial;
+    CorroborationResult result =
+        TwoEstimateCorroborator(options).Run(example.dataset).ValueOrDie();
+    EXPECT_FALSE(result.Decide(11)) << "initial " << initial;
+    EXPECT_TRUE(result.Decide(0)) << "initial " << initial;
+  }
+}
+
+TEST(TwoEstimateTest, InvalidOptionsRejected) {
+  TwoEstimateOptions bad_trust;
+  bad_trust.initial_trust = 1.5;
+  EXPECT_EQ(TwoEstimateCorroborator(bad_trust)
+                .Run(DatasetBuilder().Build())
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  TwoEstimateOptions bad_iters;
+  bad_iters.max_iterations = 0;
+  EXPECT_EQ(TwoEstimateCorroborator(bad_iters)
+                .Run(DatasetBuilder().Build())
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(TwoEstimateTest, EmptyDataset) {
+  CorroborationResult result =
+      TwoEstimateCorroborator().Run(DatasetBuilder().Build()).ValueOrDie();
+  EXPECT_TRUE(result.fact_probability.empty());
+  EXPECT_TRUE(result.source_trust.empty());
+}
+
+}  // namespace
+}  // namespace corrob

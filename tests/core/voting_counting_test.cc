@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include "core/counting.h"
+#include "core/voting.h"
+#include "data/motivating_example.h"
+#include "eval/metrics.h"
+
+namespace corrob {
+namespace {
+
+TEST(VotingTest, MajorityOfCastVotes) {
+  DatasetBuilder builder;
+  for (int s = 0; s < 3; ++s) builder.AddSource("s" + std::to_string(s));
+  FactId f0 = builder.AddFact("t_wins");
+  FactId f1 = builder.AddFact("f_wins");
+  FactId f2 = builder.AddFact("tie");
+  FactId f3 = builder.AddFact("no_votes");
+  ASSERT_TRUE(builder.SetVote(0, f0, Vote::kTrue).ok());
+  ASSERT_TRUE(builder.SetVote(1, f0, Vote::kTrue).ok());
+  ASSERT_TRUE(builder.SetVote(2, f0, Vote::kFalse).ok());
+  ASSERT_TRUE(builder.SetVote(0, f1, Vote::kFalse).ok());
+  ASSERT_TRUE(builder.SetVote(1, f1, Vote::kFalse).ok());
+  ASSERT_TRUE(builder.SetVote(2, f1, Vote::kTrue).ok());
+  ASSERT_TRUE(builder.SetVote(0, f2, Vote::kTrue).ok());
+  ASSERT_TRUE(builder.SetVote(1, f2, Vote::kFalse).ok());
+  (void)f3;
+  Dataset d = builder.Build();
+
+  CorroborationResult result = VotingCorroborator().Run(d).ValueOrDie();
+  EXPECT_TRUE(result.Decide(f0));
+  EXPECT_FALSE(result.Decide(f1));
+  EXPECT_FALSE(result.Decide(f2));  // Tie: not strictly more T votes.
+  EXPECT_FALSE(result.Decide(f3));
+  EXPECT_EQ(result.algorithm, "Voting");
+}
+
+TEST(VotingTest, MotivatingExampleAllTrueExceptR12) {
+  // §2: with mostly T votes, voting accepts everything except r12
+  // (2 F votes vs 1 T vote). r6 is a 1-1 tie, rejected by voting.
+  MotivatingExample example = MakeMotivatingExample();
+  CorroborationResult result =
+      VotingCorroborator().Run(example.dataset).ValueOrDie();
+  for (FactId f = 0; f < 12; ++f) {
+    bool expected = !(f == 5 || f == 11);  // r6 tie, r12 outvoted
+    EXPECT_EQ(result.Decide(f), expected) << "r" << (f + 1);
+  }
+}
+
+TEST(CountingTest, RequiresAbsoluteMajorityOfAllSources) {
+  DatasetBuilder builder;
+  for (int s = 0; s < 5; ++s) builder.AddSource("s" + std::to_string(s));
+  FactId weak = builder.AddFact("weak");    // 2 of 5 T votes.
+  FactId strong = builder.AddFact("strong");  // 3 of 5 T votes.
+  ASSERT_TRUE(builder.SetVote(0, weak, Vote::kTrue).ok());
+  ASSERT_TRUE(builder.SetVote(1, weak, Vote::kTrue).ok());
+  ASSERT_TRUE(builder.SetVote(0, strong, Vote::kTrue).ok());
+  ASSERT_TRUE(builder.SetVote(1, strong, Vote::kTrue).ok());
+  ASSERT_TRUE(builder.SetVote(2, strong, Vote::kTrue).ok());
+  Dataset d = builder.Build();
+
+  CorroborationResult result = CountingCorroborator().Run(d).ValueOrDie();
+  EXPECT_FALSE(result.Decide(weak));
+  EXPECT_TRUE(result.Decide(strong));
+}
+
+TEST(CountingTest, TradesRecallForPrecisionOnExample) {
+  MotivatingExample example = MakeMotivatingExample();
+  CorroborationResult counting =
+      CountingCorroborator().Run(example.dataset).ValueOrDie();
+  CorroborationResult voting =
+      VotingCorroborator().Run(example.dataset).ValueOrDie();
+  BinaryMetrics mc = EvaluateOnTruth(counting, example.truth);
+  BinaryMetrics mv = EvaluateOnTruth(voting, example.truth);
+  EXPECT_GE(mc.precision, mv.precision);
+  EXPECT_LE(mc.recall, mv.recall);
+}
+
+TEST(BaselineTest, EmptyDataset) {
+  Dataset empty = DatasetBuilder().Build();
+  EXPECT_TRUE(VotingCorroborator().Run(empty).ValueOrDie()
+                  .fact_probability.empty());
+  EXPECT_TRUE(CountingCorroborator().Run(empty).ValueOrDie()
+                  .fact_probability.empty());
+}
+
+}  // namespace
+}  // namespace corrob

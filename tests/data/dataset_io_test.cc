@@ -1,0 +1,95 @@
+#include "data/dataset_io.h"
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "data/motivating_example.h"
+
+namespace corrob {
+namespace {
+
+TEST(DatasetIoTest, ParseBasicCsv) {
+  std::string text =
+      "fact,s1,s2\n"
+      "r1,T,-\n"
+      "r2,F,T\n";
+  LabeledDataset loaded = ParseDatasetCsv(text).ValueOrDie();
+  EXPECT_EQ(loaded.dataset.num_sources(), 2);
+  EXPECT_EQ(loaded.dataset.num_facts(), 2);
+  EXPECT_EQ(loaded.dataset.GetVote(0, 0), Vote::kTrue);
+  EXPECT_EQ(loaded.dataset.GetVote(1, 0), Vote::kNone);
+  EXPECT_EQ(loaded.dataset.GetVote(0, 1), Vote::kFalse);
+  EXPECT_FALSE(loaded.truth.has_value());
+}
+
+TEST(DatasetIoTest, ParseTruthColumn) {
+  std::string text =
+      "fact,s1,__truth__\n"
+      "r1,T,true\n"
+      "r2,T,false\n";
+  LabeledDataset loaded = ParseDatasetCsv(text).ValueOrDie();
+  ASSERT_TRUE(loaded.truth.has_value());
+  EXPECT_TRUE(loaded.truth->IsTrue(0));
+  EXPECT_FALSE(loaded.truth->IsTrue(1));
+}
+
+TEST(DatasetIoTest, UnknownTruthDropsColumn) {
+  std::string text =
+      "fact,s1,__truth__\n"
+      "r1,T,?\n"
+      "r2,T,true\n";
+  LabeledDataset loaded = ParseDatasetCsv(text).ValueOrDie();
+  EXPECT_FALSE(loaded.truth.has_value());
+}
+
+TEST(DatasetIoTest, RejectsMalformedInputs) {
+  EXPECT_EQ(ParseDatasetCsv("").status().code(), StatusCode::kParseError);
+  EXPECT_EQ(ParseDatasetCsv("bogus,s1\nr1,T\n").status().code(),
+            StatusCode::kParseError);
+  EXPECT_EQ(ParseDatasetCsv("fact\nr1\n").status().code(),
+            StatusCode::kParseError);
+  EXPECT_EQ(ParseDatasetCsv("fact,s1\nr1,T,extra\n").status().code(),
+            StatusCode::kParseError);
+  EXPECT_EQ(ParseDatasetCsv("fact,s1\nr1,Q\n").status().code(),
+            StatusCode::kParseError);
+  EXPECT_EQ(
+      ParseDatasetCsv("fact,s1,__truth__\nr1,T,maybe\n").status().code(),
+      StatusCode::kParseError);
+}
+
+TEST(DatasetIoTest, MotivatingExampleRoundTrips) {
+  MotivatingExample example = MakeMotivatingExample();
+  std::string csv = DatasetToCsv(example.dataset, &example.truth);
+  LabeledDataset loaded = ParseDatasetCsv(csv).ValueOrDie();
+
+  ASSERT_EQ(loaded.dataset.num_sources(), example.dataset.num_sources());
+  ASSERT_EQ(loaded.dataset.num_facts(), example.dataset.num_facts());
+  for (FactId f = 0; f < example.dataset.num_facts(); ++f) {
+    EXPECT_EQ(loaded.dataset.fact_name(f), example.dataset.fact_name(f));
+    for (SourceId s = 0; s < example.dataset.num_sources(); ++s) {
+      EXPECT_EQ(loaded.dataset.GetVote(s, f), example.dataset.GetVote(s, f))
+          << "s" << s << " f" << f;
+    }
+  }
+  ASSERT_TRUE(loaded.truth.has_value());
+  EXPECT_EQ(loaded.truth->labels(), example.truth.labels());
+}
+
+TEST(DatasetIoTest, FileRoundTrip) {
+  MotivatingExample example = MakeMotivatingExample();
+  std::string path = ::testing::TempDir() + "/corrob_dataset_io_test.csv";
+  ASSERT_TRUE(SaveDatasetCsv(path, example.dataset, &example.truth).ok());
+  LabeledDataset loaded = LoadDatasetCsv(path).ValueOrDie();
+  EXPECT_EQ(loaded.dataset.num_votes(), example.dataset.num_votes());
+  ASSERT_TRUE(loaded.truth.has_value());
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIoTest, MissingFileIsIoError) {
+  EXPECT_EQ(LoadDatasetCsv("/nope/missing.csv").status().code(),
+            StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace corrob

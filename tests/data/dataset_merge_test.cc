@@ -1,0 +1,94 @@
+#include "data/dataset_merge.h"
+
+#include <gtest/gtest.h>
+
+namespace corrob {
+namespace {
+
+Dataset Snapshot1() {
+  DatasetBuilder builder;
+  builder.SetVoteByName("yelp", "m_bar", Vote::kTrue);
+  builder.SetVoteByName("yp", "m_bar", Vote::kTrue);
+  builder.SetVoteByName("yelp", "dannys", Vote::kTrue);
+  return builder.Build();
+}
+
+Dataset Snapshot2() {
+  DatasetBuilder builder;
+  // yelp re-crawled dannys and now marks it CLOSED; a new source and
+  // a new fact appear.
+  builder.SetVoteByName("yelp", "dannys", Vote::kFalse);
+  builder.SetVoteByName("menupages", "m_bar", Vote::kTrue);
+  builder.SetVoteByName("yp", "new_spot", Vote::kTrue);
+  return builder.Build();
+}
+
+TEST(DatasetMergeTest, UnionOfSourcesAndFacts) {
+  Dataset a = Snapshot1();
+  Dataset b = Snapshot2();
+  Dataset merged = MergeDatasets({&a, &b}).ValueOrDie();
+  EXPECT_EQ(merged.num_sources(), 3);
+  EXPECT_EQ(merged.num_facts(), 3);
+  EXPECT_EQ(merged.num_votes(), 5);
+
+  SourceId yelp = merged.FindSource("yelp").ValueOrDie();
+  FactId dannys = merged.FindFact("dannys").ValueOrDie();
+  FactId m_bar = merged.FindFact("m_bar").ValueOrDie();
+  // Last-wins: the re-crawl's F replaces the old T.
+  EXPECT_EQ(merged.GetVote(yelp, dannys), Vote::kFalse);
+  EXPECT_EQ(merged.GetVote(yelp, m_bar), Vote::kTrue);
+}
+
+TEST(DatasetMergeTest, OrderMattersUnderLastWins) {
+  Dataset a = Snapshot1();
+  Dataset b = Snapshot2();
+  Dataset merged = MergeDatasets({&b, &a}).ValueOrDie();
+  SourceId yelp = merged.FindSource("yelp").ValueOrDie();
+  FactId dannys = merged.FindFact("dannys").ValueOrDie();
+  EXPECT_EQ(merged.GetVote(yelp, dannys), Vote::kTrue);  // a came last.
+}
+
+TEST(DatasetMergeTest, FalsePrevailsPolicy) {
+  Dataset a = Snapshot1();
+  Dataset b = Snapshot2();
+  Dataset merged =
+      MergeDatasets({&b, &a}, MergeConflictPolicy::kFalsePrevails)
+          .ValueOrDie();
+  SourceId yelp = merged.FindSource("yelp").ValueOrDie();
+  FactId dannys = merged.FindFact("dannys").ValueOrDie();
+  // Even though a (with T) came last, the F survives.
+  EXPECT_EQ(merged.GetVote(yelp, dannys), Vote::kFalse);
+}
+
+TEST(DatasetMergeTest, ErrorPolicyRejectsConflicts) {
+  Dataset a = Snapshot1();
+  Dataset b = Snapshot2();
+  auto merged = MergeDatasets({&a, &b}, MergeConflictPolicy::kError);
+  ASSERT_FALSE(merged.ok());
+  EXPECT_EQ(merged.status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST(DatasetMergeTest, AgreeingDuplicatesAreNotConflicts) {
+  Dataset a = Snapshot1();
+  Dataset merged =
+      MergeDatasets({&a, &a}, MergeConflictPolicy::kError).ValueOrDie();
+  EXPECT_EQ(merged.num_votes(), 3);
+}
+
+TEST(DatasetMergeTest, EmptyAndNullInputs) {
+  Dataset merged = MergeDatasets({}).ValueOrDie();
+  EXPECT_EQ(merged.num_facts(), 0);
+  EXPECT_FALSE(MergeDatasets({nullptr}).ok());
+}
+
+TEST(DatasetBuilderTest, GetVoteReadsBack) {
+  DatasetBuilder builder;
+  SourceId s = builder.AddSource("s");
+  FactId f = builder.AddFact("f");
+  EXPECT_EQ(builder.GetVote(s, f), Vote::kNone);
+  ASSERT_TRUE(builder.SetVote(s, f, Vote::kFalse).ok());
+  EXPECT_EQ(builder.GetVote(s, f), Vote::kFalse);
+}
+
+}  // namespace
+}  // namespace corrob

@@ -1,0 +1,97 @@
+#include "data/dataset_stats.h"
+
+#include <gtest/gtest.h>
+
+namespace corrob {
+namespace {
+
+Dataset MakeOverlapExample() {
+  // s0 votes on f0,f1,f2; s1 votes on f1,f2,f3; s2 votes on nothing.
+  DatasetBuilder builder;
+  builder.AddSource("s0");
+  builder.AddSource("s1");
+  builder.AddSource("s2");
+  for (int f = 0; f < 4; ++f) builder.AddFact("f" + std::to_string(f));
+  EXPECT_TRUE(builder.SetVote(0, 0, Vote::kTrue).ok());
+  EXPECT_TRUE(builder.SetVote(0, 1, Vote::kTrue).ok());
+  EXPECT_TRUE(builder.SetVote(0, 2, Vote::kFalse).ok());
+  EXPECT_TRUE(builder.SetVote(1, 1, Vote::kTrue).ok());
+  EXPECT_TRUE(builder.SetVote(1, 2, Vote::kTrue).ok());
+  EXPECT_TRUE(builder.SetVote(1, 3, Vote::kTrue).ok());
+  return builder.Build();
+}
+
+TEST(SourceStatsTest, Coverage) {
+  SourceStats stats = ComputeSourceStats(MakeOverlapExample());
+  ASSERT_EQ(stats.coverage.size(), 3u);
+  EXPECT_DOUBLE_EQ(stats.coverage[0], 0.75);
+  EXPECT_DOUBLE_EQ(stats.coverage[1], 0.75);
+  EXPECT_DOUBLE_EQ(stats.coverage[2], 0.0);
+}
+
+TEST(SourceStatsTest, JaccardOverlap) {
+  SourceStats stats = ComputeSourceStats(MakeOverlapExample());
+  // |{f1,f2}| / |{f0,f1,f2,f3}| = 0.5.
+  EXPECT_DOUBLE_EQ(stats.overlap[0][1], 0.5);
+  EXPECT_DOUBLE_EQ(stats.overlap[1][0], 0.5);
+  EXPECT_DOUBLE_EQ(stats.overlap[0][0], 1.0);
+  // An empty source has 0 overlap, even with itself.
+  EXPECT_DOUBLE_EQ(stats.overlap[2][2], 0.0);
+  EXPECT_DOUBLE_EQ(stats.overlap[0][2], 0.0);
+}
+
+TEST(SourceAccuracyTest, CorrectVotesCounted) {
+  Dataset d = MakeOverlapExample();
+  GoldenSet golden;
+  golden.Add(0, true);    // s0 voted T: correct.
+  golden.Add(2, false);   // s0 voted F: correct; s1 voted T: wrong.
+  golden.Add(3, false);   // s1 voted T: wrong.
+  std::vector<double> acc = SourceAccuracyOnGolden(d, golden);
+  EXPECT_DOUBLE_EQ(acc[0], 1.0);
+  EXPECT_DOUBLE_EQ(acc[1], 0.0);
+  EXPECT_DOUBLE_EQ(acc[2], 0.0);  // No votes: default value.
+}
+
+TEST(SourceAccuracyTest, NoVoteValuePropagates) {
+  Dataset d = MakeOverlapExample();
+  GoldenSet golden;
+  golden.Add(0, true);
+  std::vector<double> acc = SourceAccuracyOnGolden(d, golden, 0.5);
+  EXPECT_DOUBLE_EQ(acc[2], 0.5);
+  EXPECT_DOUBLE_EQ(acc[1], 0.5);  // s1 has no vote on f0.
+}
+
+TEST(FalseVoteStatsTest, CountsPerSourceAndFacts) {
+  Dataset d = MakeOverlapExample();
+  std::vector<int64_t> counts = CountFalseVotesBySource(d);
+  EXPECT_EQ(counts, (std::vector<int64_t>{1, 0, 0}));
+  EXPECT_EQ(CountFactsWithFalseVotes(d), 1);
+}
+
+TEST(AffirmativeFractionTest, CountsAffirmativeOnlyFacts) {
+  Dataset d = MakeOverlapExample();
+  // f0: T only; f1: T,T; f2: has F; f3: T only. f2 disqualifies.
+  EXPECT_DOUBLE_EQ(AffirmativeOnlyFraction(d), 3.0 / 4.0);
+}
+
+TEST(GoldenSetTest, Counts) {
+  GoldenSet golden;
+  golden.Add(0, true);
+  golden.Add(1, false);
+  golden.Add(2, true);
+  EXPECT_EQ(golden.size(), 3u);
+  EXPECT_EQ(golden.CountTrue(), 2);
+  EXPECT_EQ(golden.CountFalse(), 1);
+  EXPECT_FALSE(golden.empty());
+}
+
+TEST(GoldenSetTest, FromFullTruth) {
+  GroundTruth truth(std::vector<bool>{true, false, true});
+  GoldenSet golden = GoldenSet::FromFullTruth(truth);
+  EXPECT_EQ(golden.size(), 3u);
+  EXPECT_EQ(golden.fact(1), 1);
+  EXPECT_FALSE(golden.label(1));
+}
+
+}  // namespace
+}  // namespace corrob

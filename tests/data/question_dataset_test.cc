@@ -1,0 +1,91 @@
+#include "data/question_dataset.h"
+
+#include <gtest/gtest.h>
+
+namespace corrob {
+namespace {
+
+QuestionDataset MakeTwoQuestions() {
+  QuestionDatasetBuilder builder;
+  QuestionId q0 = builder.AddQuestion("capital?");
+  FactId paris = builder.AddAnswer(q0, "paris", true);
+  FactId lyon = builder.AddAnswer(q0, "lyon", false);
+  QuestionId q1 = builder.AddQuestion("year?");
+  FactId y1999 = builder.AddAnswer(q1, "1999", false);
+  FactId y2000 = builder.AddAnswer(q1, "2000", true);
+  SourceId u0 = builder.AddSource("u0");
+  SourceId u1 = builder.AddSource("u1");
+  EXPECT_TRUE(builder.SetVote(u0, paris, Vote::kTrue).ok());
+  EXPECT_TRUE(builder.SetVote(u1, lyon, Vote::kTrue).ok());
+  EXPECT_TRUE(builder.SetVote(u0, y2000, Vote::kTrue).ok());
+  (void)y1999;
+  return builder.Build().ValueOrDie();
+}
+
+TEST(QuestionDatasetTest, StructureAndTruth) {
+  QuestionDataset qd = MakeTwoQuestions();
+  EXPECT_EQ(qd.num_questions(), 2);
+  EXPECT_EQ(qd.dataset().num_facts(), 4);
+  EXPECT_EQ(qd.question_of(0), 0);
+  EXPECT_EQ(qd.question_of(3), 1);
+  EXPECT_EQ(qd.answers(0), (std::vector<FactId>{0, 1}));
+  EXPECT_TRUE(qd.truth().IsTrue(0));    // paris
+  EXPECT_FALSE(qd.truth().IsTrue(1));   // lyon
+  EXPECT_TRUE(qd.truth().IsTrue(3));    // 2000
+}
+
+TEST(QuestionDatasetTest, NegativeClosureAddsImplicitFVotes) {
+  QuestionDataset qd = MakeTwoQuestions();
+  Dataset closed = qd.WithNegativeClosure();
+  // u0 voted paris -> implicit F on lyon.
+  EXPECT_EQ(closed.GetVote(0, 0), Vote::kTrue);
+  EXPECT_EQ(closed.GetVote(0, 1), Vote::kFalse);
+  // u1 voted lyon -> implicit F on paris.
+  EXPECT_EQ(closed.GetVote(1, 0), Vote::kFalse);
+  EXPECT_EQ(closed.GetVote(1, 1), Vote::kTrue);
+  // u0 voted 2000 -> implicit F on 1999; u1 silent on q1.
+  EXPECT_EQ(closed.GetVote(0, 2), Vote::kFalse);
+  EXPECT_EQ(closed.GetVote(1, 2), Vote::kNone);
+  EXPECT_EQ(closed.GetVote(1, 3), Vote::kNone);
+}
+
+TEST(QuestionDatasetTest, ExplicitVotesSurviveClosure) {
+  QuestionDatasetBuilder builder;
+  QuestionId q = builder.AddQuestion("q");
+  FactId a = builder.AddAnswer(q, "a", true);
+  FactId b = builder.AddAnswer(q, "b", false);
+  FactId c = builder.AddAnswer(q, "c", false);
+  SourceId u = builder.AddSource("u");
+  // The user backs both a and b (changing bets is allowed); closure
+  // must not overwrite the explicit T on b with an implicit F.
+  EXPECT_TRUE(builder.SetVote(u, a, Vote::kTrue).ok());
+  EXPECT_TRUE(builder.SetVote(u, b, Vote::kTrue).ok());
+  QuestionDataset qd = builder.Build().ValueOrDie();
+  Dataset closed = qd.WithNegativeClosure();
+  EXPECT_EQ(closed.GetVote(0, a), Vote::kTrue);
+  EXPECT_EQ(closed.GetVote(0, b), Vote::kTrue);
+  EXPECT_EQ(closed.GetVote(0, c), Vote::kFalse);
+}
+
+TEST(QuestionDatasetTest, BuildRejectsZeroCorrectAnswers) {
+  QuestionDatasetBuilder builder;
+  QuestionId q = builder.AddQuestion("broken");
+  builder.AddAnswer(q, "a", false);
+  builder.AddAnswer(q, "b", false);
+  auto result = builder.Build();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(QuestionDatasetTest, BuildRejectsTwoCorrectAnswers) {
+  QuestionDatasetBuilder builder;
+  QuestionId q = builder.AddQuestion("broken");
+  builder.AddAnswer(q, "a", true);
+  builder.AddAnswer(q, "b", true);
+  auto result = builder.Build();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace corrob

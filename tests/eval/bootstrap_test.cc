@@ -1,0 +1,84 @@
+#include "eval/bootstrap.h"
+
+#include <gtest/gtest.h>
+
+namespace corrob {
+namespace {
+
+TEST(BootstrapTest, PointEstimateIsTheSampleAccuracy) {
+  std::vector<bool> correct(100, false);
+  for (int i = 0; i < 70; ++i) correct[static_cast<size_t>(i)] = true;
+  BootstrapInterval interval =
+      BootstrapAccuracy(correct).ValueOrDie();
+  EXPECT_NEAR(interval.point, 0.7, 1e-12);
+  EXPECT_LE(interval.lower, interval.point);
+  EXPECT_GE(interval.upper, interval.point);
+  // A 95% CI for p=0.7 at n=100 is roughly ±0.09.
+  EXPECT_NEAR(interval.upper - interval.lower, 0.18, 0.08);
+}
+
+TEST(BootstrapTest, DegenerateSampleHasZeroWidth) {
+  std::vector<bool> all_correct(50, true);
+  BootstrapInterval interval =
+      BootstrapAccuracy(all_correct).ValueOrDie();
+  EXPECT_DOUBLE_EQ(interval.point, 1.0);
+  EXPECT_DOUBLE_EQ(interval.lower, 1.0);
+  EXPECT_DOUBLE_EQ(interval.upper, 1.0);
+}
+
+TEST(BootstrapTest, WiderConfidenceWidensInterval) {
+  std::vector<bool> correct(200, false);
+  for (int i = 0; i < 120; ++i) correct[static_cast<size_t>(i)] = true;
+  double width90 = 0.0, width99 = 0.0;
+  {
+    BootstrapInterval interval =
+        BootstrapAccuracy(correct, 0.90).ValueOrDie();
+    width90 = interval.upper - interval.lower;
+  }
+  {
+    BootstrapInterval interval =
+        BootstrapAccuracy(correct, 0.99).ValueOrDie();
+    width99 = interval.upper - interval.lower;
+  }
+  EXPECT_GT(width99, width90);
+}
+
+TEST(BootstrapTest, DeterministicForFixedSeed) {
+  std::vector<bool> correct(80, false);
+  for (int i = 0; i < 30; ++i) correct[static_cast<size_t>(i)] = true;
+  BootstrapInterval a = BootstrapAccuracy(correct, 0.95, 500, 9).ValueOrDie();
+  BootstrapInterval b = BootstrapAccuracy(correct, 0.95, 500, 9).ValueOrDie();
+  EXPECT_DOUBLE_EQ(a.lower, b.lower);
+  EXPECT_DOUBLE_EQ(a.upper, b.upper);
+}
+
+TEST(BootstrapTest, PairedDifferenceDetectsClearGap) {
+  // A is correct on 90%, B on 60%, overlapping errors.
+  std::vector<bool> a(300, true), b(300, true);
+  for (int i = 0; i < 30; ++i) a[static_cast<size_t>(i)] = false;
+  for (int i = 0; i < 120; ++i) b[static_cast<size_t>(i)] = false;
+  BootstrapInterval interval =
+      BootstrapPairedDifference(a, b).ValueOrDie();
+  EXPECT_NEAR(interval.point, 0.3, 1e-12);
+  EXPECT_GT(interval.lower, 0.0);  // Significant at 95%.
+}
+
+TEST(BootstrapTest, PairedDifferenceOfEqualMethodsStraddlesZero) {
+  std::vector<bool> a(100, true);
+  for (int i = 0; i < 50; ++i) a[static_cast<size_t>(i)] = false;
+  std::vector<bool> b(a.rbegin(), a.rend());  // Same accuracy.
+  BootstrapInterval interval =
+      BootstrapPairedDifference(a, b).ValueOrDie();
+  EXPECT_LE(interval.lower, 0.0);
+  EXPECT_GE(interval.upper, 0.0);
+}
+
+TEST(BootstrapTest, Validation) {
+  EXPECT_FALSE(BootstrapAccuracy({}).ok());
+  EXPECT_FALSE(BootstrapAccuracy({true}, 1.5).ok());
+  EXPECT_FALSE(BootstrapAccuracy({true}, 0.95, 10).ok());
+  EXPECT_FALSE(BootstrapPairedDifference({true}, {true, false}).ok());
+}
+
+}  // namespace
+}  // namespace corrob

@@ -1,0 +1,84 @@
+#include "eval/calibration.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace corrob {
+namespace {
+
+TEST(CalibrationTest, PerfectlyCalibratedPredictor) {
+  // σ = 0.25 on facts that are true 25% of the time, etc.
+  Rng rng(3);
+  std::vector<double> probability;
+  std::vector<bool> truth;
+  for (double p : {0.05, 0.25, 0.55, 0.85}) {
+    for (int i = 0; i < 4000; ++i) {
+      probability.push_back(p);
+      truth.push_back(rng.Bernoulli(p));
+    }
+  }
+  CalibrationReport report =
+      ComputeCalibration(probability, truth, 10).ValueOrDie();
+  EXPECT_LT(report.expected_calibration_error, 0.03);
+  EXPECT_EQ(report.total, 16000);
+}
+
+TEST(CalibrationTest, OverconfidentPredictorScoresBadly) {
+  // Always predicts 1.0 on a half-true population.
+  std::vector<double> probability(1000, 1.0);
+  std::vector<bool> truth(1000, false);
+  for (int i = 0; i < 500; ++i) truth[static_cast<size_t>(i)] = true;
+  CalibrationReport report =
+      ComputeCalibration(probability, truth, 10).ValueOrDie();
+  EXPECT_NEAR(report.expected_calibration_error, 0.5, 1e-9);
+  EXPECT_NEAR(report.brier_score, 0.5, 1e-9);
+}
+
+TEST(CalibrationTest, BrierScoreHandValues) {
+  // (0.8 on true) and (0.3 on false): ((0.2)^2 + (0.3)^2)/2 = 0.065.
+  CalibrationReport report =
+      ComputeCalibration({0.8, 0.3}, {true, false}, 5).ValueOrDie();
+  EXPECT_NEAR(report.brier_score, 0.065, 1e-12);
+}
+
+TEST(CalibrationTest, BinBoundaries) {
+  CalibrationReport report =
+      ComputeCalibration({0.0, 0.09, 0.95, 1.0}, {false, false, true, true},
+                         10)
+          .ValueOrDie();
+  EXPECT_EQ(report.bins[0].count, 2);   // 0.0 and 0.09
+  EXPECT_EQ(report.bins[9].count, 2);   // 0.95 and 1.0 (closed top bin)
+  int64_t total = 0;
+  for (const CalibrationBin& bin : report.bins) total += bin.count;
+  EXPECT_EQ(total, 4);
+}
+
+TEST(CalibrationTest, EmptyInput) {
+  CalibrationReport report = ComputeCalibration({}, {}, 10).ValueOrDie();
+  EXPECT_EQ(report.total, 0);
+  EXPECT_EQ(report.expected_calibration_error, 0.0);
+  EXPECT_EQ(report.brier_score, 0.0);
+}
+
+TEST(CalibrationTest, Validation) {
+  EXPECT_FALSE(ComputeCalibration({0.5}, {true, false}, 10).ok());
+  EXPECT_FALSE(ComputeCalibration({0.5}, {true}, 0).ok());
+  EXPECT_FALSE(ComputeCalibration({1.5}, {true}, 10).ok());
+}
+
+TEST(CalibrationTest, OnGoldenSelectsTheRightFacts) {
+  CorroborationResult result;
+  result.fact_probability = {0.9, 0.1, 0.6, 0.4};
+  GoldenSet golden;
+  golden.Add(0, true);
+  golden.Add(1, false);
+  CalibrationReport report =
+      CalibrationOnGolden(result, golden, 10).ValueOrDie();
+  EXPECT_EQ(report.total, 2);
+  // Brier: ((0.9-1)^2 + (0.1-0)^2)/2 = 0.01.
+  EXPECT_NEAR(report.brier_score, 0.01, 1e-12);
+}
+
+}  // namespace
+}  // namespace corrob

@@ -1,0 +1,90 @@
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace corrob {
+namespace {
+
+TEST(ConfusionTest, CountsAllQuadrants) {
+  std::vector<bool> predicted{true, true, false, false, true};
+  std::vector<bool> actual{true, false, true, false, true};
+  ConfusionCounts c = CountConfusion(predicted, actual);
+  EXPECT_EQ(c.true_positives, 2);
+  EXPECT_EQ(c.false_positives, 1);
+  EXPECT_EQ(c.false_negatives, 1);
+  EXPECT_EQ(c.true_negatives, 1);
+  EXPECT_EQ(c.total(), 5);
+  EXPECT_EQ(c.errors(), 2);
+}
+
+TEST(MetricsTest, HandComputedValues) {
+  ConfusionCounts c;
+  c.true_positives = 7;
+  c.false_positives = 2;
+  c.false_negatives = 0;
+  c.true_negatives = 3;
+  BinaryMetrics m = MetricsFromConfusion(c);
+  EXPECT_NEAR(m.precision, 7.0 / 9.0, 1e-12);
+  EXPECT_NEAR(m.recall, 1.0, 1e-12);
+  EXPECT_NEAR(m.accuracy, 10.0 / 12.0, 1e-12);
+  EXPECT_NEAR(m.f1, 2.0 * (7.0 / 9.0) / (7.0 / 9.0 + 1.0), 1e-12);
+}
+
+TEST(MetricsTest, DegenerateDenominators) {
+  ConfusionCounts none;
+  BinaryMetrics m = MetricsFromConfusion(none);
+  EXPECT_EQ(m.precision, 0.0);
+  EXPECT_EQ(m.recall, 0.0);
+  EXPECT_EQ(m.accuracy, 0.0);
+  EXPECT_EQ(m.f1, 0.0);
+
+  ConfusionCounts all_negative;
+  all_negative.true_negatives = 5;
+  m = MetricsFromConfusion(all_negative);
+  EXPECT_EQ(m.precision, 0.0);  // No positive predictions.
+  EXPECT_EQ(m.accuracy, 1.0);
+}
+
+TEST(MetricsTest, EvaluateOnGoldenUsesGoldenSubset) {
+  CorroborationResult result;
+  result.fact_probability = {0.9, 0.2, 0.7, 0.1};
+  GoldenSet golden;
+  golden.Add(0, true);   // predicted true  -> TP
+  golden.Add(3, false);  // predicted false -> TN
+  BinaryMetrics m = EvaluateOnGolden(result, golden);
+  EXPECT_EQ(m.confusion.total(), 2);
+  EXPECT_EQ(m.accuracy, 1.0);
+}
+
+TEST(MetricsTest, EvaluateOnTruthCoversAllFacts) {
+  CorroborationResult result;
+  result.fact_probability = {0.9, 0.2};
+  GroundTruth truth(std::vector<bool>{false, false});
+  BinaryMetrics m = EvaluateOnTruth(result, truth);
+  EXPECT_EQ(m.confusion.false_positives, 1);
+  EXPECT_EQ(m.confusion.true_negatives, 1);
+}
+
+TEST(MetricsTest, EvaluatePredictionsOnGolden) {
+  GoldenSet golden;
+  golden.Add(4, true);
+  golden.Add(9, false);
+  BinaryMetrics m = EvaluatePredictionsOnGolden({true, true}, golden);
+  EXPECT_EQ(m.confusion.true_positives, 1);
+  EXPECT_EQ(m.confusion.false_positives, 1);
+}
+
+TEST(MetricsTest, TrustMse) {
+  EXPECT_DOUBLE_EQ(TrustMse({1.0, 0.0}, {0.5, 0.5}), 0.25);
+}
+
+TEST(MetricsDeathTest, SizeMismatchAborts) {
+  EXPECT_DEATH({ CountConfusion({true}, {true, false}); }, "size mismatch");
+  GoldenSet golden;
+  golden.Add(0, true);
+  EXPECT_DEATH({ EvaluatePredictionsOnGolden({true, false}, golden); },
+               "must match golden size");
+}
+
+}  // namespace
+}  // namespace corrob

@@ -1,0 +1,70 @@
+#include "eval/question_eval.h"
+
+#include <gtest/gtest.h>
+
+#include "core/registry.h"
+#include "eval/metrics.h"
+#include "synth/hubdub_sim.h"
+
+namespace corrob {
+namespace {
+
+QuestionDataset TwoQuestions() {
+  QuestionDatasetBuilder builder;
+  QuestionId q0 = builder.AddQuestion("q0");
+  builder.AddAnswer(q0, "a", true);    // fact 0
+  builder.AddAnswer(q0, "b", false);   // fact 1
+  QuestionId q1 = builder.AddQuestion("q1");
+  builder.AddAnswer(q1, "c", false);   // fact 2
+  builder.AddAnswer(q1, "d", true);    // fact 3
+  SourceId u = builder.AddSource("u");
+  EXPECT_TRUE(builder.SetVote(u, 0, Vote::kTrue).ok());
+  return builder.Build().ValueOrDie();
+}
+
+TEST(QuestionEvalTest, HandComputedReport) {
+  QuestionDataset qd = TwoQuestions();
+  CorroborationResult result;
+  // q0: a=0.9 (right winner, decided true: correct answer),
+  //     b=0.6 (decided true but false: FP).
+  // q1: c=0.7 (winner but wrong: FP), d=0.3 (decided false: FN).
+  result.fact_probability = {0.9, 0.6, 0.7, 0.3};
+  QuestionEvalReport report =
+      EvaluateQuestions(result, qd).ValueOrDie();
+  EXPECT_EQ(report.false_positives, 2);
+  EXPECT_EQ(report.false_negatives, 1);
+  EXPECT_EQ(report.answer_errors, 3);
+  EXPECT_NEAR(report.answer_accuracy, 0.25, 1e-12);
+  EXPECT_EQ(report.questions_total, 2);
+  EXPECT_EQ(report.questions_correct, 1);
+  EXPECT_NEAR(report.question_accuracy, 0.5, 1e-12);
+  EXPECT_EQ(report.winners, (std::vector<FactId>{0, 2}));
+}
+
+TEST(QuestionEvalTest, SizeMismatchRejected) {
+  QuestionDataset qd = TwoQuestions();
+  CorroborationResult result;
+  result.fact_probability = {0.9};
+  EXPECT_EQ(EvaluateQuestions(result, qd).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(QuestionEvalTest, MatchesConfusionOnHubdub) {
+  QuestionDataset qd = GenerateHubdub(HubdubSimOptions{}).ValueOrDie();
+  Dataset closed = qd.WithNegativeClosure();
+  auto algorithm = MakeCorroborator("IncEstHeu").ValueOrDie();
+  CorroborationResult result = algorithm->Run(closed).ValueOrDie();
+  QuestionEvalReport report =
+      EvaluateQuestions(result, qd).ValueOrDie();
+  // Cross-check against the generic confusion counting.
+  BinaryMetrics metrics = EvaluateOnTruth(result, qd.truth());
+  EXPECT_EQ(report.answer_errors, metrics.confusion.errors());
+  EXPECT_EQ(report.false_positives, metrics.confusion.false_positives);
+  EXPECT_NEAR(report.answer_accuracy, metrics.accuracy, 1e-12);
+  // Winner-based question accuracy should beat threshold accuracy on
+  // this structure (one winner per question is a stronger prior).
+  EXPECT_GT(report.question_accuracy, 0.5);
+}
+
+}  // namespace
+}  // namespace corrob

@@ -1,0 +1,78 @@
+#include "eval/runner.h"
+
+#include <gtest/gtest.h>
+
+#include "data/motivating_example.h"
+
+namespace corrob {
+namespace {
+
+GoldenSet FullGolden(const MotivatingExample& example) {
+  return GoldenSet::FromFullTruth(example.truth);
+}
+
+TEST(RunnerTest, TwoEstimateReportMatchesTable2) {
+  MotivatingExample example = MakeMotivatingExample();
+  MethodReport report =
+      RunCorroborationMethod("TwoEstimate", example.dataset,
+                             FullGolden(example))
+          .ValueOrDie();
+  EXPECT_EQ(report.name, "TwoEstimate");
+  EXPECT_NEAR(report.metrics.precision, 7.0 / 11.0, 1e-12);
+  EXPECT_NEAR(report.metrics.recall, 1.0, 1e-12);
+  EXPECT_NEAR(report.metrics.accuracy, 8.0 / 12.0, 1e-12);
+  EXPECT_GE(report.seconds, 0.0);
+  ASSERT_EQ(report.golden_correct.size(), 12u);
+  // Wrong exactly on the four false restaurants decided true:
+  // r4, r5, r6, r10 (ids 3, 4, 5, 9).
+  for (size_t i = 0; i < 12; ++i) {
+    bool expect_correct = !(i == 3 || i == 4 || i == 5 || i == 9);
+    EXPECT_EQ(report.golden_correct[i], expect_correct) << "r" << (i + 1);
+  }
+}
+
+TEST(RunnerTest, UnknownMethodIsNotFound) {
+  MotivatingExample example = MakeMotivatingExample();
+  EXPECT_EQ(RunCorroborationMethod("Oracle", example.dataset,
+                                   FullGolden(example))
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(
+      RunMlMethod("ML-Tree", example.dataset, FullGolden(example))
+          .status()
+          .code(),
+      StatusCode::kNotFound);
+}
+
+TEST(RunnerTest, MlMethodsRunOnExample) {
+  MotivatingExample example = MakeMotivatingExample();
+  CrossValidationOptions options;
+  options.folds = 3;  // 12 rows cannot feed 10 folds per class.
+  for (const std::string& name : {std::string("ML-Logistic"),
+                                  std::string("ML-SVM")}) {
+    MethodReport report =
+        RunMlMethod(name, example.dataset, FullGolden(example), options)
+            .ValueOrDie();
+    EXPECT_EQ(report.name, name);
+    EXPECT_EQ(report.golden_correct.size(), 12u);
+    EXPECT_EQ(report.source_trust.size(), 5u);
+    EXPECT_GT(report.metrics.accuracy, 0.4);
+  }
+}
+
+TEST(RunnerTest, MlSourceTrustAgainstPerfectPredictions) {
+  MotivatingExample example = MakeMotivatingExample();
+  GoldenSet golden = FullGolden(example);
+  std::vector<bool> perfect(golden.size());
+  for (size_t i = 0; i < golden.size(); ++i) perfect[i] = golden.label(i);
+  std::vector<double> trust =
+      MlSourceTrust(example.dataset, golden, perfect);
+  // Against truth-perfect predictions the readout equals the actual
+  // source accuracies.
+  EXPECT_NEAR(trust[0], 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(trust[3], 0.5, 1e-12);
+}
+
+}  // namespace
+}  // namespace corrob

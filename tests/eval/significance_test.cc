@@ -1,0 +1,77 @@
+#include "eval/significance.h"
+
+#include <gtest/gtest.h>
+
+namespace corrob {
+namespace {
+
+TEST(McNemarTest, IdenticalMethodsGivePOne) {
+  std::vector<bool> a{true, false, true, true};
+  EXPECT_DOUBLE_EQ(McNemarPValue(a, a).ValueOrDie(), 1.0);
+}
+
+TEST(McNemarTest, OneSidedDominanceIsSignificant) {
+  // Method A correct on 30 items where B is wrong; no discordant
+  // pairs in the other direction: p = 2 * 0.5^30 (tiny).
+  std::vector<bool> a(50, true);
+  std::vector<bool> b(50, true);
+  for (int i = 0; i < 30; ++i) b[i] = false;
+  double p = McNemarPValue(a, b).ValueOrDie();
+  EXPECT_LT(p, 1e-6);
+}
+
+TEST(McNemarTest, BalancedDisagreementNotSignificant) {
+  // 10 discordant pairs split 5/5.
+  std::vector<bool> a(20, true);
+  std::vector<bool> b(20, true);
+  for (int i = 0; i < 5; ++i) b[i] = false;      // a-only correct
+  for (int i = 5; i < 10; ++i) a[i] = false;     // b-only correct
+  double p = McNemarPValue(a, b).ValueOrDie();
+  EXPECT_GT(p, 0.5);
+  EXPECT_LE(p, 1.0);
+}
+
+TEST(McNemarTest, HandComputedSmallCase) {
+  // Discordant 3-1: p = 2*(C(4,0)+C(4,1))*0.5^4 = 2*5/16 = 0.625.
+  std::vector<bool> a{true, true, true, false, true};
+  std::vector<bool> b{false, false, false, true, true};
+  double p = McNemarPValue(a, b).ValueOrDie();
+  EXPECT_NEAR(p, 0.625, 1e-12);
+}
+
+TEST(McNemarTest, Validation) {
+  EXPECT_FALSE(McNemarPValue({true}, {true, false}).ok());
+  EXPECT_FALSE(McNemarPValue({}, {}).ok());
+}
+
+TEST(PermutationTest, IdenticalMethodsGivePNearOne) {
+  std::vector<bool> a{true, false, true, false};
+  double p = PairedPermutationPValue(a, a).ValueOrDie();
+  EXPECT_GT(p, 0.99);
+}
+
+TEST(PermutationTest, StrongDominanceIsSignificant) {
+  std::vector<bool> a(60, true);
+  std::vector<bool> b(60, true);
+  for (int i = 0; i < 25; ++i) b[i] = false;
+  double p = PairedPermutationPValue(a, b).ValueOrDie();
+  EXPECT_LT(p, 0.01);
+}
+
+TEST(PermutationTest, DeterministicForFixedSeed) {
+  std::vector<bool> a(30, true);
+  std::vector<bool> b(30, false);
+  for (int i = 0; i < 10; ++i) b[i] = true;
+  double p1 = PairedPermutationPValue(a, b, 2000, 7).ValueOrDie();
+  double p2 = PairedPermutationPValue(a, b, 2000, 7).ValueOrDie();
+  EXPECT_DOUBLE_EQ(p1, p2);
+}
+
+TEST(PermutationTest, Validation) {
+  EXPECT_FALSE(PairedPermutationPValue({true}, {true, false}).ok());
+  EXPECT_FALSE(PairedPermutationPValue({}, {}).ok());
+  EXPECT_FALSE(PairedPermutationPValue({true}, {true}, 0).ok());
+}
+
+}  // namespace
+}  // namespace corrob

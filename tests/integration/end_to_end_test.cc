@@ -1,0 +1,225 @@
+// Cross-module integration tests: the full pipelines the benchmarks
+// and examples rely on, at reduced scale so they stay fast.
+
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "core/registry.h"
+#include "core/two_estimate.h"
+#include "core/inc_estimate.h"
+#include "data/dataset_io.h"
+#include "data/dataset_stats.h"
+#include "eval/metrics.h"
+#include "eval/runner.h"
+#include "eval/significance.h"
+#include "synth/hubdub_sim.h"
+#include "synth/restaurant_sim.h"
+#include "synth/synthetic.h"
+#include "text/dedup.h"
+
+namespace corrob {
+namespace {
+
+TEST(EndToEndTest, SyntheticPipelineIncEstHeuDominates) {
+  // The Figure 3 claim at reduced scale: IncEstHeu beats every
+  // baseline by a clear margin on §6.3.1 data.
+  SyntheticOptions options;
+  options.num_sources = 10;
+  options.num_inaccurate = 2;
+  options.num_facts = 2000;
+  options.eta = 0.03;
+  options.seed = 21;
+  SyntheticDataset data = GenerateSynthetic(options).ValueOrDie();
+
+  std::map<std::string, double> accuracy;
+  for (const std::string& name :
+       {std::string("Voting"), std::string("TwoEstimate"),
+        std::string("BayesEstimate"), std::string("IncEstPS"),
+        std::string("IncEstHeu")}) {
+    auto algorithm = MakeCorroborator(name).ValueOrDie();
+    CorroborationResult result = algorithm->Run(data.dataset).ValueOrDie();
+    accuracy[name] = EvaluateOnTruth(result, data.truth).accuracy;
+  }
+  EXPECT_GT(accuracy["IncEstHeu"], accuracy["Voting"] + 0.05);
+  EXPECT_GT(accuracy["IncEstHeu"], accuracy["TwoEstimate"] + 0.05);
+  EXPECT_GT(accuracy["IncEstHeu"], accuracy["BayesEstimate"] + 0.05);
+  EXPECT_GT(accuracy["IncEstHeu"], accuracy["IncEstPS"] + 0.05);
+}
+
+TEST(EndToEndTest, RestaurantPipelineMatchesTable4Shape) {
+  RestaurantSimOptions options;
+  options.num_facts = 12000;
+  options.golden_true = 340;
+  options.golden_false = 261;
+  RestaurantCorpus corpus = GenerateRestaurantCorpus(options).ValueOrDie();
+
+  MethodReport voting =
+      RunCorroborationMethod("Voting", corpus.dataset, corpus.golden)
+          .ValueOrDie();
+  MethodReport two =
+      RunCorroborationMethod("TwoEstimate", corpus.dataset, corpus.golden)
+          .ValueOrDie();
+  MethodReport inc =
+      RunCorroborationMethod("IncEstHeu", corpus.dataset, corpus.golden)
+          .ValueOrDie();
+
+  // Voting/TwoEstimate: recall 1.0, precision near the golden true
+  // fraction (Table 4 shape).
+  EXPECT_GT(voting.metrics.recall, 0.99);
+  EXPECT_GT(two.metrics.recall, 0.99);
+  EXPECT_NEAR(voting.metrics.precision, 0.57, 0.06);
+  // IncEstHeu: clear accuracy and F1 win over the fixpoint methods.
+  EXPECT_GT(inc.metrics.accuracy, two.metrics.accuracy + 0.08);
+  EXPECT_GT(inc.metrics.f1, 0.7);
+  EXPECT_GT(inc.metrics.precision, two.metrics.precision + 0.1);
+
+  // Statistical significance of the IncEstHeu vs TwoEstimate gap
+  // (the paper reports p < 0.001 for this comparison).
+  double p = McNemarPValue(inc.golden_correct, two.golden_correct)
+                 .ValueOrDie();
+  EXPECT_LT(p, 0.001);
+}
+
+TEST(EndToEndTest, RestaurantTrustReadoutBeatsTwoEstimateMse) {
+  // The Table 5 claim: IncEstHeu's multi-value trust lands far closer
+  // to the golden source accuracies than TwoEstimate's all-ones.
+  RestaurantSimOptions options;
+  options.num_facts = 12000;
+  options.golden_true = 340;
+  options.golden_false = 261;
+  RestaurantCorpus corpus = GenerateRestaurantCorpus(options).ValueOrDie();
+  std::vector<double> reference =
+      SourceAccuracyOnGolden(corpus.dataset, corpus.golden);
+
+  MethodReport two =
+      RunCorroborationMethod("TwoEstimate", corpus.dataset, corpus.golden)
+          .ValueOrDie();
+  MethodReport inc =
+      RunCorroborationMethod("IncEstHeu", corpus.dataset, corpus.golden)
+          .ValueOrDie();
+  double mse_two = TrustMse(reference, two.source_trust);
+  double mse_inc = TrustMse(reference, inc.source_trust);
+  EXPECT_LT(mse_inc, mse_two);
+  EXPECT_GT(mse_two, 0.03);  // All-ones against accuracies ~0.6-0.95.
+}
+
+TEST(EndToEndTest, CrawlDedupCorroborateRoundTrip) {
+  // Raw listings -> dedup -> corroboration -> audit against the
+  // generator's entity truth.
+  RawCrawlOptions options;
+  options.num_restaurants = 400;
+  options.seed = 9;
+  RawCrawl crawl = GenerateRawCrawl(options).ValueOrDie();
+  DedupResult dedup = Deduplicate(crawl.listings).ValueOrDie();
+
+  // Dedup must compress the raw listings substantially (the paper:
+  // 42,969 raw -> 36,916 entities) without collapsing below the real
+  // restaurant count.
+  EXPECT_LT(dedup.entities.size(), crawl.listings.size());
+  EXPECT_GE(dedup.entities.size(), 350u);
+  EXPECT_LE(dedup.entities.size(), crawl.listings.size());
+
+  // Majority of clusters should be pure (one entity hint).
+  std::map<std::string, int> hint_count;
+  int pure = 0;
+  for (const DedupEntity& entity : dedup.entities) {
+    hint_count.clear();
+    for (size_t member : entity.members) {
+      ++hint_count[crawl.listings[member].entity_hint];
+    }
+    if (hint_count.size() == 1) ++pure;
+  }
+  EXPECT_GT(static_cast<double>(pure) / dedup.entities.size(), 0.95);
+
+  // Corroborate the deduped matrix end to end.
+  auto algorithm = MakeCorroborator("IncEstHeu").ValueOrDie();
+  CorroborationResult result = algorithm->Run(dedup.dataset).ValueOrDie();
+  EXPECT_EQ(result.fact_probability.size(), dedup.entities.size());
+}
+
+TEST(EndToEndTest, HubdubPipelineMatchesTable7Ordering) {
+  QuestionDataset qd = GenerateHubdub(HubdubSimOptions{}).ValueOrDie();
+  Dataset closed = qd.WithNegativeClosure();
+
+  std::map<std::string, int64_t> errors;
+  for (const std::string& name :
+       {std::string("Voting"), std::string("Counting"),
+        std::string("TwoEstimate"), std::string("ThreeEstimate"),
+        std::string("IncEstHeu")}) {
+    auto algorithm = MakeCorroborator(name).ValueOrDie();
+    CorroborationResult result = algorithm->Run(closed).ValueOrDie();
+    errors[name] =
+        EvaluateOnTruth(result, qd.truth()).confusion.errors();
+  }
+  // Table 7 ordering: IncEstHeu best; Counting worst.
+  EXPECT_LT(errors["IncEstHeu"], errors["TwoEstimate"]);
+  EXPECT_LT(errors["IncEstHeu"], errors["ThreeEstimate"]);
+  EXPECT_LT(errors["IncEstHeu"], errors["Voting"]);
+  EXPECT_GT(errors["Counting"], errors["Voting"]);
+  // Error counts in the paper's ballpark (hundreds, not thousands).
+  EXPECT_GT(errors["IncEstHeu"], 100);
+  EXPECT_LT(errors["IncEstHeu"], 400);
+}
+
+TEST(EndToEndTest, DatasetCsvRoundTripPreservesCorroboration) {
+  SyntheticOptions options;
+  options.num_sources = 6;
+  options.num_inaccurate = 2;
+  options.num_facts = 300;
+  options.seed = 33;
+  SyntheticDataset data = GenerateSynthetic(options).ValueOrDie();
+
+  std::string csv = DatasetToCsv(data.dataset, &data.truth);
+  LabeledDataset loaded = ParseDatasetCsv(csv).ValueOrDie();
+  ASSERT_TRUE(loaded.truth.has_value());
+
+  auto algorithm = MakeCorroborator("IncEstHeu").ValueOrDie();
+  CorroborationResult original = algorithm->Run(data.dataset).ValueOrDie();
+  CorroborationResult reloaded = algorithm->Run(loaded.dataset).ValueOrDie();
+  EXPECT_EQ(original.Decisions(), reloaded.Decisions());
+}
+
+TEST(EndToEndTest, Figure2TrajectoriesDifferBetweenStrategies) {
+  RestaurantSimOptions options;
+  options.num_facts = 8000;
+  options.golden_true = 200;
+  options.golden_false = 150;
+  RestaurantCorpus corpus = GenerateRestaurantCorpus(options).ValueOrDie();
+
+  IncEstimateOptions heu;
+  heu.record_trajectory = true;
+  IncEstimateOptions ps = heu;
+  ps.strategy = IncSelectStrategy::kProbability;
+
+  CorroborationResult heu_result =
+      IncEstimateCorroborator(heu).Run(corpus.dataset).ValueOrDie();
+  CorroborationResult ps_result =
+      IncEstimateCorroborator(ps).Run(corpus.dataset).ValueOrDie();
+
+  ASSERT_GT(heu_result.trajectory.size(), 3u);
+  ASSERT_GT(ps_result.trajectory.size(), 3u);
+
+  // Figure 2(b): IncEstHeu drives some source below 0.5 mid-run.
+  bool heu_has_negative_source = false;
+  for (const TrajectoryPoint& point : heu_result.trajectory) {
+    for (double t : point.trust) {
+      if (t < 0.5) heu_has_negative_source = true;
+    }
+  }
+  EXPECT_TRUE(heu_has_negative_source);
+
+  // Figure 2(a): IncEstPS keeps every source's trust high until the
+  // very tail of the run (first 80% of time points).
+  size_t ps_early = ps_result.trajectory.size() * 8 / 10;
+  bool ps_stays_high = true;
+  for (size_t i = 0; i < ps_early; ++i) {
+    for (double t : ps_result.trajectory[i].trust) {
+      if (t < 0.5) ps_stays_high = false;
+    }
+  }
+  EXPECT_TRUE(ps_stays_high);
+}
+
+}  // namespace
+}  // namespace corrob

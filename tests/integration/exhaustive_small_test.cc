@@ -1,0 +1,96 @@
+// Exhaustive micro-harness: every algorithm is run on EVERY possible
+// vote matrix of a tiny universe (each of S×F cells ∈ {T, F, -}),
+// asserting the output contract — no crash, correctly sized and
+// bounded probabilities and trust, determinism. 3^(2·2) = 81 and
+// 3^(3·2) = 729 matrices cover an enormous space of edge shapes
+// (empty facts, empty sources, all-F, single votes, full conflict).
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/registry.h"
+
+namespace corrob {
+namespace {
+
+Dataset MakeDataset(int num_sources, int num_facts, int encoding) {
+  DatasetBuilder builder;
+  for (int s = 0; s < num_sources; ++s) {
+    builder.AddSource("s" + std::to_string(s));
+  }
+  for (int f = 0; f < num_facts; ++f) {
+    builder.AddFact("f" + std::to_string(f));
+  }
+  int code = encoding;
+  for (int s = 0; s < num_sources; ++s) {
+    for (int f = 0; f < num_facts; ++f) {
+      int cell = code % 3;
+      code /= 3;
+      if (cell == 1) {
+        EXPECT_TRUE(builder.SetVote(s, f, Vote::kTrue).ok());
+      } else if (cell == 2) {
+        EXPECT_TRUE(builder.SetVote(s, f, Vote::kFalse).ok());
+      }
+    }
+  }
+  return builder.Build();
+}
+
+int Pow3(int n) {
+  int value = 1;
+  for (int i = 0; i < n; ++i) value *= 3;
+  return value;
+}
+
+class ExhaustiveSmallTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ExhaustiveSmallTest, TwoByTwoUniverse) {
+  const std::string& name = GetParam();
+  auto algorithm = MakeCorroborator(name).ValueOrDie();
+  for (int encoding = 0; encoding < Pow3(4); ++encoding) {
+    Dataset d = MakeDataset(2, 2, encoding);
+    auto result = algorithm->Run(d);
+    ASSERT_TRUE(result.ok()) << name << " encoding " << encoding;
+    const CorroborationResult& r = result.ValueOrDie();
+    ASSERT_EQ(r.fact_probability.size(), 2u) << name << " " << encoding;
+    ASSERT_EQ(r.source_trust.size(), 2u) << name << " " << encoding;
+    for (double p : r.fact_probability) {
+      ASSERT_GE(p, 0.0) << name << " encoding " << encoding;
+      ASSERT_LE(p, 1.0) << name << " encoding " << encoding;
+    }
+    for (double t : r.source_trust) {
+      ASSERT_GE(t, 0.0) << name << " encoding " << encoding;
+      ASSERT_LE(t, 1.0) << name << " encoding " << encoding;
+    }
+  }
+}
+
+TEST_P(ExhaustiveSmallTest, ThreeByTwoUniverseIsDeterministic) {
+  const std::string& name = GetParam();
+  auto algorithm = MakeCorroborator(name).ValueOrDie();
+  // Stride through the 729 matrices; run each twice and require
+  // bitwise-identical outputs.
+  for (int encoding = 0; encoding < Pow3(6); encoding += 7) {
+    Dataset d = MakeDataset(3, 2, encoding);
+    auto first = algorithm->Run(d);
+    auto second = algorithm->Run(d);
+    ASSERT_TRUE(first.ok() && second.ok()) << name << " " << encoding;
+    ASSERT_EQ(first.ValueOrDie().fact_probability,
+              second.ValueOrDie().fact_probability)
+        << name << " encoding " << encoding;
+    ASSERT_EQ(first.ValueOrDie().source_trust,
+              second.ValueOrDie().source_trust)
+        << name << " encoding " << encoding;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAlgorithms, ExhaustiveSmallTest,
+    ::testing::Values("Voting", "Counting", "TwoEstimate", "ThreeEstimate",
+                      "BayesEstimate", "Cosine", "TruthFinder", "AvgLog",
+                      "Invest", "PooledInvest", "IncEstPS", "IncEstHeu"));
+
+}  // namespace
+}  // namespace corrob

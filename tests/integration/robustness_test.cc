@@ -1,0 +1,122 @@
+// Robustness: hostile and degenerate inputs must produce Status
+// errors or well-formed results — never crashes or hangs.
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/csv.h"
+#include "common/random.h"
+#include "core/registry.h"
+#include "data/dataset_io.h"
+
+namespace corrob {
+namespace {
+
+TEST(RobustnessTest, CsvParserSurvivesRandomBytes) {
+  Rng rng(2024);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string noise;
+    size_t length = rng.NextBelow(200);
+    for (size_t i = 0; i < length; ++i) {
+      noise += static_cast<char>(rng.NextBelow(256));
+    }
+    // Must terminate and either parse or return ParseError.
+    auto result = ParseCsv(noise);
+    if (!result.ok()) {
+      EXPECT_EQ(result.status().code(), StatusCode::kParseError);
+    }
+  }
+}
+
+TEST(RobustnessTest, DatasetCsvParserSurvivesStructuredNoise) {
+  Rng rng(2025);
+  const std::string cells = "TF-?x,\"\n";
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string text = "fact,s1,s2\n";
+    size_t rows = rng.NextBelow(6);
+    for (size_t r = 0; r < rows; ++r) {
+      size_t length = rng.NextBelow(12);
+      for (size_t i = 0; i < length; ++i) {
+        text += cells[rng.NextBelow(cells.size())];
+      }
+      text += '\n';
+    }
+    auto result = ParseDatasetCsv(text);
+    if (!result.ok()) {
+      EXPECT_EQ(result.status().code(), StatusCode::kParseError);
+    }
+  }
+}
+
+TEST(RobustnessTest, AlgorithmsHandlePathologicalShapes) {
+  // Single source, single fact, each vote kind; a fact-free dataset
+  // with sources; a source-free dataset with facts.
+  std::vector<Dataset> shapes;
+  for (Vote vote : {Vote::kTrue, Vote::kFalse}) {
+    DatasetBuilder builder;
+    SourceId s = builder.AddSource("s");
+    FactId f = builder.AddFact("f");
+    ASSERT_TRUE(builder.SetVote(s, f, vote).ok());
+    shapes.push_back(builder.Build());
+  }
+  {
+    DatasetBuilder builder;
+    builder.AddSource("s1");
+    builder.AddSource("s2");
+    shapes.push_back(builder.Build());
+  }
+  {
+    DatasetBuilder builder;
+    builder.AddFact("f1");
+    builder.AddFact("f2");
+    shapes.push_back(builder.Build());
+  }
+
+  std::vector<std::string> names = CorroboratorNames();
+  for (const std::string& extra : ExtendedCorroboratorNames()) {
+    names.push_back(extra);
+  }
+  for (const Dataset& dataset : shapes) {
+    for (const std::string& name : names) {
+      auto algorithm = MakeCorroborator(name).ValueOrDie();
+      auto result = algorithm->Run(dataset);
+      ASSERT_TRUE(result.ok()) << name;
+      EXPECT_EQ(result.ValueOrDie().fact_probability.size(),
+                static_cast<size_t>(dataset.num_facts()))
+          << name;
+    }
+  }
+}
+
+TEST(RobustnessTest, LargeCorpusSmoke) {
+  // 100k facts through the linear-time paths: build, group, decide.
+  DatasetBuilder builder;
+  for (int s = 0; s < 12; ++s) builder.AddSource("s" + std::to_string(s));
+  Rng rng(77);
+  for (int f = 0; f < 100000; ++f) {
+    FactId id = builder.AddFact("f" + std::to_string(f));
+    int votes = 1 + static_cast<int>(rng.NextBelow(3));
+    for (int v = 0; v < votes; ++v) {
+      SourceId s = static_cast<SourceId>(rng.NextBelow(12));
+      ASSERT_TRUE(builder
+                      .SetVote(s, id,
+                               rng.Bernoulli(0.97) ? Vote::kTrue
+                                                   : Vote::kFalse)
+                      .ok());
+    }
+  }
+  Dataset dataset = builder.Build();
+  EXPECT_EQ(dataset.num_facts(), 100000);
+
+  for (const std::string& name :
+       {std::string("Voting"), std::string("TwoEstimate"),
+        std::string("IncEstPS")}) {
+    auto algorithm = MakeCorroborator(name).ValueOrDie();
+    auto result = algorithm->Run(dataset);
+    ASSERT_TRUE(result.ok()) << name;
+  }
+}
+
+}  // namespace
+}  // namespace corrob

@@ -1,0 +1,87 @@
+#include "ml/cross_validation.h"
+
+#include <algorithm>
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "ml/logistic_regression.h"
+
+namespace corrob {
+namespace {
+
+TEST(StratifiedFoldsTest, BalancesClassesAcrossFolds) {
+  std::vector<int> labels;
+  for (int i = 0; i < 60; ++i) labels.push_back(i < 40 ? 1 : 0);
+  CrossValidationOptions options;
+  options.folds = 5;
+  std::vector<int> folds = StratifiedFolds(labels, options).ValueOrDie();
+  ASSERT_EQ(folds.size(), labels.size());
+
+  std::map<int, int> positives, negatives;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    ASSERT_GE(folds[i], 0);
+    ASSERT_LT(folds[i], 5);
+    (labels[i] == 1 ? positives : negatives)[folds[i]]++;
+  }
+  for (int fold = 0; fold < 5; ++fold) {
+    EXPECT_EQ(positives[fold], 8);
+    EXPECT_EQ(negatives[fold], 4);
+  }
+}
+
+TEST(StratifiedFoldsTest, SeedChangesAssignmentNotBalance) {
+  std::vector<int> labels(40, 1);
+  for (int i = 0; i < 20; ++i) labels[i] = 0;
+  CrossValidationOptions a, b;
+  a.folds = b.folds = 4;
+  a.seed = 1;
+  b.seed = 2;
+  auto fa = StratifiedFolds(labels, a).ValueOrDie();
+  auto fb = StratifiedFolds(labels, b).ValueOrDie();
+  EXPECT_NE(fa, fb);
+}
+
+TEST(StratifiedFoldsTest, Validation) {
+  CrossValidationOptions one_fold;
+  one_fold.folds = 1;
+  EXPECT_FALSE(StratifiedFolds({1, 0}, one_fold).ok());
+  CrossValidationOptions too_many;
+  too_many.folds = 5;
+  EXPECT_FALSE(StratifiedFolds({1, 0}, too_many).ok());
+}
+
+TEST(CrossValidationTest, OutOfFoldPredictionsLearnTheConcept) {
+  // Signed feature equals the label signal.
+  MlDataset data;
+  for (int i = 0; i < 100; ++i) {
+    double v = (i % 2 == 0) ? 1.0 : -1.0;
+    data.features.push_back({v});
+    data.labels.push_back(v > 0 ? 1 : 0);
+    data.facts.push_back(i);
+  }
+  auto factory = [] {
+    return std::unique_ptr<BinaryClassifier>(new LogisticRegression());
+  };
+  CrossValidationOptions options;
+  options.folds = 10;
+  std::vector<bool> predictions =
+      CrossValidatePredictions(data, factory, options).ValueOrDie();
+  ASSERT_EQ(predictions.size(), 100u);
+  for (size_t i = 0; i < predictions.size(); ++i) {
+    EXPECT_EQ(predictions[i], data.labels[i] == 1) << i;
+  }
+}
+
+TEST(CrossValidationTest, MismatchedSizesRejected) {
+  MlDataset data;
+  data.features = {{1.0}};
+  data.labels = {1, 0};
+  auto factory = [] {
+    return std::unique_ptr<BinaryClassifier>(new LogisticRegression());
+  };
+  EXPECT_FALSE(CrossValidatePredictions(data, factory).ok());
+}
+
+}  // namespace
+}  // namespace corrob

@@ -1,0 +1,48 @@
+#include "ml/features.h"
+
+#include <gtest/gtest.h>
+
+#include "data/motivating_example.h"
+
+namespace corrob {
+namespace {
+
+TEST(FeaturesTest, SignedEncoding) {
+  MotivatingExample example = MakeMotivatingExample();
+  // r12: - F F T -  -> {0, -1, -1, +1, 0}.
+  std::vector<double> features =
+      VoteFeatures(example.dataset, 11, VoteEncoding::kSigned);
+  EXPECT_EQ(features,
+            (std::vector<double>{0.0, -1.0, -1.0, 1.0, 0.0}));
+}
+
+TEST(FeaturesTest, IndicatorEncoding) {
+  MotivatingExample example = MakeMotivatingExample();
+  // r12: s2 F -> slot 3; s3 F -> slot 5; s4 T -> slot 6.
+  std::vector<double> features =
+      VoteFeatures(example.dataset, 11, VoteEncoding::kIndicator);
+  ASSERT_EQ(features.size(), 10u);
+  EXPECT_EQ(features[3], 1.0);
+  EXPECT_EQ(features[5], 1.0);
+  EXPECT_EQ(features[6], 1.0);
+  double sum = 0.0;
+  for (double f : features) sum += f;
+  EXPECT_EQ(sum, 3.0);
+}
+
+TEST(FeaturesTest, GoldenExtractionAlignsRows) {
+  MotivatingExample example = MakeMotivatingExample();
+  GoldenSet golden;
+  golden.Add(0, true);
+  golden.Add(11, false);
+  MlDataset data =
+      ExtractGoldenFeatures(example.dataset, golden, VoteEncoding::kSigned);
+  ASSERT_EQ(data.features.size(), 2u);
+  EXPECT_EQ(data.labels, (std::vector<int>{1, 0}));
+  EXPECT_EQ(data.facts, (std::vector<FactId>{0, 11}));
+  EXPECT_EQ(data.features[0],
+            (std::vector<double>{0.0, 1.0, 0.0, 1.0, 0.0}));  // r1: -T-T-
+}
+
+}  // namespace
+}  // namespace corrob

@@ -1,0 +1,83 @@
+#include "ml/logistic_regression.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace corrob {
+namespace {
+
+TEST(LogisticRegressionTest, LearnsLinearlySeparableData) {
+  // y = 1 iff x0 > 0.
+  std::vector<std::vector<double>> x;
+  std::vector<int> y;
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    double v = rng.Uniform(-2.0, 2.0);
+    x.push_back({v, rng.Uniform(-1.0, 1.0)});
+    y.push_back(v > 0 ? 1 : 0);
+  }
+  LogisticRegression model;
+  ASSERT_TRUE(model.Fit(x, y).ok());
+  int correct = 0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    if (model.Predict(x[i]) == (y[i] == 1)) ++correct;
+  }
+  EXPECT_GT(correct, 190);
+  EXPECT_GT(model.weights()[0], 0.5);  // x0 is the discriminating axis.
+}
+
+TEST(LogisticRegressionTest, ProbabilitiesAreCalibratedDirectionally) {
+  std::vector<std::vector<double>> x{{1.0}, {1.0}, {-1.0}, {-1.0}};
+  std::vector<int> y{1, 1, 0, 0};
+  LogisticRegression model;
+  ASSERT_TRUE(model.Fit(x, y).ok());
+  EXPECT_GT(model.PredictProbability({1.0}), 0.8);
+  EXPECT_LT(model.PredictProbability({-1.0}), 0.2);
+  EXPECT_NEAR(model.PredictProbability({0.0}), 0.5, 0.15);
+}
+
+TEST(LogisticRegressionTest, HandlesSingleClassGracefully) {
+  // All-positive training data: model should predict positive.
+  std::vector<std::vector<double>> x{{1.0}, {2.0}, {3.0}};
+  std::vector<int> y{1, 1, 1};
+  LogisticRegression model;
+  ASSERT_TRUE(model.Fit(x, y).ok());
+  EXPECT_TRUE(model.Predict({2.0}));
+}
+
+TEST(LogisticRegressionTest, L2ShrinksWeights) {
+  std::vector<std::vector<double>> x;
+  std::vector<int> y;
+  Rng rng(2);
+  for (int i = 0; i < 100; ++i) {
+    double v = rng.Uniform(-1.0, 1.0);
+    x.push_back({v});
+    y.push_back(v > 0 ? 1 : 0);
+  }
+  LogisticRegressionOptions weak;
+  weak.l2 = 1e-4;
+  LogisticRegressionOptions strong;
+  strong.l2 = 1.0;
+  LogisticRegression a{weak}, b{strong};
+  ASSERT_TRUE(a.Fit(x, y).ok());
+  ASSERT_TRUE(b.Fit(x, y).ok());
+  EXPECT_GT(std::abs(a.weights()[0]), std::abs(b.weights()[0]));
+}
+
+TEST(LogisticRegressionTest, InputValidation) {
+  LogisticRegression model;
+  EXPECT_FALSE(model.Fit({}, {}).ok());
+  EXPECT_FALSE(model.Fit({{1.0}}, {1, 0}).ok());
+  EXPECT_FALSE(model.Fit({{1.0}, {1.0, 2.0}}, {1, 0}).ok());
+  EXPECT_FALSE(model.Fit({{1.0}}, {2}).ok());
+}
+
+TEST(LogisticRegressionDeathTest, WidthMismatchAborts) {
+  LogisticRegression model;
+  ASSERT_TRUE(model.Fit({{1.0}, {-1.0}}, {1, 0}).ok());
+  EXPECT_DEATH({ model.DecisionValue({1.0, 2.0}); }, "feature width");
+}
+
+}  // namespace
+}  // namespace corrob

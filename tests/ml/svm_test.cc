@@ -1,0 +1,91 @@
+#include "ml/svm.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace corrob {
+namespace {
+
+TEST(LinearSvmTest, LearnsLinearlySeparableData) {
+  std::vector<std::vector<double>> x;
+  std::vector<int> y;
+  Rng rng(3);
+  for (int i = 0; i < 150; ++i) {
+    double a = rng.Uniform(-2.0, 2.0);
+    double b = rng.Uniform(-2.0, 2.0);
+    x.push_back({a, b});
+    y.push_back(a + b > 0.0 ? 1 : 0);
+  }
+  LinearSvm model;
+  ASSERT_TRUE(model.Fit(x, y).ok());
+  int correct = 0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    if (model.Predict(x[i]) == (y[i] == 1)) ++correct;
+  }
+  EXPECT_GT(correct, 140);
+  EXPECT_GT(model.num_support_vectors(), 0);
+}
+
+TEST(LinearSvmTest, SeparatesAxisAlignedClusters) {
+  std::vector<std::vector<double>> x{{2.0, 0.0}, {3.0, 1.0}, {2.5, -1.0},
+                                     {-2.0, 0.0}, {-3.0, 1.0}, {-2.5, -1.0}};
+  std::vector<int> y{1, 1, 1, 0, 0, 0};
+  LinearSvm model;
+  ASSERT_TRUE(model.Fit(x, y).ok());
+  EXPECT_TRUE(model.Predict({4.0, 0.0}));
+  EXPECT_FALSE(model.Predict({-4.0, 0.0}));
+  // The separating direction is dominated by the first coordinate.
+  EXPECT_GT(std::fabs(model.weights()[0]),
+            std::fabs(model.weights()[1]));
+}
+
+TEST(LinearSvmTest, ToleratesLabelNoise) {
+  std::vector<std::vector<double>> x;
+  std::vector<int> y;
+  Rng rng(4);
+  for (int i = 0; i < 200; ++i) {
+    double v = rng.Uniform(-2.0, 2.0);
+    x.push_back({v});
+    bool label = v > 0;
+    if (rng.Bernoulli(0.05)) label = !label;  // 5% flipped labels.
+    y.push_back(label ? 1 : 0);
+  }
+  LinearSvm model;
+  ASSERT_TRUE(model.Fit(x, y).ok());
+  int correct = 0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    bool truth = x[i][0] > 0;
+    if (model.Predict(x[i]) == truth) ++correct;
+  }
+  EXPECT_GT(correct, 180);
+}
+
+TEST(LinearSvmTest, RequiresBothClasses) {
+  LinearSvm model;
+  Status status = model.Fit({{1.0}, {2.0}}, {1, 1});
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(LinearSvmTest, InputValidation) {
+  LinearSvm model;
+  EXPECT_FALSE(model.Fit({}, {}).ok());
+  EXPECT_FALSE(model.Fit({{1.0}}, {1, 0}).ok());
+  EXPECT_FALSE(model.Fit({{1.0}, {1.0, 2.0}}, {1, 0}).ok());
+  EXPECT_FALSE(model.Fit({{1.0}, {2.0}}, {1, 7}).ok());
+}
+
+TEST(LinearSvmTest, DeterministicForFixedSeed) {
+  std::vector<std::vector<double>> x{{1.0}, {2.0}, {-1.0}, {-2.0}};
+  std::vector<int> y{1, 1, 0, 0};
+  LinearSvm a, b;
+  ASSERT_TRUE(a.Fit(x, y).ok());
+  ASSERT_TRUE(b.Fit(x, y).ok());
+  EXPECT_EQ(a.weights(), b.weights());
+  EXPECT_DOUBLE_EQ(a.bias(), b.bias());
+}
+
+}  // namespace
+}  // namespace corrob

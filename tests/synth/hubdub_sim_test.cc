@@ -1,0 +1,102 @@
+#include "synth/hubdub_sim.h"
+
+#include <gtest/gtest.h>
+
+namespace corrob {
+namespace {
+
+HubdubSimOptions SmallOptions() {
+  HubdubSimOptions options;
+  options.num_questions = 50;
+  options.num_answers = 120;
+  options.num_users = 60;
+  options.seed = 4;
+  return options;
+}
+
+TEST(HubdubSimTest, DefaultShapeMatchesPaper) {
+  QuestionDataset qd = GenerateHubdub(HubdubSimOptions{}).ValueOrDie();
+  EXPECT_EQ(qd.num_questions(), 357);
+  EXPECT_EQ(qd.dataset().num_facts(), 830);
+  EXPECT_EQ(qd.dataset().num_sources(), 471);
+  EXPECT_GT(qd.dataset().num_votes(), 357);
+}
+
+TEST(HubdubSimTest, EveryQuestionHasOneCorrectAnswer) {
+  QuestionDataset qd = GenerateHubdub(SmallOptions()).ValueOrDie();
+  for (QuestionId q = 0; q < qd.num_questions(); ++q) {
+    const std::vector<FactId>& answers = qd.answers(q);
+    EXPECT_GE(answers.size(), 2u);
+    int correct = 0;
+    for (FactId f : answers) {
+      if (qd.truth().IsTrue(f)) ++correct;
+    }
+    EXPECT_EQ(correct, 1) << "question " << q;
+  }
+}
+
+TEST(HubdubSimTest, VotesAreAffirmativeBets) {
+  QuestionDataset qd = GenerateHubdub(SmallOptions()).ValueOrDie();
+  for (SourceId u = 0; u < qd.dataset().num_sources(); ++u) {
+    for (const FactVote& fv : qd.dataset().VotesBySource(u)) {
+      EXPECT_EQ(fv.vote, Vote::kTrue);
+    }
+  }
+}
+
+TEST(HubdubSimTest, UsersBetOncePerQuestion) {
+  QuestionDataset qd = GenerateHubdub(SmallOptions()).ValueOrDie();
+  for (SourceId u = 0; u < qd.dataset().num_sources(); ++u) {
+    std::vector<int> bets(static_cast<size_t>(qd.num_questions()), 0);
+    for (const FactVote& fv : qd.dataset().VotesBySource(u)) {
+      ++bets[static_cast<size_t>(qd.question_of(fv.fact))];
+    }
+    for (int count : bets) EXPECT_LE(count, 1);
+  }
+}
+
+TEST(HubdubSimTest, ClosureProducesConflictingVotes) {
+  QuestionDataset qd = GenerateHubdub(SmallOptions()).ValueOrDie();
+  Dataset closed = qd.WithNegativeClosure();
+  int64_t f_votes = 0;
+  for (FactId f = 0; f < closed.num_facts(); ++f) {
+    f_votes += closed.CountVotes(f, Vote::kFalse);
+  }
+  EXPECT_GT(f_votes, 0);
+  EXPECT_GT(closed.num_votes(), qd.dataset().num_votes());
+}
+
+TEST(HubdubSimTest, ParticipationIsSkewed) {
+  QuestionDataset qd = GenerateHubdub(HubdubSimOptions{}).ValueOrDie();
+  // The most active user bets far more than the median user.
+  std::vector<size_t> counts;
+  for (SourceId u = 0; u < qd.dataset().num_sources(); ++u) {
+    counts.push_back(qd.dataset().VotesBySource(u).size());
+  }
+  std::sort(counts.begin(), counts.end());
+  EXPECT_GT(counts.back(), 4 * counts[counts.size() / 2] + 4);
+}
+
+TEST(HubdubSimTest, Deterministic) {
+  QuestionDataset a = GenerateHubdub(SmallOptions()).ValueOrDie();
+  QuestionDataset b = GenerateHubdub(SmallOptions()).ValueOrDie();
+  EXPECT_EQ(a.dataset().num_votes(), b.dataset().num_votes());
+  EXPECT_EQ(a.truth().labels(), b.truth().labels());
+}
+
+TEST(HubdubSimTest, OptionValidation) {
+  HubdubSimOptions bad = SmallOptions();
+  bad.num_answers = 60;  // < 2 per question.
+  EXPECT_FALSE(GenerateHubdub(bad).ok());
+
+  bad = SmallOptions();
+  bad.num_users = 0;
+  EXPECT_FALSE(GenerateHubdub(bad).ok());
+
+  bad = SmallOptions();
+  bad.accuracy_alpha = 0.5;
+  EXPECT_FALSE(GenerateHubdub(bad).ok());
+}
+
+}  // namespace
+}  // namespace corrob

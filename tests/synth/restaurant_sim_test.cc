@@ -1,0 +1,190 @@
+#include "synth/restaurant_sim.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "data/dataset_stats.h"
+#include "text/address.h"
+
+namespace corrob {
+namespace {
+
+RestaurantSimOptions SmallCorpus() {
+  RestaurantSimOptions options;
+  options.num_facts = 8000;
+  options.golden_true = 120;
+  options.golden_false = 90;
+  options.seed = 3;
+  return options;
+}
+
+TEST(RestaurantCorpusTest, PaperSourceSpecs) {
+  std::vector<RestaurantSourceSpec> specs = PaperRestaurantSources();
+  ASSERT_EQ(specs.size(), 6u);
+  EXPECT_EQ(specs[0].name, "YellowPages");
+  EXPECT_DOUBLE_EQ(specs[0].coverage, 0.59);
+  EXPECT_DOUBLE_EQ(specs[0].accuracy, 0.59);
+  EXPECT_EQ(specs[2].name, "MenuPages");
+  EXPECT_EQ(specs[2].f_votes, 256);
+  EXPECT_EQ(specs[5].name, "Yelp");
+  EXPECT_EQ(specs[5].f_votes, 425);
+}
+
+TEST(RestaurantCorpusTest, ShapeAndGoldenSplit) {
+  RestaurantCorpus corpus = GenerateRestaurantCorpus(SmallCorpus()).ValueOrDie();
+  EXPECT_EQ(corpus.dataset.num_facts(), 8000);
+  EXPECT_EQ(corpus.dataset.num_sources(), 6);
+  EXPECT_EQ(corpus.golden.size(), 210u);
+  EXPECT_EQ(corpus.golden.CountTrue(), 120);
+  EXPECT_EQ(corpus.golden.CountFalse(), 90);
+  // Golden labels agree with the full truth.
+  for (size_t i = 0; i < corpus.golden.size(); ++i) {
+    EXPECT_EQ(corpus.golden.label(i), corpus.truth.IsTrue(corpus.golden.fact(i)));
+  }
+  // Golden facts are distinct.
+  std::set<FactId> unique;
+  for (size_t i = 0; i < corpus.golden.size(); ++i) {
+    unique.insert(corpus.golden.fact(i));
+  }
+  EXPECT_EQ(unique.size(), corpus.golden.size());
+}
+
+TEST(RestaurantCorpusTest, EveryListingIsVisible) {
+  RestaurantCorpus corpus = GenerateRestaurantCorpus(SmallCorpus()).ValueOrDie();
+  for (FactId f = 0; f < corpus.dataset.num_facts(); ++f) {
+    EXPECT_FALSE(corpus.dataset.VotesOnFact(f).empty()) << "fact " << f;
+  }
+}
+
+TEST(RestaurantCorpusTest, CoverageTracksTable3) {
+  RestaurantSimOptions options = SmallCorpus();
+  options.num_facts = 20000;
+  RestaurantCorpus corpus = GenerateRestaurantCorpus(options).ValueOrDie();
+  SourceStats stats = ComputeSourceStats(corpus.dataset);
+  const auto specs = PaperRestaurantSources();
+  for (size_t s = 0; s < specs.size(); ++s) {
+    EXPECT_NEAR(stats.coverage[s], specs[s].coverage, 0.06)
+        << specs[s].name;
+  }
+}
+
+TEST(RestaurantCorpusTest, GoldenAccuracyTracksTable3) {
+  RestaurantSimOptions options = SmallCorpus();
+  options.num_facts = 20000;
+  options.golden_true = 340;
+  options.golden_false = 261;
+  RestaurantCorpus corpus = GenerateRestaurantCorpus(options).ValueOrDie();
+  std::vector<double> accuracy =
+      SourceAccuracyOnGolden(corpus.dataset, corpus.golden);
+  const auto specs = PaperRestaurantSources();
+  for (size_t s = 0; s < specs.size(); ++s) {
+    EXPECT_NEAR(accuracy[s], specs[s].accuracy, 0.09) << specs[s].name;
+  }
+}
+
+TEST(RestaurantCorpusTest, FalseVoteCountsMatchSpecs) {
+  RestaurantCorpus corpus = GenerateRestaurantCorpus(SmallCorpus()).ValueOrDie();
+  std::vector<int64_t> f_votes = CountFalseVotesBySource(corpus.dataset);
+  const auto specs = PaperRestaurantSources();
+  for (size_t s = 0; s < specs.size(); ++s) {
+    EXPECT_EQ(f_votes[s], specs[s].f_votes) << specs[s].name;
+  }
+}
+
+TEST(RestaurantCorpusTest, FalseVotesSitOnDefunctListings) {
+  RestaurantCorpus corpus = GenerateRestaurantCorpus(SmallCorpus()).ValueOrDie();
+  for (FactId f = 0; f < corpus.dataset.num_facts(); ++f) {
+    if (corpus.dataset.CountVotes(f, Vote::kFalse) > 0) {
+      EXPECT_FALSE(corpus.truth.IsTrue(f));
+    }
+  }
+}
+
+TEST(RestaurantCorpusTest, Deterministic) {
+  RestaurantCorpus a = GenerateRestaurantCorpus(SmallCorpus()).ValueOrDie();
+  RestaurantCorpus b = GenerateRestaurantCorpus(SmallCorpus()).ValueOrDie();
+  EXPECT_EQ(a.dataset.num_votes(), b.dataset.num_votes());
+  EXPECT_EQ(a.truth.labels(), b.truth.labels());
+}
+
+TEST(RestaurantCorpusTest, OptionValidation) {
+  RestaurantSimOptions bad = SmallCorpus();
+  bad.num_facts = 0;
+  EXPECT_FALSE(GenerateRestaurantCorpus(bad).ok());
+
+  bad = SmallCorpus();
+  bad.sources.clear();
+  EXPECT_FALSE(GenerateRestaurantCorpus(bad).ok());
+
+  bad = SmallCorpus();
+  bad.golden_true = 999999;  // Larger than the corpus can supply.
+  EXPECT_FALSE(GenerateRestaurantCorpus(bad).ok());
+
+  bad = SmallCorpus();
+  bad.false_fraction = 0.0;  // Infeasible accuracy conditioning.
+  EXPECT_FALSE(GenerateRestaurantCorpus(bad).ok());
+}
+
+RawCrawlOptions SmallCrawl() {
+  RawCrawlOptions options;
+  options.num_restaurants = 300;
+  options.seed = 5;
+  return options;
+}
+
+TEST(RawCrawlTest, ProducesListingsWithHints) {
+  RawCrawl crawl = GenerateRawCrawl(SmallCrawl()).ValueOrDie();
+  EXPECT_EQ(crawl.entity_keys.size(), 300u);
+  EXPECT_EQ(crawl.entity_truth.size(), 300u);
+  EXPECT_GT(crawl.listings.size(), 300u);
+  for (const RawListing& listing : crawl.listings) {
+    EXPECT_FALSE(listing.source.empty());
+    EXPECT_FALSE(listing.name.empty());
+    EXPECT_FALSE(listing.address.empty());
+    EXPECT_FALSE(listing.entity_hint.empty());
+  }
+}
+
+TEST(RawCrawlTest, DuplicatesShareNormalizedAddress) {
+  // Listings of the same entity must land in the same dedup block:
+  // the generator only applies normalization-safe address variants.
+  RawCrawl crawl = GenerateRawCrawl(SmallCrawl()).ValueOrDie();
+  std::map<std::string, std::set<std::string>> addresses_by_entity;
+  for (const RawListing& listing : crawl.listings) {
+    addresses_by_entity[listing.entity_hint].insert(
+        NormalizeAddress(listing.address));
+  }
+  for (const auto& [entity, addresses] : addresses_by_entity) {
+    EXPECT_EQ(addresses.size(), 1u) << entity;
+  }
+}
+
+TEST(RawCrawlTest, ClosedMarkersOnlyOnDefunctRestaurants) {
+  RawCrawl crawl = GenerateRawCrawl(SmallCrawl()).ValueOrDie();
+  std::map<std::string, size_t> index;
+  for (size_t i = 0; i < crawl.entity_keys.size(); ++i) {
+    index[crawl.entity_keys[i]] = i;
+  }
+  int closed = 0;
+  for (const RawListing& listing : crawl.listings) {
+    if (listing.closed) {
+      ++closed;
+      EXPECT_FALSE(crawl.entity_truth[index[listing.entity_hint]]);
+    }
+  }
+  EXPECT_GT(closed, 0);
+}
+
+TEST(RawCrawlTest, Deterministic) {
+  RawCrawl a = GenerateRawCrawl(SmallCrawl()).ValueOrDie();
+  RawCrawl b = GenerateRawCrawl(SmallCrawl()).ValueOrDie();
+  ASSERT_EQ(a.listings.size(), b.listings.size());
+  for (size_t i = 0; i < a.listings.size(); ++i) {
+    EXPECT_EQ(a.listings[i].name, b.listings[i].name);
+    EXPECT_EQ(a.listings[i].address, b.listings[i].address);
+  }
+}
+
+}  // namespace
+}  // namespace corrob

@@ -1,0 +1,124 @@
+#include "synth/rumor_sim.h"
+
+#include <gtest/gtest.h>
+
+#include "core/registry.h"
+#include "data/dataset_stats.h"
+#include "eval/metrics.h"
+
+namespace corrob {
+namespace {
+
+RumorSimOptions SmallOptions() {
+  RumorSimOptions options;
+  options.num_rumors = 1200;
+  options.seed = 12;
+  return options;
+}
+
+TEST(RumorSimTest, ShapeMatchesOptions) {
+  RumorCorpus corpus = GenerateRumors(SmallOptions()).ValueOrDie();
+  EXPECT_EQ(corpus.dataset.num_facts(), 1200);
+  EXPECT_EQ(corpus.dataset.num_sources(), 17);  // 4 + 8 + 5
+  ASSERT_EQ(corpus.tiers.size(), 17u);
+  EXPECT_EQ(corpus.tiers[0], BlogTier::kInsider);
+  EXPECT_EQ(corpus.tiers[4], BlogTier::kAggregator);
+  EXPECT_EQ(corpus.tiers[12], BlogTier::kTabloid);
+}
+
+TEST(RumorSimTest, EveryRumorHasAStatement) {
+  RumorCorpus corpus = GenerateRumors(SmallOptions()).ValueOrDie();
+  for (FactId f = 0; f < corpus.dataset.num_facts(); ++f) {
+    EXPECT_FALSE(corpus.dataset.VotesOnFact(f).empty()) << f;
+  }
+}
+
+TEST(RumorSimTest, OnlyInsidersDebunkAndOnlyFalseRumors) {
+  RumorCorpus corpus = GenerateRumors(SmallOptions()).ValueOrDie();
+  std::vector<int64_t> f_votes = CountFalseVotesBySource(corpus.dataset);
+  for (SourceId s = 0; s < corpus.dataset.num_sources(); ++s) {
+    if (corpus.tiers[static_cast<size_t>(s)] != BlogTier::kInsider) {
+      EXPECT_EQ(f_votes[static_cast<size_t>(s)], 0) << s;
+    }
+  }
+  for (FactId f = 0; f < corpus.dataset.num_facts(); ++f) {
+    if (corpus.dataset.CountVotes(f, Vote::kFalse) > 0) {
+      EXPECT_FALSE(corpus.truth.IsTrue(f)) << f;
+    }
+  }
+}
+
+TEST(RumorSimTest, FalseRumorsManufactureConsensus) {
+  // The point of the domain: fabricated rumors collect multiple
+  // affirmations through the reblog cascade.
+  RumorCorpus corpus = GenerateRumors(SmallOptions()).ValueOrDie();
+  int64_t false_with_consensus = 0;
+  int64_t false_total = 0;
+  for (FactId f = 0; f < corpus.dataset.num_facts(); ++f) {
+    if (corpus.truth.IsTrue(f)) continue;
+    ++false_total;
+    if (corpus.dataset.CountVotes(f, Vote::kTrue) >= 2) {
+      ++false_with_consensus;
+    }
+  }
+  ASSERT_GT(false_total, 0);
+  EXPECT_GT(static_cast<double>(false_with_consensus) /
+                static_cast<double>(false_total),
+            0.5);
+}
+
+TEST(RumorSimTest, Deterministic) {
+  RumorCorpus a = GenerateRumors(SmallOptions()).ValueOrDie();
+  RumorCorpus b = GenerateRumors(SmallOptions()).ValueOrDie();
+  EXPECT_EQ(a.dataset.num_votes(), b.dataset.num_votes());
+  EXPECT_EQ(a.truth.labels(), b.truth.labels());
+}
+
+TEST(RumorSimTest, IncEstHeuRanksInsidersAboveTabloids) {
+  RumorCorpus corpus = GenerateRumors(SmallOptions()).ValueOrDie();
+  auto algorithm = MakeCorroborator("IncEstHeu").ValueOrDie();
+  CorroborationResult result =
+      algorithm->Run(corpus.dataset).ValueOrDie();
+  double insider_trust = 0.0;
+  double tabloid_trust = 0.0;
+  int insiders = 0, tabloids = 0;
+  for (SourceId s = 0; s < corpus.dataset.num_sources(); ++s) {
+    if (corpus.tiers[static_cast<size_t>(s)] == BlogTier::kInsider) {
+      insider_trust += result.source_trust[static_cast<size_t>(s)];
+      ++insiders;
+    } else if (corpus.tiers[static_cast<size_t>(s)] == BlogTier::kTabloid) {
+      tabloid_trust += result.source_trust[static_cast<size_t>(s)];
+      ++tabloids;
+    }
+  }
+  EXPECT_GT(insider_trust / insiders, tabloid_trust / tabloids + 0.1);
+}
+
+TEST(RumorSimTest, IncEstHeuBeatsVotingOnRumors) {
+  RumorCorpus corpus = GenerateRumors(SmallOptions()).ValueOrDie();
+  auto inc = MakeCorroborator("IncEstHeu").ValueOrDie();
+  auto voting = MakeCorroborator("Voting").ValueOrDie();
+  double inc_acc = EvaluateOnTruth(inc->Run(corpus.dataset).ValueOrDie(),
+                                   corpus.truth)
+                       .accuracy;
+  double voting_acc =
+      EvaluateOnTruth(voting->Run(corpus.dataset).ValueOrDie(),
+                      corpus.truth)
+          .accuracy;
+  EXPECT_GT(inc_acc, voting_acc + 0.05);
+}
+
+TEST(RumorSimTest, OptionValidation) {
+  RumorSimOptions bad = SmallOptions();
+  bad.num_rumors = 0;
+  EXPECT_FALSE(GenerateRumors(bad).ok());
+  bad = SmallOptions();
+  bad.num_tabloids = 0;
+  EXPECT_FALSE(GenerateRumors(bad).ok());
+  bad = SmallOptions();
+  bad.virality = 1.5;
+  EXPECT_FALSE(GenerateRumors(bad).ok());
+}
+
+}  // namespace
+}  // namespace corrob

@@ -1,0 +1,100 @@
+#include "text/address.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace corrob {
+namespace {
+
+TEST(AddressTest, LowercasesAndStripsPunctuation) {
+  EXPECT_EQ(NormalizeAddress("346 WEST 46th St."), "346 w 46 st");
+}
+
+TEST(AddressTest, AbbreviatesSuffixAndDirection) {
+  EXPECT_EQ(NormalizeAddress("346 West 46th Street"), "346 w 46 st");
+  EXPECT_EQ(NormalizeAddress("346 W 46 St"), "346 w 46 st");
+}
+
+TEST(AddressTest, EquivalentFormsNormalizeIdentically) {
+  const char* forms[] = {
+      "346 West 46th Street, New York",
+      "346 W 46th St, New York",
+      "346 west 46 street new york",
+      "346 W. 46th St., New York",
+  };
+  std::string canonical = NormalizeAddress(forms[0]);
+  for (const char* form : forms) {
+    EXPECT_EQ(NormalizeAddress(form), canonical) << form;
+  }
+}
+
+TEST(AddressTest, StreetSuffixTable) {
+  EXPECT_EQ(NormalizeAddress("1 Foo Avenue"), "1 foo ave");
+  EXPECT_EQ(NormalizeAddress("1 Foo Av"), "1 foo ave");
+  EXPECT_EQ(NormalizeAddress("1 Foo Boulevard"), "1 foo blvd");
+  EXPECT_EQ(NormalizeAddress("1 Foo Road"), "1 foo rd");
+  EXPECT_EQ(NormalizeAddress("1 Foo Drive"), "1 foo dr");
+  EXPECT_EQ(NormalizeAddress("1 Foo Place"), "1 foo pl");
+  EXPECT_EQ(NormalizeAddress("1 Foo Lane"), "1 foo ln");
+  EXPECT_EQ(NormalizeAddress("1 Foo Court"), "1 foo ct");
+  EXPECT_EQ(NormalizeAddress("1 Foo Square"), "1 foo sq");
+  EXPECT_EQ(NormalizeAddress("1 Foo Parkway"), "1 foo pkwy");
+  EXPECT_EQ(NormalizeAddress("1 Foo Highway"), "1 foo hwy");
+  EXPECT_EQ(NormalizeAddress("1 Foo Terrace"), "1 foo ter");
+}
+
+TEST(AddressTest, Directionals) {
+  EXPECT_EQ(NormalizeAddress("10 North Main St"), "10 n main st");
+  EXPECT_EQ(NormalizeAddress("10 SOUTHEAST Main St"), "10 se main st");
+}
+
+TEST(AddressTest, OrdinalsStripped) {
+  EXPECT_EQ(NormalizeAddress("1st Ave"), "1 ave");
+  EXPECT_EQ(NormalizeAddress("2nd Ave"), "2 ave");
+  EXPECT_EQ(NormalizeAddress("3rd Ave"), "3 ave");
+  EXPECT_EQ(NormalizeAddress("44th Ave"), "44 ave");
+  // Non-ordinal suffixes survive.
+  EXPECT_EQ(NormalizeAddress("44b Ave"), "44b ave");
+}
+
+TEST(AddressTest, NumberWords) {
+  EXPECT_EQ(NormalizeAddress("700 Fifth Avenue"), "700 5 ave");
+  EXPECT_EQ(NormalizeAddress("700 5th Avenue"), "700 5 ave");
+}
+
+TEST(AddressTest, UnitDesignatorsDropped) {
+  EXPECT_EQ(NormalizeAddress("12 Main St Suite 400"), "12 main st");
+  EXPECT_EQ(NormalizeAddress("12 Main St Apt 4B"), "12 main st");
+  EXPECT_EQ(NormalizeAddress("12 Main St Floor 2"), "12 main st");
+  EXPECT_EQ(NormalizeAddress("12 Main St, Unit 9"), "12 main st");
+}
+
+TEST(AddressTest, HashBecomesPlainToken) {
+  // '#' is punctuation; the unit number survives unless introduced by
+  // a designator word.
+  EXPECT_EQ(NormalizeAddress("12 Main St #4"), "12 main st 4");
+}
+
+TEST(AddressTest, DistinctAddressesStayDistinct) {
+  EXPECT_NE(NormalizeAddress("12 Main St"), NormalizeAddress("14 Main St"));
+  EXPECT_NE(NormalizeAddress("12 Main St"), NormalizeAddress("12 Oak St"));
+  EXPECT_NE(NormalizeAddress("12 Main St"), NormalizeAddress("12 Main Ave"));
+}
+
+TEST(AddressTest, EmptyAndWhitespace) {
+  EXPECT_EQ(NormalizeAddress(""), "");
+  EXPECT_EQ(NormalizeAddress("   ,,,  "), "");
+}
+
+TEST(AddressTest, Idempotent) {
+  const char* samples[] = {"346 West 46th Street, New York",
+                           "12 Main St Suite 400", "700 Fifth Avenue"};
+  for (const char* s : samples) {
+    std::string once = NormalizeAddress(s);
+    EXPECT_EQ(NormalizeAddress(once), once) << s;
+  }
+}
+
+}  // namespace
+}  // namespace corrob

@@ -1,0 +1,164 @@
+#include "text/dedup.h"
+
+#include <gtest/gtest.h>
+
+namespace corrob {
+namespace {
+
+RawListing Listing(const std::string& source, const std::string& name,
+                   const std::string& address, bool closed = false) {
+  RawListing listing;
+  listing.source = source;
+  listing.name = name;
+  listing.address = address;
+  listing.closed = closed;
+  return listing;
+}
+
+TEST(DedupTest, EmptyInput) {
+  DedupResult result = Deduplicate({}).ValueOrDie();
+  EXPECT_TRUE(result.entities.empty());
+  EXPECT_EQ(result.dataset.num_facts(), 0);
+}
+
+TEST(DedupTest, MergesFormattingVariantsAtSameAddress) {
+  std::vector<RawListing> listings = {
+      Listing("Yelp", "Danny's Grand Sea Palace", "346 West 46th St"),
+      Listing("Citysearch", "Dannys Grand Sea Palace",
+              "346 W 46th Street"),
+  };
+  DedupResult result = Deduplicate(listings).ValueOrDie();
+  ASSERT_EQ(result.entities.size(), 1u);
+  EXPECT_EQ(result.entity_of[0], result.entity_of[1]);
+  EXPECT_EQ(result.dataset.num_facts(), 1);
+  EXPECT_EQ(result.dataset.num_sources(), 2);
+  EXPECT_EQ(result.dataset.CountVotes(0, Vote::kTrue), 2);
+}
+
+TEST(DedupTest, DifferentRestaurantsSameAddressStayDistinct) {
+  // A food court: two unrelated names at one address.
+  std::vector<RawListing> listings = {
+      Listing("Yelp", "Golden Dragon Noodle House", "12 Main St"),
+      Listing("Yelp", "Stella's Pizzeria", "12 Main St"),
+  };
+  DedupResult result = Deduplicate(listings).ValueOrDie();
+  EXPECT_EQ(result.entities.size(), 2u);
+  EXPECT_NE(result.entity_of[0], result.entity_of[1]);
+}
+
+TEST(DedupTest, DifferentAddressesNeverCompared) {
+  std::vector<RawListing> listings = {
+      Listing("Yelp", "M Bar", "12 W 44th St"),
+      Listing("Yelp", "M Bar", "99 W 44th St"),
+  };
+  DedupResult result = Deduplicate(listings).ValueOrDie();
+  EXPECT_EQ(result.entities.size(), 2u);
+}
+
+TEST(DedupTest, ClosedMarkerBecomesFalseVote) {
+  std::vector<RawListing> listings = {
+      Listing("Yelp", "M Bar", "12 W 44th St", /*closed=*/true),
+      Listing("Citysearch", "M Bar", "12 W 44th St"),
+  };
+  DedupResult result = Deduplicate(listings).ValueOrDie();
+  ASSERT_EQ(result.entities.size(), 1u);
+  SourceId yelp = result.dataset.FindSource("Yelp").ValueOrDie();
+  SourceId cs = result.dataset.FindSource("Citysearch").ValueOrDie();
+  EXPECT_EQ(result.dataset.GetVote(yelp, 0), Vote::kFalse);
+  EXPECT_EQ(result.dataset.GetVote(cs, 0), Vote::kTrue);
+}
+
+TEST(DedupTest, ClosedBeatsOpenWithinOneSource) {
+  // The same source carries a stale open copy and a CLOSED marker.
+  std::vector<RawListing> listings = {
+      Listing("Yelp", "M Bar", "12 W 44th St"),
+      Listing("Yelp", "M Bar", "12 W 44 Street", /*closed=*/true),
+  };
+  DedupResult result = Deduplicate(listings).ValueOrDie();
+  ASSERT_EQ(result.entities.size(), 1u);
+  EXPECT_EQ(result.dataset.GetVote(0, 0), Vote::kFalse);
+  EXPECT_EQ(result.dataset.num_votes(), 1);
+}
+
+TEST(DedupTest, CanonicalNameIsMostFrequent) {
+  std::vector<RawListing> listings = {
+      Listing("A", "M Bar", "12 W 44th St"),
+      Listing("B", "M Bar", "12 W 44th St"),
+      Listing("C", "m bar", "12 W 44th St"),
+  };
+  DedupResult result = Deduplicate(listings).ValueOrDie();
+  ASSERT_EQ(result.entities.size(), 1u);
+  EXPECT_EQ(result.entities[0].canonical_name, "M Bar");
+  EXPECT_EQ(result.entities[0].members.size(), 3u);
+}
+
+TEST(DedupTest, TransitiveMergeAcrossBorderlineVariants) {
+  // a~b and b~c above threshold merges all three even if a~c alone
+  // falls below it.
+  std::vector<RawListing> listings = {
+      Listing("A", "Golden Dragon Palace Restaurant", "1 Oak St"),
+      Listing("B", "Golden Dragon Palace", "1 Oak St"),
+      Listing("C", "Golden Dragon", "1 Oak St"),
+  };
+  DedupOptions options;
+  options.similarity_threshold = 0.75;
+  DedupResult result = Deduplicate(listings, options).ValueOrDie();
+  EXPECT_EQ(result.entities.size(), 1u);
+}
+
+TEST(DedupTest, ThresholdIsRespected) {
+  std::vector<RawListing> listings = {
+      Listing("A", "Alpha Beta", "1 Oak St"),
+      Listing("B", "Alpha Beta", "1 Oak St"),
+  };
+  DedupOptions strict;
+  strict.similarity_threshold = 1.0;
+  DedupResult result = Deduplicate(listings, strict).ValueOrDie();
+  EXPECT_EQ(result.entities.size(), 1u);  // Identical text still merges.
+
+  DedupOptions invalid;
+  invalid.similarity_threshold = 1.5;
+  EXPECT_EQ(Deduplicate(listings, invalid).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(DedupTest, PhoneticFallbackMergesMisspellings) {
+  std::vector<RawListing> listings = {
+      Listing("A", "Grandiose Pallace Buffet", "1 Oak St"),
+      Listing("B", "Grandiese Palace Buffett", "1 Oak St"),
+  };
+  // Heavy misspellings: below the cosine threshold...
+  DedupOptions strict;
+  strict.similarity_threshold = 0.95;
+  EXPECT_EQ(Deduplicate(listings, strict).ValueOrDie().entities.size(), 2u);
+  // ...but phonetically identical.
+  DedupOptions phonetic = strict;
+  phonetic.use_phonetic_fallback = true;
+  EXPECT_EQ(Deduplicate(listings, phonetic).ValueOrDie().entities.size(),
+            1u);
+}
+
+TEST(DedupTest, EntityIndicesAreDenseAndConsistent) {
+  std::vector<RawListing> listings = {
+      Listing("A", "One", "1 Oak St"),
+      Listing("B", "Two", "2 Oak St"),
+      Listing("C", "One!", "1 Oak Street"),
+  };
+  DedupResult result = Deduplicate(listings).ValueOrDie();
+  ASSERT_EQ(result.entity_of.size(), 3u);
+  for (size_t i = 0; i < result.entity_of.size(); ++i) {
+    ASSERT_LT(result.entity_of[i], result.entities.size());
+  }
+  // Every entity lists exactly its members.
+  size_t total_members = 0;
+  for (size_t e = 0; e < result.entities.size(); ++e) {
+    for (size_t member : result.entities[e].members) {
+      EXPECT_EQ(result.entity_of[member], e);
+    }
+    total_members += result.entities[e].members.size();
+  }
+  EXPECT_EQ(total_members, listings.size());
+}
+
+}  // namespace
+}  // namespace corrob

@@ -1,0 +1,61 @@
+#include "text/phonetic.h"
+
+#include <gtest/gtest.h>
+
+namespace corrob {
+namespace {
+
+TEST(SoundexTest, ClassicReferenceCodes) {
+  // The canonical examples from the Soundex specification.
+  EXPECT_EQ(Soundex("Robert"), "R163");
+  EXPECT_EQ(Soundex("Rupert"), "R163");
+  EXPECT_EQ(Soundex("Ashcraft"), "A261");  // H is transparent.
+  EXPECT_EQ(Soundex("Ashcroft"), "A261");
+  EXPECT_EQ(Soundex("Tymczak"), "T522");
+  EXPECT_EQ(Soundex("Pfister"), "P236");
+  EXPECT_EQ(Soundex("Honeyman"), "H555");
+}
+
+TEST(SoundexTest, CaseInsensitive) {
+  EXPECT_EQ(Soundex("ROBERT"), Soundex("robert"));
+}
+
+TEST(SoundexTest, ShortWordsArePadded) {
+  EXPECT_EQ(Soundex("A"), "A000");
+  EXPECT_EQ(Soundex("Lee"), "L000");
+}
+
+TEST(SoundexTest, NonLettersIgnored) {
+  EXPECT_EQ(Soundex("O'Brien"), Soundex("OBrien"));
+  EXPECT_EQ(Soundex("123"), "");
+  EXPECT_EQ(Soundex(""), "");
+}
+
+TEST(SoundexTest, DoubleLettersCollapse) {
+  EXPECT_EQ(Soundex("Gutierrez"), "G362");
+  EXPECT_EQ(Soundex("Jackson"), "J250");
+}
+
+TEST(PhoneticNamesTest, MisspelledNamesMatch) {
+  EXPECT_TRUE(PhoneticallySimilarNames("Grand Sea Palace",
+                                       "Grand See Pallace"));
+  EXPECT_TRUE(PhoneticallySimilarNames("Smith Diner", "Smyth Diner"));
+}
+
+TEST(PhoneticNamesTest, DifferentNamesDoNotMatch) {
+  EXPECT_FALSE(PhoneticallySimilarNames("Golden Dragon", "Silver Tiger"));
+  EXPECT_FALSE(
+      PhoneticallySimilarNames("Grand Sea Palace", "Grand Sea"));
+}
+
+TEST(PhoneticNamesTest, TokenOrderIrrelevant) {
+  EXPECT_TRUE(PhoneticallySimilarNames("Palace Grand", "Grand Palace"));
+}
+
+TEST(PhoneticNamesTest, EmptyInputs) {
+  EXPECT_TRUE(PhoneticallySimilarNames("", ""));
+  EXPECT_FALSE(PhoneticallySimilarNames("a", ""));
+}
+
+}  // namespace
+}  // namespace corrob

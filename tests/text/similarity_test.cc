@@ -1,0 +1,85 @@
+#include "text/similarity.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "text/tokenizer.h"
+
+namespace corrob {
+namespace {
+
+TEST(TermVectorTest, CosineOfIdenticalVectorsIsOne) {
+  TermVector v = TermVector::FromFeatures({"a", "b", "a"});
+  EXPECT_NEAR(v.Cosine(v), 1.0, 1e-12);
+}
+
+TEST(TermVectorTest, CosineOfDisjointVectorsIsZero) {
+  TermVector a = TermVector::FromFeatures({"a", "b"});
+  TermVector b = TermVector::FromFeatures({"c", "d"});
+  EXPECT_DOUBLE_EQ(a.Cosine(b), 0.0);
+}
+
+TEST(TermVectorTest, EmptyVectorYieldsZero) {
+  TermVector empty;
+  TermVector a = TermVector::FromFeatures({"a"});
+  EXPECT_DOUBLE_EQ(empty.Cosine(a), 0.0);
+  EXPECT_DOUBLE_EQ(a.Cosine(empty), 0.0);
+  EXPECT_DOUBLE_EQ(empty.Cosine(empty), 0.0);
+}
+
+TEST(TermVectorTest, KnownCosine) {
+  // {a:1, b:1} vs {a:1, c:1}: dot 1, norms sqrt(2) -> 0.5.
+  TermVector a = TermVector::FromFeatures({"a", "b"});
+  TermVector b = TermVector::FromFeatures({"a", "c"});
+  EXPECT_NEAR(a.Cosine(b), 0.5, 1e-12);
+}
+
+TEST(TermVectorTest, CountsMatter) {
+  // {a:2} vs {a:1, b:1}: dot 2, norms 2 and sqrt(2) -> 1/sqrt(2).
+  TermVector a = TermVector::FromFeatures({"a", "a"});
+  TermVector b = TermVector::FromFeatures({"a", "b"});
+  EXPECT_NEAR(a.Cosine(b), 1.0 / std::sqrt(2.0), 1e-12);
+}
+
+TEST(TermCosineTest, SymmetricAndBounded) {
+  const char* samples[] = {"Danny's Grand Sea Palace",
+                           "dannys grand sea palace", "M Bar",
+                           "Completely Different Name"};
+  for (const char* a : samples) {
+    for (const char* b : samples) {
+      double ab = TermCosine(a, b);
+      double ba = TermCosine(b, a);
+      EXPECT_NEAR(ab, ba, 1e-12);
+      EXPECT_GE(ab, 0.0);
+      EXPECT_LE(ab, 1.0 + 1e-12);
+    }
+  }
+}
+
+TEST(TermCosineTest, ApostropheVariantsStayClose) {
+  // Token sets {danny,s,grand} vs {dannys,grand} differ, so the
+  // term-level score is below 1; the trigram level closes the gap.
+  EXPECT_GT(TrigramCosine("Danny's Grand", "dannys grand"), 0.8);
+}
+
+TEST(TrigramCosineTest, TypoTolerance) {
+  double sim = TrigramCosine("Grand Sea Palace", "Grand Sea Palaec");
+  EXPECT_GT(sim, 0.7);
+  EXPECT_LT(sim, 1.0);
+}
+
+TEST(ListingSimilarityTest, TakesTheBetterLevel) {
+  double term = TermCosine("Danny's Grand", "dannys grand");
+  double gram = TrigramCosine("Danny's Grand", "dannys grand");
+  EXPECT_DOUBLE_EQ(ListingSimilarity("Danny's Grand", "dannys grand"),
+                   std::max(term, gram));
+}
+
+TEST(ListingSimilarityTest, IdenticalIsOne) {
+  EXPECT_NEAR(ListingSimilarity("M Bar 12 W 44 St", "M Bar 12 W 44 St"), 1.0,
+              1e-12);
+}
+
+}  // namespace
+}  // namespace corrob

@@ -1,0 +1,54 @@
+#include "text/tokenizer.h"
+
+#include <gtest/gtest.h>
+
+namespace corrob {
+namespace {
+
+TEST(WordTokensTest, LowercasesAndSplitsOnPunctuation) {
+  EXPECT_EQ(WordTokens("Danny's Grand Sea-Palace!"),
+            (std::vector<std::string>{"danny", "s", "grand", "sea",
+                                      "palace"}));
+}
+
+TEST(WordTokensTest, KeepsDigits) {
+  EXPECT_EQ(WordTokens("346 West 46th St"),
+            (std::vector<std::string>{"346", "west", "46th", "st"}));
+}
+
+TEST(WordTokensTest, EmptyAndPunctuationOnly) {
+  EXPECT_TRUE(WordTokens("").empty());
+  EXPECT_TRUE(WordTokens("... !!! ---").empty());
+}
+
+TEST(CharNgramsTest, PadsWithSpaces) {
+  // "ab" canonicalizes to " ab ": 3-grams " ab", "ab ".
+  EXPECT_EQ(CharNgrams("ab", 3), (std::vector<std::string>{" ab", "ab "}));
+}
+
+TEST(CharNgramsTest, CollapsesSeparators) {
+  // "a--b" and "a b" share identical gram sets.
+  EXPECT_EQ(CharNgrams("a--b", 3), CharNgrams("a b", 3));
+}
+
+TEST(CharNgramsTest, CaseInsensitive) {
+  EXPECT_EQ(CharNgrams("AbC", 3), CharNgrams("abc", 3));
+}
+
+TEST(CharNgramsTest, ShortInputYieldsEmpty) {
+  EXPECT_TRUE(CharNgrams("", 3).empty());
+  // "a" -> " a " has length 3: exactly one 3-gram.
+  EXPECT_EQ(CharNgrams("a", 3), (std::vector<std::string>{" a "}));
+}
+
+TEST(CharNgramsTest, UnigramsCoverEveryCharacter) {
+  auto grams = CharNgrams("ab", 1);
+  EXPECT_EQ(grams, (std::vector<std::string>{" ", "a", "b", " "}));
+}
+
+TEST(CharNgramsDeathTest, NonPositiveNAborts) {
+  EXPECT_DEATH({ CharNgrams("abc", 0); }, "positive");
+}
+
+}  // namespace
+}  // namespace corrob

@@ -1,0 +1,82 @@
+#include "text/union_find.h"
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace corrob {
+namespace {
+
+TEST(UnionFindTest, SingletonsInitially) {
+  UnionFind uf(5);
+  EXPECT_EQ(uf.num_sets(), 5u);
+  EXPECT_EQ(uf.num_elements(), 5u);
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(uf.Find(i), i);
+    EXPECT_EQ(uf.SetSize(i), 1u);
+  }
+  EXPECT_FALSE(uf.Connected(0, 1));
+}
+
+TEST(UnionFindTest, UnionMerges) {
+  UnionFind uf(4);
+  EXPECT_TRUE(uf.Union(0, 1));
+  EXPECT_TRUE(uf.Connected(0, 1));
+  EXPECT_EQ(uf.num_sets(), 3u);
+  EXPECT_EQ(uf.SetSize(0), 2u);
+  EXPECT_FALSE(uf.Union(1, 0));  // Already merged.
+  EXPECT_EQ(uf.num_sets(), 3u);
+}
+
+TEST(UnionFindTest, TransitiveConnectivity) {
+  UnionFind uf(5);
+  uf.Union(0, 1);
+  uf.Union(1, 2);
+  uf.Union(3, 4);
+  EXPECT_TRUE(uf.Connected(0, 2));
+  EXPECT_FALSE(uf.Connected(2, 3));
+  EXPECT_EQ(uf.SetSize(2), 3u);
+  EXPECT_EQ(uf.SetSize(3), 2u);
+  EXPECT_EQ(uf.num_sets(), 2u);
+}
+
+TEST(UnionFindTest, MatchesNaiveImplementationOnRandomOps) {
+  // Property: behaves exactly like a brute-force partition refinement.
+  Rng rng(99);
+  constexpr size_t kN = 60;
+  UnionFind uf(kN);
+  std::vector<size_t> naive(kN);  // naive[i] = set label
+  for (size_t i = 0; i < kN; ++i) naive[i] = i;
+
+  for (int op = 0; op < 300; ++op) {
+    size_t a = rng.NextBelow(kN);
+    size_t b = rng.NextBelow(kN);
+    if (rng.Bernoulli(0.5)) {
+      uf.Union(a, b);
+      size_t from = naive[b], to = naive[a];
+      for (size_t i = 0; i < kN; ++i) {
+        if (naive[i] == from) naive[i] = to;
+      }
+    } else {
+      EXPECT_EQ(uf.Connected(a, b), naive[a] == naive[b])
+          << "op " << op << " a=" << a << " b=" << b;
+    }
+  }
+  // Final partition sizes agree.
+  std::map<size_t, size_t> naive_sizes;
+  for (size_t i = 0; i < kN; ++i) ++naive_sizes[naive[i]];
+  std::set<size_t> labels;
+  for (size_t i = 0; i < kN; ++i) {
+    labels.insert(uf.Find(i));
+    EXPECT_EQ(uf.SetSize(i), naive_sizes[naive[i]]);
+  }
+  EXPECT_EQ(labels.size(), naive_sizes.size());
+  EXPECT_EQ(uf.num_sets(), naive_sizes.size());
+}
+
+}  // namespace
+}  // namespace corrob
