@@ -4,6 +4,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "common/failpoint.h"
 #include "core/bayes_estimate.h"
 #include "core/fact_group.h"
 #include "core/inc_estimate.h"
@@ -132,6 +133,33 @@ void BM_OnlineObserve(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_OnlineObserve);
+
+Status GuardedObserve(OnlineCorroborator& online,
+                      const std::vector<SourceVote>& votes) {
+  CORROB_FAILPOINT("bench.observe");
+  return online.Observe(votes).status();
+}
+
+void BM_OnlineObserveThroughDisarmedFailpoint(benchmark::State& state) {
+  // Same kernel as BM_OnlineObserve but every observation crosses a
+  // failpoint site. With nothing armed this must match the plain
+  // benchmark: the disarmed check is one relaxed atomic load.
+  const SyntheticDataset& data = SharedSynthetic(10000);
+  OnlineCorroborator online;
+  for (SourceId s = 0; s < data.dataset.num_sources(); ++s) {
+    online.AddSource(data.dataset.source_name(s));
+  }
+  FactId f = 0;
+  std::vector<SourceVote> votes;
+  for (auto _ : state) {
+    auto span = data.dataset.VotesOnFact(f);
+    votes.assign(span.begin(), span.end());
+    benchmark::DoNotOptimize(GuardedObserve(online, votes));
+    f = (f + 1) % data.dataset.num_facts();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_OnlineObserveThroughDisarmedFailpoint);
 
 void BM_GenerateRumors(benchmark::State& state) {
   for (auto _ : state) {

@@ -2,12 +2,16 @@
 
 #include <algorithm>
 #include <memory>
+#include <optional>
 
 #include "common/csv.h"
+#include "common/failpoint.h"
 #include "common/flags.h"
 #include "common/string_util.h"
 #include "common/table_printer.h"
 #include "core/inc_estimate.h"
+#include "core/online.h"
+#include "core/online_checkpoint.h"
 #include "core/registry.h"
 #include "data/dataset_io.h"
 #include "data/dataset_stats.h"
@@ -60,8 +64,28 @@ USAGE
       Run two algorithms and report where and how they disagree
       (scored against __truth__ when the column is present).
 
+  corrob stream   --input data.csv [--output results.csv]
+                  [--checkpoint state.snap [--checkpoint-every 100]
+                   [--resume]] [--trust trust.csv]
+                  [--initial-trust F] [--trust-prior-weight F]
+                  [--tie-margin F]
+      Corroborate facts one at a time in arrival (row) order with the
+      streaming algorithm, periodically snapshotting trust state to
+      --checkpoint. With --resume, restores the snapshot and continues
+      from the first unobserved fact; the finished trust state is
+      bit-identical to an uninterrupted run over the same stream.
+
   corrob help
       This text.
+
+GLOBAL FLAGS
+  --lenient
+      Skip malformed dataset rows (reported on stderr) instead of
+      failing the whole load. Strict parsing remains the default.
+  --failpoint <name>=<mode>[:opt...][,<name>=...]
+      Arm fault-injection points for testing, e.g.
+      --failpoint cli.stream.observe=fail:1:skip=500
+      modes: off | fail[:N] | prob:P   opts: code=<Status>|skip=N|seed=N
 
 DATASET CSV
   fact,<source1>,...,<sourceN>[,__truth__]   with cells T, F or '-'.
@@ -82,16 +106,24 @@ int Fail(std::ostream& err, const std::string& message) {
   return 1;
 }
 
-Result<LabeledDataset> LoadInput(const FlagParser& flags) {
+Result<LabeledDataset> LoadInput(const FlagParser& flags,
+                                 std::ostream& err) {
   std::string path = flags.GetString("input", "");
   if (path.empty()) {
     return Status::InvalidArgument("--input is required");
   }
-  return LoadDatasetCsv(path);
+  DatasetCsvOptions options;
+  options.lenient = flags.GetBool("lenient", false);
+  ParseReport report;
+  auto loaded = LoadDatasetCsv(path, options, &report);
+  if (loaded.ok() && options.lenient && !report.AllRowsLoaded()) {
+    err << "corrob: " << path << ": " << report.ToString() << "\n";
+  }
+  return loaded;
 }
 
 int CmdRun(const FlagParser& flags, std::ostream& out, std::ostream& err) {
-  auto loaded = LoadInput(flags);
+  auto loaded = LoadInput(flags, err);
   if (!loaded.ok()) return Fail(err, loaded.status());
   const Dataset& dataset = loaded.ValueOrDie().dataset;
 
@@ -131,7 +163,7 @@ int CmdRun(const FlagParser& flags, std::ostream& out, std::ostream& err) {
 }
 
 int CmdEval(const FlagParser& flags, std::ostream& out, std::ostream& err) {
-  auto loaded = LoadInput(flags);
+  auto loaded = LoadInput(flags, err);
   if (!loaded.ok()) return Fail(err, loaded.status());
   const LabeledDataset& labeled = loaded.ValueOrDie();
   GoldenSet golden;
@@ -174,7 +206,7 @@ int CmdEval(const FlagParser& flags, std::ostream& out, std::ostream& err) {
 }
 
 int CmdStats(const FlagParser& flags, std::ostream& out, std::ostream& err) {
-  auto loaded = LoadInput(flags);
+  auto loaded = LoadInput(flags, err);
   if (!loaded.ok()) return Fail(err, loaded.status());
   const Dataset& dataset = loaded.ValueOrDie().dataset;
 
@@ -296,7 +328,7 @@ int CmdDedup(const FlagParser& flags, std::ostream& out, std::ostream& err) {
 
 int CmdTrajectory(const FlagParser& flags, std::ostream& out,
                   std::ostream& err) {
-  auto loaded = LoadInput(flags);
+  auto loaded = LoadInput(flags, err);
   if (!loaded.ok()) return Fail(err, loaded.status());
   std::string output = flags.GetString("output", "");
   if (output.empty()) return Fail(err, "--output is required");
@@ -323,7 +355,7 @@ int CmdTrajectory(const FlagParser& flags, std::ostream& out,
 
 int CmdCompare(const FlagParser& flags, std::ostream& out,
                std::ostream& err) {
-  auto loaded = LoadInput(flags);
+  auto loaded = LoadInput(flags, err);
   if (!loaded.ok()) return Fail(err, loaded.status());
   const LabeledDataset& labeled = loaded.ValueOrDie();
   const Dataset& dataset = labeled.dataset;
@@ -392,6 +424,137 @@ int CmdCompare(const FlagParser& flags, std::ostream& out,
   return 0;
 }
 
+/// Observes facts [start, num_facts) in row order, checkpointing every
+/// `checkpoint_every` facts. The failpoint "cli.stream.observe" is
+/// checked before each observation so tests can kill the stream at an
+/// exact fact index.
+Status StreamFacts(const Dataset& dataset, OnlineCorroborator& online,
+                   FactId start, const std::string& checkpoint_path,
+                   int64_t checkpoint_every,
+                   std::vector<std::vector<std::string>>& decision_rows) {
+  for (FactId f = start; f < dataset.num_facts(); ++f) {
+    CORROB_FAILPOINT("cli.stream.observe");
+    auto votes = dataset.VotesOnFact(f);
+    CORROB_ASSIGN_OR_RETURN(
+        OnlineCorroborator::Verdict verdict,
+        online.Observe(std::vector<SourceVote>(votes.begin(), votes.end())));
+    decision_rows.push_back({dataset.fact_name(f),
+                             FormatDouble(verdict.probability, 6),
+                             verdict.decision ? "true" : "false"});
+    if (!checkpoint_path.empty() &&
+        online.facts_observed() % checkpoint_every == 0) {
+      CORROB_RETURN_NOT_OK(SaveOnlineSnapshot(checkpoint_path, online));
+    }
+  }
+  return Status::OK();
+}
+
+int CmdStream(const FlagParser& flags, std::ostream& out,
+              std::ostream& err) {
+  auto loaded = LoadInput(flags, err);
+  if (!loaded.ok()) return Fail(err, loaded.status());
+  const Dataset& dataset = loaded.ValueOrDie().dataset;
+
+  const std::string checkpoint = flags.GetString("checkpoint", "");
+  const int64_t checkpoint_every = flags.GetInt("checkpoint-every", 100);
+  if (checkpoint_every <= 0) {
+    return Fail(err, "--checkpoint-every must be positive");
+  }
+  const bool resume = flags.GetBool("resume", false);
+  if (resume && checkpoint.empty()) {
+    return Fail(err, "--resume requires --checkpoint");
+  }
+
+  OnlineCorroboratorOptions options;
+  options.initial_trust =
+      flags.GetDouble("initial-trust", options.initial_trust);
+  options.trust_prior_weight =
+      flags.GetDouble("trust-prior-weight", options.trust_prior_weight);
+  options.tie_margin = flags.GetDouble("tie-margin", options.tie_margin);
+
+  OnlineCorroborator online(options);
+  FactId start = 0;
+  if (resume) {
+    auto restored = LoadOnlineSnapshot(checkpoint);
+    if (!restored.ok()) return Fail(err, restored.status());
+    online = std::move(restored).ValueOrDie();
+    if (online.num_sources() != dataset.num_sources()) {
+      return Fail(err, "checkpoint has " +
+                           std::to_string(online.num_sources()) +
+                           " sources but the dataset has " +
+                           std::to_string(dataset.num_sources()));
+    }
+    for (SourceId s = 0; s < dataset.num_sources(); ++s) {
+      if (online.source_name(s) != dataset.source_name(s)) {
+        return Fail(err, "checkpoint source " + std::to_string(s) +
+                             " is '" + online.source_name(s) +
+                             "' but the dataset has '" +
+                             dataset.source_name(s) + "'");
+      }
+    }
+    if (online.facts_observed() > dataset.num_facts()) {
+      return Fail(err, "checkpoint has observed " +
+                           std::to_string(online.facts_observed()) +
+                           " facts but the dataset only has " +
+                           std::to_string(dataset.num_facts()));
+    }
+    start = static_cast<FactId>(online.facts_observed());
+    out << "resumed from " << checkpoint << " at fact " << start << "\n";
+  } else {
+    for (SourceId s = 0; s < dataset.num_sources(); ++s) {
+      online.AddSource(dataset.source_name(s));
+    }
+  }
+
+  std::vector<std::vector<std::string>> decision_rows;
+  decision_rows.push_back({"fact", "probability", "decision"});
+  Status streamed = StreamFacts(dataset, online, start, checkpoint,
+                                checkpoint_every, decision_rows);
+  if (!streamed.ok()) {
+    // Best-effort final snapshot so an injected or real fault loses at
+    // most the decisions CSV, never the trust state.
+    if (!checkpoint.empty()) {
+      Status saved = SaveOnlineSnapshot(checkpoint, online);
+      if (saved.ok()) {
+        err << "corrob: stream interrupted; checkpoint saved at fact "
+            << online.facts_observed() << "\n";
+      }
+    }
+    return Fail(err, streamed);
+  }
+  if (!checkpoint.empty()) {
+    Status saved = SaveOnlineSnapshot(checkpoint, online);
+    if (!saved.ok()) return Fail(err, saved);
+  }
+
+  std::string output = flags.GetString("output", "");
+  std::string decisions = WriteCsv(decision_rows);
+  if (output.empty()) {
+    out << decisions;
+  } else {
+    Status status = WriteStringToFile(output, decisions);
+    if (!status.ok()) return Fail(err, status);
+    out << "wrote " << decision_rows.size() - 1 << " decisions to "
+        << output << "\n";
+  }
+
+  std::string trust_path = flags.GetString("trust", "");
+  if (!trust_path.empty()) {
+    std::vector<std::vector<std::string>> trust_rows;
+    trust_rows.push_back({"source", "trust"});
+    for (SourceId s = 0; s < online.num_sources(); ++s) {
+      trust_rows.push_back(
+          {online.source_name(s), FormatDouble(online.trust(s), 6)});
+    }
+    Status status = WriteCsvFile(trust_path, trust_rows);
+    if (!status.ok()) return Fail(err, status);
+    out << "wrote source trust to " << trust_path << "\n";
+  }
+  out << "observed " << online.facts_observed() << " facts ("
+      << dataset.num_facts() - start << " this run)\n";
+  return 0;
+}
+
 }  // namespace
 
 int RunCli(const std::vector<std::string>& args, std::ostream& out,
@@ -410,6 +573,17 @@ int RunCli(const std::vector<std::string>& args, std::ostream& out,
   if (!flags.ok()) return Fail(err, flags.status());
   const FlagParser& parsed = flags.ValueOrDie();
 
+  // Fault injection armed via --failpoint lives for this invocation
+  // only; the disarmer keeps faults from leaking across RunCli calls
+  // in one process (tests, embedding).
+  std::optional<ScopedFailpointDisarmer> disarmer;
+  if (parsed.Has("failpoint")) {
+    disarmer.emplace();
+    Status armed =
+        Failpoints::ArmFromSpecList(parsed.GetString("failpoint", ""));
+    if (!armed.ok()) return Fail(err, armed);
+  }
+
   if (command == "run") return CmdRun(parsed, out, err);
   if (command == "eval") return CmdEval(parsed, out, err);
   if (command == "stats") return CmdStats(parsed, out, err);
@@ -417,6 +591,7 @@ int RunCli(const std::vector<std::string>& args, std::ostream& out,
   if (command == "dedup") return CmdDedup(parsed, out, err);
   if (command == "trajectory") return CmdTrajectory(parsed, out, err);
   if (command == "compare") return CmdCompare(parsed, out, err);
+  if (command == "stream") return CmdStream(parsed, out, err);
   return Fail(err, "unknown command '" + command +
                        "' (try `corrob help`)");
 }

@@ -1,0 +1,44 @@
+#include "common/crc32.h"
+
+#include <array>
+
+namespace corrob {
+
+namespace {
+
+/// The byte-at-a-time lookup table for the reflected polynomial.
+std::array<uint32_t, 256> BuildTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t value = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      value = (value >> 1) ^ ((value & 1u) ? 0xEDB88320u : 0u);
+    }
+    table[i] = value;
+  }
+  return table;
+}
+
+const std::array<uint32_t, 256>& Table() {
+  static const std::array<uint32_t, 256> table = BuildTable();
+  return table;
+}
+
+}  // namespace
+
+void Crc32::Update(std::string_view bytes) {
+  const auto& table = Table();
+  uint32_t state = state_;
+  for (char c : bytes) {
+    state = (state >> 8) ^ table[(state ^ static_cast<uint8_t>(c)) & 0xFFu];
+  }
+  state_ = state;
+}
+
+uint32_t ComputeCrc32(std::string_view bytes) {
+  Crc32 crc;
+  crc.Update(bytes);
+  return crc.Digest();
+}
+
+}  // namespace corrob

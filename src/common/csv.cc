@@ -1,11 +1,26 @@
 #include "common/csv.h"
 
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <sstream>
+
+#include "common/failpoint.h"
 
 namespace corrob {
 
 Result<CsvDocument> ParseCsv(std::string_view text, char delimiter) {
+  // Strip a UTF-8 BOM; spreadsheet exports prepend one and it would
+  // otherwise become part of the first header cell.
+  constexpr std::string_view kUtf8Bom = "\xEF\xBB\xBF";
+  if (text.substr(0, kUtf8Bom.size()) == kUtf8Bom) {
+    text.remove_prefix(kUtf8Bom.size());
+  }
   CsvDocument doc;
   std::vector<std::string> row;
   std::string field;
@@ -117,8 +132,18 @@ Status WriteCsvFile(const std::string& path,
 }
 
 Result<std::string> ReadFileToString(const std::string& path) {
+  CORROB_FAILPOINT("io.read_file.open");
   std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::IoError("cannot open for reading: " + path);
+  if (!in) {
+    // A file that does not exist is a caller-visible condition distinct
+    // from a disk that cannot be read (only the latter is transient).
+    struct stat info;
+    if (::stat(path.c_str(), &info) != 0 && errno == ENOENT) {
+      return Status::NotFound("no such file: " + path);
+    }
+    return Status::IoError("cannot open for reading: " + path);
+  }
+  CORROB_FAILPOINT("io.read_file.read");
   std::ostringstream buffer;
   buffer << in.rdbuf();
   if (in.bad()) return Status::IoError("read failed: " + path);
@@ -126,11 +151,64 @@ Result<std::string> ReadFileToString(const std::string& path) {
 }
 
 Status WriteStringToFile(const std::string& path, std::string_view contents) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) return Status::IoError("cannot open for writing: " + path);
-  out.write(contents.data(), static_cast<std::streamsize>(contents.size()));
-  if (!out) return Status::IoError("write failed: " + path);
-  return Status::OK();
+  return WriteFileAtomic(path, contents);
+}
+
+namespace {
+
+/// Writes + fsyncs the temp file; the caller owns cleanup on failure.
+Status WriteTempFile(const std::string& tmp_path,
+                     std::string_view contents) {
+  CORROB_FAILPOINT("io.atomic_write.open");
+  int fd = ::open(tmp_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::IoError("cannot open for writing: " + tmp_path + ": " +
+                           std::strerror(errno));
+  }
+  Status status = [&]() -> Status {
+    CORROB_FAILPOINT("io.atomic_write.write");
+    size_t written = 0;
+    while (written < contents.size()) {
+      ssize_t n = ::write(fd, contents.data() + written,
+                          contents.size() - written);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return Status::IoError("write failed: " + tmp_path + ": " +
+                               std::strerror(errno));
+      }
+      written += static_cast<size_t>(n);
+    }
+    CORROB_FAILPOINT("io.atomic_write.fsync");
+    if (::fsync(fd) != 0) {
+      return Status::IoError("fsync failed: " + tmp_path + ": " +
+                             std::strerror(errno));
+    }
+    return Status::OK();
+  }();
+  if (::close(fd) != 0 && status.ok()) {
+    status = Status::IoError("close failed: " + tmp_path + ": " +
+                             std::strerror(errno));
+  }
+  return status;
+}
+
+}  // namespace
+
+Status WriteFileAtomic(const std::string& path, std::string_view contents) {
+  const std::string tmp_path = path + ".tmp";
+  Status status = WriteTempFile(tmp_path, contents);
+  if (status.ok()) {
+    status = [&]() -> Status {
+      CORROB_FAILPOINT("io.atomic_write.rename");
+      if (::rename(tmp_path.c_str(), path.c_str()) != 0) {
+        return Status::IoError("rename failed: " + tmp_path + " -> " + path +
+                               ": " + std::strerror(errno));
+      }
+      return Status::OK();
+    }();
+  }
+  if (!status.ok()) ::unlink(tmp_path.c_str());
+  return status;
 }
 
 }  // namespace corrob

@@ -19,7 +19,8 @@ struct CsvDocument {
 /// optionally quoted with '"' (doubled quote escapes a quote, quoted
 /// fields may contain delimiters and newlines). Both \n and \r\n row
 /// terminators are accepted; a trailing newline does not produce an
-/// empty row.
+/// empty row. A leading UTF-8 byte-order mark is stripped so that
+/// BOM-prefixed exports do not corrupt the first header cell.
 Result<CsvDocument> ParseCsv(std::string_view text, char delimiter = ',');
 
 /// Serializes rows into CSV text, quoting fields that contain the
@@ -36,11 +37,22 @@ Status WriteCsvFile(const std::string& path,
                     const std::vector<std::vector<std::string>>& rows,
                     char delimiter = ',');
 
-/// Reads a whole file into a string.
+/// Reads a whole file into a string. A missing file is NotFound; any
+/// other open/read failure is IoError. Messages include `path`.
 Result<std::string> ReadFileToString(const std::string& path);
 
 /// Writes `contents` to `path`, replacing any existing file.
+/// Equivalent to WriteFileAtomic — callers never observe a partially
+/// written file at `path`.
 Status WriteStringToFile(const std::string& path, std::string_view contents);
+
+/// Durably replaces `path` with `contents`: writes `path`.tmp, fsyncs
+/// it, then renames it over `path`. On any failure the temp file is
+/// removed and a pre-existing file at `path` is left untouched — a
+/// crash or injected fault can never leave a truncated file at the
+/// target path. Fault-injection sites: "io.atomic_write.open",
+/// ".write", ".fsync", ".rename".
+Status WriteFileAtomic(const std::string& path, std::string_view contents);
 
 }  // namespace corrob
 

@@ -1,0 +1,242 @@
+#include "common/failpoint.h"
+
+#include <algorithm>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+
+#include "common/random.h"
+#include "common/string_util.h"
+
+namespace corrob {
+
+namespace {
+
+/// One armed failpoint: its configuration plus mutable hit state.
+struct ArmedFailpoint {
+  FailpointConfig config;
+  Rng rng;
+  int64_t hits = 0;
+  int64_t failures = 0;
+
+  explicit ArmedFailpoint(FailpointConfig c)
+      : config(std::move(c)), rng(config.seed) {}
+};
+
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, ArmedFailpoint> armed;
+};
+
+Registry& GetRegistry() {
+  static auto* registry = new Registry();
+  return *registry;
+}
+
+Result<StatusCode> StatusCodeFromName(std::string_view name) {
+  static constexpr StatusCode kCodes[] = {
+      StatusCode::kInvalidArgument, StatusCode::kOutOfRange,
+      StatusCode::kNotFound,        StatusCode::kAlreadyExists,
+      StatusCode::kFailedPrecondition, StatusCode::kIoError,
+      StatusCode::kParseError,      StatusCode::kNotConverged,
+      StatusCode::kInternal,
+  };
+  for (StatusCode code : kCodes) {
+    if (name == StatusCodeName(code)) return code;
+  }
+  return Status::InvalidArgument("unknown status code '" + std::string(name) +
+                                 "' in failpoint spec");
+}
+
+Result<int64_t> ParseInt64(std::string_view text, std::string_view what) {
+  int64_t value = 0;
+  bool any = false;
+  for (char c : text) {
+    if (c < '0' || c > '9') {
+      return Status::InvalidArgument("bad " + std::string(what) + " '" +
+                                     std::string(text) +
+                                     "' in failpoint spec");
+    }
+    value = value * 10 + (c - '0');
+    any = true;
+  }
+  if (!any) {
+    return Status::InvalidArgument("empty " + std::string(what) +
+                                   " in failpoint spec");
+  }
+  return value;
+}
+
+}  // namespace
+
+std::atomic<int64_t> Failpoints::armed_count_{0};
+
+void Failpoints::Arm(const std::string& name, FailpointConfig config) {
+  if (config.message.empty()) {
+    config.message = "injected failure at '" + name + "'";
+  }
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  auto it = registry.armed.find(name);
+  if (it == registry.armed.end()) {
+    registry.armed.emplace(name, ArmedFailpoint(std::move(config)));
+    armed_count_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    it->second = ArmedFailpoint(std::move(config));
+  }
+}
+
+Status Failpoints::ArmFromSpec(std::string_view spec) {
+  size_t eq = spec.find('=');
+  if (eq == std::string_view::npos || eq == 0) {
+    return Status::InvalidArgument("failpoint spec must be <name>=<mode>: '" +
+                                   std::string(spec) + "'");
+  }
+  std::string name(Trim(spec.substr(0, eq)));
+  std::vector<std::string> parts = Split(spec.substr(eq + 1), ':');
+  if (parts.empty() || parts[0].empty()) {
+    return Status::InvalidArgument("failpoint spec has no mode: '" +
+                                   std::string(spec) + "'");
+  }
+
+  FailpointConfig config;
+  size_t next_part = 1;
+  const std::string& mode = parts[0];
+  if (mode == "off") {
+    if (parts.size() > 1) {
+      return Status::InvalidArgument("'off' takes no options: '" +
+                                     std::string(spec) + "'");
+    }
+    Disarm(name);
+    return Status::OK();
+  }
+  if (mode == "fail") {
+    // Optional count directly after the mode: fail:<N>.
+    if (parts.size() > 1 && parts[1].find('=') == std::string::npos) {
+      CORROB_ASSIGN_OR_RETURN(config.max_failures,
+                              ParseInt64(parts[1], "failure count"));
+      next_part = 2;
+    }
+  } else if (mode == "prob") {
+    if (parts.size() < 2) {
+      return Status::InvalidArgument("prob mode needs a probability: '" +
+                                     std::string(spec) + "'");
+    }
+    try {
+      size_t consumed = 0;
+      config.probability = std::stod(parts[1], &consumed);
+      if (consumed != parts[1].size()) throw std::invalid_argument(parts[1]);
+    } catch (const std::exception&) {
+      return Status::InvalidArgument("bad probability '" + parts[1] +
+                                     "' in failpoint spec");
+    }
+    // Negated form also rejects NaN.
+    if (!(config.probability >= 0.0 && config.probability <= 1.0)) {
+      return Status::InvalidArgument("probability must be in [0,1]: '" +
+                                     parts[1] + "'");
+    }
+    next_part = 2;
+  } else {
+    return Status::InvalidArgument("unknown failpoint mode '" + mode +
+                                   "' (expected off|fail|prob)");
+  }
+
+  for (size_t i = next_part; i < parts.size(); ++i) {
+    size_t opt_eq = parts[i].find('=');
+    if (opt_eq == std::string::npos) {
+      return Status::InvalidArgument("bad failpoint option '" + parts[i] +
+                                     "' (expected key=value)");
+    }
+    std::string key = parts[i].substr(0, opt_eq);
+    std::string value = parts[i].substr(opt_eq + 1);
+    if (key == "code") {
+      CORROB_ASSIGN_OR_RETURN(config.code, StatusCodeFromName(value));
+    } else if (key == "skip") {
+      CORROB_ASSIGN_OR_RETURN(config.skip, ParseInt64(value, "skip count"));
+    } else if (key == "seed") {
+      CORROB_ASSIGN_OR_RETURN(int64_t seed, ParseInt64(value, "seed"));
+      config.seed = static_cast<uint64_t>(seed);
+    } else {
+      return Status::InvalidArgument("unknown failpoint option '" + key +
+                                     "' (expected code|skip|seed)");
+    }
+  }
+  Arm(name, std::move(config));
+  return Status::OK();
+}
+
+Status Failpoints::ArmFromSpecList(std::string_view specs) {
+  for (const std::string& spec : Split(specs, ',')) {
+    std::string_view trimmed = Trim(spec);
+    if (trimmed.empty()) continue;
+    CORROB_RETURN_NOT_OK(ArmFromSpec(trimmed));
+  }
+  return Status::OK();
+}
+
+void Failpoints::Disarm(const std::string& name) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  if (registry.armed.erase(name) > 0) {
+    armed_count_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void Failpoints::DisarmAll() {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  armed_count_.fetch_sub(static_cast<int64_t>(registry.armed.size()),
+                         std::memory_order_relaxed);
+  registry.armed.clear();
+}
+
+bool Failpoints::IsArmed(const std::string& name) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  return registry.armed.count(name) > 0;
+}
+
+int64_t Failpoints::HitCount(const std::string& name) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  auto it = registry.armed.find(name);
+  return it == registry.armed.end() ? 0 : it->second.hits;
+}
+
+int64_t Failpoints::FailureCount(const std::string& name) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  auto it = registry.armed.find(name);
+  return it == registry.armed.end() ? 0 : it->second.failures;
+}
+
+std::vector<std::string> Failpoints::ArmedNames() {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  std::vector<std::string> names;
+  names.reserve(registry.armed.size());
+  for (const auto& [name, unused] : registry.armed) names.push_back(name);
+  return names;
+}
+
+Status Failpoints::Check(const char* name) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  auto it = registry.armed.find(name);
+  if (it == registry.armed.end()) return Status::OK();
+  ArmedFailpoint& fp = it->second;
+  int64_t hit = fp.hits++;
+  if (hit < fp.config.skip) return Status::OK();
+  if (fp.config.max_failures >= 0 &&
+      fp.failures >= fp.config.max_failures) {
+    return Status::OK();
+  }
+  if (fp.config.probability < 1.0 &&
+      !fp.rng.Bernoulli(fp.config.probability)) {
+    return Status::OK();
+  }
+  ++fp.failures;
+  return Status(fp.config.code, fp.config.message);
+}
+
+}  // namespace corrob

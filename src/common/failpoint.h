@@ -1,0 +1,123 @@
+#ifndef CORROB_COMMON_FAILPOINT_H_
+#define CORROB_COMMON_FAILPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace corrob {
+
+/// How an armed failpoint decides whether a hit fails.
+///
+/// A hit first consumes `skip` passes, then fails up to `max_failures`
+/// times (-1 = unlimited); when `probability` < 1 each eligible hit
+/// fails with that probability drawn from a deterministic, seeded
+/// stream so fault schedules are reproducible bit-for-bit.
+struct FailpointConfig {
+  StatusCode code = StatusCode::kIoError;
+  /// Message of the injected Status; defaults to
+  /// "injected failure at '<name>'".
+  std::string message;
+  /// Number of initial hits that pass before failures start.
+  int64_t skip = 0;
+  /// Number of failures to inject after `skip`; -1 means unlimited.
+  int64_t max_failures = -1;
+  /// Probability that an eligible hit fails (deterministic PRNG).
+  double probability = 1.0;
+  /// Seed of the per-failpoint probability stream.
+  uint64_t seed = 0x9E3779B97F4A7C15ULL;
+};
+
+/// Process-wide registry of named fault-injection points.
+///
+/// Production code marks an injectable failure site with
+/// `CORROB_FAILPOINT("module.operation")`; tests and the CLI arm sites
+/// by name to simulate crashes, flaky disks, or probabilistic faults.
+/// When nothing is armed the macro is a single relaxed atomic load and
+/// a predictable branch — effectively free on hot paths — and the
+/// whole facility compiles to nothing under CORROB_DISABLE_FAILPOINTS.
+///
+/// All members are thread-safe.
+class Failpoints {
+ public:
+  /// Arms (or re-arms) `name` with `config`, resetting its counters.
+  static void Arm(const std::string& name, FailpointConfig config = {});
+
+  /// Arms one failpoint from a spec string:
+  ///   <name>=<mode>[:<option>...]
+  /// modes:    off | fail | fail:<N> | prob:<P>
+  /// options:  code=<StatusCodeName> | skip=<N> | seed=<N>
+  /// e.g. "dataset_io.save=fail:2:code=IoError:skip=1".
+  static Status ArmFromSpec(std::string_view spec);
+
+  /// Arms a comma-separated list of specs; stops at the first bad one.
+  static Status ArmFromSpecList(std::string_view specs);
+
+  /// Disarms `name`; hits become free again. No-op when not armed.
+  static void Disarm(const std::string& name);
+
+  /// Disarms every failpoint (test teardown).
+  static void DisarmAll();
+
+  static bool IsArmed(const std::string& name);
+
+  /// Hits observed while armed (both passed and failed).
+  static int64_t HitCount(const std::string& name);
+
+  /// Failures injected so far.
+  static int64_t FailureCount(const std::string& name);
+
+  /// Names of currently armed failpoints, sorted.
+  static std::vector<std::string> ArmedNames();
+
+  /// True when at least one failpoint is armed (lock-free fast path).
+  static bool AnyArmed() {
+    return armed_count_.load(std::memory_order_relaxed) > 0;
+  }
+
+  /// Evaluates a hit on `name`: OK when disarmed or passing, the
+  /// configured error Status when the hit fails. Called via the
+  /// CORROB_FAILPOINT macro; callable directly from test helpers.
+  static Status Check(const char* name);
+
+ private:
+  static std::atomic<int64_t> armed_count_;
+};
+
+#ifdef CORROB_DISABLE_FAILPOINTS
+#define CORROB_FAILPOINT(name) \
+  do {                         \
+  } while (false)
+#else
+/// Marks a fault-injection site inside a function returning Status or
+/// Result<T>: returns the injected error when `name` is armed and the
+/// hit fails, otherwise falls through.
+#define CORROB_FAILPOINT(name)                                          \
+  do {                                                                  \
+    if (::corrob::Failpoints::AnyArmed()) {                             \
+      ::corrob::Status _corrob_failpoint_status =                       \
+          ::corrob::Failpoints::Check(name);                            \
+      if (!_corrob_failpoint_status.ok())                               \
+        return _corrob_failpoint_status;                                \
+    }                                                                   \
+  } while (false)
+#endif
+
+/// RAII helper for tests: disarms every failpoint on destruction so a
+/// failing test cannot leak armed faults into later tests.
+class ScopedFailpointDisarmer {
+ public:
+  ScopedFailpointDisarmer() = default;
+  ~ScopedFailpointDisarmer() { Failpoints::DisarmAll(); }
+  ScopedFailpointDisarmer(const ScopedFailpointDisarmer&) = delete;
+  ScopedFailpointDisarmer& operator=(const ScopedFailpointDisarmer&) = delete;
+};
+
+}  // namespace corrob
+
+#endif  // CORROB_COMMON_FAILPOINT_H_

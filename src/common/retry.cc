@@ -1,0 +1,74 @@
+#include "common/retry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "common/random.h"
+
+namespace corrob {
+
+Status ValidateRetryPolicy(const RetryPolicy& policy) {
+  if (policy.max_attempts < 1) {
+    return Status::InvalidArgument("retry max_attempts must be >= 1, got " +
+                                   std::to_string(policy.max_attempts));
+  }
+  if (policy.initial_backoff_ms < 0.0) {
+    return Status::InvalidArgument("retry initial_backoff_ms must be >= 0");
+  }
+  if (policy.backoff_multiplier < 1.0) {
+    return Status::InvalidArgument("retry backoff_multiplier must be >= 1");
+  }
+  if (policy.max_backoff_ms < policy.initial_backoff_ms) {
+    return Status::InvalidArgument(
+        "retry max_backoff_ms must be >= initial_backoff_ms");
+  }
+  if (policy.jitter < 0.0 || policy.jitter > 1.0) {
+    return Status::InvalidArgument("retry jitter must be in [0, 1]");
+  }
+  return Status::OK();
+}
+
+RetryPolicy DefaultIoRetryPolicy() {
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.initial_backoff_ms = 1.0;
+  policy.backoff_multiplier = 4.0;
+  policy.max_backoff_ms = 16.0;
+  policy.jitter = 0.25;
+  return policy;
+}
+
+bool IsTransientCode(StatusCode code) {
+  return code == StatusCode::kIoError;
+}
+
+namespace retry_internal {
+
+BackoffSchedule::BackoffSchedule(const RetryPolicy& policy)
+    : next_backoff_ms_(policy.initial_backoff_ms),
+      multiplier_(policy.backoff_multiplier),
+      max_backoff_ms_(policy.max_backoff_ms),
+      jitter_(policy.jitter),
+      rng_state_(policy.seed) {}
+
+double BackoffSchedule::NextDelayMs() {
+  double base = std::min(next_backoff_ms_, max_backoff_ms_);
+  next_backoff_ms_ = std::min(next_backoff_ms_ * multiplier_,
+                              max_backoff_ms_);
+  if (jitter_ <= 0.0) return base;
+  // Uniform factor in [1 - jitter, 1 + jitter] from the seeded stream.
+  double unit = static_cast<double>(SplitMix64(&rng_state_) >> 11) *
+                0x1.0p-53;
+  return base * (1.0 - jitter_ + 2.0 * jitter_ * unit);
+}
+
+void SleepForMs(double milliseconds) {
+  if (milliseconds <= 0.0) return;
+  std::this_thread::sleep_for(
+      std::chrono::duration<double, std::milli>(milliseconds));
+}
+
+}  // namespace retry_internal
+
+}  // namespace corrob

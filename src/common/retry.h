@@ -1,0 +1,111 @@
+#ifndef CORROB_COMMON_RETRY_H_
+#define CORROB_COMMON_RETRY_H_
+
+#include <cstdint>
+#include <type_traits>
+#include <utility>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace corrob {
+
+/// Bounded exponential backoff with deterministic, seeded jitter.
+///
+/// Attempt k (1-based) sleeps for
+///   min(initial_backoff_ms * multiplier^(k-1), max_backoff_ms)
+/// scaled by a jitter factor drawn uniformly from
+/// [1 - jitter, 1 + jitter] out of a seeded PRNG stream, so retry
+/// schedules are reproducible bit-for-bit in tests.
+struct RetryPolicy {
+  /// Total attempts including the first (>= 1).
+  int32_t max_attempts = 3;
+  double initial_backoff_ms = 1.0;
+  double backoff_multiplier = 2.0;
+  double max_backoff_ms = 50.0;
+  /// Fractional jitter in [0, 1]; 0 disables jitter.
+  double jitter = 0.25;
+  /// Seed of the jitter stream.
+  uint64_t seed = 0x9E3779B97F4A7C15ULL;
+  /// When false the computed delays are recorded but not slept —
+  /// tests exercise the schedule without wall-clock cost.
+  bool enable_sleep = true;
+};
+
+/// Validates a policy; InvalidArgument describes the first bad field.
+Status ValidateRetryPolicy(const RetryPolicy& policy);
+
+/// The conservative policy used by the library's durable writers.
+RetryPolicy DefaultIoRetryPolicy();
+
+/// True for codes worth retrying: the failure may heal on its own
+/// (flaky disk, transient contention). Everything else — parse
+/// errors, bad arguments, missing files — is deterministic and
+/// retrying would only repeat the same failure.
+bool IsTransientCode(StatusCode code);
+
+/// Observability of one Retry() call.
+struct RetryStats {
+  int32_t attempts = 0;
+  double total_backoff_ms = 0.0;
+};
+
+namespace retry_internal {
+
+inline const Status& StatusOf(const Status& status) { return status; }
+template <typename T>
+const Status& StatusOf(const Result<T>& result) {
+  return result.status();
+}
+
+/// Yields the per-attempt delays of a policy. Exposed for tests.
+class BackoffSchedule {
+ public:
+  explicit BackoffSchedule(const RetryPolicy& policy);
+  /// Delay before retry number `retry_index` (0-based), in ms.
+  double NextDelayMs();
+
+ private:
+  double next_backoff_ms_;
+  double multiplier_;
+  double max_backoff_ms_;
+  double jitter_;
+  uint64_t rng_state_;
+};
+
+void SleepForMs(double milliseconds);
+
+}  // namespace retry_internal
+
+/// Runs `fn` (returning Status or Result<T>) up to
+/// `policy.max_attempts` times, backing off between attempts, and
+/// returns the first success or the last failure. Only transient
+/// codes (IsTransientCode) are retried; a deterministic failure is
+/// returned immediately. An invalid policy fails without calling `fn`.
+template <typename Fn>
+auto Retry(const RetryPolicy& policy, Fn&& fn, RetryStats* stats = nullptr)
+    -> std::decay_t<decltype(fn())> {
+  if (Status valid = ValidateRetryPolicy(policy); !valid.ok()) {
+    if (stats != nullptr) *stats = RetryStats{};
+    return valid;
+  }
+  retry_internal::BackoffSchedule schedule(policy);
+  RetryStats local;
+  for (int32_t attempt = 1;; ++attempt) {
+    auto outcome = fn();
+    local.attempts = attempt;
+    const Status& status = retry_internal::StatusOf(outcome);
+    if (status.ok() || !IsTransientCode(status.code()) ||
+        attempt >= policy.max_attempts) {
+      if (stats != nullptr) *stats = local;
+      return outcome;
+    }
+    double delay_ms = schedule.NextDelayMs();
+    local.total_backoff_ms += delay_ms;
+    if (policy.enable_sleep) retry_internal::SleepForMs(delay_ms);
+  }
+}
+
+}  // namespace corrob
+
+#endif  // CORROB_COMMON_RETRY_H_

@@ -80,6 +80,51 @@ double OnlineCorroborator::trust(SourceId s) const {
          (total_[index] + w);
 }
 
+OnlineCorroboratorState OnlineCorroborator::ExportState() const {
+  OnlineCorroboratorState state;
+  state.options = options_;
+  state.source_names = source_names_;
+  state.correct = correct_;
+  state.total = total_;
+  state.facts_observed = facts_observed_;
+  return state;
+}
+
+Result<OnlineCorroborator> OnlineCorroborator::FromState(
+    OnlineCorroboratorState state) {
+  const size_t n = state.source_names.size();
+  if (state.correct.size() != n || state.total.size() != n) {
+    return Status::InvalidArgument(
+        "state has " + std::to_string(n) + " source names but " +
+        std::to_string(state.correct.size()) + "/" +
+        std::to_string(state.total.size()) + " correct/total counters");
+  }
+  if (state.facts_observed < 0) {
+    return Status::InvalidArgument("state has negative facts_observed");
+  }
+  for (size_t s = 0; s < n; ++s) {
+    if (!(state.correct[s] >= 0.0) || !(state.total[s] >= 0.0) ||
+        state.correct[s] > state.total[s]) {
+      return Status::InvalidArgument(
+          "inconsistent counters for source '" + state.source_names[s] +
+          "': correct=" + std::to_string(state.correct[s]) +
+          " total=" + std::to_string(state.total[s]));
+    }
+  }
+  OnlineCorroborator online(state.options);
+  for (size_t s = 0; s < n; ++s) {
+    if (online.source_index_.count(state.source_names[s]) > 0) {
+      return Status::InvalidArgument("duplicate source name '" +
+                                     state.source_names[s] + "' in state");
+    }
+    online.AddSource(state.source_names[s]);
+  }
+  online.correct_ = std::move(state.correct);
+  online.total_ = std::move(state.total);
+  online.facts_observed_ = state.facts_observed;
+  return online;
+}
+
 std::vector<double> OnlineCorroborator::trust_snapshot() const {
   std::vector<double> snapshot(static_cast<size_t>(num_sources()));
   for (SourceId s = 0; s < num_sources(); ++s) {

@@ -41,6 +41,17 @@ struct OnlineCorroboratorOptions {
 /// *chooses* the evaluation order; Observe() takes the order as
 /// given.
 ///
+/// The complete mutable state of an OnlineCorroborator, exported for
+/// checkpointing (see core/online_checkpoint.h). Restoring this state
+/// into a fresh instance reproduces the trust trajectory bit for bit.
+struct OnlineCorroboratorState {
+  OnlineCorroboratorOptions options;
+  std::vector<std::string> source_names;
+  std::vector<double> correct;
+  std::vector<double> total;
+  int64_t facts_observed = 0;
+};
+
 /// Not thread-safe; wrap with external synchronization if shared.
 class OnlineCorroborator {
  public:
@@ -82,6 +93,18 @@ class OnlineCorroborator {
   }
 
   int64_t facts_observed() const { return facts_observed_; }
+
+  const OnlineCorroboratorOptions& options() const { return options_; }
+
+  /// Copies out the full mutable state (exact correct/total counters,
+  /// not the derived trust) for checkpointing.
+  OnlineCorroboratorState ExportState() const;
+
+  /// Rebuilds a corroborator from exported state. Rejects
+  /// inconsistent state (mismatched vector sizes, duplicate source
+  /// names, correct > total or negative counters) with
+  /// InvalidArgument.
+  static Result<OnlineCorroborator> FromState(OnlineCorroboratorState state);
 
  private:
   OnlineCorroboratorOptions options_;

@@ -1,0 +1,52 @@
+#ifndef CORROB_CORE_ONLINE_CHECKPOINT_H_
+#define CORROB_CORE_ONLINE_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "common/retry.h"
+#include "core/online.h"
+
+namespace corrob {
+
+/// Version of the snapshot wire format produced by this build.
+inline constexpr uint32_t kOnlineSnapshotVersion = 1;
+
+/// Serializes the full state of `online` into the snapshot format:
+///
+///   magic "CORROBSN" | version u32 | payload_size u64
+///   | payload | crc32(payload) u32            (all little-endian)
+///
+/// The payload stores the options, facts_observed, and the exact
+/// correct/total counters per source as raw IEEE-754 bits, so a
+/// restored corroborator continues the trust trajectory bit-identical
+/// to one that never stopped.
+std::string SerializeOnlineSnapshot(const OnlineCorroborator& online);
+
+/// Decodes a snapshot. Distinct failures get distinct codes:
+///  - ParseError: not a snapshot, truncated, trailing garbage, or
+///    checksum mismatch (i.e. corruption);
+///  - FailedPrecondition: a well-formed snapshot of an unsupported
+///    version;
+///  - InvalidArgument: a checksummed payload with inconsistent state
+///    (via OnlineCorroborator::FromState).
+Result<OnlineCorroborator> ParseOnlineSnapshot(std::string_view bytes);
+
+/// Atomically writes the snapshot of `online` to `path` (temp file +
+/// fsync + rename), retrying transient I/O failures under `policy`.
+/// A crash mid-save leaves any previous snapshot at `path` intact.
+/// Fault-injection site: "online_checkpoint.save".
+Status SaveOnlineSnapshot(const std::string& path,
+                          const OnlineCorroborator& online,
+                          const RetryPolicy& policy = DefaultIoRetryPolicy());
+
+/// Reads and decodes the snapshot at `path`. A missing file is
+/// NotFound; decode failures are as in ParseOnlineSnapshot.
+/// Fault-injection site: "online_checkpoint.load".
+Result<OnlineCorroborator> LoadOnlineSnapshot(const std::string& path);
+
+}  // namespace corrob
+
+#endif  // CORROB_CORE_ONLINE_CHECKPOINT_H_

@@ -1,6 +1,7 @@
 #include "data/dataset_io.h"
 
 #include "common/csv.h"
+#include "common/retry.h"
 #include "common/string_util.h"
 
 namespace corrob {
@@ -9,9 +10,76 @@ namespace {
 
 constexpr char kTruthColumn[] = "__truth__";
 
+/// A fully validated data row, ready to commit into the builder. Rows
+/// are validated in their entirety before any mutation so that a
+/// lenient skip leaves no partial votes or misaligned truth labels.
+struct ParsedRow {
+  enum class Truth { kAbsent, kTrue, kFalse, kUnknown };
+  const std::string* fact = nullptr;
+  std::vector<std::pair<SourceId, Vote>> votes;
+  Truth truth = Truth::kAbsent;
+};
+
+Result<ParsedRow> ValidateRow(const std::vector<std::string>& row, size_t r,
+                              size_t header_size, size_t num_sources,
+                              bool has_truth) {
+  if (row.size() != header_size) {
+    return Status::ParseError("row " + std::to_string(r) + " has " +
+                              std::to_string(row.size()) +
+                              " cells; header has " +
+                              std::to_string(header_size));
+  }
+  ParsedRow parsed;
+  parsed.fact = &row[0];
+  for (size_t c = 1; c <= num_sources; ++c) {
+    std::string cell(Trim(row[c]));
+    if (cell.empty() || cell == "-") continue;
+    if (cell.size() != 1) {
+      return Status::ParseError("bad vote cell '" + cell + "' at row " +
+                                std::to_string(r));
+    }
+    CORROB_ASSIGN_OR_RETURN(Vote vote, VoteFromChar(cell[0]));
+    if (vote == Vote::kNone) continue;
+    parsed.votes.emplace_back(static_cast<SourceId>(c - 1), vote);
+  }
+  if (has_truth) {
+    std::string cell = ToLower(Trim(row.back()));
+    if (cell == "true" || cell == "1") {
+      parsed.truth = ParsedRow::Truth::kTrue;
+    } else if (cell == "false" || cell == "0") {
+      parsed.truth = ParsedRow::Truth::kFalse;
+    } else if (cell == "?") {
+      parsed.truth = ParsedRow::Truth::kUnknown;
+    } else {
+      return Status::ParseError("bad truth cell '" + cell + "' at row " +
+                                std::to_string(r));
+    }
+  }
+  return parsed;
+}
+
 }  // namespace
 
+std::string ParseReport::ToString() const {
+  if (skipped.empty()) {
+    return "all " + std::to_string(rows_loaded) + " rows loaded";
+  }
+  std::string out = "skipped " + std::to_string(skipped.size()) + " of " +
+                    std::to_string(rows_seen) + " rows:";
+  for (const RowDiagnostic& diagnostic : skipped) {
+    out += "\n  row " + std::to_string(diagnostic.row) + ": " +
+           diagnostic.message;
+  }
+  return out;
+}
+
 Result<LabeledDataset> ParseDatasetCsv(const std::string& text) {
+  return ParseDatasetCsv(text, DatasetCsvOptions{}, nullptr);
+}
+
+Result<LabeledDataset> ParseDatasetCsv(const std::string& text,
+                                       const DatasetCsvOptions& options,
+                                       ParseReport* report) {
   CORROB_ASSIGN_OR_RETURN(CsvDocument doc, ParseCsv(text));
   if (doc.rows.empty()) {
     return Status::ParseError("dataset CSV has no header row");
@@ -31,44 +99,43 @@ Result<LabeledDataset> ParseDatasetCsv(const std::string& text) {
     builder.AddSource(header[c]);
   }
 
+  ParseReport local_report;
   std::vector<bool> truth_labels;
   bool truth_complete = has_truth;
   for (size_t r = 1; r < doc.rows.size(); ++r) {
     const auto& row = doc.rows[r];
     if (row.size() == 1 && row[0].empty()) continue;  // blank line
-    if (row.size() != header.size()) {
-      return Status::ParseError("row " + std::to_string(r) + " has " +
-                                std::to_string(row.size()) + " cells; header has " +
-                                std::to_string(header.size()));
+    ++local_report.rows_seen;
+    auto parsed =
+        ValidateRow(row, r, header.size(), num_sources, has_truth);
+    if (!parsed.ok()) {
+      if (!options.lenient) return parsed.status();
+      local_report.skipped.push_back({r, parsed.status().message()});
+      continue;
     }
-    FactId f = builder.AddFact(row[0]);
-    for (size_t c = 1; c <= num_sources; ++c) {
-      std::string cell(Trim(row[c]));
-      if (cell.empty() || cell == "-") continue;
-      if (cell.size() != 1) {
-        return Status::ParseError("bad vote cell '" + cell + "' at row " +
-                                  std::to_string(r));
-      }
-      CORROB_ASSIGN_OR_RETURN(Vote vote, VoteFromChar(cell[0]));
-      if (vote == Vote::kNone) continue;
-      CORROB_RETURN_NOT_OK(builder.SetVote(static_cast<SourceId>(c - 1), f, vote));
+    const ParsedRow& valid = parsed.ValueOrDie();
+    FactId f = builder.AddFact(*valid.fact);
+    for (const auto& [source, vote] : valid.votes) {
+      CORROB_RETURN_NOT_OK(builder.SetVote(source, f, vote));
     }
-    if (has_truth) {
-      std::string cell = ToLower(Trim(row.back()));
-      if (cell == "true" || cell == "1") {
+    switch (valid.truth) {
+      case ParsedRow::Truth::kAbsent:
+        break;
+      case ParsedRow::Truth::kTrue:
         truth_labels.push_back(true);
-      } else if (cell == "false" || cell == "0") {
+        break;
+      case ParsedRow::Truth::kFalse:
         truth_labels.push_back(false);
-      } else if (cell == "?") {
+        break;
+      case ParsedRow::Truth::kUnknown:
         truth_complete = false;
         truth_labels.push_back(false);  // placeholder, dropped below
-      } else {
-        return Status::ParseError("bad truth cell '" + cell + "' at row " +
-                                  std::to_string(r));
-      }
+        break;
     }
+    ++local_report.rows_loaded;
   }
 
+  if (report != nullptr) *report = std::move(local_report);
   LabeledDataset out;
   out.dataset = builder.Build();
   if (has_truth && truth_complete) {
@@ -78,8 +145,21 @@ Result<LabeledDataset> ParseDatasetCsv(const std::string& text) {
 }
 
 Result<LabeledDataset> LoadDatasetCsv(const std::string& path) {
-  CORROB_ASSIGN_OR_RETURN(std::string text, ReadFileToString(path));
-  return ParseDatasetCsv(text);
+  return LoadDatasetCsv(path, DatasetCsvOptions{}, nullptr);
+}
+
+Result<LabeledDataset> LoadDatasetCsv(const std::string& path,
+                                      const DatasetCsvOptions& options,
+                                      ParseReport* report) {
+  auto text = ReadFileToString(path);
+  if (!text.ok()) return text.status();
+  auto parsed = ParseDatasetCsv(text.ValueOrDie(), options, report);
+  if (!parsed.ok()) {
+    // Parse messages carry row context; add which file it was.
+    return Status(parsed.status().code(),
+                  parsed.status().message() + " (in " + path + ")");
+  }
+  return parsed;
 }
 
 std::string DatasetToCsv(const Dataset& dataset, const GroundTruth* truth) {
@@ -110,7 +190,9 @@ std::string DatasetToCsv(const Dataset& dataset, const GroundTruth* truth) {
 
 Status SaveDatasetCsv(const std::string& path, const Dataset& dataset,
                       const GroundTruth* truth) {
-  return WriteStringToFile(path, DatasetToCsv(dataset, truth));
+  std::string csv = DatasetToCsv(dataset, truth);
+  return Retry(DefaultIoRetryPolicy(),
+               [&] { return WriteFileAtomic(path, csv); });
 }
 
 }  // namespace corrob

@@ -1,8 +1,10 @@
 #ifndef CORROB_DATA_DATASET_IO_H_
 #define CORROB_DATA_DATASET_IO_H_
 
+#include <cstddef>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "common/result.h"
 #include "data/dataset.h"
@@ -17,22 +19,67 @@ struct LabeledDataset {
   std::optional<GroundTruth> truth;
 };
 
+/// Why one data row was skipped during a lenient parse.
+struct RowDiagnostic {
+  /// 0-based row index into the CSV document (the header is row 0).
+  size_t row = 0;
+  std::string message;
+};
+
+/// Per-row outcome of a lenient parse: which rows were dropped and
+/// why, so noisy feeds degrade visibly instead of silently.
+struct ParseReport {
+  std::vector<RowDiagnostic> skipped;
+  /// Data rows seen (excluding the header and blank lines).
+  size_t rows_seen = 0;
+  /// Data rows that made it into the dataset.
+  size_t rows_loaded = 0;
+
+  bool AllRowsLoaded() const { return skipped.empty(); }
+  /// e.g. "skipped 2 of 10 rows:\n  row 3: bad vote cell 'X'\n...".
+  std::string ToString() const;
+};
+
+/// Parsing mode for dataset CSVs.
+struct DatasetCsvOptions {
+  /// When true, malformed data rows (wrong cell count, bad vote or
+  /// truth cells) are skipped and recorded in the ParseReport instead
+  /// of failing the whole load. Header errors are always fatal.
+  bool lenient = false;
+};
+
 /// CSV layout:
 ///   fact,<source1>,...,<sourceN>[,__truth__]
 ///   r1,T,-,F,...,true
 /// Vote cells are T/F/-; truth cells are true/false/? (a '?' anywhere
 /// drops the truth column from the loaded result).
+/// Error messages include `path`; a missing file is NotFound while an
+/// unreadable or mid-read-failing file is IoError.
 Result<LabeledDataset> LoadDatasetCsv(const std::string& path);
 
-/// Parses the same layout from an in-memory string.
+/// As above with explicit parsing options; `report` (may be null)
+/// receives per-row diagnostics when provided.
+Result<LabeledDataset> LoadDatasetCsv(const std::string& path,
+                                      const DatasetCsvOptions& options,
+                                      ParseReport* report = nullptr);
+
+/// Parses the same layout from an in-memory string (strict mode).
 Result<LabeledDataset> ParseDatasetCsv(const std::string& text);
+
+/// Parses with explicit options; in lenient mode malformed rows are
+/// dropped into `report` instead of aborting the parse.
+Result<LabeledDataset> ParseDatasetCsv(const std::string& text,
+                                       const DatasetCsvOptions& options,
+                                       ParseReport* report = nullptr);
 
 /// Serializes `dataset` (and truth, when provided) into the layout
 /// accepted by LoadDatasetCsv.
 std::string DatasetToCsv(const Dataset& dataset,
                          const GroundTruth* truth = nullptr);
 
-/// Writes DatasetToCsv output to `path`.
+/// Writes DatasetToCsv output to `path` atomically (temp file + fsync
+/// + rename), retrying transient I/O failures; a crash mid-save never
+/// leaves a truncated CSV at `path`.
 Status SaveDatasetCsv(const std::string& path, const Dataset& dataset,
                       const GroundTruth* truth = nullptr);
 

@@ -3,6 +3,7 @@
 #include <unordered_set>
 
 #include "common/csv.h"
+#include "common/retry.h"
 #include "common/string_util.h"
 
 namespace corrob {
@@ -42,8 +43,15 @@ Result<GoldenSet> ParseGoldenCsv(const std::string& text,
 
 Result<GoldenSet> LoadGoldenCsv(const std::string& path,
                                 const Dataset& dataset) {
+  // ReadFileToString distinguishes a missing file (NotFound) from an
+  // unreadable one (IoError) and already names the path.
   CORROB_ASSIGN_OR_RETURN(std::string text, ReadFileToString(path));
-  return ParseGoldenCsv(text, dataset);
+  auto parsed = ParseGoldenCsv(text, dataset);
+  if (!parsed.ok()) {
+    return Status(parsed.status().code(),
+                  parsed.status().message() + " (in " + path + ")");
+  }
+  return parsed;
 }
 
 std::string GoldenToCsv(const GoldenSet& golden, const Dataset& dataset) {
@@ -58,7 +66,9 @@ std::string GoldenToCsv(const GoldenSet& golden, const Dataset& dataset) {
 
 Status SaveGoldenCsv(const std::string& path, const GoldenSet& golden,
                      const Dataset& dataset) {
-  return WriteStringToFile(path, GoldenToCsv(golden, dataset));
+  std::string csv = GoldenToCsv(golden, dataset);
+  return Retry(DefaultIoRetryPolicy(),
+               [&] { return WriteFileAtomic(path, csv); });
 }
 
 }  // namespace corrob

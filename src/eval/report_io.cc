@@ -1,6 +1,7 @@
 #include "eval/report_io.h"
 
 #include "common/csv.h"
+#include "common/retry.h"
 #include "common/string_util.h"
 
 namespace corrob {
@@ -32,7 +33,8 @@ Result<std::string> TrajectoryToCsv(const Dataset& dataset,
 Status SaveTrajectoryCsv(const std::string& path, const Dataset& dataset,
                          const CorroborationResult& result) {
   CORROB_ASSIGN_OR_RETURN(std::string csv, TrajectoryToCsv(dataset, result));
-  return WriteStringToFile(path, csv);
+  return Retry(DefaultIoRetryPolicy(),
+               [&] { return WriteFileAtomic(path, csv); });
 }
 
 std::string DecisionsToCsv(const Dataset& dataset,

@@ -218,6 +218,109 @@ TEST_F(CliTest, CompareRejectsUnknownAlgorithm) {
             1);
 }
 
+TEST_F(CliTest, StreamPrintsDecisionsAndSummary) {
+  std::string output = TempPath("cli_stream_out.csv");
+  ASSERT_EQ(Run({"stream", "--input", dataset_path_, "--output", output}),
+            0);
+  CsvDocument doc = ReadCsvFile(output).ValueOrDie();
+  ASSERT_EQ(doc.rows.size(), 13u);  // header + 12 facts
+  EXPECT_EQ(doc.rows[0],
+            (std::vector<std::string>{"fact", "probability", "decision"}));
+  EXPECT_NE(out_.str().find("observed 12 facts (12 this run)"),
+            std::string::npos);
+}
+
+TEST_F(CliTest, StreamKillAndResumeMatchesUninterrupted) {
+  std::string trust_clean = TempPath("cli_stream_trust_clean.csv");
+  std::string trust_resumed = TempPath("cli_stream_trust_resumed.csv");
+  std::string checkpoint = TempPath("cli_stream.snap");
+  std::string devnull = TempPath("cli_stream_decisions.csv");
+
+  // Reference: one uninterrupted pass.
+  ASSERT_EQ(Run({"stream", "--input", dataset_path_, "--output", devnull,
+                 "--trust", trust_clean}),
+            0);
+
+  // Killed at fact 6 by an injected fault; the checkpoint survives.
+  ASSERT_EQ(Run({"stream", "--input", dataset_path_, "--checkpoint",
+                 checkpoint, "--checkpoint-every", "2", "--failpoint",
+                 "cli.stream.observe=fail:1:skip=6"}),
+            1);
+  EXPECT_NE(err_.str().find("checkpoint saved at fact 6"),
+            std::string::npos);
+
+  // Resume finishes the remaining facts with identical final trust.
+  ASSERT_EQ(Run({"stream", "--input", dataset_path_, "--checkpoint",
+                 checkpoint, "--resume", "--output", devnull, "--trust",
+                 trust_resumed}),
+            0);
+  EXPECT_NE(out_.str().find("resumed from " + checkpoint + " at fact 6"),
+            std::string::npos);
+  EXPECT_NE(out_.str().find("observed 12 facts (6 this run)"),
+            std::string::npos);
+  EXPECT_EQ(ReadFileToString(trust_resumed).ValueOrDie(),
+            ReadFileToString(trust_clean).ValueOrDie());
+}
+
+TEST_F(CliTest, StreamRejectsBadResumeFlags) {
+  EXPECT_EQ(Run({"stream", "--input", dataset_path_, "--resume"}), 1);
+  EXPECT_NE(err_.str().find("--resume requires --checkpoint"),
+            std::string::npos);
+  EXPECT_EQ(Run({"stream", "--input", dataset_path_, "--checkpoint",
+                 TempPath("x.snap"), "--checkpoint-every", "0"}),
+            1);
+  EXPECT_NE(err_.str().find("--checkpoint-every"), std::string::npos);
+}
+
+TEST_F(CliTest, StreamResumeRejectsMismatchedDataset) {
+  std::string checkpoint = TempPath("cli_mismatch.snap");
+  std::string devnull = TempPath("cli_mismatch_out.csv");
+  ASSERT_EQ(Run({"stream", "--input", dataset_path_, "--checkpoint",
+                 checkpoint, "--output", devnull}),
+            0);
+  std::string other = TempPath("cli_other_dataset.csv");
+  ASSERT_EQ(Run({"generate", "--kind", "synthetic", "--facts", "30",
+                 "--sources", "4", "--output", other}),
+            0);
+  EXPECT_EQ(Run({"stream", "--input", other, "--checkpoint", checkpoint,
+                 "--resume"}),
+            1);
+  EXPECT_NE(err_.str().find("sources"), std::string::npos);
+}
+
+TEST_F(CliTest, LenientLoadReportsSkippedRows) {
+  std::string noisy = TempPath("cli_noisy.csv");
+  std::ofstream file(noisy);
+  file << "fact,s1,s2\nr1,T,F\nr2,Q,T\nr3,T,-\n";
+  file.close();
+
+  // Strict (default) refuses the file outright, naming the culprit.
+  EXPECT_EQ(Run({"stats", "--input", noisy}), 1);
+  EXPECT_NE(err_.str().find("'Q'"), std::string::npos);
+  EXPECT_NE(err_.str().find(noisy), std::string::npos);
+
+  // Lenient loads the clean rows and reports the skip on stderr.
+  ASSERT_EQ(Run({"stats", "--input", noisy, "--lenient"}), 0);
+  EXPECT_NE(out_.str().find("facts: 2"), std::string::npos);
+  EXPECT_NE(err_.str().find("skipped 1 of 3 rows"), std::string::npos);
+}
+
+TEST_F(CliTest, BadFailpointSpecFails) {
+  EXPECT_EQ(Run({"stats", "--input", dataset_path_, "--failpoint",
+                 "cli.stream.observe=explode"}),
+            1);
+  EXPECT_NE(err_.str().find("failpoint"), std::string::npos);
+}
+
+TEST_F(CliTest, FailpointInjectsIntoFileReads) {
+  EXPECT_EQ(Run({"stats", "--input", dataset_path_, "--failpoint",
+                 "io.read_file.open=fail:1"}),
+            1);
+  EXPECT_NE(err_.str().find("injected failure"), std::string::npos);
+  // The arming is scoped to the invocation: the next run is clean.
+  EXPECT_EQ(Run({"stats", "--input", dataset_path_}), 0);
+}
+
 TEST_F(CliTest, DedupRejectsBadHeader) {
   std::string listings = TempPath("cli_bad_listings.csv");
   std::ofstream file(listings);

@@ -1,0 +1,59 @@
+#include "common/crc32.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace corrob {
+namespace {
+
+TEST(Crc32Test, KnownVectors) {
+  // Reference values of the IEEE 802.3 polynomial (zlib's crc32).
+  EXPECT_EQ(ComputeCrc32(""), 0x00000000u);
+  EXPECT_EQ(ComputeCrc32("a"), 0xE8B7BE43u);
+  EXPECT_EQ(ComputeCrc32("abc"), 0x352441C2u);
+  EXPECT_EQ(ComputeCrc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(ComputeCrc32("The quick brown fox jumps over the lazy dog"),
+            0x414FA339u);
+}
+
+TEST(Crc32Test, IncrementalMatchesOneShot) {
+  Crc32 crc;
+  crc.Update("12345");
+  crc.Update("");
+  crc.Update("6789");
+  EXPECT_EQ(crc.Digest(), ComputeCrc32("123456789"));
+}
+
+TEST(Crc32Test, ResetRestartsFromEmpty) {
+  Crc32 crc;
+  crc.Update("garbage");
+  crc.Reset();
+  crc.Update("abc");
+  EXPECT_EQ(crc.Digest(), ComputeCrc32("abc"));
+}
+
+TEST(Crc32Test, DetectsSingleBitFlips) {
+  std::string payload(256, '\0');
+  for (size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<char>(i);
+  }
+  uint32_t clean = ComputeCrc32(payload);
+  for (size_t byte : {size_t{0}, payload.size() / 2, payload.size() - 1}) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string corrupted = payload;
+      corrupted[byte] = static_cast<char>(corrupted[byte] ^ (1 << bit));
+      EXPECT_NE(ComputeCrc32(corrupted), clean)
+          << "byte " << byte << " bit " << bit;
+    }
+  }
+}
+
+TEST(Crc32Test, HandlesHighAndNulBytes) {
+  std::string high("\xFF\xFE\x80\x00\x7F", 5);  // embedded NUL included
+  std::string other("\xFF\xFE\x80\x00\x7E", 5);
+  EXPECT_NE(ComputeCrc32(high), ComputeCrc32(other));
+}
+
+}  // namespace
+}  // namespace corrob

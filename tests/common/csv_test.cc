@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/failpoint.h"
 #include "common/random.h"
 
 namespace corrob {
@@ -119,10 +120,69 @@ TEST(CsvFileTest, WriteThenReadBack) {
   std::remove(path.c_str());
 }
 
-TEST(CsvFileTest, MissingFileIsIoError) {
+TEST(CsvFileTest, MissingFileIsNotFound) {
   auto result = ReadCsvFile("/nonexistent/dir/file.csv");
   ASSERT_FALSE(result.ok());
-  EXPECT_EQ(result.status().code(), StatusCode::kIoError);
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+  EXPECT_NE(result.status().message().find("/nonexistent/dir/file.csv"),
+            std::string::npos);
+}
+
+TEST(CsvParseTest, StripsLeadingUtf8Bom) {
+  // A BOM-prefixed export must not corrupt the first header cell.
+  auto doc = ParseCsv("\xEF\xBB\xBF" "fact,s1\nr1,T\n").ValueOrDie();
+  ASSERT_EQ(doc.rows.size(), 2u);
+  EXPECT_EQ(doc.rows[0][0], "fact");
+}
+
+TEST(CsvParseTest, BomOnlyInputIsEmpty) {
+  auto doc = ParseCsv("\xEF\xBB\xBF").ValueOrDie();
+  EXPECT_TRUE(doc.rows.empty());
+}
+
+TEST(CsvParseTest, BomMidFileIsData) {
+  // Only a *leading* BOM is stripped.
+  auto doc = ParseCsv("a\n\xEF\xBB\xBF" "b\n").ValueOrDie();
+  ASSERT_EQ(doc.rows.size(), 2u);
+  EXPECT_EQ(doc.rows[1][0], "\xEF\xBB\xBF" "b");
+}
+
+TEST(AtomicWriteTest, ReplacesExistingFile) {
+  std::string path = ::testing::TempDir() + "/corrob_atomic_test.txt";
+  ASSERT_TRUE(WriteFileAtomic(path, "first").ok());
+  ASSERT_TRUE(WriteFileAtomic(path, "second").ok());
+  EXPECT_EQ(ReadFileToString(path).ValueOrDie(), "second");
+  EXPECT_EQ(ReadFileToString(path + ".tmp").status().code(),
+            StatusCode::kNotFound);
+  std::remove(path.c_str());
+}
+
+TEST(AtomicWriteTest, InjectedFaultLeavesOriginalIntactAtEveryStage) {
+  ScopedFailpointDisarmer disarmer;
+  std::string path = ::testing::TempDir() + "/corrob_atomic_fault.txt";
+  ASSERT_TRUE(WriteFileAtomic(path, "precious original").ok());
+  for (const char* stage :
+       {"io.atomic_write.open", "io.atomic_write.write",
+        "io.atomic_write.fsync", "io.atomic_write.rename"}) {
+    Failpoints::Arm(stage);
+    Status status = WriteFileAtomic(path, "partial garbage");
+    Failpoints::Disarm(stage);
+    ASSERT_FALSE(status.ok()) << stage;
+    EXPECT_EQ(status.code(), StatusCode::kIoError) << stage;
+    // The target is untouched and no temp file is left behind.
+    EXPECT_EQ(ReadFileToString(path).ValueOrDie(), "precious original")
+        << stage;
+    EXPECT_EQ(ReadFileToString(path + ".tmp").status().code(),
+              StatusCode::kNotFound)
+        << stage;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(AtomicWriteTest, UnwritableDirectoryIsIoError) {
+  Status status = WriteFileAtomic("/nonexistent/dir/file.txt", "x");
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
 }
 
 }  // namespace

@@ -1,0 +1,177 @@
+#include "common/failpoint.h"
+
+#include <gtest/gtest.h>
+
+#include "common/result.h"
+
+namespace corrob {
+namespace {
+
+/// A function with an injectable failure site, as production I/O
+/// paths use it.
+Status GuardedOperation() {
+  CORROB_FAILPOINT("failpoint_test.op");
+  return Status::OK();
+}
+
+Result<int> GuardedResultOperation() {
+  CORROB_FAILPOINT("failpoint_test.result_op");
+  return 42;
+}
+
+class FailpointTest : public ::testing::Test {
+ protected:
+  void TearDown() override { Failpoints::DisarmAll(); }
+};
+
+TEST_F(FailpointTest, DisarmedIsOk) {
+  EXPECT_FALSE(Failpoints::AnyArmed());
+  EXPECT_TRUE(GuardedOperation().ok());
+  EXPECT_EQ(GuardedResultOperation().ValueOrDie(), 42);
+}
+
+TEST_F(FailpointTest, ArmedFailsWithConfiguredCode) {
+  FailpointConfig config;
+  config.code = StatusCode::kNotFound;
+  config.message = "vanished";
+  Failpoints::Arm("failpoint_test.op", config);
+  Status status = GuardedOperation();
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+  EXPECT_EQ(status.message(), "vanished");
+}
+
+TEST_F(FailpointTest, WorksInsideResultReturningFunctions) {
+  Failpoints::Arm("failpoint_test.result_op");
+  auto result = GuardedResultOperation();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIoError);
+}
+
+TEST_F(FailpointTest, DefaultMessageNamesTheSite) {
+  Failpoints::Arm("failpoint_test.op");
+  EXPECT_NE(GuardedOperation().message().find("failpoint_test.op"),
+            std::string::npos);
+}
+
+TEST_F(FailpointTest, FailNTimesThenRecovers) {
+  FailpointConfig config;
+  config.max_failures = 2;
+  Failpoints::Arm("failpoint_test.op", config);
+  EXPECT_FALSE(GuardedOperation().ok());
+  EXPECT_FALSE(GuardedOperation().ok());
+  EXPECT_TRUE(GuardedOperation().ok());
+  EXPECT_TRUE(GuardedOperation().ok());
+  EXPECT_EQ(Failpoints::HitCount("failpoint_test.op"), 4);
+  EXPECT_EQ(Failpoints::FailureCount("failpoint_test.op"), 2);
+}
+
+TEST_F(FailpointTest, SkipDelaysTheFailure) {
+  FailpointConfig config;
+  config.skip = 3;
+  config.max_failures = 1;
+  Failpoints::Arm("failpoint_test.op", config);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(GuardedOperation().ok()) << "hit " << i;
+  }
+  EXPECT_FALSE(GuardedOperation().ok());
+  EXPECT_TRUE(GuardedOperation().ok());
+}
+
+TEST_F(FailpointTest, ProbabilisticFailuresAreDeterministicPerSeed) {
+  auto run = [](uint64_t seed) {
+    FailpointConfig config;
+    config.probability = 0.5;
+    config.seed = seed;
+    Failpoints::Arm("failpoint_test.op", config);
+    std::vector<bool> failures;
+    for (int i = 0; i < 64; ++i) failures.push_back(!GuardedOperation().ok());
+    Failpoints::Disarm("failpoint_test.op");
+    return failures;
+  };
+  std::vector<bool> a = run(7);
+  std::vector<bool> b = run(7);
+  std::vector<bool> c = run(8);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  // Roughly half fail.
+  int64_t count = 0;
+  for (bool failed : a) count += failed ? 1 : 0;
+  EXPECT_GT(count, 16);
+  EXPECT_LT(count, 48);
+}
+
+TEST_F(FailpointTest, DisarmRestoresNormalOperation) {
+  Failpoints::Arm("failpoint_test.op");
+  EXPECT_FALSE(GuardedOperation().ok());
+  Failpoints::Disarm("failpoint_test.op");
+  EXPECT_TRUE(GuardedOperation().ok());
+  EXPECT_FALSE(Failpoints::AnyArmed());
+}
+
+TEST_F(FailpointTest, ReArmingResetsCounters) {
+  Failpoints::Arm("failpoint_test.op");
+  (void)GuardedOperation();
+  EXPECT_EQ(Failpoints::HitCount("failpoint_test.op"), 1);
+  Failpoints::Arm("failpoint_test.op");
+  EXPECT_EQ(Failpoints::HitCount("failpoint_test.op"), 0);
+}
+
+TEST_F(FailpointTest, ArmedNamesAreSorted) {
+  Failpoints::Arm("b.second");
+  Failpoints::Arm("a.first");
+  EXPECT_EQ(Failpoints::ArmedNames(),
+            (std::vector<std::string>{"a.first", "b.second"}));
+  EXPECT_TRUE(Failpoints::IsArmed("a.first"));
+  EXPECT_FALSE(Failpoints::IsArmed("a.missing"));
+}
+
+TEST_F(FailpointTest, SpecParsesModesAndOptions) {
+  ASSERT_TRUE(Failpoints::ArmFromSpec("failpoint_test.op=fail:2").ok());
+  EXPECT_FALSE(GuardedOperation().ok());
+  EXPECT_FALSE(GuardedOperation().ok());
+  EXPECT_TRUE(GuardedOperation().ok());
+
+  ASSERT_TRUE(
+      Failpoints::ArmFromSpec(
+          "failpoint_test.op=fail:1:skip=2:code=FailedPrecondition")
+          .ok());
+  EXPECT_TRUE(GuardedOperation().ok());
+  EXPECT_TRUE(GuardedOperation().ok());
+  EXPECT_EQ(GuardedOperation().code(), StatusCode::kFailedPrecondition);
+  EXPECT_TRUE(GuardedOperation().ok());
+
+  ASSERT_TRUE(Failpoints::ArmFromSpec("failpoint_test.op=off").ok());
+  EXPECT_FALSE(Failpoints::IsArmed("failpoint_test.op"));
+}
+
+TEST_F(FailpointTest, SpecParsesProbabilisticMode) {
+  ASSERT_TRUE(
+      Failpoints::ArmFromSpec("failpoint_test.op=prob:0.5:seed=9").ok());
+  int64_t failures = 0;
+  for (int i = 0; i < 64; ++i) failures += GuardedOperation().ok() ? 0 : 1;
+  EXPECT_GT(failures, 8);
+  EXPECT_LT(failures, 56);
+}
+
+TEST_F(FailpointTest, SpecListArmsSeveral) {
+  ASSERT_TRUE(Failpoints::ArmFromSpecList(
+                  "failpoint_test.op=fail, failpoint_test.result_op=fail:1")
+                  .ok());
+  EXPECT_FALSE(GuardedOperation().ok());
+  EXPECT_FALSE(GuardedResultOperation().ok());
+}
+
+TEST_F(FailpointTest, BadSpecsAreRejected) {
+  for (const char* spec :
+       {"", "noequals", "=fail", "x=", "x=explode", "x=fail:abc",
+        "x=prob", "x=prob:1.5", "x=prob:nan", "x=fail:1:code=Bogus",
+        "x=fail:1:skip=-2", "x=fail:1:frobnicate=1", "x=off:1"}) {
+    EXPECT_EQ(Failpoints::ArmFromSpec(spec).code(),
+              StatusCode::kInvalidArgument)
+        << "spec: '" << spec << "'";
+  }
+  EXPECT_FALSE(Failpoints::AnyArmed());
+}
+
+}  // namespace
+}  // namespace corrob

@@ -50,7 +50,7 @@ TEST(StopwatchTest, MeasuresElapsedTime) {
   EXPECT_GE(first, 0.0);
   // Burn a little CPU; elapsed time must be non-decreasing.
   volatile double sink = 0.0;
-  for (int i = 0; i < 100000; ++i) sink += i * 0.5;
+  for (int i = 0; i < 100000; ++i) sink = sink + i * 0.5;
   double second = watch.ElapsedSeconds();
   EXPECT_GE(second, first);
   EXPECT_NEAR(watch.ElapsedMillis(), watch.ElapsedSeconds() * 1e3,
@@ -60,7 +60,7 @@ TEST(StopwatchTest, MeasuresElapsedTime) {
 TEST(StopwatchTest, ResetRestarts) {
   Stopwatch watch;
   volatile double sink = 0.0;
-  for (int i = 0; i < 100000; ++i) sink += i * 0.5;
+  for (int i = 0; i < 100000; ++i) sink = sink + i * 0.5;
   double before = watch.ElapsedSeconds();
   watch.Reset();
   // Immediately after reset, the reading is (almost surely) smaller.

@@ -1,0 +1,166 @@
+#include "common/retry.h"
+
+#include <gtest/gtest.h>
+
+#include "common/failpoint.h"
+
+namespace corrob {
+namespace {
+
+RetryPolicy FastPolicy(int32_t attempts = 3) {
+  RetryPolicy policy;
+  policy.max_attempts = attempts;
+  policy.enable_sleep = false;  // exercise the schedule, skip the clock
+  return policy;
+}
+
+TEST(RetryPolicyTest, DefaultsAreValid) {
+  EXPECT_TRUE(ValidateRetryPolicy(RetryPolicy{}).ok());
+  EXPECT_TRUE(ValidateRetryPolicy(DefaultIoRetryPolicy()).ok());
+}
+
+TEST(RetryPolicyTest, RejectsBadFields) {
+  RetryPolicy policy;
+  policy.max_attempts = 0;
+  EXPECT_EQ(ValidateRetryPolicy(policy).code(),
+            StatusCode::kInvalidArgument);
+  policy = RetryPolicy{};
+  policy.backoff_multiplier = 0.5;
+  EXPECT_FALSE(ValidateRetryPolicy(policy).ok());
+  policy = RetryPolicy{};
+  policy.max_backoff_ms = 0.1;
+  policy.initial_backoff_ms = 1.0;
+  EXPECT_FALSE(ValidateRetryPolicy(policy).ok());
+  policy = RetryPolicy{};
+  policy.jitter = 1.5;
+  EXPECT_FALSE(ValidateRetryPolicy(policy).ok());
+}
+
+TEST(RetryTest, InvalidPolicyFailsWithoutCallingFn) {
+  RetryPolicy policy;
+  policy.max_attempts = -1;
+  int calls = 0;
+  Status status = Retry(policy, [&] {
+    ++calls;
+    return Status::OK();
+  });
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(RetryTest, TransientCodes) {
+  EXPECT_TRUE(IsTransientCode(StatusCode::kIoError));
+  EXPECT_FALSE(IsTransientCode(StatusCode::kNotFound));
+  EXPECT_FALSE(IsTransientCode(StatusCode::kParseError));
+  EXPECT_FALSE(IsTransientCode(StatusCode::kInvalidArgument));
+  EXPECT_FALSE(IsTransientCode(StatusCode::kOk));
+}
+
+TEST(RetryTest, SucceedsFirstTry) {
+  RetryStats stats;
+  Status status = Retry(FastPolicy(), [] { return Status::OK(); }, &stats);
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(stats.attempts, 1);
+  EXPECT_EQ(stats.total_backoff_ms, 0.0);
+}
+
+TEST(RetryTest, RetriesTransientUntilSuccess) {
+  int calls = 0;
+  RetryStats stats;
+  Status status = Retry(
+      FastPolicy(5),
+      [&] {
+        return ++calls < 3 ? Status::IoError("flaky") : Status::OK();
+      },
+      &stats);
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(stats.attempts, 3);
+  EXPECT_GT(stats.total_backoff_ms, 0.0);
+}
+
+TEST(RetryTest, ExhaustsAttemptsOnPersistentTransientFailure) {
+  int calls = 0;
+  Status status = Retry(FastPolicy(4), [&] {
+    ++calls;
+    return Status::IoError("still down");
+  });
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
+  EXPECT_EQ(calls, 4);
+}
+
+TEST(RetryTest, DoesNotRetryDeterministicFailures) {
+  int calls = 0;
+  Status status = Retry(FastPolicy(5), [&] {
+    ++calls;
+    return Status::ParseError("bad bytes stay bad");
+  });
+  EXPECT_EQ(status.code(), StatusCode::kParseError);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(RetryTest, WorksWithResultValues) {
+  int calls = 0;
+  auto result = Retry(FastPolicy(3), [&]() -> Result<int> {
+    if (++calls < 2) return Status::IoError("flaky");
+    return 7;
+  });
+  EXPECT_EQ(result.ValueOrDie(), 7);
+  EXPECT_EQ(calls, 2);
+
+  auto failed = Retry(FastPolicy(2), [&]() -> Result<int> {
+    return Status::NotFound("gone");
+  });
+  EXPECT_EQ(failed.status().code(), StatusCode::kNotFound);
+}
+
+TEST(RetryTest, MasksInjectedTransientFault) {
+  ScopedFailpointDisarmer disarmer;
+  FailpointConfig config;
+  config.max_failures = 2;
+  Failpoints::Arm("retry_test.op", config);
+  Status status = Retry(FastPolicy(3), [] {
+    CORROB_FAILPOINT("retry_test.op");
+    return Status::OK();
+  });
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(Failpoints::FailureCount("retry_test.op"), 2);
+}
+
+TEST(BackoffScheduleTest, GrowsExponentiallyAndCaps) {
+  RetryPolicy policy;
+  policy.initial_backoff_ms = 1.0;
+  policy.backoff_multiplier = 2.0;
+  policy.max_backoff_ms = 4.0;
+  policy.jitter = 0.0;
+  retry_internal::BackoffSchedule schedule(policy);
+  EXPECT_DOUBLE_EQ(schedule.NextDelayMs(), 1.0);
+  EXPECT_DOUBLE_EQ(schedule.NextDelayMs(), 2.0);
+  EXPECT_DOUBLE_EQ(schedule.NextDelayMs(), 4.0);
+  EXPECT_DOUBLE_EQ(schedule.NextDelayMs(), 4.0);  // capped
+}
+
+TEST(BackoffScheduleTest, JitterIsBoundedAndSeeded) {
+  RetryPolicy policy;
+  policy.initial_backoff_ms = 10.0;
+  policy.backoff_multiplier = 1.0;
+  policy.max_backoff_ms = 10.0;
+  policy.jitter = 0.25;
+  policy.seed = 5;
+  retry_internal::BackoffSchedule a(policy);
+  retry_internal::BackoffSchedule b(policy);
+  policy.seed = 6;
+  retry_internal::BackoffSchedule c(policy);
+  bool any_different = false;
+  for (int i = 0; i < 32; ++i) {
+    double delay_a = a.NextDelayMs();
+    EXPECT_GE(delay_a, 10.0 * 0.75);
+    EXPECT_LE(delay_a, 10.0 * 1.25);
+    EXPECT_DOUBLE_EQ(delay_a, b.NextDelayMs());  // same seed, same jitter
+    if (delay_a != c.NextDelayMs()) any_different = true;
+  }
+  EXPECT_TRUE(any_different);
+}
+
+}  // namespace
+}  // namespace corrob

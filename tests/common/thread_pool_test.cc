@@ -29,7 +29,7 @@ TEST(ThreadPoolTest, WaitBlocksUntilDone) {
     pool.Submit([&done] {
       // Tiny busy work to give Wait something to wait for.
       volatile int x = 0;
-      for (int j = 0; j < 10000; ++j) x += j;
+      for (int j = 0; j < 10000; ++j) x = x + j;
       done.fetch_add(1);
     });
   }

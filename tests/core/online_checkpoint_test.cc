@@ -1,0 +1,222 @@
+#include "core/online_checkpoint.h"
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/csv.h"
+#include "common/failpoint.h"
+#include "common/random.h"
+#include "data/vote.h"
+
+namespace corrob {
+namespace {
+
+/// A corroborator with a non-trivial trust state: 6 sources, 300
+/// pseudo-random observations.
+OnlineCorroborator MakeBusyCorroborator(uint64_t seed = 11) {
+  OnlineCorroboratorOptions options;
+  options.initial_trust = 0.85;
+  options.trust_prior_weight = 4.0;
+  options.tie_margin = 0.03;
+  OnlineCorroborator online(options);
+  for (int s = 0; s < 6; ++s) {
+    online.AddSource("src" + std::to_string(s));
+  }
+  Rng rng(seed);
+  for (int i = 0; i < 300; ++i) {
+    std::vector<SourceVote> votes;
+    for (SourceId s = 0; s < 6; ++s) {
+      if (rng.Bernoulli(0.4)) {
+        votes.push_back(
+            {s, rng.Bernoulli(0.85) ? Vote::kTrue : Vote::kFalse});
+      }
+    }
+    EXPECT_TRUE(online.Observe(votes).ok());
+  }
+  return online;
+}
+
+void ExpectBitIdenticalState(const OnlineCorroborator& a,
+                             const OnlineCorroborator& b) {
+  OnlineCorroboratorState sa = a.ExportState();
+  OnlineCorroboratorState sb = b.ExportState();
+  EXPECT_EQ(sa.source_names, sb.source_names);
+  EXPECT_EQ(sa.correct, sb.correct);  // exact double equality
+  EXPECT_EQ(sa.total, sb.total);
+  EXPECT_EQ(sa.facts_observed, sb.facts_observed);
+  EXPECT_DOUBLE_EQ(sa.options.initial_trust, sb.options.initial_trust);
+  EXPECT_DOUBLE_EQ(sa.options.trust_prior_weight,
+                   sb.options.trust_prior_weight);
+  EXPECT_DOUBLE_EQ(sa.options.tie_margin, sb.options.tie_margin);
+}
+
+TEST(OnlineStateTest, ExportRestoreRoundTrip) {
+  OnlineCorroborator online = MakeBusyCorroborator();
+  auto restored =
+      OnlineCorroborator::FromState(online.ExportState()).ValueOrDie();
+  ExpectBitIdenticalState(online, restored);
+  EXPECT_EQ(restored.trust_snapshot(), online.trust_snapshot());
+}
+
+TEST(OnlineStateTest, FromStateRejectsInconsistency) {
+  OnlineCorroboratorState state = MakeBusyCorroborator().ExportState();
+  {
+    OnlineCorroboratorState bad = state;
+    bad.correct.pop_back();
+    EXPECT_EQ(OnlineCorroborator::FromState(bad).status().code(),
+              StatusCode::kInvalidArgument);
+  }
+  {
+    OnlineCorroboratorState bad = state;
+    bad.correct[0] = bad.total[0] + 1.0;  // correct > total
+    EXPECT_EQ(OnlineCorroborator::FromState(bad).status().code(),
+              StatusCode::kInvalidArgument);
+  }
+  {
+    OnlineCorroboratorState bad = state;
+    bad.total[1] = -1.0;
+    EXPECT_EQ(OnlineCorroborator::FromState(bad).status().code(),
+              StatusCode::kInvalidArgument);
+  }
+  {
+    OnlineCorroboratorState bad = state;
+    bad.facts_observed = -5;
+    EXPECT_EQ(OnlineCorroborator::FromState(bad).status().code(),
+              StatusCode::kInvalidArgument);
+  }
+  {
+    OnlineCorroboratorState bad = state;
+    bad.source_names[1] = bad.source_names[0];  // duplicate name
+    EXPECT_EQ(OnlineCorroborator::FromState(bad).status().code(),
+              StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(OnlineCheckpointTest, SerializeParseRoundTripIsBitIdentical) {
+  OnlineCorroborator online = MakeBusyCorroborator();
+  std::string snapshot = SerializeOnlineSnapshot(online);
+  auto restored = ParseOnlineSnapshot(snapshot).ValueOrDie();
+  ExpectBitIdenticalState(online, restored);
+
+  // The restored instance continues identically.
+  std::vector<SourceVote> votes{{0, Vote::kTrue}, {3, Vote::kFalse}};
+  auto va = online.Observe(votes).ValueOrDie();
+  auto vb = restored.Observe(votes).ValueOrDie();
+  EXPECT_EQ(va.probability, vb.probability);  // exact, not approximate
+  EXPECT_EQ(va.decision, vb.decision);
+}
+
+TEST(OnlineCheckpointTest, EmptyCorroboratorRoundTrips) {
+  OnlineCorroborator online;
+  auto restored =
+      ParseOnlineSnapshot(SerializeOnlineSnapshot(online)).ValueOrDie();
+  EXPECT_EQ(restored.num_sources(), 0);
+  EXPECT_EQ(restored.facts_observed(), 0);
+}
+
+TEST(OnlineCheckpointTest, RejectsGarbageAsParseError) {
+  EXPECT_EQ(ParseOnlineSnapshot("").status().code(),
+            StatusCode::kParseError);
+  EXPECT_EQ(ParseOnlineSnapshot("not a snapshot at all").status().code(),
+            StatusCode::kParseError);
+}
+
+TEST(OnlineCheckpointTest, RejectsTruncationAsParseError) {
+  std::string snapshot =
+      SerializeOnlineSnapshot(MakeBusyCorroborator());
+  for (size_t keep : {snapshot.size() - 1, snapshot.size() / 2, size_t{21},
+                      size_t{12}}) {
+    auto result = ParseOnlineSnapshot(snapshot.substr(0, keep));
+    EXPECT_EQ(result.status().code(), StatusCode::kParseError)
+        << "kept " << keep << " bytes";
+  }
+}
+
+TEST(OnlineCheckpointTest, RejectsBitFlipsAsParseError) {
+  std::string snapshot =
+      SerializeOnlineSnapshot(MakeBusyCorroborator());
+  // Flip one payload bit: the CRC must catch it.
+  std::string corrupted = snapshot;
+  corrupted[25] = static_cast<char>(corrupted[25] ^ 0x10);
+  EXPECT_EQ(ParseOnlineSnapshot(corrupted).status().code(),
+            StatusCode::kParseError);
+  // Flip a CRC bit: also corruption.
+  corrupted = snapshot;
+  corrupted[snapshot.size() - 1] =
+      static_cast<char>(corrupted[snapshot.size() - 1] ^ 0x01);
+  EXPECT_EQ(ParseOnlineSnapshot(corrupted).status().code(),
+            StatusCode::kParseError);
+}
+
+TEST(OnlineCheckpointTest, RejectsVersionMismatchDistinctly) {
+  std::string snapshot =
+      SerializeOnlineSnapshot(MakeBusyCorroborator());
+  std::string future = snapshot;
+  future[8] = static_cast<char>(kOnlineSnapshotVersion + 1);
+  auto result = ParseOnlineSnapshot(future);
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(result.status().message().find("version"), std::string::npos);
+}
+
+TEST(OnlineCheckpointTest, SaveLoadThroughDisk) {
+  std::string path = ::testing::TempDir() + "/corrob_snapshot_test.snap";
+  OnlineCorroborator online = MakeBusyCorroborator();
+  ASSERT_TRUE(SaveOnlineSnapshot(path, online).ok());
+  auto restored = LoadOnlineSnapshot(path).ValueOrDie();
+  ExpectBitIdenticalState(online, restored);
+  std::remove(path.c_str());
+}
+
+TEST(OnlineCheckpointTest, LoadMissingFileIsNotFound) {
+  auto result = LoadOnlineSnapshot("/nonexistent/snapshot.snap");
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(OnlineCheckpointTest, LoadNamesThePathOnCorruption) {
+  std::string path = ::testing::TempDir() + "/corrob_corrupt_test.snap";
+  ASSERT_TRUE(WriteFileAtomic(path, "junk bytes").ok());
+  auto result = LoadOnlineSnapshot(path);
+  EXPECT_EQ(result.status().code(), StatusCode::kParseError);
+  EXPECT_NE(result.status().message().find(path), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(OnlineCheckpointTest, InjectedSaveFaultLeavesOldSnapshotIntact) {
+  ScopedFailpointDisarmer disarmer;
+  std::string path = ::testing::TempDir() + "/corrob_snapshot_fault.snap";
+  OnlineCorroborator before = MakeBusyCorroborator(1);
+  ASSERT_TRUE(SaveOnlineSnapshot(path, before).ok());
+
+  // Every write attempt fails at the fsync stage: the retried save
+  // reports IoError and the previous snapshot is still loadable.
+  Failpoints::Arm("io.atomic_write.fsync");
+  RetryPolicy policy = DefaultIoRetryPolicy();
+  policy.enable_sleep = false;
+  OnlineCorroborator after = MakeBusyCorroborator(2);
+  Status status = SaveOnlineSnapshot(path, after, policy);
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
+  Failpoints::DisarmAll();
+
+  auto restored = LoadOnlineSnapshot(path).ValueOrDie();
+  ExpectBitIdenticalState(before, restored);
+  std::remove(path.c_str());
+}
+
+TEST(OnlineCheckpointTest, RetryMasksTransientSaveFault) {
+  ScopedFailpointDisarmer disarmer;
+  std::string path = ::testing::TempDir() + "/corrob_snapshot_retry.snap";
+  FailpointConfig config;
+  config.max_failures = 2;  // fewer than the 3 attempts
+  Failpoints::Arm("io.atomic_write.open", config);
+  RetryPolicy policy = DefaultIoRetryPolicy();
+  policy.enable_sleep = false;
+  OnlineCorroborator online = MakeBusyCorroborator();
+  EXPECT_TRUE(SaveOnlineSnapshot(path, online, policy).ok());
+  EXPECT_EQ(Failpoints::FailureCount("io.atomic_write.open"), 2);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace corrob

@@ -106,6 +106,62 @@ TEST(OnlineTest, TieVerdictsDoNotMoveTrust) {
   EXPECT_EQ(online.facts_observed(), 1);
 }
 
+TEST(OnlineTest, TieMarginZeroCommitsCoinFlips) {
+  // Paper-exact Eq. 8: with no deferral band, a {T, F} tie at equal
+  // trust commits the (true) decision and punishes the dissenter —
+  // exactly what TieVerdictsDoNotMoveTrust shows the margin prevents.
+  OnlineCorroboratorOptions options = PaperExact();
+  OnlineCorroborator online{options};
+  SourceId a = online.AddSource("a");
+  SourceId b = online.AddSource("b");
+  auto verdict =
+      online.Observe({{a, Vote::kTrue}, {b, Vote::kFalse}}).ValueOrDie();
+  EXPECT_DOUBLE_EQ(verdict.probability, 0.5);
+  EXPECT_TRUE(verdict.decision);
+  EXPECT_TRUE(online.SourceEvaluated(a));
+  EXPECT_TRUE(online.SourceEvaluated(b));
+  EXPECT_DOUBLE_EQ(online.trust(a), 1.0);  // no prior weight in PaperExact
+  EXPECT_DOUBLE_EQ(online.trust(b), 0.0);
+}
+
+TEST(OnlineTest, EmptyVoteFactsCountButLeaveTrustUntouched) {
+  OnlineCorroborator with_gaps, without_gaps;
+  for (int s = 0; s < 3; ++s) {
+    with_gaps.AddSource("s" + std::to_string(s));
+    without_gaps.AddSource("s" + std::to_string(s));
+  }
+  std::vector<SourceVote> votes{{0, Vote::kTrue},
+                                {1, Vote::kTrue},
+                                {2, Vote::kFalse}};
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(with_gaps.Observe({}).ok());  // facts nobody voted on
+    ASSERT_TRUE(with_gaps.Observe(votes).ok());
+    ASSERT_TRUE(without_gaps.Observe(votes).ok());
+  }
+  EXPECT_EQ(with_gaps.facts_observed(), 10);
+  EXPECT_EQ(without_gaps.facts_observed(), 5);
+  EXPECT_EQ(with_gaps.trust_snapshot(), without_gaps.trust_snapshot());
+}
+
+TEST(OnlineTest, NeverVotingSourceKeepsPriorTrust) {
+  OnlineCorroboratorOptions options;
+  options.initial_trust = 0.73;
+  OnlineCorroborator online{options};
+  SourceId active = online.AddSource("active");
+  SourceId lurker = online.AddSource("lurker");
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(online.Observe({{active, Vote::kTrue}}).ok());
+  }
+  // The active source has moved; the lurker still reports the prior
+  // exactly and remains unevaluated, with zero exported counters.
+  EXPECT_TRUE(online.SourceEvaluated(active));
+  EXPECT_FALSE(online.SourceEvaluated(lurker));
+  EXPECT_DOUBLE_EQ(online.trust(lurker), 0.73);
+  OnlineCorroboratorState state = online.ExportState();
+  EXPECT_DOUBLE_EQ(state.correct[static_cast<size_t>(lurker)], 0.0);
+  EXPECT_DOUBLE_EQ(state.total[static_cast<size_t>(lurker)], 0.0);
+}
+
 TEST(OnlineTest, SmoothingDampsSingleObservations) {
   OnlineCorroboratorOptions options;
   options.trust_prior_weight = 8.0;

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/csv.h"
 #include "data/motivating_example.h"
 
 namespace corrob {
@@ -86,9 +87,83 @@ TEST(DatasetIoTest, FileRoundTrip) {
   std::remove(path.c_str());
 }
 
-TEST(DatasetIoTest, MissingFileIsIoError) {
-  EXPECT_EQ(LoadDatasetCsv("/nope/missing.csv").status().code(),
-            StatusCode::kIoError);
+TEST(DatasetIoTest, MissingFileIsNotFound) {
+  auto result = LoadDatasetCsv("/nope/missing.csv");
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+  EXPECT_NE(result.status().message().find("/nope/missing.csv"),
+            std::string::npos);
+}
+
+TEST(DatasetIoTest, ParseErrorsNameTheFile) {
+  std::string path = ::testing::TempDir() + "/corrob_bad_dataset.csv";
+  ASSERT_TRUE(WriteStringToFile(path, "fact,s1\nr1,Q\n").ok());
+  auto result = LoadDatasetCsv(path);
+  EXPECT_EQ(result.status().code(), StatusCode::kParseError);
+  EXPECT_NE(result.status().message().find(path), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIoTest, StrictModeRejectsWhatLenientSkips) {
+  // Bad vote symbol on r2 and a row-length mismatch on r4.
+  std::string text =
+      "fact,s1,s2,__truth__\n"
+      "r1,T,-,true\n"
+      "r2,Q,T,false\n"
+      "r3,F,T,false\n"
+      "r4,T,true\n"
+      "r5,-,F,true\n";
+  EXPECT_EQ(ParseDatasetCsv(text).status().code(), StatusCode::kParseError);
+
+  DatasetCsvOptions lenient;
+  lenient.lenient = true;
+  ParseReport report;
+  LabeledDataset loaded =
+      ParseDatasetCsv(text, lenient, &report).ValueOrDie();
+
+  EXPECT_EQ(report.rows_seen, 5);
+  EXPECT_EQ(report.rows_loaded, 3);
+  ASSERT_EQ(report.skipped.size(), 2u);
+  EXPECT_FALSE(report.AllRowsLoaded());
+  // Diagnostics carry document row indices (the header is row 0).
+  EXPECT_EQ(report.skipped[0].row, 2u);
+  EXPECT_EQ(report.skipped[1].row, 4u);
+  EXPECT_NE(report.ToString().find("skipped 2"), std::string::npos);
+
+  // Skipped rows leave no trace: facts, votes, and truth labels all
+  // come from the surviving rows only.
+  ASSERT_EQ(loaded.dataset.num_facts(), 3);
+  EXPECT_EQ(loaded.dataset.fact_name(0), "r1");
+  EXPECT_EQ(loaded.dataset.fact_name(1), "r3");
+  EXPECT_EQ(loaded.dataset.fact_name(2), "r5");
+  EXPECT_EQ(loaded.dataset.GetVote(0, 1), Vote::kFalse);
+  EXPECT_EQ(loaded.dataset.GetVote(1, 2), Vote::kFalse);
+  ASSERT_TRUE(loaded.truth.has_value());
+  EXPECT_TRUE(loaded.truth->IsTrue(0));
+  EXPECT_FALSE(loaded.truth->IsTrue(1));
+  EXPECT_TRUE(loaded.truth->IsTrue(2));
+}
+
+TEST(DatasetIoTest, LenientCleanInputReportsAllLoaded) {
+  DatasetCsvOptions lenient;
+  lenient.lenient = true;
+  ParseReport report;
+  LabeledDataset loaded =
+      ParseDatasetCsv("fact,s1\nr1,T\nr2,F\n", lenient, &report)
+          .ValueOrDie();
+  EXPECT_EQ(loaded.dataset.num_facts(), 2);
+  EXPECT_TRUE(report.AllRowsLoaded());
+  EXPECT_EQ(report.rows_seen, 2);
+  EXPECT_EQ(report.rows_loaded, 2);
+}
+
+TEST(DatasetIoTest, LenientStillRejectsBrokenHeader) {
+  DatasetCsvOptions lenient;
+  lenient.lenient = true;
+  ParseReport report;
+  EXPECT_EQ(ParseDatasetCsv("bogus,s1\nr1,T\n", lenient, &report)
+                .status()
+                .code(),
+            StatusCode::kParseError);
 }
 
 }  // namespace

@@ -55,6 +55,14 @@ TEST(GoldenIoTest, RejectsMalformedInputs) {
             StatusCode::kNotFound);
 }
 
+TEST(GoldenIoTest, MissingFileIsNotFound) {
+  MotivatingExample example = MakeMotivatingExample();
+  auto result = LoadGoldenCsv("/nope/missing_golden.csv", example.dataset);
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+  EXPECT_NE(result.status().message().find("/nope/missing_golden.csv"),
+            std::string::npos);
+}
+
 TEST(GoldenIoTest, FileRoundTrip) {
   MotivatingExample example = MakeMotivatingExample();
   GoldenSet golden = GoldenSet::FromFullTruth(example.truth);
