@@ -9,7 +9,10 @@
 #include "core/fact_group.h"
 #include "core/inc_estimate.h"
 #include "core/online.h"
+#include "core/three_estimate.h"
+#include "core/truth_finder.h"
 #include "core/two_estimate.h"
+#include "core/vote_matrix.h"
 #include "core/voting.h"
 #include "synth/restaurant_sim.h"
 #include "synth/rumor_sim.h"
@@ -91,6 +94,60 @@ void BM_TwoEstimateFull(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_TwoEstimateFull)->Arg(10000)->Arg(36916);
+
+// Thread-scaling sweep for the parallel vote-matrix sweeps: same
+// 100k-statement synthetic corpus at 1/2/4/8 worker threads. Results
+// are bit-identical across rows (see the parity suite); only time
+// should move. On a multicore host 4 threads should cut TwoEstimate
+// wall time by >= 2x; a single-core host shows flat-to-slightly-worse
+// timings (pool dispatch overhead with no parallel hardware).
+void BM_TwoEstimateScaling(benchmark::State& state) {
+  const SyntheticDataset& data = SharedSynthetic(100000);
+  TwoEstimateOptions options;
+  options.num_threads = static_cast<int>(state.range(0));
+  TwoEstimateCorroborator two_estimate(options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(two_estimate.Run(data.dataset).ValueOrDie());
+  }
+  state.SetItemsProcessed(state.iterations() * 100000);
+}
+BENCHMARK(BM_TwoEstimateScaling)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ThreeEstimateScaling(benchmark::State& state) {
+  const SyntheticDataset& data = SharedSynthetic(100000);
+  ThreeEstimateOptions options;
+  options.num_threads = static_cast<int>(state.range(0));
+  ThreeEstimateCorroborator three_estimate(options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(three_estimate.Run(data.dataset).ValueOrDie());
+  }
+  state.SetItemsProcessed(state.iterations() * 100000);
+}
+BENCHMARK(BM_ThreeEstimateScaling)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_TruthFinderScaling(benchmark::State& state) {
+  const SyntheticDataset& data = SharedSynthetic(100000);
+  TruthFinderOptions options;
+  options.num_threads = static_cast<int>(state.range(0));
+  TruthFinderCorroborator truth_finder(options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(truth_finder.Run(data.dataset).ValueOrDie());
+  }
+  state.SetItemsProcessed(state.iterations() * 100000);
+}
+BENCHMARK(BM_TruthFinderScaling)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_VoteMatrixBuild(benchmark::State& state) {
+  const SyntheticDataset& data = SharedSynthetic(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(VoteMatrix(data.dataset));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_VoteMatrixBuild)->Arg(10000)->Arg(100000);
 
 void BM_IncEstHeuFull(benchmark::State& state) {
   const SyntheticDataset& data = SharedSynthetic(state.range(0));

@@ -9,6 +9,7 @@
 #include "common/flags.h"
 #include "common/string_util.h"
 #include "common/table_printer.h"
+#include "common/thread_pool.h"
 #include "core/inc_estimate.h"
 #include "core/online.h"
 #include "core/online_checkpoint.h"
@@ -82,6 +83,10 @@ GLOBAL FLAGS
   --lenient
       Skip malformed dataset rows (reported on stderr) instead of
       failing the whole load. Strict parsing remains the default.
+  --threads N
+      Worker threads for the iterative corroborators' update sweeps
+      (default: the hardware concurrency). Results are bit-identical
+      at any value; --threads 1 is the sequential legacy path.
   --failpoint <name>=<mode>[:opt...][,<name>=...]
       Arm fault-injection points for testing, e.g.
       --failpoint cli.stream.observe=fail:1:skip=500
@@ -106,6 +111,17 @@ int Fail(std::ostream& err, const std::string& message) {
   return 1;
 }
 
+/// Reads the global --threads flag (default: hardware concurrency).
+Result<CorroboratorOptions> SharedOptions(const FlagParser& flags) {
+  CorroboratorOptions options;
+  options.num_threads = static_cast<int>(
+      flags.GetInt("threads", DefaultThreadCount()));
+  if (options.num_threads < 1) {
+    return Status::InvalidArgument("--threads must be >= 1");
+  }
+  return options;
+}
+
 Result<LabeledDataset> LoadInput(const FlagParser& flags,
                                  std::ostream& err) {
   std::string path = flags.GetString("input", "");
@@ -127,8 +143,10 @@ int CmdRun(const FlagParser& flags, std::ostream& out, std::ostream& err) {
   if (!loaded.ok()) return Fail(err, loaded.status());
   const Dataset& dataset = loaded.ValueOrDie().dataset;
 
+  auto shared = SharedOptions(flags);
+  if (!shared.ok()) return Fail(err, shared.status());
   std::string algorithm_name = flags.GetString("algorithm", "IncEstHeu");
-  auto algorithm = MakeCorroborator(algorithm_name);
+  auto algorithm = MakeCorroborator(algorithm_name, shared.ValueOrDie());
   if (!algorithm.ok()) return Fail(err, algorithm.status());
   auto result = algorithm.ValueOrDie()->Run(dataset);
   if (!result.ok()) return Fail(err, result.status());
@@ -191,9 +209,11 @@ int CmdEval(const FlagParser& flags, std::ostream& out, std::ostream& err) {
     }
   }
 
+  auto shared = SharedOptions(flags);
+  if (!shared.ok()) return Fail(err, shared.status());
   TablePrinter table({"Algorithm", "Precision", "Recall", "Accuracy", "F-1"});
   for (const std::string& name : names) {
-    auto algorithm = MakeCorroborator(name);
+    auto algorithm = MakeCorroborator(name, shared.ValueOrDie());
     if (!algorithm.ok()) return Fail(err, algorithm.status());
     auto result = algorithm.ValueOrDie()->Run(labeled.dataset);
     if (!result.ok()) return Fail(err, result.status());
@@ -333,8 +353,11 @@ int CmdTrajectory(const FlagParser& flags, std::ostream& out,
   std::string output = flags.GetString("output", "");
   if (output.empty()) return Fail(err, "--output is required");
 
+  auto shared = SharedOptions(flags);
+  if (!shared.ok()) return Fail(err, shared.status());
   IncEstimateOptions options;
   options.record_trajectory = true;
+  options.num_threads = shared.ValueOrDie().num_threads;
   std::string strategy = flags.GetString("strategy", "IncEstHeu");
   if (strategy == "IncEstPS") {
     options.strategy = IncSelectStrategy::kProbability;
@@ -363,9 +386,12 @@ int CmdCompare(const FlagParser& flags, std::ostream& out,
   const std::string right_name = flags.GetString("right", "Voting");
   const int64_t show = flags.GetInt("show", 20);
 
+  auto shared = SharedOptions(flags);
+  if (!shared.ok()) return Fail(err, shared.status());
   auto run = [&](const std::string& name) -> Result<CorroborationResult> {
-    CORROB_ASSIGN_OR_RETURN(std::unique_ptr<Corroborator> algorithm,
-                            MakeCorroborator(name));
+    CORROB_ASSIGN_OR_RETURN(
+        std::unique_ptr<Corroborator> algorithm,
+        MakeCorroborator(name, shared.ValueOrDie()));
     return algorithm->Run(dataset);
   };
   auto left = run(left_name);

@@ -20,7 +20,11 @@ void ThreadPool::Submit(std::function<void()> task) {
   CORROB_CHECK(task != nullptr) << "null task";
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    CORROB_CHECK(!shutting_down_) << "Submit after Shutdown";
+    if (shutting_down_) {
+      CORROB_LOG_WARNING
+          << "ThreadPool::Submit after Shutdown; dropping the task";
+      return;
+    }
     queue_.push_back(std::move(task));
     ++in_flight_;
   }
@@ -80,6 +84,29 @@ void ParallelFor(int64_t count, int num_threads,
     pool.Submit([&fn, i] { fn(i); });
   }
   pool.Wait();
+}
+
+void ParallelApply(ThreadPool* pool, int64_t count,
+                   const std::function<void(int64_t, int64_t)>& fn) {
+  if (count <= 0) return;
+  if (pool == nullptr || pool->num_threads() <= 1 || count == 1) {
+    fn(0, count);
+    return;
+  }
+  // A few chunks per worker smooths imbalance between ranges without
+  // per-index submission overhead. The chunk layout only affects
+  // scheduling, never results: fn owns its indices exclusively.
+  const int64_t chunks = std::min<int64_t>(
+      count, static_cast<int64_t>(pool->num_threads()) * 4);
+  const int64_t base = count / chunks;
+  const int64_t extra = count % chunks;
+  int64_t begin = 0;
+  for (int64_t c = 0; c < chunks; ++c) {
+    const int64_t end = begin + base + (c < extra ? 1 : 0);
+    pool->Submit([&fn, begin, end] { fn(begin, end); });
+    begin = end;
+  }
+  pool->Wait();
 }
 
 int DefaultThreadCount() {

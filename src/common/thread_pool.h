@@ -1,6 +1,7 @@
 #ifndef CORROB_COMMON_THREAD_POOL_H_
 #define CORROB_COMMON_THREAD_POOL_H_
 
+#include <algorithm>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -26,7 +27,9 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues a task. Must not be called after Shutdown().
+  /// Enqueues a task. Calling after Shutdown() is a logged no-op: the
+  /// task is dropped, never executed (callers that need the work done
+  /// must submit before shutting down).
   void Submit(std::function<void()> task);
 
   /// Blocks until every submitted task has finished executing.
@@ -54,6 +57,57 @@ class ThreadPool {
 /// concurrently for distinct i.
 void ParallelFor(int64_t count, int num_threads,
                  const std::function<void(int64_t)>& fn);
+
+/// Runs fn(begin, end) over disjoint contiguous ranges covering
+/// [0, count) and blocks until every range has been processed. With a
+/// null `pool` (or a single-worker pool, or count == 1) the whole
+/// range runs inline as fn(0, count) — the sequential legacy path.
+/// `fn` must only touch state owned by indices inside its range; under
+/// that contract every element is computed exactly as in a sequential
+/// loop, so results are bit-identical at any worker count.
+void ParallelApply(ThreadPool* pool, int64_t count,
+                   const std::function<void(int64_t, int64_t)>& fn);
+
+/// Deterministic parallel reduction over [0, count).
+///
+/// The range is split into fixed-size chunks of `grain` indices — a
+/// layout that depends only on `count` and `grain`, never on the
+/// worker count or scheduling. Each chunk's partial value is computed
+/// by `map(begin, end)` sequentially in ascending index order, and the
+/// partials are folded with `combine` in ascending *chunk* order:
+///
+///   result = combine(...combine(combine(init, m0), m1)..., mK)
+///
+/// Because both the chunk layout and the combination order are fixed,
+/// the result is bit-identical for every pool size, including the
+/// pool-less inline path — never use atomics on doubles for this.
+template <typename T, typename Map, typename Combine>
+T DeterministicReduce(ThreadPool* pool, int64_t count, int64_t grain, T init,
+                      const Map& map, const Combine& combine) {
+  if (count <= 0) return init;
+  grain = std::max<int64_t>(1, grain);
+  const int64_t num_chunks = (count + grain - 1) / grain;
+  std::vector<T> partials(static_cast<size_t>(num_chunks));
+  if (pool == nullptr || pool->num_threads() <= 1 || num_chunks == 1) {
+    for (int64_t c = 0; c < num_chunks; ++c) {
+      partials[static_cast<size_t>(c)] =
+          map(c * grain, std::min(count, (c + 1) * grain));
+    }
+  } else {
+    for (int64_t c = 0; c < num_chunks; ++c) {
+      pool->Submit([&partials, &map, c, grain, count] {
+        partials[static_cast<size_t>(c)] =
+            map(c * grain, std::min(count, (c + 1) * grain));
+      });
+    }
+    pool->Wait();
+  }
+  T acc = init;
+  for (int64_t c = 0; c < num_chunks; ++c) {
+    acc = combine(acc, partials[static_cast<size_t>(c)]);
+  }
+  return acc;
+}
 
 /// A reasonable worker count for compute-bound sweeps.
 int DefaultThreadCount();

@@ -1,8 +1,10 @@
 #include "core/cosine.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/math_util.h"
+#include "core/vote_matrix.h"
 
 namespace corrob {
 
@@ -17,61 +19,72 @@ Result<CorroborationResult> CosineCorroborator::Run(
   if (options_.max_iterations < 1) {
     return Status::InvalidArgument("max_iterations must be >= 1");
   }
+  if (options_.num_threads < 1) {
+    return Status::InvalidArgument("num_threads must be >= 1");
+  }
 
-  const size_t facts = static_cast<size_t>(dataset.num_facts());
-  const size_t sources = static_cast<size_t>(dataset.num_sources());
+  const VoteMatrix matrix(dataset);
+  std::unique_ptr<ThreadPool> pool = MakeSweepPool(options_.num_threads);
+  const size_t facts = static_cast<size_t>(matrix.num_facts());
+  const size_t sources = static_cast<size_t>(matrix.num_sources());
   std::vector<double> trust(sources, options_.initial_trust);
   std::vector<double> value(facts, 0.0);  // V(f) in [-1, 1].
 
-  auto vote_sign = [](Vote v) { return v == Vote::kTrue ? 1.0 : -1.0; };
+  auto vote_sign = [](uint8_t is_true) { return is_true ? 1.0 : -1.0; };
 
   int iteration = 0;
   for (; iteration < options_.max_iterations; ++iteration) {
-    // Truth update, weighted by T(s)^p (negative trust flips votes).
-    for (FactId f = 0; f < dataset.num_facts(); ++f) {
-      auto votes = dataset.VotesOnFact(f);
-      if (votes.empty()) {
+    // Truth update, weighted by T(s)^p (negative trust flips votes),
+    // partitioned by fact.
+    matrix.ForEachFact(pool.get(), [&](FactId f) {
+      auto voters = matrix.FactSources(f);
+      if (voters.empty()) {
         value[static_cast<size_t>(f)] = 0.0;
-        continue;
+        return;
       }
+      auto is_true = matrix.FactVotesTrue(f);
       double numerator = 0.0;
       double denominator = 0.0;
-      for (const SourceVote& sv : votes) {
-        double t = trust[static_cast<size_t>(sv.source)];
-        double w = std::copysign(
+      for (size_t k = 0; k < voters.size(); ++k) {
+        const double t = trust[static_cast<size_t>(voters[k])];
+        const double w = std::copysign(
             std::pow(std::fabs(t), options_.trust_power), t);
-        numerator += vote_sign(sv.vote) * w;
+        numerator += vote_sign(is_true[k]) * w;
         denominator += std::fabs(w);
       }
       value[static_cast<size_t>(f)] =
           denominator > 0.0 ? Clamp(numerator / denominator, -1.0, 1.0)
                             : 0.0;
-    }
+    });
 
     // Trust update: damped cosine similarity between the source's
-    // vote vector and the current estimates.
-    double max_change = 0.0;
-    for (SourceId s = 0; s < dataset.num_sources(); ++s) {
-      auto votes = dataset.VotesBySource(s);
-      if (votes.empty()) continue;
+    // vote vector and the current estimates, partitioned by source.
+    std::vector<double> next_trust = trust;
+    matrix.ForEachSource(pool.get(), [&](SourceId s) {
+      auto voted = matrix.SourceFacts(s);
+      if (voted.empty()) return;
+      auto is_true = matrix.SourceVotesTrue(s);
       double dot = 0.0;
       double value_norm_sq = 0.0;
-      for (const FactVote& fv : votes) {
-        double v = value[static_cast<size_t>(fv.fact)];
-        dot += vote_sign(fv.vote) * v;
+      for (size_t k = 0; k < voted.size(); ++k) {
+        const double v = value[static_cast<size_t>(voted[k])];
+        dot += vote_sign(is_true[k]) * v;
         value_norm_sq += v * v;
       }
-      double vote_norm = std::sqrt(static_cast<double>(votes.size()));
-      double value_norm = std::sqrt(value_norm_sq);
-      double cosine = (vote_norm > 0.0 && value_norm > 0.0)
-                          ? dot / (vote_norm * value_norm)
-                          : 0.0;
-      double next = options_.damping * trust[static_cast<size_t>(s)] +
-                    (1.0 - options_.damping) * cosine;
-      max_change =
-          std::max(max_change, std::fabs(next - trust[static_cast<size_t>(s)]));
-      trust[static_cast<size_t>(s)] = next;
+      const double vote_norm = std::sqrt(static_cast<double>(voted.size()));
+      const double value_norm = std::sqrt(value_norm_sq);
+      const double cosine = (vote_norm > 0.0 && value_norm > 0.0)
+                                ? dot / (vote_norm * value_norm)
+                                : 0.0;
+      next_trust[static_cast<size_t>(s)] =
+          options_.damping * trust[static_cast<size_t>(s)] +
+          (1.0 - options_.damping) * cosine;
+    });
+    double max_change = 0.0;
+    for (size_t s = 0; s < sources; ++s) {
+      max_change = std::max(max_change, std::fabs(next_trust[s] - trust[s]));
     }
+    trust = std::move(next_trust);
     if (max_change < options_.tolerance) {
       ++iteration;
       break;

@@ -16,6 +16,9 @@ struct CosineOptions {
   double trust_power = 3.0;
   int max_iterations = 100;
   double tolerance = 1e-9;
+  /// Worker threads for the update sweeps; 1 = sequential legacy
+  /// path. Results are bit-identical at any value.
+  int num_threads = 1;
 };
 
 /// Cosine (Galland, Abiteboul, Marian & Senellart, WSDM'10) — the

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <limits>
+#include <memory>
 
 #include "common/logging.h"
 #include "common/math_util.h"
+#include "core/vote_matrix.h"
 
 namespace corrob {
 
@@ -37,8 +39,8 @@ IncrementalEngine::IncrementalEngine(const Dataset& dataset,
       fact_probability_(static_cast<size_t>(dataset.num_facts()), 0.5),
       group_of_fact_(static_cast<size_t>(dataset.num_facts()), -1),
       fact_round_(static_cast<size_t>(dataset.num_facts()), -1),
-      remaining_facts_(dataset.num_facts()),
-      visit_stamp_(groups_.size(), -1) {
+      remaining_facts_(dataset.num_facts()) {
+  scratch_.visit_stamp.assign(groups_.size(), -1);
   for (size_t g = 0; g < groups_.size(); ++g) {
     for (FactId f : groups_[g].facts) {
       group_of_fact_[static_cast<size_t>(f)] = static_cast<int32_t>(g);
@@ -53,7 +55,24 @@ double IncrementalEngine::GroupProbability(int32_t g) const {
   return SignatureScore(groups_[static_cast<size_t>(g)].signature, trust_);
 }
 
+void IncrementalEngine::ComputeGroupProbabilities(
+    ThreadPool* pool, std::vector<double>* probs) const {
+  probs->resize(groups_.size());
+  ParallelApply(pool, static_cast<int64_t>(groups_.size()),
+                [this, probs](int64_t begin, int64_t end) {
+                  for (int64_t g = begin; g < end; ++g) {
+                    (*probs)[static_cast<size_t>(g)] = SignatureScore(
+                        groups_[static_cast<size_t>(g)].signature, trust_);
+                  }
+                });
+}
+
 double IncrementalEngine::EntropyDelta(int32_t g) const {
+  return EntropyDelta(g, &scratch_);
+}
+
+double IncrementalEngine::EntropyDelta(int32_t g,
+                                       EntropyScratch* scratch) const {
   const FactGroup& group = groups_[static_cast<size_t>(g)];
   if (group.remaining() == 0) return 0.0;
 
@@ -65,30 +84,35 @@ double IncrementalEngine::EntropyDelta(int32_t g) const {
   // Tentative trust for the sources in the candidate's signature,
   // under the same smoothed Eq. 8 update EndRound applies.
   const double w = options_.trust_prior_weight;
-  std::vector<double> projected = trust_;
+  scratch->projected = trust_;
   for (const SourceVote& sv : group.signature) {
     size_t s = static_cast<size_t>(sv.source);
     bool vote_correct = (sv.vote == Vote::kTrue) == decision;
     double new_total = total_[s] + committed + w;
     double new_correct = correct_[s] + (vote_correct ? committed : 0.0) +
                          w * options_.initial_trust;
-    projected[s] = new_correct / new_total;
+    scratch->projected[s] = new_correct / new_total;
   }
 
   // Sum entropy changes over the other active groups that share a
   // source with the candidate; disjoint groups are unaffected.
+  if (scratch->visit_stamp.size() != groups_.size()) {
+    scratch->visit_stamp.assign(groups_.size(), -1);
+    scratch->stamp = 0;
+  }
   double delta = 0.0;
-  ++stamp_;
+  ++scratch->stamp;
   for (const SourceVote& sv : group.signature) {
     for (int32_t other : groups_by_source_[static_cast<size_t>(sv.source)]) {
       if (other == g) continue;
       size_t oi = static_cast<size_t>(other);
-      if (visit_stamp_[oi] == stamp_) continue;
-      visit_stamp_[oi] = stamp_;
+      if (scratch->visit_stamp[oi] == scratch->stamp) continue;
+      scratch->visit_stamp[oi] = scratch->stamp;
       const FactGroup& other_group = groups_[oi];
       if (other_group.remaining() == 0) continue;
       double before = SignatureScore(other_group.signature, trust_);
-      double after = SignatureScore(other_group.signature, projected);
+      double after =
+          SignatureScore(other_group.signature, scratch->projected);
       delta += static_cast<double>(other_group.remaining()) *
                (BinaryEntropy(after) - BinaryEntropy(before));
     }
@@ -191,19 +215,20 @@ CorroborationResult IncrementalEngine::Finish(std::string algorithm_name) && {
 
 int32_t IncEstimateCorroborator::PickBestGroup(
     const IncrementalEngine& engine, const std::vector<int32_t>& part,
-    bool is_positive) const {
+    bool is_positive, const std::vector<double>& group_probs,
+    ThreadPool* pool) const {
   // Confidence-first filter: keep only groups within extreme_band of
   // the part's most extreme probability, so ΔH chooses among the most
   // confidently decidable groups (as in the paper's walkthrough,
   // which picks r9 at σ=0.9 and r12 at σ=0.37).
   double extreme = is_positive ? 0.0 : 1.0;
   for (int32_t g : part) {
-    double p = engine.GroupProbability(g);
+    double p = group_probs[static_cast<size_t>(g)];
     extreme = is_positive ? std::max(extreme, p) : std::min(extreme, p);
   }
   std::vector<int32_t> candidates;
   for (int32_t g : part) {
-    double p = engine.GroupProbability(g);
+    double p = group_probs[static_cast<size_t>(g)];
     if (is_positive ? p >= extreme - options_.extreme_band
                     : p <= extreme + options_.extreme_band) {
       candidates.push_back(g);
@@ -224,13 +249,25 @@ int32_t IncEstimateCorroborator::PickBestGroup(
         });
     candidates.resize(static_cast<size_t>(options_.max_candidate_groups));
   }
+  // ΔH scan: candidates evaluate independently (per-chunk scratch),
+  // and the argmax folds sequentially in candidate order afterwards —
+  // same first-maximum tie-break as the sequential loop, so the pick
+  // is identical at any thread count.
+  std::vector<double> deltas(candidates.size());
+  ParallelApply(pool, static_cast<int64_t>(candidates.size()),
+                [&engine, &candidates, &deltas](int64_t begin, int64_t end) {
+                  EntropyScratch scratch;
+                  for (int64_t i = begin; i < end; ++i) {
+                    deltas[static_cast<size_t>(i)] = engine.EntropyDelta(
+                        candidates[static_cast<size_t>(i)], &scratch);
+                  }
+                });
   int32_t best = candidates[0];
   double best_delta = -std::numeric_limits<double>::infinity();
-  for (int32_t g : candidates) {
-    double delta = engine.EntropyDelta(g);
-    if (delta > best_delta) {
-      best_delta = delta;
-      best = g;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    if (deltas[i] > best_delta) {
+      best_delta = deltas[i];
+      best = candidates[i];
     }
   }
   return best;
@@ -253,9 +290,16 @@ Result<CorroborationResult> IncEstimateCorroborator::Run(
   if (options_.extreme_band < 0.0) {
     return Status::InvalidArgument("extreme_band must be >= 0");
   }
+  if (options_.num_threads < 1) {
+    return Status::InvalidArgument("num_threads must be >= 1");
+  }
 
   IncrementalEngine engine(dataset, options_);
   const int32_t num_groups = static_cast<int32_t>(engine.groups().size());
+  std::unique_ptr<ThreadPool> pool = MakeSweepPool(options_.num_threads);
+  // σ(FG) of every group, refreshed once per round; the selection
+  // logic below reads only this snapshot, never live probabilities.
+  std::vector<double> group_probs;
 
   // Supervision: seed the trust state with the known labels as time
   // point t0, before any selection round.
@@ -281,13 +325,14 @@ Result<CorroborationResult> IncEstimateCorroborator::Run(
 
   while (engine.remaining_facts() > 0) {
     ++round;
+    engine.ComputeGroupProbabilities(pool.get(), &group_probs);
     if (options_.strategy == IncSelectStrategy::kProbability) {
       // IncEstPS: the group with the highest projected probability.
       int32_t best = -1;
       double best_p = -1.0;
       for (int32_t g = 0; g < num_groups; ++g) {
         if (engine.groups()[static_cast<size_t>(g)].remaining() == 0) continue;
-        double p = engine.GroupProbability(g);
+        double p = group_probs[static_cast<size_t>(g)];
         if (p > best_p) {
           best_p = p;
           best = g;
@@ -312,7 +357,7 @@ Result<CorroborationResult> IncEstimateCorroborator::Run(
     for (int32_t g = 0; g < num_groups; ++g) {
       const FactGroup& group = engine.groups()[static_cast<size_t>(g)];
       if (group.remaining() == 0) continue;
-      double p = engine.GroupProbability(g);
+      double p = group_probs[static_cast<size_t>(g)];
       if (p > kDecisionThreshold + options_.tie_margin) {
         // Optional quarantine (ablation knob): hold back positive
         // groups containing a currently negative source, so a
@@ -371,9 +416,10 @@ Result<CorroborationResult> IncEstimateCorroborator::Run(
       // re-partition — the trust update may move deferred groups
       // into a part or revive the other side.
       bool is_negative = positive.empty();
-      int32_t best = is_negative
-                         ? PickBestGroup(engine, negative, false)
-                         : PickBestGroup(engine, positive, true);
+      int32_t best =
+          is_negative
+              ? PickBestGroup(engine, negative, false, group_probs, pool.get())
+              : PickBestGroup(engine, positive, true, group_probs, pool.get());
       int64_t committed = engine.CommitGroup(
           best, static_cast<int64_t>(
                     engine.groups()[static_cast<size_t>(best)].remaining()));
@@ -385,8 +431,10 @@ Result<CorroborationResult> IncEstimateCorroborator::Run(
       continue;
     }
 
-    int32_t best_positive = PickBestGroup(engine, positive, true);
-    int32_t best_negative = PickBestGroup(engine, negative, false);
+    int32_t best_positive =
+        PickBestGroup(engine, positive, true, group_probs, pool.get());
+    int32_t best_negative =
+        PickBestGroup(engine, negative, false, group_probs, pool.get());
     int64_t n = static_cast<int64_t>(std::min(
         engine.groups()[static_cast<size_t>(best_positive)].remaining(),
         engine.groups()[static_cast<size_t>(best_negative)].remaining()));

@@ -3,8 +3,10 @@
 
 #include <cstdint>
 #include <functional>
+#include <utility>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "core/corroborator.h"
 #include "core/fact_group.h"
 
@@ -107,6 +109,21 @@ struct IncEstimateOptions {
   /// knowledge rather than only for evaluation. Duplicate or
   /// out-of-range fact ids fail the run.
   std::vector<std::pair<FactId, bool>> known_labels;
+  /// Worker threads for the per-round group-projection scan and the
+  /// ΔH candidate evaluation; 1 = sequential legacy path. Results
+  /// are bit-identical at any value (the parallel scans write
+  /// disjoint slots and the argmax folds in fixed group order).
+  int num_threads = 1;
+};
+
+/// Per-thread scratch for IncrementalEngine::EntropyDelta: the
+/// projected-trust vector and the visitation stamps that keep the
+/// shared-source walk from double-counting a group. One scratch per
+/// concurrent caller makes the scan thread-safe without locks.
+struct EntropyScratch {
+  std::vector<double> projected;
+  std::vector<int64_t> visit_stamp;
+  int64_t stamp = 0;
 };
 
 /// The mutable state of one incremental corroboration run, exposed so
@@ -140,7 +157,19 @@ class IncrementalEngine {
 
   /// ΔH(F̄) score of committing all remaining facts of group `g`: the
   /// total entropy change over the other active groups (paper Eq. 9).
+  /// Uses the engine's own scratch; single-threaded callers only.
   double EntropyDelta(int32_t g) const;
+
+  /// Re-entrant variant for parallel ΔH scans: all mutable state
+  /// lives in `scratch`, so distinct scratches may evaluate distinct
+  /// groups concurrently. Bit-identical to EntropyDelta(g).
+  double EntropyDelta(int32_t g, EntropyScratch* scratch) const;
+
+  /// σ(FG) of every group (committed ones included) under the current
+  /// trust, written into `probs` — the per-round projection scan,
+  /// partitioned by group across `pool` (inline when null).
+  void ComputeGroupProbabilities(ThreadPool* pool,
+                                 std::vector<double>* probs) const;
 
   /// Commits up to `n` remaining facts of group `g` with the group's
   /// current probability; returns how many facts were committed.
@@ -187,9 +216,8 @@ class IncrementalEngine {
   int64_t remaining_facts_ = 0;
   int rounds_ = 0;
   std::vector<TrajectoryPoint> trajectory_;
-  // Scratch for EntropyDelta (round-stamped visitation).
-  mutable std::vector<int64_t> visit_stamp_;
-  mutable int64_t stamp_ = 0;
+  // Scratch for the single-threaded EntropyDelta overload.
+  mutable EntropyScratch scratch_;
 };
 
 /// IncEstimate (paper Algorithm 1) with a pluggable selection
@@ -210,9 +238,13 @@ class IncEstimateCorroborator final : public Corroborator {
  private:
   /// Returns the part's group with the highest ΔH among the
   /// extreme-band candidates (see IncEstimateOptions::extreme_band).
+  /// `group_probs` holds the precomputed σ(FG) of every group; the ΔH
+  /// candidates are evaluated across `pool` (inline when null) with
+  /// per-chunk scratch and the argmax folds in fixed candidate order.
   int32_t PickBestGroup(const IncrementalEngine& engine,
-                        const std::vector<int32_t>& part,
-                        bool is_positive) const;
+                        const std::vector<int32_t>& part, bool is_positive,
+                        const std::vector<double>& group_probs,
+                        ThreadPool* pool) const;
 
   IncEstimateOptions options_;
 };

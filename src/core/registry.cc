@@ -14,6 +14,14 @@ namespace corrob {
 
 Result<std::unique_ptr<Corroborator>> MakeCorroborator(
     const std::string& name) {
+  return MakeCorroborator(name, CorroboratorOptions{});
+}
+
+Result<std::unique_ptr<Corroborator>> MakeCorroborator(
+    const std::string& name, const CorroboratorOptions& shared) {
+  if (shared.num_threads < 1) {
+    return Status::InvalidArgument("num_threads must be >= 1");
+  }
   if (name == "Voting") {
     return std::unique_ptr<Corroborator>(new VotingCorroborator());
   }
@@ -21,19 +29,28 @@ Result<std::unique_ptr<Corroborator>> MakeCorroborator(
     return std::unique_ptr<Corroborator>(new CountingCorroborator());
   }
   if (name == "TwoEstimate") {
-    return std::unique_ptr<Corroborator>(new TwoEstimateCorroborator());
+    TwoEstimateOptions options;
+    options.num_threads = shared.num_threads;
+    return std::unique_ptr<Corroborator>(new TwoEstimateCorroborator(options));
   }
   if (name == "ThreeEstimate") {
-    return std::unique_ptr<Corroborator>(new ThreeEstimateCorroborator());
+    ThreeEstimateOptions options;
+    options.num_threads = shared.num_threads;
+    return std::unique_ptr<Corroborator>(
+        new ThreeEstimateCorroborator(options));
   }
   if (name == "BayesEstimate") {
     return std::unique_ptr<Corroborator>(new BayesEstimateCorroborator());
   }
   if (name == "Cosine") {
-    return std::unique_ptr<Corroborator>(new CosineCorroborator());
+    CosineOptions options;
+    options.num_threads = shared.num_threads;
+    return std::unique_ptr<Corroborator>(new CosineCorroborator(options));
   }
   if (name == "TruthFinder") {
-    return std::unique_ptr<Corroborator>(new TruthFinderCorroborator());
+    TruthFinderOptions options;
+    options.num_threads = shared.num_threads;
+    return std::unique_ptr<Corroborator>(new TruthFinderCorroborator(options));
   }
   if (name == "AvgLog" || name == "Invest" || name == "PooledInvest") {
     PasternackOptions options;
@@ -49,11 +66,13 @@ Result<std::unique_ptr<Corroborator>> MakeCorroborator(
   if (name == "IncEstHeu") {
     IncEstimateOptions options;
     options.strategy = IncSelectStrategy::kHeuristic;
+    options.num_threads = shared.num_threads;
     return std::unique_ptr<Corroborator>(new IncEstimateCorroborator(options));
   }
   if (name == "IncEstPS") {
     IncEstimateOptions options;
     options.strategy = IncSelectStrategy::kProbability;
+    options.num_threads = shared.num_threads;
     return std::unique_ptr<Corroborator>(new IncEstimateCorroborator(options));
   }
   return Status::NotFound("unknown corroborator: '" + name + "'");

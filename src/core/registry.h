@@ -10,6 +10,17 @@
 
 namespace corrob {
 
+/// Cross-cutting knobs applied on top of each algorithm's defaults
+/// when constructing through the registry.
+struct CorroboratorOptions {
+  /// Worker threads for the iterative corroborators' update sweeps
+  /// (TwoEstimate, ThreeEstimate, Cosine, TruthFinder, IncEst*).
+  /// 1 = sequential legacy path; results are bit-identical at any
+  /// value. One-shot methods (Voting, Counting, BayesEstimate, the
+  /// Pasternack family) ignore it.
+  int num_threads = 1;
+};
+
 /// Constructs a corroborator by its canonical name with default
 /// options. Known names (case-sensitive):
 ///   "Voting", "Counting", "TwoEstimate", "ThreeEstimate",
@@ -18,6 +29,10 @@ namespace corrob {
 ///   "Cosine", "TruthFinder", "AvgLog", "Invest", "PooledInvest".
 Result<std::unique_ptr<Corroborator>> MakeCorroborator(
     const std::string& name);
+
+/// Same, with the cross-cutting options applied.
+Result<std::unique_ptr<Corroborator>> MakeCorroborator(
+    const std::string& name, const CorroboratorOptions& options);
 
 /// The names of the paper's own methods, in the order its Table 4
 /// lists them.

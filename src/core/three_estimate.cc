@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/math_util.h"
+#include "core/vote_matrix.h"
 
 namespace corrob {
 
@@ -18,9 +19,14 @@ Result<CorroborationResult> ThreeEstimateCorroborator::Run(
   if (options_.max_iterations < 1) {
     return Status::InvalidArgument("max_iterations must be >= 1");
   }
+  if (options_.num_threads < 1) {
+    return Status::InvalidArgument("num_threads must be >= 1");
+  }
 
-  const size_t facts = static_cast<size_t>(dataset.num_facts());
-  const size_t sources = static_cast<size_t>(dataset.num_sources());
+  const VoteMatrix matrix(dataset);
+  std::unique_ptr<ThreadPool> pool = MakeSweepPool(options_.num_threads);
+  const size_t facts = static_cast<size_t>(matrix.num_facts());
+  const size_t sources = static_cast<size_t>(matrix.num_sources());
   std::vector<double> trust(sources, options_.initial_trust);
   std::vector<double> difficulty(facts, options_.initial_difficulty);
   std::vector<double> probability(facts, 0.5);
@@ -28,61 +34,64 @@ Result<CorroborationResult> ThreeEstimateCorroborator::Run(
 
   int iteration = 0;
   for (; iteration < options_.max_iterations; ++iteration) {
-    // Corrob step with difficulty-discounted correctness.
-    for (FactId f = 0; f < dataset.num_facts(); ++f) {
-      auto votes = dataset.VotesOnFact(f);
-      if (votes.empty()) {
+    // Corrob step with difficulty-discounted correctness. Each fact
+    // reads only the previous trust and its own difficulty.
+    matrix.ForEachFact(pool.get(), [&](FactId f) {
+      auto voters = matrix.FactSources(f);
+      if (voters.empty()) {
         probability[static_cast<size_t>(f)] = 0.5;
-        continue;
+        return;
       }
-      double eps = difficulty[static_cast<size_t>(f)];
+      auto is_true = matrix.FactVotesTrue(f);
+      const double eps = difficulty[static_cast<size_t>(f)];
       double sum = 0.0;
-      for (const SourceVote& sv : votes) {
-        double correct =
-            1.0 - eps * (1.0 - trust[static_cast<size_t>(sv.source)]);
-        sum += sv.vote == Vote::kTrue ? correct : 1.0 - correct;
+      for (size_t k = 0; k < voters.size(); ++k) {
+        const double correct =
+            1.0 - eps * (1.0 - trust[static_cast<size_t>(voters[k])]);
+        sum += is_true[k] ? correct : 1.0 - correct;
       }
       probability[static_cast<size_t>(f)] =
-          sum / static_cast<double>(votes.size());
-    }
+          sum / static_cast<double>(voters.size());
+    });
     NormalizeEstimates(options_.normalization, &probability);
 
     // Difficulty update: how much disagreement the decisions leave,
     // attributed to the voters' residual untrustworthiness.
     std::vector<double> next_difficulty(facts, options_.initial_difficulty);
-    for (FactId f = 0; f < dataset.num_facts(); ++f) {
-      auto votes = dataset.VotesOnFact(f);
-      if (votes.empty()) continue;
-      bool decision = probability[static_cast<size_t>(f)] >= 0.5;
+    matrix.ForEachFact(pool.get(), [&](FactId f) {
+      auto voters = matrix.FactSources(f);
+      if (voters.empty()) return;
+      auto is_true = matrix.FactVotesTrue(f);
+      const bool decision = probability[static_cast<size_t>(f)] >= 0.5;
       double wrong = 0.0;
       double capacity = 0.0;
-      for (const SourceVote& sv : votes) {
-        bool voted_true = sv.vote == Vote::kTrue;
-        if (voted_true != decision) wrong += 1.0;
-        capacity += 1.0 - trust[static_cast<size_t>(sv.source)];
+      for (size_t k = 0; k < voters.size(); ++k) {
+        if ((is_true[k] != 0) != decision) wrong += 1.0;
+        capacity += 1.0 - trust[static_cast<size_t>(voters[k])];
       }
       next_difficulty[static_cast<size_t>(f)] = Clamp(
           (wrong + delta_smooth / 2.0) / (capacity + delta_smooth), 0.0, 1.0);
-    }
+    });
     difficulty = std::move(next_difficulty);
 
     // Trust update: wrong votes discounted by fact difficulty.
     std::vector<double> next_trust(sources, options_.initial_trust);
-    for (SourceId s = 0; s < dataset.num_sources(); ++s) {
-      auto votes = dataset.VotesBySource(s);
-      if (votes.empty()) continue;
+    matrix.ForEachSource(pool.get(), [&](SourceId s) {
+      auto voted = matrix.SourceFacts(s);
+      if (voted.empty()) return;
+      auto is_true = matrix.SourceVotesTrue(s);
       double wrong = 0.0;
       double capacity = 0.0;
-      for (const FactVote& fv : votes) {
-        bool decision = probability[static_cast<size_t>(fv.fact)] >= 0.5;
-        bool voted_true = fv.vote == Vote::kTrue;
-        if (voted_true != decision) wrong += 1.0;
-        capacity += difficulty[static_cast<size_t>(fv.fact)];
+      for (size_t k = 0; k < voted.size(); ++k) {
+        const bool decision =
+            probability[static_cast<size_t>(voted[k])] >= 0.5;
+        if ((is_true[k] != 0) != decision) wrong += 1.0;
+        capacity += difficulty[static_cast<size_t>(voted[k])];
       }
       next_trust[static_cast<size_t>(s)] = Clamp(
           1.0 - (wrong + delta_smooth / 2.0) / (capacity + delta_smooth), 0.0,
           1.0);
-    }
+    });
 
     double max_change = 0.0;
     for (size_t s = 0; s < sources; ++s) {

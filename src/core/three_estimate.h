@@ -16,6 +16,9 @@ struct ThreeEstimateOptions {
   /// facts voted on by perfectly trusted sources keep finite
   /// difficulty estimates.
   double smoothing = 0.1;
+  /// Worker threads for the update sweeps; 1 = sequential legacy
+  /// path. Results are bit-identical at any value.
+  int num_threads = 1;
 };
 
 /// ThreeEstimate (Galland et al., WSDM'10): extends TwoEstimate with a

@@ -1,8 +1,10 @@
 #include "core/truth_finder.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/math_util.h"
+#include "core/vote_matrix.h"
 
 namespace corrob {
 
@@ -17,52 +19,64 @@ Result<CorroborationResult> TruthFinderCorroborator::Run(
   if (options_.max_iterations < 1) {
     return Status::InvalidArgument("max_iterations must be >= 1");
   }
+  if (options_.num_threads < 1) {
+    return Status::InvalidArgument("num_threads must be >= 1");
+  }
 
-  const size_t facts = static_cast<size_t>(dataset.num_facts());
-  const size_t sources = static_cast<size_t>(dataset.num_sources());
+  const VoteMatrix matrix(dataset);
+  std::unique_ptr<ThreadPool> pool = MakeSweepPool(options_.num_threads);
+  const size_t facts = static_cast<size_t>(matrix.num_facts());
+  const size_t sources = static_cast<size_t>(matrix.num_sources());
   std::vector<double> trust(sources, options_.initial_trust);
   std::vector<double> probability(facts, 0.5);
 
   int iteration = 0;
   for (; iteration < options_.max_iterations; ++iteration) {
-    // Claim scores and fact confidence.
-    for (FactId f = 0; f < dataset.num_facts(); ++f) {
-      auto votes = dataset.VotesOnFact(f);
-      if (votes.empty()) {
+    // Claim scores and fact confidence, partitioned by fact.
+    matrix.ForEachFact(pool.get(), [&](FactId f) {
+      auto voters = matrix.FactSources(f);
+      if (voters.empty()) {
         probability[static_cast<size_t>(f)] = 0.5;
-        continue;
+        return;
       }
+      auto is_true = matrix.FactVotesTrue(f);
       double score_true = 0.0;
       double score_false = 0.0;
-      for (const SourceVote& sv : votes) {
-        double tau = -std::log(
-            Clamp(1.0 - trust[static_cast<size_t>(sv.source)],
+      for (size_t k = 0; k < voters.size(); ++k) {
+        const double tau = -std::log(
+            Clamp(1.0 - trust[static_cast<size_t>(voters[k])],
                   options_.epsilon, 1.0));
-        (sv.vote == Vote::kTrue ? score_true : score_false) += tau;
+        (is_true[k] ? score_true : score_false) += tau;
       }
-      double adjusted_true =
+      const double adjusted_true =
           score_true - options_.exclusion_weight * score_false;
-      double adjusted_false =
+      const double adjusted_false =
           score_false - options_.exclusion_weight * score_true;
       probability[static_cast<size_t>(f)] = Sigmoid(
           options_.dampening * (adjusted_true - adjusted_false));
-    }
+    });
 
-    // Trust update.
-    double max_change = 0.0;
-    for (SourceId s = 0; s < dataset.num_sources(); ++s) {
-      auto votes = dataset.VotesBySource(s);
-      if (votes.empty()) continue;
+    // Trust update. Each source reads only `probability` and writes
+    // its own slot; the convergence check folds afterwards over the
+    // old/new pair so the parallel sweep stays reduction-free.
+    std::vector<double> next_trust = trust;
+    matrix.ForEachSource(pool.get(), [&](SourceId s) {
+      auto voted = matrix.SourceFacts(s);
+      if (voted.empty()) return;
+      auto is_true = matrix.SourceVotesTrue(s);
       double sum = 0.0;
-      for (const FactVote& fv : votes) {
-        double p = probability[static_cast<size_t>(fv.fact)];
-        sum += fv.vote == Vote::kTrue ? p : 1.0 - p;
+      for (size_t k = 0; k < voted.size(); ++k) {
+        const double p = probability[static_cast<size_t>(voted[k])];
+        sum += is_true[k] ? p : 1.0 - p;
       }
-      double next = sum / static_cast<double>(votes.size());
-      max_change =
-          std::max(max_change, std::fabs(next - trust[static_cast<size_t>(s)]));
-      trust[static_cast<size_t>(s)] = next;
+      next_trust[static_cast<size_t>(s)] =
+          sum / static_cast<double>(voted.size());
+    });
+    double max_change = 0.0;
+    for (size_t s = 0; s < sources; ++s) {
+      max_change = std::max(max_change, std::fabs(next_trust[s] - trust[s]));
     }
+    trust = std::move(next_trust);
     if (max_change < options_.tolerance) {
       ++iteration;
       break;

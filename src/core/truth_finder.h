@@ -19,6 +19,9 @@ struct TruthFinderOptions {
   int max_iterations = 100;
   /// L∞ convergence tolerance on source trust.
   double tolerance = 1e-6;
+  /// Worker threads for the update sweeps; 1 = sequential legacy
+  /// path. Results are bit-identical at any value.
+  int num_threads = 1;
 };
 
 /// TruthFinder (Yin, Han & Yu, TKDE 2008) adapted to the T/F vote

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/math_util.h"
+#include "core/vote_matrix.h"
 
 namespace corrob {
 
@@ -33,34 +34,40 @@ Result<CorroborationResult> TwoEstimateCorroborator::Run(
   if (options_.max_iterations < 1) {
     return Status::InvalidArgument("max_iterations must be >= 1");
   }
+  if (options_.num_threads < 1) {
+    return Status::InvalidArgument("num_threads must be >= 1");
+  }
 
-  const size_t facts = static_cast<size_t>(dataset.num_facts());
-  const size_t sources = static_cast<size_t>(dataset.num_sources());
+  const VoteMatrix matrix(dataset);
+  std::unique_ptr<ThreadPool> pool = MakeSweepPool(options_.num_threads);
+  const size_t facts = static_cast<size_t>(matrix.num_facts());
+  const size_t sources = static_cast<size_t>(matrix.num_sources());
   std::vector<double> trust(sources, options_.initial_trust);
   std::vector<double> probability(facts, 0.5);
 
   int iteration = 0;
   for (; iteration < options_.max_iterations; ++iteration) {
-    // Corrob step (paper Eq. 6).
-    for (FactId f = 0; f < dataset.num_facts(); ++f) {
-      probability[static_cast<size_t>(f)] =
-          CorrobScore(dataset.VotesOnFact(f), trust);
-    }
+    // Corrob step (paper Eq. 6): each fact's score depends only on the
+    // previous iteration's trust, so the sweep partitions by fact.
+    matrix.ForEachFact(pool.get(), [&](FactId f) {
+      probability[static_cast<size_t>(f)] = matrix.RowScore(f, trust);
+    });
     NormalizeEstimates(options_.normalization, &probability);
 
-    // Update step (paper Eq. 7).
+    // Update step (paper Eq. 7), partitioned by source.
     std::vector<double> next_trust(sources, options_.initial_trust);
-    for (SourceId s = 0; s < dataset.num_sources(); ++s) {
-      auto votes = dataset.VotesBySource(s);
-      if (votes.empty()) continue;
+    matrix.ForEachSource(pool.get(), [&](SourceId s) {
+      auto voted = matrix.SourceFacts(s);
+      if (voted.empty()) return;
+      auto is_true = matrix.SourceVotesTrue(s);
       double sum = 0.0;
-      for (const FactVote& fv : votes) {
-        double p = probability[static_cast<size_t>(fv.fact)];
-        sum += fv.vote == Vote::kTrue ? p : 1.0 - p;
+      for (size_t k = 0; k < voted.size(); ++k) {
+        const double p = probability[static_cast<size_t>(voted[k])];
+        sum += is_true[k] ? p : 1.0 - p;
       }
       next_trust[static_cast<size_t>(s)] =
-          sum / static_cast<double>(votes.size());
-    }
+          sum / static_cast<double>(voted.size());
+    });
 
     double delta = 0.0;
     for (size_t s = 0; s < sources; ++s) {

@@ -31,6 +31,10 @@ struct TwoEstimateOptions {
   int max_iterations = 100;
   /// L∞ convergence tolerance on trust scores.
   double tolerance = 1e-9;
+  /// Worker threads for the per-fact / per-source update sweeps.
+  /// 1 = sequential legacy path. Results are bit-identical at any
+  /// value (see docs/PERFORMANCE.md).
+  int num_threads = 1;
 };
 
 /// TwoEstimate (Galland et al., WSDM'10): alternates

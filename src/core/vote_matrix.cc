@@ -1,0 +1,51 @@
+#include "core/vote_matrix.h"
+
+namespace corrob {
+
+VoteMatrix::VoteMatrix(const Dataset& dataset)
+    : num_facts_(dataset.num_facts()), num_sources_(dataset.num_sources()) {
+  const size_t votes = static_cast<size_t>(dataset.num_votes());
+  fact_offsets_.reserve(static_cast<size_t>(num_facts_) + 1);
+  fact_sources_.reserve(votes);
+  fact_true_.reserve(votes);
+  fact_offsets_.push_back(0);
+  for (FactId f = 0; f < num_facts_; ++f) {
+    for (const SourceVote& sv : dataset.VotesOnFact(f)) {
+      fact_sources_.push_back(sv.source);
+      fact_true_.push_back(sv.vote == Vote::kTrue ? 1 : 0);
+    }
+    fact_offsets_.push_back(fact_sources_.size());
+  }
+  source_offsets_.reserve(static_cast<size_t>(num_sources_) + 1);
+  source_facts_.reserve(votes);
+  source_true_.reserve(votes);
+  source_offsets_.push_back(0);
+  for (SourceId s = 0; s < num_sources_; ++s) {
+    for (const FactVote& fv : dataset.VotesBySource(s)) {
+      source_facts_.push_back(fv.fact);
+      source_true_.push_back(fv.vote == Vote::kTrue ? 1 : 0);
+    }
+    source_offsets_.push_back(source_facts_.size());
+  }
+}
+
+void VoteMatrix::ForEachFact(ThreadPool* pool,
+                             const std::function<void(FactId)>& fn) const {
+  ParallelApply(pool, num_facts_, [&fn](int64_t begin, int64_t end) {
+    for (int64_t f = begin; f < end; ++f) fn(static_cast<FactId>(f));
+  });
+}
+
+void VoteMatrix::ForEachSource(ThreadPool* pool,
+                               const std::function<void(SourceId)>& fn) const {
+  ParallelApply(pool, num_sources_, [&fn](int64_t begin, int64_t end) {
+    for (int64_t s = begin; s < end; ++s) fn(static_cast<SourceId>(s));
+  });
+}
+
+std::unique_ptr<ThreadPool> MakeSweepPool(int num_threads) {
+  if (num_threads <= 1) return nullptr;
+  return std::make_unique<ThreadPool>(num_threads);
+}
+
+}  // namespace corrob

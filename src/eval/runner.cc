@@ -25,9 +25,10 @@ std::vector<bool> GoldenCorrectness(const std::vector<bool>& predicted,
 
 Result<MethodReport> RunCorroborationMethod(const std::string& name,
                                             const Dataset& dataset,
-                                            const GoldenSet& golden) {
+                                            const GoldenSet& golden,
+                                            const CorroboratorOptions& shared) {
   CORROB_ASSIGN_OR_RETURN(std::unique_ptr<Corroborator> algorithm,
-                          MakeCorroborator(name));
+                          MakeCorroborator(name, shared));
   Stopwatch watch;
   CORROB_ASSIGN_OR_RETURN(CorroborationResult result,
                           algorithm->Run(dataset));

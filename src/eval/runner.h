@@ -6,6 +6,7 @@
 
 #include "common/result.h"
 #include "core/corroborator.h"
+#include "core/registry.h"
 #include "data/dataset.h"
 #include "data/truth.h"
 #include "eval/metrics.h"
@@ -27,10 +28,11 @@ struct MethodReport {
 };
 
 /// Runs a registered corroborator on `dataset` and scores it on
-/// `golden`; wall time covers only Corroborator::Run.
-Result<MethodReport> RunCorroborationMethod(const std::string& name,
-                                            const Dataset& dataset,
-                                            const GoldenSet& golden);
+/// `golden`; wall time covers only Corroborator::Run. `shared`
+/// carries cross-cutting knobs (thread count) into the construction.
+Result<MethodReport> RunCorroborationMethod(
+    const std::string& name, const Dataset& dataset, const GoldenSet& golden,
+    const CorroboratorOptions& shared = {});
 
 /// Cross-validates an ML baseline ("ML-Logistic" or "ML-SVM") on the
 /// golden set with the paper's 10-fold protocol and scores the

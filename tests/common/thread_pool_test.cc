@@ -1,8 +1,11 @@
 #include "common/thread_pool.h"
 
 #include <atomic>
+#include <bit>
+#include <cstdint>
 #include <numeric>
 #include <set>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -91,6 +94,133 @@ TEST(ParallelForTest, ParallelSumMatchesSequential) {
   std::atomic<int64_t> sum{0};
   ParallelFor(kCount, 8, [&](int64_t i) { sum.fetch_add(i); });
   EXPECT_EQ(sum.load(), kCount * (kCount - 1) / 2);
+}
+
+TEST(ThreadPoolTest, SubmitAfterShutdownIsDroppedNoOp) {
+  std::atomic<int> counter{0};
+  ThreadPool pool(2);
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.Shutdown();
+  // Previously undefined behavior (notified a dead worker set and the
+  // task leaked in the queue); now a logged drop.
+  pool.Submit([&counter] { counter.fetch_add(100); });
+  pool.Wait();  // Must not hang on the dropped task.
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPoolTest, ShutdownIdempotentAfterDroppedSubmit) {
+  ThreadPool pool(2);
+  pool.Shutdown();
+  pool.Submit([] {});
+  pool.Shutdown();  // Second shutdown after a dropped submit: no hang.
+  SUCCEED();
+}
+
+TEST(ThreadPoolTest, WaitWithEmptyQueueAfterShutdown) {
+  ThreadPool pool(3);
+  pool.Shutdown();
+  pool.Wait();  // Nothing in flight; must return immediately.
+  SUCCEED();
+}
+
+TEST(ParallelForTest, NestedParallelForDoesNotDeadlock) {
+  // Each outer iteration spins up its own inner ParallelFor; the
+  // pools are independent, so nesting must compose.
+  std::atomic<int> hits{0};
+  ParallelFor(4, 2, [&](int64_t) {
+    ParallelFor(8, 2, [&](int64_t) { hits.fetch_add(1); });
+  });
+  EXPECT_EQ(hits.load(), 32);
+}
+
+TEST(ParallelApplyTest, RangesCoverEveryIndexExactlyOnce) {
+  constexpr int64_t kCount = 1000;
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(kCount);
+  for (auto& h : hits) h.store(0);
+  ParallelApply(&pool, kCount, [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+  });
+  for (int64_t i = 0; i < kCount; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << i;
+  }
+}
+
+TEST(ParallelApplyTest, NullPoolRunsInlineAsSingleRange) {
+  std::vector<std::pair<int64_t, int64_t>> ranges;
+  ParallelApply(nullptr, 7, [&](int64_t begin, int64_t end) {
+    ranges.emplace_back(begin, end);
+  });
+  EXPECT_EQ(ranges,
+            (std::vector<std::pair<int64_t, int64_t>>{{0, 7}}));
+}
+
+TEST(ParallelApplyTest, ZeroAndNegativeCounts) {
+  ThreadPool pool(2);
+  int calls = 0;
+  ParallelApply(&pool, 0, [&](int64_t, int64_t) { ++calls; });
+  ParallelApply(nullptr, -3, [&](int64_t, int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ParallelApplyTest, ReusableAcrossIterations) {
+  // The hot-loop usage pattern: one pool, many sweeps.
+  ThreadPool pool(3);
+  std::vector<std::atomic<int64_t>> slot(64);
+  for (auto& s : slot) s.store(0);
+  for (int iter = 0; iter < 50; ++iter) {
+    ParallelApply(&pool, 64, [&](int64_t begin, int64_t end) {
+      for (int64_t i = begin; i < end; ++i) slot[i].fetch_add(i);
+    });
+  }
+  for (int64_t i = 0; i < 64; ++i) {
+    EXPECT_EQ(slot[i].load(), 50 * i);
+  }
+}
+
+TEST(DeterministicReduceTest, BitIdenticalAcrossPoolSizes) {
+  // A sum of irrational-ish doubles is order-sensitive in the last
+  // ulps; the fixed chunk layout + fixed fold order must erase any
+  // dependence on the worker count.
+  constexpr int64_t kCount = 4097;  // Not a multiple of the grain.
+  auto map = [](int64_t begin, int64_t end) {
+    double sum = 0.0;
+    for (int64_t i = begin; i < end; ++i) {
+      sum += 1.0 / (1.0 + static_cast<double>(i) * 0.137);
+    }
+    return sum;
+  };
+  auto combine = [](double a, double b) { return a + b; };
+  const double inline_result =
+      DeterministicReduce(nullptr, kCount, 64, 0.0, map, combine);
+  for (int threads : {1, 2, 4, 8}) {
+    ThreadPool pool(threads);
+    const double pooled =
+        DeterministicReduce(&pool, kCount, 64, 0.0, map, combine);
+    EXPECT_EQ(std::bit_cast<uint64_t>(inline_result),
+              std::bit_cast<uint64_t>(pooled))
+        << threads << " threads";
+  }
+}
+
+TEST(DeterministicReduceTest, EmptyRangeReturnsInit) {
+  auto map = [](int64_t, int64_t) { return 1.0; };
+  auto combine = [](double a, double b) { return a + b; };
+  EXPECT_EQ(DeterministicReduce(nullptr, 0, 16, 42.0, map, combine), 42.0);
+}
+
+TEST(DeterministicReduceTest, CombineSeesChunksInAscendingOrder) {
+  ThreadPool pool(4);
+  std::vector<int64_t> order;
+  auto map = [](int64_t begin, int64_t) { return begin; };
+  auto combine = [&order](int64_t acc, int64_t chunk_begin) {
+    order.push_back(chunk_begin);
+    return acc;
+  };
+  DeterministicReduce<int64_t>(&pool, 100, 10, 0, map, combine);
+  std::vector<int64_t> expected;
+  for (int64_t b = 0; b < 100; b += 10) expected.push_back(b);
+  EXPECT_EQ(order, expected);
 }
 
 TEST(DefaultThreadCountTest, Positive) {

@@ -4,59 +4,16 @@
 
 #include <gtest/gtest.h>
 
-#include "common/random.h"
 #include "core/registry.h"
 #include "synth/synthetic.h"
+#include "testing/property.h"
 
 namespace corrob {
 namespace {
 
-struct Permutation {
-  std::vector<int32_t> source_map;  // old id -> new id
-  std::vector<int32_t> fact_map;
-};
-
-/// Rebuilds `dataset` with permuted source/fact insertion orders.
-Dataset Permute(const Dataset& dataset, const Permutation& perm) {
-  DatasetBuilder builder;
-  // Register in permuted order so ids change but names persist.
-  std::vector<SourceId> source_order(
-      static_cast<size_t>(dataset.num_sources()));
-  for (SourceId s = 0; s < dataset.num_sources(); ++s) {
-    source_order[static_cast<size_t>(perm.source_map[s])] = s;
-  }
-  std::vector<FactId> fact_order(static_cast<size_t>(dataset.num_facts()));
-  for (FactId f = 0; f < dataset.num_facts(); ++f) {
-    fact_order[static_cast<size_t>(perm.fact_map[f])] = f;
-  }
-  for (SourceId s : source_order) builder.AddSource(dataset.source_name(s));
-  for (FactId f : fact_order) builder.AddFact(dataset.fact_name(f));
-  for (FactId f = 0; f < dataset.num_facts(); ++f) {
-    for (const SourceVote& sv : dataset.VotesOnFact(f)) {
-      EXPECT_TRUE(builder
-                      .SetVote(perm.source_map[sv.source],
-                               perm.fact_map[f], sv.vote)
-                      .ok());
-    }
-  }
-  return builder.Build();
-}
-
-Permutation RandomPermutation(const Dataset& dataset, uint64_t seed) {
-  Rng rng(seed);
-  Permutation perm;
-  perm.source_map.resize(static_cast<size_t>(dataset.num_sources()));
-  perm.fact_map.resize(static_cast<size_t>(dataset.num_facts()));
-  for (size_t i = 0; i < perm.source_map.size(); ++i) {
-    perm.source_map[i] = static_cast<int32_t>(i);
-  }
-  for (size_t i = 0; i < perm.fact_map.size(); ++i) {
-    perm.fact_map[i] = static_cast<int32_t>(i);
-  }
-  rng.Shuffle(&perm.source_map);
-  rng.Shuffle(&perm.fact_map);
-  return perm;
-}
+using proptest::Permutation;
+using proptest::Permute;
+using proptest::RandomPermutation;
 
 class InvarianceTest : public ::testing::TestWithParam<std::string> {};
 

@@ -1,0 +1,200 @@
+// Metamorphic properties of the corroborators over seeded random
+// datasets (tests/testing/property.h): relabeling invariance,
+// duplicate-source idempotence for the counting baselines, and
+// no-op-edit (`-` vote) insensitivity. Each property prints the
+// failing seed, so any breakage reproduces deterministically.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "core/registry.h"
+#include "testing/property.h"
+
+namespace corrob {
+namespace {
+
+using proptest::ExpectBitIdenticalResults;
+using proptest::ForEachSeed;
+using proptest::MakeRandomDataset;
+using proptest::Permutation;
+using proptest::Permute;
+using proptest::RandomPermutation;
+
+std::vector<std::string> AllCorroboratorNames() {
+  std::vector<std::string> names = CorroboratorNames();
+  for (const std::string& name : ExtendedCorroboratorNames()) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+/// Methods whose output depends only on the vote structure, never on
+/// id order: for these, permuting the dataset must permute the
+/// decisions. The Gibbs-sampled BayesEstimate and the IncEstimate
+/// strategies (group-index tie-breaks) are order-sensitive and are
+/// covered by the aggregate-agreement test below.
+const char* kDeterministicMethods[] = {
+    "Voting", "Counting", "TwoEstimate", "ThreeEstimate",
+    "Cosine", "TruthFinder", "AvgLog", "Invest", "PooledInvest"};
+
+TEST(PermutationProperty, DeterministicMethodsCommuteWithRelabeling) {
+  for (const char* name : kDeterministicMethods) {
+    SCOPED_TRACE(name);
+    auto algorithm = MakeCorroborator(name).ValueOrDie();
+    ForEachSeed(0xA11CE5EED, 10, [&](uint64_t seed) {
+      Dataset dataset = MakeRandomDataset(seed);
+      Permutation perm = RandomPermutation(dataset, seed ^ 0x5A5A5A5A);
+      Dataset permuted = Permute(dataset, perm);
+
+      CorroborationResult original =
+          algorithm->Run(dataset).ValueOrDie();
+      CorroborationResult shuffled =
+          algorithm->Run(permuted).ValueOrDie();
+
+      // Summation order inside a fact's vote list changes with source
+      // ids, so probabilities may differ in the last ulps; decisions
+      // must match wherever the probability is not razor-close to the
+      // 0.5 threshold.
+      for (FactId f = 0; f < dataset.num_facts(); ++f) {
+        double p = original.fact_probability[static_cast<size_t>(f)];
+        if (std::fabs(p - kDecisionThreshold) <= 1e-6) continue;
+        EXPECT_EQ(original.Decide(f),
+                  shuffled.Decide(perm.fact_map[static_cast<size_t>(f)]))
+            << "fact " << f << " p=" << p;
+      }
+    });
+  }
+}
+
+TEST(PermutationProperty, OrderSensitiveMethodsAgreeOnMostFacts) {
+  // BayesEstimate (sampler stream) and IncEstHeu/IncEstPS (tie-breaks
+  // by group index) may legitimately flip borderline facts under
+  // relabeling; they must still agree on the overwhelming majority.
+  for (const char* name : {"BayesEstimate", "IncEstHeu", "IncEstPS"}) {
+    SCOPED_TRACE(name);
+    auto algorithm = MakeCorroborator(name).ValueOrDie();
+    int64_t agreements = 0;
+    int64_t facts = 0;
+    ForEachSeed(0xB0BCA7, 6, [&](uint64_t seed) {
+      Dataset dataset = MakeRandomDataset(seed);
+      Permutation perm = RandomPermutation(dataset, seed ^ 0xC3C3C3);
+      Dataset permuted = Permute(dataset, perm);
+      std::vector<bool> original =
+          algorithm->Run(dataset).ValueOrDie().Decisions();
+      std::vector<bool> shuffled =
+          algorithm->Run(permuted).ValueOrDie().Decisions();
+      for (FactId f = 0; f < dataset.num_facts(); ++f) {
+        agreements +=
+            original[static_cast<size_t>(f)] ==
+                    shuffled[static_cast<size_t>(
+                        perm.fact_map[static_cast<size_t>(f)])]
+                ? 1
+                : 0;
+        ++facts;
+      }
+    });
+    EXPECT_GE(agreements, facts * 85 / 100)
+        << name << ": " << agreements << "/" << facts;
+  }
+}
+
+TEST(DuplicationProperty, VotingAndCountingIdempotentUnderSourceDoubling) {
+  // Cloning every source (same votes under a fresh name) doubles both
+  // vote counts and the Counting threshold S/2+1, so the per-fact
+  // decisions — and the 0/1 probabilities — must not move. This holds
+  // for the counting baselines only; trust-weighted methods dilute
+  // each source's influence under duplication by design.
+  for (const char* name : {"Voting", "Counting"}) {
+    SCOPED_TRACE(name);
+    auto algorithm = MakeCorroborator(name).ValueOrDie();
+    ForEachSeed(0xD0B1E, 10, [&](uint64_t seed) {
+      Dataset dataset = MakeRandomDataset(seed);
+      DatasetBuilder builder;
+      for (SourceId s = 0; s < dataset.num_sources(); ++s) {
+        builder.AddSource(dataset.source_name(s));
+      }
+      for (SourceId s = 0; s < dataset.num_sources(); ++s) {
+        builder.AddSource("clone_of_" + dataset.source_name(s));
+      }
+      for (FactId f = 0; f < dataset.num_facts(); ++f) {
+        builder.AddFact(dataset.fact_name(f));
+      }
+      for (FactId f = 0; f < dataset.num_facts(); ++f) {
+        for (const SourceVote& sv : dataset.VotesOnFact(f)) {
+          ASSERT_TRUE(builder.SetVote(sv.source, f, sv.vote).ok());
+          ASSERT_TRUE(builder
+                          .SetVote(sv.source + dataset.num_sources(), f,
+                                   sv.vote)
+                          .ok());
+        }
+      }
+      Dataset doubled = builder.Build();
+
+      CorroborationResult original = algorithm->Run(dataset).ValueOrDie();
+      CorroborationResult duplicated = algorithm->Run(doubled).ValueOrDie();
+      proptest::ExpectBitIdentical(original.fact_probability,
+                                   duplicated.fact_probability,
+                                   "fact_probability");
+    });
+  }
+}
+
+TEST(NoOpEditProperty, NoneVotesAndErasedVotesLeaveResultsUntouched) {
+  // Rebuilding the dataset with interleaved no-op edits — explicit
+  // kNone on never-voted pairs, and set-then-erase churn — must yield
+  // a structurally identical dataset, hence bit-identical results
+  // from every registered corroborator.
+  std::vector<std::string> names = AllCorroboratorNames();
+  ForEachSeed(0x90E0FF, 8, [&](uint64_t seed) {
+    Dataset dataset = MakeRandomDataset(seed);
+    Rng rng(seed ^ 0xFEED);
+    DatasetBuilder builder;
+    for (SourceId s = 0; s < dataset.num_sources(); ++s) {
+      builder.AddSource(dataset.source_name(s));
+    }
+    for (FactId f = 0; f < dataset.num_facts(); ++f) {
+      builder.AddFact(dataset.fact_name(f));
+    }
+    for (FactId f = 0; f < dataset.num_facts(); ++f) {
+      for (const SourceVote& sv : dataset.VotesOnFact(f)) {
+        ASSERT_TRUE(builder.SetVote(sv.source, f, sv.vote).ok());
+      }
+    }
+    // No-op churn over random pairs: erase pairs that never voted,
+    // and insert-then-erase transient votes, restoring any real vote
+    // that the transient overwrote.
+    for (int i = 0; i < 50; ++i) {
+      SourceId s = static_cast<SourceId>(
+          rng.NextBelow(static_cast<uint64_t>(dataset.num_sources())));
+      FactId f = static_cast<FactId>(
+          rng.NextBelow(static_cast<uint64_t>(dataset.num_facts())));
+      Vote existing = dataset.GetVote(s, f);
+      if (existing == Vote::kNone) {
+        ASSERT_TRUE(builder.SetVote(s, f, Vote::kNone).ok());
+        if (rng.Bernoulli(0.5)) {
+          ASSERT_TRUE(builder.SetVote(s, f, Vote::kTrue).ok());
+          ASSERT_TRUE(builder.SetVote(s, f, Vote::kNone).ok());
+        }
+      } else {
+        ASSERT_TRUE(builder.SetVote(s, f, Vote::kNone).ok());
+        ASSERT_TRUE(builder.SetVote(s, f, existing).ok());
+      }
+    }
+    Dataset edited = builder.Build();
+    ASSERT_EQ(dataset.num_votes(), edited.num_votes());
+
+    for (const std::string& name : names) {
+      SCOPED_TRACE(name);
+      auto algorithm = MakeCorroborator(name).ValueOrDie();
+      CorroborationResult original = algorithm->Run(dataset).ValueOrDie();
+      CorroborationResult reran = algorithm->Run(edited).ValueOrDie();
+      ExpectBitIdenticalResults(original, reran);
+    }
+  });
+}
+
+}  // namespace
+}  // namespace corrob

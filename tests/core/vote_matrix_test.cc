@@ -1,0 +1,116 @@
+// VoteMatrix: the CSR/CSC layouts must mirror the Dataset views
+// entry for entry, and RowScore must be bit-identical to CorrobScore.
+
+#include "core/vote_matrix.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "core/corroborator.h"
+#include "testing/property.h"
+
+namespace corrob {
+namespace {
+
+using proptest::ForEachSeed;
+using proptest::MakeRandomDataset;
+
+TEST(VoteMatrixTest, EmptyDataset) {
+  VoteMatrix matrix((Dataset()));
+  EXPECT_EQ(matrix.num_facts(), 0);
+  EXPECT_EQ(matrix.num_sources(), 0);
+  EXPECT_EQ(matrix.num_votes(), 0);
+}
+
+TEST(VoteMatrixTest, MirrorsDatasetViewsInOrder) {
+  ForEachSeed(0x3A7121, 10, [&](uint64_t seed) {
+    Dataset dataset = MakeRandomDataset(seed);
+    VoteMatrix matrix(dataset);
+    ASSERT_EQ(matrix.num_facts(), dataset.num_facts());
+    ASSERT_EQ(matrix.num_sources(), dataset.num_sources());
+    ASSERT_EQ(matrix.num_votes(), dataset.num_votes());
+
+    for (FactId f = 0; f < dataset.num_facts(); ++f) {
+      auto expected = dataset.VotesOnFact(f);
+      auto sources = matrix.FactSources(f);
+      auto is_true = matrix.FactVotesTrue(f);
+      ASSERT_EQ(sources.size(), expected.size()) << "fact " << f;
+      ASSERT_EQ(is_true.size(), expected.size()) << "fact " << f;
+      for (size_t k = 0; k < expected.size(); ++k) {
+        EXPECT_EQ(sources[k], expected[k].source);
+        EXPECT_EQ(is_true[k], expected[k].vote == Vote::kTrue ? 1 : 0);
+      }
+    }
+    for (SourceId s = 0; s < dataset.num_sources(); ++s) {
+      auto expected = dataset.VotesBySource(s);
+      auto facts = matrix.SourceFacts(s);
+      auto is_true = matrix.SourceVotesTrue(s);
+      ASSERT_EQ(facts.size(), expected.size()) << "source " << s;
+      for (size_t k = 0; k < expected.size(); ++k) {
+        EXPECT_EQ(facts[k], expected[k].fact);
+        EXPECT_EQ(is_true[k], expected[k].vote == Vote::kTrue ? 1 : 0);
+      }
+    }
+  });
+}
+
+TEST(VoteMatrixTest, RowScoreBitIdenticalToCorrobScore) {
+  ForEachSeed(0x5C04E, 10, [&](uint64_t seed) {
+    Dataset dataset = MakeRandomDataset(seed);
+    VoteMatrix matrix(dataset);
+    Rng rng(seed ^ 0x7A);
+    std::vector<double> trust(static_cast<size_t>(dataset.num_sources()));
+    for (double& t : trust) t = rng.NextDouble();
+    for (FactId f = 0; f < dataset.num_facts(); ++f) {
+      EXPECT_EQ(
+          std::bit_cast<uint64_t>(matrix.RowScore(f, trust)),
+          std::bit_cast<uint64_t>(CorrobScore(dataset.VotesOnFact(f), trust)))
+          << "fact " << f;
+    }
+  });
+}
+
+TEST(VoteMatrixTest, ForEachCoversEveryIdOnceSequentially) {
+  Dataset dataset = MakeRandomDataset(123);
+  VoteMatrix matrix(dataset);
+  std::vector<int> fact_hits(static_cast<size_t>(dataset.num_facts()), 0);
+  matrix.ForEachFact(nullptr, [&](FactId f) {
+    ++fact_hits[static_cast<size_t>(f)];
+  });
+  for (int h : fact_hits) EXPECT_EQ(h, 1);
+
+  std::vector<int> source_hits(static_cast<size_t>(dataset.num_sources()), 0);
+  matrix.ForEachSource(nullptr, [&](SourceId s) {
+    ++source_hits[static_cast<size_t>(s)];
+  });
+  for (int h : source_hits) EXPECT_EQ(h, 1);
+}
+
+TEST(VoteMatrixTest, ForEachWithPoolCoversEveryIdOnce) {
+  Dataset dataset = MakeRandomDataset(321);
+  VoteMatrix matrix(dataset);
+  auto pool = MakeSweepPool(4);
+  ASSERT_NE(pool, nullptr);
+  std::vector<std::atomic<int>> hits(
+      static_cast<size_t>(dataset.num_facts()));
+  for (auto& h : hits) h.store(0);
+  matrix.ForEachFact(pool.get(), [&](FactId f) {
+    hits[static_cast<size_t>(f)].fetch_add(1);
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(MakeSweepPoolTest, NullForSequentialCounts) {
+  EXPECT_EQ(MakeSweepPool(0), nullptr);
+  EXPECT_EQ(MakeSweepPool(1), nullptr);
+  auto pool = MakeSweepPool(3);
+  ASSERT_NE(pool, nullptr);
+  EXPECT_EQ(pool->num_threads(), 3);
+}
+
+}  // namespace
+}  // namespace corrob

@@ -1,0 +1,171 @@
+// Property-based testing harness: seeded random dataset generators,
+// seed enumeration, dataset permutation helpers, and bit-exact result
+// comparators. All randomness flows from explicit seeds (SplitMix64 /
+// the library Rng), so every failure reproduces from the seed printed
+// in the assertion message.
+
+#ifndef CORROB_TESTS_TESTING_PROPERTY_H_
+#define CORROB_TESTS_TESTING_PROPERTY_H_
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "core/corroborator.h"
+#include "data/dataset.h"
+
+namespace corrob {
+namespace proptest {
+
+/// Runs `body(seed)` for `count` seeds derived from `base_seed` via
+/// SplitMix64. Each invocation is wrapped in a SCOPED_TRACE carrying
+/// the derived seed, so a failing property names the exact input that
+/// broke it.
+inline void ForEachSeed(uint64_t base_seed, int count,
+                        const std::function<void(uint64_t)>& body) {
+  uint64_t state = base_seed;
+  for (int i = 0; i < count; ++i) {
+    uint64_t seed = SplitMix64(&state);
+    SCOPED_TRACE(::testing::Message() << "seed=" << seed << " (#" << i
+                                      << " from base " << base_seed << ")");
+    body(seed);
+  }
+}
+
+struct RandomDatasetOptions {
+  int32_t min_sources = 3;
+  int32_t max_sources = 12;
+  int32_t min_facts = 10;
+  int32_t max_facts = 120;
+  /// Probability that a given (source, fact) pair carries a vote.
+  double vote_density = 0.35;
+  /// Probability that a materialized vote is an F vote (the rest are
+  /// affirmative), exercising the negative-statement paths.
+  double false_vote_fraction = 0.15;
+};
+
+/// Generates a random sparse vote matrix. Unlike the synthetic corpus
+/// generators this makes no planted-truth or coverage guarantees —
+/// voteless facts, voteless sources and F-vote-only facts all occur,
+/// which is exactly what metamorphic properties need to hold over.
+inline Dataset MakeRandomDataset(uint64_t seed,
+                                 const RandomDatasetOptions& options = {}) {
+  Rng rng(seed);
+  const int32_t num_sources = static_cast<int32_t>(
+      rng.UniformInt(options.min_sources, options.max_sources));
+  const int32_t num_facts = static_cast<int32_t>(
+      rng.UniformInt(options.min_facts, options.max_facts));
+  DatasetBuilder builder;
+  for (int32_t s = 0; s < num_sources; ++s) {
+    builder.AddSource("s" + std::to_string(s));
+  }
+  for (int32_t f = 0; f < num_facts; ++f) {
+    builder.AddFact("f" + std::to_string(f));
+  }
+  for (int32_t f = 0; f < num_facts; ++f) {
+    for (int32_t s = 0; s < num_sources; ++s) {
+      if (!rng.Bernoulli(options.vote_density)) continue;
+      Vote vote = rng.Bernoulli(options.false_vote_fraction) ? Vote::kFalse
+                                                             : Vote::kTrue;
+      EXPECT_TRUE(builder.SetVote(s, f, vote).ok());
+    }
+  }
+  return builder.Build();
+}
+
+/// Bit-exact equality of two doubles, NaN-safe (NaN == NaN bitwise).
+inline bool BitEqual(double a, double b) {
+  return std::bit_cast<uint64_t>(a) == std::bit_cast<uint64_t>(b);
+}
+
+/// EXPECTs two double vectors to match bit for bit; `what` labels the
+/// failing vector in the message.
+inline void ExpectBitIdentical(const std::vector<double>& a,
+                               const std::vector<double>& b,
+                               const std::string& what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_TRUE(BitEqual(a[i], b[i]))
+        << what << "[" << i << "]: " << a[i] << " vs " << b[i];
+  }
+}
+
+/// EXPECTs two corroboration results to be fully bit-identical:
+/// probabilities, trust, iteration counts, commit rounds and the
+/// whole trajectory. This is the contract the parallel sweeps promise
+/// against the sequential path.
+inline void ExpectBitIdenticalResults(const CorroborationResult& a,
+                                      const CorroborationResult& b) {
+  ExpectBitIdentical(a.fact_probability, b.fact_probability,
+                     "fact_probability");
+  ExpectBitIdentical(a.source_trust, b.source_trust, "source_trust");
+  EXPECT_EQ(a.iterations, b.iterations);
+  EXPECT_EQ(a.fact_commit_round, b.fact_commit_round);
+  ASSERT_EQ(a.trajectory.size(), b.trajectory.size());
+  for (size_t i = 0; i < a.trajectory.size(); ++i) {
+    EXPECT_EQ(a.trajectory[i].facts_committed,
+              b.trajectory[i].facts_committed)
+        << "trajectory[" << i << "]";
+    ExpectBitIdentical(a.trajectory[i].trust, b.trajectory[i].trust,
+                       "trajectory[" + std::to_string(i) + "].trust");
+  }
+}
+
+/// A relabeling of the dataset's ids: old id -> new id, both axes.
+struct Permutation {
+  std::vector<int32_t> source_map;
+  std::vector<int32_t> fact_map;
+};
+
+/// Uniformly random permutation of both axes of `dataset`.
+inline Permutation RandomPermutation(const Dataset& dataset, uint64_t seed) {
+  Rng rng(seed);
+  Permutation perm;
+  perm.source_map.resize(static_cast<size_t>(dataset.num_sources()));
+  perm.fact_map.resize(static_cast<size_t>(dataset.num_facts()));
+  for (size_t i = 0; i < perm.source_map.size(); ++i) {
+    perm.source_map[i] = static_cast<int32_t>(i);
+  }
+  for (size_t i = 0; i < perm.fact_map.size(); ++i) {
+    perm.fact_map[i] = static_cast<int32_t>(i);
+  }
+  rng.Shuffle(&perm.source_map);
+  rng.Shuffle(&perm.fact_map);
+  return perm;
+}
+
+/// Rebuilds `dataset` with permuted source/fact insertion orders, so
+/// ids change but names and the vote structure persist.
+inline Dataset Permute(const Dataset& dataset, const Permutation& perm) {
+  DatasetBuilder builder;
+  std::vector<SourceId> source_order(
+      static_cast<size_t>(dataset.num_sources()));
+  for (SourceId s = 0; s < dataset.num_sources(); ++s) {
+    source_order[static_cast<size_t>(perm.source_map[s])] = s;
+  }
+  std::vector<FactId> fact_order(static_cast<size_t>(dataset.num_facts()));
+  for (FactId f = 0; f < dataset.num_facts(); ++f) {
+    fact_order[static_cast<size_t>(perm.fact_map[f])] = f;
+  }
+  for (SourceId s : source_order) builder.AddSource(dataset.source_name(s));
+  for (FactId f : fact_order) builder.AddFact(dataset.fact_name(f));
+  for (FactId f = 0; f < dataset.num_facts(); ++f) {
+    for (const SourceVote& sv : dataset.VotesOnFact(f)) {
+      EXPECT_TRUE(builder
+                      .SetVote(perm.source_map[sv.source], perm.fact_map[f],
+                               sv.vote)
+                      .ok());
+    }
+  }
+  return builder.Build();
+}
+
+}  // namespace proptest
+}  // namespace corrob
+
+#endif  // CORROB_TESTS_TESTING_PROPERTY_H_
