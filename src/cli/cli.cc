@@ -112,13 +112,17 @@ int Fail(std::ostream& err, const std::string& message) {
 }
 
 /// Reads the global --threads flag (default: hardware concurrency).
+/// Zero, negative and non-numeric values are usage errors, not aborts.
 Result<CorroboratorOptions> SharedOptions(const FlagParser& flags) {
-  CorroboratorOptions options;
-  options.num_threads = static_cast<int>(
-      flags.GetInt("threads", DefaultThreadCount()));
-  if (options.num_threads < 1) {
-    return Status::InvalidArgument("--threads must be >= 1");
+  CORROB_ASSIGN_OR_RETURN(
+      int64_t threads, flags.TryGetInt("threads", DefaultThreadCount()));
+  if (threads < 1) {
+    return Status::InvalidArgument(
+        "--threads must be a positive integer, got " +
+        std::to_string(threads));
   }
+  CorroboratorOptions options;
+  options.num_threads = static_cast<int>(threads);
   return options;
 }
 

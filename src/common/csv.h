@@ -21,7 +21,7 @@ struct CsvDocument {
 /// terminators are accepted; a trailing newline does not produce an
 /// empty row. A leading UTF-8 byte-order mark is stripped so that
 /// BOM-prefixed exports do not corrupt the first header cell.
-Result<CsvDocument> ParseCsv(std::string_view text, char delimiter = ',');
+[[nodiscard]] Result<CsvDocument> ParseCsv(std::string_view text, char delimiter = ',');
 
 /// Serializes rows into CSV text, quoting fields that contain the
 /// delimiter, quotes or newlines.
@@ -29,22 +29,22 @@ std::string WriteCsv(const std::vector<std::vector<std::string>>& rows,
                      char delimiter = ',');
 
 /// Reads and parses a CSV file from disk.
-Result<CsvDocument> ReadCsvFile(const std::string& path,
+[[nodiscard]] Result<CsvDocument> ReadCsvFile(const std::string& path,
                                 char delimiter = ',');
 
 /// Writes rows to `path` as CSV.
-Status WriteCsvFile(const std::string& path,
+[[nodiscard]] Status WriteCsvFile(const std::string& path,
                     const std::vector<std::vector<std::string>>& rows,
                     char delimiter = ',');
 
 /// Reads a whole file into a string. A missing file is NotFound; any
 /// other open/read failure is IoError. Messages include `path`.
-Result<std::string> ReadFileToString(const std::string& path);
+[[nodiscard]] Result<std::string> ReadFileToString(const std::string& path);
 
 /// Writes `contents` to `path`, replacing any existing file.
 /// Equivalent to WriteFileAtomic — callers never observe a partially
 /// written file at `path`.
-Status WriteStringToFile(const std::string& path, std::string_view contents);
+[[nodiscard]] Status WriteStringToFile(const std::string& path, std::string_view contents);
 
 /// Durably replaces `path` with `contents`: writes `path`.tmp, fsyncs
 /// it, then renames it over `path`. On any failure the temp file is
@@ -52,7 +52,7 @@ Status WriteStringToFile(const std::string& path, std::string_view contents);
 /// crash or injected fault can never leave a truncated file at the
 /// target path. Fault-injection sites: "io.atomic_write.open",
 /// ".write", ".fsync", ".rename".
-Status WriteFileAtomic(const std::string& path, std::string_view contents);
+[[nodiscard]] Status WriteFileAtomic(const std::string& path, std::string_view contents);
 
 }  // namespace corrob
 

@@ -29,6 +29,7 @@ struct Registry {
 };
 
 Registry& GetRegistry() {
+  // lint: new-ok: intentionally leaked singleton, safe during static destruction
   static auto* registry = new Registry();
   return *registry;
 }

@@ -53,10 +53,10 @@ class Failpoints {
   /// modes:    off | fail | fail:<N> | prob:<P>
   /// options:  code=<StatusCodeName> | skip=<N> | seed=<N>
   /// e.g. "dataset_io.save=fail:2:code=IoError:skip=1".
-  static Status ArmFromSpec(std::string_view spec);
+  [[nodiscard]] static Status ArmFromSpec(std::string_view spec);
 
   /// Arms a comma-separated list of specs; stops at the first bad one.
-  static Status ArmFromSpecList(std::string_view specs);
+  [[nodiscard]] static Status ArmFromSpecList(std::string_view specs);
 
   /// Disarms `name`; hits become free again. No-op when not armed.
   static void Disarm(const std::string& name);
@@ -83,7 +83,7 @@ class Failpoints {
   /// Evaluates a hit on `name`: OK when disarmed or passing, the
   /// configured error Status when the hit fails. Called via the
   /// CORROB_FAILPOINT macro; callable directly from test helpers.
-  static Status Check(const char* name);
+  [[nodiscard]] static Status Check(const char* name);
 
  private:
   static std::atomic<int64_t> armed_count_;

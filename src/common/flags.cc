@@ -56,6 +56,20 @@ int64_t FlagParser::GetInt(const std::string& name, int64_t fallback) const {
   return value;
 }
 
+Result<int64_t> FlagParser::TryGetInt(const std::string& name,
+                                      int64_t fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  char* end = nullptr;
+  int64_t value = std::strtoll(it->second.c_str(), &end, 10);
+  if (it->second.empty() || end == nullptr || *end != '\0') {
+    return Status::InvalidArgument("--" + name +
+                                   " expects an integer, got '" +
+                                   it->second + "'");
+  }
+  return value;
+}
+
 double FlagParser::GetDouble(const std::string& name, double fallback) const {
   auto it = values_.find(name);
   if (it == values_.end()) return fallback;

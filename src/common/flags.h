@@ -18,7 +18,7 @@ class FlagParser {
  public:
   /// Parses argv (excluding argv[0]). Returns an error on malformed
   /// input such as an empty flag name.
-  static Result<FlagParser> Parse(int argc, const char* const* argv);
+  [[nodiscard]] static Result<FlagParser> Parse(int argc, const char* const* argv);
 
   /// True if --name was present.
   bool Has(const std::string& name) const;
@@ -29,6 +29,13 @@ class FlagParser {
 
   /// Integer value of --name; aborts on a malformed integer.
   int64_t GetInt(const std::string& name, int64_t fallback) const;
+
+  /// Integer value of --name, or `fallback` when absent. Unlike GetInt,
+  /// a malformed value is an InvalidArgument error instead of a fatal
+  /// abort — use this for user-facing flags that should produce a
+  /// usage error.
+  [[nodiscard]] Result<int64_t> TryGetInt(const std::string& name,
+                                          int64_t fallback) const;
 
   /// Double value of --name; aborts on a malformed number.
   double GetDouble(const std::string& name, double fallback) const;

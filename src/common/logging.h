@@ -63,9 +63,13 @@ void SetMinLogLevel(LogLevel level);
 #define CORROB_CHECK(condition) \
   if (!(condition)) CORROB_LOG_FATAL << "Check failed: " #condition " "
 
+/// Aborts if `expr` (a Status expression) is not OK. The fatal line
+/// names both the expression and the failing status so the log alone
+/// pinpoints the call site and the cause.
 #define CORROB_CHECK_OK(expr)                                       \
   if (::corrob::Status _corrob_chk = (expr); !_corrob_chk.ok())     \
-  CORROB_LOG_FATAL << "Check failed (status): " << _corrob_chk.ToString() << " "
+  CORROB_LOG_FATAL << "Check failed (status): " << #expr << " = "   \
+                   << _corrob_chk.ToString() << " "
 
 /// Debug-only check for hot paths.
 #ifndef NDEBUG

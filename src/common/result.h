@@ -16,21 +16,25 @@ namespace corrob {
 ///   Result<Dataset> r = LoadDataset(path);
 ///   if (!r.ok()) return r.status();
 ///   Dataset d = std::move(r).ValueOrDie();
+/// Like Status, the class is [[nodiscard]]: ignoring a returned
+/// Result<T> silently drops both the value and the error.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Constructs a successful result holding `value`.
-  Result(T value)  // NOLINT(google-explicit-constructor)
+  // NOLINTNEXTLINE(google-explicit-constructor): implicit `return value;` is the idiom
+  Result(T value)
       : status_(Status::OK()), value_(std::move(value)) {}
 
   /// Constructs a failed result. `status` must not be OK.
-  Result(Status status)  // NOLINT(google-explicit-constructor)
+  // NOLINTNEXTLINE(google-explicit-constructor): implicit `return status;` is the idiom
+  Result(Status status)
       : status_(std::move(status)) {
     CORROB_CHECK(!status_.ok()) << "Result constructed from OK status";
   }
 
-  bool ok() const { return status_.ok(); }
-  const Status& status() const { return status_; }
+  [[nodiscard]] bool ok() const { return status_.ok(); }
+  [[nodiscard]] const Status& status() const { return status_; }
 
   /// Returns the value; aborts the process if the result holds an error.
   const T& ValueOrDie() const& {

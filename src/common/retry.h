@@ -33,7 +33,7 @@ struct RetryPolicy {
 };
 
 /// Validates a policy; InvalidArgument describes the first bad field.
-Status ValidateRetryPolicy(const RetryPolicy& policy);
+[[nodiscard]] Status ValidateRetryPolicy(const RetryPolicy& policy);
 
 /// The conservative policy used by the library's durable writers.
 RetryPolicy DefaultIoRetryPolicy();

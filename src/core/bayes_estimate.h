@@ -52,7 +52,7 @@ class BayesEstimateCorroborator final : public Corroborator {
       : options_(options) {}
 
   std::string_view name() const override { return "BayesEstimate"; }
-  Result<CorroborationResult> Run(const Dataset& dataset) const override;
+  [[nodiscard]] Result<CorroborationResult> Run(const Dataset& dataset) const override;
 
   const BayesEstimateOptions& options() const { return options_; }
 

@@ -65,7 +65,8 @@ class Corroborator {
 
   /// Corroborates `dataset`. Fails on malformed configuration; always
   /// succeeds on well-formed input, including empty datasets.
-  virtual Result<CorroborationResult> Run(const Dataset& dataset) const = 0;
+  [[nodiscard]] virtual Result<CorroborationResult> Run(
+      const Dataset& dataset) const = 0;
 };
 
 /// The corroboration score of paper Eq. 5, generalized to F votes:

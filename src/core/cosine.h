@@ -36,7 +36,7 @@ class CosineCorroborator final : public Corroborator {
       : options_(options) {}
 
   std::string_view name() const override { return "Cosine"; }
-  Result<CorroborationResult> Run(const Dataset& dataset) const override;
+  [[nodiscard]] Result<CorroborationResult> Run(const Dataset& dataset) const override;
 
   const CosineOptions& options() const { return options_; }
 

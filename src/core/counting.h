@@ -25,7 +25,7 @@ class CountingCorroborator final : public Corroborator {
       : options_(options) {}
 
   std::string_view name() const override { return "Counting"; }
-  Result<CorroborationResult> Run(const Dataset& dataset) const override;
+  [[nodiscard]] Result<CorroborationResult> Run(const Dataset& dataset) const override;
 
   const CountingOptions& options() const { return options_; }
 

@@ -182,7 +182,7 @@ class IncrementalEngine {
   /// recorded as exactly 0 or 1 and its votes update the counters
   /// against the given label. Fails on out-of-range or already
   /// committed facts.
-  Status CommitKnownFact(FactId fact, bool label);
+  [[nodiscard]] Status CommitKnownFact(FactId fact, bool label);
 
   /// Commits every remaining fact of every group (used when only
   /// maximum-entropy ties remain, and by callers that want the §5.1
@@ -231,7 +231,7 @@ class IncEstimateCorroborator final : public Corroborator {
     return options_.strategy == IncSelectStrategy::kHeuristic ? "IncEstHeu"
                                                               : "IncEstPS";
   }
-  Result<CorroborationResult> Run(const Dataset& dataset) const override;
+  [[nodiscard]] Result<CorroborationResult> Run(const Dataset& dataset) const override;
 
   const IncEstimateOptions& options() const { return options_; }
 

@@ -79,7 +79,7 @@ class OnlineCorroborator {
   /// one observation are rejected. An empty vote list yields the
   /// maximum-uncertainty verdict (σ = 0.5, decided true) and does not
   /// move any trust.
-  Result<Verdict> Observe(const std::vector<SourceVote>& votes);
+  [[nodiscard]] Result<Verdict> Observe(const std::vector<SourceVote>& votes);
 
   /// Current trust σ(s) of one source.
   double trust(SourceId s) const;
@@ -104,7 +104,7 @@ class OnlineCorroborator {
   /// inconsistent state (mismatched vector sizes, duplicate source
   /// names, correct > total or negative counters) with
   /// InvalidArgument.
-  static Result<OnlineCorroborator> FromState(OnlineCorroboratorState state);
+  [[nodiscard]] static Result<OnlineCorroborator> FromState(OnlineCorroboratorState state);
 
  private:
   OnlineCorroboratorOptions options_;

@@ -32,20 +32,20 @@ std::string SerializeOnlineSnapshot(const OnlineCorroborator& online);
 ///    version;
 ///  - InvalidArgument: a checksummed payload with inconsistent state
 ///    (via OnlineCorroborator::FromState).
-Result<OnlineCorroborator> ParseOnlineSnapshot(std::string_view bytes);
+[[nodiscard]] Result<OnlineCorroborator> ParseOnlineSnapshot(std::string_view bytes);
 
 /// Atomically writes the snapshot of `online` to `path` (temp file +
 /// fsync + rename), retrying transient I/O failures under `policy`.
 /// A crash mid-save leaves any previous snapshot at `path` intact.
 /// Fault-injection site: "online_checkpoint.save".
-Status SaveOnlineSnapshot(const std::string& path,
+[[nodiscard]] Status SaveOnlineSnapshot(const std::string& path,
                           const OnlineCorroborator& online,
                           const RetryPolicy& policy = DefaultIoRetryPolicy());
 
 /// Reads and decodes the snapshot at `path`. A missing file is
 /// NotFound; decode failures are as in ParseOnlineSnapshot.
 /// Fault-injection site: "online_checkpoint.load".
-Result<OnlineCorroborator> LoadOnlineSnapshot(const std::string& path);
+[[nodiscard]] Result<OnlineCorroborator> LoadOnlineSnapshot(const std::string& path);
 
 }  // namespace corrob
 

@@ -56,7 +56,7 @@ class PasternackCorroborator final : public Corroborator {
     }
     return "Pasternack";
   }
-  Result<CorroborationResult> Run(const Dataset& dataset) const override;
+  [[nodiscard]] Result<CorroborationResult> Run(const Dataset& dataset) const override;
 
   const PasternackOptions& options() const { return options_; }
 

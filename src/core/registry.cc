@@ -1,5 +1,8 @@
 #include "core/registry.h"
 
+#include <memory>
+#include <utility>
+
 #include "core/bayes_estimate.h"
 #include "core/cosine.h"
 #include "core/counting.h"
@@ -12,6 +15,17 @@
 
 namespace corrob {
 
+namespace {
+
+/// Builds a concrete corroborator and erases it to the base interface in
+/// one step, keeping the registry free of raw `new` at every branch.
+template <typename T, typename... Args>
+std::unique_ptr<Corroborator> Make(Args&&... args) {
+  return std::make_unique<T>(std::forward<Args>(args)...);
+}
+
+}  // namespace
+
 Result<std::unique_ptr<Corroborator>> MakeCorroborator(
     const std::string& name) {
   return MakeCorroborator(name, CorroboratorOptions{});
@@ -23,34 +37,33 @@ Result<std::unique_ptr<Corroborator>> MakeCorroborator(
     return Status::InvalidArgument("num_threads must be >= 1");
   }
   if (name == "Voting") {
-    return std::unique_ptr<Corroborator>(new VotingCorroborator());
+    return Make<VotingCorroborator>();
   }
   if (name == "Counting") {
-    return std::unique_ptr<Corroborator>(new CountingCorroborator());
+    return Make<CountingCorroborator>();
   }
   if (name == "TwoEstimate") {
     TwoEstimateOptions options;
     options.num_threads = shared.num_threads;
-    return std::unique_ptr<Corroborator>(new TwoEstimateCorroborator(options));
+    return Make<TwoEstimateCorroborator>(options);
   }
   if (name == "ThreeEstimate") {
     ThreeEstimateOptions options;
     options.num_threads = shared.num_threads;
-    return std::unique_ptr<Corroborator>(
-        new ThreeEstimateCorroborator(options));
+    return Make<ThreeEstimateCorroborator>(options);
   }
   if (name == "BayesEstimate") {
-    return std::unique_ptr<Corroborator>(new BayesEstimateCorroborator());
+    return Make<BayesEstimateCorroborator>();
   }
   if (name == "Cosine") {
     CosineOptions options;
     options.num_threads = shared.num_threads;
-    return std::unique_ptr<Corroborator>(new CosineCorroborator(options));
+    return Make<CosineCorroborator>(options);
   }
   if (name == "TruthFinder") {
     TruthFinderOptions options;
     options.num_threads = shared.num_threads;
-    return std::unique_ptr<Corroborator>(new TruthFinderCorroborator(options));
+    return Make<TruthFinderCorroborator>(options);
   }
   if (name == "AvgLog" || name == "Invest" || name == "PooledInvest") {
     PasternackOptions options;
@@ -61,19 +74,19 @@ Result<std::unique_ptr<Corroborator>> MakeCorroborator(
       options.variant = PasternackVariant::kPooledInvest;
       options.growth = 1.4;
     }
-    return std::unique_ptr<Corroborator>(new PasternackCorroborator(options));
+    return Make<PasternackCorroborator>(options);
   }
   if (name == "IncEstHeu") {
     IncEstimateOptions options;
     options.strategy = IncSelectStrategy::kHeuristic;
     options.num_threads = shared.num_threads;
-    return std::unique_ptr<Corroborator>(new IncEstimateCorroborator(options));
+    return Make<IncEstimateCorroborator>(options);
   }
   if (name == "IncEstPS") {
     IncEstimateOptions options;
     options.strategy = IncSelectStrategy::kProbability;
     options.num_threads = shared.num_threads;
-    return std::unique_ptr<Corroborator>(new IncEstimateCorroborator(options));
+    return Make<IncEstimateCorroborator>(options);
   }
   return Status::NotFound("unknown corroborator: '" + name + "'");
 }

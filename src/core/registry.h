@@ -27,11 +27,11 @@ struct CorroboratorOptions {
 ///   "BayesEstimate", "IncEstHeu", "IncEstPS",
 /// plus the extended baselines beyond the paper's comparison set:
 ///   "Cosine", "TruthFinder", "AvgLog", "Invest", "PooledInvest".
-Result<std::unique_ptr<Corroborator>> MakeCorroborator(
+[[nodiscard]] Result<std::unique_ptr<Corroborator>> MakeCorroborator(
     const std::string& name);
 
 /// Same, with the cross-cutting options applied.
-Result<std::unique_ptr<Corroborator>> MakeCorroborator(
+[[nodiscard]] Result<std::unique_ptr<Corroborator>> MakeCorroborator(
     const std::string& name, const CorroboratorOptions& options);
 
 /// The names of the paper's own methods, in the order its Table 4

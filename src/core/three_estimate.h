@@ -45,7 +45,7 @@ class ThreeEstimateCorroborator final : public Corroborator {
       : options_(options) {}
 
   std::string_view name() const override { return "ThreeEstimate"; }
-  Result<CorroborationResult> Run(const Dataset& dataset) const override;
+  [[nodiscard]] Result<CorroborationResult> Run(const Dataset& dataset) const override;
 
   const ThreeEstimateOptions& options() const { return options_; }
 

@@ -42,7 +42,7 @@ class TruthFinderCorroborator final : public Corroborator {
       : options_(options) {}
 
   std::string_view name() const override { return "TruthFinder"; }
-  Result<CorroborationResult> Run(const Dataset& dataset) const override;
+  [[nodiscard]] Result<CorroborationResult> Run(const Dataset& dataset) const override;
 
   const TruthFinderOptions& options() const { return options_; }
 

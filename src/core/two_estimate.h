@@ -48,7 +48,7 @@ class TwoEstimateCorroborator final : public Corroborator {
       : options_(options) {}
 
   std::string_view name() const override { return "TwoEstimate"; }
-  Result<CorroborationResult> Run(const Dataset& dataset) const override;
+  [[nodiscard]] Result<CorroborationResult> Run(const Dataset& dataset) const override;
 
   const TwoEstimateOptions& options() const { return options_; }
 

@@ -11,7 +11,7 @@ namespace corrob {
 class VotingCorroborator final : public Corroborator {
  public:
   std::string_view name() const override { return "Voting"; }
-  Result<CorroborationResult> Run(const Dataset& dataset) const override;
+  [[nodiscard]] Result<CorroborationResult> Run(const Dataset& dataset) const override;
 };
 
 }  // namespace corrob

@@ -35,8 +35,8 @@ class Dataset {
   const std::string& fact_name(FactId f) const { return fact_names_[f]; }
 
   /// Id lookup by name; NotFound if absent.
-  Result<SourceId> FindSource(const std::string& name) const;
-  Result<FactId> FindFact(const std::string& name) const;
+  [[nodiscard]] Result<SourceId> FindSource(const std::string& name) const;
+  [[nodiscard]] Result<FactId> FindFact(const std::string& name) const;
 
   /// Votes cast on fact `f`, sorted by source id.
   std::span<const SourceVote> VotesOnFact(FactId f) const {
@@ -96,7 +96,7 @@ class DatasetBuilder {
 
   /// Records a vote. kNone erases any previous vote for the pair.
   /// Fails on out-of-range ids.
-  Status SetVote(SourceId s, FactId f, Vote vote);
+  [[nodiscard]] Status SetVote(SourceId s, FactId f, Vote vote);
 
   /// Convenience: registers names as needed, then records the vote.
   void SetVoteByName(const std::string& source, const std::string& fact,

@@ -55,20 +55,20 @@ struct DatasetCsvOptions {
 /// drops the truth column from the loaded result).
 /// Error messages include `path`; a missing file is NotFound while an
 /// unreadable or mid-read-failing file is IoError.
-Result<LabeledDataset> LoadDatasetCsv(const std::string& path);
+[[nodiscard]] Result<LabeledDataset> LoadDatasetCsv(const std::string& path);
 
 /// As above with explicit parsing options; `report` (may be null)
 /// receives per-row diagnostics when provided.
-Result<LabeledDataset> LoadDatasetCsv(const std::string& path,
+[[nodiscard]] Result<LabeledDataset> LoadDatasetCsv(const std::string& path,
                                       const DatasetCsvOptions& options,
                                       ParseReport* report = nullptr);
 
 /// Parses the same layout from an in-memory string (strict mode).
-Result<LabeledDataset> ParseDatasetCsv(const std::string& text);
+[[nodiscard]] Result<LabeledDataset> ParseDatasetCsv(const std::string& text);
 
 /// Parses with explicit options; in lenient mode malformed rows are
 /// dropped into `report` instead of aborting the parse.
-Result<LabeledDataset> ParseDatasetCsv(const std::string& text,
+[[nodiscard]] Result<LabeledDataset> ParseDatasetCsv(const std::string& text,
                                        const DatasetCsvOptions& options,
                                        ParseReport* report = nullptr);
 
@@ -80,7 +80,7 @@ std::string DatasetToCsv(const Dataset& dataset,
 /// Writes DatasetToCsv output to `path` atomically (temp file + fsync
 /// + rename), retrying transient I/O failures; a crash mid-save never
 /// leaves a truncated CSV at `path`.
-Status SaveDatasetCsv(const std::string& path, const Dataset& dataset,
+[[nodiscard]] Status SaveDatasetCsv(const std::string& path, const Dataset& dataset,
                       const GroundTruth* truth = nullptr);
 
 }  // namespace corrob

@@ -24,7 +24,7 @@ enum class MergeConflictPolicy {
 /// equal names are identified, ids are reassigned densely in
 /// first-appearance order across the inputs. Typical use: combining
 /// incremental crawl snapshots before a batch corroboration run.
-Result<Dataset> MergeDatasets(
+[[nodiscard]] Result<Dataset> MergeDatasets(
     const std::vector<const Dataset*>& datasets,
     MergeConflictPolicy policy = MergeConflictPolicy::kLastWins);
 

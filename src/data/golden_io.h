@@ -15,18 +15,18 @@ namespace corrob {
 ///   listing_23,false
 /// Labels accept true/false/1/0. Fact names must exist in `dataset`;
 /// duplicates are rejected.
-Result<GoldenSet> ParseGoldenCsv(const std::string& text,
+[[nodiscard]] Result<GoldenSet> ParseGoldenCsv(const std::string& text,
                                  const Dataset& dataset);
 
 /// Reads ParseGoldenCsv input from a file.
-Result<GoldenSet> LoadGoldenCsv(const std::string& path,
+[[nodiscard]] Result<GoldenSet> LoadGoldenCsv(const std::string& path,
                                 const Dataset& dataset);
 
 /// Serializes a golden set against its dataset's fact names.
 std::string GoldenToCsv(const GoldenSet& golden, const Dataset& dataset);
 
 /// Writes GoldenToCsv output to `path`.
-Status SaveGoldenCsv(const std::string& path, const GoldenSet& golden,
+[[nodiscard]] Status SaveGoldenCsv(const std::string& path, const GoldenSet& golden,
                      const Dataset& dataset);
 
 }  // namespace corrob

@@ -67,11 +67,11 @@ class QuestionDatasetBuilder {
 
   /// Records that `s` voted for answer `f` (an affirmative vote), or
   /// explicitly against it.
-  Status SetVote(SourceId s, FactId f, Vote vote);
+  [[nodiscard]] Status SetVote(SourceId s, FactId f, Vote vote);
 
   /// Validates (every question has exactly one correct answer) and
   /// freezes. The builder is left empty.
-  Result<QuestionDataset> Build();
+  [[nodiscard]] Result<QuestionDataset> Build();
 
  private:
   DatasetBuilder builder_;

@@ -19,7 +19,7 @@ struct BootstrapInterval {
 /// Percentile-bootstrap CI for an accuracy (the mean of per-item
 /// correctness indicators). Deterministic for a fixed seed. Requires
 /// non-empty input, resamples >= 100 and confidence in (0, 1).
-Result<BootstrapInterval> BootstrapAccuracy(
+[[nodiscard]] Result<BootstrapInterval> BootstrapAccuracy(
     const std::vector<bool>& correct, double confidence = 0.95,
     int resamples = 2000, uint64_t seed = 1234);
 
@@ -27,7 +27,7 @@ Result<BootstrapInterval> BootstrapAccuracy(
 /// paired methods (mean of correct_a[i] - correct_b[i], resampling
 /// items jointly). The interval excluding 0 indicates a significant
 /// gap at the chosen confidence.
-Result<BootstrapInterval> BootstrapPairedDifference(
+[[nodiscard]] Result<BootstrapInterval> BootstrapPairedDifference(
     const std::vector<bool>& correct_a, const std::vector<bool>& correct_b,
     double confidence = 0.95, int resamples = 2000, uint64_t seed = 1234);
 

@@ -34,12 +34,12 @@ struct CalibrationReport {
 /// Bins `probability` against `truth` labels into `num_bins` equal
 /// intervals of [0, 1] (the last bin is closed). Sizes must match and
 /// num_bins must be >= 1.
-Result<CalibrationReport> ComputeCalibration(
+[[nodiscard]] Result<CalibrationReport> ComputeCalibration(
     const std::vector<double>& probability, const std::vector<bool>& truth,
     int num_bins = 10);
 
 /// Calibration of a corroboration result against a golden subset.
-Result<CalibrationReport> CalibrationOnGolden(
+[[nodiscard]] Result<CalibrationReport> CalibrationOnGolden(
     const CorroborationResult& result, const GoldenSet& golden,
     int num_bins = 10);
 

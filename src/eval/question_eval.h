@@ -33,7 +33,7 @@ struct QuestionEvalReport {
 /// QuestionDataset::WithNegativeClosure) against the question
 /// structure and truth. Fails if the result's size does not match
 /// the dataset.
-Result<QuestionEvalReport> EvaluateQuestions(
+[[nodiscard]] Result<QuestionEvalReport> EvaluateQuestions(
     const CorroborationResult& result, const QuestionDataset& questions);
 
 }  // namespace corrob

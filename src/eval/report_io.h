@@ -13,11 +13,11 @@ namespace corrob {
 /// row per time point:
 ///   t,facts_committed,<source1>,...,<sourceN>
 /// Fails if the result has no recorded trajectory.
-Status SaveTrajectoryCsv(const std::string& path, const Dataset& dataset,
+[[nodiscard]] Status SaveTrajectoryCsv(const std::string& path, const Dataset& dataset,
                          const CorroborationResult& result);
 
 /// Same, to a string (used by tests and the Figure 2 bench).
-Result<std::string> TrajectoryToCsv(const Dataset& dataset,
+[[nodiscard]] Result<std::string> TrajectoryToCsv(const Dataset& dataset,
                                     const CorroborationResult& result);
 
 /// Serializes per-fact probabilities and decisions:

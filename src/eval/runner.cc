@@ -53,11 +53,13 @@ Result<MethodReport> RunMlMethod(const std::string& name,
                                  const CrossValidationOptions& options) {
   std::function<std::unique_ptr<BinaryClassifier>()> factory;
   if (name == "ML-Logistic") {
-    factory = [] {
-      return std::unique_ptr<BinaryClassifier>(new LogisticRegression());
+    factory = []() -> std::unique_ptr<BinaryClassifier> {
+      return std::make_unique<LogisticRegression>();
     };
   } else if (name == "ML-SVM") {
-    factory = [] { return std::unique_ptr<BinaryClassifier>(new LinearSvm()); };
+    factory = []() -> std::unique_ptr<BinaryClassifier> {
+      return std::make_unique<LinearSvm>();
+    };
   } else {
     return Status::NotFound("unknown ML method: '" + name + "'");
   }

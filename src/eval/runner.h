@@ -30,7 +30,7 @@ struct MethodReport {
 /// Runs a registered corroborator on `dataset` and scores it on
 /// `golden`; wall time covers only Corroborator::Run. `shared`
 /// carries cross-cutting knobs (thread count) into the construction.
-Result<MethodReport> RunCorroborationMethod(
+[[nodiscard]] Result<MethodReport> RunCorroborationMethod(
     const std::string& name, const Dataset& dataset, const GoldenSet& golden,
     const CorroboratorOptions& shared = {});
 
@@ -39,7 +39,7 @@ Result<MethodReport> RunCorroborationMethod(
 /// out-of-fold predictions. Wall time covers feature extraction,
 /// training and prediction (the paper's ML timings likewise run over
 /// the golden set only).
-Result<MethodReport> RunMlMethod(const std::string& name,
+[[nodiscard]] Result<MethodReport> RunMlMethod(const std::string& name,
                                  const Dataset& dataset,
                                  const GoldenSet& golden,
                                  const CrossValidationOptions& options = {});

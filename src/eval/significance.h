@@ -14,14 +14,14 @@ namespace corrob {
 /// two-sided p-value using the exact binomial distribution on the
 /// discordant pairs (suitable for the paper's "p-value < 0.001"
 /// claims at golden-set scale).
-Result<double> McNemarPValue(const std::vector<bool>& correct_a,
+[[nodiscard]] Result<double> McNemarPValue(const std::vector<bool>& correct_a,
                              const std::vector<bool>& correct_b);
 
 /// Paired randomization (permutation) test on accuracy: swaps the two
 /// methods' outcomes per item with probability 1/2 and measures how
 /// often the absolute accuracy difference is at least the observed
 /// one. Returns the two-sided p-value estimate.
-Result<double> PairedPermutationPValue(const std::vector<bool>& correct_a,
+[[nodiscard]] Result<double> PairedPermutationPValue(const std::vector<bool>& correct_a,
                                        const std::vector<bool>& correct_b,
                                        int iterations = 10000,
                                        uint64_t seed = 99);

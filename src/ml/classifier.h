@@ -16,7 +16,7 @@ class BinaryClassifier {
   /// Trains on rows `features` with labels in {0, 1}. Fails on shape
   /// mismatches or degenerate input (e.g. a single class for models
   /// that cannot represent it).
-  virtual Status Fit(const std::vector<std::vector<double>>& features,
+  [[nodiscard]] virtual Status Fit(const std::vector<std::vector<double>>& features,
                      const std::vector<int>& labels) = 0;
 
   /// Raw decision value; >= 0 means the positive class.

@@ -21,14 +21,14 @@ struct CrossValidationOptions {
 /// Assigns each row to a fold with per-class (stratified) round-robin
 /// after a seeded shuffle. Returned vector holds fold ids in [0,
 /// folds). Fails if folds < 2 or folds > number of rows.
-Result<std::vector<int>> StratifiedFolds(const std::vector<int>& labels,
+[[nodiscard]] Result<std::vector<int>> StratifiedFolds(const std::vector<int>& labels,
                                          const CrossValidationOptions& options);
 
 /// Runs k-fold cross-validation: for each fold, trains a fresh
 /// classifier from `make_classifier` on the other folds and predicts
 /// the held-out rows. Returns out-of-fold predictions aligned with
 /// `data` rows.
-Result<std::vector<bool>> CrossValidatePredictions(
+[[nodiscard]] Result<std::vector<bool>> CrossValidatePredictions(
     const MlDataset& data,
     const std::function<std::unique_ptr<BinaryClassifier>()>& make_classifier,
     const CrossValidationOptions& options = {});

@@ -24,7 +24,7 @@ class LogisticRegression final : public BinaryClassifier {
   explicit LogisticRegression(LogisticRegressionOptions options = {})
       : options_(options) {}
 
-  Status Fit(const std::vector<std::vector<double>>& features,
+  [[nodiscard]] Status Fit(const std::vector<std::vector<double>>& features,
              const std::vector<int>& labels) override;
 
   /// Log-odds of the positive class.

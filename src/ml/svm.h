@@ -28,7 +28,7 @@ class LinearSvm final : public BinaryClassifier {
  public:
   explicit LinearSvm(LinearSvmOptions options = {}) : options_(options) {}
 
-  Status Fit(const std::vector<std::vector<double>>& features,
+  [[nodiscard]] Status Fit(const std::vector<std::vector<double>>& features,
              const std::vector<int>& labels) override;
 
   /// Signed distance to the separating hyperplane (unnormalized).

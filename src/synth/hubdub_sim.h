@@ -33,7 +33,7 @@ struct HubdubSimOptions {
 /// question carries one correct answer; each participating user backs
 /// one answer per question (correct with their latent accuracy,
 /// otherwise a uniformly random wrong answer).
-Result<QuestionDataset> GenerateHubdub(const HubdubSimOptions& options);
+[[nodiscard]] Result<QuestionDataset> GenerateHubdub(const HubdubSimOptions& options);
 
 }  // namespace corrob
 

@@ -61,7 +61,7 @@ struct RestaurantCorpus {
 /// truth-conditioned coverage), F-vote counts, corpus size, and a
 /// golden set with the published size and truth split. See DESIGN.md
 /// §5 for why matching these marginals preserves the experiment.
-Result<RestaurantCorpus> GenerateRestaurantCorpus(
+[[nodiscard]] Result<RestaurantCorpus> GenerateRestaurantCorpus(
     const RestaurantSimOptions& options);
 
 struct RawCrawlOptions {
@@ -91,7 +91,7 @@ struct RawCrawl {
 
 /// Generates noisy raw listings (multiple presentations of the same
 /// restaurant) to exercise the dedup pipeline end to end.
-Result<RawCrawl> GenerateRawCrawl(const RawCrawlOptions& options);
+[[nodiscard]] Result<RawCrawl> GenerateRawCrawl(const RawCrawlOptions& options);
 
 }  // namespace corrob
 

@@ -60,7 +60,7 @@ struct RumorCorpus {
 ///    (F vote, probability debunk_rate), gets fooled into reblogging
 ///    (probability 0.1), or stays silent.
 /// Every rumor has at least one statement (the originator's).
-Result<RumorCorpus> GenerateRumors(const RumorSimOptions& options);
+[[nodiscard]] Result<RumorCorpus> GenerateRumors(const RumorSimOptions& options);
 
 }  // namespace corrob
 

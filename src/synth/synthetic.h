@@ -57,7 +57,7 @@ struct SyntheticDataset {
 ///     m(s)) or omits the listing.
 /// Fails if the options are inconsistent (e.g. more inaccurate
 /// sources than sources, η > 1 - true_fraction).
-Result<SyntheticDataset> GenerateSynthetic(const SyntheticOptions& options);
+[[nodiscard]] Result<SyntheticDataset> GenerateSynthetic(const SyntheticOptions& options);
 
 }  // namespace corrob
 

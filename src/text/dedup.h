@@ -64,7 +64,7 @@ struct DedupResult {
 /// listings by normalized address, link listings within a group whose
 /// similarity is >= the threshold (union-find closure), and emit one
 /// fact per cluster.
-Result<DedupResult> Deduplicate(const std::vector<RawListing>& listings,
+[[nodiscard]] Result<DedupResult> Deduplicate(const std::vector<RawListing>& listings,
                                 const DedupOptions& options = {});
 
 }  // namespace corrob

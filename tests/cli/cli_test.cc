@@ -96,6 +96,25 @@ TEST_F(CliTest, RunRequiresInput) {
   EXPECT_NE(err_.str().find("--input"), std::string::npos);
 }
 
+TEST_F(CliTest, ThreadsFlagRejectsBadValues) {
+  // Zero, negative and non-numeric thread counts are usage errors on
+  // stderr with exit 1 — never aborts, never silent fallbacks.
+  for (const std::string bad : {"0", "-3", "abc", "2.5", ""}) {
+    EXPECT_EQ(Run({"run", "--input", dataset_path_, "--threads=" + bad}), 1)
+        << "--threads=" << bad;
+    EXPECT_NE(err_.str().find("--threads"), std::string::npos)
+        << "--threads=" << bad;
+  }
+}
+
+TEST_F(CliTest, ThreadsFlagAcceptsPositiveCount) {
+  ASSERT_EQ(Run({"run", "--input", dataset_path_, "--algorithm",
+                 "TwoEstimate", "--threads", "2"}),
+            0);
+  CsvDocument doc = ParseCsv(out_.str()).ValueOrDie();
+  ASSERT_EQ(doc.rows.size(), 13u);
+}
+
 TEST_F(CliTest, EvalScoresAllAlgorithms) {
   ASSERT_EQ(Run({"eval", "--input", dataset_path_}), 0);
   std::string output = out_.str();

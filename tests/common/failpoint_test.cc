@@ -110,6 +110,7 @@ TEST_F(FailpointTest, DisarmRestoresNormalOperation) {
 
 TEST_F(FailpointTest, ReArmingResetsCounters) {
   Failpoints::Arm("failpoint_test.op");
+  // lint: discard-ok: only the hit counter matters for this test
   (void)GuardedOperation();
   EXPECT_EQ(Failpoints::HitCount("failpoint_test.op"), 1);
   Failpoints::Arm("failpoint_test.op");

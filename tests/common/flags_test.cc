@@ -74,6 +74,23 @@ TEST(FlagParserDeathTest, MalformedIntAborts) {
   EXPECT_DEATH({ p.GetInt("k", 0); }, "malformed integer");
 }
 
+TEST(FlagParserTest, TryGetIntParsesAndFallsBack) {
+  FlagParser p = MakeParser({"--k=7"});
+  EXPECT_EQ(p.TryGetInt("k", 0).ValueOrDie(), 7);
+  EXPECT_EQ(p.TryGetInt("absent", 42).ValueOrDie(), 42);
+}
+
+TEST(FlagParserTest, TryGetIntRejectsMalformedWithoutAborting) {
+  for (const char* bad : {"--k=abc", "--k=2.5", "--k="}) {
+    FlagParser p = MakeParser({bad});
+    auto result = p.TryGetInt("k", 0);
+    ASSERT_FALSE(result.ok()) << bad;
+    EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument) << bad;
+    EXPECT_NE(result.status().message().find("--k"), std::string::npos)
+        << bad;
+  }
+}
+
 TEST(FlagParserDeathTest, MalformedBoolAborts) {
   FlagParser p = MakeParser({"--k=maybe"});
   EXPECT_DEATH({ p.GetBool("k", false); }, "malformed bool");

@@ -40,6 +40,14 @@ TEST(LoggingDeathTest, CheckOkFailureAborts) {
                "Check failed \\(status\\)");
 }
 
+TEST(LoggingDeathTest, CheckOkNamesExpressionAndStatus) {
+  // The fatal line must carry both the expression text and the failing
+  // status (code + message) so the abort is diagnosable from logs alone.
+  EXPECT_DEATH(
+      { CORROB_CHECK_OK(Status::IoError("disk on fire")); },
+      "Status::IoError\\(\"disk on fire\"\\) = IoError: disk on fire");
+}
+
 TEST(LoggingDeathTest, FatalAborts) {
   EXPECT_DEATH({ CORROB_LOG_FATAL << "fatal message"; }, "fatal message");
 }

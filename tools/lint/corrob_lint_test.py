@@ -1,0 +1,178 @@
+#!/usr/bin/env python3
+"""Self-tests for corrob-lint.
+
+Runs the linter over the checked-in fixture corpus (one known-bad
+snippet per rule plus clean snippets) and asserts the exact rule IDs
+and lines that fire; also unit-tests the lexer, suppression grammar and
+statement analysis helpers directly.
+"""
+
+import os
+import sys
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import corrob_lint  # noqa: E402
+
+FIXTURES = os.path.join(os.path.dirname(os.path.abspath(__file__)), "fixtures")
+
+# The complete expected output of the fixture corpus: (path, line, rule).
+EXPECTED = [
+    ("src/common/bad_raw_io.cc", 9, "raw-io"),
+    ("src/common/bad_raw_io.cc", 10, "raw-io"),
+    ("src/common/bad_raw_io.cc", 11, "raw-io"),
+    ("src/common/bad_raw_io.cc", 12, "raw-io"),
+    ("src/core/bad_discard.cc", 26, "discarded-status"),
+    ("src/core/bad_discard.cc", 27, "discarded-status"),
+    ("src/core/bad_discard.cc", 28, "discarded-status"),
+    ("src/core/bad_discard.cc", 29, "undocumented-discard"),
+    ("src/core/bad_guard_macro.h", 2, "guard-style"),
+    ("src/core/bad_guard_pragma.h", 2, "guard-style"),
+    ("src/core/bad_include_order.cc", 3, "include-order"),
+    ("src/core/bad_naked_new.cc", 11, "naked-new"),
+    ("src/core/bad_naked_new.cc", 12, "naked-new"),
+    ("src/core/bad_naked_new.cc", 17, "naked-new"),
+    ("src/core/bad_naked_new.cc", 18, "naked-new"),
+    ("src/core/bad_nolint.cc", 7, "bare-nolint"),
+    ("src/core/bad_nondet.cc", 11, "nondeterminism"),
+    ("src/core/bad_nondet.cc", 12, "nondeterminism"),
+    ("src/core/bad_nondet.cc", 13, "nondeterminism"),
+    ("src/core/bad_nondet.cc", 18, "nondeterminism"),
+    ("src/core/bad_nondet.cc", 19, "nondeterminism"),
+    ("src/core/bad_suppression.cc", 14, "bad-suppression"),
+    ("src/core/bad_suppression.cc", 14, "undocumented-discard"),
+    ("src/core/bad_suppression.cc", 15, "bad-suppression"),
+    ("src/core/bad_suppression.cc", 15, "undocumented-discard"),
+]
+
+
+class FixtureCorpusTest(unittest.TestCase):
+    @classmethod
+    def setUpClass(cls):
+        cls.violations = corrob_lint.run_lint(FIXTURES)
+
+    def test_exact_violation_set(self):
+        got = sorted((v.path, v.line, v.rule) for v in self.violations)
+        self.assertEqual(got, sorted(EXPECTED))
+
+    def test_clean_fixtures_pass(self):
+        clean_hits = [v for v in self.violations
+                      if os.path.basename(v.path).startswith("clean")]
+        self.assertEqual(clean_hits, [])
+
+    def test_every_rule_has_a_firing_fixture(self):
+        fired = {v.rule for v in self.violations}
+        self.assertEqual(fired, set(corrob_lint.RULES))
+
+    def test_suppressed_lines_do_not_fire(self):
+        # bad_nondet.cc line 25 carries a nondet-ok suppression;
+        # bad_discard.cc line 35 carries a discard-ok suppression.
+        lines = {(v.path, v.line) for v in self.violations}
+        self.assertNotIn(("src/core/bad_nondet.cc", 25), lines)
+        self.assertNotIn(("src/core/bad_discard.cc", 35), lines)
+
+
+def lex(text, path="src/core/x.cc"):
+    return corrob_lint.lex_file(path, path, text)
+
+
+class LexerTest(unittest.TestCase):
+    def test_line_comments_are_separated(self):
+        sf = lex("int x = 1;  // std::cout << x;\n")
+        self.assertNotIn("cout", sf.code_lines[0])
+        self.assertIn("std::cout", sf.comment_lines[0])
+
+    def test_block_comments_span_lines(self):
+        sf = lex("/* rand()\n   srand(7) */ int y;\n")
+        self.assertNotIn("rand", sf.code_lines[0])
+        self.assertNotIn("srand", sf.code_lines[1])
+        self.assertIn("int y;", sf.code_lines[1])
+
+    def test_string_literals_are_blanked(self):
+        sf = lex('const char* s = "new delete rand()";\n')
+        self.assertNotIn("rand", sf.code_lines[0])
+        self.assertNotIn("new", sf.code_lines[0])
+
+    def test_raw_strings_are_blanked(self):
+        sf = lex('auto s = R"(line1 std::cout\nline2 rand())";\nint z;\n')
+        self.assertNotIn("cout", sf.code_lines[0])
+        self.assertNotIn("rand", sf.code_lines[1])
+        self.assertIn("int z;", sf.code_lines[2])
+
+    def test_escaped_quotes_do_not_end_strings(self):
+        sf = lex('const char* s = "a\\"b rand()";\nint w;\n')
+        self.assertNotIn("rand", sf.code_lines[0])
+        self.assertIn("int w;", sf.code_lines[1])
+
+
+class SuppressionTest(unittest.TestCase):
+    def parse(self, text):
+        sf = lex(text)
+        errors = []
+        sup = corrob_lint.Suppressions(sf, errors)
+        return sup, errors
+
+    def test_same_line_suppression(self):
+        sup, errors = self.parse("(void)F();  // lint: discard-ok: shutdown path\n")
+        self.assertEqual(errors, [])
+        self.assertTrue(sup.active("undocumented-discard", 1))
+
+    def test_previous_line_suppression(self):
+        sup, errors = self.parse(
+            "// lint: nondet-ok: benchmarking only\nint x = foo();\n")
+        self.assertEqual(errors, [])
+        self.assertTrue(sup.active("nondeterminism", 2))
+
+    def test_missing_reason_is_reported(self):
+        _, errors = self.parse("(void)F();  // lint: discard-ok\n")
+        self.assertEqual([e.rule for e in errors], ["bad-suppression"])
+
+    def test_unknown_tag_is_reported(self):
+        _, errors = self.parse("(void)F();  // lint: sloppy-ok: because\n")
+        self.assertEqual([e.rule for e in errors], ["bad-suppression"])
+
+    def test_wrong_tag_does_not_suppress(self):
+        sup, _ = self.parse("(void)F();  // lint: io-ok: not the right tag\n")
+        self.assertFalse(sup.active("undocumented-discard", 1))
+
+
+class StatementAnalysisTest(unittest.TestCase):
+    def test_control_prefix_stripping(self):
+        strip = corrob_lint.strip_control_prefixes
+        self.assertEqual(strip("if (a(b) && c) Save(x)"), "Save(x)")
+        self.assertEqual(strip("for (int i = 0; i < n; ++i) Save(i)"),
+                         "Save(i)")
+        self.assertEqual(strip("else if (z) Save(q)"), "Save(q)")
+        self.assertEqual(strip("Save(x)"), "Save(x)")
+
+    def test_toplevel_assignment_detection(self):
+        has = corrob_lint.has_toplevel_assignment
+        self.assertTrue(has("Status s = Save(x)"))
+        self.assertTrue(has("auto r = Load(y)"))
+        self.assertFalse(has("Save(x == y)"))
+        self.assertFalse(has("Check(a <= b, c >= d)"))
+
+    def test_guard_macro_derivation(self):
+        self.assertEqual(corrob_lint.expected_guard("src/core/vote_matrix.h"),
+                         "CORROB_CORE_VOTE_MATRIX_H_")
+        self.assertEqual(
+            corrob_lint.expected_guard("tests/testing/property.h"),
+            "CORROB_TESTS_TESTING_PROPERTY_H_")
+
+
+class DeclarationScanTest(unittest.TestCase):
+    def test_status_and_result_functions_are_collected(self):
+        sf = lex("Status Save(const std::string& p);\n"
+                 "Result<int> Load(const std::string& p);\n"
+                 "Result<std::vector<double>> Weights();\n"
+                 "int NotCollected();\n")
+        names = corrob_lint.collect_status_returning([sf])
+        self.assertIn("Save", names)
+        self.assertIn("Load", names)
+        self.assertIn("Weights", names)
+        self.assertNotIn("NotCollected", names)
+
+
+if __name__ == "__main__":
+    unittest.main()

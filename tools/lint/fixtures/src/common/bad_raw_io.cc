@@ -1,0 +1,20 @@
+// Fixture: stdout/stderr I/O in library code. Only src/cli and
+// src/common/logging may talk to the process streams directly.
+#include <cstdio>
+#include <iostream>
+
+namespace corrob {
+
+void ChattyLibraryFunction(int facts) {
+  std::cout << "corroborated " << facts << " facts\n";  // raw-io (cout)
+  std::cerr << "something felt off\n";                  // raw-io (cerr)
+  printf("%d facts\n", facts);                          // raw-io (printf)
+  fprintf(stderr, "%d facts\n", facts);                 // raw-io (fprintf)
+}
+
+void FormattingIsFine(char* buffer, int facts) {
+  // snprintf writes to a caller buffer, not a stream: not a violation.
+  std::snprintf(buffer, 16, "%d", facts);
+}
+
+}  // namespace corrob

@@ -1,0 +1,43 @@
+// Fixture: ignored Status/Result return values, documented and not.
+#include <string>
+
+namespace corrob {
+
+class Status {
+ public:
+  bool ok() const { return true; }
+};
+
+template <typename T>
+class Result {
+ public:
+  bool ok() const { return true; }
+};
+
+Status SaveCheckpoint(const std::string& path);
+Result<int> LoadCheckpoint(const std::string& path);
+
+class Saver {
+ public:
+  Status Flush();
+};
+
+void IgnoresEverything(Saver& saver) {
+  SaveCheckpoint("/tmp/state.snap");          // discarded-status (free fn)
+  LoadCheckpoint("/tmp/state.snap");          // discarded-status (Result)
+  saver.Flush();                              // discarded-status (method)
+  (void)SaveCheckpoint("/tmp/state.snap");    // undocumented-discard
+}
+
+void DocumentedDiscard(Saver& saver) {
+  // lint: discard-ok: best-effort flush on shutdown, failure already logged
+  (void)saver.Flush();
+}
+
+Status PropagatesProperly() {
+  Status status = SaveCheckpoint("/tmp/state.snap");  // fine: assigned
+  if (!status.ok()) return status;
+  return SaveCheckpoint("/tmp/state.snap");           // fine: returned
+}
+
+}  // namespace corrob

@@ -1,0 +1,11 @@
+// Fixture: the guard macro must be derived from the header's path.
+#ifndef SOME_OTHER_GUARD_H
+#define SOME_OTHER_GUARD_H
+
+namespace corrob {
+
+int WronglyGuarded();
+
+}  // namespace corrob
+
+#endif  // SOME_OTHER_GUARD_H

@@ -1,0 +1,8 @@
+// Fixture: #pragma once instead of the project's include-guard style.
+#pragma once
+
+namespace corrob {
+
+int PragmaGuarded();
+
+}  // namespace corrob

@@ -1,0 +1,11 @@
+// Fixture: the self-header must be the first include so every header
+// proves it is self-contained.
+#include <string>  // include-order: self-header is not first
+
+#include "core/bad_include_order.h"
+
+namespace corrob {
+
+int OrderedIncludes() { return 1; }
+
+}  // namespace corrob

@@ -1,0 +1,10 @@
+#ifndef CORROB_CORE_BAD_INCLUDE_ORDER_H_
+#define CORROB_CORE_BAD_INCLUDE_ORDER_H_
+
+namespace corrob {
+
+int OrderedIncludes();
+
+}  // namespace corrob
+
+#endif  // CORROB_CORE_BAD_INCLUDE_ORDER_H_

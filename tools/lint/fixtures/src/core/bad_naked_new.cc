@@ -1,0 +1,30 @@
+// Fixture: raw new/delete outside std::make_unique.
+#include <memory>
+
+namespace corrob {
+
+struct Scratch {
+  double* weights;
+};
+
+Scratch* AllocateScratch() {
+  auto* scratch = new Scratch();         // naked-new (new)
+  scratch->weights = new double[128];    // naked-new (new[])
+  return scratch;
+}
+
+void ReleaseScratch(Scratch* scratch) {
+  delete[] scratch->weights;             // naked-new (delete[])
+  delete scratch;                        // naked-new (delete)
+}
+
+std::unique_ptr<Scratch> MakeScratch() {
+  return std::make_unique<Scratch>();    // fine: ownership is expressed
+}
+
+struct Pinned {
+  Pinned(const Pinned&) = delete;        // fine: deleted copy, not a delete
+  Pinned& operator=(const Pinned&) = delete;
+};
+
+}  // namespace corrob

@@ -1,0 +1,14 @@
+// Fixture: clang-tidy suppression comments must name their checks and
+// carry a trailing reason.
+
+namespace corrob {
+
+int Mystery(int x) {
+  return x + 1;  // NOLINT
+}
+
+int Justified(int x) {
+  return x + 2;  // NOLINT(readability-magic-numbers): paper constant, Eq. 7
+}
+
+}  // namespace corrob

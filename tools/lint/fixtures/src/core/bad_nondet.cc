@@ -1,0 +1,28 @@
+// Fixture: every unsanctioned randomness/clock source corrob-lint must
+// catch inside the deterministic directories (src/core here).
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace corrob {
+
+int UnseededRandomness() {
+  std::srand(42);                       // nondeterminism (srand)
+  int draw = std::rand();               // nondeterminism (rand)
+  std::random_device entropy;           // nondeterminism (random_device)
+  return draw + static_cast<int>(entropy());
+}
+
+long WallClock() {
+  long stamp = time(nullptr);           // nondeterminism (time)
+  auto tick = std::chrono::steady_clock::now();  // nondeterminism (*_clock::now)
+  return stamp + tick.time_since_epoch().count();
+}
+
+long SanctionedClock() {
+  // lint: nondet-ok: fixture demonstrating a documented suppression
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+}  // namespace corrob

@@ -1,0 +1,18 @@
+// Fixture: malformed corrob-lint suppression comments are themselves
+// violations — a suppression without a rationale is not a review.
+
+namespace corrob {
+
+class Status {
+ public:
+  bool ok() const { return true; }
+};
+
+Status Cleanup();
+
+void SuppressesBadly() {
+  (void)Cleanup();  // lint: discard-ok
+  (void)Cleanup();  // lint: whatever-ok: no such rule tag
+}
+
+}  // namespace corrob

@@ -1,0 +1,43 @@
+// Fixture: a file that exercises every rule's happy path. The linter
+// must report nothing here — strings and comments that merely *mention*
+// forbidden constructs (std::cout, rand(), new) are not violations.
+#include "core/clean.h"
+
+#include <memory>
+#include <string>
+#include <utility>
+
+namespace corrob {
+
+namespace {
+
+// Comments may discuss rand() and std::cout freely.
+const char* kBanner = "usage: rand() new delete std::cout time(NULL)";
+
+std::string Describe() {
+  std::string text = R"(raw strings can say anything:
+    std::cerr << "boo";  srand(7);  new int[3];
+  )";
+  return text + kBanner;
+}
+
+}  // namespace
+
+std::unique_ptr<Engine> MakeEngine() {
+  auto engine = std::make_unique<Engine>();
+  engine->threads = static_cast<int>(Describe().size() % 7 + 1);
+  return engine;
+}
+
+Status SaveReport(const std::string& path) {
+  Status status;
+  if (!path.empty()) {
+    status = SaveReport(path.substr(1));  // assigned: not a discard
+  }
+  if (!status.ok()) return status;
+  // lint: discard-ok: fixture demonstrating the documented-discard form
+  (void)SaveReport(std::string());
+  return status;
+}
+
+}  // namespace corrob

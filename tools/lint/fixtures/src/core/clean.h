@@ -1,0 +1,25 @@
+#ifndef CORROB_CORE_CLEAN_H_
+#define CORROB_CORE_CLEAN_H_
+
+#include <memory>
+#include <string>
+
+namespace corrob {
+
+class Status {
+ public:
+  bool ok() const { return true; }
+};
+
+/// A saver whose Status results are all handled below.
+Status SaveReport(const std::string& path);
+
+struct Engine {
+  int threads = 1;
+};
+
+std::unique_ptr<Engine> MakeEngine();
+
+}  // namespace corrob
+
+#endif  // CORROB_CORE_CLEAN_H_
