@@ -4,12 +4,21 @@
 // Shared plumbing for the per-table/figure benchmark binaries. Every
 // binary runs stand-alone with defaults matching the paper's setup
 // and accepts --facts/--seed/--seeds style flags for quick runs.
+// Binaries that report timings also write a machine-readable
+// BENCH_<name>.json sidecar (see BenchReport) so the perf trajectory
+// accumulates run over run instead of evaporating with the terminal.
 
 #include <cstdio>
+#include <string>
+#include <utility>
 
+#include "common/csv.h"
 #include "common/flags.h"
 #include "common/string_util.h"
 #include "common/table_printer.h"
+#include "common/timer.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
 
 namespace corrob {
 namespace bench {
@@ -20,6 +29,82 @@ inline FlagParser ParseFlags(int argc, char** argv) {
 
 inline void PrintHeader(const char* experiment, const char* description) {
   std::printf("=== %s ===\n%s\n\n", experiment, description);
+}
+
+/// Machine-readable sidecar for a benchmark binary. Collect config and
+/// per-measurement rows while the human table prints, then Write()
+/// emits `BENCH_<name>.json` in the working directory (`--json <path>`
+/// overrides; `--json none` disables). The file carries a process
+/// metrics snapshot alongside the rows, so counter-level context
+/// (sweeps run, chunks dispatched) travels with the timings.
+///
+/// Schema "corrob.bench/1", validated by tools/obs/validate_trace.py:
+///   {"schema": "corrob.bench/1", "bench": "<name>",
+///    "config": {...}, "rows": [{"method": ..., "seconds": ...}, ...],
+///    "metrics": {<MetricsSnapshot::ToJson()>}}
+class BenchReport {
+ public:
+  BenchReport(const std::string& name, const FlagParser& flags)
+      : path_(flags.GetString("json", "BENCH_" + name + ".json")),
+        root_(obs::JsonValue::Object()),
+        config_(obs::JsonValue::Object()),
+        rows_(obs::JsonValue::Array()) {
+    root_.Set("schema", obs::JsonValue::Str("corrob.bench/1"));
+    root_.Set("bench", obs::JsonValue::Str(name));
+  }
+
+  void SetConfig(const std::string& key, int64_t value) {
+    config_.Set(key, obs::JsonValue::Int(value));
+  }
+  void SetConfig(const std::string& key, double value) {
+    config_.Set(key, obs::JsonValue::Double(value));
+  }
+  void SetConfig(const std::string& key, const std::string& value) {
+    config_.Set(key, obs::JsonValue::Str(value));
+  }
+
+  /// Starts a row; chain Set calls on the returned object, then
+  /// AddRow it.
+  static obs::JsonValue Row(const std::string& method, double seconds) {
+    obs::JsonValue row = obs::JsonValue::Object();
+    row.Set("method", obs::JsonValue::Str(method));
+    row.Set("seconds", obs::JsonValue::Double(seconds));
+    return row;
+  }
+
+  void AddRow(obs::JsonValue row) { rows_.Append(std::move(row)); }
+
+  /// Writes the report. A write failure warns on stderr but never
+  /// fails the benchmark run — the human table already printed.
+  void Write() {
+    if (path_.empty() || path_ == "none") return;
+    root_.Set("config", std::move(config_));
+    root_.Set("rows", std::move(rows_));
+    root_.Set("metrics",
+              obs::MetricsRegistry::Global().Snapshot().ToJson());
+    Status status = WriteStringToFile(path_, root_.Dump(2) + "\n");
+    if (status.ok()) {
+      std::printf("\nwrote %s\n", path_.c_str());
+    } else {
+      std::fprintf(stderr, "bench: cannot write %s: %s\n", path_.c_str(),
+                   status.ToString().c_str());
+    }
+  }
+
+ private:
+  std::string path_;
+  obs::JsonValue root_;
+  obs::JsonValue config_;
+  obs::JsonValue rows_;
+};
+
+/// Times one call of `fn` in seconds on the monotonic clock.
+template <typename Fn>
+double TimeSeconds(Fn&& fn) {
+  StopwatchNs watch;
+  std::forward<Fn>(fn)();
+  watch.Pause();
+  return watch.ElapsedSeconds();
 }
 
 }  // namespace bench

@@ -80,7 +80,7 @@ int main(int argc, char** argv) {
   for (double threshold : {0.6, 0.7, 0.8, 0.9, 0.95}) {
     corrob::DedupOptions dedup_options;
     dedup_options.similarity_threshold = threshold;
-    corrob::Stopwatch watch;
+    corrob::StopwatchNs watch;
     corrob::DedupResult dedup =
         corrob::Deduplicate(crawl.listings, dedup_options).ValueOrDie();
     double seconds = watch.ElapsedSeconds();

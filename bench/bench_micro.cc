@@ -6,6 +6,8 @@
 
 #include "common/failpoint.h"
 #include "core/bayes_estimate.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "core/fact_group.h"
 #include "core/inc_estimate.h"
 #include "core/online.h"
@@ -217,6 +219,43 @@ void BM_OnlineObserveThroughDisarmedFailpoint(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_OnlineObserveThroughDisarmedFailpoint);
+
+// Observability overhead kernels. The instrumented hot paths cross
+// these primitives on every call, so their disabled cost must stay in
+// the noise: a span with tracing off is one relaxed atomic load, a
+// sharded counter add is one relaxed fetch_add on a thread-local
+// cache line. Compare BM_TwoEstimateFull before/after a tracing
+// change for the end-to-end version of the same claim.
+void BM_TraceSpanDisabled(benchmark::State& state) {
+  for (auto _ : state) {
+    CORROB_TRACE_SPAN("bench.overhead.span");
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceSpanDisabled);
+
+void BM_MetricsCounterAdd(benchmark::State& state) {
+  static obs::Counter* counter = obs::MetricsRegistry::Global().GetCounter(
+      "bench.overhead.counter");
+  for (auto _ : state) {
+    counter->Add(1);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MetricsCounterAdd);
+
+void BM_MetricsHistogramRecord(benchmark::State& state) {
+  static obs::Histogram* histogram =
+      obs::MetricsRegistry::Global().GetHistogram(
+          "bench.overhead.histogram");
+  int64_t value = 0;
+  for (auto _ : state) {
+    histogram->Record(value++);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MetricsHistogramRecord);
 
 void BM_GenerateRumors(benchmark::State& state) {
   for (auto _ : state) {

@@ -19,6 +19,10 @@
 #include "data/golden_io.h"
 #include "eval/metrics.h"
 #include "eval/report_io.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/telemetry.h"
+#include "obs/trace.h"
 #include "synth/hubdub_sim.h"
 #include "synth/restaurant_sim.h"
 #include "synth/synthetic.h"
@@ -35,8 +39,13 @@ Statements", EDBT 2014)
 USAGE
   corrob run      --input data.csv --algorithm IncEstHeu
                   [--output results.csv] [--trust trust.csv]
+                  [--telemetry run.json]
       Corroborate a vote matrix; prints per-fact probabilities or
-      writes them as CSV (fact,probability,decision).
+      writes them as CSV (fact,probability,decision). --method is an
+      alias for --algorithm; names match case- and separator-
+      insensitively (inc_est_heu == IncEstHeu). --telemetry records
+      the run's convergence story (per-iteration trust deltas; for
+      IncEst*, per-round group selections) as JSON.
 
   corrob eval     --input data.csv [--algorithm NAME | --all]
                   [--extended] [--golden golden.csv]
@@ -74,7 +83,16 @@ USAGE
       streaming algorithm, periodically snapshotting trust state to
       --checkpoint. With --resume, restores the snapshot and continues
       from the first unobserved fact; the finished trust state is
-      bit-identical to an uninterrupted run over the same stream.
+      bit-identical to an uninterrupted run over the same stream. The
+      decision/deferral counters travel with the checkpoint, so a
+      resumed run's running stats continue instead of restarting at
+      zero. --telemetry <file> writes them as JSON at the end.
+
+  corrob explain  telemetry.json
+      Render a --telemetry file as a table: one row per IncEstimate
+      selection round (kind, group signatures, |FG+|, |FG-|, ΔH,
+      committed n) or per fixpoint iteration (max trust delta,
+      trust distribution).
 
   corrob help
       This text.
@@ -91,6 +109,12 @@ GLOBAL FLAGS
       Arm fault-injection points for testing, e.g.
       --failpoint cli.stream.observe=fail:1:skip=500
       modes: off | fail[:N] | prob:P   opts: code=<Status>|skip=N|seed=N
+  --trace <file>
+      Record Chrome trace_event JSON for the whole command; open the
+      file in chrome://tracing or https://ui.perfetto.dev.
+  --metrics <file>
+      Write a JSON snapshot of the process metrics (counters, gauges,
+      histograms) accumulated by the command.
 
 DATASET CSV
   fact,<source1>,...,<sourceN>[,__truth__]   with cells T, F or '-'.
@@ -142,6 +166,14 @@ Result<LabeledDataset> LoadInput(const FlagParser& flags,
   return loaded;
 }
 
+/// --algorithm, with --method accepted as an alias (the paper's term).
+/// --algorithm wins when both are given.
+std::string AlgorithmFlag(const FlagParser& flags,
+                          const std::string& fallback) {
+  if (flags.Has("algorithm")) return flags.GetString("algorithm", fallback);
+  return flags.GetString("method", fallback);
+}
+
 int CmdRun(const FlagParser& flags, std::ostream& out, std::ostream& err) {
   auto loaded = LoadInput(flags, err);
   if (!loaded.ok()) return Fail(err, loaded.status());
@@ -149,12 +181,27 @@ int CmdRun(const FlagParser& flags, std::ostream& out, std::ostream& err) {
 
   auto shared = SharedOptions(flags);
   if (!shared.ok()) return Fail(err, shared.status());
-  std::string algorithm_name = flags.GetString("algorithm", "IncEstHeu");
+  const std::string telemetry_path = flags.GetString("telemetry", "");
+  shared.ValueOrDie().collect_telemetry = !telemetry_path.empty();
+  std::string algorithm_name = AlgorithmFlag(flags, "IncEstHeu");
   auto algorithm = MakeCorroborator(algorithm_name, shared.ValueOrDie());
   if (!algorithm.ok()) return Fail(err, algorithm.status());
   auto result = algorithm.ValueOrDie()->Run(dataset);
   if (!result.ok()) return Fail(err, result.status());
   const CorroborationResult& corroboration = result.ValueOrDie();
+
+  if (!telemetry_path.empty()) {
+    if (corroboration.telemetry == nullptr) {
+      return Fail(err, "algorithm '" + algorithm_name +
+                           "' does not record telemetry (iterative "
+                           "corroborators only)");
+    }
+    Status status = WriteStringToFile(
+        telemetry_path,
+        obs::TelemetryToJsonString(*corroboration.telemetry));
+    if (!status.ok()) return Fail(err, status);
+    out << "wrote telemetry to " << telemetry_path << "\n";
+  }
 
   std::string output = flags.GetString("output", "");
   std::string decisions = DecisionsToCsv(dataset, corroboration);
@@ -202,8 +249,8 @@ int CmdEval(const FlagParser& flags, std::ostream& out, std::ostream& err) {
   }
 
   std::vector<std::string> names;
-  if (flags.Has("algorithm")) {
-    names.push_back(flags.GetString("algorithm", ""));
+  if (flags.Has("algorithm") || flags.Has("method")) {
+    names.push_back(AlgorithmFlag(flags, ""));
   } else {
     names = CorroboratorNames();
     if (flags.GetBool("extended", false)) {
@@ -580,8 +627,92 @@ int CmdStream(const FlagParser& flags, std::ostream& out,
     if (!status.ok()) return Fail(err, status);
     out << "wrote source trust to " << trust_path << "\n";
   }
+  std::string telemetry_path = flags.GetString("telemetry", "");
+  if (!telemetry_path.empty()) {
+    // Counters only — they are deterministic and survive checkpoint
+    // resume, so a resumed stream reports continuous totals.
+    obs::JsonValue telemetry = obs::JsonValue::Object();
+    telemetry.Set("schema",
+                  obs::JsonValue::Str("corrob.stream_telemetry/1"));
+    telemetry.Set("facts_observed",
+                  obs::JsonValue::Int(online.facts_observed()));
+    telemetry.Set("decisions_true",
+                  obs::JsonValue::Int(online.decisions_true()));
+    telemetry.Set("decisions_false",
+                  obs::JsonValue::Int(online.decisions_false()));
+    telemetry.Set("deferrals", obs::JsonValue::Int(online.deferrals()));
+    telemetry.Set("num_sources", obs::JsonValue::Int(static_cast<int64_t>(
+                                     online.num_sources())));
+    Status status =
+        WriteStringToFile(telemetry_path, telemetry.Dump(2) + "\n");
+    if (!status.ok()) return Fail(err, status);
+    out << "wrote stream telemetry to " << telemetry_path << "\n";
+  }
   out << "observed " << online.facts_observed() << " facts ("
       << dataset.num_facts() - start << " this run)\n";
+  return 0;
+}
+
+/// Renders a --telemetry JSON file as tables: the run header, then one
+/// row per IncEstimate round and/or per fixpoint iteration.
+int CmdExplain(const FlagParser& flags, std::ostream& out,
+               std::ostream& err) {
+  std::string path = flags.GetString("input", "");
+  if (path.empty() && !flags.positional().empty()) {
+    path = flags.positional().front();
+  }
+  if (path.empty()) {
+    return Fail(err, "usage: corrob explain <telemetry.json>");
+  }
+  auto bytes = ReadFileToString(path);
+  if (!bytes.ok()) return Fail(err, bytes.status());
+  obs::RunTelemetry telemetry;
+  std::string error;
+  if (!obs::TelemetryFromJsonString(bytes.ValueOrDie(), &telemetry,
+                                    &error)) {
+    return Fail(err, path + ": " + error);
+  }
+
+  out << telemetry.algorithm << " on " << telemetry.num_facts
+      << " facts x " << telemetry.num_sources << " sources: "
+      << telemetry.iterations
+      << (telemetry.rounds.empty() ? " iterations" : " rounds") << ", "
+      << (telemetry.converged ? "converged" : "did not converge") << "\n";
+
+  if (!telemetry.rounds.empty()) {
+    TablePrinter table({"Round", "Kind", "FG+ signature", "|FG+|", "dH+",
+                        "FG- signature", "|FG-|", "dH-", "n", "Committed",
+                        "Trust u"});
+    for (const obs::IncRoundEvent& round : telemetry.rounds) {
+      table.AddRow({std::to_string(round.round), round.kind,
+                    round.positive_signature,
+                    std::to_string(round.fg_positive),
+                    FormatDouble(round.delta_h_positive, 4),
+                    round.negative_signature,
+                    std::to_string(round.fg_negative),
+                    FormatDouble(round.delta_h_negative, 4),
+                    std::to_string(round.committed_n),
+                    std::to_string(round.facts_committed),
+                    FormatDouble(round.trust_mean, 4)});
+    }
+    out << "\n" << table.ToString();
+  }
+  if (!telemetry.iteration_stats.empty()) {
+    TablePrinter table({"Iter", "Max delta", "Trust min", "Trust mean",
+                        "Trust max", "Facts"});
+    for (const obs::IterationStats& stats : telemetry.iteration_stats) {
+      table.AddRow({std::to_string(stats.iteration),
+                    FormatDouble(stats.max_delta, 6),
+                    FormatDouble(stats.trust_min, 4),
+                    FormatDouble(stats.trust_mean, 4),
+                    FormatDouble(stats.trust_max, 4),
+                    std::to_string(stats.facts_committed)});
+    }
+    out << "\n" << table.ToString();
+  }
+  if (telemetry.rounds.empty() && telemetry.iteration_stats.empty()) {
+    out << "\n(no per-round or per-iteration records)\n";
+  }
   return 0;
 }
 
@@ -614,16 +745,63 @@ int RunCli(const std::vector<std::string>& args, std::ostream& out,
     if (!armed.ok()) return Fail(err, armed);
   }
 
-  if (command == "run") return CmdRun(parsed, out, err);
-  if (command == "eval") return CmdEval(parsed, out, err);
-  if (command == "stats") return CmdStats(parsed, out, err);
-  if (command == "generate") return CmdGenerate(parsed, out, err);
-  if (command == "dedup") return CmdDedup(parsed, out, err);
-  if (command == "trajectory") return CmdTrajectory(parsed, out, err);
-  if (command == "compare") return CmdCompare(parsed, out, err);
-  if (command == "stream") return CmdStream(parsed, out, err);
-  return Fail(err, "unknown command '" + command +
-                       "' (try `corrob help`)");
+  // Global observability: --trace records the whole command as
+  // trace_event spans; --metrics snapshots the process counters after
+  // it. Both reset their global sink first so one RunCli invocation
+  // (tests and embedders call several per process) reports only its
+  // own events.
+  const std::string trace_path = parsed.GetString("trace", "");
+  const std::string metrics_path = parsed.GetString("metrics", "");
+  if (!trace_path.empty()) {
+    obs::TraceRecorder::Global().Clear();
+    obs::TraceRecorder::Global().Start();
+  }
+  if (!metrics_path.empty()) {
+    obs::MetricsRegistry::Global().ResetAll();
+  }
+
+  int code = 1;
+  if (command == "run") {
+    code = CmdRun(parsed, out, err);
+  } else if (command == "eval") {
+    code = CmdEval(parsed, out, err);
+  } else if (command == "stats") {
+    code = CmdStats(parsed, out, err);
+  } else if (command == "generate") {
+    code = CmdGenerate(parsed, out, err);
+  } else if (command == "dedup") {
+    code = CmdDedup(parsed, out, err);
+  } else if (command == "trajectory") {
+    code = CmdTrajectory(parsed, out, err);
+  } else if (command == "compare") {
+    code = CmdCompare(parsed, out, err);
+  } else if (command == "stream") {
+    code = CmdStream(parsed, out, err);
+  } else if (command == "explain") {
+    code = CmdExplain(parsed, out, err);
+  } else {
+    if (!trace_path.empty()) obs::TraceRecorder::Global().Stop();
+    return Fail(err, "unknown command '" + command +
+                         "' (try `corrob help`)");
+  }
+
+  if (!trace_path.empty()) {
+    obs::TraceRecorder& recorder = obs::TraceRecorder::Global();
+    recorder.Stop();
+    Status status =
+        WriteStringToFile(trace_path, recorder.ToJsonString() + "\n");
+    if (!status.ok()) return Fail(err, status);
+    out << "wrote " << recorder.event_count() << " trace events to "
+        << trace_path << "\n";
+  }
+  if (!metrics_path.empty()) {
+    Status status = WriteStringToFile(
+        metrics_path,
+        obs::MetricsRegistry::Global().Snapshot().ToJsonString() + "\n");
+    if (!status.ok()) return Fail(err, status);
+    out << "wrote metrics to " << metrics_path << "\n";
+  }
+  return code;
 }
 
 }  // namespace corrob

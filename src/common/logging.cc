@@ -1,5 +1,6 @@
 #include "common/logging.h"
 
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 
@@ -7,8 +8,6 @@ namespace corrob {
 namespace internal_logging {
 
 namespace {
-
-LogLevel g_min_level = LogLevel::kInfo;
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -26,11 +25,52 @@ const char* LevelName(LogLevel level) {
   return "?";
 }
 
+LogLevel InitialLevel() {
+  const char* env = std::getenv("CORROB_LOG_LEVEL");
+  LogLevel level = LogLevel::kInfo;
+  if (env != nullptr) ParseLogLevel(env, &level);
+  return level;
+}
+
+LogLevel& MinLevelRef() {
+  static LogLevel level = InitialLevel();
+  return level;
+}
+
 }  // namespace
 
-LogLevel MinLogLevel() { return g_min_level; }
+bool ParseLogLevel(const std::string& text, LogLevel* out) {
+  std::string lower;
+  lower.reserve(text.size());
+  for (char c : text) {
+    lower.push_back(static_cast<char>(
+        std::tolower(static_cast<unsigned char>(c))));
+  }
+  if (lower == "debug" || lower == "0") {
+    *out = LogLevel::kDebug;
+  } else if (lower == "info" || lower == "1") {
+    *out = LogLevel::kInfo;
+  } else if (lower == "warning" || lower == "warn" || lower == "2") {
+    *out = LogLevel::kWarning;
+  } else if (lower == "error" || lower == "3") {
+    *out = LogLevel::kError;
+  } else if (lower == "fatal" || lower == "4") {
+    *out = LogLevel::kFatal;
+  } else {
+    return false;
+  }
+  return true;
+}
 
-void SetMinLogLevel(LogLevel level) { g_min_level = level; }
+bool LogEveryNImpl(std::atomic<uint64_t>* counter, uint64_t n) {
+  uint64_t count = counter->fetch_add(1, std::memory_order_relaxed);
+  if (n <= 1) return true;
+  return count % n == 0;
+}
+
+LogLevel MinLogLevel() { return MinLevelRef(); }
+
+void SetMinLogLevel(LogLevel level) { MinLevelRef() = level; }
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
     : level_(level) {
@@ -38,9 +78,12 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 }
 
 LogMessage::~LogMessage() {
-  if (level_ >= g_min_level || level_ == LogLevel::kFatal) {
+  if (level_ >= MinLevelRef() || level_ == LogLevel::kFatal) {
+    // One fwrite of the fully formed line: concurrent loggers may
+    // interleave whole lines but never characters within a line.
     std::string message = stream_.str();
-    std::fprintf(stderr, "%s\n", message.c_str());
+    message.push_back('\n');
+    std::fwrite(message.data(), 1, message.size(), stderr);
     std::fflush(stderr);
   }
   if (level_ == LogLevel::kFatal) {

@@ -1,6 +1,8 @@
 #ifndef CORROB_COMMON_LOGGING_H_
 #define CORROB_COMMON_LOGGING_H_
 
+#include <atomic>
+#include <cstdint>
 #include <sstream>
 #include <string>
 
@@ -11,7 +13,8 @@ namespace internal_logging {
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
 
 /// Stream-style log sink: accumulates a message and emits it (to
-/// stderr) on destruction. Used through the CORROB_LOG/CHECK macros.
+/// stderr, as one write, so concurrent threads never interleave
+/// mid-line) on destruction. Used through the CORROB_LOG/CHECK macros.
 class LogMessage {
  public:
   LogMessage(LogLevel level, const char* file, int line);
@@ -31,12 +34,25 @@ class LogMessage {
   std::ostringstream stream_;
 };
 
-/// Returns the minimum level that will actually be emitted.
+/// Returns the minimum level that will actually be emitted. The
+/// initial value comes from the CORROB_LOG_LEVEL environment variable
+/// ("debug"/"info"/"warning"/"error"/"fatal" or 0-4, case-insensitive,
+/// read once at first use); it defaults to kInfo when unset or
+/// unparseable.
 LogLevel MinLogLevel();
 
-/// Sets the minimum emitted level (default kInfo). Thread-compatible:
-/// set it once at startup.
+/// Sets the minimum emitted level, overriding CORROB_LOG_LEVEL.
+/// Thread-compatible: set it once at startup.
 void SetMinLogLevel(LogLevel level);
+
+/// Parses a CORROB_LOG_LEVEL-style spelling. Returns false (leaving
+/// `out` untouched) when `text` is not a recognised level.
+bool ParseLogLevel(const std::string& text, LogLevel* out);
+
+/// Returns true on the 1st, (n+1)th, (2n+1)th... call for a given
+/// call-site counter. n <= 1 always returns true. Backs the
+/// CORROB_LOG_EVERY_N macro; not meant to be called directly.
+bool LogEveryNImpl(std::atomic<uint64_t>* counter, uint64_t n);
 
 }  // namespace internal_logging
 
@@ -55,6 +71,21 @@ void SetMinLogLevel(LogLevel level);
 #define CORROB_LOG_FATAL                                        \
   ::corrob::internal_logging::LogMessage(                      \
       ::corrob::internal_logging::LogLevel::kFatal, __FILE__, __LINE__)
+
+/// Rate-limited logging for hot loops: emits on the 1st, (n+1)th,
+/// (2n+1)th... execution of this call site (per process, counted
+/// across all threads). `severity` is a bare suffix: CORROB_LOG_EVERY_N(
+/// WARNING, 1000) << "slow chunk";  The lambda gives each expansion its
+/// own static counter without requiring a named helper per call site.
+#define CORROB_LOG_EVERY_N(severity, n)                                   \
+  for (bool corrob_log_hit = ::corrob::internal_logging::LogEveryNImpl(   \
+           [] {                                                           \
+             static ::std::atomic<uint64_t> corrob_log_count{0};          \
+             return &corrob_log_count;                                    \
+           }(),                                                           \
+           static_cast<uint64_t>(n));                                     \
+       corrob_log_hit; corrob_log_hit = false)                            \
+  CORROB_LOG_##severity
 
 /// Aborts with a diagnostic if `condition` is false. Enabled in all
 /// build types: corroboration invariants are cheap relative to the

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace corrob {
 
@@ -100,10 +102,21 @@ void ParallelApply(ThreadPool* pool, int64_t count,
       count, static_cast<int64_t>(pool->num_threads()) * 4);
   const int64_t base = count / chunks;
   const int64_t extra = count % chunks;
+  // Counter pointers are stable for the registry's (process) lifetime,
+  // so the hot path pays one relaxed add, not a map lookup.
+  static obs::Counter* chunks_dispatched =
+      obs::MetricsRegistry::Global().GetCounter(
+          "corrob.thread_pool.chunks_dispatched");
+  chunks_dispatched->Add(chunks);
   int64_t begin = 0;
   for (int64_t c = 0; c < chunks; ++c) {
     const int64_t end = begin + base + (c < extra ? 1 : 0);
-    pool->Submit([&fn, begin, end] { fn(begin, end); });
+    // The chunk span runs on the worker thread, so the fan-out shows
+    // as one slice per worker in the trace viewer.
+    pool->Submit([&fn, begin, end] {
+      CORROB_TRACE_SPAN("ParallelApply::chunk");
+      fn(begin, end);
+    });
     begin = end;
   }
   pool->Wait();

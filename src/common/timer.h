@@ -1,29 +1,74 @@
 #ifndef CORROB_COMMON_TIMER_H_
 #define CORROB_COMMON_TIMER_H_
 
-#include <chrono>
+#include <cstdint>
+
+#include "obs/clock.h"
 
 namespace corrob {
 
-/// Wall-clock stopwatch used by the Table 6 timing harness.
-class Stopwatch {
+/// Monotonic nanosecond stopwatch with pause/resume, over an
+/// injectable obs::Clock — the one duration primitive for benches and
+/// instrumented library code. Deterministic code takes the clock as a
+/// parameter (a null clock means "don't time": every reading is 0 and
+/// the control flow is identical), so wall time never leaks into
+/// src/core except through an explicitly injected boundary; tests
+/// drive it with obs::ManualClock.
+class StopwatchNs {
  public:
-  Stopwatch() : start_(Clock::now()) {}
-
-  /// Restarts the stopwatch.
-  void Reset() { start_ = Clock::now(); }
-
-  /// Seconds elapsed since construction or the last Reset().
-  double ElapsedSeconds() const {
-    return std::chrono::duration<double>(Clock::now() - start_).count();
+  /// Starts running on `clock` (null → never advances).
+  explicit StopwatchNs(const obs::Clock* clock)
+      : clock_(clock), running_(clock != nullptr) {
+    if (running_) start_nanos_ = clock_->NowNanos();
   }
 
-  /// Milliseconds elapsed since construction or the last Reset().
-  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  /// Starts running on the real monotonic clock.
+  StopwatchNs() : StopwatchNs(obs::MonotonicClock::Get()) {}
+
+  /// Stops accumulating; ElapsedNanos() freezes. No-op when already
+  /// paused (or clock-less).
+  void Pause() {
+    if (!running_) return;
+    accumulated_nanos_ += clock_->NowNanos() - start_nanos_;
+    running_ = false;
+  }
+
+  /// Resumes accumulating after Pause(). No-op when already running
+  /// or clock-less.
+  void Resume() {
+    if (running_ || clock_ == nullptr) return;
+    start_nanos_ = clock_->NowNanos();
+    running_ = true;
+  }
+
+  /// Zeroes the accumulated time and restarts (keeps the pause state
+  /// of a paused watch).
+  void Reset() {
+    accumulated_nanos_ = 0;
+    if (running_) start_nanos_ = clock_->NowNanos();
+  }
+
+  bool running() const { return running_; }
+
+  /// Nanoseconds accumulated while running.
+  int64_t ElapsedNanos() const {
+    int64_t total = accumulated_nanos_;
+    if (running_) total += clock_->NowNanos() - start_nanos_;
+    return total;
+  }
+
+  double ElapsedSeconds() const {
+    return static_cast<double>(ElapsedNanos()) / 1e9;
+  }
+  double ElapsedMillis() const {
+    return static_cast<double>(ElapsedNanos()) / 1e6;
+  }
 
  private:
-  using Clock = std::chrono::steady_clock;
-  Clock::time_point start_;
+  const obs::Clock* clock_;
+  int64_t start_nanos_ = 0;
+  int64_t accumulated_nanos_ = 0;
+  bool running_ = false;
 };
 
 }  // namespace corrob

@@ -5,6 +5,8 @@
 
 #include "common/logging.h"
 #include "common/random.h"
+#include "core/telemetry_util.h"
+#include "obs/trace.h"
 
 namespace corrob {
 
@@ -29,9 +31,12 @@ Result<CorroborationResult> BayesEstimateCorroborator::Run(
     return Status::InvalidArgument("burn_in must be in [0, iterations)");
   }
 
+  CORROB_TRACE_SPAN("BayesEstimate::Run");
   const size_t facts = static_cast<size_t>(dataset.num_facts());
   const size_t sources = static_cast<size_t>(dataset.num_sources());
   Rng rng(options_.seed);
+  auto telemetry =
+      MaybeStartTelemetry(options_.collect_telemetry, name(), dataset);
 
   // Initialize labels by simple voting.
   std::vector<uint8_t> label(facts, 1);
@@ -61,6 +66,7 @@ Result<CorroborationResult> BayesEstimateCorroborator::Run(
   int samples_kept = 0;
 
   for (int sweep = 0; sweep < options_.iterations; ++sweep) {
+    int64_t flips = 0;
     for (FactId f = 0; f < dataset.num_facts(); ++f) {
       size_t fi = static_cast<size_t>(f);
       auto votes = dataset.VotesOnFact(f);
@@ -94,6 +100,7 @@ Result<CorroborationResult> BayesEstimateCorroborator::Run(
       double p0 = std::exp(log_p0 - max_log);
       uint8_t new_label = rng.Bernoulli(p1 / (p1 + p0)) ? 1 : 0;
 
+      if (new_label != old_label) ++flips;
       label[fi] = new_label;
       n_true += new_label;
       for (const SourceVote& sv : votes) {
@@ -104,6 +111,25 @@ Result<CorroborationResult> BayesEstimateCorroborator::Run(
     if (sweep >= options_.burn_in) {
       for (size_t fi = 0; fi < facts; ++fi) truth_sum[fi] += label[fi];
       ++samples_kept;
+    }
+    if (telemetry != nullptr) {
+      // "Delta" for a Gibbs sweep is the fraction of labels that
+      // flipped; the trust distribution is each source's agreement
+      // with the current labels, read off the sufficient statistics.
+      std::vector<double> agreement(sources, 0.0);
+      for (size_t s = 0; s < sources; ++s) {
+        const SourceCounts& sc = counts[s];
+        double total =
+            sc.n[0][0] + sc.n[0][1] + sc.n[1][0] + sc.n[1][1];
+        agreement[s] =
+            total > 0.0 ? (sc.n[1][1] + sc.n[0][0]) / total : 0.0;
+      }
+      RecordIteration(telemetry.get(), sweep,
+                      facts > 0
+                          ? static_cast<double>(flips) /
+                                static_cast<double>(facts)
+                          : 0.0,
+                      agreement);
     }
   }
 
@@ -130,6 +156,13 @@ Result<CorroborationResult> BayesEstimateCorroborator::Run(
         correct / static_cast<double>(votes.size());
   }
   result.iterations = options_.iterations;
+  if (telemetry != nullptr) {
+    telemetry->iterations = options_.iterations;
+    // A sampler has no fixpoint; "converged" records that the
+    // configured burn-in left at least one kept sample.
+    telemetry->converged = samples_kept > 0;
+    result.telemetry = std::move(telemetry);
+  }
   return result;
 }
 

@@ -32,6 +32,9 @@ struct BayesEstimateOptions {
   int iterations = 500;
   int burn_in = 100;
   uint64_t seed = 7;
+  /// Record per-sweep convergence stats into
+  /// CorroborationResult::telemetry (docs/OBSERVABILITY.md).
+  bool collect_telemetry = false;
 };
 
 /// BayesEstimate — the Latent Truth Model of Zhao et al. (PVLDB'12),

@@ -2,12 +2,14 @@
 #define CORROB_CORE_CORROBORATOR_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "common/result.h"
 #include "data/dataset.h"
+#include "obs/telemetry.h"
 
 namespace corrob {
 
@@ -43,6 +45,10 @@ struct CorroborationResult {
   /// committed (its t(f) of paper Definition 1). Empty for batch
   /// algorithms, which evaluate every fact with the same final state.
   std::vector<int32_t> fact_commit_round;
+  /// Convergence telemetry, populated only when the run was configured
+  /// with collect_telemetry. Deliberately clock-free: two runs with the
+  /// same options and dataset produce byte-identical telemetry.
+  std::shared_ptr<obs::RunTelemetry> telemetry;
 
   /// Decision for fact f per Eq. 2.
   bool Decide(FactId f) const {

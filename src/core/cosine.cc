@@ -4,7 +4,9 @@
 #include <cmath>
 
 #include "common/math_util.h"
+#include "core/telemetry_util.h"
 #include "core/vote_matrix.h"
+#include "obs/trace.h"
 
 namespace corrob {
 
@@ -23,15 +25,19 @@ Result<CorroborationResult> CosineCorroborator::Run(
     return Status::InvalidArgument("num_threads must be >= 1");
   }
 
+  CORROB_TRACE_SPAN("Cosine::Run");
   const VoteMatrix matrix(dataset);
   std::unique_ptr<ThreadPool> pool = MakeSweepPool(options_.num_threads);
   const size_t facts = static_cast<size_t>(matrix.num_facts());
   const size_t sources = static_cast<size_t>(matrix.num_sources());
   std::vector<double> trust(sources, options_.initial_trust);
   std::vector<double> value(facts, 0.0);  // V(f) in [-1, 1].
+  auto telemetry =
+      MaybeStartTelemetry(options_.collect_telemetry, name(), dataset);
 
   auto vote_sign = [](uint8_t is_true) { return is_true ? 1.0 : -1.0; };
 
+  bool converged = false;
   int iteration = 0;
   for (; iteration < options_.max_iterations; ++iteration) {
     // Truth update, weighted by T(s)^p (negative trust flips votes),
@@ -85,7 +91,9 @@ Result<CorroborationResult> CosineCorroborator::Run(
       max_change = std::max(max_change, std::fabs(next_trust[s] - trust[s]));
     }
     trust = std::move(next_trust);
+    RecordIteration(telemetry.get(), iteration, max_change, trust);
     if (max_change < options_.tolerance) {
+      converged = true;
       ++iteration;
       break;
     }
@@ -104,6 +112,11 @@ Result<CorroborationResult> CosineCorroborator::Run(
     result.source_trust[s] = (Clamp(trust[s], -1.0, 1.0) + 1.0) / 2.0;
   }
   result.iterations = iteration;
+  if (telemetry != nullptr) {
+    telemetry->iterations = iteration;
+    telemetry->converged = converged;
+    result.telemetry = std::move(telemetry);
+  }
   return result;
 }
 

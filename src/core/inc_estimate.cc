@@ -6,7 +6,10 @@
 
 #include "common/logging.h"
 #include "common/math_util.h"
+#include "core/telemetry_util.h"
 #include "core/vote_matrix.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace corrob {
 
@@ -22,6 +25,35 @@ double SignatureScore(const std::vector<SourceVote>& signature,
     sum += sv.vote == Vote::kTrue ? t : 1.0 - t;
   }
   return sum / static_cast<double>(signature.size());
+}
+
+/// Renders a group signature as "s1=T,s2=F" (source names from the
+/// dataset) for the telemetry stream and `corrob explain`.
+std::string RenderSignature(const Dataset& dataset,
+                            const std::vector<SourceVote>& signature) {
+  std::string out;
+  for (const SourceVote& sv : signature) {
+    if (!out.empty()) out.push_back(',');
+    out += dataset.source_name(sv.source);
+    out += sv.vote == Vote::kTrue ? "=T" : "=F";
+  }
+  return out;
+}
+
+const char* RoundKindName(IncRoundInfo::Kind kind) {
+  switch (kind) {
+    case IncRoundInfo::Kind::kBalanced:
+      return "balanced";
+    case IncRoundInfo::Kind::kGreedy:
+      return "greedy";
+    case IncRoundInfo::Kind::kOneSidedPositive:
+      return "one_sided_positive";
+    case IncRoundInfo::Kind::kOneSidedNegative:
+      return "one_sided_negative";
+    case IncRoundInfo::Kind::kFinalTies:
+      return "final_ties";
+  }
+  return "?";
 }
 
 }  // namespace
@@ -216,7 +248,8 @@ CorroborationResult IncrementalEngine::Finish(std::string algorithm_name) && {
 int32_t IncEstimateCorroborator::PickBestGroup(
     const IncrementalEngine& engine, const std::vector<int32_t>& part,
     bool is_positive, const std::vector<double>& group_probs,
-    ThreadPool* pool) const {
+    ThreadPool* pool, double* best_delta_out) const {
+  CORROB_TRACE_SPAN("IncEstimate::PickBestGroup");
   // Confidence-first filter: keep only groups within extreme_band of
   // the part's most extreme probability, so ΔH chooses among the most
   // confidently decidable groups (as in the paper's walkthrough,
@@ -253,6 +286,13 @@ int32_t IncEstimateCorroborator::PickBestGroup(
   // and the argmax folds sequentially in candidate order afterwards —
   // same first-maximum tie-break as the sequential loop, so the pick
   // is identical at any thread count.
+  static obs::Counter* scans = obs::MetricsRegistry::Global().GetCounter(
+      "corrob.inc_est.delta_h_scans");
+  static obs::Histogram* scan_width =
+      obs::MetricsRegistry::Global().GetHistogram(
+          "corrob.inc_est.delta_h_candidates");
+  scans->Add(1);
+  scan_width->Record(static_cast<int64_t>(candidates.size()));
   std::vector<double> deltas(candidates.size());
   ParallelApply(pool, static_cast<int64_t>(candidates.size()),
                 [&engine, &candidates, &deltas](int64_t begin, int64_t end) {
@@ -270,6 +310,7 @@ int32_t IncEstimateCorroborator::PickBestGroup(
       best = candidates[i];
     }
   }
+  if (best_delta_out != nullptr) *best_delta_out = best_delta;
   return best;
 }
 
@@ -294,12 +335,26 @@ Result<CorroborationResult> IncEstimateCorroborator::Run(
     return Status::InvalidArgument("num_threads must be >= 1");
   }
 
+  CORROB_TRACE_SPAN("IncEstimate::Run");
   IncrementalEngine engine(dataset, options_);
   const int32_t num_groups = static_cast<int32_t>(engine.groups().size());
   std::unique_ptr<ThreadPool> pool = MakeSweepPool(options_.num_threads);
   // σ(FG) of every group, refreshed once per round; the selection
   // logic below reads only this snapshot, never live probabilities.
   std::vector<double> group_probs;
+  auto telemetry =
+      MaybeStartTelemetry(options_.collect_telemetry, name(), dataset);
+
+  int round = 0;
+  // Telemetry: one event per time point, pushed after EndRound so the
+  // recorded trust distribution is the post-round σ_i(S).
+  auto record_round = [&](obs::IncRoundEvent event) {
+    if (telemetry == nullptr) return;
+    event.round = round;
+    obs::TrustDistribution(engine.trust(), &event.trust_min,
+                           &event.trust_mean, &event.trust_max);
+    telemetry->rounds.push_back(std::move(event));
+  };
 
   // Supervision: seed the trust state with the known labels as time
   // point t0, before any selection round.
@@ -307,10 +362,16 @@ Result<CorroborationResult> IncEstimateCorroborator::Run(
     for (const auto& [fact, label] : options_.known_labels) {
       CORROB_RETURN_NOT_OK(engine.CommitKnownFact(fact, label));
     }
-    engine.EndRound(static_cast<int64_t>(options_.known_labels.size()));
+    const int64_t committed =
+        static_cast<int64_t>(options_.known_labels.size());
+    engine.EndRound(committed);
+    obs::IncRoundEvent event;
+    event.kind = "supervised";
+    event.committed_n = committed;
+    event.facts_committed = committed;
+    record_round(std::move(event));
   }
 
-  int round = 0;
   auto notify = [&](IncRoundInfo::Kind kind, int32_t pos_group,
                     int32_t neg_group, int64_t committed) {
     if (!options_.round_observer) return;
@@ -339,10 +400,24 @@ Result<CorroborationResult> IncEstimateCorroborator::Run(
         }
       }
       CORROB_CHECK(best >= 0);
-      int64_t committed = engine.CommitGroup(
-          best, static_cast<int64_t>(
-                    engine.groups()[static_cast<size_t>(best)].remaining()));
+      const int64_t best_remaining = static_cast<int64_t>(
+          engine.groups()[static_cast<size_t>(best)].remaining());
+      obs::IncRoundEvent event;
+      if (telemetry != nullptr) {
+        event.kind = RoundKindName(IncRoundInfo::Kind::kGreedy);
+        event.positive_group = best;
+        event.positive_signature = RenderSignature(
+            dataset, engine.groups()[static_cast<size_t>(best)].signature);
+        event.fg_positive = best_remaining;
+        event.prob_positive = best_p;
+      }
+      int64_t committed = engine.CommitGroup(best, best_remaining);
       engine.EndRound(committed);
+      if (telemetry != nullptr) {
+        event.committed_n = committed;
+        event.facts_committed = committed;
+        record_round(std::move(event));
+      }
       notify(IncRoundInfo::Kind::kGreedy, best, -1, committed);
       continue;
     }
@@ -405,6 +480,13 @@ Result<CorroborationResult> IncEstimateCorroborator::Run(
       // can be extracted. Commit them all at the Eq. 2 threshold.
       int64_t committed = engine.CommitAllRemaining();
       engine.EndRound(committed);
+      if (telemetry != nullptr) {
+        obs::IncRoundEvent event;
+        event.kind = RoundKindName(IncRoundInfo::Kind::kFinalTies);
+        event.committed_n = committed;
+        event.facts_committed = committed;
+        record_round(std::move(event));
+      }
       notify(IncRoundInfo::Kind::kFinalTies, -1, -1, committed);
       break;
     }
@@ -416,37 +498,106 @@ Result<CorroborationResult> IncEstimateCorroborator::Run(
       // re-partition — the trust update may move deferred groups
       // into a part or revive the other side.
       bool is_negative = positive.empty();
+      double best_delta = 0.0;
       int32_t best =
-          is_negative
-              ? PickBestGroup(engine, negative, false, group_probs, pool.get())
-              : PickBestGroup(engine, positive, true, group_probs, pool.get());
-      int64_t committed = engine.CommitGroup(
-          best, static_cast<int64_t>(
-                    engine.groups()[static_cast<size_t>(best)].remaining()));
+          is_negative ? PickBestGroup(engine, negative, false, group_probs,
+                                      pool.get(), &best_delta)
+                      : PickBestGroup(engine, positive, true, group_probs,
+                                      pool.get(), &best_delta);
+      const int64_t best_remaining = static_cast<int64_t>(
+          engine.groups()[static_cast<size_t>(best)].remaining());
+      obs::IncRoundEvent event;
+      if (telemetry != nullptr) {
+        event.kind = RoundKindName(is_negative
+                                       ? IncRoundInfo::Kind::kOneSidedNegative
+                                       : IncRoundInfo::Kind::kOneSidedPositive);
+        event.part_positive = static_cast<int64_t>(positive.size());
+        event.part_negative = static_cast<int64_t>(negative.size());
+        const std::string signature = RenderSignature(
+            dataset, engine.groups()[static_cast<size_t>(best)].signature);
+        const double prob = group_probs[static_cast<size_t>(best)];
+        if (is_negative) {
+          event.negative_group = best;
+          event.negative_signature = signature;
+          event.fg_negative = best_remaining;
+          event.prob_negative = prob;
+          event.delta_h_negative = best_delta;
+        } else {
+          event.positive_group = best;
+          event.positive_signature = signature;
+          event.fg_positive = best_remaining;
+          event.prob_positive = prob;
+          event.delta_h_positive = best_delta;
+        }
+      }
+      int64_t committed = engine.CommitGroup(best, best_remaining);
       CORROB_CHECK(committed > 0);
       engine.EndRound(committed);
+      if (telemetry != nullptr) {
+        event.committed_n = committed;
+        event.facts_committed = committed;
+        record_round(std::move(event));
+      }
       notify(is_negative ? IncRoundInfo::Kind::kOneSidedNegative
                          : IncRoundInfo::Kind::kOneSidedPositive,
              is_negative ? -1 : best, is_negative ? best : -1, committed);
       continue;
     }
 
-    int32_t best_positive =
-        PickBestGroup(engine, positive, true, group_probs, pool.get());
-    int32_t best_negative =
-        PickBestGroup(engine, negative, false, group_probs, pool.get());
+    double delta_positive = 0.0;
+    double delta_negative = 0.0;
+    int32_t best_positive = PickBestGroup(engine, positive, true, group_probs,
+                                          pool.get(), &delta_positive);
+    int32_t best_negative = PickBestGroup(engine, negative, false, group_probs,
+                                          pool.get(), &delta_negative);
     int64_t n = static_cast<int64_t>(std::min(
         engine.groups()[static_cast<size_t>(best_positive)].remaining(),
         engine.groups()[static_cast<size_t>(best_negative)].remaining()));
+    obs::IncRoundEvent event;
+    if (telemetry != nullptr) {
+      // The paper's balanced commit: n = min(|FG+|, |FG-|) facts from
+      // each side, recorded so the invariant is directly checkable.
+      event.kind = RoundKindName(IncRoundInfo::Kind::kBalanced);
+      event.positive_group = best_positive;
+      event.negative_group = best_negative;
+      event.positive_signature = RenderSignature(
+          dataset,
+          engine.groups()[static_cast<size_t>(best_positive)].signature);
+      event.negative_signature = RenderSignature(
+          dataset,
+          engine.groups()[static_cast<size_t>(best_negative)].signature);
+      event.fg_positive = static_cast<int64_t>(
+          engine.groups()[static_cast<size_t>(best_positive)].remaining());
+      event.fg_negative = static_cast<int64_t>(
+          engine.groups()[static_cast<size_t>(best_negative)].remaining());
+      event.part_positive = static_cast<int64_t>(positive.size());
+      event.part_negative = static_cast<int64_t>(negative.size());
+      event.prob_positive = group_probs[static_cast<size_t>(best_positive)];
+      event.prob_negative = group_probs[static_cast<size_t>(best_negative)];
+      event.delta_h_positive = delta_positive;
+      event.delta_h_negative = delta_negative;
+      event.committed_n = n;
+    }
     int64_t committed = engine.CommitGroup(best_positive, n) +
                         engine.CommitGroup(best_negative, n);
     CORROB_CHECK(committed > 0);
     engine.EndRound(committed);
+    if (telemetry != nullptr) {
+      event.facts_committed = committed;
+      record_round(std::move(event));
+    }
     notify(IncRoundInfo::Kind::kBalanced, best_positive, best_negative,
            committed);
   }
 
-  return std::move(engine).Finish(std::string(name()));
+  CorroborationResult result = std::move(engine).Finish(std::string(name()));
+  if (telemetry != nullptr) {
+    telemetry->iterations = result.iterations;
+    // An incremental run always terminates with every fact evaluated.
+    telemetry->converged = true;
+    result.telemetry = std::move(telemetry);
+  }
+  return result;
 }
 
 }  // namespace corrob

@@ -114,6 +114,11 @@ struct IncEstimateOptions {
   /// are bit-identical at any value (the parallel scans write
   /// disjoint slots and the argmax folds in fixed group order).
   int num_threads = 1;
+  /// Record a per-round IncRoundEvent stream (selected groups, their
+  /// signatures, |FG+|/|FG-|, projected ΔH, committed n, post-round
+  /// trust distribution) into CorroborationResult::telemetry
+  /// (docs/OBSERVABILITY.md). Purely additive: selection is unchanged.
+  bool collect_telemetry = false;
 };
 
 /// Per-thread scratch for IncrementalEngine::EntropyDelta: the
@@ -241,10 +246,13 @@ class IncEstimateCorroborator final : public Corroborator {
   /// `group_probs` holds the precomputed σ(FG) of every group; the ΔH
   /// candidates are evaluated across `pool` (inline when null) with
   /// per-chunk scratch and the argmax folds in fixed candidate order.
+  /// When `best_delta_out` is non-null it receives the winner's ΔH
+  /// (telemetry readout; does not affect the pick).
   int32_t PickBestGroup(const IncrementalEngine& engine,
                         const std::vector<int32_t>& part, bool is_positive,
                         const std::vector<double>& group_probs,
-                        ThreadPool* pool) const;
+                        ThreadPool* pool,
+                        double* best_delta_out = nullptr) const;
 
   IncEstimateOptions options_;
 };

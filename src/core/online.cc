@@ -7,8 +7,26 @@
 
 namespace corrob {
 
-OnlineCorroborator::OnlineCorroborator(OnlineCorroboratorOptions options)
-    : options_(options) {}
+namespace {
+
+/// Pauses the stopwatch on every exit path of Observe().
+struct ScopedResume {
+  explicit ScopedResume(StopwatchNs* watch) : watch(watch) {
+    watch->Resume();
+  }
+  ~ScopedResume() { watch->Pause(); }
+  ScopedResume(const ScopedResume&) = delete;
+  ScopedResume& operator=(const ScopedResume&) = delete;
+  StopwatchNs* watch;
+};
+
+}  // namespace
+
+OnlineCorroborator::OnlineCorroborator(OnlineCorroboratorOptions options,
+                                       const obs::Clock* clock)
+    : options_(options), observe_watch_(clock) {
+  observe_watch_.Pause();
+}
 
 SourceId OnlineCorroborator::AddSource(const std::string& name) {
   auto it = source_index_.find(name);
@@ -23,6 +41,7 @@ SourceId OnlineCorroborator::AddSource(const std::string& name) {
 
 Result<OnlineCorroborator::Verdict> OnlineCorroborator::Observe(
     const std::vector<SourceVote>& votes) {
+  ScopedResume timing(&observe_watch_);
   std::unordered_set<SourceId> seen;
   for (const SourceVote& sv : votes) {
     if (sv.source < 0 || sv.source >= num_sources()) {
@@ -42,6 +61,7 @@ Result<OnlineCorroborator::Verdict> OnlineCorroborator::Observe(
   Verdict verdict;
   if (votes.empty()) {
     ++facts_observed_;
+    ++decisions_true_;
     return verdict;  // σ = 0.5, decided true; no trust movement.
   }
 
@@ -67,8 +87,15 @@ Result<OnlineCorroborator::Verdict> OnlineCorroborator::Observe(
       total_[s] += 1.0;
       if (vote_correct) correct_[s] += 1.0;
     }
+  } else {
+    ++deferrals_;
   }
   ++facts_observed_;
+  if (verdict.decision) {
+    ++decisions_true_;
+  } else {
+    ++decisions_false_;
+  }
   return verdict;
 }
 
@@ -87,6 +114,9 @@ OnlineCorroboratorState OnlineCorroborator::ExportState() const {
   state.correct = correct_;
   state.total = total_;
   state.facts_observed = facts_observed_;
+  state.decisions_true = decisions_true_;
+  state.decisions_false = decisions_false_;
+  state.deferrals = deferrals_;
   return state;
 }
 
@@ -101,6 +131,14 @@ Result<OnlineCorroborator> OnlineCorroborator::FromState(
   }
   if (state.facts_observed < 0) {
     return Status::InvalidArgument("state has negative facts_observed");
+  }
+  if (state.decisions_true < 0 || state.decisions_false < 0 ||
+      state.deferrals < 0) {
+    return Status::InvalidArgument("state has negative decision counters");
+  }
+  if (state.decisions_true + state.decisions_false > state.facts_observed) {
+    return Status::InvalidArgument(
+        "state counts more decisions than observed facts");
   }
   for (size_t s = 0; s < n; ++s) {
     if (!(state.correct[s] >= 0.0) || !(state.total[s] >= 0.0) ||
@@ -122,6 +160,9 @@ Result<OnlineCorroborator> OnlineCorroborator::FromState(
   online.correct_ = std::move(state.correct);
   online.total_ = std::move(state.total);
   online.facts_observed_ = state.facts_observed;
+  online.decisions_true_ = state.decisions_true;
+  online.decisions_false_ = state.decisions_false;
+  online.deferrals_ = state.deferrals;
   return online;
 }
 

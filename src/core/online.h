@@ -7,7 +7,9 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/timer.h"
 #include "data/vote.h"
+#include "obs/clock.h"
 
 namespace corrob {
 
@@ -50,12 +52,24 @@ struct OnlineCorroboratorState {
   std::vector<double> correct;
   std::vector<double> total;
   int64_t facts_observed = 0;
+  /// Telemetry counters (snapshot v2): how many observed facts were
+  /// decided true/false, and how many weak positives were deferred
+  /// (verdict returned, trust untouched). Restoring them keeps a
+  /// resumed stream's running stats continuous with the original run;
+  /// v1 snapshots restore them as 0.
+  int64_t decisions_true = 0;
+  int64_t decisions_false = 0;
+  int64_t deferrals = 0;
 };
 
 /// Not thread-safe; wrap with external synchronization if shared.
 class OnlineCorroborator {
  public:
-  explicit OnlineCorroborator(OnlineCorroboratorOptions options = {});
+  /// `clock` feeds the cumulative Observe() stopwatch (see
+  /// observe_nanos()); null keeps the corroborator fully
+  /// deterministic — the decision path never reads it either way.
+  explicit OnlineCorroborator(OnlineCorroboratorOptions options = {},
+                              const obs::Clock* clock = nullptr);
 
   /// Registers a source (idempotent per name) and returns its id.
   SourceId AddSource(const std::string& name);
@@ -94,6 +108,18 @@ class OnlineCorroborator {
 
   int64_t facts_observed() const { return facts_observed_; }
 
+  /// Running decision counters (telemetry; checkpointed since
+  /// snapshot v2 so a resumed stream keeps counting where it left
+  /// off). A weak positive counts as a true decision AND a deferral.
+  int64_t decisions_true() const { return decisions_true_; }
+  int64_t decisions_false() const { return decisions_false_; }
+  int64_t deferrals() const { return deferrals_; }
+
+  /// Cumulative wall time spent inside Observe(), from the injected
+  /// clock; 0 forever when constructed without one. Not checkpointed:
+  /// wall time is not part of the deterministic state.
+  int64_t observe_nanos() const { return observe_watch_.ElapsedNanos(); }
+
   const OnlineCorroboratorOptions& options() const { return options_; }
 
   /// Copies out the full mutable state (exact correct/total counters,
@@ -113,6 +139,11 @@ class OnlineCorroborator {
   std::vector<double> correct_;
   std::vector<double> total_;
   int64_t facts_observed_ = 0;
+  int64_t decisions_true_ = 0;
+  int64_t decisions_false_ = 0;
+  int64_t deferrals_ = 0;
+  // Paused between observations; accumulates only inside Observe().
+  StopwatchNs observe_watch_;
 };
 
 }  // namespace corrob

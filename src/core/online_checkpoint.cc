@@ -5,6 +5,8 @@
 #include "common/crc32.h"
 #include "common/csv.h"
 #include "common/failpoint.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace corrob {
 
@@ -113,6 +115,10 @@ std::string SerializeOnlineSnapshot(const OnlineCorroborator& online) {
     AppendF64(&payload, state.correct[s]);
     AppendF64(&payload, state.total[s]);
   }
+  // v2 telemetry section.
+  AppendU64(&payload, static_cast<uint64_t>(state.decisions_true));
+  AppendU64(&payload, static_cast<uint64_t>(state.decisions_false));
+  AppendU64(&payload, static_cast<uint64_t>(state.deferrals));
 
   std::string out;
   out.reserve(kHeaderSize + payload.size() + 4);
@@ -132,10 +138,12 @@ Result<OnlineCorroborator> ParseOnlineSnapshot(std::string_view bytes) {
   }
   Reader header(bytes.substr(kMagicSize));
   CORROB_ASSIGN_OR_RETURN(uint32_t version, header.ReadU32());
-  if (version != kOnlineSnapshotVersion) {
+  if (version < kOnlineSnapshotMinVersion ||
+      version > kOnlineSnapshotVersion) {
     return Status::FailedPrecondition(
         "snapshot version " + std::to_string(version) +
         " is not supported (expected " +
+        std::to_string(kOnlineSnapshotMinVersion) + ".." +
         std::to_string(kOnlineSnapshotVersion) + ")");
   }
   CORROB_ASSIGN_OR_RETURN(uint64_t payload_size, header.ReadU64());
@@ -177,6 +185,14 @@ Result<OnlineCorroborator> ParseOnlineSnapshot(std::string_view bytes) {
     state.correct.push_back(correct);
     state.total.push_back(total);
   }
+  if (version >= 2) {
+    CORROB_ASSIGN_OR_RETURN(uint64_t decisions_true, reader.ReadU64());
+    CORROB_ASSIGN_OR_RETURN(uint64_t decisions_false, reader.ReadU64());
+    CORROB_ASSIGN_OR_RETURN(uint64_t deferrals, reader.ReadU64());
+    state.decisions_true = static_cast<int64_t>(decisions_true);
+    state.decisions_false = static_cast<int64_t>(decisions_false);
+    state.deferrals = static_cast<int64_t>(deferrals);
+  }
   if (reader.remaining() != 0) {
     return Status::ParseError("snapshot payload has " +
                               std::to_string(reader.remaining()) +
@@ -188,13 +204,22 @@ Result<OnlineCorroborator> ParseOnlineSnapshot(std::string_view bytes) {
 Status SaveOnlineSnapshot(const std::string& path,
                           const OnlineCorroborator& online,
                           const RetryPolicy& policy) {
+  CORROB_TRACE_SPAN("OnlineCheckpoint::Save");
   CORROB_FAILPOINT("online_checkpoint.save");
   std::string snapshot = SerializeOnlineSnapshot(online);
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  metrics.GetCounter("corrob.checkpoint.saves")->Add(1);
+  metrics.GetHistogram("corrob.checkpoint.snapshot_bytes")
+      ->Record(static_cast<int64_t>(snapshot.size()));
   return Retry(policy, [&] { return WriteFileAtomic(path, snapshot); });
 }
 
 Result<OnlineCorroborator> LoadOnlineSnapshot(const std::string& path) {
+  CORROB_TRACE_SPAN("OnlineCheckpoint::Load");
   CORROB_FAILPOINT("online_checkpoint.load");
+  obs::MetricsRegistry::Global()
+      .GetCounter("corrob.checkpoint.loads")
+      ->Add(1);
   CORROB_ASSIGN_OR_RETURN(std::string bytes, ReadFileToString(path));
   auto parsed = ParseOnlineSnapshot(bytes);
   if (!parsed.ok()) {

@@ -12,24 +12,34 @@
 namespace corrob {
 
 /// Version of the snapshot wire format produced by this build.
-inline constexpr uint32_t kOnlineSnapshotVersion = 1;
+/// History:
+///   v1 — options, facts_observed, per-source correct/total counters.
+///   v2 — appends the telemetry counters (decisions_true,
+///        decisions_false, deferrals) so a resumed stream's running
+///        stats stay continuous with the original run.
+inline constexpr uint32_t kOnlineSnapshotVersion = 2;
+
+/// Oldest snapshot version ParseOnlineSnapshot still accepts. v1
+/// snapshots restore with zeroed telemetry counters.
+inline constexpr uint32_t kOnlineSnapshotMinVersion = 1;
 
 /// Serializes the full state of `online` into the snapshot format:
 ///
 ///   magic "CORROBSN" | version u32 | payload_size u64
 ///   | payload | crc32(payload) u32            (all little-endian)
 ///
-/// The payload stores the options, facts_observed, and the exact
-/// correct/total counters per source as raw IEEE-754 bits, so a
-/// restored corroborator continues the trust trajectory bit-identical
-/// to one that never stopped.
+/// The payload stores the options, facts_observed, the exact
+/// correct/total counters per source as raw IEEE-754 bits, and (v2)
+/// the telemetry counters, so a restored corroborator continues the
+/// trust trajectory bit-identical to one that never stopped.
 std::string SerializeOnlineSnapshot(const OnlineCorroborator& online);
 
 /// Decodes a snapshot. Distinct failures get distinct codes:
 ///  - ParseError: not a snapshot, truncated, trailing garbage, or
 ///    checksum mismatch (i.e. corruption);
 ///  - FailedPrecondition: a well-formed snapshot of an unsupported
-///    version;
+///    version (outside [kOnlineSnapshotMinVersion,
+///    kOnlineSnapshotVersion]);
 ///  - InvalidArgument: a checksummed payload with inconsistent state
 ///    (via OnlineCorroborator::FromState).
 [[nodiscard]] Result<OnlineCorroborator> ParseOnlineSnapshot(std::string_view bytes);

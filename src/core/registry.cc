@@ -1,5 +1,6 @@
 #include "core/registry.h"
 
+#include <cctype>
 #include <memory>
 #include <utility>
 
@@ -24,6 +25,19 @@ std::unique_ptr<Corroborator> Make(Args&&... args) {
   return std::make_unique<T>(std::forward<Args>(args)...);
 }
 
+/// Folds a method name to its canonical form: lowercase with '_' and
+/// '-' removed, so CLI spellings like "inc_est_heu" match "IncEstHeu".
+std::string CanonicalName(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    if (c == '_' || c == '-') continue;
+    out.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  return out;
+}
+
 }  // namespace
 
 Result<std::unique_ptr<Corroborator>> MakeCorroborator(
@@ -32,63 +46,72 @@ Result<std::unique_ptr<Corroborator>> MakeCorroborator(
 }
 
 Result<std::unique_ptr<Corroborator>> MakeCorroborator(
-    const std::string& name, const CorroboratorOptions& shared) {
+    const std::string& raw_name, const CorroboratorOptions& shared) {
   if (shared.num_threads < 1) {
     return Status::InvalidArgument("num_threads must be >= 1");
   }
-  if (name == "Voting") {
+  const std::string name = CanonicalName(raw_name);
+  if (name == "voting") {
     return Make<VotingCorroborator>();
   }
-  if (name == "Counting") {
+  if (name == "counting") {
     return Make<CountingCorroborator>();
   }
-  if (name == "TwoEstimate") {
+  if (name == "twoestimate") {
     TwoEstimateOptions options;
     options.num_threads = shared.num_threads;
+    options.collect_telemetry = shared.collect_telemetry;
     return Make<TwoEstimateCorroborator>(options);
   }
-  if (name == "ThreeEstimate") {
+  if (name == "threeestimate") {
     ThreeEstimateOptions options;
     options.num_threads = shared.num_threads;
+    options.collect_telemetry = shared.collect_telemetry;
     return Make<ThreeEstimateCorroborator>(options);
   }
-  if (name == "BayesEstimate") {
-    return Make<BayesEstimateCorroborator>();
+  if (name == "bayesestimate") {
+    BayesEstimateOptions options;
+    options.collect_telemetry = shared.collect_telemetry;
+    return Make<BayesEstimateCorroborator>(options);
   }
-  if (name == "Cosine") {
+  if (name == "cosine") {
     CosineOptions options;
     options.num_threads = shared.num_threads;
+    options.collect_telemetry = shared.collect_telemetry;
     return Make<CosineCorroborator>(options);
   }
-  if (name == "TruthFinder") {
+  if (name == "truthfinder") {
     TruthFinderOptions options;
     options.num_threads = shared.num_threads;
+    options.collect_telemetry = shared.collect_telemetry;
     return Make<TruthFinderCorroborator>(options);
   }
-  if (name == "AvgLog" || name == "Invest" || name == "PooledInvest") {
+  if (name == "avglog" || name == "invest" || name == "pooledinvest") {
     PasternackOptions options;
-    if (name == "Invest") {
+    if (name == "invest") {
       options.variant = PasternackVariant::kInvest;
       options.growth = 1.2;
-    } else if (name == "PooledInvest") {
+    } else if (name == "pooledinvest") {
       options.variant = PasternackVariant::kPooledInvest;
       options.growth = 1.4;
     }
     return Make<PasternackCorroborator>(options);
   }
-  if (name == "IncEstHeu") {
+  if (name == "incestheu") {
     IncEstimateOptions options;
     options.strategy = IncSelectStrategy::kHeuristic;
     options.num_threads = shared.num_threads;
+    options.collect_telemetry = shared.collect_telemetry;
     return Make<IncEstimateCorroborator>(options);
   }
-  if (name == "IncEstPS") {
+  if (name == "incestps") {
     IncEstimateOptions options;
     options.strategy = IncSelectStrategy::kProbability;
     options.num_threads = shared.num_threads;
+    options.collect_telemetry = shared.collect_telemetry;
     return Make<IncEstimateCorroborator>(options);
   }
-  return Status::NotFound("unknown corroborator: '" + name + "'");
+  return Status::NotFound("unknown corroborator: '" + raw_name + "'");
 }
 
 std::vector<std::string> CorroboratorNames() {

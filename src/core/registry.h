@@ -19,10 +19,15 @@ struct CorroboratorOptions {
   /// value. One-shot methods (Voting, Counting, BayesEstimate, the
   /// Pasternack family) ignore it.
   int num_threads = 1;
+  /// Attach convergence telemetry to CorroborationResult::telemetry
+  /// for the methods that record it (TwoEstimate, ThreeEstimate,
+  /// Cosine, TruthFinder, BayesEstimate, IncEst*); others ignore it.
+  bool collect_telemetry = false;
 };
 
-/// Constructs a corroborator by its canonical name with default
-/// options. Known names (case-sensitive):
+/// Constructs a corroborator by name with default options. Matching is
+/// case- and separator-insensitive ("IncEstHeu", "inc_est_heu" and
+/// "INCESTHEU" all resolve); canonical names:
 ///   "Voting", "Counting", "TwoEstimate", "ThreeEstimate",
 ///   "BayesEstimate", "IncEstHeu", "IncEstPS",
 /// plus the extended baselines beyond the paper's comparison set:

@@ -4,7 +4,9 @@
 #include <cmath>
 
 #include "common/math_util.h"
+#include "core/telemetry_util.h"
 #include "core/vote_matrix.h"
+#include "obs/trace.h"
 
 namespace corrob {
 
@@ -23,6 +25,7 @@ Result<CorroborationResult> ThreeEstimateCorroborator::Run(
     return Status::InvalidArgument("num_threads must be >= 1");
   }
 
+  CORROB_TRACE_SPAN("ThreeEstimate::Run");
   const VoteMatrix matrix(dataset);
   std::unique_ptr<ThreadPool> pool = MakeSweepPool(options_.num_threads);
   const size_t facts = static_cast<size_t>(matrix.num_facts());
@@ -31,7 +34,10 @@ Result<CorroborationResult> ThreeEstimateCorroborator::Run(
   std::vector<double> difficulty(facts, options_.initial_difficulty);
   std::vector<double> probability(facts, 0.5);
   const double delta_smooth = options_.smoothing;
+  auto telemetry =
+      MaybeStartTelemetry(options_.collect_telemetry, name(), dataset);
 
+  bool converged = false;
   int iteration = 0;
   for (; iteration < options_.max_iterations; ++iteration) {
     // Corrob step with difficulty-discounted correctness. Each fact
@@ -98,7 +104,9 @@ Result<CorroborationResult> ThreeEstimateCorroborator::Run(
       max_change = std::max(max_change, std::fabs(next_trust[s] - trust[s]));
     }
     trust = std::move(next_trust);
+    RecordIteration(telemetry.get(), iteration, max_change, trust);
     if (max_change < options_.tolerance) {
+      converged = true;
       ++iteration;
       break;
     }
@@ -109,6 +117,11 @@ Result<CorroborationResult> ThreeEstimateCorroborator::Run(
   result.fact_probability = std::move(probability);
   result.source_trust = std::move(trust);
   result.iterations = iteration;
+  if (telemetry != nullptr) {
+    telemetry->iterations = iteration;
+    telemetry->converged = converged;
+    result.telemetry = std::move(telemetry);
+  }
   return result;
 }
 

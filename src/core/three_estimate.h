@@ -19,6 +19,9 @@ struct ThreeEstimateOptions {
   /// Worker threads for the update sweeps; 1 = sequential legacy
   /// path. Results are bit-identical at any value.
   int num_threads = 1;
+  /// Record per-iteration convergence stats into
+  /// CorroborationResult::telemetry (docs/OBSERVABILITY.md).
+  bool collect_telemetry = false;
 };
 
 /// ThreeEstimate (Galland et al., WSDM'10): extends TwoEstimate with a

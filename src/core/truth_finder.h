@@ -22,6 +22,9 @@ struct TruthFinderOptions {
   /// Worker threads for the update sweeps; 1 = sequential legacy
   /// path. Results are bit-identical at any value.
   int num_threads = 1;
+  /// Record per-iteration convergence stats into
+  /// CorroborationResult::telemetry (docs/OBSERVABILITY.md).
+  bool collect_telemetry = false;
 };
 
 /// TruthFinder (Yin, Han & Yu, TKDE 2008) adapted to the T/F vote

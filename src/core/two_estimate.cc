@@ -4,7 +4,9 @@
 #include <cmath>
 
 #include "common/math_util.h"
+#include "core/telemetry_util.h"
 #include "core/vote_matrix.h"
+#include "obs/trace.h"
 
 namespace corrob {
 
@@ -38,13 +40,17 @@ Result<CorroborationResult> TwoEstimateCorroborator::Run(
     return Status::InvalidArgument("num_threads must be >= 1");
   }
 
+  CORROB_TRACE_SPAN("TwoEstimate::Run");
   const VoteMatrix matrix(dataset);
   std::unique_ptr<ThreadPool> pool = MakeSweepPool(options_.num_threads);
   const size_t facts = static_cast<size_t>(matrix.num_facts());
   const size_t sources = static_cast<size_t>(matrix.num_sources());
   std::vector<double> trust(sources, options_.initial_trust);
   std::vector<double> probability(facts, 0.5);
+  auto telemetry =
+      MaybeStartTelemetry(options_.collect_telemetry, name(), dataset);
 
+  bool converged = false;
   int iteration = 0;
   for (; iteration < options_.max_iterations; ++iteration) {
     // Corrob step (paper Eq. 6): each fact's score depends only on the
@@ -74,7 +80,9 @@ Result<CorroborationResult> TwoEstimateCorroborator::Run(
       delta = std::max(delta, std::fabs(next_trust[s] - trust[s]));
     }
     trust = std::move(next_trust);
+    RecordIteration(telemetry.get(), iteration, delta, trust);
     if (delta < options_.tolerance) {
+      converged = true;
       ++iteration;
       break;
     }
@@ -85,6 +93,11 @@ Result<CorroborationResult> TwoEstimateCorroborator::Run(
   result.fact_probability = std::move(probability);
   result.source_trust = std::move(trust);
   result.iterations = iteration;
+  if (telemetry != nullptr) {
+    telemetry->iterations = iteration;
+    telemetry->converged = converged;
+    result.telemetry = std::move(telemetry);
+  }
   return result;
 }
 

@@ -35,6 +35,9 @@ struct TwoEstimateOptions {
   /// 1 = sequential legacy path. Results are bit-identical at any
   /// value (see docs/PERFORMANCE.md).
   int num_threads = 1;
+  /// Record per-iteration convergence stats into
+  /// CorroborationResult::telemetry (docs/OBSERVABILITY.md).
+  bool collect_telemetry = false;
 };
 
 /// TwoEstimate (Galland et al., WSDM'10): alternates

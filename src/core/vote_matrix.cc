@@ -1,9 +1,20 @@
 #include "core/vote_matrix.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace corrob {
 
 VoteMatrix::VoteMatrix(const Dataset& dataset)
     : num_facts_(dataset.num_facts()), num_sources_(dataset.num_sources()) {
+  CORROB_TRACE_SPAN("VoteMatrix::Build");
+  static obs::Counter* builds =
+      obs::MetricsRegistry::Global().GetCounter("corrob.vote_matrix.builds");
+  static obs::Counter* votes_indexed =
+      obs::MetricsRegistry::Global().GetCounter(
+          "corrob.vote_matrix.votes_indexed");
+  builds->Add(1);
+  votes_indexed->Add(dataset.num_votes());
   const size_t votes = static_cast<size_t>(dataset.num_votes());
   fact_offsets_.reserve(static_cast<size_t>(num_facts_) + 1);
   fact_sources_.reserve(votes);

@@ -3,6 +3,8 @@
 #include "common/csv.h"
 #include "common/retry.h"
 #include "common/string_util.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace corrob {
 
@@ -80,6 +82,7 @@ Result<LabeledDataset> ParseDatasetCsv(const std::string& text) {
 Result<LabeledDataset> ParseDatasetCsv(const std::string& text,
                                        const DatasetCsvOptions& options,
                                        ParseReport* report) {
+  CORROB_TRACE_SPAN("ParseDatasetCsv");
   CORROB_ASSIGN_OR_RETURN(CsvDocument doc, ParseCsv(text));
   if (doc.rows.empty()) {
     return Status::ParseError("dataset CSV has no header row");
@@ -135,6 +138,11 @@ Result<LabeledDataset> ParseDatasetCsv(const std::string& text,
     ++local_report.rows_loaded;
   }
 
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  metrics.GetCounter("corrob.csv.rows_loaded")
+      ->Add(local_report.rows_loaded);
+  metrics.GetCounter("corrob.csv.rows_skipped")
+      ->Add(static_cast<int64_t>(local_report.skipped.size()));
   if (report != nullptr) *report = std::move(local_report);
   LabeledDataset out;
   out.dataset = builder.Build();

@@ -29,7 +29,7 @@ Result<MethodReport> RunCorroborationMethod(const std::string& name,
                                             const CorroboratorOptions& shared) {
   CORROB_ASSIGN_OR_RETURN(std::unique_ptr<Corroborator> algorithm,
                           MakeCorroborator(name, shared));
-  Stopwatch watch;
+  StopwatchNs watch;
   CORROB_ASSIGN_OR_RETURN(CorroborationResult result,
                           algorithm->Run(dataset));
   double seconds = watch.ElapsedSeconds();
@@ -64,7 +64,7 @@ Result<MethodReport> RunMlMethod(const std::string& name,
     return Status::NotFound("unknown ML method: '" + name + "'");
   }
 
-  Stopwatch watch;
+  StopwatchNs watch;
   MlDataset data =
       ExtractGoldenFeatures(dataset, golden, VoteEncoding::kSigned);
   CORROB_ASSIGN_OR_RETURN(std::vector<bool> predictions,

@@ -1,0 +1,24 @@
+#include "obs/clock.h"
+
+#include <chrono>
+
+namespace corrob {
+namespace obs {
+
+int64_t MonotonicClock::NowNanos() const {
+  // The one sanctioned wall-clock read of the observability layer:
+  // every span timestamp and stopwatch flows through here, and
+  // deterministic code only ever receives it behind the Clock
+  // interface (or not at all).
+  // lint: nondet-ok: the injectable Clock boundary itself
+  auto now = std::chrono::steady_clock::now().time_since_epoch();
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(now).count();
+}
+
+const MonotonicClock* MonotonicClock::Get() {
+  static const MonotonicClock clock;
+  return &clock;
+}
+
+}  // namespace obs
+}  // namespace corrob

@@ -1,0 +1,139 @@
+#ifndef CORROB_OBS_JSON_H_
+#define CORROB_OBS_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+// Minimal JSON model shared by the observability outputs (trace files,
+// metric snapshots, telemetry, BENCH_*.json) and their readers (the
+// `corrob explain` subcommand, tests). Deliberately dependency-free —
+// src/obs sits below src/common so even the thread pool and logging
+// can be instrumented — so errors are reported through bool + message
+// rather than Status.
+//
+// Determinism contract: Dump() output depends only on the value —
+// object members keep insertion order, doubles print as the shortest
+// decimal that round-trips — so byte-identical values produce
+// byte-identical text. Telemetry and golden tests rely on this.
+
+namespace corrob {
+namespace obs {
+
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+  JsonValue() : type_(Type::kNull) {}
+
+  static JsonValue Null() { return JsonValue(); }
+  static JsonValue Bool(bool value) {
+    JsonValue v;
+    v.type_ = Type::kBool;
+    v.bool_ = value;
+    return v;
+  }
+  static JsonValue Int(int64_t value) {
+    JsonValue v;
+    v.type_ = Type::kInt;
+    v.int_ = value;
+    return v;
+  }
+  static JsonValue Double(double value) {
+    JsonValue v;
+    v.type_ = Type::kDouble;
+    v.double_ = value;
+    return v;
+  }
+  static JsonValue Str(std::string value) {
+    JsonValue v;
+    v.type_ = Type::kString;
+    v.string_ = std::move(value);
+    return v;
+  }
+  static JsonValue Array() {
+    JsonValue v;
+    v.type_ = Type::kArray;
+    return v;
+  }
+  static JsonValue Object() {
+    JsonValue v;
+    v.type_ = Type::kObject;
+    return v;
+  }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const {
+    return type_ == Type::kInt || type_ == Type::kDouble;
+  }
+  bool is_int() const { return type_ == Type::kInt; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  bool bool_value() const { return bool_; }
+  /// Numeric value as int64 (a double is truncated).
+  int64_t int_value() const {
+    return type_ == Type::kDouble ? static_cast<int64_t>(double_) : int_;
+  }
+  /// Numeric value as double.
+  double double_value() const {
+    return type_ == Type::kInt ? static_cast<double>(int_) : double_;
+  }
+  const std::string& string_value() const { return string_; }
+
+  // Array access.
+  size_t size() const {
+    return type_ == Type::kObject ? members_.size() : items_.size();
+  }
+  const JsonValue& at(size_t i) const { return items_[i]; }
+  const std::vector<JsonValue>& items() const { return items_; }
+  void Append(JsonValue value) { items_.push_back(std::move(value)); }
+
+  // Object access. Members keep insertion order; Set overwrites an
+  // existing key in place.
+  const std::vector<std::pair<std::string, JsonValue>>& members() const {
+    return members_;
+  }
+  void Set(std::string key, JsonValue value);
+  /// Member lookup; null when absent or not an object.
+  const JsonValue* Find(std::string_view key) const;
+
+  /// Serializes the value. indent < 0 → compact single line;
+  /// indent >= 0 → pretty-printed with that many spaces per level.
+  std::string Dump(int indent = -1) const;
+
+  /// Parses `text` (one JSON value, optionally surrounded by
+  /// whitespace). On failure returns false and describes the problem
+  /// in `*error` (when non-null) with a byte offset.
+  static bool Parse(std::string_view text, JsonValue* out,
+                    std::string* error = nullptr);
+
+ private:
+  void DumpTo(std::string* out, int indent, int depth) const;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+/// Appends `text` JSON-escaped (quotes included) to `*out`.
+void AppendJsonString(std::string* out, std::string_view text);
+
+/// The shortest decimal rendering of `value` that parses back to the
+/// same double ("0.9" rather than "0.90000000000000002"); infinities
+/// and NaN (not representable in JSON) render as null.
+std::string FormatJsonDouble(double value);
+
+}  // namespace obs
+}  // namespace corrob
+
+#endif  // CORROB_OBS_JSON_H_

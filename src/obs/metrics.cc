@@ -1,0 +1,114 @@
+#include "obs/metrics.h"
+
+namespace corrob {
+namespace obs {
+
+namespace internal_metrics {
+
+int ThisThreadShard() {
+  static std::atomic<unsigned> next_shard{0};
+  thread_local const int shard = static_cast<int>(
+      next_shard.fetch_add(1, std::memory_order_relaxed) %
+      static_cast<unsigned>(kShards));
+  return shard;
+}
+
+}  // namespace internal_metrics
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // lint: new-ok: intentionally leaked process-lifetime singleton (no destruction-order races at exit)
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return it->second.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return it->second.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return it->second.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot snapshot;
+  snapshot.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    snapshot.counters.emplace_back(name, counter->Value());
+  }
+  snapshot.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    snapshot.gauges.emplace_back(name, gauge->Value());
+  }
+  snapshot.histograms.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    MetricsSnapshot::HistogramValue value;
+    value.name = name;
+    value.count = histogram->Count();
+    value.sum = histogram->Sum();
+    for (int b = 0; b < Histogram::kBuckets; ++b) {
+      int64_t count = histogram->BucketCount(b);
+      if (count != 0) value.buckets.emplace_back(b, count);
+    }
+    snapshot.histograms.push_back(std::move(value));
+  }
+  return snapshot;
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, counter] : counters_) counter->Reset();
+  for (const auto& [name, gauge] : gauges_) gauge->Reset();
+  for (const auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+JsonValue MetricsSnapshot::ToJson() const {
+  JsonValue root = JsonValue::Object();
+  JsonValue counter_object = JsonValue::Object();
+  for (const auto& [name, value] : counters) {
+    counter_object.Set(name, JsonValue::Int(value));
+  }
+  root.Set("counters", std::move(counter_object));
+  JsonValue gauge_object = JsonValue::Object();
+  for (const auto& [name, value] : gauges) {
+    gauge_object.Set(name, JsonValue::Int(value));
+  }
+  root.Set("gauges", std::move(gauge_object));
+  JsonValue histogram_object = JsonValue::Object();
+  for (const auto& histogram : histograms) {
+    JsonValue entry = JsonValue::Object();
+    entry.Set("count", JsonValue::Int(histogram.count));
+    entry.Set("sum", JsonValue::Int(histogram.sum));
+    JsonValue buckets = JsonValue::Object();
+    for (const auto& [bucket, count] : histogram.buckets) {
+      buckets.Set(std::to_string(bucket), JsonValue::Int(count));
+    }
+    entry.Set("buckets", std::move(buckets));
+    histogram_object.Set(histogram.name, std::move(entry));
+  }
+  root.Set("histograms", std::move(histogram_object));
+  return root;
+}
+
+}  // namespace obs
+}  // namespace corrob

@@ -1,0 +1,231 @@
+#include "obs/telemetry.h"
+
+#include <algorithm>
+
+namespace corrob {
+namespace obs {
+
+void TrustDistribution(const std::vector<double>& values, double* min_out,
+                       double* mean_out, double* max_out) {
+  if (values.empty()) {
+    *min_out = 0.0;
+    *mean_out = 0.0;
+    *max_out = 0.0;
+    return;
+  }
+  double lo = values[0];
+  double hi = values[0];
+  double sum = 0.0;
+  for (double v : values) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+    sum += v;
+  }
+  *min_out = lo;
+  *mean_out = sum / static_cast<double>(values.size());
+  *max_out = hi;
+}
+
+namespace {
+
+JsonValue IterationToJson(const IterationStats& stats) {
+  JsonValue entry = JsonValue::Object();
+  entry.Set("iteration", JsonValue::Int(stats.iteration));
+  entry.Set("max_delta", JsonValue::Double(stats.max_delta));
+  entry.Set("trust_min", JsonValue::Double(stats.trust_min));
+  entry.Set("trust_mean", JsonValue::Double(stats.trust_mean));
+  entry.Set("trust_max", JsonValue::Double(stats.trust_max));
+  entry.Set("facts_committed", JsonValue::Int(stats.facts_committed));
+  return entry;
+}
+
+JsonValue RoundToJson(const IncRoundEvent& round) {
+  JsonValue entry = JsonValue::Object();
+  entry.Set("round", JsonValue::Int(round.round));
+  entry.Set("kind", JsonValue::Str(round.kind));
+  entry.Set("positive_group", JsonValue::Int(round.positive_group));
+  entry.Set("negative_group", JsonValue::Int(round.negative_group));
+  entry.Set("positive_signature", JsonValue::Str(round.positive_signature));
+  entry.Set("negative_signature", JsonValue::Str(round.negative_signature));
+  entry.Set("fg_positive", JsonValue::Int(round.fg_positive));
+  entry.Set("fg_negative", JsonValue::Int(round.fg_negative));
+  entry.Set("part_positive", JsonValue::Int(round.part_positive));
+  entry.Set("part_negative", JsonValue::Int(round.part_negative));
+  entry.Set("prob_positive", JsonValue::Double(round.prob_positive));
+  entry.Set("prob_negative", JsonValue::Double(round.prob_negative));
+  entry.Set("delta_h_positive", JsonValue::Double(round.delta_h_positive));
+  entry.Set("delta_h_negative", JsonValue::Double(round.delta_h_negative));
+  entry.Set("committed_n", JsonValue::Int(round.committed_n));
+  entry.Set("facts_committed", JsonValue::Int(round.facts_committed));
+  entry.Set("trust_min", JsonValue::Double(round.trust_min));
+  entry.Set("trust_mean", JsonValue::Double(round.trust_mean));
+  entry.Set("trust_max", JsonValue::Double(round.trust_max));
+  return entry;
+}
+
+bool ReadInt(const JsonValue& object, const char* key, int64_t* out,
+             std::string* error) {
+  const JsonValue* value = object.Find(key);
+  if (value == nullptr || !value->is_number()) {
+    if (error != nullptr) {
+      *error = std::string("missing or non-numeric field '") + key + "'";
+    }
+    return false;
+  }
+  *out = value->int_value();
+  return true;
+}
+
+bool ReadDouble(const JsonValue& object, const char* key, double* out,
+                std::string* error) {
+  const JsonValue* value = object.Find(key);
+  if (value == nullptr || !value->is_number()) {
+    if (error != nullptr) {
+      *error = std::string("missing or non-numeric field '") + key + "'";
+    }
+    return false;
+  }
+  *out = value->double_value();
+  return true;
+}
+
+bool ReadString(const JsonValue& object, const char* key, std::string* out,
+                std::string* error) {
+  const JsonValue* value = object.Find(key);
+  if (value == nullptr || !value->is_string()) {
+    if (error != nullptr) {
+      *error = std::string("missing or non-string field '") + key + "'";
+    }
+    return false;
+  }
+  *out = value->string_value();
+  return true;
+}
+
+}  // namespace
+
+JsonValue TelemetryToJson(const RunTelemetry& telemetry) {
+  JsonValue root = JsonValue::Object();
+  root.Set("schema", JsonValue::Str("corrob.telemetry/1"));
+  root.Set("algorithm", JsonValue::Str(telemetry.algorithm));
+  root.Set("num_facts", JsonValue::Int(telemetry.num_facts));
+  root.Set("num_sources", JsonValue::Int(telemetry.num_sources));
+  root.Set("iterations", JsonValue::Int(telemetry.iterations));
+  root.Set("converged", JsonValue::Bool(telemetry.converged));
+  JsonValue iteration_array = JsonValue::Array();
+  for (const IterationStats& stats : telemetry.iteration_stats) {
+    iteration_array.Append(IterationToJson(stats));
+  }
+  root.Set("iteration_stats", std::move(iteration_array));
+  JsonValue round_array = JsonValue::Array();
+  for (const IncRoundEvent& round : telemetry.rounds) {
+    round_array.Append(RoundToJson(round));
+  }
+  root.Set("rounds", std::move(round_array));
+  return root;
+}
+
+std::string TelemetryToJsonString(const RunTelemetry& telemetry) {
+  return TelemetryToJson(telemetry).Dump(2) + "\n";
+}
+
+bool TelemetryFromJson(const JsonValue& json, RunTelemetry* out,
+                       std::string* error) {
+  if (!json.is_object()) {
+    if (error != nullptr) *error = "telemetry root is not an object";
+    return false;
+  }
+  const JsonValue* schema = json.Find("schema");
+  if (schema == nullptr || !schema->is_string() ||
+      schema->string_value() != "corrob.telemetry/1") {
+    if (error != nullptr) {
+      *error = "missing or unsupported telemetry schema marker";
+    }
+    return false;
+  }
+  RunTelemetry telemetry;
+  if (!ReadString(json, "algorithm", &telemetry.algorithm, error)) {
+    return false;
+  }
+  int64_t iterations = 0;
+  if (!ReadInt(json, "num_facts", &telemetry.num_facts, error) ||
+      !ReadInt(json, "num_sources", &telemetry.num_sources, error) ||
+      !ReadInt(json, "iterations", &iterations, error)) {
+    return false;
+  }
+  telemetry.iterations = static_cast<int32_t>(iterations);
+  const JsonValue* converged = json.Find("converged");
+  telemetry.converged = converged != nullptr && converged->is_bool() &&
+                        converged->bool_value();
+
+  const JsonValue* iteration_array = json.Find("iteration_stats");
+  if (iteration_array != nullptr && iteration_array->is_array()) {
+    for (const JsonValue& entry : iteration_array->items()) {
+      IterationStats stats;
+      int64_t iteration = 0;
+      if (!ReadInt(entry, "iteration", &iteration, error) ||
+          !ReadDouble(entry, "max_delta", &stats.max_delta, error) ||
+          !ReadDouble(entry, "trust_min", &stats.trust_min, error) ||
+          !ReadDouble(entry, "trust_mean", &stats.trust_mean, error) ||
+          !ReadDouble(entry, "trust_max", &stats.trust_max, error) ||
+          !ReadInt(entry, "facts_committed", &stats.facts_committed,
+                   error)) {
+        return false;
+      }
+      stats.iteration = static_cast<int32_t>(iteration);
+      telemetry.iteration_stats.push_back(std::move(stats));
+    }
+  }
+
+  const JsonValue* round_array = json.Find("rounds");
+  if (round_array != nullptr && round_array->is_array()) {
+    for (const JsonValue& entry : round_array->items()) {
+      IncRoundEvent round;
+      int64_t round_index = 0;
+      int64_t positive_group = 0;
+      int64_t negative_group = 0;
+      if (!ReadInt(entry, "round", &round_index, error) ||
+          !ReadString(entry, "kind", &round.kind, error) ||
+          !ReadInt(entry, "positive_group", &positive_group, error) ||
+          !ReadInt(entry, "negative_group", &negative_group, error) ||
+          !ReadString(entry, "positive_signature",
+                      &round.positive_signature, error) ||
+          !ReadString(entry, "negative_signature",
+                      &round.negative_signature, error) ||
+          !ReadInt(entry, "fg_positive", &round.fg_positive, error) ||
+          !ReadInt(entry, "fg_negative", &round.fg_negative, error) ||
+          !ReadInt(entry, "part_positive", &round.part_positive, error) ||
+          !ReadInt(entry, "part_negative", &round.part_negative, error) ||
+          !ReadDouble(entry, "prob_positive", &round.prob_positive, error) ||
+          !ReadDouble(entry, "prob_negative", &round.prob_negative, error) ||
+          !ReadDouble(entry, "delta_h_positive", &round.delta_h_positive,
+                      error) ||
+          !ReadDouble(entry, "delta_h_negative", &round.delta_h_negative,
+                      error) ||
+          !ReadInt(entry, "committed_n", &round.committed_n, error) ||
+          !ReadInt(entry, "facts_committed", &round.facts_committed,
+                   error) ||
+          !ReadDouble(entry, "trust_min", &round.trust_min, error) ||
+          !ReadDouble(entry, "trust_mean", &round.trust_mean, error) ||
+          !ReadDouble(entry, "trust_max", &round.trust_max, error)) {
+        return false;
+      }
+      round.round = static_cast<int32_t>(round_index);
+      round.positive_group = static_cast<int32_t>(positive_group);
+      round.negative_group = static_cast<int32_t>(negative_group);
+      telemetry.rounds.push_back(std::move(round));
+    }
+  }
+  *out = std::move(telemetry);
+  return true;
+}
+
+bool TelemetryFromJsonString(std::string_view text, RunTelemetry* out,
+                             std::string* error) {
+  JsonValue json;
+  if (!JsonValue::Parse(text, &json, error)) return false;
+  return TelemetryFromJson(json, out, error);
+}
+
+}  // namespace obs
+}  // namespace corrob

@@ -1,0 +1,112 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+
+namespace corrob {
+namespace obs {
+
+TraceRecorder& TraceRecorder::Global() {
+  static TraceRecorder* recorder = new TraceRecorder();  // lint: new-ok: intentionally leaked process-lifetime singleton
+  return *recorder;
+}
+
+void TraceRecorder::Start(const Clock* clock) {
+  clock_ = clock != nullptr ? clock : MonotonicClock::Get();
+  epoch_nanos_ = clock_->NowNanos();
+  enabled_.store(true, std::memory_order_release);
+}
+
+void TraceRecorder::Stop() {
+  enabled_.store(false, std::memory_order_release);
+}
+
+TraceRecorder::ThreadBuffer* TraceRecorder::ThisThreadBuffer() {
+  // Cache the buffer per (recorder generation, thread); Clear() bumps
+  // the generation, which invalidates every thread's cache without
+  // having to track the threads themselves.
+  struct Cache {
+    const TraceRecorder* recorder = nullptr;
+    uint64_t generation = 0;
+    ThreadBuffer* buffer = nullptr;
+  };
+  thread_local Cache cache;
+  const uint64_t generation = generation_.load(std::memory_order_acquire);
+  if (cache.recorder == this && cache.generation == generation) {
+    return cache.buffer;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto buffer = std::make_unique<ThreadBuffer>();
+  buffer->tid = static_cast<uint32_t>(buffers_.size() + 1);
+  ThreadBuffer* raw = buffer.get();
+  buffers_.push_back(std::move(buffer));
+  cache = {this, generation, raw};
+  return raw;
+}
+
+void TraceRecorder::RecordComplete(const char* name, int64_t start_nanos,
+                                   int64_t end_nanos) {
+  ThreadBuffer* buffer = ThisThreadBuffer();
+  TraceEvent event;
+  event.name = name;
+  event.start_nanos = start_nanos;
+  event.duration_nanos =
+      end_nanos >= start_nanos ? end_nanos - start_nanos : 0;
+  event.tid = buffer->tid;
+  buffer->events.push_back(event);
+}
+
+int64_t TraceRecorder::event_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  int64_t count = 0;
+  for (const auto& buffer : buffers_) {
+    count += static_cast<int64_t>(buffer->events.size());
+  }
+  return count;
+}
+
+JsonValue TraceRecorder::ToJson() const {
+  std::vector<TraceEvent> events;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& buffer : buffers_) {
+      events.insert(events.end(), buffer->events.begin(),
+                    buffer->events.end());
+    }
+  }
+  std::sort(events.begin(), events.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              if (a.start_nanos != b.start_nanos) {
+                return a.start_nanos < b.start_nanos;
+              }
+              if (a.tid != b.tid) return a.tid < b.tid;
+              return a.duration_nanos > b.duration_nanos;
+            });
+
+  JsonValue trace_events = JsonValue::Array();
+  for (const TraceEvent& event : events) {
+    JsonValue entry = JsonValue::Object();
+    entry.Set("name", JsonValue::Str(event.name));
+    entry.Set("cat", JsonValue::Str("corrob"));
+    entry.Set("ph", JsonValue::Str("X"));
+    entry.Set("ts",
+              JsonValue::Double(static_cast<double>(event.start_nanos) / 1e3));
+    entry.Set("dur", JsonValue::Double(
+                         static_cast<double>(event.duration_nanos) / 1e3));
+    entry.Set("pid", JsonValue::Int(1));
+    entry.Set("tid", JsonValue::Int(event.tid));
+    trace_events.Append(std::move(entry));
+  }
+  JsonValue root = JsonValue::Object();
+  root.Set("displayTimeUnit", JsonValue::Str("ms"));
+  root.Set("traceEvents", std::move(trace_events));
+  return root;
+}
+
+void TraceRecorder::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  buffers_.clear();
+  generation_.fetch_add(1, std::memory_order_acq_rel);
+}
+
+}  // namespace obs
+}  // namespace corrob

@@ -9,6 +9,8 @@
 #include "common/csv.h"
 #include "data/dataset_io.h"
 #include "data/motivating_example.h"
+#include "obs/json.h"
+#include "obs/telemetry.h"
 
 namespace corrob {
 namespace {
@@ -349,6 +351,123 @@ TEST_F(CliTest, DedupRejectsBadHeader) {
                  TempPath("y.csv")}),
             1);
   EXPECT_NE(err_.str().find("header"), std::string::npos);
+}
+
+TEST_F(CliTest, RunMethodAliasWritesTraceMetricsAndTelemetry) {
+  // The PR's acceptance command: snake_case --method plus all three
+  // observability sinks in one invocation.
+  std::string trace = TempPath("cli_trace.json");
+  std::string metrics = TempPath("cli_metrics.json");
+  std::string telemetry = TempPath("cli_telemetry.json");
+  ASSERT_EQ(Run({"run", "--input", dataset_path_, "--method", "inc_est_heu",
+                 "--trace", trace, "--metrics", metrics, "--telemetry",
+                 telemetry, "--output", TempPath("cli_run_out.csv")}),
+            0);
+  EXPECT_NE(out_.str().find("trace events to " + trace), std::string::npos);
+  EXPECT_NE(out_.str().find("wrote metrics to " + metrics),
+            std::string::npos);
+
+  obs::JsonValue trace_json;
+  std::string error;
+  ASSERT_TRUE(obs::JsonValue::Parse(
+      ReadFileToString(trace).ValueOrDie(), &trace_json, &error))
+      << error;
+  const obs::JsonValue* events = trace_json.Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  EXPECT_GT(events->size(), 0u);
+
+  obs::JsonValue metrics_json;
+  ASSERT_TRUE(obs::JsonValue::Parse(
+      ReadFileToString(metrics).ValueOrDie(), &metrics_json, &error))
+      << error;
+  ASSERT_NE(metrics_json.Find("counters"), nullptr);
+  const obs::JsonValue* scans =
+      metrics_json.Find("counters")->Find("corrob.inc_est.delta_h_scans");
+  ASSERT_NE(scans, nullptr);
+  EXPECT_GT(scans->int_value(), 0);
+
+  obs::RunTelemetry run_telemetry;
+  ASSERT_TRUE(obs::TelemetryFromJsonString(
+      ReadFileToString(telemetry).ValueOrDie(), &run_telemetry, &error))
+      << error;
+  EXPECT_EQ(run_telemetry.algorithm, "IncEstHeu");
+  EXPECT_FALSE(run_telemetry.rounds.empty());
+}
+
+TEST_F(CliTest, RunTelemetryRejectsNonIterativeAlgorithm) {
+  EXPECT_EQ(Run({"run", "--input", dataset_path_, "--algorithm", "Voting",
+                 "--telemetry", TempPath("cli_no_telemetry.json")}),
+            1);
+  EXPECT_NE(err_.str().find("does not record telemetry"),
+            std::string::npos);
+}
+
+TEST_F(CliTest, ExplainPrintsOneRowPerRound) {
+  std::string telemetry = TempPath("cli_explain_telemetry.json");
+  ASSERT_EQ(Run({"run", "--input", dataset_path_, "--method", "inc_est_heu",
+                 "--telemetry", telemetry, "--output",
+                 TempPath("cli_explain_out.csv")}),
+            0);
+  obs::RunTelemetry run_telemetry;
+  ASSERT_TRUE(obs::TelemetryFromJsonString(
+      ReadFileToString(telemetry).ValueOrDie(), &run_telemetry, nullptr));
+  ASSERT_FALSE(run_telemetry.rounds.empty());
+
+  ASSERT_EQ(Run({"explain", telemetry}), 0);
+  const std::string rendered = out_.str();
+  EXPECT_NE(rendered.find("IncEstHeu"), std::string::npos);
+  EXPECT_NE(rendered.find("FG+ signature"), std::string::npos);
+  // One table row per recorded round: every round number appears at a
+  // row start.
+  for (const obs::IncRoundEvent& event : run_telemetry.rounds) {
+    EXPECT_NE(rendered.find("| " + std::to_string(event.round) + " "),
+              std::string::npos)
+        << "round " << event.round << " missing from:\n" << rendered;
+  }
+}
+
+TEST_F(CliTest, ExplainRendersFixpointIterations) {
+  std::string telemetry = TempPath("cli_explain_fix.json");
+  ASSERT_EQ(Run({"run", "--input", dataset_path_, "--algorithm",
+                 "TwoEstimate", "--telemetry", telemetry, "--output",
+                 TempPath("cli_explain_fix_out.csv")}),
+            0);
+  ASSERT_EQ(Run({"explain", telemetry}), 0);
+  EXPECT_NE(out_.str().find("TwoEstimate"), std::string::npos);
+  EXPECT_NE(out_.str().find("Max delta"), std::string::npos);
+}
+
+TEST_F(CliTest, ExplainFailsCleanlyOnBadInput) {
+  EXPECT_EQ(Run({"explain"}), 1);
+  EXPECT_NE(err_.str().find("usage"), std::string::npos);
+  EXPECT_EQ(Run({"explain", "/nonexistent/telemetry.json"}), 1);
+  std::string junk = TempPath("cli_junk.json");
+  ASSERT_TRUE(WriteStringToFile(junk, "{\"schema\": \"wrong\"}").ok());
+  EXPECT_EQ(Run({"explain", junk}), 1);
+}
+
+TEST_F(CliTest, StreamResumeContinuesTelemetryCounters) {
+  // The bugfix under test: counters must travel with the checkpoint,
+  // so interrupted-then-resumed totals equal an uninterrupted run's.
+  std::string clean = TempPath("cli_stream_tel_clean.json");
+  std::string resumed = TempPath("cli_stream_tel_resumed.json");
+  std::string checkpoint = TempPath("cli_stream_tel.snap");
+
+  ASSERT_EQ(Run({"stream", "--input", dataset_path_, "--output",
+                 TempPath("cli_stream_tel_out1.csv"), "--telemetry",
+                 clean}),
+            0);
+  ASSERT_EQ(Run({"stream", "--input", dataset_path_, "--checkpoint",
+                 checkpoint, "--checkpoint-every", "2", "--failpoint",
+                 "cli.stream.observe=fail:1:skip=6"}),
+            1);
+  ASSERT_EQ(Run({"stream", "--input", dataset_path_, "--checkpoint",
+                 checkpoint, "--resume", "--output",
+                 TempPath("cli_stream_tel_out2.csv"), "--telemetry",
+                 resumed}),
+            0);
+  EXPECT_EQ(ReadFileToString(resumed).ValueOrDie(),
+            ReadFileToString(clean).ValueOrDie());
 }
 
 }  // namespace

@@ -1,0 +1,83 @@
+#include "common/timer.h"
+
+#include <gtest/gtest.h>
+
+#include "obs/clock.h"
+
+namespace corrob {
+namespace {
+
+TEST(StopwatchNsTest, AccumulatesOnInjectedClock) {
+  obs::ManualClock clock;
+  StopwatchNs watch(&clock);
+  EXPECT_TRUE(watch.running());
+  EXPECT_EQ(watch.ElapsedNanos(), 0);
+  clock.AdvanceNanos(1500);
+  EXPECT_EQ(watch.ElapsedNanos(), 1500);
+  EXPECT_DOUBLE_EQ(watch.ElapsedSeconds(), 1.5e-6);
+  EXPECT_DOUBLE_EQ(watch.ElapsedMillis(), 1.5e-3);
+}
+
+TEST(StopwatchNsTest, PauseFreezesAndResumeContinues) {
+  obs::ManualClock clock;
+  StopwatchNs watch(&clock);
+  clock.AdvanceNanos(100);
+  watch.Pause();
+  EXPECT_FALSE(watch.running());
+  clock.AdvanceNanos(100000);  // not counted while paused
+  EXPECT_EQ(watch.ElapsedNanos(), 100);
+  watch.Resume();
+  clock.AdvanceNanos(25);
+  EXPECT_EQ(watch.ElapsedNanos(), 125);
+  // Double pause / double resume are no-ops.
+  watch.Pause();
+  watch.Pause();
+  EXPECT_EQ(watch.ElapsedNanos(), 125);
+  watch.Resume();
+  watch.Resume();
+  clock.AdvanceNanos(5);
+  EXPECT_EQ(watch.ElapsedNanos(), 130);
+}
+
+TEST(StopwatchNsTest, ResetZeroesButKeepsPauseState) {
+  obs::ManualClock clock;
+  StopwatchNs watch(&clock);
+  clock.AdvanceNanos(100);
+  watch.Reset();
+  EXPECT_TRUE(watch.running());
+  clock.AdvanceNanos(7);
+  EXPECT_EQ(watch.ElapsedNanos(), 7);
+
+  watch.Pause();
+  watch.Reset();
+  EXPECT_FALSE(watch.running());
+  clock.AdvanceNanos(100);
+  EXPECT_EQ(watch.ElapsedNanos(), 0);
+}
+
+TEST(StopwatchNsTest, NullClockNeverAdvances) {
+  // A null clock is the "don't time" mode deterministic code uses:
+  // all operations are no-ops and every reading is zero.
+  StopwatchNs watch(nullptr);
+  EXPECT_FALSE(watch.running());
+  watch.Resume();
+  EXPECT_FALSE(watch.running());
+  watch.Pause();
+  watch.Reset();
+  EXPECT_EQ(watch.ElapsedNanos(), 0);
+  EXPECT_EQ(watch.ElapsedSeconds(), 0.0);
+}
+
+TEST(StopwatchNsTest, RealClockIsMonotonic) {
+  StopwatchNs watch;
+  EXPECT_TRUE(watch.running());
+  int64_t first = watch.ElapsedNanos();
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink = sink + i * 0.5;
+  int64_t second = watch.ElapsedNanos();
+  EXPECT_GE(first, 0);
+  EXPECT_GE(second, first);
+}
+
+}  // namespace
+}  // namespace corrob

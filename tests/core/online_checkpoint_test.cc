@@ -1,10 +1,12 @@
 #include "core/online_checkpoint.h"
 
 #include <cstdio>
+#include <cstring>
 #include <string>
 
 #include <gtest/gtest.h>
 
+#include "common/crc32.h"
 #include "common/csv.h"
 #include "common/failpoint.h"
 #include "common/random.h"
@@ -46,6 +48,9 @@ void ExpectBitIdenticalState(const OnlineCorroborator& a,
   EXPECT_EQ(sa.correct, sb.correct);  // exact double equality
   EXPECT_EQ(sa.total, sb.total);
   EXPECT_EQ(sa.facts_observed, sb.facts_observed);
+  EXPECT_EQ(sa.decisions_true, sb.decisions_true);
+  EXPECT_EQ(sa.decisions_false, sb.decisions_false);
+  EXPECT_EQ(sa.deferrals, sb.deferrals);
   EXPECT_DOUBLE_EQ(sa.options.initial_trust, sb.options.initial_trust);
   EXPECT_DOUBLE_EQ(sa.options.trust_prior_weight,
                    sb.options.trust_prior_weight);
@@ -148,6 +153,92 @@ TEST(OnlineCheckpointTest, RejectsBitFlipsAsParseError) {
       static_cast<char>(corrupted[snapshot.size() - 1] ^ 0x01);
   EXPECT_EQ(ParseOnlineSnapshot(corrupted).status().code(),
             StatusCode::kParseError);
+}
+
+TEST(OnlineCheckpointTest, TelemetryCountersSurviveRoundTrip) {
+  OnlineCorroborator online = MakeBusyCorroborator();
+  ASSERT_GT(online.decisions_true() + online.decisions_false(), 0);
+  EXPECT_EQ(online.decisions_true() + online.decisions_false(),
+            online.facts_observed());
+  auto restored =
+      ParseOnlineSnapshot(SerializeOnlineSnapshot(online)).ValueOrDie();
+  EXPECT_EQ(restored.decisions_true(), online.decisions_true());
+  EXPECT_EQ(restored.decisions_false(), online.decisions_false());
+  EXPECT_EQ(restored.deferrals(), online.deferrals());
+}
+
+// Serialization helpers mirroring the v1 on-disk layout, so the
+// back-compat test can fabricate a genuine v-old snapshot.
+void AppendU32(std::string* out, uint32_t value) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((value >> (8 * i)) & 0xFF));
+  }
+}
+
+void AppendU64(std::string* out, uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((value >> (8 * i)) & 0xFF));
+  }
+}
+
+void AppendF64(std::string* out, double value) {
+  uint64_t bits = 0;
+  std::memcpy(&bits, &value, sizeof(bits));
+  AppendU64(out, bits);
+}
+
+TEST(OnlineCheckpointTest, ParsesV1SnapshotsWithZeroedCounters) {
+  // A v1 snapshot (pre-telemetry format: no counter section) must
+  // still load; the counters start over at zero but the trust state
+  // restores bit-identically.
+  OnlineCorroborator online = MakeBusyCorroborator();
+  OnlineCorroboratorState state = online.ExportState();
+
+  std::string payload;
+  AppendF64(&payload, state.options.initial_trust);
+  AppendF64(&payload, state.options.trust_prior_weight);
+  AppendF64(&payload, state.options.tie_margin);
+  AppendU64(&payload, static_cast<uint64_t>(state.facts_observed));
+  AppendU32(&payload, static_cast<uint32_t>(state.source_names.size()));
+  for (size_t s = 0; s < state.source_names.size(); ++s) {
+    AppendU32(&payload,
+              static_cast<uint32_t>(state.source_names[s].size()));
+    payload += state.source_names[s];
+    AppendF64(&payload, state.correct[s]);
+    AppendF64(&payload, state.total[s]);
+  }
+  std::string snapshot = "CORROBSN";
+  AppendU32(&snapshot, 1);  // kOnlineSnapshotMinVersion
+  AppendU64(&snapshot, payload.size());
+  snapshot += payload;
+  AppendU32(&snapshot, ComputeCrc32(payload));
+
+  auto restored = ParseOnlineSnapshot(snapshot).ValueOrDie();
+  OnlineCorroboratorState rs = restored.ExportState();
+  EXPECT_EQ(rs.correct, state.correct);
+  EXPECT_EQ(rs.total, state.total);
+  EXPECT_EQ(rs.facts_observed, state.facts_observed);
+  EXPECT_EQ(restored.decisions_true(), 0);
+  EXPECT_EQ(restored.decisions_false(), 0);
+  EXPECT_EQ(restored.deferrals(), 0);
+  EXPECT_EQ(restored.trust_snapshot(), online.trust_snapshot());
+}
+
+TEST(OnlineCheckpointTest, RejectsInconsistentCounters) {
+  OnlineCorroboratorState state = MakeBusyCorroborator().ExportState();
+  {
+    OnlineCorroboratorState bad = state;
+    bad.deferrals = -1;
+    EXPECT_EQ(OnlineCorroborator::FromState(bad).status().code(),
+              StatusCode::kInvalidArgument);
+  }
+  {
+    OnlineCorroboratorState bad = state;
+    bad.decisions_true = bad.facts_observed + 1;
+    bad.decisions_false = 1;  // decided more facts than observed
+    EXPECT_EQ(OnlineCorroborator::FromState(bad).status().code(),
+              StatusCode::kInvalidArgument);
+  }
 }
 
 TEST(OnlineCheckpointTest, RejectsVersionMismatchDistinctly) {

@@ -18,8 +18,16 @@ TEST(RegistryTest, AllNamesConstruct) {
 TEST(RegistryTest, UnknownNameIsNotFound) {
   EXPECT_EQ(MakeCorroborator("Oracle").status().code(),
             StatusCode::kNotFound);
-  EXPECT_EQ(MakeCorroborator("voting").status().code(),
-            StatusCode::kNotFound);  // Case-sensitive.
+  EXPECT_EQ(MakeCorroborator("").status().code(), StatusCode::kNotFound);
+}
+
+TEST(RegistryTest, NamesMatchCaseAndSeparatorInsensitively) {
+  EXPECT_EQ(MakeCorroborator("voting").ValueOrDie()->name(), "Voting");
+  EXPECT_EQ(MakeCorroborator("inc_est_heu").ValueOrDie()->name(),
+            "IncEstHeu");
+  EXPECT_EQ(MakeCorroborator("inc-est-ps").ValueOrDie()->name(), "IncEstPS");
+  EXPECT_EQ(MakeCorroborator("TRUTHFINDER").ValueOrDie()->name(),
+            "TruthFinder");
 }
 
 TEST(RegistryTest, EveryAlgorithmRunsOnTheMotivatingExample) {

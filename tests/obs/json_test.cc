@@ -1,0 +1,85 @@
+#include "obs/json.h"
+
+#include <gtest/gtest.h>
+
+namespace corrob {
+namespace obs {
+namespace {
+
+TEST(JsonValueTest, DumpsScalars) {
+  EXPECT_EQ(JsonValue::Null().Dump(), "null");
+  EXPECT_EQ(JsonValue::Bool(true).Dump(), "true");
+  EXPECT_EQ(JsonValue::Bool(false).Dump(), "false");
+  EXPECT_EQ(JsonValue::Int(-42).Dump(), "-42");
+  EXPECT_EQ(JsonValue::Str("hi").Dump(), "\"hi\"");
+}
+
+TEST(JsonValueTest, EscapesStrings) {
+  EXPECT_EQ(JsonValue::Str("a\"b\\c\n").Dump(), "\"a\\\"b\\\\c\\n\"");
+  // Control characters below 0x20 must be escaped.
+  EXPECT_EQ(JsonValue::Str(std::string(1, '\x01')).Dump(), "\"\\u0001\"");
+}
+
+TEST(JsonValueTest, ObjectsKeepInsertionOrder) {
+  JsonValue object = JsonValue::Object();
+  object.Set("zebra", JsonValue::Int(1));
+  object.Set("alpha", JsonValue::Int(2));
+  EXPECT_EQ(object.Dump(), "{\"zebra\":1,\"alpha\":2}");
+  // Set on an existing key overwrites in place, keeping its slot.
+  object.Set("zebra", JsonValue::Int(3));
+  EXPECT_EQ(object.Dump(), "{\"zebra\":3,\"alpha\":2}");
+}
+
+TEST(JsonValueTest, ParseRoundTripsDump) {
+  JsonValue original = JsonValue::Object();
+  original.Set("name", JsonValue::Str("x"));
+  JsonValue array = JsonValue::Array();
+  array.Append(JsonValue::Int(1));
+  array.Append(JsonValue::Double(0.5));
+  array.Append(JsonValue::Null());
+  original.Set("items", std::move(array));
+  original.Set("flag", JsonValue::Bool(true));
+
+  for (int indent : {-1, 0, 2}) {
+    JsonValue parsed;
+    std::string error;
+    ASSERT_TRUE(JsonValue::Parse(original.Dump(indent), &parsed, &error))
+        << error;
+    EXPECT_EQ(parsed.Dump(), original.Dump()) << "indent=" << indent;
+  }
+}
+
+TEST(JsonValueTest, DoubleDumpRoundTripsExactly) {
+  // The formatter must emit enough digits that parsing returns the
+  // same bits — telemetry determinism depends on it.
+  for (double value : {0.1, 1.0 / 3.0, 1e-300, 123456.789012345, 2e17}) {
+    std::string text = JsonValue::Double(value).Dump();
+    JsonValue parsed;
+    ASSERT_TRUE(JsonValue::Parse(text, &parsed, nullptr)) << text;
+    EXPECT_EQ(parsed.double_value(), value) << text;
+  }
+}
+
+TEST(JsonValueTest, ParseRejectsMalformedInput) {
+  JsonValue out;
+  std::string error;
+  for (const char* bad :
+       {"", "{", "[1,]", "{\"a\":}", "tru", "\"unterminated", "1 2",
+        "{\"a\" 1}", "nan"}) {
+    EXPECT_FALSE(JsonValue::Parse(bad, &out, &error)) << bad;
+    EXPECT_FALSE(error.empty()) << bad;
+  }
+}
+
+TEST(JsonValueTest, FindReturnsNullForMissingKeys) {
+  JsonValue object = JsonValue::Object();
+  object.Set("present", JsonValue::Int(7));
+  ASSERT_NE(object.Find("present"), nullptr);
+  EXPECT_EQ(object.Find("present")->int_value(), 7);
+  EXPECT_EQ(object.Find("absent"), nullptr);
+  EXPECT_EQ(JsonValue::Int(1).Find("anything"), nullptr);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace corrob

@@ -1,0 +1,143 @@
+#include "obs/metrics.h"
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace corrob {
+namespace obs {
+namespace {
+
+TEST(CounterTest, AddsAndFolds) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("test.counter");
+  EXPECT_EQ(counter->Value(), 0);
+  counter->Add();
+  counter->Add(41);
+  EXPECT_EQ(counter->Value(), 42);
+  counter->Reset();
+  EXPECT_EQ(counter->Value(), 0);
+}
+
+TEST(CounterTest, ConcurrentIncrementsFoldToExactSum) {
+  // The acceptance bar for the sharded design: N threads hammer the
+  // same counters; the folded totals must equal the exact arithmetic
+  // sum — no lost updates, no double counts.
+  MetricsRegistry registry;
+  Counter* fast = registry.GetCounter("test.fast");
+  Counter* slow = registry.GetCounter("test.slow");
+  Histogram* histogram = registry.GetHistogram("test.histogram");
+  constexpr int kThreads = 8;
+  constexpr int kIncrementsPerThread = 50000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kIncrementsPerThread; ++i) {
+        fast->Add(1);
+        if (i % 10 == 0) slow->Add(t + 1);
+        histogram->Record(i);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  EXPECT_EQ(fast->Value(),
+            static_cast<int64_t>(kThreads) * kIncrementsPerThread);
+  // Each thread t adds (t+1) on every 10th iteration.
+  int64_t expected_slow = 0;
+  for (int t = 0; t < kThreads; ++t) {
+    expected_slow += static_cast<int64_t>(t + 1) * (kIncrementsPerThread / 10);
+  }
+  EXPECT_EQ(slow->Value(), expected_slow);
+  EXPECT_EQ(histogram->Count(),
+            static_cast<int64_t>(kThreads) * kIncrementsPerThread);
+  int64_t per_thread_sum =
+      static_cast<int64_t>(kIncrementsPerThread - 1) * kIncrementsPerThread / 2;
+  EXPECT_EQ(histogram->Sum(), kThreads * per_thread_sum);
+}
+
+TEST(GaugeTest, KeepsLastValue) {
+  MetricsRegistry registry;
+  Gauge* gauge = registry.GetGauge("test.gauge");
+  gauge->Set(7);
+  gauge->Set(3);
+  EXPECT_EQ(gauge->Value(), 3);
+}
+
+TEST(HistogramTest, BucketsAreLogScale) {
+  // Bucket 0 is {0}; bucket b >= 1 is [2^(b-1), 2^b).
+  EXPECT_EQ(Histogram::BucketOf(0), 0);
+  EXPECT_EQ(Histogram::BucketOf(1), 1);
+  EXPECT_EQ(Histogram::BucketOf(2), 2);
+  EXPECT_EQ(Histogram::BucketOf(3), 2);
+  EXPECT_EQ(Histogram::BucketOf(4), 3);
+  EXPECT_EQ(Histogram::BucketOf(1023), 10);
+  EXPECT_EQ(Histogram::BucketOf(1024), 11);
+
+  MetricsRegistry registry;
+  Histogram* histogram = registry.GetHistogram("test.h");
+  histogram->Record(0);
+  histogram->Record(3);
+  histogram->Record(3);
+  histogram->Record(-5);  // clamps to 0
+  EXPECT_EQ(histogram->Count(), 4);
+  EXPECT_EQ(histogram->Sum(), 6);
+  EXPECT_EQ(histogram->BucketCount(0), 2);
+  EXPECT_EQ(histogram->BucketCount(2), 2);
+}
+
+TEST(MetricsRegistryTest, GetIsCreateOrGetWithStablePointers) {
+  MetricsRegistry registry;
+  Counter* first = registry.GetCounter("test.same");
+  Counter* second = registry.GetCounter("test.same");
+  EXPECT_EQ(first, second);
+  EXPECT_NE(registry.GetCounter("test.other"), first);
+  // Counters, gauges and histograms live in separate namespaces.
+  registry.GetGauge("test.same");
+  registry.GetHistogram("test.same");
+}
+
+TEST(MetricsRegistryTest, SnapshotIsNameSortedAndComplete) {
+  MetricsRegistry registry;
+  registry.GetCounter("test.b")->Add(2);
+  registry.GetCounter("test.a")->Add(1);
+  registry.GetGauge("test.g")->Set(5);
+  registry.GetHistogram("test.h")->Record(9);
+
+  MetricsSnapshot snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.counters.size(), 2u);
+  EXPECT_EQ(snapshot.counters[0].first, "test.a");
+  EXPECT_EQ(snapshot.counters[0].second, 1);
+  EXPECT_EQ(snapshot.counters[1].first, "test.b");
+  EXPECT_EQ(snapshot.counters[1].second, 2);
+  ASSERT_EQ(snapshot.gauges.size(), 1u);
+  EXPECT_EQ(snapshot.gauges[0].second, 5);
+  ASSERT_EQ(snapshot.histograms.size(), 1u);
+  EXPECT_EQ(snapshot.histograms[0].count, 1);
+  EXPECT_EQ(snapshot.histograms[0].sum, 9);
+
+  std::string json = snapshot.ToJsonString();
+  EXPECT_NE(json.find("\"test.a\": 1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos) << json;
+}
+
+TEST(MetricsRegistryTest, ResetAllZeroesEverything) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("test.c");
+  Gauge* gauge = registry.GetGauge("test.g");
+  Histogram* histogram = registry.GetHistogram("test.h");
+  counter->Add(3);
+  gauge->Set(4);
+  histogram->Record(5);
+  registry.ResetAll();
+  EXPECT_EQ(counter->Value(), 0);
+  EXPECT_EQ(gauge->Value(), 0);
+  EXPECT_EQ(histogram->Count(), 0);
+  EXPECT_EQ(histogram->Sum(), 0);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace corrob

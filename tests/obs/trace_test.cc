@@ -1,0 +1,109 @@
+#include "obs/trace.h"
+
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "obs/clock.h"
+
+namespace corrob {
+namespace obs {
+namespace {
+
+/// The global recorder is process-wide state; every test starts and
+/// ends with it stopped and empty so tests compose in any order.
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TraceRecorder::Global().Stop();
+    TraceRecorder::Global().Clear();
+  }
+  void TearDown() override {
+    TraceRecorder::Global().Stop();
+    TraceRecorder::Global().Clear();
+  }
+};
+
+TEST_F(TraceTest, DisabledRecorderRecordsNothing) {
+  { CORROB_TRACE_SPAN("test.ignored"); }
+  EXPECT_EQ(TraceRecorder::Global().event_count(), 0);
+}
+
+TEST_F(TraceTest, SpansRecordNameAndDuration) {
+  ManualClock clock;
+  TraceRecorder& recorder = TraceRecorder::Global();
+  recorder.Start(&clock);
+  {
+    CORROB_TRACE_SPAN("test.outer");
+    clock.AdvanceNanos(5000);
+    {
+      CORROB_TRACE_SPAN("test.inner");
+      clock.AdvanceNanos(2000);
+    }
+    clock.AdvanceNanos(1000);
+  }
+  recorder.Stop();
+  EXPECT_EQ(recorder.event_count(), 2);
+
+  // Chrome trace_event schema: complete events, microsecond units.
+  JsonValue json = recorder.ToJson();
+  ASSERT_TRUE(json.is_object());
+  EXPECT_EQ(json.Find("displayTimeUnit")->string_value(), "ms");
+  const JsonValue* events = json.Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->size(), 2u);
+  // Events are (ts, tid)-sorted: outer starts at 0, inner at 5µs.
+  const JsonValue& outer = events->at(0);
+  EXPECT_EQ(outer.Find("name")->string_value(), "test.outer");
+  EXPECT_EQ(outer.Find("ph")->string_value(), "X");
+  EXPECT_EQ(outer.Find("ts")->int_value(), 0);
+  EXPECT_EQ(outer.Find("dur")->int_value(), 8);
+  ASSERT_NE(outer.Find("pid"), nullptr);
+  ASSERT_NE(outer.Find("tid"), nullptr);
+  const JsonValue& inner = events->at(1);
+  EXPECT_EQ(inner.Find("name")->string_value(), "test.inner");
+  EXPECT_EQ(inner.Find("ts")->int_value(), 5);
+  EXPECT_EQ(inner.Find("dur")->int_value(), 2);
+}
+
+TEST_F(TraceTest, StopFreezesAndClearDrops) {
+  ManualClock clock;
+  TraceRecorder& recorder = TraceRecorder::Global();
+  recorder.Start(&clock);
+  {
+    CORROB_TRACE_SPAN("test.kept");
+    clock.AdvanceNanos(1000);
+  }
+  recorder.Stop();
+  EXPECT_EQ(recorder.event_count(), 1);
+  { CORROB_TRACE_SPAN("test.after_stop"); }
+  EXPECT_EQ(recorder.event_count(), 1);
+  recorder.Clear();
+  EXPECT_EQ(recorder.event_count(), 0);
+  EXPECT_EQ(recorder.ToJson().Find("traceEvents")->size(), 0u);
+}
+
+TEST_F(TraceTest, ThreadsGetDistinctTids) {
+  ManualClock clock;
+  TraceRecorder& recorder = TraceRecorder::Global();
+  recorder.Start(&clock);
+  {
+    CORROB_TRACE_SPAN("test.main_thread");
+    std::thread worker([&] {
+      CORROB_TRACE_SPAN("test.worker_thread");
+      clock.AdvanceNanos(100);
+    });
+    worker.join();
+  }
+  recorder.Stop();
+  ASSERT_EQ(recorder.event_count(), 2);
+  JsonValue json = recorder.ToJson();
+  const JsonValue* events = json.Find("traceEvents");
+  int64_t tid0 = events->at(0).Find("tid")->int_value();
+  int64_t tid1 = events->at(1).Find("tid")->int_value();
+  EXPECT_NE(tid0, tid1);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace corrob

@@ -13,9 +13,12 @@ we want flagged before a compiler ever runs):
                         surviving discard must be a reviewed decision.
   nondeterminism        rand()/srand()/std::random_device/time()/clock()/
                         std::chrono::*_clock::now() inside src/core,
-                        src/eval, src/synth or src/ml. Deterministic code
-                        must go through src/common/random.h (seeded RNG)
-                        or src/common/timer.h (Stopwatch).
+                        src/eval, src/synth, src/ml or src/obs.
+                        Deterministic code must go through
+                        src/common/random.h (seeded RNG) or
+                        src/common/timer.h (StopwatchNs over an injected
+                        obs::Clock); obs::MonotonicClock::NowNanos is
+                        the one sanctioned wall-clock read.
   raw-io                std::cout/std::cerr/printf/fprintf/puts in library
                         code. src/cli and src/common/logging are the
                         sanctioned output paths; everything else returns
@@ -400,7 +403,7 @@ def in_dirs(path: str, dirs) -> bool:
     return any(path == d or path.startswith(d + "/") for d in dirs)
 
 
-NONDET_SCOPE = ("src/core", "src/eval", "src/synth", "src/ml")
+NONDET_SCOPE = ("src/core", "src/eval", "src/synth", "src/ml", "src/obs")
 NONDET_PATTERNS = [
     (re.compile(r"\b(?:rand|srand)\s*\("), "rand()/srand()"),
     (re.compile(r"\bstd\s*::\s*random_device\b"), "std::random_device"),

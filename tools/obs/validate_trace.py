@@ -1,0 +1,229 @@
+#!/usr/bin/env python3
+"""Schema checker for the observability JSON artifacts.
+
+Validates any mix of the four JSON artifact kinds the toolchain emits,
+autodetecting each file's kind:
+
+  trace      Chrome trace_event JSON from --trace
+             ({"displayTimeUnit", "traceEvents": [...]})
+  metrics    MetricsSnapshot JSON from --metrics
+             ({"counters", "gauges", "histograms"})
+  telemetry  RunTelemetry JSON from --telemetry
+             ({"schema": "corrob.telemetry/1", ...})
+  bench      BenchReport JSON from the bench binaries
+             ({"schema": "corrob.bench/1", ...})
+
+Usage: validate_trace.py FILE [FILE...]
+Exit status 0 when every file validates, 1 otherwise. Pure stdlib —
+no jsonschema dependency — so it runs anywhere CI does.
+"""
+
+import json
+import sys
+
+
+class Invalid(Exception):
+    pass
+
+
+def expect(condition, message):
+    if not condition:
+        raise Invalid(message)
+
+
+def expect_keys(obj, keys, where):
+    expect(isinstance(obj, dict), f"{where}: expected an object")
+    for key in keys:
+        expect(key in obj, f"{where}: missing key '{key}'")
+
+
+def is_number(value):
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+# ------------------------------------------------------------------
+# Per-kind validators
+# ------------------------------------------------------------------
+
+
+def validate_trace(doc):
+    expect_keys(doc, ["displayTimeUnit", "traceEvents"], "trace")
+    expect(doc["displayTimeUnit"] == "ms",
+           "trace: displayTimeUnit must be 'ms'")
+    events = doc["traceEvents"]
+    expect(isinstance(events, list), "trace: traceEvents must be an array")
+    last_ts = None
+    for i, event in enumerate(events):
+        where = f"traceEvents[{i}]"
+        expect_keys(event, ["name", "ph", "ts", "dur", "pid", "tid"], where)
+        expect(isinstance(event["name"], str) and event["name"],
+               f"{where}: name must be a non-empty string")
+        expect(event["ph"] == "X",
+               f"{where}: ph must be 'X' (complete event)")
+        expect(is_number(event["ts"]) and event["ts"] >= 0,
+               f"{where}: ts must be a non-negative number")
+        expect(is_number(event["dur"]) and event["dur"] >= 0,
+               f"{where}: dur must be a non-negative number")
+        expect(isinstance(event["pid"], int) and isinstance(event["tid"], int),
+               f"{where}: pid/tid must be integers")
+        if last_ts is not None:
+            expect(event["ts"] >= last_ts,
+                   f"{where}: events must be sorted by ts")
+        last_ts = event["ts"]
+    return f"{len(events)} events"
+
+
+def validate_metrics(doc):
+    expect_keys(doc, ["counters", "gauges", "histograms"], "metrics")
+    for section in ("counters", "gauges"):
+        expect(isinstance(doc[section], dict),
+               f"metrics: {section} must be an object")
+        for name, value in doc[section].items():
+            expect(isinstance(value, int),
+                   f"metrics: {section}['{name}'] must be an integer")
+    histograms = doc["histograms"]
+    expect(isinstance(histograms, dict),
+           "metrics: histograms must be an object")
+    for name, hist in histograms.items():
+        where = f"metrics: histograms['{name}']"
+        expect_keys(hist, ["count", "sum", "buckets"], where)
+        expect(isinstance(hist["count"], int) and hist["count"] >= 0,
+               f"{where}: count must be a non-negative integer")
+        expect(isinstance(hist["sum"], int), f"{where}: sum must be an integer")
+        expect(isinstance(hist["buckets"], dict),
+               f"{where}: buckets must be an object")
+        bucket_total = 0
+        for bucket, count in hist["buckets"].items():
+            expect(bucket.isdigit() and 0 <= int(bucket) < 64,
+                   f"{where}: bucket key '{bucket}' must be an index in [0, 64)")
+            expect(isinstance(count, int) and count > 0,
+                   f"{where}: buckets['{bucket}'] must be a positive integer")
+            bucket_total += count
+        expect(bucket_total == hist["count"],
+               f"{where}: bucket counts sum to {bucket_total}, "
+               f"count says {hist['count']}")
+    return (f"{len(doc['counters'])} counters, {len(doc['gauges'])} gauges, "
+            f"{len(histograms)} histograms")
+
+
+ROUND_KINDS = {"balanced", "greedy", "one_sided_positive",
+               "one_sided_negative", "final_ties", "supervised"}
+
+
+def validate_telemetry(doc):
+    expect_keys(doc, ["schema", "algorithm", "num_facts", "num_sources",
+                      "iterations", "converged", "iteration_stats",
+                      "rounds"], "telemetry")
+    expect(doc["schema"] == "corrob.telemetry/1",
+           f"telemetry: unknown schema '{doc.get('schema')}'")
+    expect(isinstance(doc["algorithm"], str) and doc["algorithm"],
+           "telemetry: algorithm must be a non-empty string")
+    for key in ("num_facts", "num_sources", "iterations"):
+        expect(isinstance(doc[key], int) and doc[key] >= 0,
+               f"telemetry: {key} must be a non-negative integer")
+    expect(isinstance(doc["converged"], bool),
+           "telemetry: converged must be a boolean")
+    expect(isinstance(doc["iteration_stats"], list),
+           "telemetry: iteration_stats must be an array")
+    for i, stats in enumerate(doc["iteration_stats"]):
+        where = f"telemetry: iteration_stats[{i}]"
+        expect_keys(stats, ["iteration", "max_delta", "trust_min",
+                            "trust_mean", "trust_max", "facts_committed"],
+                    where)
+        for key in ("max_delta", "trust_min", "trust_mean", "trust_max"):
+            expect(is_number(stats[key]), f"{where}: {key} must be a number")
+    expect(isinstance(doc["rounds"], list),
+           "telemetry: rounds must be an array")
+    for i, event in enumerate(doc["rounds"]):
+        where = f"telemetry: rounds[{i}]"
+        expect_keys(event, ["round", "kind", "positive_group",
+                            "negative_group", "positive_signature",
+                            "negative_signature", "fg_positive",
+                            "fg_negative", "committed_n",
+                            "facts_committed"], where)
+        expect(event["kind"] in ROUND_KINDS,
+               f"{where}: unknown round kind '{event['kind']}'")
+        if event["kind"] == "balanced":
+            expected = min(event["fg_positive"], event["fg_negative"])
+            expect(event["committed_n"] == expected,
+                   f"{where}: balanced round committed_n "
+                   f"{event['committed_n']} != min(|FG+|, |FG-|) "
+                   f"= {expected}")
+    return (f"{doc['algorithm']}, {len(doc['rounds'])} rounds, "
+            f"{len(doc['iteration_stats'])} iterations")
+
+
+def validate_bench(doc):
+    expect_keys(doc, ["schema", "bench", "config", "rows", "metrics"],
+                "bench")
+    expect(doc["schema"] == "corrob.bench/1",
+           f"bench: unknown schema '{doc.get('schema')}'")
+    expect(isinstance(doc["bench"], str) and doc["bench"],
+           "bench: bench must be a non-empty string")
+    expect(isinstance(doc["config"], dict), "bench: config must be an object")
+    expect(isinstance(doc["rows"], list) and doc["rows"],
+           "bench: rows must be a non-empty array")
+    for i, row in enumerate(doc["rows"]):
+        where = f"bench: rows[{i}]"
+        expect_keys(row, ["method", "seconds"], where)
+        expect(isinstance(row["method"], str) and row["method"],
+               f"{where}: method must be a non-empty string")
+        expect(is_number(row["seconds"]) and row["seconds"] >= 0,
+               f"{where}: seconds must be a non-negative number")
+    validate_metrics(doc["metrics"])
+    return f"{doc['bench']}, {len(doc['rows'])} rows"
+
+
+def validate_stream_telemetry(doc):
+    expect_keys(doc, ["schema", "facts_observed", "decisions_true",
+                      "decisions_false", "deferrals", "num_sources"],
+                "stream_telemetry")
+    for key in ("facts_observed", "decisions_true", "decisions_false",
+                "deferrals", "num_sources"):
+        expect(isinstance(doc[key], int) and doc[key] >= 0,
+               f"stream_telemetry: {key} must be a non-negative integer")
+    expect(doc["decisions_true"] + doc["decisions_false"]
+           == doc["facts_observed"],
+           "stream_telemetry: decisions_true + decisions_false must "
+           "equal facts_observed")
+    return f"{doc['facts_observed']} facts observed"
+
+
+def detect_kind(doc):
+    if not isinstance(doc, dict):
+        raise Invalid("top level must be a JSON object")
+    schema = doc.get("schema")
+    if schema == "corrob.telemetry/1":
+        return "telemetry", validate_telemetry
+    if schema == "corrob.bench/1":
+        return "bench", validate_bench
+    if schema == "corrob.stream_telemetry/1":
+        return "stream_telemetry", validate_stream_telemetry
+    if "traceEvents" in doc:
+        return "trace", validate_trace
+    if "counters" in doc and "histograms" in doc:
+        return "metrics", validate_metrics
+    raise Invalid("cannot detect artifact kind (no schema marker, "
+                  "traceEvents, or counters/histograms)")
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 1
+    failures = 0
+    for path in argv[1:]:
+        try:
+            with open(path, "r", encoding="utf-8") as f:
+                doc = json.load(f)
+            kind, validator = detect_kind(doc)
+            summary = validator(doc)
+            print(f"{path}: OK ({kind}: {summary})")
+        except (OSError, json.JSONDecodeError, Invalid) as error:
+            print(f"{path}: FAIL: {error}", file=sys.stderr)
+            failures += 1
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
