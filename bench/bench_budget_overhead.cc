@@ -1,0 +1,94 @@
+// Overhead of the execution-budget checks (core/run_context.h) on the
+// TwoEstimate sweep kernel, recorded as BENCH_budget_overhead.json.
+// Three arms over the same synthetic corpus:
+//   unbounded       RunContext::Unbounded() — the legacy code path
+//   cancel_armed    live CancellationToken that never fires
+//   deadline_armed  far-future deadline (clock read per boundary poll)
+// The acceptance bar for this subsystem is <= 2% median overhead on
+// the unarmed ("unbounded" vs a bounded-but-idle) path; the armed
+// arms document what a real deployment pays for interruptibility.
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/budget.h"
+#include "core/run_context.h"
+#include "core/two_estimate.h"
+#include "synth/synthetic.h"
+
+int main(int argc, char** argv) {
+  corrob::FlagParser flags = corrob::bench::ParseFlags(argc, argv);
+  corrob::SyntheticOptions options;
+  options.num_facts = static_cast<int32_t>(flags.GetInt("facts", 100000));
+  options.num_sources = 10;
+  options.num_inaccurate = 2;
+  options.eta = 0.02;
+  options.seed = static_cast<uint64_t>(flags.GetInt("seed", 77));
+  const int repetitions = static_cast<int>(flags.GetInt("reps", 5));
+  corrob::TwoEstimateOptions method_options;
+  method_options.num_threads = static_cast<int>(flags.GetInt("threads", 1));
+
+  corrob::bench::PrintHeader(
+      "Budget-check overhead",
+      "Median TwoEstimate wall clock with the execution budget "
+      "disarmed vs armed (never-firing token / far-future deadline). "
+      "The disarmed delta is the price every run pays for the budget "
+      "subsystem existing; the bar is <= 2%.");
+
+  corrob::SyntheticDataset data =
+      corrob::GenerateSynthetic(options).ValueOrDie();
+  corrob::TwoEstimateCorroborator two_estimate(method_options);
+
+  corrob::bench::BenchReport report("budget_overhead", flags);
+  report.SetConfig("facts", static_cast<int64_t>(options.num_facts));
+  report.SetConfig("seed", static_cast<int64_t>(options.seed));
+  report.SetConfig("reps", static_cast<int64_t>(repetitions));
+  report.SetConfig("threads",
+                   static_cast<int64_t>(method_options.num_threads));
+
+  corrob::CancellationToken token;
+  corrob::RunContext cancel_armed;
+  cancel_armed.WithCancellation(&token);
+  corrob::RunContext deadline_armed;
+  deadline_armed.WithDeadline(corrob::Deadline::AfterMs(
+      corrob::obs::MonotonicClock::Get(), 1e9));
+
+  auto median_seconds = [&](const corrob::RunContext& context) {
+    std::vector<double> seconds;
+    for (int rep = 0; rep < repetitions; ++rep) {
+      corrob::StopwatchNs watch;
+      auto result = two_estimate.Run(data.dataset, context);
+      seconds.push_back(watch.ElapsedSeconds());
+      result.ValueOrDie();
+    }
+    std::sort(seconds.begin(), seconds.end());
+    return seconds[seconds.size() / 2];
+  };
+
+  const double unbounded =
+      median_seconds(corrob::RunContext::Unbounded());
+  corrob::TablePrinter table({"Arm", "Seconds (median)", "Overhead"});
+  auto record = [&](const std::string& arm, double seconds) {
+    const double overhead_pct =
+        unbounded > 0.0 ? 100.0 * (seconds / unbounded - 1.0) : 0.0;
+    corrob::obs::JsonValue row =
+        corrob::bench::BenchReport::Row(arm, seconds);
+    row.Set("overhead_pct", corrob::obs::JsonValue::Double(overhead_pct));
+    report.AddRow(std::move(row));
+    table.AddRow({arm, corrob::FormatDouble(seconds, 4),
+                  arm == "unbounded"
+                      ? "-"
+                      : corrob::FormatDouble(overhead_pct, 2) + "%"});
+  };
+
+  record("unbounded", unbounded);
+  record("cancel_armed", median_seconds(cancel_armed));
+  record("deadline_armed", median_seconds(deadline_armed));
+
+  std::fputs(table.ToString().c_str(), stdout);
+  report.Write();
+  return 0;
+}

@@ -4,8 +4,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include "common/budget.h"
 #include "common/failpoint.h"
 #include "core/bayes_estimate.h"
+#include "core/run_context.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "core/fact_group.h"
@@ -96,6 +98,36 @@ void BM_TwoEstimateFull(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_TwoEstimateFull)->Arg(10000)->Arg(36916);
+
+// Per-iteration cost of the execution-budget machinery on the
+// TwoEstimate sweep kernel (the acceptance bar is <= 2% for the
+// disarmed arm; see bench_budget_overhead for the recorded number):
+//   /0 unbounded — RunContext::Unbounded(), byte-for-byte the legacy
+//        code path (null sweep stop, no snapshots);
+//   /1 cancel-armed — a live CancellationToken that never fires:
+//        per-iteration snapshot plus relaxed-atomic polls at chunk
+//        boundaries;
+//   /2 deadline-armed — a far-future deadline: arm /1 plus a
+//        monotonic clock read per boundary poll.
+void BM_TwoEstimateBudgetChecks(benchmark::State& state) {
+  const SyntheticDataset& data = SharedSynthetic(100000);
+  TwoEstimateCorroborator two_estimate;
+  CancellationToken token;
+  RunContext context;
+  if (state.range(0) == 1) {
+    context.WithCancellation(&token);
+  } else if (state.range(0) == 2) {
+    context.WithDeadline(
+        Deadline::AfterMs(obs::MonotonicClock::Get(), 1e9));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        two_estimate.Run(data.dataset, context).ValueOrDie());
+  }
+  state.SetItemsProcessed(state.iterations() * 100000);
+}
+BENCHMARK(BM_TwoEstimateBudgetChecks)->Arg(0)->Arg(1)->Arg(2)
+    ->Unit(benchmark::kMillisecond);
 
 // Thread-scaling sweep for the parallel vote-matrix sweeps: same
 // 100k-statement synthetic corpus at 1/2/4/8 worker threads. Results

@@ -4,6 +4,7 @@
 #include <memory>
 #include <optional>
 
+#include "common/budget.h"
 #include "common/csv.h"
 #include "common/failpoint.h"
 #include "common/flags.h"
@@ -14,6 +15,7 @@
 #include "core/online.h"
 #include "core/online_checkpoint.h"
 #include "core/registry.h"
+#include "core/run_context.h"
 #include "data/dataset_io.h"
 #include "data/dataset_stats.h"
 #include "data/golden_io.h"
@@ -115,6 +117,22 @@ GLOBAL FLAGS
   --metrics <file>
       Write a JSON snapshot of the process metrics (counters, gauges,
       histograms) accumulated by the command.
+  --timeout-ms N
+      Wall-clock budget for the corroboration work. On expiry the run
+      stops at its next iteration/round boundary and reports its
+      best-so-far answer (`corrob stream` checkpoints and exits 0).
+  --max-rounds N
+      Cap fixpoint iterations / Gibbs sweeps / IncEstimate selection
+      rounds; for `corrob stream`, total observed facts.
+  --max-memory-mb N
+      Refuse runs whose resident vote matrix would exceed this size.
+  --max-facts-per-round N
+      Cap how many facts one IncEstimate round may commit.
+
+  Ctrl-C (SIGINT/SIGTERM) requests the same graceful stop as an
+  expired deadline: in-flight results are finalized best-so-far and
+  `corrob stream` saves its checkpoint before exiting 0. A second
+  signal hard-exits with status 130.
 
 DATASET CSV
   fact,<source1>,...,<sourceN>[,__truth__]   with cells T, F or '-'.
@@ -150,6 +168,56 @@ Result<CorroboratorOptions> SharedOptions(const FlagParser& flags) {
   return options;
 }
 
+/// Builds the execution budget shared by every subcommand from the
+/// global --timeout-ms / --max-rounds / --max-memory-mb /
+/// --max-facts-per-round flags, parented on the process shutdown
+/// token so Ctrl-C cancels in-flight work at its next boundary.
+Result<RunContext> BuildRunContext(const FlagParser& flags) {
+  RunContext context;
+  context.WithCancellation(&ProcessShutdownToken());
+  CORROB_ASSIGN_OR_RETURN(int64_t timeout_ms,
+                          flags.TryGetInt("timeout-ms", 0));
+  if (timeout_ms < 0) {
+    return Status::InvalidArgument("--timeout-ms must be >= 0, got " +
+                                   std::to_string(timeout_ms));
+  }
+  if (timeout_ms > 0) {
+    context.WithDeadline(Deadline::AfterMs(
+        obs::MonotonicClock::Get(), static_cast<double>(timeout_ms)));
+  }
+  ResourceBudget budget;
+  CORROB_ASSIGN_OR_RETURN(int64_t memory_mb,
+                          flags.TryGetInt("max-memory-mb", 0));
+  CORROB_ASSIGN_OR_RETURN(budget.max_rounds,
+                          flags.TryGetInt("max-rounds", 0));
+  CORROB_ASSIGN_OR_RETURN(budget.max_facts_per_round,
+                          flags.TryGetInt("max-facts-per-round", 0));
+  budget.max_vote_matrix_bytes = memory_mb * (1024 * 1024);
+  CORROB_RETURN_NOT_OK(ValidateResourceBudget(budget));
+  context.WithBudget(budget);
+  return context;
+}
+
+/// Reports an early termination (deadline, Ctrl-C, exhausted budget)
+/// on `err` — the decisions CSV may go to `out` — and records the
+/// signal-to-return cancellation latency histogram.
+void NoteTermination(const CorroborationResult& result, std::ostream& err) {
+  if (!TerminatedEarly(result.termination)) return;
+  err << "corrob: " << result.algorithm << " terminated early ("
+      << TerminationName(result.termination)
+      << "); results are the best-so-far state after " << result.iterations
+      << " iteration(s)\n";
+  if (result.termination == Termination::kCancelled) {
+    const int64_t cancelled_at = ProcessShutdownToken().cancelled_at_nanos();
+    if (cancelled_at > 0) {
+      const int64_t now = obs::MonotonicClock::Get()->NowNanos();
+      obs::MetricsRegistry::Global()
+          .GetHistogram("corrob.budget.cancel_latency_ms")
+          ->Record((now - cancelled_at) / 1000000);
+    }
+  }
+}
+
 Result<LabeledDataset> LoadInput(const FlagParser& flags,
                                  std::ostream& err) {
   std::string path = flags.GetString("input", "");
@@ -158,6 +226,7 @@ Result<LabeledDataset> LoadInput(const FlagParser& flags,
   }
   DatasetCsvOptions options;
   options.lenient = flags.GetBool("lenient", false);
+  options.cancel = &ProcessShutdownToken();
   ParseReport report;
   auto loaded = LoadDatasetCsv(path, options, &report);
   if (loaded.ok() && options.lenient && !report.AllRowsLoaded()) {
@@ -186,9 +255,12 @@ int CmdRun(const FlagParser& flags, std::ostream& out, std::ostream& err) {
   std::string algorithm_name = AlgorithmFlag(flags, "IncEstHeu");
   auto algorithm = MakeCorroborator(algorithm_name, shared.ValueOrDie());
   if (!algorithm.ok()) return Fail(err, algorithm.status());
-  auto result = algorithm.ValueOrDie()->Run(dataset);
+  auto context = BuildRunContext(flags);
+  if (!context.ok()) return Fail(err, context.status());
+  auto result = algorithm.ValueOrDie()->Run(dataset, context.ValueOrDie());
   if (!result.ok()) return Fail(err, result.status());
   const CorroborationResult& corroboration = result.ValueOrDie();
+  NoteTermination(corroboration, err);
 
   if (!telemetry_path.empty()) {
     if (corroboration.telemetry == nullptr) {
@@ -262,12 +334,16 @@ int CmdEval(const FlagParser& flags, std::ostream& out, std::ostream& err) {
 
   auto shared = SharedOptions(flags);
   if (!shared.ok()) return Fail(err, shared.status());
+  auto context = BuildRunContext(flags);
+  if (!context.ok()) return Fail(err, context.status());
   TablePrinter table({"Algorithm", "Precision", "Recall", "Accuracy", "F-1"});
   for (const std::string& name : names) {
     auto algorithm = MakeCorroborator(name, shared.ValueOrDie());
     if (!algorithm.ok()) return Fail(err, algorithm.status());
-    auto result = algorithm.ValueOrDie()->Run(labeled.dataset);
+    auto result =
+        algorithm.ValueOrDie()->Run(labeled.dataset, context.ValueOrDie());
     if (!result.ok()) return Fail(err, result.status());
+    NoteTermination(result.ValueOrDie(), err);
     BinaryMetrics metrics = EvaluateOnGolden(result.ValueOrDie(), golden);
     table.AddRow(name, {metrics.precision, metrics.recall, metrics.accuracy,
                         metrics.f1});
@@ -416,9 +492,13 @@ int CmdTrajectory(const FlagParser& flags, std::ostream& out,
     return Fail(err, "unknown --strategy '" + strategy +
                          "' (expected IncEstHeu|IncEstPS)");
   }
+  auto context = BuildRunContext(flags);
+  if (!context.ok()) return Fail(err, context.status());
   IncEstimateCorroborator algorithm(options);
-  auto result = algorithm.Run(loaded.ValueOrDie().dataset);
+  auto result =
+      algorithm.Run(loaded.ValueOrDie().dataset, context.ValueOrDie());
   if (!result.ok()) return Fail(err, result.status());
+  NoteTermination(result.ValueOrDie(), err);
   Status status = SaveTrajectoryCsv(output, loaded.ValueOrDie().dataset,
                                     result.ValueOrDie());
   if (!status.ok()) return Fail(err, status);
@@ -439,11 +519,16 @@ int CmdCompare(const FlagParser& flags, std::ostream& out,
 
   auto shared = SharedOptions(flags);
   if (!shared.ok()) return Fail(err, shared.status());
+  auto context = BuildRunContext(flags);
+  if (!context.ok()) return Fail(err, context.status());
   auto run = [&](const std::string& name) -> Result<CorroborationResult> {
     CORROB_ASSIGN_OR_RETURN(
         std::unique_ptr<Corroborator> algorithm,
         MakeCorroborator(name, shared.ValueOrDie()));
-    return algorithm->Run(dataset);
+    CORROB_ASSIGN_OR_RETURN(CorroborationResult result,
+                            algorithm->Run(dataset, context.ValueOrDie()));
+    NoteTermination(result, err);
+    return result;
   };
   auto left = run(left_name);
   if (!left.ok()) return Fail(err, left.status());
@@ -507,9 +592,19 @@ int CmdCompare(const FlagParser& flags, std::ostream& out,
 /// exact fact index.
 Status StreamFacts(const Dataset& dataset, OnlineCorroborator& online,
                    FactId start, const std::string& checkpoint_path,
-                   int64_t checkpoint_every,
-                   std::vector<std::vector<std::string>>& decision_rows) {
+                   int64_t checkpoint_every, const RunContext& context,
+                   std::vector<std::vector<std::string>>& decision_rows,
+                   std::optional<Termination>* interrupted) {
   for (FactId f = start; f < dataset.num_facts(); ++f) {
+    // One observed fact is the stream's "round": the budget boundary
+    // sits between facts, so the state at an interrupt is always an
+    // exact prefix of the uninterrupted run and a later --resume
+    // continues bit-identically.
+    if (auto interrupt =
+            context.CheckIterationBoundary(online.facts_observed())) {
+      *interrupted = interrupt;
+      return Status::OK();
+    }
     CORROB_FAILPOINT("cli.stream.observe");
     auto votes = dataset.VotesOnFact(f);
     CORROB_ASSIGN_OR_RETURN(
@@ -583,10 +678,14 @@ int CmdStream(const FlagParser& flags, std::ostream& out,
     }
   }
 
+  auto context = BuildRunContext(flags);
+  if (!context.ok()) return Fail(err, context.status());
   std::vector<std::vector<std::string>> decision_rows;
   decision_rows.push_back({"fact", "probability", "decision"});
-  Status streamed = StreamFacts(dataset, online, start, checkpoint,
-                                checkpoint_every, decision_rows);
+  std::optional<Termination> interrupted;
+  Status streamed =
+      StreamFacts(dataset, online, start, checkpoint, checkpoint_every,
+                  context.ValueOrDie(), decision_rows, &interrupted);
   if (!streamed.ok()) {
     // Best-effort final snapshot so an injected or real fault loses at
     // most the decisions CSV, never the trust state.
@@ -602,6 +701,17 @@ int CmdStream(const FlagParser& flags, std::ostream& out,
   if (!checkpoint.empty()) {
     Status saved = SaveOnlineSnapshot(checkpoint, online);
     if (!saved.ok()) return Fail(err, saved);
+  }
+  if (interrupted.has_value()) {
+    // Graceful stop: the decisions so far still go out below and the
+    // command exits 0 — the checkpoint (when configured) carries the
+    // exact prefix state for --resume.
+    err << "corrob: stream interrupted (" << TerminationName(*interrupted)
+        << ") at fact " << online.facts_observed();
+    if (!checkpoint.empty()) {
+      err << "; checkpoint saved, continue with --resume";
+    }
+    err << "\n";
   }
 
   std::string output = flags.GetString("output", "");
@@ -649,7 +759,7 @@ int CmdStream(const FlagParser& flags, std::ostream& out,
     out << "wrote stream telemetry to " << telemetry_path << "\n";
   }
   out << "observed " << online.facts_observed() << " facts ("
-      << dataset.num_facts() - start << " this run)\n";
+      << online.facts_observed() - start << " this run)\n";
   return 0;
 }
 

@@ -3,8 +3,12 @@
 #include <vector>
 
 #include "cli/cli.h"
+#include "common/budget.h"
 
 int main(int argc, char** argv) {
+  // First Ctrl-C cancels the in-flight work at its next boundary so
+  // results/checkpoints are flushed; a second one hard-exits (130).
+  corrob::InstallShutdownSignalHandlers();
   std::vector<std::string> args(argv + 1, argv + argc);
   return corrob::RunCli(args, std::cout, std::cerr);
 }

@@ -1,0 +1,131 @@
+#include "common/budget.h"
+
+#include <algorithm>
+#include <chrono>
+#include <csignal>
+#include <cstdlib>
+#include <string>
+#include <thread>
+
+namespace corrob {
+
+void CancellationToken::Cancel(int64_t now_nanos) {
+  // The timestamp is advisory (latency metrics); store it before the
+  // flag so any observer that sees cancelled() also sees the time.
+  if (now_nanos > 0) {
+    int64_t expected = 0;
+    cancelled_at_nanos_.compare_exchange_strong(expected, now_nanos,
+                                                std::memory_order_relaxed);
+  }
+  cancelled_.store(true, std::memory_order_release);
+}
+
+int64_t CancellationToken::cancelled_at_nanos() const {
+  if (cancelled_.load(std::memory_order_acquire)) {
+    int64_t at = cancelled_at_nanos_.load(std::memory_order_relaxed);
+    if (at > 0) return at;
+  }
+  return parent_ != nullptr ? parent_->cancelled_at_nanos() : 0;
+}
+
+bool CancellationToken::WaitForMs(double milliseconds) const {
+  // Chunked polling keeps the wait interruptible without the
+  // signal-unsafe machinery of a condition variable: a pending
+  // cancellation is observed within one slice.
+  constexpr double kSliceMs = 5.0;
+  double remaining = milliseconds;
+  while (remaining > 0.0) {
+    if (cancelled()) return true;
+    const double slice = std::min(remaining, kSliceMs);
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(slice));
+    remaining -= slice;
+  }
+  return cancelled();
+}
+
+Deadline Deadline::After(const obs::Clock* clock, int64_t budget_nanos) {
+  Deadline deadline;
+  deadline.clock_ = clock;
+  const int64_t now = clock->NowNanos();
+  const int64_t budget = std::max<int64_t>(0, budget_nanos);
+  const int64_t headroom = now > 0
+                               ? std::numeric_limits<int64_t>::max() - now
+                               : std::numeric_limits<int64_t>::max();
+  deadline.deadline_nanos_ = budget > headroom
+                                 ? std::numeric_limits<int64_t>::max()
+                                 : now + budget;
+  return deadline;
+}
+
+Deadline Deadline::AfterMs(const obs::Clock* clock, double milliseconds) {
+  return After(clock,
+               static_cast<int64_t>(std::max(0.0, milliseconds) * 1e6));
+}
+
+int64_t Deadline::remaining_nanos() const {
+  if (clock_ == nullptr) return std::numeric_limits<int64_t>::max();
+  return std::max<int64_t>(0, deadline_nanos_ - clock_->NowNanos());
+}
+
+Status ValidateResourceBudget(const ResourceBudget& budget) {
+  if (budget.max_rounds < 0) {
+    return Status::InvalidArgument("budget max_rounds must be >= 0, got " +
+                                   std::to_string(budget.max_rounds));
+  }
+  if (budget.max_vote_matrix_bytes < 0) {
+    return Status::InvalidArgument(
+        "budget max_vote_matrix_bytes must be >= 0, got " +
+        std::to_string(budget.max_vote_matrix_bytes));
+  }
+  if (budget.max_facts_per_round < 0) {
+    return Status::InvalidArgument(
+        "budget max_facts_per_round must be >= 0, got " +
+        std::to_string(budget.max_facts_per_round));
+  }
+  return Status::OK();
+}
+
+namespace {
+
+std::atomic<int> g_shutdown_signals{0};
+// Cached before handlers are installed: a C++ magic-static must not
+// be first-initialized inside a signal handler.
+const obs::Clock* g_signal_clock = nullptr;
+
+extern "C" void HandleShutdownSignal(int /*signum*/) {
+  const int prior = g_shutdown_signals.fetch_add(1, std::memory_order_relaxed);
+  if (prior >= 1) {
+    // Second signal: the run is not polling (or the user is
+    // impatient) — hard exit, shell convention for SIGINT death.
+    _exit(130);
+  }
+  const int64_t now =
+      g_signal_clock != nullptr ? g_signal_clock->NowNanos() : 0;
+  ProcessShutdownToken().Cancel(now);
+}
+
+}  // namespace
+
+CancellationToken& ProcessShutdownToken() {
+  static CancellationToken token;
+  return token;
+}
+
+void InstallShutdownSignalHandlers() {
+  // Touch the statics now so the handler never initializes them.
+  ProcessShutdownToken();
+  g_signal_clock = obs::MonotonicClock::Get();
+  // Replacing the previous handler is the point: installation is
+  // idempotent and the CLI owns signal disposition.
+  // lint: discard-ok: the displaced handler is irrelevant.
+  (void)std::signal(SIGINT, HandleShutdownSignal);
+  // lint: discard-ok: same as above for SIGTERM.
+  (void)std::signal(SIGTERM, HandleShutdownSignal);
+}
+
+int ShutdownSignalCount() {
+  return g_shutdown_signals.load(std::memory_order_relaxed);
+}
+
+}  // namespace corrob

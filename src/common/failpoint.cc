@@ -40,7 +40,7 @@ Result<StatusCode> StatusCodeFromName(std::string_view name) {
       StatusCode::kNotFound,        StatusCode::kAlreadyExists,
       StatusCode::kFailedPrecondition, StatusCode::kIoError,
       StatusCode::kParseError,      StatusCode::kNotConverged,
-      StatusCode::kInternal,
+      StatusCode::kInternal,        StatusCode::kCancelled,
   };
   for (StatusCode code : kCodes) {
     if (name == StatusCodeName(code)) return code;

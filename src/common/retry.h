@@ -2,9 +2,11 @@
 #define CORROB_COMMON_RETRY_H_
 
 #include <cstdint>
+#include <string>
 #include <type_traits>
 #include <utility>
 
+#include "common/budget.h"
 #include "common/result.h"
 #include "common/status.h"
 
@@ -47,7 +49,12 @@ bool IsTransientCode(StatusCode code);
 /// Observability of one Retry() call.
 struct RetryStats {
   int32_t attempts = 0;
+  /// Scheduled backoff; a cancelled wait still records its full
+  /// scheduled delay (what the call *would* have slept).
   double total_backoff_ms = 0.0;
+  /// True when the call returned kCancelled because a
+  /// CancellationToken fired before or during a backoff wait.
+  bool cancelled = false;
 };
 
 namespace retry_internal {
@@ -80,10 +87,18 @@ void SleepForMs(double milliseconds);
 /// Runs `fn` (returning Status or Result<T>) up to
 /// `policy.max_attempts` times, backing off between attempts, and
 /// returns the first success or the last failure. Only transient
-/// codes (IsTransientCode) are retried; a deterministic failure is
-/// returned immediately. An invalid policy fails without calling `fn`.
+/// codes (IsTransientCode) are retried; a deterministic failure —
+/// including kCancelled from `fn` itself — is returned immediately.
+/// An invalid policy fails without calling `fn`.
+///
+/// `cancel` (optional) makes the backoff waits interruptible: when
+/// the token fires before or during a wait, the call stops retrying
+/// and returns kCancelled (carrying the last attempt's failure in the
+/// message) with stats->cancelled set, so a process shutting down
+/// never sits out a multi-second backoff.
 template <typename Fn>
-auto Retry(const RetryPolicy& policy, Fn&& fn, RetryStats* stats = nullptr)
+auto Retry(const RetryPolicy& policy, Fn&& fn, RetryStats* stats = nullptr,
+           const CancellationToken* cancel = nullptr)
     -> std::decay_t<decltype(fn())> {
   if (Status valid = ValidateRetryPolicy(policy); !valid.ok()) {
     if (stats != nullptr) *stats = RetryStats{};
@@ -102,7 +117,24 @@ auto Retry(const RetryPolicy& policy, Fn&& fn, RetryStats* stats = nullptr)
     }
     double delay_ms = schedule.NextDelayMs();
     local.total_backoff_ms += delay_ms;
-    if (policy.enable_sleep) retry_internal::SleepForMs(delay_ms);
+    bool interrupted = false;
+    if (cancel != nullptr && cancel->cancelled()) {
+      interrupted = true;
+    } else if (policy.enable_sleep) {
+      if (cancel != nullptr) {
+        interrupted = cancel->WaitForMs(delay_ms);
+      } else {
+        retry_internal::SleepForMs(delay_ms);
+      }
+    }
+    if (interrupted) {
+      local.cancelled = true;
+      if (stats != nullptr) *stats = local;
+      return Status::Cancelled(
+          "retry cancelled during backoff after " +
+          std::to_string(attempt) + " attempt(s); last failure: " +
+          status.ToString());
+    }
   }
 }
 

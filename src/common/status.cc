@@ -24,6 +24,8 @@ std::string_view StatusCodeName(StatusCode code) {
       return "NotConverged";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kCancelled:
+      return "Cancelled";
   }
   return "Unknown";
 }

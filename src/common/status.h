@@ -22,6 +22,7 @@ enum class StatusCode {
   kParseError = 7,
   kNotConverged = 8,
   kInternal = 9,
+  kCancelled = 10,
 };
 
 /// Returns a stable human-readable name for `code` (e.g. "InvalidArgument").
@@ -78,6 +79,9 @@ class [[nodiscard]] Status {
   }
   [[nodiscard]] static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  [[nodiscard]] static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
 
   [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,6 +1,7 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
+#include <atomic>
 
 #include "common/logging.h"
 #include "obs/metrics.h"
@@ -88,12 +89,25 @@ void ParallelFor(int64_t count, int num_threads,
   pool.Wait();
 }
 
-void ParallelApply(ThreadPool* pool, int64_t count,
-                   const std::function<void(int64_t, int64_t)>& fn) {
-  if (count <= 0) return;
+bool ParallelApply(ThreadPool* pool, int64_t count,
+                   const std::function<void(int64_t, int64_t)>& fn,
+                   const StopSignal* stop) {
+  if (count <= 0) return true;
   if (pool == nullptr || pool->num_threads() <= 1 || count == 1) {
-    fn(0, count);
-    return;
+    if (stop == nullptr || !stop->armed()) {
+      fn(0, count);
+      return true;
+    }
+    // Inline path with a live stop signal: slice the range so a
+    // cancellation or deadline is observed without waiting for the
+    // whole sweep. The slicing never changes results — each index is
+    // still computed exactly once, in ascending order.
+    constexpr int64_t kInlineSlice = 8192;
+    for (int64_t begin = 0; begin < count; begin += kInlineSlice) {
+      if (stop->ShouldStop()) return false;
+      fn(begin, std::min(count, begin + kInlineSlice));
+    }
+    return true;
   }
   // A few chunks per worker smooths imbalance between ranges without
   // per-index submission overhead. The chunk layout only affects
@@ -108,18 +122,34 @@ void ParallelApply(ThreadPool* pool, int64_t count,
       obs::MetricsRegistry::Global().GetCounter(
           "corrob.thread_pool.chunks_dispatched");
   chunks_dispatched->Add(chunks);
+  // Shared latch for the stop-aware path: a chunk that observes the
+  // stop signal sets it so later chunks skip without re-reading the
+  // (potentially costlier) deadline clock.
+  std::atomic<bool> stopped{false};
   int64_t begin = 0;
   for (int64_t c = 0; c < chunks; ++c) {
     const int64_t end = begin + base + (c < extra ? 1 : 0);
     // The chunk span runs on the worker thread, so the fan-out shows
     // as one slice per worker in the trace viewer.
-    pool->Submit([&fn, begin, end] {
-      CORROB_TRACE_SPAN("ParallelApply::chunk");
-      fn(begin, end);
-    });
+    if (stop != nullptr && stop->armed()) {
+      pool->Submit([&fn, &stopped, stop, begin, end] {
+        if (stopped.load(std::memory_order_relaxed) || stop->ShouldStop()) {
+          stopped.store(true, std::memory_order_relaxed);
+          return;
+        }
+        CORROB_TRACE_SPAN("ParallelApply::chunk");
+        fn(begin, end);
+      });
+    } else {
+      pool->Submit([&fn, begin, end] {
+        CORROB_TRACE_SPAN("ParallelApply::chunk");
+        fn(begin, end);
+      });
+    }
     begin = end;
   }
   pool->Wait();
+  return !stopped.load(std::memory_order_relaxed);
 }
 
 int DefaultThreadCount() {

@@ -10,6 +10,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/budget.h"
+
 namespace corrob {
 
 /// Fixed-size worker pool for embarrassingly parallel experiment
@@ -65,8 +67,17 @@ void ParallelFor(int64_t count, int num_threads,
 /// `fn` must only touch state owned by indices inside its range; under
 /// that contract every element is computed exactly as in a sequential
 /// loop, so results are bit-identical at any worker count.
-void ParallelApply(ThreadPool* pool, int64_t count,
-                   const std::function<void(int64_t, int64_t)>& fn);
+///
+/// `stop` (optional) is polled at chunk boundaries: once it fires,
+/// chunks that have not started are skipped and the call returns
+/// false. A sweep cut short this way has written an unspecified
+/// subset of its outputs — callers must discard the partial sweep
+/// (e.g. restore a snapshot) before handing results out; the
+/// determinism contract only covers completed sweeps. Returns true
+/// when every range ran.
+bool ParallelApply(ThreadPool* pool, int64_t count,
+                   const std::function<void(int64_t, int64_t)>& fn,
+                   const StopSignal* stop = nullptr);
 
 /// Deterministic parallel reduction over [0, count).
 ///

@@ -23,13 +23,14 @@ struct SourceCounts {
 }  // namespace
 
 Result<CorroborationResult> BayesEstimateCorroborator::Run(
-    const Dataset& dataset) const {
+    const Dataset& dataset, const RunContext& context) const {
   if (options_.iterations < 1) {
     return Status::InvalidArgument("iterations must be >= 1");
   }
   if (options_.burn_in < 0 || options_.burn_in >= options_.iterations) {
     return Status::InvalidArgument("burn_in must be in [0, iterations)");
   }
+  CORROB_RETURN_NOT_OK(ValidateResourceBudget(context.budget()));
 
   CORROB_TRACE_SPAN("BayesEstimate::Run");
   const size_t facts = static_cast<size_t>(dataset.num_facts());
@@ -65,7 +66,17 @@ Result<CorroborationResult> BayesEstimateCorroborator::Run(
   std::vector<double> truth_sum(facts, 0.0);
   int samples_kept = 0;
 
+  // The Gibbs chain is sequential, so the only interruption points
+  // are sweep boundaries: an interrupted run keeps every completed
+  // sweep's samples and is bit-identical to a run configured with
+  // that many iterations.
+  Termination termination = Termination::kConverged;
+  int completed_sweeps = 0;
   for (int sweep = 0; sweep < options_.iterations; ++sweep) {
+    if (auto interrupt = context.CheckIterationBoundary(sweep)) {
+      termination = *interrupt;
+      break;
+    }
     int64_t flips = 0;
     for (FactId f = 0; f < dataset.num_facts(); ++f) {
       size_t fi = static_cast<size_t>(f);
@@ -131,15 +142,24 @@ Result<CorroborationResult> BayesEstimateCorroborator::Run(
                           : 0.0,
                       agreement);
     }
+    completed_sweeps = sweep + 1;
   }
 
   CorroborationResult result;
   result.algorithm = std::string(name());
   result.fact_probability.resize(facts);
-  CORROB_CHECK(samples_kept > 0);
-  for (size_t fi = 0; fi < facts; ++fi) {
-    result.fact_probability[fi] =
-        truth_sum[fi] / static_cast<double>(samples_kept);
+  CORROB_CHECK(samples_kept > 0 || TerminatedEarly(termination));
+  if (samples_kept > 0) {
+    for (size_t fi = 0; fi < facts; ++fi) {
+      result.fact_probability[fi] =
+          truth_sum[fi] / static_cast<double>(samples_kept);
+    }
+  } else {
+    // Interrupted inside burn-in, before any kept sample: the best
+    // available state is the chain's current labels.
+    for (size_t fi = 0; fi < facts; ++fi) {
+      result.fact_probability[fi] = label[fi] != 0 ? 1.0 : 0.0;
+    }
   }
   // Report source trust as precision against the decided labels.
   result.source_trust.assign(sources, 0.0);
@@ -155,11 +175,12 @@ Result<CorroborationResult> BayesEstimateCorroborator::Run(
     result.source_trust[static_cast<size_t>(s)] =
         correct / static_cast<double>(votes.size());
   }
-  result.iterations = options_.iterations;
+  result.iterations = completed_sweeps;
+  result.termination = termination;
   if (telemetry != nullptr) {
-    telemetry->iterations = options_.iterations;
+    telemetry->iterations = completed_sweeps;
     // A sampler has no fixpoint; "converged" records that the
-    // configured burn-in left at least one kept sample.
+    // completed sweeps left at least one kept sample.
     telemetry->converged = samples_kept > 0;
     result.telemetry = std::move(telemetry);
   }

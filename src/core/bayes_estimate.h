@@ -55,7 +55,9 @@ class BayesEstimateCorroborator final : public Corroborator {
       : options_(options) {}
 
   std::string_view name() const override { return "BayesEstimate"; }
-  [[nodiscard]] Result<CorroborationResult> Run(const Dataset& dataset) const override;
+  using Corroborator::Run;
+  [[nodiscard]] Result<CorroborationResult> Run(
+      const Dataset& dataset, const RunContext& context) const override;
 
   const BayesEstimateOptions& options() const { return options_; }
 

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "core/run_context.h"
 #include "data/dataset.h"
 #include "obs/telemetry.h"
 
@@ -49,6 +50,11 @@ struct CorroborationResult {
   /// with collect_telemetry. Deliberately clock-free: two runs with the
   /// same options and dataset produce byte-identical telemetry.
   std::shared_ptr<obs::RunTelemetry> telemetry;
+  /// Why the run stopped. kConverged / kIterationCap are the natural
+  /// outcomes; the early-termination reasons mean the RunContext cut
+  /// the run short and the scores above are its best-so-far state —
+  /// exactly the state after the last *completed* iteration or round.
+  Termination termination = Termination::kConverged;
 
   /// Decision for fact f per Eq. 2.
   bool Decide(FactId f) const {
@@ -69,10 +75,21 @@ class Corroborator {
   /// Stable algorithm name (e.g. "TwoEstimate", "IncEstHeu").
   virtual std::string_view name() const = 0;
 
-  /// Corroborates `dataset`. Fails on malformed configuration; always
-  /// succeeds on well-formed input, including empty datasets.
+  /// Corroborates `dataset` without any execution budget: never
+  /// cancelled, never expires. Fails on malformed configuration;
+  /// always succeeds on well-formed input, including empty datasets.
+  [[nodiscard]] Result<CorroborationResult> Run(const Dataset& dataset) const {
+    return Run(dataset, RunContext::Unbounded());
+  }
+
+  /// Corroborates `dataset` under `context`. Implementations poll the
+  /// context at every sequential iteration/round boundary and, when
+  /// it fires, stop gracefully: the result carries the termination
+  /// reason and the scores of the last completed iteration (bit-
+  /// identical, at any thread count, to an uninterrupted run
+  /// truncated there). `context` must outlive the call.
   [[nodiscard]] virtual Result<CorroborationResult> Run(
-      const Dataset& dataset) const = 0;
+      const Dataset& dataset, const RunContext& context) const = 0;
 };
 
 /// The corroboration score of paper Eq. 5, generalized to F votes:

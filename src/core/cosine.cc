@@ -11,7 +11,7 @@
 namespace corrob {
 
 Result<CorroborationResult> CosineCorroborator::Run(
-    const Dataset& dataset) const {
+    const Dataset& dataset, const RunContext& context) const {
   if (options_.damping < 0.0 || options_.damping >= 1.0) {
     return Status::InvalidArgument("damping must be in [0,1)");
   }
@@ -24,6 +24,7 @@ Result<CorroborationResult> CosineCorroborator::Run(
   if (options_.num_threads < 1) {
     return Status::InvalidArgument("num_threads must be >= 1");
   }
+  CORROB_RETURN_NOT_OK(ValidateResourceBudget(context.budget()));
 
   CORROB_TRACE_SPAN("Cosine::Run");
   const VoteMatrix matrix(dataset);
@@ -36,13 +37,26 @@ Result<CorroborationResult> CosineCorroborator::Run(
       MaybeStartTelemetry(options_.collect_telemetry, name(), dataset);
 
   auto vote_sign = [](uint8_t is_true) { return is_true ? 1.0 : -1.0; };
+  // `value` is rewritten in place by the truth sweep; snapshot it so a
+  // mid-sweep interruption hands back the last completed iteration.
+  const StopSignal* stop = context.sweep_stop();
+  std::vector<double> value_snapshot;
 
-  bool converged = false;
+  Termination termination = Termination::kIterationCap;
   int iteration = 0;
-  for (; iteration < options_.max_iterations; ++iteration) {
+  const auto over_budget = context.CheckMatrixBytes(matrix.ResidentBytes());
+  if (over_budget) termination = *over_budget;
+  for (; !over_budget && iteration < options_.max_iterations; ++iteration) {
+    if (auto interrupt = context.CheckIterationBoundary(iteration)) {
+      termination = *interrupt;
+      break;
+    }
+    if (stop != nullptr) value_snapshot = value;
     // Truth update, weighted by T(s)^p (negative trust flips votes),
     // partitioned by fact.
-    matrix.ForEachFact(pool.get(), [&](FactId f) {
+    bool complete = matrix.ForEachFact(
+        pool.get(),
+        [&](FactId f) {
       auto voters = matrix.FactSources(f);
       if (voters.empty()) {
         value[static_cast<size_t>(f)] = 0.0;
@@ -61,12 +75,17 @@ Result<CorroborationResult> CosineCorroborator::Run(
       value[static_cast<size_t>(f)] =
           denominator > 0.0 ? Clamp(numerator / denominator, -1.0, 1.0)
                             : 0.0;
-    });
+        },
+        stop);
 
     // Trust update: damped cosine similarity between the source's
     // vote vector and the current estimates, partitioned by source.
-    std::vector<double> next_trust = trust;
-    matrix.ForEachSource(pool.get(), [&](SourceId s) {
+    std::vector<double> next_trust;
+    if (complete) {
+      next_trust = trust;
+      complete = matrix.ForEachSource(
+          pool.get(),
+          [&](SourceId s) {
       auto voted = matrix.SourceFacts(s);
       if (voted.empty()) return;
       auto is_true = matrix.SourceVotesTrue(s);
@@ -85,7 +104,16 @@ Result<CorroborationResult> CosineCorroborator::Run(
       next_trust[static_cast<size_t>(s)] =
           options_.damping * trust[static_cast<size_t>(s)] +
           (1.0 - options_.damping) * cosine;
-    });
+          },
+          stop);
+    }
+    if (!complete) {
+      // A sweep was cut short mid-iteration: restore the values of
+      // the last completed iteration; trust was not yet replaced.
+      value = std::move(value_snapshot);
+      termination = context.SweepInterruption();
+      break;
+    }
     double max_change = 0.0;
     for (size_t s = 0; s < sources; ++s) {
       max_change = std::max(max_change, std::fabs(next_trust[s] - trust[s]));
@@ -93,7 +121,7 @@ Result<CorroborationResult> CosineCorroborator::Run(
     trust = std::move(next_trust);
     RecordIteration(telemetry.get(), iteration, max_change, trust);
     if (max_change < options_.tolerance) {
-      converged = true;
+      termination = Termination::kConverged;
       ++iteration;
       break;
     }
@@ -112,9 +140,10 @@ Result<CorroborationResult> CosineCorroborator::Run(
     result.source_trust[s] = (Clamp(trust[s], -1.0, 1.0) + 1.0) / 2.0;
   }
   result.iterations = iteration;
+  result.termination = termination;
   if (telemetry != nullptr) {
     telemetry->iterations = iteration;
-    telemetry->converged = converged;
+    telemetry->converged = termination == Termination::kConverged;
     result.telemetry = std::move(telemetry);
   }
   return result;

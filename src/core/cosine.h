@@ -39,7 +39,9 @@ class CosineCorroborator final : public Corroborator {
       : options_(options) {}
 
   std::string_view name() const override { return "Cosine"; }
-  [[nodiscard]] Result<CorroborationResult> Run(const Dataset& dataset) const override;
+  using Corroborator::Run;
+  [[nodiscard]] Result<CorroborationResult> Run(
+      const Dataset& dataset, const RunContext& context) const override;
 
   const CosineOptions& options() const { return options_; }
 

@@ -3,12 +3,24 @@
 namespace corrob {
 
 Result<CorroborationResult> CountingCorroborator::Run(
-    const Dataset& dataset) const {
+    const Dataset& dataset, const RunContext& context) const {
   if (options_.min_true_votes < 0) {
     return Status::InvalidArgument("min_true_votes must be >= 0");
   }
+  CORROB_RETURN_NOT_OK(ValidateResourceBudget(context.budget()));
   CorroborationResult result;
   result.algorithm = std::string(name());
+  // One-shot method: the only boundary is before the single pass. An
+  // already-fired context degrades to the neutral no-information
+  // answer (σ = 0.5 everywhere).
+  if (auto interrupt = context.CheckIterationBoundary(0)) {
+    result.termination = *interrupt;
+    result.fact_probability.assign(static_cast<size_t>(dataset.num_facts()),
+                                   0.5);
+    result.source_trust.assign(static_cast<size_t>(dataset.num_sources()),
+                               0.5);
+    return result;
+  }
   result.fact_probability.resize(static_cast<size_t>(dataset.num_facts()));
   const int32_t threshold = options_.min_true_votes > 0
                                 ? options_.min_true_votes

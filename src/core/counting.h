@@ -25,7 +25,9 @@ class CountingCorroborator final : public Corroborator {
       : options_(options) {}
 
   std::string_view name() const override { return "Counting"; }
-  [[nodiscard]] Result<CorroborationResult> Run(const Dataset& dataset) const override;
+  using Corroborator::Run;
+  [[nodiscard]] Result<CorroborationResult> Run(
+      const Dataset& dataset, const RunContext& context) const override;
 
   const CountingOptions& options() const { return options_; }
 

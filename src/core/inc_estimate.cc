@@ -52,6 +52,8 @@ const char* RoundKindName(IncRoundInfo::Kind kind) {
       return "one_sided_negative";
     case IncRoundInfo::Kind::kFinalTies:
       return "final_ties";
+    case IncRoundInfo::Kind::kInterrupted:
+      return "interrupted";
   }
   return "?";
 }
@@ -87,16 +89,19 @@ double IncrementalEngine::GroupProbability(int32_t g) const {
   return SignatureScore(groups_[static_cast<size_t>(g)].signature, trust_);
 }
 
-void IncrementalEngine::ComputeGroupProbabilities(
-    ThreadPool* pool, std::vector<double>* probs) const {
+bool IncrementalEngine::ComputeGroupProbabilities(
+    ThreadPool* pool, std::vector<double>* probs,
+    const StopSignal* stop) const {
   probs->resize(groups_.size());
-  ParallelApply(pool, static_cast<int64_t>(groups_.size()),
-                [this, probs](int64_t begin, int64_t end) {
-                  for (int64_t g = begin; g < end; ++g) {
-                    (*probs)[static_cast<size_t>(g)] = SignatureScore(
-                        groups_[static_cast<size_t>(g)].signature, trust_);
-                  }
-                });
+  return ParallelApply(pool, static_cast<int64_t>(groups_.size()),
+                       [this, probs](int64_t begin, int64_t end) {
+                         for (int64_t g = begin; g < end; ++g) {
+                           (*probs)[static_cast<size_t>(g)] = SignatureScore(
+                               groups_[static_cast<size_t>(g)].signature,
+                               trust_);
+                         }
+                       },
+                       stop);
 }
 
 double IncrementalEngine::EntropyDelta(int32_t g) const {
@@ -248,7 +253,7 @@ CorroborationResult IncrementalEngine::Finish(std::string algorithm_name) && {
 int32_t IncEstimateCorroborator::PickBestGroup(
     const IncrementalEngine& engine, const std::vector<int32_t>& part,
     bool is_positive, const std::vector<double>& group_probs,
-    ThreadPool* pool, double* best_delta_out) const {
+    ThreadPool* pool, const StopSignal* stop, double* best_delta_out) const {
   CORROB_TRACE_SPAN("IncEstimate::PickBestGroup");
   // Confidence-first filter: keep only groups within extreme_band of
   // the part's most extreme probability, so ΔH chooses among the most
@@ -294,14 +299,19 @@ int32_t IncEstimateCorroborator::PickBestGroup(
   scans->Add(1);
   scan_width->Record(static_cast<int64_t>(candidates.size()));
   std::vector<double> deltas(candidates.size());
-  ParallelApply(pool, static_cast<int64_t>(candidates.size()),
-                [&engine, &candidates, &deltas](int64_t begin, int64_t end) {
-                  EntropyScratch scratch;
-                  for (int64_t i = begin; i < end; ++i) {
-                    deltas[static_cast<size_t>(i)] = engine.EntropyDelta(
-                        candidates[static_cast<size_t>(i)], &scratch);
-                  }
-                });
+  const bool complete = ParallelApply(
+      pool, static_cast<int64_t>(candidates.size()),
+      [&engine, &candidates, &deltas](int64_t begin, int64_t end) {
+        EntropyScratch scratch;
+        for (int64_t i = begin; i < end; ++i) {
+          deltas[static_cast<size_t>(i)] = engine.EntropyDelta(
+              candidates[static_cast<size_t>(i)], &scratch);
+        }
+      },
+      stop);
+  // A cut-short scan leaves holes in `deltas`; any argmax over it
+  // would depend on which chunks ran. Abandon the round instead.
+  if (!complete) return -1;
   int32_t best = candidates[0];
   double best_delta = -std::numeric_limits<double>::infinity();
   for (size_t i = 0; i < candidates.size(); ++i) {
@@ -315,7 +325,7 @@ int32_t IncEstimateCorroborator::PickBestGroup(
 }
 
 Result<CorroborationResult> IncEstimateCorroborator::Run(
-    const Dataset& dataset) const {
+    const Dataset& dataset, const RunContext& context) const {
   if (options_.initial_trust < 0.0 || options_.initial_trust > 1.0) {
     return Status::InvalidArgument("initial_trust must be in [0,1]");
   }
@@ -334,6 +344,7 @@ Result<CorroborationResult> IncEstimateCorroborator::Run(
   if (options_.num_threads < 1) {
     return Status::InvalidArgument("num_threads must be >= 1");
   }
+  CORROB_RETURN_NOT_OK(ValidateResourceBudget(context.budget()));
 
   CORROB_TRACE_SPAN("IncEstimate::Run");
   IncrementalEngine engine(dataset, options_);
@@ -384,9 +395,36 @@ Result<CorroborationResult> IncEstimateCorroborator::Run(
     options_.round_observer(info);
   };
 
+  // Interruption support: boundary checks fire between rounds (with
+  // `round` completed selection rounds behind us, so a run cancelled
+  // at round k matches a budgeted max_rounds=k run bit-for-bit), and
+  // the projection / ΔH scans poll the stop signal at chunk
+  // boundaries. A round abandoned mid-scan leaves the engine's trust
+  // and commit state untouched — only the scan's scratch output is
+  // discarded — so graceful degradation below projects the remaining
+  // facts with exactly the trust of the last completed round.
+  const StopSignal* stop = context.sweep_stop();
+  Termination termination = Termination::kConverged;
+  bool mid_round = false;
+  // max_facts_per_round caps what one *selection* round may commit
+  // (always letting at least one fact through so rounds make
+  // progress); terminal wholesale commits are exempt.
+  const int64_t fact_cap = context.budget().max_facts_per_round;
+  auto capped = [fact_cap](int64_t n) {
+    return fact_cap > 0 ? std::max<int64_t>(1, std::min(n, fact_cap)) : n;
+  };
+
   while (engine.remaining_facts() > 0) {
+    if (auto interrupt = context.CheckIterationBoundary(round)) {
+      termination = *interrupt;
+      break;
+    }
     ++round;
-    engine.ComputeGroupProbabilities(pool.get(), &group_probs);
+    if (!engine.ComputeGroupProbabilities(pool.get(), &group_probs, stop)) {
+      termination = context.SweepInterruption();
+      mid_round = true;
+      break;
+    }
     if (options_.strategy == IncSelectStrategy::kProbability) {
       // IncEstPS: the group with the highest projected probability.
       int32_t best = -1;
@@ -411,7 +449,7 @@ Result<CorroborationResult> IncEstimateCorroborator::Run(
         event.fg_positive = best_remaining;
         event.prob_positive = best_p;
       }
-      int64_t committed = engine.CommitGroup(best, best_remaining);
+      int64_t committed = engine.CommitGroup(best, capped(best_remaining));
       engine.EndRound(committed);
       if (telemetry != nullptr) {
         event.committed_n = committed;
@@ -501,9 +539,14 @@ Result<CorroborationResult> IncEstimateCorroborator::Run(
       double best_delta = 0.0;
       int32_t best =
           is_negative ? PickBestGroup(engine, negative, false, group_probs,
-                                      pool.get(), &best_delta)
+                                      pool.get(), stop, &best_delta)
                       : PickBestGroup(engine, positive, true, group_probs,
-                                      pool.get(), &best_delta);
+                                      pool.get(), stop, &best_delta);
+      if (best < 0) {
+        termination = context.SweepInterruption();
+        mid_round = true;
+        break;
+      }
       const int64_t best_remaining = static_cast<int64_t>(
           engine.groups()[static_cast<size_t>(best)].remaining());
       obs::IncRoundEvent event;
@@ -530,7 +573,7 @@ Result<CorroborationResult> IncEstimateCorroborator::Run(
           event.delta_h_positive = best_delta;
         }
       }
-      int64_t committed = engine.CommitGroup(best, best_remaining);
+      int64_t committed = engine.CommitGroup(best, capped(best_remaining));
       CORROB_CHECK(committed > 0);
       engine.EndRound(committed);
       if (telemetry != nullptr) {
@@ -547,12 +590,22 @@ Result<CorroborationResult> IncEstimateCorroborator::Run(
     double delta_positive = 0.0;
     double delta_negative = 0.0;
     int32_t best_positive = PickBestGroup(engine, positive, true, group_probs,
-                                          pool.get(), &delta_positive);
-    int32_t best_negative = PickBestGroup(engine, negative, false, group_probs,
-                                          pool.get(), &delta_negative);
+                                          pool.get(), stop, &delta_positive);
+    int32_t best_negative =
+        best_positive < 0 ? -1
+                          : PickBestGroup(engine, negative, false, group_probs,
+                                          pool.get(), stop, &delta_negative);
+    if (best_positive < 0 || best_negative < 0) {
+      termination = context.SweepInterruption();
+      mid_round = true;
+      break;
+    }
     int64_t n = static_cast<int64_t>(std::min(
         engine.groups()[static_cast<size_t>(best_positive)].remaining(),
         engine.groups()[static_cast<size_t>(best_negative)].remaining()));
+    // Balanced rounds commit n facts per side, so the per-round cap
+    // splits across the two commits.
+    if (fact_cap > 0) n = std::min(n, std::max<int64_t>(1, fact_cap / 2));
     obs::IncRoundEvent event;
     if (telemetry != nullptr) {
       // The paper's balanced commit: n = min(|FG+|, |FG-|) facts from
@@ -590,11 +643,33 @@ Result<CorroborationResult> IncEstimateCorroborator::Run(
            committed);
   }
 
+  if (TerminatedEarly(termination) && engine.remaining_facts() > 0) {
+    // Graceful degradation: every fact must carry an answer, so the
+    // remaining ones are projected wholesale with the trust of the
+    // last completed round — exactly the final-ties commit, but
+    // forced by the interrupt rather than exhausted entropy. The
+    // abandoned in-flight round (if any) becomes the projection's
+    // time point; a boundary interrupt opens a fresh one.
+    if (!mid_round) ++round;
+    int64_t committed = engine.CommitAllRemaining();
+    engine.EndRound(committed);
+    if (telemetry != nullptr) {
+      obs::IncRoundEvent event;
+      event.kind = RoundKindName(IncRoundInfo::Kind::kInterrupted);
+      event.committed_n = committed;
+      event.facts_committed = committed;
+      record_round(std::move(event));
+    }
+    notify(IncRoundInfo::Kind::kInterrupted, -1, -1, committed);
+  }
+
   CorroborationResult result = std::move(engine).Finish(std::string(name()));
+  result.termination = termination;
   if (telemetry != nullptr) {
     telemetry->iterations = result.iterations;
-    // An incremental run always terminates with every fact evaluated.
-    telemetry->converged = true;
+    // Converged here means the run evaluated every fact on its own
+    // terms; an interrupted run projected the tail instead.
+    telemetry->converged = termination == Termination::kConverged;
     result.telemetry = std::move(telemetry);
   }
   return result;

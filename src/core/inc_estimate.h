@@ -31,6 +31,7 @@ struct IncRoundInfo {
     kOneSidedPositive,  ///< negative part empty: whole positive part
     kOneSidedNegative,  ///< positive part empty: whole negative part
     kFinalTies,         ///< only max-entropy ties left: threshold commit
+    kInterrupted,       ///< budget/cancel stop: remaining facts projected
   };
   int round = 0;
   Kind kind = Kind::kBalanced;
@@ -172,9 +173,13 @@ class IncrementalEngine {
 
   /// σ(FG) of every group (committed ones included) under the current
   /// trust, written into `probs` — the per-round projection scan,
-  /// partitioned by group across `pool` (inline when null).
-  void ComputeGroupProbabilities(ThreadPool* pool,
-                                 std::vector<double>* probs) const;
+  /// partitioned by group across `pool` (inline when null). When a
+  /// `stop` signal fires mid-scan, returns false and `probs` holds
+  /// partial garbage the caller must discard; returns true when every
+  /// slot was written.
+  [[nodiscard]] bool ComputeGroupProbabilities(
+      ThreadPool* pool, std::vector<double>* probs,
+      const StopSignal* stop = nullptr) const;
 
   /// Commits up to `n` remaining facts of group `g` with the group's
   /// current probability; returns how many facts were committed.
@@ -236,7 +241,9 @@ class IncEstimateCorroborator final : public Corroborator {
     return options_.strategy == IncSelectStrategy::kHeuristic ? "IncEstHeu"
                                                               : "IncEstPS";
   }
-  [[nodiscard]] Result<CorroborationResult> Run(const Dataset& dataset) const override;
+  using Corroborator::Run;
+  [[nodiscard]] Result<CorroborationResult> Run(
+      const Dataset& dataset, const RunContext& context) const override;
 
   const IncEstimateOptions& options() const { return options_; }
 
@@ -247,11 +254,13 @@ class IncEstimateCorroborator final : public Corroborator {
   /// candidates are evaluated across `pool` (inline when null) with
   /// per-chunk scratch and the argmax folds in fixed candidate order.
   /// When `best_delta_out` is non-null it receives the winner's ΔH
-  /// (telemetry readout; does not affect the pick).
+  /// (telemetry readout; does not affect the pick). When `stop` fires
+  /// mid-scan the partial deltas are discarded and -1 is returned;
+  /// the caller must abandon the round.
   int32_t PickBestGroup(const IncrementalEngine& engine,
                         const std::vector<int32_t>& part, bool is_positive,
                         const std::vector<double>& group_probs,
-                        ThreadPool* pool,
+                        ThreadPool* pool, const StopSignal* stop = nullptr,
                         double* best_delta_out = nullptr) const;
 
   IncEstimateOptions options_;

@@ -138,11 +138,20 @@ Result<OnlineCorroborator> ParseOnlineSnapshot(std::string_view bytes) {
   }
   Reader header(bytes.substr(kMagicSize));
   CORROB_ASSIGN_OR_RETURN(uint32_t version, header.ReadU32());
-  if (version < kOnlineSnapshotMinVersion ||
-      version > kOnlineSnapshotVersion) {
+  if (version > kOnlineSnapshotVersion) {
+    // A checkpoint from a future build: refuse loudly instead of
+    // misreading fields this build does not know about.
     return Status::FailedPrecondition(
         "snapshot version " + std::to_string(version) +
-        " is not supported (expected " +
+        " is newer than this build supports (max version " +
+        std::to_string(kOnlineSnapshotVersion) +
+        "); load it with the corrob build that wrote it, or restart "
+        "the stream without --resume");
+  }
+  if (version < kOnlineSnapshotMinVersion) {
+    return Status::FailedPrecondition(
+        "snapshot version " + std::to_string(version) +
+        " is older than this build supports (supported " +
         std::to_string(kOnlineSnapshotMinVersion) + ".." +
         std::to_string(kOnlineSnapshotVersion) + ")");
   }

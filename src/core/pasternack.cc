@@ -20,13 +20,14 @@ void MaxNormalize(std::vector<double>* values) {
 }  // namespace
 
 Result<CorroborationResult> PasternackCorroborator::Run(
-    const Dataset& dataset) const {
+    const Dataset& dataset, const RunContext& context) const {
   if (options_.growth <= 0.0) {
     return Status::InvalidArgument("growth must be positive");
   }
   if (options_.max_iterations < 1) {
     return Status::InvalidArgument("max_iterations must be >= 1");
   }
+  CORROB_RETURN_NOT_OK(ValidateResourceBudget(context.budget()));
 
   const size_t facts = static_cast<size_t>(dataset.num_facts());
   const size_t sources = static_cast<size_t>(dataset.num_sources());
@@ -43,8 +44,17 @@ Result<CorroborationResult> PasternackCorroborator::Run(
     return 2 * static_cast<size_t>(f) + (sv.vote == Vote::kTrue ? 0 : 1);
   };
 
+  Termination termination = Termination::kIterationCap;
   int iteration = 0;
   for (; iteration < options_.max_iterations; ++iteration) {
+    // Sequential fixpoint: iteration boundaries are the interruption
+    // points. `belief` still holds the previous iteration's values at
+    // the boundary, so an interrupted run returns exactly the state
+    // of a run truncated there.
+    if (auto interrupt = context.CheckIterationBoundary(iteration)) {
+      termination = *interrupt;
+      break;
+    }
     std::fill(belief.begin(), belief.end(), 0.0);
 
     if (options_.variant == PasternackVariant::kAvgLog) {
@@ -133,6 +143,7 @@ Result<CorroborationResult> PasternackCorroborator::Run(
     }
     trust = std::move(next_trust);
     if (max_change < options_.tolerance) {
+      termination = Termination::kConverged;
       ++iteration;
       break;
     }
@@ -154,6 +165,7 @@ Result<CorroborationResult> PasternackCorroborator::Run(
   }
   result.source_trust = std::move(trust);
   result.iterations = iteration;
+  result.termination = termination;
   return result;
 }
 

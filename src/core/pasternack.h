@@ -56,7 +56,9 @@ class PasternackCorroborator final : public Corroborator {
     }
     return "Pasternack";
   }
-  [[nodiscard]] Result<CorroborationResult> Run(const Dataset& dataset) const override;
+  using Corroborator::Run;
+  [[nodiscard]] Result<CorroborationResult> Run(
+      const Dataset& dataset, const RunContext& context) const override;
 
   const PasternackOptions& options() const { return options_; }
 

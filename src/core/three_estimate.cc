@@ -11,7 +11,7 @@
 namespace corrob {
 
 Result<CorroborationResult> ThreeEstimateCorroborator::Run(
-    const Dataset& dataset) const {
+    const Dataset& dataset, const RunContext& context) const {
   if (options_.initial_trust < 0.0 || options_.initial_trust > 1.0) {
     return Status::InvalidArgument("initial_trust must be in [0,1]");
   }
@@ -24,6 +24,7 @@ Result<CorroborationResult> ThreeEstimateCorroborator::Run(
   if (options_.num_threads < 1) {
     return Status::InvalidArgument("num_threads must be >= 1");
   }
+  CORROB_RETURN_NOT_OK(ValidateResourceBudget(context.budget()));
 
   CORROB_TRACE_SPAN("ThreeEstimate::Run");
   const VoteMatrix matrix(dataset);
@@ -37,67 +38,110 @@ Result<CorroborationResult> ThreeEstimateCorroborator::Run(
   auto telemetry =
       MaybeStartTelemetry(options_.collect_telemetry, name(), dataset);
 
-  bool converged = false;
+  const StopSignal* stop = context.sweep_stop();
+  std::vector<double> probability_snapshot;
+  std::vector<double> difficulty_snapshot;
+
+  Termination termination = Termination::kIterationCap;
   int iteration = 0;
-  for (; iteration < options_.max_iterations; ++iteration) {
+  const auto over_budget = context.CheckMatrixBytes(matrix.ResidentBytes());
+  if (over_budget) termination = *over_budget;
+  for (; !over_budget && iteration < options_.max_iterations; ++iteration) {
+    if (auto interrupt = context.CheckIterationBoundary(iteration)) {
+      termination = *interrupt;
+      break;
+    }
+    // probability is rewritten in place by the first sweep and
+    // difficulty is replaced mid-iteration, so both are snapshotted
+    // for the mid-sweep rollback path.
+    if (stop != nullptr) {
+      probability_snapshot = probability;
+      difficulty_snapshot = difficulty;
+    }
     // Corrob step with difficulty-discounted correctness. Each fact
     // reads only the previous trust and its own difficulty.
-    matrix.ForEachFact(pool.get(), [&](FactId f) {
-      auto voters = matrix.FactSources(f);
-      if (voters.empty()) {
-        probability[static_cast<size_t>(f)] = 0.5;
-        return;
-      }
-      auto is_true = matrix.FactVotesTrue(f);
-      const double eps = difficulty[static_cast<size_t>(f)];
-      double sum = 0.0;
-      for (size_t k = 0; k < voters.size(); ++k) {
-        const double correct =
-            1.0 - eps * (1.0 - trust[static_cast<size_t>(voters[k])]);
-        sum += is_true[k] ? correct : 1.0 - correct;
-      }
-      probability[static_cast<size_t>(f)] =
-          sum / static_cast<double>(voters.size());
-    });
-    NormalizeEstimates(options_.normalization, &probability);
+    bool complete = matrix.ForEachFact(
+        pool.get(),
+        [&](FactId f) {
+          auto voters = matrix.FactSources(f);
+          if (voters.empty()) {
+            probability[static_cast<size_t>(f)] = 0.5;
+            return;
+          }
+          auto is_true = matrix.FactVotesTrue(f);
+          const double eps = difficulty[static_cast<size_t>(f)];
+          double sum = 0.0;
+          for (size_t k = 0; k < voters.size(); ++k) {
+            const double correct =
+                1.0 - eps * (1.0 - trust[static_cast<size_t>(voters[k])]);
+            sum += is_true[k] ? correct : 1.0 - correct;
+          }
+          probability[static_cast<size_t>(f)] =
+              sum / static_cast<double>(voters.size());
+        },
+        stop);
 
-    // Difficulty update: how much disagreement the decisions leave,
-    // attributed to the voters' residual untrustworthiness.
-    std::vector<double> next_difficulty(facts, options_.initial_difficulty);
-    matrix.ForEachFact(pool.get(), [&](FactId f) {
-      auto voters = matrix.FactSources(f);
-      if (voters.empty()) return;
-      auto is_true = matrix.FactVotesTrue(f);
-      const bool decision = probability[static_cast<size_t>(f)] >= 0.5;
-      double wrong = 0.0;
-      double capacity = 0.0;
-      for (size_t k = 0; k < voters.size(); ++k) {
-        if ((is_true[k] != 0) != decision) wrong += 1.0;
-        capacity += 1.0 - trust[static_cast<size_t>(voters[k])];
-      }
-      next_difficulty[static_cast<size_t>(f)] = Clamp(
-          (wrong + delta_smooth / 2.0) / (capacity + delta_smooth), 0.0, 1.0);
-    });
-    difficulty = std::move(next_difficulty);
+    std::vector<double> next_difficulty;
+    if (complete) {
+      NormalizeEstimates(options_.normalization, &probability);
+      // Difficulty update: how much disagreement the decisions leave,
+      // attributed to the voters' residual untrustworthiness.
+      next_difficulty.assign(facts, options_.initial_difficulty);
+      complete = matrix.ForEachFact(
+          pool.get(),
+          [&](FactId f) {
+            auto voters = matrix.FactSources(f);
+            if (voters.empty()) return;
+            auto is_true = matrix.FactVotesTrue(f);
+            const bool decision = probability[static_cast<size_t>(f)] >= 0.5;
+            double wrong = 0.0;
+            double capacity = 0.0;
+            for (size_t k = 0; k < voters.size(); ++k) {
+              if ((is_true[k] != 0) != decision) wrong += 1.0;
+              capacity += 1.0 - trust[static_cast<size_t>(voters[k])];
+            }
+            next_difficulty[static_cast<size_t>(f)] =
+                Clamp((wrong + delta_smooth / 2.0) / (capacity + delta_smooth),
+                      0.0, 1.0);
+          },
+          stop);
+    }
 
-    // Trust update: wrong votes discounted by fact difficulty.
-    std::vector<double> next_trust(sources, options_.initial_trust);
-    matrix.ForEachSource(pool.get(), [&](SourceId s) {
-      auto voted = matrix.SourceFacts(s);
-      if (voted.empty()) return;
-      auto is_true = matrix.SourceVotesTrue(s);
-      double wrong = 0.0;
-      double capacity = 0.0;
-      for (size_t k = 0; k < voted.size(); ++k) {
-        const bool decision =
-            probability[static_cast<size_t>(voted[k])] >= 0.5;
-        if ((is_true[k] != 0) != decision) wrong += 1.0;
-        capacity += difficulty[static_cast<size_t>(voted[k])];
-      }
-      next_trust[static_cast<size_t>(s)] = Clamp(
-          1.0 - (wrong + delta_smooth / 2.0) / (capacity + delta_smooth), 0.0,
-          1.0);
-    });
+    std::vector<double> next_trust;
+    if (complete) {
+      difficulty = std::move(next_difficulty);
+      // Trust update: wrong votes discounted by fact difficulty.
+      next_trust.assign(sources, options_.initial_trust);
+      complete = matrix.ForEachSource(
+          pool.get(),
+          [&](SourceId s) {
+            auto voted = matrix.SourceFacts(s);
+            if (voted.empty()) return;
+            auto is_true = matrix.SourceVotesTrue(s);
+            double wrong = 0.0;
+            double capacity = 0.0;
+            for (size_t k = 0; k < voted.size(); ++k) {
+              const bool decision =
+                  probability[static_cast<size_t>(voted[k])] >= 0.5;
+              if ((is_true[k] != 0) != decision) wrong += 1.0;
+              capacity += difficulty[static_cast<size_t>(voted[k])];
+            }
+            next_trust[static_cast<size_t>(s)] =
+                Clamp(1.0 - (wrong + delta_smooth / 2.0) /
+                                (capacity + delta_smooth),
+                      0.0, 1.0);
+          },
+          stop);
+    }
+
+    if (!complete) {
+      // A sweep was cut short mid-iteration: restore the state of the
+      // last completed iteration before handing it out.
+      probability = std::move(probability_snapshot);
+      difficulty = std::move(difficulty_snapshot);
+      termination = context.SweepInterruption();
+      break;
+    }
 
     double max_change = 0.0;
     for (size_t s = 0; s < sources; ++s) {
@@ -106,7 +150,7 @@ Result<CorroborationResult> ThreeEstimateCorroborator::Run(
     trust = std::move(next_trust);
     RecordIteration(telemetry.get(), iteration, max_change, trust);
     if (max_change < options_.tolerance) {
-      converged = true;
+      termination = Termination::kConverged;
       ++iteration;
       break;
     }
@@ -117,9 +161,10 @@ Result<CorroborationResult> ThreeEstimateCorroborator::Run(
   result.fact_probability = std::move(probability);
   result.source_trust = std::move(trust);
   result.iterations = iteration;
+  result.termination = termination;
   if (telemetry != nullptr) {
     telemetry->iterations = iteration;
-    telemetry->converged = converged;
+    telemetry->converged = termination == Termination::kConverged;
     result.telemetry = std::move(telemetry);
   }
   return result;

@@ -48,7 +48,9 @@ class ThreeEstimateCorroborator final : public Corroborator {
       : options_(options) {}
 
   std::string_view name() const override { return "ThreeEstimate"; }
-  [[nodiscard]] Result<CorroborationResult> Run(const Dataset& dataset) const override;
+  using Corroborator::Run;
+  [[nodiscard]] Result<CorroborationResult> Run(
+      const Dataset& dataset, const RunContext& context) const override;
 
   const ThreeEstimateOptions& options() const { return options_; }
 

@@ -11,7 +11,7 @@
 namespace corrob {
 
 Result<CorroborationResult> TruthFinderCorroborator::Run(
-    const Dataset& dataset) const {
+    const Dataset& dataset, const RunContext& context) const {
   if (options_.initial_trust <= 0.0 || options_.initial_trust >= 1.0) {
     return Status::InvalidArgument("initial_trust must be in (0,1)");
   }
@@ -24,6 +24,7 @@ Result<CorroborationResult> TruthFinderCorroborator::Run(
   if (options_.num_threads < 1) {
     return Status::InvalidArgument("num_threads must be >= 1");
   }
+  CORROB_RETURN_NOT_OK(ValidateResourceBudget(context.budget()));
 
   CORROB_TRACE_SPAN("TruthFinder::Run");
   const VoteMatrix matrix(dataset);
@@ -35,11 +36,26 @@ Result<CorroborationResult> TruthFinderCorroborator::Run(
   auto telemetry =
       MaybeStartTelemetry(options_.collect_telemetry, name(), dataset);
 
-  bool converged = false;
+  // `probability` is rewritten in place by the claim sweep; snapshot
+  // it so a mid-sweep interruption hands back the last completed
+  // iteration.
+  const StopSignal* stop = context.sweep_stop();
+  std::vector<double> probability_snapshot;
+
+  Termination termination = Termination::kIterationCap;
   int iteration = 0;
-  for (; iteration < options_.max_iterations; ++iteration) {
+  const auto over_budget = context.CheckMatrixBytes(matrix.ResidentBytes());
+  if (over_budget) termination = *over_budget;
+  for (; !over_budget && iteration < options_.max_iterations; ++iteration) {
+    if (auto interrupt = context.CheckIterationBoundary(iteration)) {
+      termination = *interrupt;
+      break;
+    }
+    if (stop != nullptr) probability_snapshot = probability;
     // Claim scores and fact confidence, partitioned by fact.
-    matrix.ForEachFact(pool.get(), [&](FactId f) {
+    bool complete = matrix.ForEachFact(
+        pool.get(),
+        [&](FactId f) {
       auto voters = matrix.FactSources(f);
       if (voters.empty()) {
         probability[static_cast<size_t>(f)] = 0.5;
@@ -60,13 +76,18 @@ Result<CorroborationResult> TruthFinderCorroborator::Run(
           score_false - options_.exclusion_weight * score_true;
       probability[static_cast<size_t>(f)] = Sigmoid(
           options_.dampening * (adjusted_true - adjusted_false));
-    });
+        },
+        stop);
 
     // Trust update. Each source reads only `probability` and writes
     // its own slot; the convergence check folds afterwards over the
     // old/new pair so the parallel sweep stays reduction-free.
-    std::vector<double> next_trust = trust;
-    matrix.ForEachSource(pool.get(), [&](SourceId s) {
+    std::vector<double> next_trust;
+    if (complete) {
+      next_trust = trust;
+      complete = matrix.ForEachSource(
+          pool.get(),
+          [&](SourceId s) {
       auto voted = matrix.SourceFacts(s);
       if (voted.empty()) return;
       auto is_true = matrix.SourceVotesTrue(s);
@@ -77,7 +98,17 @@ Result<CorroborationResult> TruthFinderCorroborator::Run(
       }
       next_trust[static_cast<size_t>(s)] =
           sum / static_cast<double>(voted.size());
-    });
+          },
+          stop);
+    }
+    if (!complete) {
+      // A sweep was cut short mid-iteration: restore the
+      // probabilities of the last completed iteration; trust was not
+      // yet replaced.
+      probability = std::move(probability_snapshot);
+      termination = context.SweepInterruption();
+      break;
+    }
     double max_change = 0.0;
     for (size_t s = 0; s < sources; ++s) {
       max_change = std::max(max_change, std::fabs(next_trust[s] - trust[s]));
@@ -85,7 +116,7 @@ Result<CorroborationResult> TruthFinderCorroborator::Run(
     trust = std::move(next_trust);
     RecordIteration(telemetry.get(), iteration, max_change, trust);
     if (max_change < options_.tolerance) {
-      converged = true;
+      termination = Termination::kConverged;
       ++iteration;
       break;
     }
@@ -96,9 +127,10 @@ Result<CorroborationResult> TruthFinderCorroborator::Run(
   result.fact_probability = std::move(probability);
   result.source_trust = std::move(trust);
   result.iterations = iteration;
+  result.termination = termination;
   if (telemetry != nullptr) {
     telemetry->iterations = iteration;
-    telemetry->converged = converged;
+    telemetry->converged = termination == Termination::kConverged;
     result.telemetry = std::move(telemetry);
   }
   return result;

@@ -45,7 +45,9 @@ class TruthFinderCorroborator final : public Corroborator {
       : options_(options) {}
 
   std::string_view name() const override { return "TruthFinder"; }
-  [[nodiscard]] Result<CorroborationResult> Run(const Dataset& dataset) const override;
+  using Corroborator::Run;
+  [[nodiscard]] Result<CorroborationResult> Run(
+      const Dataset& dataset, const RunContext& context) const override;
 
   const TruthFinderOptions& options() const { return options_; }
 

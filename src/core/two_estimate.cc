@@ -29,7 +29,7 @@ void NormalizeEstimates(Normalization scheme, std::vector<double>* values) {
 }
 
 Result<CorroborationResult> TwoEstimateCorroborator::Run(
-    const Dataset& dataset) const {
+    const Dataset& dataset, const RunContext& context) const {
   if (options_.initial_trust < 0.0 || options_.initial_trust > 1.0) {
     return Status::InvalidArgument("initial_trust must be in [0,1]");
   }
@@ -39,6 +39,7 @@ Result<CorroborationResult> TwoEstimateCorroborator::Run(
   if (options_.num_threads < 1) {
     return Status::InvalidArgument("num_threads must be >= 1");
   }
+  CORROB_RETURN_NOT_OK(ValidateResourceBudget(context.budget()));
 
   CORROB_TRACE_SPAN("TwoEstimate::Run");
   const VoteMatrix matrix(dataset);
@@ -49,43 +50,70 @@ Result<CorroborationResult> TwoEstimateCorroborator::Run(
   std::vector<double> probability(facts, 0.5);
   auto telemetry =
       MaybeStartTelemetry(options_.collect_telemetry, name(), dataset);
+  // The stop signal is polled inside the sweeps; a mid-sweep
+  // interruption rolls back to `snapshot` so the returned state is
+  // exactly the last completed iteration's.
+  const StopSignal* stop = context.sweep_stop();
+  std::vector<double> snapshot;
 
-  bool converged = false;
+  Termination termination = Termination::kIterationCap;
   int iteration = 0;
-  for (; iteration < options_.max_iterations; ++iteration) {
-    // Corrob step (paper Eq. 6): each fact's score depends only on the
-    // previous iteration's trust, so the sweep partitions by fact.
-    matrix.ForEachFact(pool.get(), [&](FactId f) {
-      probability[static_cast<size_t>(f)] = matrix.RowScore(f, trust);
-    });
-    NormalizeEstimates(options_.normalization, &probability);
-
-    // Update step (paper Eq. 7), partitioned by source.
-    std::vector<double> next_trust(sources, options_.initial_trust);
-    matrix.ForEachSource(pool.get(), [&](SourceId s) {
-      auto voted = matrix.SourceFacts(s);
-      if (voted.empty()) return;
-      auto is_true = matrix.SourceVotesTrue(s);
-      double sum = 0.0;
-      for (size_t k = 0; k < voted.size(); ++k) {
-        const double p = probability[static_cast<size_t>(voted[k])];
-        sum += is_true[k] ? p : 1.0 - p;
-      }
-      next_trust[static_cast<size_t>(s)] =
-          sum / static_cast<double>(voted.size());
-    });
-
-    double delta = 0.0;
-    for (size_t s = 0; s < sources; ++s) {
-      delta = std::max(delta, std::fabs(next_trust[s] - trust[s]));
-    }
-    trust = std::move(next_trust);
-    RecordIteration(telemetry.get(), iteration, delta, trust);
-    if (delta < options_.tolerance) {
-      converged = true;
-      ++iteration;
+  const auto over_budget = context.CheckMatrixBytes(matrix.ResidentBytes());
+  if (over_budget) termination = *over_budget;
+  for (; !over_budget && iteration < options_.max_iterations; ++iteration) {
+    if (auto interrupt = context.CheckIterationBoundary(iteration)) {
+      termination = *interrupt;
       break;
     }
+    if (stop != nullptr) snapshot = probability;
+    // Corrob step (paper Eq. 6): each fact's score depends only on
+    // the previous iteration's trust, so the sweep partitions by
+    // fact.
+    bool complete = matrix.ForEachFact(
+        pool.get(),
+        [&](FactId f) {
+          probability[static_cast<size_t>(f)] = matrix.RowScore(f, trust);
+        },
+        stop);
+    if (complete) {
+      NormalizeEstimates(options_.normalization, &probability);
+      // Update step (paper Eq. 7), partitioned by source.
+      std::vector<double> next_trust(sources, options_.initial_trust);
+      complete = matrix.ForEachSource(
+          pool.get(),
+          [&](SourceId s) {
+            auto voted = matrix.SourceFacts(s);
+            if (voted.empty()) return;
+            auto is_true = matrix.SourceVotesTrue(s);
+            double sum = 0.0;
+            for (size_t k = 0; k < voted.size(); ++k) {
+              const double p = probability[static_cast<size_t>(voted[k])];
+              sum += is_true[k] ? p : 1.0 - p;
+            }
+            next_trust[static_cast<size_t>(s)] =
+                sum / static_cast<double>(voted.size());
+          },
+          stop);
+      if (complete) {
+        double delta = 0.0;
+        for (size_t s = 0; s < sources; ++s) {
+          delta = std::max(delta, std::fabs(next_trust[s] - trust[s]));
+        }
+        trust = std::move(next_trust);
+        RecordIteration(telemetry.get(), iteration, delta, trust);
+        if (delta < options_.tolerance) {
+          termination = Termination::kConverged;
+          ++iteration;
+          break;
+        }
+        continue;
+      }
+    }
+    // A sweep was cut short: its writes are partial. Restore the
+    // pre-iteration probabilities; trust was not yet replaced.
+    probability = std::move(snapshot);
+    termination = context.SweepInterruption();
+    break;
   }
 
   CorroborationResult result;
@@ -93,9 +121,10 @@ Result<CorroborationResult> TwoEstimateCorroborator::Run(
   result.fact_probability = std::move(probability);
   result.source_trust = std::move(trust);
   result.iterations = iteration;
+  result.termination = termination;
   if (telemetry != nullptr) {
     telemetry->iterations = iteration;
-    telemetry->converged = converged;
+    telemetry->converged = termination == Termination::kConverged;
     result.telemetry = std::move(telemetry);
   }
   return result;

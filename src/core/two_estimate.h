@@ -51,7 +51,9 @@ class TwoEstimateCorroborator final : public Corroborator {
       : options_(options) {}
 
   std::string_view name() const override { return "TwoEstimate"; }
-  [[nodiscard]] Result<CorroborationResult> Run(const Dataset& dataset) const override;
+  using Corroborator::Run;
+  [[nodiscard]] Result<CorroborationResult> Run(
+      const Dataset& dataset, const RunContext& context) const override;
 
   const TwoEstimateOptions& options() const { return options_; }
 

@@ -40,18 +40,35 @@ VoteMatrix::VoteMatrix(const Dataset& dataset)
   }
 }
 
-void VoteMatrix::ForEachFact(ThreadPool* pool,
-                             const std::function<void(FactId)>& fn) const {
-  ParallelApply(pool, num_facts_, [&fn](int64_t begin, int64_t end) {
-    for (int64_t f = begin; f < end; ++f) fn(static_cast<FactId>(f));
-  });
+bool VoteMatrix::ForEachFact(ThreadPool* pool,
+                             const std::function<void(FactId)>& fn,
+                             const StopSignal* stop) const {
+  return ParallelApply(
+      pool, num_facts_,
+      [&fn](int64_t begin, int64_t end) {
+        for (int64_t f = begin; f < end; ++f) fn(static_cast<FactId>(f));
+      },
+      stop);
 }
 
-void VoteMatrix::ForEachSource(ThreadPool* pool,
-                               const std::function<void(SourceId)>& fn) const {
-  ParallelApply(pool, num_sources_, [&fn](int64_t begin, int64_t end) {
-    for (int64_t s = begin; s < end; ++s) fn(static_cast<SourceId>(s));
-  });
+bool VoteMatrix::ForEachSource(ThreadPool* pool,
+                               const std::function<void(SourceId)>& fn,
+                               const StopSignal* stop) const {
+  return ParallelApply(
+      pool, num_sources_,
+      [&fn](int64_t begin, int64_t end) {
+        for (int64_t s = begin; s < end; ++s) fn(static_cast<SourceId>(s));
+      },
+      stop);
+}
+
+int64_t VoteMatrix::ResidentBytes() const {
+  auto bytes = [](const auto& v) {
+    return static_cast<int64_t>(v.capacity() * sizeof(v[0]));
+  };
+  return static_cast<int64_t>(sizeof(*this)) + bytes(fact_offsets_) +
+         bytes(fact_sources_) + bytes(fact_true_) + bytes(source_offsets_) +
+         bytes(source_facts_) + bytes(source_true_);
 }
 
 std::unique_ptr<ThreadPool> MakeSweepPool(int num_threads) {

@@ -91,10 +91,22 @@ class VoteMatrix {
   /// its index; each element is then computed exactly as in the
   /// sequential loop, so results are bit-identical at any thread
   /// count (see docs/PERFORMANCE.md).
-  void ForEachFact(ThreadPool* pool,
-                   const std::function<void(FactId)>& fn) const;
-  void ForEachSource(ThreadPool* pool,
-                     const std::function<void(SourceId)>& fn) const;
+  ///
+  /// `stop` (optional) is polled at chunk boundaries; a fired signal
+  /// skips the remaining chunks and the sweep returns false. The
+  /// partial sweep's writes are then inconsistent — callers restore a
+  /// snapshot before exposing any state (see the iterative
+  /// corroborators' best-so-far handling). Returns true when the
+  /// sweep covered every id.
+  bool ForEachFact(ThreadPool* pool, const std::function<void(FactId)>& fn,
+                   const StopSignal* stop = nullptr) const;
+  bool ForEachSource(ThreadPool* pool,
+                     const std::function<void(SourceId)>& fn,
+                     const StopSignal* stop = nullptr) const;
+
+  /// Heap + inline bytes held by the CSR/CSC arrays; what
+  /// ResourceBudget::max_vote_matrix_bytes is enforced against.
+  int64_t ResidentBytes() const;
 
  private:
   int32_t num_facts_ = 0;

@@ -3,9 +3,21 @@
 namespace corrob {
 
 Result<CorroborationResult> VotingCorroborator::Run(
-    const Dataset& dataset) const {
+    const Dataset& dataset, const RunContext& context) const {
+  CORROB_RETURN_NOT_OK(ValidateResourceBudget(context.budget()));
   CorroborationResult result;
   result.algorithm = std::string(name());
+  // One-shot method: the only boundary is before the single pass. An
+  // already-fired context degrades to the neutral no-information
+  // answer (σ = 0.5 everywhere).
+  if (auto interrupt = context.CheckIterationBoundary(0)) {
+    result.termination = *interrupt;
+    result.fact_probability.assign(static_cast<size_t>(dataset.num_facts()),
+                                   0.5);
+    result.source_trust.assign(static_cast<size_t>(dataset.num_sources()),
+                               0.5);
+    return result;
+  }
   result.fact_probability.resize(static_cast<size_t>(dataset.num_facts()));
   for (FactId f = 0; f < dataset.num_facts(); ++f) {
     int32_t t = dataset.CountVotes(f, Vote::kTrue);

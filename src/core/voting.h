@@ -11,7 +11,9 @@ namespace corrob {
 class VotingCorroborator final : public Corroborator {
  public:
   std::string_view name() const override { return "Voting"; }
-  [[nodiscard]] Result<CorroborationResult> Run(const Dataset& dataset) const override;
+  using Corroborator::Run;
+  [[nodiscard]] Result<CorroborationResult> Run(
+      const Dataset& dataset, const RunContext& context) const override;
 };
 
 }  // namespace corrob

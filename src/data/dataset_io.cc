@@ -105,7 +105,17 @@ Result<LabeledDataset> ParseDatasetCsv(const std::string& text,
   ParseReport local_report;
   std::vector<bool> truth_labels;
   bool truth_complete = has_truth;
+  // Poll interval for cooperative cancellation: coarse enough that an
+  // unarmed load pays one predictable branch per row, fine enough
+  // that a Ctrl-C lands within a few thousand rows.
+  constexpr size_t kCancelPollRows = 2048;
   for (size_t r = 1; r < doc.rows.size(); ++r) {
+    if (options.cancel != nullptr && r % kCancelPollRows == 0 &&
+        options.cancel->cancelled()) {
+      return Status::Cancelled("dataset CSV load cancelled after " +
+                               std::to_string(local_report.rows_seen) +
+                               " rows");
+    }
     const auto& row = doc.rows[r];
     if (row.size() == 1 && row[0].empty()) continue;  // blank line
     ++local_report.rows_seen;

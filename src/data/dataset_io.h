@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/budget.h"
 #include "common/result.h"
 #include "data/dataset.h"
 #include "data/truth.h"
@@ -46,6 +47,11 @@ struct DatasetCsvOptions {
   /// truth cells) are skipped and recorded in the ParseReport instead
   /// of failing the whole load. Header errors are always fatal.
   bool lenient = false;
+  /// Optional cooperative cancellation: the row loop polls this token
+  /// every few thousand rows and aborts the load with
+  /// Status(kCancelled) — large ingests stay responsive to Ctrl-C
+  /// instead of finishing a multi-second parse first.
+  const CancellationToken* cancel = nullptr;
 };
 
 /// CSV layout:

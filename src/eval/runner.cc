@@ -26,12 +26,13 @@ std::vector<bool> GoldenCorrectness(const std::vector<bool>& predicted,
 Result<MethodReport> RunCorroborationMethod(const std::string& name,
                                             const Dataset& dataset,
                                             const GoldenSet& golden,
-                                            const CorroboratorOptions& shared) {
+                                            const CorroboratorOptions& shared,
+                                            const RunContext& context) {
   CORROB_ASSIGN_OR_RETURN(std::unique_ptr<Corroborator> algorithm,
                           MakeCorroborator(name, shared));
   StopwatchNs watch;
   CORROB_ASSIGN_OR_RETURN(CorroborationResult result,
-                          algorithm->Run(dataset));
+                          algorithm->Run(dataset, context));
   double seconds = watch.ElapsedSeconds();
 
   MethodReport report;

@@ -29,10 +29,15 @@ struct MethodReport {
 
 /// Runs a registered corroborator on `dataset` and scores it on
 /// `golden`; wall time covers only Corroborator::Run. `shared`
-/// carries cross-cutting knobs (thread count) into the construction.
+/// carries cross-cutting knobs (thread count) into the construction;
+/// `context` bounds the run (deadline, cancellation, budgets — see
+/// core/run_context.h) and defaults to unbounded. An interrupted run
+/// is still scored: the method's graceful-degradation answer is what
+/// a deadline-bound deployment would have served.
 [[nodiscard]] Result<MethodReport> RunCorroborationMethod(
     const std::string& name, const Dataset& dataset, const GoldenSet& golden,
-    const CorroboratorOptions& shared = {});
+    const CorroboratorOptions& shared = {},
+    const RunContext& context = RunContext::Unbounded());
 
 /// Cross-validates an ML baseline ("ML-Logistic" or "ML-SVM") on the
 /// golden set with the paper's 10-fold protocol and scores the

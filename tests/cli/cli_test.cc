@@ -309,6 +309,91 @@ TEST_F(CliTest, StreamResumeRejectsMismatchedDataset) {
   EXPECT_NE(err_.str().find("sources"), std::string::npos);
 }
 
+TEST_F(CliTest, BudgetFlagsRejectBadValues) {
+  EXPECT_EQ(Run({"run", "--input", dataset_path_, "--algorithm",
+                 "TwoEstimate", "--timeout-ms", "-5"}),
+            1);
+  EXPECT_NE(err_.str().find("--timeout-ms"), std::string::npos);
+  EXPECT_EQ(Run({"run", "--input", dataset_path_, "--algorithm",
+                 "TwoEstimate", "--max-rounds", "-1"}),
+            1);
+  EXPECT_NE(err_.str().find("max_rounds"), std::string::npos);
+  EXPECT_EQ(Run({"run", "--input", dataset_path_, "--algorithm",
+                 "TwoEstimate", "--max-memory-mb", "-2"}),
+            1);
+  EXPECT_EQ(Run({"run", "--input", dataset_path_, "--algorithm",
+                 "TwoEstimate", "--max-rounds", "abc"}),
+            1);
+}
+
+TEST_F(CliTest, RunWithRoundBudgetDegradesGracefully) {
+  // A one-round budget cuts TwoEstimate far short of convergence; the
+  // run must still exit 0 with a complete decisions CSV on stdout and
+  // explain itself on stderr (stdout carries data, never notices).
+  ASSERT_EQ(Run({"run", "--input", dataset_path_, "--algorithm",
+                 "TwoEstimate", "--max-rounds", "1"}),
+            0);
+  CsvDocument doc = ParseCsv(out_.str()).ValueOrDie();
+  EXPECT_EQ(doc.rows.size(), 13u);  // header + all 12 facts
+  EXPECT_NE(err_.str().find("terminated early (budget_exhausted)"),
+            std::string::npos);
+  EXPECT_NE(err_.str().find("best-so-far"), std::string::npos);
+}
+
+TEST_F(CliTest, RunCancelledMidFixpointStillEmitsDecisions) {
+  ASSERT_EQ(Run({"run", "--input", dataset_path_, "--algorithm",
+                 "TwoEstimate", "--failpoint",
+                 "cancel.at_iteration=fail:1:skip=1"}),
+            0);
+  CsvDocument doc = ParseCsv(out_.str()).ValueOrDie();
+  EXPECT_EQ(doc.rows.size(), 13u);
+  EXPECT_NE(err_.str().find("terminated early (cancelled)"),
+            std::string::npos);
+}
+
+TEST_F(CliTest, GenerousBudgetsLeaveTheRunUntouched) {
+  ASSERT_EQ(Run({"run", "--input", dataset_path_, "--algorithm",
+                 "TwoEstimate", "--timeout-ms", "600000",
+                 "--max-memory-mb", "4096"}),
+            0);
+  EXPECT_EQ(err_.str().find("terminated early"), std::string::npos);
+  CsvDocument doc = ParseCsv(out_.str()).ValueOrDie();
+  EXPECT_EQ(doc.rows.size(), 13u);
+}
+
+TEST_F(CliTest, StreamInterruptSavesCheckpointAndExitsZero) {
+  std::string trust_clean = TempPath("cli_budget_trust_clean.csv");
+  std::string trust_resumed = TempPath("cli_budget_trust_resumed.csv");
+  std::string checkpoint = TempPath("cli_budget_stream.snap");
+  std::string devnull = TempPath("cli_budget_decisions.csv");
+
+  ASSERT_EQ(Run({"stream", "--input", dataset_path_, "--output", devnull,
+                 "--trust", trust_clean}),
+            0);
+
+  // A cancellation landing after fact 6 (the failpoint stands in for
+  // SIGINT, which would poison this process's shutdown token for
+  // later tests) is a *graceful* stop: exit 0, checkpoint saved.
+  ASSERT_EQ(Run({"stream", "--input", dataset_path_, "--checkpoint",
+                 checkpoint, "--checkpoint-every", "2", "--output",
+                 devnull, "--failpoint",
+                 "cancel.at_iteration=fail:1:skip=6"}),
+            0);
+  EXPECT_NE(err_.str().find("stream interrupted (cancelled) at fact 6"),
+            std::string::npos);
+  EXPECT_NE(err_.str().find("checkpoint saved, continue with --resume"),
+            std::string::npos);
+
+  ASSERT_EQ(Run({"stream", "--input", dataset_path_, "--checkpoint",
+                 checkpoint, "--resume", "--output", devnull, "--trust",
+                 trust_resumed}),
+            0);
+  EXPECT_NE(out_.str().find("resumed from " + checkpoint + " at fact 6"),
+            std::string::npos);
+  EXPECT_EQ(ReadFileToString(trust_resumed).ValueOrDie(),
+            ReadFileToString(trust_clean).ValueOrDie());
+}
+
 TEST_F(CliTest, LenientLoadReportsSkippedRows) {
   std::string noisy = TempPath("cli_noisy.csv");
   std::ofstream file(noisy);

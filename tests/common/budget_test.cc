@@ -1,0 +1,215 @@
+#include "common/budget.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <thread>
+
+#include "obs/clock.h"
+
+namespace corrob {
+namespace {
+
+TEST(CancellationTokenTest, StartsLiveAndLatchesForever) {
+  CancellationToken token;
+  EXPECT_FALSE(token.cancelled());
+  token.Cancel();
+  EXPECT_TRUE(token.cancelled());
+  token.Cancel();  // idempotent
+  EXPECT_TRUE(token.cancelled());
+}
+
+TEST(CancellationTokenTest, FirstCancelTimestampWins) {
+  CancellationToken token;
+  EXPECT_EQ(token.cancelled_at_nanos(), 0);
+  token.Cancel(1234);
+  token.Cancel(9999);
+  EXPECT_EQ(token.cancelled_at_nanos(), 1234);
+}
+
+TEST(CancellationTokenTest, CancelWithoutTimestampRecordsZero) {
+  CancellationToken token;
+  token.Cancel();
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_EQ(token.cancelled_at_nanos(), 0);
+}
+
+TEST(CancellationTokenTest, ChildSeesAncestorCancellation) {
+  CancellationToken root;
+  CancellationToken child(&root);
+  CancellationToken grandchild(&child);
+  EXPECT_FALSE(grandchild.cancelled());
+  root.Cancel(77);
+  EXPECT_TRUE(child.cancelled());
+  EXPECT_TRUE(grandchild.cancelled());
+  // The timestamp walks to the nearest cancelled ancestor.
+  EXPECT_EQ(grandchild.cancelled_at_nanos(), 77);
+}
+
+TEST(CancellationTokenTest, ChildCancelDoesNotPropagateUpward) {
+  CancellationToken root;
+  CancellationToken child(&root);
+  child.Cancel();
+  EXPECT_TRUE(child.cancelled());
+  EXPECT_FALSE(root.cancelled());
+}
+
+TEST(CancellationTokenTest, WaitForMsReturnsImmediatelyWhenCancelled) {
+  CancellationToken token;
+  token.Cancel();
+  // A pre-cancelled token must not sleep out the full budget; give it
+  // a wait long enough that sleeping through would hang the test.
+  EXPECT_TRUE(token.WaitForMs(60000.0));
+}
+
+TEST(CancellationTokenTest, WaitForMsCompletesUninterrupted) {
+  CancellationToken token;
+  EXPECT_FALSE(token.WaitForMs(1.0));
+}
+
+TEST(CancellationTokenTest, WaitForMsInterruptedFromAnotherThread) {
+  CancellationToken token;
+  std::thread canceller([&token] { token.Cancel(); });
+  // The wait observes the concurrent cancel within one polling slice
+  // and reports the interruption.
+  EXPECT_TRUE(token.WaitForMs(60000.0));
+  canceller.join();
+}
+
+TEST(DeadlineTest, DefaultIsInfinite) {
+  Deadline deadline;
+  EXPECT_TRUE(deadline.infinite());
+  EXPECT_FALSE(deadline.expired());
+  EXPECT_EQ(deadline.remaining_nanos(),
+            std::numeric_limits<int64_t>::max());
+}
+
+TEST(DeadlineTest, ExpiresOnTheInjectedClock) {
+  obs::ManualClock clock;
+  clock.SetNanos(1000);
+  Deadline deadline = Deadline::After(&clock, 500);
+  EXPECT_FALSE(deadline.infinite());
+  EXPECT_FALSE(deadline.expired());
+  EXPECT_EQ(deadline.remaining_nanos(), 500);
+  clock.AdvanceNanos(499);
+  EXPECT_FALSE(deadline.expired());
+  EXPECT_EQ(deadline.remaining_nanos(), 1);
+  clock.AdvanceNanos(1);
+  EXPECT_TRUE(deadline.expired());
+  EXPECT_EQ(deadline.remaining_nanos(), 0);
+  clock.AdvanceNanos(1000000);  // stays expired, remaining clamps at 0
+  EXPECT_TRUE(deadline.expired());
+  EXPECT_EQ(deadline.remaining_nanos(), 0);
+}
+
+TEST(DeadlineTest, NegativeBudgetExpiresImmediately) {
+  obs::ManualClock clock;
+  clock.SetNanos(42);
+  EXPECT_TRUE(Deadline::After(&clock, -5).expired());
+  EXPECT_TRUE(Deadline::After(&clock, 0).expired());
+}
+
+TEST(DeadlineTest, HugeBudgetSaturatesInsteadOfOverflowing) {
+  obs::ManualClock clock;
+  clock.SetNanos(std::numeric_limits<int64_t>::max() - 10);
+  Deadline deadline =
+      Deadline::After(&clock, std::numeric_limits<int64_t>::max());
+  EXPECT_FALSE(deadline.expired());
+  EXPECT_GT(deadline.remaining_nanos(), 0);
+}
+
+TEST(DeadlineTest, AfterMsConvertsMilliseconds) {
+  obs::ManualClock clock;
+  Deadline deadline = Deadline::AfterMs(&clock, 2.5);
+  EXPECT_EQ(deadline.remaining_nanos(), 2500000);
+  clock.AdvanceNanos(2500000);
+  EXPECT_TRUE(deadline.expired());
+}
+
+TEST(ResourceBudgetTest, DefaultIsUnlimitedAndValid) {
+  ResourceBudget budget;
+  EXPECT_TRUE(budget.unlimited());
+  EXPECT_TRUE(ValidateResourceBudget(budget).ok());
+}
+
+TEST(ResourceBudgetTest, AnyCapClearsUnlimited) {
+  ResourceBudget budget;
+  budget.max_rounds = 3;
+  EXPECT_FALSE(budget.unlimited());
+  budget = ResourceBudget{};
+  budget.max_vote_matrix_bytes = 1;
+  EXPECT_FALSE(budget.unlimited());
+  budget = ResourceBudget{};
+  budget.max_facts_per_round = 1;
+  EXPECT_FALSE(budget.unlimited());
+}
+
+TEST(ResourceBudgetTest, NegativeFieldsRejectedByName) {
+  ResourceBudget budget;
+  budget.max_rounds = -1;
+  Status status = ValidateResourceBudget(budget);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("max_rounds"), std::string::npos);
+
+  budget = ResourceBudget{};
+  budget.max_vote_matrix_bytes = -2;
+  status = ValidateResourceBudget(budget);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("max_vote_matrix_bytes"),
+            std::string::npos);
+
+  budget = ResourceBudget{};
+  budget.max_facts_per_round = -3;
+  status = ValidateResourceBudget(budget);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("max_facts_per_round"),
+            std::string::npos);
+}
+
+TEST(StopSignalTest, DefaultIsDisarmed) {
+  StopSignal signal;
+  EXPECT_FALSE(signal.armed());
+  EXPECT_FALSE(signal.cancelled());
+  EXPECT_FALSE(signal.deadline_expired());
+  EXPECT_FALSE(signal.ShouldStop());
+  EXPECT_EQ(signal.cancellation(), nullptr);
+  EXPECT_TRUE(signal.deadline().infinite());
+}
+
+TEST(StopSignalTest, TokenArmsAndFires) {
+  CancellationToken token;
+  StopSignal signal(&token, Deadline());
+  EXPECT_TRUE(signal.armed());
+  EXPECT_FALSE(signal.ShouldStop());
+  token.Cancel();
+  EXPECT_TRUE(signal.cancelled());
+  EXPECT_TRUE(signal.ShouldStop());
+}
+
+TEST(StopSignalTest, DeadlineArmsAndFires) {
+  obs::ManualClock clock;
+  StopSignal signal(nullptr, Deadline::After(&clock, 100));
+  EXPECT_TRUE(signal.armed());
+  EXPECT_FALSE(signal.ShouldStop());
+  clock.AdvanceNanos(100);
+  EXPECT_TRUE(signal.deadline_expired());
+  EXPECT_TRUE(signal.ShouldStop());
+  EXPECT_FALSE(signal.cancelled());
+}
+
+TEST(ShutdownTest, ProcessTokenIsStableAndSignalCountStartsAtZero) {
+  // Never raise a real signal here: the process-wide token latches
+  // forever and would poison every later test in this binary.
+  CancellationToken& token = ProcessShutdownToken();
+  EXPECT_EQ(&token, &ProcessShutdownToken());
+  EXPECT_FALSE(token.cancelled());
+  EXPECT_EQ(ShutdownSignalCount(), 0);
+  // Installation is idempotent and must not fire anything by itself.
+  InstallShutdownSignalHandlers();
+  InstallShutdownSignalHandlers();
+  EXPECT_FALSE(ProcessShutdownToken().cancelled());
+  EXPECT_EQ(ShutdownSignalCount(), 0);
+}
+
+}  // namespace
+}  // namespace corrob

@@ -127,6 +127,77 @@ TEST(RetryTest, MasksInjectedTransientFault) {
   EXPECT_EQ(Failpoints::FailureCount("retry_test.op"), 2);
 }
 
+TEST(RetryTest, CancelledTokenStopsRetryingBetweenAttempts) {
+  CancellationToken token;
+  token.Cancel();
+  RetryStats stats;
+  int calls = 0;
+  Status status = Retry(
+      FastPolicy(5),
+      [&] {
+        ++calls;
+        return Status::IoError("flaky");
+      },
+      &stats, &token);
+  // The first attempt runs (cancellation is polled at the backoff,
+  // not before the work), then the pre-cancelled token cuts the
+  // schedule short instead of burning four more attempts.
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(status.code(), StatusCode::kCancelled);
+  EXPECT_NE(status.message().find("flaky"), std::string::npos);
+  EXPECT_TRUE(stats.cancelled);
+  EXPECT_EQ(stats.attempts, 1);
+}
+
+TEST(RetryTest, CancellationSkipsTheBackoffSleep) {
+  CancellationToken token;
+  RetryPolicy policy;
+  policy.max_attempts = 2;
+  // A backoff long enough that sleeping it out would hang the test:
+  // a token cancelled during the attempt must skip the wait entirely.
+  policy.initial_backoff_ms = 60000.0;
+  policy.max_backoff_ms = 60000.0;
+  policy.jitter = 0.0;
+  RetryStats stats;
+  Status status = Retry(
+      policy,
+      [&] {
+        token.Cancel();
+        return Status::IoError("always failing");
+      },
+      &stats, &token);
+  EXPECT_EQ(status.code(), StatusCode::kCancelled);
+  EXPECT_TRUE(stats.cancelled);
+  EXPECT_EQ(stats.attempts, 1);
+}
+
+TEST(RetryTest, LiveTokenDoesNotChangeTheSchedule) {
+  CancellationToken token;
+  RetryStats stats;
+  int calls = 0;
+  Status status = Retry(
+      FastPolicy(3),
+      [&] {
+        ++calls;
+        return calls < 3 ? Status::IoError("transient") : Status::OK();
+      },
+      &stats, &token);
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(calls, 3);
+  EXPECT_FALSE(stats.cancelled);
+}
+
+TEST(RetryTest, CancelledFromTheWorkItselfIsNotRetried) {
+  int calls = 0;
+  Status status = Retry(FastPolicy(5), [&] {
+    ++calls;
+    return Status::Cancelled("work observed its own token");
+  });
+  // kCancelled is deterministic, not transient: no retry loop.
+  EXPECT_EQ(status.code(), StatusCode::kCancelled);
+  EXPECT_EQ(calls, 1);
+}
+
 TEST(BackoffScheduleTest, GrowsExponentiallyAndCaps) {
   RetryPolicy policy;
   policy.initial_backoff_ms = 1.0;

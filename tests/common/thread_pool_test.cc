@@ -163,6 +163,57 @@ TEST(ParallelApplyTest, ZeroAndNegativeCounts) {
   EXPECT_EQ(calls, 0);
 }
 
+TEST(ParallelApplyTest, CompleteSweepsReportTrue) {
+  ThreadPool pool(2);
+  CancellationToken token;
+  StopSignal stop(&token, Deadline());
+  int64_t covered = 0;
+  EXPECT_TRUE(ParallelApply(nullptr, 9,
+                            [&](int64_t begin, int64_t end) {
+                              covered += end - begin;
+                            }));
+  EXPECT_EQ(covered, 9);
+  std::atomic<int64_t> parallel_covered{0};
+  EXPECT_TRUE(ParallelApply(
+      &pool, 100,
+      [&](int64_t begin, int64_t end) {
+        parallel_covered.fetch_add(end - begin);
+      },
+      &stop));
+  EXPECT_EQ(parallel_covered.load(), 100);
+}
+
+TEST(ParallelApplyTest, FiredStopCutsTheSweepShort) {
+  CancellationToken token;
+  token.Cancel();
+  StopSignal stop(&token, Deadline());
+  // Inline path: a large count would slice into multiple chunks; a
+  // pre-fired stop must skip them all and report the incomplete run.
+  int64_t calls = 0;
+  EXPECT_FALSE(ParallelApply(
+      nullptr, 1000000, [&](int64_t, int64_t) { ++calls; }, &stop));
+  EXPECT_EQ(calls, 0);
+
+  ThreadPool pool(4);
+  std::atomic<int64_t> parallel_calls{0};
+  EXPECT_FALSE(ParallelApply(
+      &pool, 1000000,
+      [&](int64_t, int64_t) { parallel_calls.fetch_add(1); }, &stop));
+}
+
+TEST(ParallelApplyTest, DisarmedStopIsTheLegacyPath) {
+  // A null stop (and an unarmed one) must not change the chunk
+  // geometry: the inline path stays one single range.
+  std::vector<std::pair<int64_t, int64_t>> ranges;
+  StopSignal unarmed;
+  EXPECT_TRUE(ParallelApply(
+      nullptr, 7,
+      [&](int64_t begin, int64_t end) { ranges.emplace_back(begin, end); },
+      &unarmed));
+  EXPECT_EQ(ranges,
+            (std::vector<std::pair<int64_t, int64_t>>{{0, 7}}));
+}
+
 TEST(ParallelApplyTest, ReusableAcrossIterations) {
   // The hot-loop usage pattern: one pool, many sweeps.
   ThreadPool pool(3);

@@ -241,14 +241,38 @@ TEST(OnlineCheckpointTest, RejectsInconsistentCounters) {
   }
 }
 
-TEST(OnlineCheckpointTest, RejectsVersionMismatchDistinctly) {
+TEST(OnlineCheckpointTest, RejectsNewerVersionNamingBothVersions) {
+  // A v(N+1) snapshot fed to a vN build: the version word lives at
+  // bytes [8,12) and the CRC covers only the payload, so patching the
+  // header needs no re-checksum. The error must be a
+  // kFailedPrecondition (not kParseError: the bytes are fine, the
+  // build is old) naming both the snapshot's version and the newest
+  // one this build supports.
   std::string snapshot =
       SerializeOnlineSnapshot(MakeBusyCorroborator());
   std::string future = snapshot;
   future[8] = static_cast<char>(kOnlineSnapshotVersion + 1);
   auto result = ParseOnlineSnapshot(future);
   EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
-  EXPECT_NE(result.status().message().find("version"), std::string::npos);
+  const std::string message(result.status().message());
+  EXPECT_NE(message.find("version " +
+                         std::to_string(kOnlineSnapshotVersion + 1)),
+            std::string::npos);
+  EXPECT_NE(message.find("max version " +
+                         std::to_string(kOnlineSnapshotVersion)),
+            std::string::npos);
+  EXPECT_NE(message.find("newer"), std::string::npos);
+}
+
+TEST(OnlineCheckpointTest, RejectsPrehistoricVersionAsTooOld) {
+  std::string snapshot =
+      SerializeOnlineSnapshot(MakeBusyCorroborator());
+  std::string ancient = snapshot;
+  ancient[8] = static_cast<char>(kOnlineSnapshotMinVersion - 1);
+  auto result = ParseOnlineSnapshot(ancient);
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(std::string(result.status().message()).find("older"),
+            std::string::npos);
 }
 
 TEST(OnlineCheckpointTest, SaveLoadThroughDisk) {

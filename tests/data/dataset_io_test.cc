@@ -44,6 +44,24 @@ TEST(DatasetIoTest, UnknownTruthDropsColumn) {
   EXPECT_FALSE(loaded.truth.has_value());
 }
 
+TEST(DatasetIoTest, CancelledTokenAbortsTheRowLoop) {
+  // The row loop polls the token every 2048 rows, so a dataset has to
+  // be at least that tall before cancellation can land.
+  std::string text = "fact,s1\n";
+  for (int i = 0; i < 5000; ++i) {
+    text += "r" + std::to_string(i) + ",T\n";
+  }
+  CancellationToken token;
+  DatasetCsvOptions options;
+  options.cancel = &token;
+  EXPECT_TRUE(ParseDatasetCsv(text, options).ok());
+
+  token.Cancel();
+  auto result = ParseDatasetCsv(text, options);
+  EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
+  EXPECT_NE(result.status().message().find("rows"), std::string::npos);
+}
+
 TEST(DatasetIoTest, RejectsMalformedInputs) {
   EXPECT_EQ(ParseDatasetCsv("").status().code(), StatusCode::kParseError);
   EXPECT_EQ(ParseDatasetCsv("bogus,s1\nr1,T\n").status().code(),

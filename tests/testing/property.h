@@ -95,12 +95,15 @@ inline void ExpectBitIdentical(const std::vector<double>& a,
   }
 }
 
-/// EXPECTs two corroboration results to be fully bit-identical:
-/// probabilities, trust, iteration counts, commit rounds and the
-/// whole trajectory. This is the contract the parallel sweeps promise
-/// against the sequential path.
-inline void ExpectBitIdenticalResults(const CorroborationResult& a,
-                                      const CorroborationResult& b) {
+/// EXPECTs the *state* of two corroboration results to match bit for
+/// bit — probabilities, trust, iteration counts, commit rounds and
+/// the whole trajectory — while saying nothing about why each run
+/// stopped. This is the termination-parity contract: a run cancelled
+/// at iteration k and an uninterrupted run truncated at k report
+/// different Termination reasons over the exact same best-so-far
+/// numbers.
+inline void ExpectBitIdenticalBestSoFar(const CorroborationResult& a,
+                                        const CorroborationResult& b) {
   ExpectBitIdentical(a.fact_probability, b.fact_probability,
                      "fact_probability");
   ExpectBitIdentical(a.source_trust, b.source_trust, "source_trust");
@@ -114,6 +117,18 @@ inline void ExpectBitIdenticalResults(const CorroborationResult& a,
     ExpectBitIdentical(a.trajectory[i].trust, b.trajectory[i].trust,
                        "trajectory[" + std::to_string(i) + "].trust");
   }
+}
+
+/// EXPECTs two corroboration results to be fully bit-identical:
+/// everything ExpectBitIdenticalBestSoFar checks plus the termination
+/// reason. This is the contract the parallel sweeps promise against
+/// the sequential path.
+inline void ExpectBitIdenticalResults(const CorroborationResult& a,
+                                      const CorroborationResult& b) {
+  ExpectBitIdenticalBestSoFar(a, b);
+  EXPECT_EQ(a.termination, b.termination)
+      << TerminationName(a.termination) << " vs "
+      << TerminationName(b.termination);
 }
 
 /// A relabeling of the dataset's ids: old id -> new id, both axes.

@@ -65,6 +65,7 @@ RULES = {
     "discarded-status": "Status/Result return value ignored",
     "undocumented-discard": "(void) discard without `// lint: discard-ok: <reason>`",
     "nondeterminism": "unsanctioned randomness or wall-clock in deterministic code",
+    "raw-sleep": "uninterruptible sleep in library code (use budget/retry waits)",
     "raw-io": "stdout/stderr I/O in library code (use common/logging)",
     "naked-new": "raw new/delete (use std::make_unique / containers)",
     "include-order": "self-header is not the first include",
@@ -78,6 +79,7 @@ RULE_TAG = {
     "discarded-status": "discard",
     "undocumented-discard": "discard",
     "nondeterminism": "nondet",
+    "raw-sleep": "sleep",
     "raw-io": "io",
     "naked-new": "new",
     "include-order": "include",
@@ -412,6 +414,18 @@ NONDET_PATTERNS = [
     (re.compile(r"\b\w*_clock\s*::\s*now\s*\("), "std::chrono::*_clock::now()"),
 ]
 
+# The only places allowed to block a thread on wall clock: the budget
+# primitives own the one interruptible wait (CancellationToken::
+# WaitForMs) and retry's backoff delegates to it / to its test shim.
+# Everything else must poll a StopSignal or route the wait through
+# those, or a deadline-bound run cannot be cancelled promptly.
+RAW_SLEEP_EXEMPT_FILES = {
+    "src/common/budget.h", "src/common/budget.cc",
+    "src/common/retry.h", "src/common/retry.cc",
+}
+RAW_SLEEP_RE = re.compile(
+    r"\bstd\s*::\s*this_thread\s*::\s*sleep_(?:for|until)\s*\(")
+
 RAW_IO_EXEMPT = ("src/cli",)
 RAW_IO_EXEMPT_FILES = {
     "src/common/logging.h", "src/common/logging.cc",
@@ -439,6 +453,9 @@ def check_text_rules(sf: SourceFile, sup: Suppressions, out: list[Violation]):
     is_header = path.endswith((".h", ".hh", ".hpp"))
 
     nondet_applies = in_dirs(path, NONDET_SCOPE)
+    raw_sleep_applies = (
+        path.startswith("src/") and path not in RAW_SLEEP_EXEMPT_FILES
+    )
     raw_io_applies = (
         path.startswith("src/")
         and not in_dirs(path, RAW_IO_EXEMPT)
@@ -455,6 +472,13 @@ def check_text_rules(sf: SourceFile, sup: Suppressions, out: list[Violation]):
                         path, lineno, "nondeterminism",
                         f"{label}: use common/random.h (seeded) or "
                         "common/timer.h instead"))
+        if raw_sleep_applies and RAW_SLEEP_RE.search(code) \
+                and not sup.active("raw-sleep", lineno):
+            out.append(Violation(
+                path, lineno, "raw-sleep",
+                "std::this_thread::sleep_* outside common/budget and "
+                "common/retry: blocking waits must be interruptible — "
+                "use CancellationToken::WaitForMs or poll a StopSignal"))
         if raw_io_applies:
             for pattern, label in RAW_IO_PATTERNS:
                 if pattern.search(code) and not sup.active("raw-io", lineno):

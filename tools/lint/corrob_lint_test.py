@@ -35,6 +35,8 @@ EXPECTED = [
     ("src/core/bad_naked_new.cc", 17, "naked-new"),
     ("src/core/bad_naked_new.cc", 18, "naked-new"),
     ("src/core/bad_nolint.cc", 7, "bare-nolint"),
+    ("src/core/bad_sleep.cc", 12, "raw-sleep"),
+    ("src/core/bad_sleep.cc", 14, "raw-sleep"),
     ("src/core/bad_nondet.cc", 11, "nondeterminism"),
     ("src/core/bad_nondet.cc", 12, "nondeterminism"),
     ("src/core/bad_nondet.cc", 13, "nondeterminism"),

@@ -1,0 +1,22 @@
+// Fixture for the raw-sleep rule: uninterruptible blocking waits in
+// library code. Only common/budget and common/retry may call
+// std::this_thread::sleep_*; everything else must wait through
+// CancellationToken::WaitForMs so Ctrl-C and deadlines can land.
+
+#include <chrono>
+#include <thread>
+
+namespace corrob {
+
+void NapBadly() {
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  const auto wake = std::chrono::steady_clock::time_point();
+  std::this_thread::sleep_until(wake);
+}
+
+void NapSanctioned() {
+  // lint: sleep-ok: fixture exercising the suppression grammar.
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+}
+
+}  // namespace corrob
