@@ -686,15 +686,23 @@ int CmdStream(const FlagParser& flags, std::ostream& out,
   Status streamed =
       StreamFacts(dataset, online, start, checkpoint, checkpoint_every,
                   context.ValueOrDie(), decision_rows, &interrupted);
+  // Where interrupt state lands when no --checkpoint was given: a
+  // per-(input, output) derived path, so concurrent streams sharing a
+  // directory can never clobber each other's interrupt snapshot.
+  const std::string output = flags.GetString("output", "");
+  const std::string interrupt_checkpoint =
+      checkpoint.empty()
+          ? DeriveInterruptCheckpointPath(flags.GetString("input", ""),
+                                          output)
+          : checkpoint;
   if (!streamed.ok()) {
     // Best-effort final snapshot so an injected or real fault loses at
     // most the decisions CSV, never the trust state.
-    if (!checkpoint.empty()) {
-      Status saved = SaveOnlineSnapshot(checkpoint, online);
-      if (saved.ok()) {
-        err << "corrob: stream interrupted; checkpoint saved at fact "
-            << online.facts_observed() << "\n";
-      }
+    Status saved = SaveOnlineSnapshot(interrupt_checkpoint, online);
+    if (saved.ok()) {
+      err << "corrob: stream interrupted; checkpoint saved to "
+          << interrupt_checkpoint << " at fact "
+          << online.facts_observed() << "\n";
     }
     return Fail(err, streamed);
   }
@@ -704,17 +712,18 @@ int CmdStream(const FlagParser& flags, std::ostream& out,
   }
   if (interrupted.has_value()) {
     // Graceful stop: the decisions so far still go out below and the
-    // command exits 0 — the checkpoint (when configured) carries the
-    // exact prefix state for --resume.
-    err << "corrob: stream interrupted (" << TerminationName(*interrupted)
-        << ") at fact " << online.facts_observed();
-    if (!checkpoint.empty()) {
-      err << "; checkpoint saved, continue with --resume";
+    // command exits 0 — the checkpoint carries the exact prefix state
+    // for --resume (auto-derived when --checkpoint was not given).
+    if (checkpoint.empty()) {
+      Status saved = SaveOnlineSnapshot(interrupt_checkpoint, online);
+      if (!saved.ok()) return Fail(err, saved);
     }
-    err << "\n";
+    err << "corrob: stream interrupted (" << TerminationName(*interrupted)
+        << ") at fact " << online.facts_observed()
+        << "; checkpoint saved, continue with --checkpoint "
+        << interrupt_checkpoint << " --resume\n";
   }
 
-  std::string output = flags.GetString("output", "");
   std::string decisions = WriteCsv(decision_rows);
   if (output.empty()) {
     out << decisions;

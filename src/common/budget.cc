@@ -1,8 +1,10 @@
 #include "common/budget.h"
 
+#include <signal.h>  // sigaction; <csignal> lacks the POSIX pieces
+#include <unistd.h>
+
 #include <algorithm>
 #include <chrono>
-#include <csignal>
 #include <cstdlib>
 #include <string>
 #include <thread>
@@ -86,46 +88,99 @@ Status ValidateResourceBudget(const ResourceBudget& budget) {
   return Status::OK();
 }
 
-namespace {
-
-std::atomic<int> g_shutdown_signals{0};
-// Cached before handlers are installed: a C++ magic-static must not
-// be first-initialized inside a signal handler.
-const obs::Clock* g_signal_clock = nullptr;
-
-extern "C" void HandleShutdownSignal(int /*signum*/) {
-  const int prior = g_shutdown_signals.fetch_add(1, std::memory_order_relaxed);
-  if (prior >= 1) {
-    // Second signal: the run is not polling (or the user is
-    // impatient) — hard exit, shell convention for SIGINT death.
-    _exit(130);
-  }
-  const int64_t now =
-      g_signal_clock != nullptr ? g_signal_clock->NowNanos() : 0;
-  ProcessShutdownToken().Cancel(now);
-}
-
-}  // namespace
-
 CancellationToken& ProcessShutdownToken() {
   static CancellationToken token;
   return token;
 }
 
-void InstallShutdownSignalHandlers() {
-  // Touch the statics now so the handler never initializes them.
-  ProcessShutdownToken();
+/// Everything the async handler reads about the active scope. The
+/// struct is owned by the ScopedShutdownHandlers that installed it and
+/// published through one atomic pointer, so the handler body touches
+/// only async-signal-safe state (atomics and _exit).
+struct ScopedShutdownHandlers::State {
+  CancellationToken* token = nullptr;
+  int exit_code = 130;
+  std::atomic<int> signals{0};
+  /// The enclosing scope's state (nesting), null for the outermost.
+  State* previous = nullptr;
+  /// Dispositions displaced at construction, restored at destruction.
+  struct sigaction saved_sigint = {};
+  struct sigaction saved_sigterm = {};
+};
+
+namespace {
+
+// The innermost live scope; signals route here. Plain atomic pointer:
+// a C++ magic-static must not be first-initialized inside a signal
+// handler, and neither may a mutex be taken there.
+std::atomic<ScopedShutdownHandlers::State*> g_active_scope{nullptr};
+// Cached before handlers are installed, same magic-static rationale.
+const obs::Clock* g_signal_clock = nullptr;
+
+extern "C" void HandleShutdownSignal(int /*signum*/) {
+  ScopedShutdownHandlers::State* scope =
+      g_active_scope.load(std::memory_order_acquire);
+  if (scope == nullptr) return;  // scope torn down between raise and run
+  const int prior = scope->signals.fetch_add(1, std::memory_order_relaxed);
+  if (prior >= 1) {
+    // Second signal: the run is not polling (or the user is
+    // impatient) — hard exit, no cleanup.
+    _exit(scope->exit_code);
+  }
+  const int64_t now =
+      g_signal_clock != nullptr ? g_signal_clock->NowNanos() : 0;
+  scope->token->Cancel(now);
+}
+
+}  // namespace
+
+ScopedShutdownHandlers::ScopedShutdownHandlers(Options options)
+    : state_(std::make_unique<State>()) {
+  state_->token =
+      options.token != nullptr ? options.token : &ProcessShutdownToken();
+  state_->exit_code = options.second_signal_exit_code;
   g_signal_clock = obs::MonotonicClock::Get();
-  // Replacing the previous handler is the point: installation is
-  // idempotent and the CLI owns signal disposition.
-  // lint: discard-ok: the displaced handler is irrelevant.
-  (void)std::signal(SIGINT, HandleShutdownSignal);
-  // lint: discard-ok: same as above for SIGTERM.
-  (void)std::signal(SIGTERM, HandleShutdownSignal);
+
+  struct sigaction action = {};
+  action.sa_handler = HandleShutdownSignal;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;  // no SA_RESTART: blocking accept/read must wake
+  sigaction(SIGINT, &action, &state_->saved_sigint);
+  sigaction(SIGTERM, &action, &state_->saved_sigterm);
+
+  state_->previous = g_active_scope.load(std::memory_order_relaxed);
+  g_active_scope.store(state_.get(), std::memory_order_release);
+}
+
+ScopedShutdownHandlers::~ScopedShutdownHandlers() {
+  // Restore the displaced dispositions first so no signal delivered
+  // after this line can reach the state we are about to free.
+  sigaction(SIGINT, &state_->saved_sigint, nullptr);
+  sigaction(SIGTERM, &state_->saved_sigterm, nullptr);
+  g_active_scope.store(state_->previous, std::memory_order_release);
+}
+
+int ScopedShutdownHandlers::signal_count() const {
+  return state_->signals.load(std::memory_order_relaxed);
+}
+
+CancellationToken& ScopedShutdownHandlers::token() const {
+  return *state_->token;
+}
+
+void InstallShutdownSignalHandlers() {
+  // A process-lifetime scope, constructed once: repeated calls are
+  // no-ops instead of stacking handlers, and the CLI keeps its
+  // historical install-only semantics.
+  static ScopedShutdownHandlers install;
+  (void)install;  // lint: discard-ok: the side effect is the install itself
 }
 
 int ShutdownSignalCount() {
-  return g_shutdown_signals.load(std::memory_order_relaxed);
+  ScopedShutdownHandlers::State* scope =
+      g_active_scope.load(std::memory_order_acquire);
+  return scope == nullptr ? 0
+                          : scope->signals.load(std::memory_order_relaxed);
 }
 
 }  // namespace corrob

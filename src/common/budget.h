@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstdint>
 #include <limits>
+#include <memory>
 
 #include "common/status.h"
 #include "obs/clock.h"
@@ -142,15 +143,61 @@ class StopSignal {
 /// Ctrl-C parent their run token on this one.
 CancellationToken& ProcessShutdownToken();
 
+/// RAII ownership of SIGINT/SIGTERM disposition. While a scope is
+/// alive, the first shutdown signal cancels the scope's target token
+/// (graceful stop) and a second one hard-exits with the configured
+/// code (130 by default, the shell convention for SIGINT death).
+/// Destruction restores the dispositions that were in effect when the
+/// scope was constructed, so tests and embedders can install, observe
+/// and fully undo signal handling without leaking global state.
+///
+/// Scopes nest: the innermost live scope receives signals; destroying
+/// it re-activates the enclosing one. Scopes must be destroyed in
+/// reverse construction order (stack discipline) and construction/
+/// destruction must not race a concurrently delivered signal.
+class ScopedShutdownHandlers {
+ public:
+  struct Options {
+    /// The token the first signal cancels. Null targets the shared
+    /// ProcessShutdownToken(). The token must outlive the scope.
+    CancellationToken* token = nullptr;
+    /// _exit code of the second signal (must be non-zero; a run that
+    /// cannot poll its token is killed without cleanup).
+    int second_signal_exit_code = 130;
+  };
+
+  ScopedShutdownHandlers() : ScopedShutdownHandlers(Options{}) {}
+  explicit ScopedShutdownHandlers(Options options);
+  ~ScopedShutdownHandlers();
+
+  ScopedShutdownHandlers(const ScopedShutdownHandlers&) = delete;
+  ScopedShutdownHandlers& operator=(const ScopedShutdownHandlers&) = delete;
+
+  /// Shutdown signals received while this scope was the active one.
+  int signal_count() const;
+
+  /// The token this scope cancels on the first signal.
+  CancellationToken& token() const;
+
+  /// Implementation detail, public only so the signal handler (a
+  /// namespace-scope extern "C" function) can name it.
+  struct State;
+
+ private:
+  std::unique_ptr<State> state_;
+};
+
 /// Routes SIGINT and SIGTERM to ProcessShutdownToken().Cancel(): the
 /// first signal requests graceful shutdown, a second one hard-exits
 /// with status 130 (the shell convention for "killed by SIGINT") for
 /// runs that are too wedged to poll. Idempotent; call once from
-/// main().
+/// main(). Implemented as a process-lifetime ScopedShutdownHandlers —
+/// binaries that need to *undo* installation (daemons draining, test
+/// fixtures) construct a scope instead.
 void InstallShutdownSignalHandlers();
 
-/// Number of shutdown signals received so far (for tests and status
-/// reporting).
+/// Number of shutdown signals received by the active handler scope
+/// (for tests and status reporting); 0 when none is installed.
 int ShutdownSignalCount();
 
 }  // namespace corrob

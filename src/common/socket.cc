@@ -1,0 +1,196 @@
+#include "common/socket.h"
+
+#include <errno.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdint>
+
+namespace corrob {
+
+namespace {
+
+/// One poll slice: short enough that a fired StopSignal unblocks
+/// promptly, long enough that an idle wait costs nothing measurable.
+constexpr int kPollSliceMs = 20;
+
+std::string ErrnoText(const char* operation) {
+  return std::string(operation) + " failed: " + ::strerror(errno);
+}
+
+/// Waits until `fd` is ready for `events` (POLLIN/POLLOUT) or `stop`
+/// fires. OK = ready; Cancelled = stop fired first; IoError = the
+/// descriptor is dead (POLLERR/POLLNVAL without data to drain).
+Status PollWithStop(int fd, short events, const StopSignal& stop) {
+  while (true) {
+    if (stop.ShouldStop()) {
+      return Status::Cancelled(stop.cancelled()
+                                   ? "socket wait cancelled"
+                                   : "socket wait deadline expired");
+    }
+    struct pollfd entry;
+    entry.fd = fd;
+    entry.events = events;
+    entry.revents = 0;
+    const int ready = ::poll(&entry, 1, kPollSliceMs);
+    if (ready < 0) {
+      if (errno == EINTR) continue;  // signal: re-check stop, re-poll
+      return Status::IoError(ErrnoText("poll"));
+    }
+    if (ready == 0) continue;  // slice elapsed: re-check stop
+    if ((entry.revents & POLLNVAL) != 0) {
+      return Status::IoError("poll: invalid descriptor");
+    }
+    // POLLERR/POLLHUP fall through to the read/write call, which
+    // reports the real error (or the EOF) with errno context.
+    return Status::OK();
+  }
+}
+
+}  // namespace
+
+void UniqueFd::Reset(int fd) {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = fd;
+}
+
+Result<UniqueFd> ListenUnixSocket(const std::string& path, int backlog) {
+  struct sockaddr_un address;
+  if (path.empty() || path.size() >= sizeof(address.sun_path)) {
+    return Status::InvalidArgument(
+        "socket path must be 1.." +
+        std::to_string(sizeof(address.sun_path) - 1) + " bytes, got " +
+        std::to_string(path.size()));
+  }
+  UniqueFd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!fd.valid()) return Status::IoError(ErrnoText("socket"));
+  // A previous daemon that crashed leaves the socket file behind;
+  // binding over it needs the unlink (a live daemon still holds the
+  // listening socket, so this does not steal its traffic, but two
+  // daemons on one path are a deployment error this cannot detect).
+  ::unlink(path.c_str());
+  ::memset(&address, 0, sizeof(address));
+  address.sun_family = AF_UNIX;
+  ::memcpy(address.sun_path, path.c_str(), path.size());
+  if (::bind(fd.get(), reinterpret_cast<struct sockaddr*>(&address),
+             sizeof(address)) != 0) {
+    return Status::IoError(ErrnoText("bind") + " (path " + path + ")");
+  }
+  if (::listen(fd.get(), backlog) != 0) {
+    return Status::IoError(ErrnoText("listen"));
+  }
+  return fd;
+}
+
+Result<UniqueFd> AcceptWithStop(int listener_fd, const StopSignal& stop) {
+  while (true) {
+    CORROB_RETURN_NOT_OK(PollWithStop(listener_fd, POLLIN, stop));
+    const int fd = ::accept(listener_fd, nullptr, nullptr);
+    if (fd >= 0) return UniqueFd(fd);
+    if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK ||
+        errno == ECONNABORTED) {
+      continue;  // client gave up between poll and accept
+    }
+    return Status::IoError(ErrnoText("accept"));
+  }
+}
+
+Result<UniqueFd> ConnectUnixSocket(const std::string& path) {
+  struct sockaddr_un address;
+  if (path.empty() || path.size() >= sizeof(address.sun_path)) {
+    return Status::InvalidArgument("socket path too long: " + path);
+  }
+  UniqueFd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!fd.valid()) return Status::IoError(ErrnoText("socket"));
+  ::memset(&address, 0, sizeof(address));
+  address.sun_family = AF_UNIX;
+  ::memcpy(address.sun_path, path.c_str(), path.size());
+  if (::connect(fd.get(), reinterpret_cast<struct sockaddr*>(&address),
+                sizeof(address)) != 0) {
+    return Status::IoError(ErrnoText("connect") + " (path " + path + ")");
+  }
+  return fd;
+}
+
+Result<bool> ReadExactOrEof(int fd, void* buffer, size_t length,
+                            const StopSignal& stop) {
+  uint8_t* out = static_cast<uint8_t*>(buffer);
+  size_t done = 0;
+  while (done < length) {
+    CORROB_RETURN_NOT_OK(PollWithStop(fd, POLLIN, stop));
+    const ssize_t got = ::recv(fd, out + done, length - done, 0);
+    if (got > 0) {
+      done += static_cast<size_t>(got);
+      continue;
+    }
+    if (got == 0) {
+      if (done == 0) return false;  // clean close between messages
+      return Status::IoError("connection closed mid-read (" +
+                             std::to_string(done) + " of " +
+                             std::to_string(length) + " bytes)");
+    }
+    if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) {
+      continue;
+    }
+    return Status::IoError(ErrnoText("recv"));
+  }
+  return true;
+}
+
+Status ReadExact(int fd, void* buffer, size_t length,
+                 const StopSignal& stop) {
+  CORROB_ASSIGN_OR_RETURN(bool complete,
+                          ReadExactOrEof(fd, buffer, length, stop));
+  if (!complete) {
+    return Status::IoError("connection closed before any byte of a " +
+                           std::to_string(length) + "-byte read");
+  }
+  return Status::OK();
+}
+
+Status WriteAll(int fd, const void* buffer, size_t length,
+                const StopSignal& stop) {
+  const uint8_t* in = static_cast<const uint8_t*>(buffer);
+  size_t done = 0;
+  while (done < length) {
+    CORROB_RETURN_NOT_OK(PollWithStop(fd, POLLOUT, stop));
+    const ssize_t put =
+        ::send(fd, in + done, length - done, MSG_NOSIGNAL);
+    if (put > 0) {
+      done += static_cast<size_t>(put);
+      continue;
+    }
+    if (put < 0 &&
+        (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK)) {
+      continue;
+    }
+    if (put < 0 && errno == EPIPE) {
+      return Status::IoError("connection closed by peer mid-write (" +
+                             std::to_string(done) + " of " +
+                             std::to_string(length) + " bytes)");
+    }
+    return Status::IoError(ErrnoText("send"));
+  }
+  return Status::OK();
+}
+
+bool PeerClosed(int fd) {
+  struct pollfd entry;
+  entry.fd = fd;
+  entry.events = POLLIN;
+  entry.revents = 0;
+  if (::poll(&entry, 1, 0) <= 0) return false;
+  if ((entry.revents & (POLLERR | POLLNVAL)) != 0) return true;
+  if ((entry.revents & (POLLIN | POLLHUP)) == 0) return false;
+  // Readable: distinguish pending bytes (protocol violation handled
+  // elsewhere) from EOF without consuming either.
+  uint8_t probe;
+  const ssize_t got = ::recv(fd, &probe, 1, MSG_PEEK | MSG_DONTWAIT);
+  return got == 0;
+}
+
+}  // namespace corrob

@@ -1,0 +1,92 @@
+#ifndef CORROB_COMMON_SOCKET_H_
+#define CORROB_COMMON_SOCKET_H_
+
+#include <cstddef>
+#include <string>
+
+#include "common/budget.h"
+#include "common/result.h"
+#include "common/status.h"
+
+// Minimal POSIX stream-socket plumbing for corrobd and its clients:
+// RAII file descriptors plus interruptible exact-count I/O over Unix
+// domain sockets. Every blocking operation takes a StopSignal and
+// polls it, so a cancelled token or an expired deadline unblocks the
+// caller within one poll slice instead of hanging in the kernel —
+// the same cooperative contract the corroborators follow.
+
+namespace corrob {
+
+/// Owns one file descriptor; closes it on destruction. Move-only.
+class UniqueFd {
+ public:
+  UniqueFd() = default;
+  explicit UniqueFd(int fd) : fd_(fd) {}
+  ~UniqueFd() { Reset(); }
+
+  UniqueFd(UniqueFd&& other) noexcept : fd_(other.Release()) {}
+  UniqueFd& operator=(UniqueFd&& other) noexcept {
+    if (this != &other) Reset(other.Release());
+    return *this;
+  }
+  UniqueFd(const UniqueFd&) = delete;
+  UniqueFd& operator=(const UniqueFd&) = delete;
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+
+  /// Gives up ownership without closing.
+  int Release() {
+    int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+
+  /// Closes the current descriptor (if any) and adopts `fd`.
+  void Reset(int fd = -1);
+
+ private:
+  int fd_ = -1;
+};
+
+/// Creates, binds and listens on a Unix-domain stream socket at
+/// `path`, replacing any stale socket file left by a previous run.
+/// The path must fit sockaddr_un (~100 bytes).
+[[nodiscard]] Result<UniqueFd> ListenUnixSocket(const std::string& path,
+                                                int backlog = 64);
+
+/// Accepts one connection, polling `stop` while waiting. Returns
+/// Cancelled when the signal fires before a client arrives.
+[[nodiscard]] Result<UniqueFd> AcceptWithStop(int listener_fd,
+                                              const StopSignal& stop);
+
+/// Connects to the Unix-domain socket at `path`.
+[[nodiscard]] Result<UniqueFd> ConnectUnixSocket(const std::string& path);
+
+/// Reads exactly `length` bytes into `buffer`. Errors:
+///   Cancelled - `stop` fired first;
+///   IoError   - the peer closed the connection (message says whether
+///               mid-read or before the first byte) or a socket error.
+[[nodiscard]] Status ReadExact(int fd, void* buffer, size_t length,
+                               const StopSignal& stop);
+
+/// Like ReadExact, but a clean close before the first byte is not an
+/// error: returns false then (true after a full read). A close after
+/// at least one byte is still IoError — the peer died mid-message.
+[[nodiscard]] Result<bool> ReadExactOrEof(int fd, void* buffer,
+                                          size_t length,
+                                          const StopSignal& stop);
+
+/// Writes all `length` bytes of `buffer`. SIGPIPE is suppressed; a
+/// vanished peer reports IoError, a fired `stop` reports Cancelled.
+[[nodiscard]] Status WriteAll(int fd, const void* buffer, size_t length,
+                              const StopSignal& stop);
+
+/// True when the peer of `fd` has closed its end (or the socket is in
+/// an error state) without this side consuming the EOF. Non-blocking;
+/// used by corrobd's disconnect watcher to cancel abandoned requests.
+bool PeerClosed(int fd);
+
+}  // namespace corrob
+
+#endif  // CORROB_COMMON_SOCKET_H_

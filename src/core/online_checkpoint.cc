@@ -1,5 +1,6 @@
 #include "core/online_checkpoint.h"
 
+#include <cstdio>
 #include <cstring>
 
 #include "common/crc32.h"
@@ -236,6 +237,26 @@ Result<OnlineCorroborator> LoadOnlineSnapshot(const std::string& path) {
                   parsed.status().message() + " (in " + path + ")");
   }
   return parsed;
+}
+
+std::string DeriveInterruptCheckpointPath(std::string_view input_path,
+                                          std::string_view output_path) {
+  std::string_view base =
+      !output_path.empty() ? output_path
+                           : (!input_path.empty()
+                                  ? input_path
+                                  : std::string_view("stream"));
+  // Hash both paths (with a separator no path can contain) so streams
+  // that share an output stem but read different inputs — or vice
+  // versa — still land on distinct checkpoint files.
+  Crc32 crc;
+  crc.Update(input_path);
+  crc.Update(std::string_view("\n", 1));
+  crc.Update(output_path);
+  char suffix[24];
+  std::snprintf(suffix, sizeof(suffix), ".interrupt-%08x.snap",
+                crc.Digest());
+  return std::string(base) + suffix;
 }
 
 }  // namespace corrob

@@ -57,6 +57,17 @@ std::string SerializeOnlineSnapshot(const OnlineCorroborator& online);
 /// Fault-injection site: "online_checkpoint.load".
 [[nodiscard]] Result<OnlineCorroborator> LoadOnlineSnapshot(const std::string& path);
 
+/// Where an interrupted `corrob stream` run with no --checkpoint saves
+/// its state: "<base>.interrupt-<hex8>.snap", where base is
+/// `output_path` when non-empty (else `input_path`, else "stream") and
+/// the hex suffix is a CRC-32 over both paths. Deterministic per
+/// (input, output) pair — the matching --resume finds it again — but
+/// distinct for concurrent streams that share an input or an output
+/// directory, so one run's interrupt can never clobber another's
+/// checkpoint.
+std::string DeriveInterruptCheckpointPath(std::string_view input_path,
+                                          std::string_view output_path);
+
 }  // namespace corrob
 
 #endif  // CORROB_CORE_ONLINE_CHECKPOINT_H_

@@ -1,0 +1,115 @@
+#ifndef CORROB_SERVER_ADMISSION_H_
+#define CORROB_SERVER_ADMISSION_H_
+
+#include <array>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+
+#include "common/budget.h"
+#include "obs/clock.h"
+#include "server/protocol.h"
+
+// Admission control for corrobd: a bounded wait queue per priority
+// class in front of a fixed pool of execution slots. A request either
+// gets a slot (possibly after queueing), is shed immediately with a
+// structured kOverloaded decision carrying a backlog-derived
+// retry-after hint, or observes its own deadline/cancellation while
+// queued. Nothing here queues unboundedly: the queue capacities are
+// the whole backpressure story, and the saturation benchmark
+// (tools/loadgen) measures the resulting shed curve.
+
+namespace corrob {
+namespace server {
+
+struct AdmissionOptions {
+  /// Requests executing at once (the slot pool). Queued requests wait;
+  /// values < 1 are clamped to 1.
+  int max_concurrency = 4;
+  /// Bounded wait-queue depth per priority class (index = Priority).
+  /// A request arriving with its class queue full is shed.
+  std::array<int, kNumPriorities> queue_capacity = {8, 16, 32};
+  /// Per-class default request deadline, applied when a request does
+  /// not carry its own timeout_ms. 0 = no deadline.
+  std::array<int64_t, kNumPriorities> default_timeout_ms = {2000, 30000,
+                                                            120000};
+  /// Per-class default ResourceBudget::max_rounds when the request
+  /// does not set one. 0 = unlimited.
+  std::array<int64_t, kNumPriorities> default_max_rounds = {0, 0, 0};
+};
+
+/// What happened to one admission attempt.
+struct AdmissionDecision {
+  enum class Outcome {
+    /// A slot is held; the caller must Release() when done.
+    kAdmitted,
+    /// Shed: class queue full. Carries the retry-after hint.
+    kShed,
+    /// The request's own StopSignal fired while queued.
+    kCancelled,
+  };
+  Outcome outcome = Outcome::kShed;
+  /// Backlog-derived hint for kShed (clamped to [25ms, 60s]).
+  uint32_t retry_after_ms = 0;
+  /// Waiters in the request's class queue when the decision was made.
+  uint32_t queue_depth = 0;
+  /// Time spent queued before the decision.
+  int64_t queue_wait_nanos = 0;
+};
+
+/// Thread-safe slot pool + bounded priority queues. One instance per
+/// server; all methods may be called from any connection thread.
+class AdmissionController {
+ public:
+  AdmissionController(const AdmissionOptions& options,
+                      const obs::Clock* clock);
+
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+
+  /// Tries to take an execution slot for a request of class
+  /// `priority`, waiting in the class's bounded queue when the pool
+  /// is busy. Lower-numbered classes are granted slots first;
+  /// within a class, grants follow arrival order. `stop` is the
+  /// request's own deadline/cancellation and bounds the queue wait.
+  AdmissionDecision Admit(Priority priority, const StopSignal& stop);
+
+  /// Returns the slot taken by an admitted request. `service_nanos`
+  /// (the request's execution time) feeds the retry-after estimate.
+  void Release(Priority priority, int64_t service_nanos);
+
+  /// Executing requests (slots in use).
+  int running() const;
+  /// Current wait-queue depth of one class.
+  int queued(Priority priority) const;
+
+  const AdmissionOptions& options() const { return options_; }
+
+ private:
+  /// Millisecond retry-after estimate from the current backlog:
+  /// (work ahead of a new arrival) x (EWMA service time) spread over
+  /// the slot pool. Callers hold `mutex_`.
+  uint32_t RetryAfterMsLocked(Priority priority) const;
+
+  AdmissionOptions options_;
+  const obs::Clock* clock_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable slot_freed_;
+  int running_ = 0;
+  /// Tickets of queued requests, in arrival order, one deque per
+  /// class; a waiter whose StopSignal fires removes its own ticket,
+  /// so a dead waiter can never block the ones behind it. Bounded by
+  /// options_.queue_capacity.
+  std::array<std::deque<uint64_t>, kNumPriorities> queue_;
+  uint64_t next_ticket_ = 0;
+  /// EWMA of request service time (nanos), the retry-after basis.
+  double ewma_service_nanos_ = 0.0;
+};
+
+}  // namespace server
+}  // namespace corrob
+
+#endif  // CORROB_SERVER_ADMISSION_H_

@@ -1,0 +1,86 @@
+#include "server/client.h"
+
+#include <utility>
+
+namespace corrob {
+namespace server {
+
+Result<CorrobClient> CorrobClient::Connect(const std::string& socket_path) {
+  CORROB_ASSIGN_OR_RETURN(UniqueFd fd, ConnectUnixSocket(socket_path));
+  return CorrobClient(std::move(fd));
+}
+
+Result<Frame> CorrobClient::RoundTrip(const Frame& request,
+                                      const StopSignal& stop) {
+  if (!fd_.valid()) {
+    return Status::FailedPrecondition("client is not connected");
+  }
+  CORROB_RETURN_NOT_OK(WriteFrame(fd_.get(), request, stop));
+  return ReadFrame(fd_.get(), stop);
+}
+
+Result<CorroborateOutcome> CorrobClient::Corroborate(
+    const CorroborateRequest& request, const StopSignal& stop) {
+  Frame wire;
+  wire.type = FrameType::kCorroborateRequest;
+  wire.payload = EncodeCorroborateRequest(request);
+  CORROB_ASSIGN_OR_RETURN(Frame response, RoundTrip(wire, stop));
+
+  CorroborateOutcome outcome;
+  outcome.raw_frame = EncodeFrame(response);
+  switch (response.type) {
+    case FrameType::kResultResponse: {
+      outcome.kind = CorroborateOutcome::Kind::kResult;
+      CORROB_ASSIGN_OR_RETURN(outcome.result,
+                              DecodeCorroborateResponse(response.payload));
+      return outcome;
+    }
+    case FrameType::kErrorResponse: {
+      outcome.kind = CorroborateOutcome::Kind::kError;
+      CORROB_ASSIGN_OR_RETURN(outcome.error,
+                              DecodeErrorResponse(response.payload));
+      return outcome;
+    }
+    case FrameType::kOverloadedResponse: {
+      outcome.kind = CorroborateOutcome::Kind::kOverloaded;
+      CORROB_ASSIGN_OR_RETURN(outcome.overloaded,
+                              DecodeOverloadedResponse(response.payload));
+      return outcome;
+    }
+    default: {
+      return Status::ParseError(
+          "unexpected response frame '" +
+          std::string(FrameTypeName(response.type)) +
+          "' to a corroborate request");
+    }
+  }
+}
+
+Result<std::string> CorrobClient::Ping(const std::string& payload,
+                                       const StopSignal& stop) {
+  Frame wire;
+  wire.type = FrameType::kPingRequest;
+  wire.payload = payload;
+  CORROB_ASSIGN_OR_RETURN(Frame response, RoundTrip(wire, stop));
+  if (response.type != FrameType::kPongResponse) {
+    return Status::ParseError("unexpected response frame '" +
+                              std::string(FrameTypeName(response.type)) +
+                              "' to a ping");
+  }
+  return response.payload;
+}
+
+Result<std::string> CorrobClient::Stats(const StopSignal& stop) {
+  Frame wire;
+  wire.type = FrameType::kStatsRequest;
+  CORROB_ASSIGN_OR_RETURN(Frame response, RoundTrip(wire, stop));
+  if (response.type != FrameType::kStatsResponse) {
+    return Status::ParseError("unexpected response frame '" +
+                              std::string(FrameTypeName(response.type)) +
+                              "' to a stats request");
+  }
+  return response.payload;
+}
+
+}  // namespace server
+}  // namespace corrob

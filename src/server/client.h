@@ -1,0 +1,82 @@
+#ifndef CORROB_SERVER_CLIENT_H_
+#define CORROB_SERVER_CLIENT_H_
+
+#include <string>
+
+#include "common/budget.h"
+#include "common/result.h"
+#include "common/socket.h"
+#include "common/status.h"
+#include "server/frame.h"
+#include "server/protocol.h"
+
+// Client side of the corrobd protocol: one connection, synchronous
+// request/response. Used by the corrob CLI, tools/loadgen, and the
+// serving tests; anything corrobd can answer is representable here
+// without an error path that loses the typed response.
+
+namespace corrob {
+namespace server {
+
+/// Every way a corroborate request can come back. A transport-level
+/// failure (socket died, cancelled) is a Status error instead; a
+/// daemon that answered — even with an error — always produces an
+/// outcome.
+struct CorroborateOutcome {
+  enum class Kind {
+    kResult,      ///< A corroboration result (possibly an early stop).
+    kError,       ///< Typed per-request failure; the daemon is fine.
+    kOverloaded,  ///< Shed by admission control; retry after the hint.
+  };
+  Kind kind = Kind::kError;
+  CorroborateResponse result;      // valid when kind == kResult
+  ErrorResponse error;             // valid when kind == kError
+  OverloadedResponse overloaded;   // valid when kind == kOverloaded
+  /// The response frame exactly as it crossed the wire (header +
+  /// payload + checksum). The drain parity test compares these bytes
+  /// between a drained and a fresh daemon.
+  std::string raw_frame;
+};
+
+class CorrobClient {
+ public:
+  /// Connects to a corrobd at `socket_path`.
+  [[nodiscard]] static Result<CorrobClient> Connect(
+      const std::string& socket_path);
+
+  CorrobClient() = default;
+  CorrobClient(CorrobClient&&) noexcept = default;
+  CorrobClient& operator=(CorrobClient&&) noexcept = default;
+
+  bool connected() const { return fd_.valid(); }
+  /// Raw descriptor (tests use it to fault the transport mid-call).
+  int fd() const { return fd_.get(); }
+  /// Hard-closes the connection; a request in flight on the server is
+  /// cancelled by its disconnect watcher.
+  void Close() { fd_.Reset(); }
+
+  /// Sends one corroborate request and reads its response frame.
+  [[nodiscard]] Result<CorroborateOutcome> Corroborate(
+      const CorroborateRequest& request, const StopSignal& stop);
+
+  /// Round-trips a ping; the response echoes `payload`.
+  [[nodiscard]] Result<std::string> Ping(const std::string& payload,
+                                         const StopSignal& stop);
+
+  /// Fetches the daemon's stats JSON (schema corrob.serving_stats/1).
+  [[nodiscard]] Result<std::string> Stats(const StopSignal& stop);
+
+ private:
+  explicit CorrobClient(UniqueFd fd) : fd_(std::move(fd)) {}
+
+  /// Writes `request` and reads one response frame.
+  [[nodiscard]] Result<Frame> RoundTrip(const Frame& request,
+                                        const StopSignal& stop);
+
+  UniqueFd fd_;
+};
+
+}  // namespace server
+}  // namespace corrob
+
+#endif  // CORROB_SERVER_CLIENT_H_

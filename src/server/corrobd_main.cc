@@ -1,0 +1,180 @@
+#include <array>
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/budget.h"
+#include "common/failpoint.h"
+#include "common/status.h"
+#include "server/server.h"
+
+// Entry point of the corrobd daemon. Flag parsing is deliberately
+// minimal (no dependency on the corrob CLI); everything interesting
+// lives in CorrobdServer. Lifecycle:
+//
+//   corrobd --socket /tmp/corrobd.sock --dataset flights=data/flights.csv
+//
+//   SIGTERM/SIGINT  -> drain: stop accepting, finish in-flight
+//                      requests, exit 0
+//   second signal   -> immediate _exit(130)
+//
+// docs/SERVING.md documents the flags and the drain contract.
+
+namespace corrob {
+namespace server {
+namespace {
+
+struct DaemonFlags {
+  ServerOptions server;
+  std::string failpoints;
+};
+
+/// Parses "a,b,c" into exactly kNumPriorities non-negative integers.
+[[nodiscard]] Status ParsePerClassInts(const std::string& flag,
+                                       const std::string& text,
+                                       std::array<int64_t, kNumPriorities>* out) {
+  std::array<int64_t, kNumPriorities> values = {};
+  size_t begin = 0;
+  for (int cls = 0; cls < kNumPriorities; ++cls) {
+    const size_t comma = text.find(',', begin);
+    const bool last = cls == kNumPriorities - 1;
+    if (last != (comma == std::string::npos)) {
+      return Status::InvalidArgument(
+          flag + " needs exactly " + std::to_string(kNumPriorities) +
+          " comma-separated values (interactive,batch,best_effort), got '" +
+          text + "'");
+    }
+    const std::string part = text.substr(
+        begin, comma == std::string::npos ? std::string::npos : comma - begin);
+    try {
+      values[cls] = std::stoll(part);
+    } catch (...) {
+      return Status::InvalidArgument(flag + ": '" + part +
+                                     "' is not an integer");
+    }
+    if (values[cls] < 0) {
+      return Status::InvalidArgument(flag + " values must be >= 0");
+    }
+    begin = comma + 1;
+  }
+  *out = values;
+  return Status::OK();
+}
+
+[[nodiscard]] Status ParseFlags(const std::vector<std::string>& args,
+                                DaemonFlags* flags) {
+  const auto needs_value = [&](size_t i) -> Result<std::string> {
+    if (i + 1 >= args.size()) {
+      return Status::InvalidArgument("flag " + args[i] + " needs a value");
+    }
+    return args[i + 1];
+  };
+  for (size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg == "--socket") {
+      CORROB_ASSIGN_OR_RETURN(flags->server.socket_path, needs_value(i));
+      ++i;
+    } else if (arg == "--dataset") {
+      CORROB_ASSIGN_OR_RETURN(std::string spec, needs_value(i));
+      flags->server.dataset_specs.push_back(spec);
+      ++i;
+    } else if (arg == "--max-concurrency") {
+      CORROB_ASSIGN_OR_RETURN(std::string value, needs_value(i));
+      flags->server.admission.max_concurrency = std::stoi(value);
+      ++i;
+    } else if (arg == "--queue-capacity") {
+      CORROB_ASSIGN_OR_RETURN(std::string value, needs_value(i));
+      std::array<int64_t, kNumPriorities> capacities = {};
+      CORROB_RETURN_NOT_OK(
+          ParsePerClassInts("--queue-capacity", value, &capacities));
+      for (int cls = 0; cls < kNumPriorities; ++cls) {
+        flags->server.admission.queue_capacity[cls] =
+            static_cast<int>(capacities[cls]);
+      }
+      ++i;
+    } else if (arg == "--default-timeout-ms") {
+      CORROB_ASSIGN_OR_RETURN(std::string value, needs_value(i));
+      CORROB_RETURN_NOT_OK(ParsePerClassInts(
+          "--default-timeout-ms", value,
+          &flags->server.admission.default_timeout_ms));
+      ++i;
+    } else if (arg == "--default-max-rounds") {
+      CORROB_ASSIGN_OR_RETURN(std::string value, needs_value(i));
+      CORROB_RETURN_NOT_OK(ParsePerClassInts(
+          "--default-max-rounds", value,
+          &flags->server.admission.default_max_rounds));
+      ++i;
+    } else if (arg == "--threads") {
+      CORROB_ASSIGN_OR_RETURN(std::string value, needs_value(i));
+      flags->server.run_threads = std::stoi(value);
+      ++i;
+    } else if (arg == "--drain-timeout-ms") {
+      CORROB_ASSIGN_OR_RETURN(std::string value, needs_value(i));
+      flags->server.drain_timeout_ms = std::stoll(value);
+      ++i;
+    } else if (arg == "--failpoint") {
+      CORROB_ASSIGN_OR_RETURN(std::string spec, needs_value(i));
+      if (!flags->failpoints.empty()) flags->failpoints += ",";
+      flags->failpoints += spec;
+      ++i;
+    } else {
+      return Status::InvalidArgument(
+          "unknown flag '" + arg +
+          "' (flags: --socket --dataset --max-concurrency "
+          "--queue-capacity --default-timeout-ms --default-max-rounds "
+          "--threads --drain-timeout-ms --failpoint)");
+    }
+  }
+  return Status::OK();
+}
+
+int RunDaemon(const std::vector<std::string>& args, std::ostream& out,
+              std::ostream& err) {
+  DaemonFlags flags;
+  if (Status parsed = ParseFlags(args, &flags); !parsed.ok()) {
+    err << "corrobd: " << parsed.ToString() << "\n";
+    return 2;
+  }
+  if (!flags.failpoints.empty()) {
+    if (Status armed = Failpoints::ArmFromSpecList(flags.failpoints);
+        !armed.ok()) {
+      err << "corrobd: " << armed.ToString() << "\n";
+      return 2;
+    }
+  }
+
+  CorrobdServer daemon(flags.server);
+  if (Status started = daemon.Start(); !started.ok()) {
+    err << "corrobd: " << started.ToString() << "\n";
+    return 1;
+  }
+  out << "corrobd: serving " << daemon.dataset_names().size()
+      << " dataset(s) on " << flags.server.socket_path << "\n";
+  out.flush();
+
+  // First SIGTERM/SIGINT cancels the drain token (graceful drain,
+  // exit 0); a second hard-exits 130 for a daemon too wedged to
+  // finish draining.
+  CancellationToken drain_token;
+  ScopedShutdownHandlers signals(
+      ScopedShutdownHandlers::Options{.token = &drain_token});
+
+  if (Status served = daemon.Serve(&drain_token); !served.ok()) {
+    err << "corrobd: " << served.ToString() << "\n";
+    return 1;
+  }
+  out << "corrobd: drained cleanly, " << daemon.responses_sent()
+      << " response(s) served\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace server
+}  // namespace corrob
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  return corrob::server::RunDaemon(
+      args, std::cout, std::cerr);  // lint: io-ok: binary entry point
+}

@@ -1,0 +1,196 @@
+#include "server/frame.h"
+
+#include <cstdio>
+
+#include "common/crc32.h"
+#include "common/failpoint.h"
+#include "common/socket.h"
+
+namespace corrob {
+namespace server {
+
+namespace {
+
+void PutU32(std::string* out, uint32_t value) {
+  out->push_back(static_cast<char>(value & 0xFF));
+  out->push_back(static_cast<char>((value >> 8) & 0xFF));
+  out->push_back(static_cast<char>((value >> 16) & 0xFF));
+  out->push_back(static_cast<char>((value >> 24) & 0xFF));
+}
+
+uint32_t GetU32(const char* bytes) {
+  return static_cast<uint32_t>(static_cast<uint8_t>(bytes[0])) |
+         static_cast<uint32_t>(static_cast<uint8_t>(bytes[1])) << 8 |
+         static_cast<uint32_t>(static_cast<uint8_t>(bytes[2])) << 16 |
+         static_cast<uint32_t>(static_cast<uint8_t>(bytes[3])) << 24;
+}
+
+uint32_t FrameChecksum(uint8_t type, std::string_view payload) {
+  Crc32 crc;
+  const char type_byte = static_cast<char>(type);
+  crc.Update(std::string_view(&type_byte, 1));
+  crc.Update(payload);
+  return crc.Digest();
+}
+
+/// Validates the decoded header fields shared by the buffer and
+/// socket decode paths.
+Status CheckHeader(uint32_t magic, uint8_t raw_type,
+                   uint32_t payload_length) {
+  if (magic != kFrameMagic) {
+    return Status::ParseError("bad frame magic 0x" + [&] {
+      char buffer[16];
+      std::snprintf(buffer, sizeof(buffer), "%08x", magic);
+      return std::string(buffer);
+    }());
+  }
+  if (payload_length > kMaxFramePayload) {
+    return Status::InvalidArgument(
+        "frame payload of " + std::to_string(payload_length) +
+        " bytes exceeds the " + std::to_string(kMaxFramePayload) +
+        "-byte cap");
+  }
+  if (!IsKnownFrameType(raw_type)) {
+    return Status::InvalidArgument("unknown frame type 0x" + [&] {
+      char buffer[8];
+      std::snprintf(buffer, sizeof(buffer), "%02x", raw_type);
+      return std::string(buffer);
+    }());
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string_view FrameTypeName(FrameType type) {
+  switch (type) {
+    case FrameType::kCorroborateRequest:
+      return "corroborate_request";
+    case FrameType::kPingRequest:
+      return "ping_request";
+    case FrameType::kStatsRequest:
+      return "stats_request";
+    case FrameType::kResultResponse:
+      return "result_response";
+    case FrameType::kErrorResponse:
+      return "error_response";
+    case FrameType::kOverloadedResponse:
+      return "overloaded_response";
+    case FrameType::kPongResponse:
+      return "pong_response";
+    case FrameType::kStatsResponse:
+      return "stats_response";
+  }
+  return "unknown";
+}
+
+bool IsKnownFrameType(uint8_t raw) {
+  switch (static_cast<FrameType>(raw)) {
+    case FrameType::kCorroborateRequest:
+    case FrameType::kPingRequest:
+    case FrameType::kStatsRequest:
+    case FrameType::kResultResponse:
+    case FrameType::kErrorResponse:
+    case FrameType::kOverloadedResponse:
+    case FrameType::kPongResponse:
+    case FrameType::kStatsResponse:
+      return true;
+  }
+  return false;
+}
+
+std::string EncodeFrame(const Frame& frame) {
+  std::string out;
+  out.reserve(kFrameHeaderBytes + frame.payload.size() +
+              kFrameTrailerBytes);
+  PutU32(&out, kFrameMagic);
+  out.push_back(static_cast<char>(frame.type));
+  PutU32(&out, static_cast<uint32_t>(frame.payload.size()));
+  out.append(frame.payload);
+  PutU32(&out, FrameChecksum(static_cast<uint8_t>(frame.type),
+                             frame.payload));
+  return out;
+}
+
+Result<Frame> DecodeFrame(std::string_view wire, size_t* consumed) {
+  if (wire.size() < kFrameHeaderBytes) {
+    return Status::ParseError("truncated frame: " +
+                              std::to_string(wire.size()) +
+                              " bytes is shorter than the " +
+                              std::to_string(kFrameHeaderBytes) +
+                              "-byte header");
+  }
+  const uint32_t magic = GetU32(wire.data());
+  const uint8_t raw_type = static_cast<uint8_t>(wire[4]);
+  const uint32_t payload_length = GetU32(wire.data() + 5);
+  CORROB_RETURN_NOT_OK(CheckHeader(magic, raw_type, payload_length));
+  const size_t total =
+      kFrameHeaderBytes + payload_length + kFrameTrailerBytes;
+  if (wire.size() < total) {
+    return Status::ParseError(
+        "truncated frame: header announces " + std::to_string(total) +
+        " bytes, got " + std::to_string(wire.size()));
+  }
+  std::string_view payload = wire.substr(kFrameHeaderBytes, payload_length);
+  const uint32_t stored =
+      GetU32(wire.data() + kFrameHeaderBytes + payload_length);
+  const uint32_t computed = FrameChecksum(raw_type, payload);
+  if (stored != computed) {
+    return Status::ParseError("frame checksum mismatch: stored " +
+                              std::to_string(stored) + ", computed " +
+                              std::to_string(computed));
+  }
+  if (consumed != nullptr) *consumed = total;
+  Frame frame;
+  frame.type = static_cast<FrameType>(raw_type);
+  frame.payload.assign(payload);
+  return frame;
+}
+
+Result<std::optional<Frame>> ReadFrameOrEof(int fd,
+                                            const StopSignal& stop) {
+  CORROB_FAILPOINT("server.frame.read");
+  char header[kFrameHeaderBytes];
+  CORROB_ASSIGN_OR_RETURN(
+      bool got_header, ReadExactOrEof(fd, header, sizeof(header), stop));
+  if (!got_header) return std::optional<Frame>();
+  const uint32_t magic = GetU32(header);
+  const uint8_t raw_type = static_cast<uint8_t>(header[4]);
+  const uint32_t payload_length = GetU32(header + 5);
+  CORROB_RETURN_NOT_OK(CheckHeader(magic, raw_type, payload_length));
+  Frame frame;
+  frame.type = static_cast<FrameType>(raw_type);
+  frame.payload.resize(payload_length);
+  if (payload_length > 0) {
+    CORROB_RETURN_NOT_OK(
+        ReadExact(fd, frame.payload.data(), payload_length, stop));
+  }
+  char trailer[kFrameTrailerBytes];
+  CORROB_RETURN_NOT_OK(ReadExact(fd, trailer, sizeof(trailer), stop));
+  const uint32_t stored = GetU32(trailer);
+  const uint32_t computed = FrameChecksum(raw_type, frame.payload);
+  if (stored != computed) {
+    return Status::ParseError("frame checksum mismatch: stored " +
+                              std::to_string(stored) + ", computed " +
+                              std::to_string(computed));
+  }
+  return std::optional<Frame>(std::move(frame));
+}
+
+Result<Frame> ReadFrame(int fd, const StopSignal& stop) {
+  CORROB_ASSIGN_OR_RETURN(std::optional<Frame> frame,
+                          ReadFrameOrEof(fd, stop));
+  if (!frame.has_value()) {
+    return Status::IoError("connection closed while waiting for a frame");
+  }
+  return std::move(*frame);
+}
+
+Status WriteFrame(int fd, const Frame& frame, const StopSignal& stop) {
+  CORROB_FAILPOINT("server.frame.write");
+  const std::string wire = EncodeFrame(frame);
+  return WriteAll(fd, wire.data(), wire.size(), stop);
+}
+
+}  // namespace server
+}  // namespace corrob

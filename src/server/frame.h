@@ -1,0 +1,94 @@
+#ifndef CORROB_SERVER_FRAME_H_
+#define CORROB_SERVER_FRAME_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/budget.h"
+#include "common/result.h"
+#include "common/status.h"
+
+// Wire framing of the corrobd protocol (docs/SERVING.md). Every
+// message is one length-prefixed, checksummed frame:
+//
+//   [u32 magic "CRB1"][u8 type][u32 payload length][payload]
+//   [u32 CRC-32 of type byte + payload]
+//
+// all integers little-endian. The codec never trusts the peer: a bad
+// magic, an oversized length, an unknown type or a checksum mismatch
+// each produce a distinct typed error (and the fault-injection tests
+// in tests/server/frame_test.cc pin that none of them can crash or
+// wedge the daemon).
+
+namespace corrob {
+namespace server {
+
+/// Message kind carried by a frame. Requests have the high bit clear,
+/// responses have it set.
+enum class FrameType : uint8_t {
+  kCorroborateRequest = 0x01,
+  kPingRequest = 0x02,
+  kStatsRequest = 0x03,
+  kResultResponse = 0x81,
+  kErrorResponse = 0x82,
+  kOverloadedResponse = 0x83,
+  kPongResponse = 0x84,
+  kStatsResponse = 0x85,
+};
+
+/// Stable lowercase name, e.g. "corroborate_request".
+std::string_view FrameTypeName(FrameType type);
+
+/// True when `raw` is one of the FrameType values.
+bool IsKnownFrameType(uint8_t raw);
+
+inline constexpr uint32_t kFrameMagic = 0x31425243;  // "CRB1"
+/// Frame header: magic + type + payload length.
+inline constexpr size_t kFrameHeaderBytes = 4 + 1 + 4;
+/// CRC-32 trailer.
+inline constexpr size_t kFrameTrailerBytes = 4;
+/// Hard cap on one frame's payload; a header claiming more is
+/// rejected before any allocation (64 MiB holds the response for an
+/// ~4M-fact corroboration).
+inline constexpr uint32_t kMaxFramePayload = 64u << 20;
+
+struct Frame {
+  FrameType type = FrameType::kPingRequest;
+  std::string payload;
+};
+
+/// Serializes `frame` (header + payload + checksum).
+std::string EncodeFrame(const Frame& frame);
+
+/// Decodes one complete frame from the front of `wire`. Typed errors:
+///   ParseError       - bad magic, checksum mismatch, or `wire` is
+///                      shorter than the frame it announces;
+///   InvalidArgument  - unknown frame type or payload length above
+///                      kMaxFramePayload.
+/// On success `*consumed` (when non-null) is the encoded size.
+[[nodiscard]] Result<Frame> DecodeFrame(std::string_view wire,
+                                        size_t* consumed = nullptr);
+
+/// Reads one frame from `fd`, polling `stop`. Error taxonomy of
+/// DecodeFrame plus:
+///   IoError    - the peer closed mid-frame or the socket died;
+///   Cancelled  - `stop` fired.
+/// The "server.frame.read" failpoint is checked before the read.
+[[nodiscard]] Result<Frame> ReadFrame(int fd, const StopSignal& stop);
+
+/// Like ReadFrame, but a clean close on a frame boundary returns
+/// nullopt instead of an error (how connection loops see goodbye).
+[[nodiscard]] Result<std::optional<Frame>> ReadFrameOrEof(
+    int fd, const StopSignal& stop);
+
+/// Writes one frame to `fd`, polling `stop`. The "server.frame.write"
+/// failpoint is checked before the write.
+[[nodiscard]] Status WriteFrame(int fd, const Frame& frame,
+                                const StopSignal& stop);
+
+}  // namespace server
+}  // namespace corrob
+
+#endif  // CORROB_SERVER_FRAME_H_

@@ -1,0 +1,259 @@
+#include "server/protocol.h"
+
+#include <bit>
+#include <cstring>
+
+#include "common/string_util.h"
+
+namespace corrob {
+namespace server {
+
+namespace {
+
+// ---------------------------------------------------------------
+// Little-endian payload writer/reader with bounds-checked reads.
+// ---------------------------------------------------------------
+
+void PutU8(std::string* out, uint8_t value) {
+  out->push_back(static_cast<char>(value));
+}
+
+void PutU32(std::string* out, uint32_t value) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    out->push_back(static_cast<char>((value >> shift) & 0xFF));
+  }
+}
+
+void PutF64(std::string* out, double value) {
+  const uint64_t bits = std::bit_cast<uint64_t>(value);
+  for (int shift = 0; shift < 64; shift += 8) {
+    out->push_back(static_cast<char>((bits >> shift) & 0xFF));
+  }
+}
+
+void PutString(std::string* out, std::string_view text) {
+  PutU32(out, static_cast<uint32_t>(text.size()));
+  out->append(text);
+}
+
+class PayloadReader {
+ public:
+  explicit PayloadReader(std::string_view payload) : rest_(payload) {}
+
+  [[nodiscard]] Status ReadU8(uint8_t* out) {
+    CORROB_RETURN_NOT_OK(Need(1, "u8"));
+    *out = static_cast<uint8_t>(rest_[0]);
+    rest_.remove_prefix(1);
+    return Status::OK();
+  }
+
+  [[nodiscard]] Status ReadU32(uint32_t* out) {
+    CORROB_RETURN_NOT_OK(Need(4, "u32"));
+    uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) {
+      value |= static_cast<uint32_t>(static_cast<uint8_t>(rest_[i]))
+               << (8 * i);
+    }
+    rest_.remove_prefix(4);
+    *out = value;
+    return Status::OK();
+  }
+
+  [[nodiscard]] Status ReadF64(double* out) {
+    CORROB_RETURN_NOT_OK(Need(8, "f64"));
+    uint64_t bits = 0;
+    for (int i = 0; i < 8; ++i) {
+      bits |= static_cast<uint64_t>(static_cast<uint8_t>(rest_[i]))
+              << (8 * i);
+    }
+    rest_.remove_prefix(8);
+    *out = std::bit_cast<double>(bits);
+    return Status::OK();
+  }
+
+  [[nodiscard]] Status ReadString(std::string* out) {
+    uint32_t length = 0;
+    CORROB_RETURN_NOT_OK(ReadU32(&length));
+    CORROB_RETURN_NOT_OK(Need(length, "string body"));
+    out->assign(rest_.substr(0, length));
+    rest_.remove_prefix(length);
+    return Status::OK();
+  }
+
+  [[nodiscard]] Status ReadF64Vector(std::vector<double>* out) {
+    uint32_t count = 0;
+    CORROB_RETURN_NOT_OK(ReadU32(&count));
+    CORROB_RETURN_NOT_OK(Need(static_cast<size_t>(count) * 8, "f64 array"));
+    out->resize(count);
+    for (uint32_t i = 0; i < count; ++i) {
+      CORROB_RETURN_NOT_OK(ReadF64(&(*out)[i]));
+    }
+    return Status::OK();
+  }
+
+  /// Every decoder's final check: trailing bytes mean a version skew
+  /// or a corrupted payload, both worth rejecting loudly.
+  [[nodiscard]] Status ExpectEnd() const {
+    if (!rest_.empty()) {
+      return Status::ParseError("payload has " +
+                                std::to_string(rest_.size()) +
+                                " trailing bytes");
+    }
+    return Status::OK();
+  }
+
+ private:
+  [[nodiscard]] Status Need(size_t bytes, const char* what) const {
+    if (rest_.size() < bytes) {
+      return Status::ParseError("payload truncated reading " +
+                                std::string(what) + ": need " +
+                                std::to_string(bytes) + " bytes, have " +
+                                std::to_string(rest_.size()));
+    }
+    return Status::OK();
+  }
+
+  std::string_view rest_;
+};
+
+[[nodiscard]] Status CheckVersion(PayloadReader& reader) {
+  uint8_t version = 0;
+  CORROB_RETURN_NOT_OK(reader.ReadU8(&version));
+  if (version != kProtocolVersion) {
+    return Status::FailedPrecondition(
+        "payload codec version " + std::to_string(version) +
+        " is not the supported version " +
+        std::to_string(kProtocolVersion));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string_view PriorityName(Priority priority) {
+  switch (priority) {
+    case Priority::kInteractive:
+      return "interactive";
+    case Priority::kBatch:
+      return "batch";
+    case Priority::kBestEffort:
+      return "best_effort";
+  }
+  return "unknown";
+}
+
+Result<Priority> ParsePriority(std::string_view text) {
+  const std::string lowered = ToLower(Trim(text));
+  if (lowered == "interactive") return Priority::kInteractive;
+  if (lowered == "batch") return Priority::kBatch;
+  if (lowered == "best_effort" || lowered == "besteffort" ||
+      lowered == "best-effort") {
+    return Priority::kBestEffort;
+  }
+  return Status::InvalidArgument(
+      "unknown priority '" + std::string(text) +
+      "' (expected interactive|batch|best_effort)");
+}
+
+std::string EncodeCorroborateRequest(const CorroborateRequest& request) {
+  std::string out;
+  PutU8(&out, kProtocolVersion);
+  PutU8(&out, static_cast<uint8_t>(request.priority));
+  PutU32(&out, request.timeout_ms);
+  PutU32(&out, request.max_rounds);
+  PutString(&out, request.dataset);
+  PutString(&out, request.algorithm);
+  return out;
+}
+
+Result<CorroborateRequest> DecodeCorroborateRequest(
+    std::string_view payload) {
+  PayloadReader reader(payload);
+  CORROB_RETURN_NOT_OK(CheckVersion(reader));
+  CorroborateRequest request;
+  uint8_t priority = 0;
+  CORROB_RETURN_NOT_OK(reader.ReadU8(&priority));
+  if (priority >= kNumPriorities) {
+    return Status::InvalidArgument("unknown priority class " +
+                                   std::to_string(priority));
+  }
+  request.priority = static_cast<Priority>(priority);
+  CORROB_RETURN_NOT_OK(reader.ReadU32(&request.timeout_ms));
+  CORROB_RETURN_NOT_OK(reader.ReadU32(&request.max_rounds));
+  CORROB_RETURN_NOT_OK(reader.ReadString(&request.dataset));
+  CORROB_RETURN_NOT_OK(reader.ReadString(&request.algorithm));
+  CORROB_RETURN_NOT_OK(reader.ExpectEnd());
+  return request;
+}
+
+std::string EncodeCorroborateResponse(
+    const CorroborateResponse& response) {
+  std::string out;
+  out.reserve(32 + 8 * (response.fact_probability.size() +
+                        response.source_trust.size()));
+  PutU8(&out, kProtocolVersion);
+  PutString(&out, response.algorithm);
+  PutU8(&out, response.termination);
+  PutU32(&out, response.iterations);
+  PutU32(&out, static_cast<uint32_t>(response.fact_probability.size()));
+  for (double p : response.fact_probability) PutF64(&out, p);
+  PutU32(&out, static_cast<uint32_t>(response.source_trust.size()));
+  for (double t : response.source_trust) PutF64(&out, t);
+  return out;
+}
+
+Result<CorroborateResponse> DecodeCorroborateResponse(
+    std::string_view payload) {
+  PayloadReader reader(payload);
+  CORROB_RETURN_NOT_OK(CheckVersion(reader));
+  CorroborateResponse response;
+  CORROB_RETURN_NOT_OK(reader.ReadString(&response.algorithm));
+  CORROB_RETURN_NOT_OK(reader.ReadU8(&response.termination));
+  CORROB_RETURN_NOT_OK(reader.ReadU32(&response.iterations));
+  CORROB_RETURN_NOT_OK(reader.ReadF64Vector(&response.fact_probability));
+  CORROB_RETURN_NOT_OK(reader.ReadF64Vector(&response.source_trust));
+  CORROB_RETURN_NOT_OK(reader.ExpectEnd());
+  return response;
+}
+
+std::string EncodeErrorResponse(const ErrorResponse& response) {
+  std::string out;
+  PutU8(&out, kProtocolVersion);
+  PutU8(&out, response.code);
+  PutString(&out, response.message);
+  return out;
+}
+
+Result<ErrorResponse> DecodeErrorResponse(std::string_view payload) {
+  PayloadReader reader(payload);
+  CORROB_RETURN_NOT_OK(CheckVersion(reader));
+  ErrorResponse response;
+  CORROB_RETURN_NOT_OK(reader.ReadU8(&response.code));
+  CORROB_RETURN_NOT_OK(reader.ReadString(&response.message));
+  CORROB_RETURN_NOT_OK(reader.ExpectEnd());
+  return response;
+}
+
+std::string EncodeOverloadedResponse(const OverloadedResponse& response) {
+  std::string out;
+  PutU8(&out, kProtocolVersion);
+  PutU32(&out, response.retry_after_ms);
+  PutU32(&out, response.queue_depth);
+  PutString(&out, response.message);
+  return out;
+}
+
+Result<OverloadedResponse> DecodeOverloadedResponse(
+    std::string_view payload) {
+  PayloadReader reader(payload);
+  CORROB_RETURN_NOT_OK(CheckVersion(reader));
+  OverloadedResponse response;
+  CORROB_RETURN_NOT_OK(reader.ReadU32(&response.retry_after_ms));
+  CORROB_RETURN_NOT_OK(reader.ReadU32(&response.queue_depth));
+  CORROB_RETURN_NOT_OK(reader.ReadString(&response.message));
+  CORROB_RETURN_NOT_OK(reader.ExpectEnd());
+  return response;
+}
+
+}  // namespace server
+}  // namespace corrob

@@ -1,0 +1,100 @@
+#ifndef CORROB_SERVER_PROTOCOL_H_
+#define CORROB_SERVER_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+// Payload encodings of the corrobd frames (docs/SERVING.md). Each
+// payload starts with a u8 codec version so the format can evolve
+// without changing the frame layer. Integers are little-endian;
+// doubles travel as their IEEE-754 bit pattern, so a response is
+// byte-identical whenever the underlying corroboration result is —
+// the property the drain parity test asserts end to end.
+
+namespace corrob {
+namespace server {
+
+inline constexpr uint8_t kProtocolVersion = 1;
+
+/// Admission priority class of a request. Lower values are served
+/// first; each class maps onto a default Deadline + ResourceBudget
+/// and a bounded admission queue (docs/SERVING.md, "Priority classes").
+enum class Priority : uint8_t {
+  kInteractive = 0,
+  kBatch = 1,
+  kBestEffort = 2,
+};
+inline constexpr int kNumPriorities = 3;
+
+/// Stable lowercase name, e.g. "interactive".
+std::string_view PriorityName(Priority priority);
+
+/// Parses "interactive" | "batch" | "best_effort" (and "besteffort").
+[[nodiscard]] Result<Priority> ParsePriority(std::string_view text);
+
+/// Client request: corroborate `dataset` (a name the daemon loaded at
+/// startup) with `algorithm`, under the priority class's admission
+/// queue and budget. timeout_ms/max_rounds of 0 inherit the class
+/// defaults configured on the server.
+struct CorroborateRequest {
+  Priority priority = Priority::kBatch;
+  std::string dataset;
+  std::string algorithm = "IncEstHeu";
+  uint32_t timeout_ms = 0;
+  uint32_t max_rounds = 0;
+};
+
+std::string EncodeCorroborateRequest(const CorroborateRequest& request);
+[[nodiscard]] Result<CorroborateRequest> DecodeCorroborateRequest(
+    std::string_view payload);
+
+/// Successful corroboration: the full per-fact probability and
+/// per-source trust vectors, bit-exact.
+struct CorroborateResponse {
+  std::string algorithm;
+  /// core Termination enum value; kConverged and kIterationCap are
+  /// full runs, everything else is a graceful early stop with
+  /// best-so-far scores.
+  uint8_t termination = 0;
+  uint32_t iterations = 0;
+  std::vector<double> fact_probability;
+  std::vector<double> source_trust;
+};
+
+std::string EncodeCorroborateResponse(const CorroborateResponse& response);
+[[nodiscard]] Result<CorroborateResponse> DecodeCorroborateResponse(
+    std::string_view payload);
+
+/// Typed failure of one request (the daemon stays up): a StatusCode
+/// value plus the human-readable message.
+struct ErrorResponse {
+  uint8_t code = 0;
+  std::string message;
+};
+
+std::string EncodeErrorResponse(const ErrorResponse& response);
+[[nodiscard]] Result<ErrorResponse> DecodeErrorResponse(
+    std::string_view payload);
+
+/// Structured shed: the admission queue for the request's class is
+/// full. retry_after_ms is the server's backlog-based estimate of
+/// when capacity frees up.
+struct OverloadedResponse {
+  uint32_t retry_after_ms = 0;
+  uint32_t queue_depth = 0;
+  std::string message;
+};
+
+std::string EncodeOverloadedResponse(const OverloadedResponse& response);
+[[nodiscard]] Result<OverloadedResponse> DecodeOverloadedResponse(
+    std::string_view payload);
+
+}  // namespace server
+}  // namespace corrob
+
+#endif  // CORROB_SERVER_PROTOCOL_H_

@@ -1,0 +1,509 @@
+#include "server/server.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/failpoint.h"
+#include "core/registry.h"
+#include "core/run_context.h"
+#include "data/dataset_io.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "server/frame.h"
+
+namespace corrob {
+namespace server {
+
+namespace {
+
+/// Cadence of the disconnect watcher and the drain wait.
+constexpr double kHousekeepingSliceMs = 20.0;
+
+/// Upper bound on writing one response frame. Response writes must
+/// survive the abort token firing (a request cut short by the drain
+/// deadline still answers), so the only thing that may stop them is
+/// this bounded deadline — the backstop against a peer that never
+/// drains its socket.
+constexpr double kResponseWriteTimeoutMs = 5000.0;
+
+struct ServerMetrics {
+  obs::Counter* connections;
+  obs::Counter* requests_admitted;
+  obs::Counter* requests_shed;
+  obs::Counter* requests_failed;
+  obs::Counter* responses_sent;
+  obs::Histogram* queue_wait_nanos;
+  obs::Histogram* service_nanos;
+  obs::Gauge* running;
+
+  static ServerMetrics& Get() {
+    static ServerMetrics metrics = [] {
+      auto& registry = obs::MetricsRegistry::Global();
+      ServerMetrics m;
+      m.connections = registry.GetCounter("corrobd.connections");
+      m.requests_admitted = registry.GetCounter("corrobd.requests.admitted");
+      m.requests_shed = registry.GetCounter("corrobd.requests.shed");
+      m.requests_failed = registry.GetCounter("corrobd.requests.failed");
+      m.responses_sent = registry.GetCounter("corrobd.responses.sent");
+      m.queue_wait_nanos =
+          registry.GetHistogram("corrobd.request.queue_wait_nanos");
+      m.service_nanos = registry.GetHistogram("corrobd.request.service_nanos");
+      m.running = registry.GetGauge("corrobd.requests.running");
+      return m;
+    }();
+    return metrics;
+  }
+};
+
+/// "name=path" → {name, path}; bare path → {stem, path}.
+std::pair<std::string, std::string> SplitDatasetSpec(
+    const std::string& spec) {
+  const size_t equals = spec.find('=');
+  if (equals != std::string::npos) {
+    return {spec.substr(0, equals), spec.substr(equals + 1)};
+  }
+  size_t start = spec.find_last_of('/');
+  start = start == std::string::npos ? 0 : start + 1;
+  size_t end = spec.find_last_of('.');
+  if (end == std::string::npos || end <= start) end = spec.size();
+  return {spec.substr(start, end - start), spec};
+}
+
+}  // namespace
+
+/// Per-connection state. The owning thread is the only reader of the
+/// socket; `active_request` is the handshake with the disconnect
+/// watcher, set only while a corroborate request is executing.
+struct CorrobdServer::Connection {
+  UniqueFd fd;
+  std::thread thread;
+  std::atomic<bool> done{false};
+
+  std::mutex mutex;
+  /// Token of the request this connection is executing, or null.
+  /// Guarded by `mutex`; the watcher cancels through it when the
+  /// peer vanishes.
+  CancellationToken* active_request = nullptr;
+};
+
+CorrobdServer::CorrobdServer(ServerOptions options)
+    : options_(std::move(options)) {
+  clock_ = options_.clock != nullptr ? options_.clock
+                                     : obs::MonotonicClock::Get();
+  admission_ =
+      std::make_unique<AdmissionController>(options_.admission, clock_);
+}
+
+CorrobdServer::~CorrobdServer() {
+  // Serve() joins everything; this only covers a server that was
+  // Start()ed but never Serve()d.
+  stopping_.store(true, std::memory_order_relaxed);
+  abort_token_.Cancel();
+  std::lock_guard<std::mutex> lock(connections_mutex_);
+  for (auto& connection : connections_) {
+    if (connection->thread.joinable()) connection->thread.join();
+  }
+}
+
+Status CorrobdServer::Start() {
+  if (options_.socket_path.empty()) {
+    return Status::InvalidArgument("corrobd needs a --socket path");
+  }
+  if (options_.dataset_specs.empty()) {
+    return Status::InvalidArgument(
+        "corrobd needs at least one --dataset to serve");
+  }
+  for (const std::string& spec : options_.dataset_specs) {
+    auto [name, path] = SplitDatasetSpec(spec);
+    if (name.empty()) {
+      return Status::InvalidArgument("dataset spec '" + spec +
+                                     "' has an empty name");
+    }
+    if (FindDataset(name) != nullptr) {
+      return Status::AlreadyExists("dataset '" + name +
+                                   "' is specified twice");
+    }
+    CORROB_ASSIGN_OR_RETURN(LabeledDataset loaded, LoadDatasetCsv(path));
+    ServedDataset served;
+    served.name = name;
+    served.dataset = std::move(loaded.dataset);
+    datasets_.push_back(std::move(served));
+  }
+  std::sort(datasets_.begin(), datasets_.end(),
+            [](const ServedDataset& a, const ServedDataset& b) {
+              return a.name < b.name;
+            });
+  CORROB_ASSIGN_OR_RETURN(listener_,
+                          ListenUnixSocket(options_.socket_path));
+  return Status::OK();
+}
+
+std::vector<std::string> CorrobdServer::dataset_names() const {
+  std::vector<std::string> names;
+  names.reserve(datasets_.size());
+  for (const ServedDataset& served : datasets_) names.push_back(served.name);
+  return names;
+}
+
+const ServedDataset* CorrobdServer::FindDataset(
+    const std::string& name) const {
+  for (const ServedDataset& served : datasets_) {
+    if (served.name == name) return &served;
+  }
+  return nullptr;
+}
+
+StopSignal CorrobdServer::WriteStop() const {
+  // Deliberately NOT the abort token: after the drain deadline cancels
+  // in-flight requests, their termination=cancelled responses are
+  // still owed to the clients.
+  return StopSignal(nullptr, Deadline::AfterMs(clock_, kResponseWriteTimeoutMs));
+}
+
+Status CorrobdServer::Serve(const CancellationToken* drain) {
+  if (!listener_.valid()) {
+    return Status::FailedPrecondition("Serve() called before Start()");
+  }
+  std::thread watcher([this] { WatchDisconnects(); });
+
+  const StopSignal accept_stop(drain, Deadline());
+  while (!accept_stop.ShouldStop()) {
+    Result<UniqueFd> accepted = AcceptWithStop(listener_.get(), accept_stop);
+    if (!accepted.ok()) {
+      if (accepted.status().code() == StatusCode::kCancelled) break;
+      // A transient accept failure (e.g. the peer vanished between
+      // connect and accept) must not kill the daemon.
+      continue;
+    }
+    ServerMetrics::Get().connections->Add(1);
+    auto connection = std::make_unique<Connection>();
+    connection->fd = std::move(accepted).ValueOrDie();
+    Connection* raw = connection.get();
+    {
+      std::lock_guard<std::mutex> lock(connections_mutex_);
+      // Reap finished connections so a long-lived daemon does not
+      // accumulate dead threads.
+      for (auto& old : connections_) {
+        if (old->done.load(std::memory_order_acquire) &&
+            old->thread.joinable()) {
+          old->thread.join();
+        }
+      }
+      connections_.erase(
+          std::remove_if(connections_.begin(), connections_.end(),
+                         [](const std::unique_ptr<Connection>& c) {
+                           return c->done.load(std::memory_order_acquire) &&
+                                  !c->thread.joinable();
+                         }),
+          connections_.end());
+      connections_.push_back(std::move(connection));
+    }
+    raw->thread = std::thread([this, raw] {
+      RunConnection(raw);
+      raw->done.store(true, std::memory_order_release);
+    });
+  }
+
+  // Drain: no new connections; in-flight requests keep their slots
+  // until the drain deadline, then the abort token cuts them short
+  // (they still answer, with termination=cancelled). Idle connections
+  // close promptly: their next-frame reads watch read_interrupt_.
+  draining_.store(true, std::memory_order_release);
+  read_interrupt_.Cancel();
+  listener_.Reset();
+  const Deadline drain_deadline =
+      Deadline::AfterMs(clock_, static_cast<double>(options_.drain_timeout_ms));
+  const auto all_done = [this] {
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    return std::all_of(connections_.begin(), connections_.end(),
+                       [](const std::unique_ptr<Connection>& c) {
+                         return c->done.load(std::memory_order_acquire);
+                       });
+  };
+  while (!all_done()) {
+    if (drain_deadline.expired()) {
+      abort_token_.Cancel(clock_->NowNanos());
+      break;
+    }
+    // lint-friendly interruptible sleep slice; the token is only
+    // cancelled after this loop, so this is a plain bounded wait.
+    (void)abort_token_.WaitForMs(kHousekeepingSliceMs);  // lint: discard-ok: bounded housekeeping sleep
+  }
+
+  stopping_.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    for (auto& connection : connections_) {
+      if (connection->thread.joinable()) connection->thread.join();
+    }
+    connections_.clear();
+  }
+  watcher.join();
+  return Status::OK();
+}
+
+void CorrobdServer::WatchDisconnects() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    {
+      std::lock_guard<std::mutex> lock(connections_mutex_);
+      for (auto& connection : connections_) {
+        if (connection->done.load(std::memory_order_acquire)) continue;
+        std::lock_guard<std::mutex> request_lock(connection->mutex);
+        if (connection->active_request != nullptr &&
+            PeerClosed(connection->fd.get())) {
+          connection->active_request->Cancel(clock_->NowNanos());
+        }
+      }
+    }
+    (void)abort_token_.WaitForMs(kHousekeepingSliceMs);  // lint: discard-ok: watcher cadence sleep
+  }
+}
+
+void CorrobdServer::RunConnection(Connection* connection) {
+  // Reading the next request stops on drain (idle connections close
+  // promptly when the daemon drains) — but never mid-request: request
+  // execution only watches the abort token.
+  const StopSignal read_stop(&read_interrupt_, Deadline());
+  while (!draining_.load(std::memory_order_acquire) &&
+         !read_stop.ShouldStop()) {
+    Result<std::optional<Frame>> next =
+        ReadFrameOrEof(connection->fd.get(), read_stop);
+    if (!next.ok()) {
+      // Drain interrupted an idle read: a silent close, not an error
+      // — the client is sitting at a frame boundary and sees a clean
+      // EOF, exactly like a fresh goodbye.
+      if (next.status().code() == StatusCode::kCancelled) break;
+      // Framing is broken (bad magic, checksum, oversize, I/O error):
+      // report the typed error if the pipe still works, then close —
+      // the stream can no longer be trusted to be frame-aligned.
+      Frame error;
+      error.type = FrameType::kErrorResponse;
+      ErrorResponse body;
+      body.code = static_cast<uint8_t>(next.status().code());
+      body.message = next.status().message();
+      error.payload = EncodeErrorResponse(body);
+      (void)WriteFrame(connection->fd.get(), error, WriteStop());  // lint: discard-ok: already closing on error
+      break;
+    }
+    if (!next.ValueOrDie().has_value()) break;  // clean goodbye
+    const Frame& frame = *next.ValueOrDie();
+    Status handled = HandleFrame(connection, frame.type, frame.payload);
+    if (!handled.ok()) break;
+  }
+  connection->fd.Reset();
+}
+
+Status CorrobdServer::HandleFrame(Connection* connection, FrameType type,
+                                  const std::string& payload) {
+  switch (type) {
+    case FrameType::kPingRequest: {
+      Frame pong;
+      pong.type = FrameType::kPongResponse;
+      pong.payload = payload;  // echo
+      Status written = WriteFrame(connection->fd.get(), pong, WriteStop());
+      if (written.ok()) {
+        responses_sent_.fetch_add(1, std::memory_order_relaxed);
+        ServerMetrics::Get().responses_sent->Add(1);
+      }
+      return written;
+    }
+    case FrameType::kStatsRequest:
+      return HandleStats(connection);
+    case FrameType::kCorroborateRequest:
+      return HandleCorroborate(connection, payload);
+    default: {
+      // A response type arriving at the server: answer in-band and
+      // keep the connection (framing itself is intact).
+      Frame error;
+      error.type = FrameType::kErrorResponse;
+      ErrorResponse body;
+      body.code = static_cast<uint8_t>(StatusCode::kInvalidArgument);
+      body.message = "server cannot handle frame type '" +
+                     std::string(FrameTypeName(type)) + "'";
+      error.payload = EncodeErrorResponse(body);
+      Status written = WriteFrame(connection->fd.get(), error, WriteStop());
+      if (written.ok()) {
+        responses_sent_.fetch_add(1, std::memory_order_relaxed);
+        ServerMetrics::Get().responses_sent->Add(1);
+      }
+      return written;
+    }
+  }
+}
+
+Status CorrobdServer::HandleStats(Connection* connection) {
+  obs::JsonValue stats = obs::JsonValue::Object();
+  stats.Set("schema", obs::JsonValue::Str("corrob.serving_stats/1"));
+  stats.Set("running",
+            obs::JsonValue::Int(admission_->running()));
+  obs::JsonValue queued = obs::JsonValue::Object();
+  for (int cls = 0; cls < kNumPriorities; ++cls) {
+    queued.Set(std::string(PriorityName(static_cast<Priority>(cls))),
+               obs::JsonValue::Int(
+                   admission_->queued(static_cast<Priority>(cls))));
+  }
+  stats.Set("queued", std::move(queued));
+  obs::JsonValue names = obs::JsonValue::Array();
+  for (const ServedDataset& served : datasets_) {
+    names.Append(obs::JsonValue::Str(served.name));
+  }
+  stats.Set("datasets", std::move(names));
+  stats.Set("responses_sent",
+            obs::JsonValue::Int(
+                responses_sent_.load(std::memory_order_relaxed)));
+  stats.Set("draining",
+            obs::JsonValue::Bool(draining_.load(std::memory_order_acquire)));
+
+  Frame response;
+  response.type = FrameType::kStatsResponse;
+  response.payload = stats.Dump();
+  Status written = WriteFrame(connection->fd.get(), response, WriteStop());
+  if (written.ok()) {
+    responses_sent_.fetch_add(1, std::memory_order_relaxed);
+    ServerMetrics::Get().responses_sent->Add(1);
+  }
+  return written;
+}
+
+Status CorrobdServer::HandleCorroborate(Connection* connection,
+                                        const std::string& payload) {
+  ServerMetrics& metrics = ServerMetrics::Get();
+  Frame response;
+
+  // Everything below fills `response`; a single write at the end
+  // keeps the one-request-one-response invariant easy to audit.
+  const auto respond_error = [&](const Status& status) {
+    response.type = FrameType::kErrorResponse;
+    ErrorResponse body;
+    body.code = static_cast<uint8_t>(status.code());
+    body.message = status.message();
+    response.payload = EncodeErrorResponse(body);
+    metrics.requests_failed->Add(1);
+  };
+
+  Result<CorroborateRequest> decoded = DecodeCorroborateRequest(payload);
+  if (!decoded.ok()) {
+    respond_error(decoded.status());
+  } else {
+    const CorroborateRequest& request = decoded.ValueOrDie();
+    const int cls = static_cast<int>(request.priority);
+    const ServedDataset* served = FindDataset(request.dataset);
+    Result<std::unique_ptr<Corroborator>> corroborator =
+        Status::InvalidArgument("unresolved");
+    if (served == nullptr) {
+      respond_error(Status::NotFound(
+          "dataset '" + request.dataset +
+          "' is not loaded (corrobd serves only datasets named at "
+          "startup)"));
+    } else if (corroborator = MakeCorroborator(
+                   request.algorithm,
+                   CorroboratorOptions{.num_threads = options_.run_threads});
+               !corroborator.ok()) {
+      respond_error(corroborator.status());
+    } else {
+      // Per-request isolation: child token (disconnect watcher and
+      // abort fan-in) + class-defaulted deadline and budget.
+      CancellationToken request_token(&abort_token_);
+      const int64_t timeout_ms =
+          request.timeout_ms > 0
+              ? static_cast<int64_t>(request.timeout_ms)
+              : options_.admission.default_timeout_ms[cls];
+      const Deadline deadline =
+          timeout_ms > 0
+              ? Deadline::AfterMs(clock_, static_cast<double>(timeout_ms))
+              : Deadline();
+      const StopSignal request_stop(&request_token, deadline);
+
+      const AdmissionDecision admitted =
+          admission_->Admit(request.priority, request_stop);
+      metrics.queue_wait_nanos->Record(admitted.queue_wait_nanos);
+      switch (admitted.outcome) {
+        case AdmissionDecision::Outcome::kShed: {
+          response.type = FrameType::kOverloadedResponse;
+          OverloadedResponse body;
+          body.retry_after_ms = admitted.retry_after_ms;
+          body.queue_depth = admitted.queue_depth;
+          body.message = "admission queue for class '" +
+                         std::string(PriorityName(request.priority)) +
+                         "' is full";
+          response.payload = EncodeOverloadedResponse(body);
+          metrics.requests_shed->Add(1);
+          break;
+        }
+        case AdmissionDecision::Outcome::kCancelled:
+          respond_error(Status::Cancelled(
+              request_stop.deadline_expired()
+                  ? "request deadline expired while queued for admission"
+                  : "request cancelled while queued for admission"));
+          break;
+        case AdmissionDecision::Outcome::kAdmitted: {
+          metrics.requests_admitted->Add(1);
+          metrics.running->Set(admission_->running());
+          {
+            std::lock_guard<std::mutex> lock(connection->mutex);
+            connection->active_request = &request_token;
+          }
+          // Test hook: holds the request in-flight while armed, so
+          // overload and drain scenarios are deterministic.
+          while (Failpoints::IsArmed("server.request.stall") &&
+                 !request_stop.ShouldStop()) {
+            (void)request_token.WaitForMs(1.0);  // lint: discard-ok: stall hook polls stop each slice
+          }
+
+          ResourceBudget budget;
+          budget.max_rounds =
+              request.max_rounds > 0
+                  ? static_cast<int64_t>(request.max_rounds)
+                  : options_.admission.default_max_rounds[cls];
+          RunContext context;
+          context.WithCancellation(&request_token)
+              .WithDeadline(deadline)
+              .WithBudget(budget);
+
+          const int64_t run_started = clock_->NowNanos();
+          Result<CorroborationResult> run =
+              Status::Internal("request failpoint");
+          Status injected = Failpoints::Check("server.request.fail");
+          if (injected.ok()) {
+            run = corroborator.ValueOrDie()->Run(served->dataset, context);
+          } else {
+            run = injected;
+          }
+          const int64_t service_nanos = clock_->NowNanos() - run_started;
+          {
+            std::lock_guard<std::mutex> lock(connection->mutex);
+            connection->active_request = nullptr;
+          }
+          admission_->Release(request.priority, service_nanos);
+          metrics.service_nanos->Record(service_nanos);
+          metrics.running->Set(admission_->running());
+
+          if (!run.ok()) {
+            respond_error(run.status());
+          } else {
+            const CorroborationResult& result = run.ValueOrDie();
+            response.type = FrameType::kResultResponse;
+            CorroborateResponse body;
+            body.algorithm = result.algorithm;
+            body.termination = static_cast<uint8_t>(result.termination);
+            body.iterations = static_cast<uint32_t>(result.iterations);
+            body.fact_probability = result.fact_probability;
+            body.source_trust = result.source_trust;
+            response.payload = EncodeCorroborateResponse(body);
+          }
+          break;
+        }
+      }
+    }
+  }
+
+  Status written = WriteFrame(connection->fd.get(), response, WriteStop());
+  if (written.ok()) {
+    responses_sent_.fetch_add(1, std::memory_order_relaxed);
+    metrics.responses_sent->Add(1);
+  }
+  return written;
+}
+
+}  // namespace server
+}  // namespace corrob

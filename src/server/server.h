@@ -1,0 +1,163 @@
+#ifndef CORROB_SERVER_SERVER_H_
+#define CORROB_SERVER_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/budget.h"
+#include "common/result.h"
+#include "common/socket.h"
+#include "common/status.h"
+#include "data/dataset.h"
+#include "obs/clock.h"
+#include "server/admission.h"
+#include "server/frame.h"
+#include "server/protocol.h"
+
+// corrobd: the corroboration daemon. Datasets are loaded once at
+// startup into shared read-only state; each connection gets a thread
+// whose requests run under their own child CancellationToken,
+// Deadline and ResourceBudget, behind the AdmissionController's
+// bounded queues. One request's failure (failpoint, bad payload,
+// budget exhaustion, client disconnect) produces a typed response
+// frame and never takes the daemon down. SIGTERM drains: accepting
+// stops, in-flight requests finish (bit-identical to a fresh daemon)
+// under a drain deadline, and the process exits 0. docs/SERVING.md
+// is the operator-facing description of all of this.
+
+namespace corrob {
+namespace server {
+
+struct ServerOptions {
+  /// Unix-domain socket path the daemon listens on.
+  std::string socket_path;
+  /// Datasets served, each "name=path/to.csv" or a bare path (the
+  /// name is then the file stem, e.g. "flights" for flights.csv).
+  std::vector<std::string> dataset_specs;
+  /// Admission control: slot pool + bounded per-class queues.
+  AdmissionOptions admission;
+  /// Worker threads each corroboration run may use (results are
+  /// bit-identical at any value).
+  int run_threads = 1;
+  /// After a drain request, how long in-flight requests may keep
+  /// running before the abort token cuts them short. They still
+  /// respond (termination=cancelled) — polling runs are never left
+  /// without an answer.
+  int64_t drain_timeout_ms = 10000;
+  /// Time source for deadlines and latency metrics.
+  const obs::Clock* clock = nullptr;  // null → MonotonicClock::Get()
+};
+
+/// One dataset resident in the daemon, shared read-only by every
+/// request that names it.
+struct ServedDataset {
+  std::string name;
+  Dataset dataset;
+};
+
+class CorrobdServer {
+ public:
+  explicit CorrobdServer(ServerOptions options);
+  ~CorrobdServer();
+
+  CorrobdServer(const CorrobdServer&) = delete;
+  CorrobdServer& operator=(const CorrobdServer&) = delete;
+
+  /// Loads every dataset and binds the listening socket. Must succeed
+  /// before Serve(); fails on unloadable datasets, duplicate names,
+  /// or an unbindable socket path.
+  [[nodiscard]] Status Start();
+
+  /// Accept loop: serves connections until `drain` fires, then drains
+  /// — stops accepting, lets in-flight requests finish (up to
+  /// drain_timeout_ms, then cancels them via the abort token), joins
+  /// every thread. Returns OK after a clean or drained exit. Blocks
+  /// the calling thread for the daemon's whole life.
+  [[nodiscard]] Status Serve(const CancellationToken* drain);
+
+  /// Datasets resident after Start(), sorted by name (for startup
+  /// logs and tests).
+  std::vector<std::string> dataset_names() const;
+
+  const ServerOptions& options() const { return options_; }
+  const AdmissionController& admission() const { return *admission_; }
+
+  /// Requests fully served (any response frame written).
+  int64_t responses_sent() const {
+    return responses_sent_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Connection;
+
+  /// Runs one connection: frame loop until EOF, drain, or a framing
+  /// error. Never throws; never exits the process.
+  void RunConnection(Connection* connection);
+
+  /// Handles one decoded frame; writes exactly one response frame.
+  /// The Status reports connection-fatal conditions (write failed,
+  /// stream desynced); request-level failures are reported to the
+  /// client in-band and return OK here.
+  [[nodiscard]] Status HandleFrame(Connection* connection,
+                                   FrameType type,
+                                   const std::string& payload);
+
+  /// The corroborate path: admission, RunContext assembly, the run
+  /// itself, and the response/error/overloaded frame.
+  [[nodiscard]] Status HandleCorroborate(Connection* connection,
+                                         const std::string& payload);
+
+  /// Serves the stats frame: a JSON snapshot of queues, slots and
+  /// request counters.
+  [[nodiscard]] Status HandleStats(Connection* connection);
+
+  /// Background loop that cancels the request token of any executing
+  /// request whose client closed its end of the socket.
+  void WatchDisconnects();
+
+  const ServedDataset* FindDataset(const std::string& name) const;
+
+  /// Stop signal for response writes: a bounded write deadline and
+  /// nothing else, so a request cut short by its own deadline — or by
+  /// the drain deadline's abort — still reports its graceful
+  /// termination to the client.
+  StopSignal WriteStop() const;
+
+  ServerOptions options_;
+  const obs::Clock* clock_ = nullptr;
+
+  std::vector<ServedDataset> datasets_;
+  UniqueFd listener_;
+  std::unique_ptr<AdmissionController> admission_;
+
+  /// Fires only when drain patience runs out (or at shutdown): the
+  /// parent of every request token. Deliberately NOT the drain token,
+  /// so draining lets in-flight work finish.
+  CancellationToken abort_token_;
+  /// Child of abort_token_, cancelled the moment draining begins:
+  /// unblocks connection threads idling in a next-frame read without
+  /// disturbing request execution.
+  CancellationToken read_interrupt_{&abort_token_};
+
+  /// Flips when Serve() begins draining; connection threads stop
+  /// reading new requests once set.
+  std::atomic<bool> draining_{false};
+  /// Flips when Serve() tears down; stops the disconnect watcher.
+  std::atomic<bool> stopping_{false};
+
+  mutable std::mutex connections_mutex_;
+  std::vector<std::unique_ptr<Connection>> connections_;
+
+  std::atomic<int64_t> responses_sent_{0};
+};
+
+}  // namespace server
+}  // namespace corrob
+
+#endif  // CORROB_SERVER_SERVER_H_

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "common/csv.h"
+#include "core/online_checkpoint.h"
 #include "data/dataset_io.h"
 #include "data/motivating_example.h"
 #include "obs/json.h"
@@ -267,7 +268,8 @@ TEST_F(CliTest, StreamKillAndResumeMatchesUninterrupted) {
                  checkpoint, "--checkpoint-every", "2", "--failpoint",
                  "cli.stream.observe=fail:1:skip=6"}),
             1);
-  EXPECT_NE(err_.str().find("checkpoint saved at fact 6"),
+  EXPECT_NE(err_.str().find("checkpoint saved to " + checkpoint +
+                            " at fact 6"),
             std::string::npos);
 
   // Resume finishes the remaining facts with identical final trust.
@@ -281,6 +283,75 @@ TEST_F(CliTest, StreamKillAndResumeMatchesUninterrupted) {
             std::string::npos);
   EXPECT_EQ(ReadFileToString(trust_resumed).ValueOrDie(),
             ReadFileToString(trust_clean).ValueOrDie());
+}
+
+TEST_F(CliTest, StreamInterruptWithoutCheckpointSavesDerivedPath) {
+  std::string trust_clean = TempPath("cli_auto_trust_clean.csv");
+  std::string trust_resumed = TempPath("cli_auto_trust_resumed.csv");
+  std::string devnull = TempPath("cli_auto_decisions.csv");
+
+  // Reference: one uninterrupted pass.
+  ASSERT_EQ(Run({"stream", "--input", dataset_path_, "--output", devnull,
+                 "--trust", trust_clean}),
+            0);
+
+  // Graceful interrupt at fact 5 with NO --checkpoint: the state must
+  // land on the derived per-(input, output) path, not be lost.
+  const std::string derived =
+      DeriveInterruptCheckpointPath(dataset_path_, devnull);
+  cleanup_.push_back(derived);
+  ASSERT_EQ(Run({"stream", "--input", dataset_path_, "--output", devnull,
+                 "--failpoint", "budget.force_expire=fail:1:skip=5"}),
+            0);
+  EXPECT_NE(err_.str().find("checkpoint saved, continue with --checkpoint " +
+                            derived),
+            std::string::npos);
+  EXPECT_TRUE(ReadFileToString(derived).ok());
+
+  // The derived checkpoint resumes to the same final trust as the
+  // uninterrupted run.
+  ASSERT_EQ(Run({"stream", "--input", dataset_path_, "--checkpoint",
+                 derived, "--resume", "--output", devnull, "--trust",
+                 trust_resumed}),
+            0);
+  EXPECT_NE(out_.str().find("at fact 5"), std::string::npos);
+  EXPECT_EQ(ReadFileToString(trust_resumed).ValueOrDie(),
+            ReadFileToString(trust_clean).ValueOrDie());
+}
+
+TEST_F(CliTest, StreamInterruptCheckpointsDoNotCollideAcrossRuns) {
+  // Two streams over the same input writing different outputs in one
+  // directory (the pre-fix collision): their interrupt checkpoints
+  // must be distinct files, each resumable on its own.
+  std::string output_a = TempPath("cli_collide_a.csv");
+  std::string output_b = TempPath("cli_collide_b.csv");
+  const std::string derived_a =
+      DeriveInterruptCheckpointPath(dataset_path_, output_a);
+  const std::string derived_b =
+      DeriveInterruptCheckpointPath(dataset_path_, output_b);
+  EXPECT_NE(derived_a, derived_b);
+  // Same pair → same path (resume can find it); different input, same
+  // output → still distinct.
+  EXPECT_EQ(derived_a, DeriveInterruptCheckpointPath(dataset_path_, output_a));
+  EXPECT_NE(derived_a, DeriveInterruptCheckpointPath("other.csv", output_a));
+  cleanup_.push_back(derived_a);
+  cleanup_.push_back(derived_b);
+
+  ASSERT_EQ(Run({"stream", "--input", dataset_path_, "--output", output_a,
+                 "--failpoint", "budget.force_expire=fail:1:skip=3"}),
+            0);
+  ASSERT_EQ(Run({"stream", "--input", dataset_path_, "--output", output_b,
+                 "--failpoint", "budget.force_expire=fail:1:skip=7"}),
+            0);
+  // Both checkpoints exist independently, with their own progress.
+  ASSERT_EQ(Run({"stream", "--input", dataset_path_, "--checkpoint",
+                 derived_a, "--resume", "--output", output_a}),
+            0);
+  EXPECT_NE(out_.str().find("at fact 3"), std::string::npos);
+  ASSERT_EQ(Run({"stream", "--input", dataset_path_, "--checkpoint",
+                 derived_b, "--resume", "--output", output_b}),
+            0);
+  EXPECT_NE(out_.str().find("at fact 7"), std::string::npos);
 }
 
 TEST_F(CliTest, StreamRejectsBadResumeFlags) {
@@ -381,7 +452,8 @@ TEST_F(CliTest, StreamInterruptSavesCheckpointAndExitsZero) {
             0);
   EXPECT_NE(err_.str().find("stream interrupted (cancelled) at fact 6"),
             std::string::npos);
-  EXPECT_NE(err_.str().find("checkpoint saved, continue with --resume"),
+  EXPECT_NE(err_.str().find("checkpoint saved, continue with --checkpoint " +
+                            checkpoint + " --resume"),
             std::string::npos);
 
   ASSERT_EQ(Run({"stream", "--input", dataset_path_, "--checkpoint",

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <csignal>
 #include <limits>
 #include <thread>
 
@@ -209,6 +210,55 @@ TEST(ShutdownTest, ProcessTokenIsStableAndSignalCountStartsAtZero) {
   InstallShutdownSignalHandlers();
   EXPECT_FALSE(ProcessShutdownToken().cancelled());
   EXPECT_EQ(ShutdownSignalCount(), 0);
+}
+
+TEST(ScopedShutdownHandlersTest, FirstSignalCancelsOnlyTheScopedToken) {
+  CancellationToken token;
+  ScopedShutdownHandlers scope(
+      ScopedShutdownHandlers::Options{.token = &token});
+  EXPECT_EQ(scope.signal_count(), 0);
+  EXPECT_EQ(&scope.token(), &token);
+
+  // raise() delivers synchronously on this thread, so the handler has
+  // run before it returns.
+  std::raise(SIGTERM);
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_EQ(scope.signal_count(), 1);
+  EXPECT_EQ(ShutdownSignalCount(), 1);
+  // Per-request/process isolation: the shared token is untouched.
+  EXPECT_FALSE(ProcessShutdownToken().cancelled());
+}
+
+TEST(ScopedShutdownHandlersTest, NestedScopesRouteToInnermostAndRestore) {
+  CancellationToken outer_token;
+  CancellationToken inner_token;
+  ScopedShutdownHandlers outer(
+      ScopedShutdownHandlers::Options{.token = &outer_token});
+  {
+    ScopedShutdownHandlers inner(
+        ScopedShutdownHandlers::Options{.token = &inner_token});
+    std::raise(SIGINT);
+    EXPECT_TRUE(inner_token.cancelled());
+    EXPECT_FALSE(outer_token.cancelled());
+    EXPECT_EQ(inner.signal_count(), 1);
+    EXPECT_EQ(outer.signal_count(), 0);
+  }
+  // The inner scope restored the stack: signals reach `outer` now.
+  std::raise(SIGINT);
+  EXPECT_TRUE(outer_token.cancelled());
+  EXPECT_EQ(outer.signal_count(), 1);
+}
+
+TEST(ScopedShutdownHandlersDeathTest, SecondSignalHardExitsNonZero) {
+  EXPECT_EXIT(
+      {
+        CancellationToken token;
+        ScopedShutdownHandlers scope(ScopedShutdownHandlers::Options{
+            .token = &token, .second_signal_exit_code = 42});
+        std::raise(SIGTERM);
+        std::raise(SIGTERM);
+      },
+      testing::ExitedWithCode(42), "");
 }
 
 }  // namespace

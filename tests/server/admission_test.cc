@@ -1,0 +1,215 @@
+#include "server/admission.h"
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/budget.h"
+#include "obs/clock.h"
+
+namespace corrob {
+namespace server {
+namespace {
+
+using Outcome = AdmissionDecision::Outcome;
+
+StopSignal NoStop() { return StopSignal(); }
+
+/// Spins until `predicate` holds or ~2s elapse; admission waiters poll
+/// in 20ms slices, so anything they do becomes visible well inside
+/// this bound.
+template <typename Predicate>
+bool EventuallyTrue(Predicate predicate) {
+  CancellationToken pacer;
+  for (int i = 0; i < 400; ++i) {
+    if (predicate()) return true;
+    // lint: discard-ok: plain sleep; the token is never cancelled
+    (void)pacer.WaitForMs(5.0);
+  }
+  return predicate();
+}
+
+TEST(AdmissionTest, AdmitsUpToMaxConcurrency) {
+  AdmissionOptions options;
+  options.max_concurrency = 2;
+  options.queue_capacity = {0, 0, 0};
+  AdmissionController controller(options, obs::MonotonicClock::Get());
+
+  AdmissionDecision first = controller.Admit(Priority::kBatch, NoStop());
+  AdmissionDecision second = controller.Admit(Priority::kBatch, NoStop());
+  EXPECT_EQ(first.outcome, Outcome::kAdmitted);
+  EXPECT_EQ(second.outcome, Outcome::kAdmitted);
+  EXPECT_EQ(controller.running(), 2);
+
+  controller.Release(Priority::kBatch, 1000);
+  controller.Release(Priority::kBatch, 1000);
+  EXPECT_EQ(controller.running(), 0);
+}
+
+TEST(AdmissionTest, ShedWhenQueueFullCarriesClampedRetryAfter) {
+  AdmissionOptions options;
+  options.max_concurrency = 1;
+  options.queue_capacity = {0, 0, 0};
+  AdmissionController controller(options, obs::MonotonicClock::Get());
+
+  ASSERT_EQ(controller.Admit(Priority::kInteractive, NoStop()).outcome,
+            Outcome::kAdmitted);
+  AdmissionDecision shed =
+      controller.Admit(Priority::kInteractive, NoStop());
+  EXPECT_EQ(shed.outcome, Outcome::kShed);
+  EXPECT_GE(shed.retry_after_ms, 25u);
+  EXPECT_LE(shed.retry_after_ms, 60000u);
+  EXPECT_EQ(shed.queue_depth, 0u);
+  // Shedding must not leak a slot.
+  EXPECT_EQ(controller.running(), 1);
+  controller.Release(Priority::kInteractive, 1000);
+}
+
+TEST(AdmissionTest, AlreadyFiredStopIsCancelledNotAdmitted) {
+  AdmissionOptions options;
+  options.max_concurrency = 1;
+  AdmissionController controller(options, obs::MonotonicClock::Get());
+  ASSERT_EQ(controller.Admit(Priority::kBatch, NoStop()).outcome,
+            Outcome::kAdmitted);
+
+  CancellationToken token;
+  token.Cancel();
+  AdmissionDecision decision =
+      controller.Admit(Priority::kBatch, StopSignal(&token, Deadline()));
+  EXPECT_EQ(decision.outcome, Outcome::kCancelled);
+  EXPECT_EQ(controller.queued(Priority::kBatch), 0);
+  controller.Release(Priority::kBatch, 1000);
+}
+
+TEST(AdmissionTest, ExpiredDeadlineWhileQueuedIsCancelled) {
+  AdmissionOptions options;
+  options.max_concurrency = 1;
+  obs::ManualClock clock;
+  AdmissionController controller(options, &clock);
+  ASSERT_EQ(controller.Admit(Priority::kBatch, NoStop()).outcome,
+            Outcome::kAdmitted);
+
+  const Deadline deadline = Deadline::AfterMs(&clock, 10);
+  std::atomic<bool> done{false};
+  AdmissionDecision decision;
+  std::thread waiter([&] {
+    decision = controller.Admit(Priority::kBatch,
+                                StopSignal(nullptr, deadline));
+    done.store(true);
+  });
+  ASSERT_TRUE(EventuallyTrue(
+      [&] { return controller.queued(Priority::kBatch) == 1; }));
+  clock.AdvanceNanos(11ll * 1000 * 1000);
+  ASSERT_TRUE(EventuallyTrue([&] { return done.load(); }));
+  waiter.join();
+  EXPECT_EQ(decision.outcome, Outcome::kCancelled);
+  // The dead waiter's ticket is gone; nothing queued remains.
+  EXPECT_EQ(controller.queued(Priority::kBatch), 0);
+  controller.Release(Priority::kBatch, 1000);
+}
+
+TEST(AdmissionTest, InteractiveIsGrantedBeforeBestEffort) {
+  AdmissionOptions options;
+  options.max_concurrency = 1;
+  AdmissionController controller(options, obs::MonotonicClock::Get());
+  ASSERT_EQ(controller.Admit(Priority::kBatch, NoStop()).outcome,
+            Outcome::kAdmitted);
+
+  std::mutex order_mutex;
+  std::vector<Priority> grant_order;
+  auto waiter = [&](Priority priority) {
+    AdmissionDecision decision = controller.Admit(priority, NoStop());
+    EXPECT_EQ(decision.outcome, Outcome::kAdmitted);
+    {
+      std::lock_guard<std::mutex> lock(order_mutex);
+      grant_order.push_back(priority);
+    }
+    controller.Release(priority, 1000);
+  };
+
+  // Enqueue the worse class first so arrival order and priority order
+  // disagree.
+  std::thread best_effort(waiter, Priority::kBestEffort);
+  ASSERT_TRUE(EventuallyTrue(
+      [&] { return controller.queued(Priority::kBestEffort) == 1; }));
+  std::thread interactive(waiter, Priority::kInteractive);
+  ASSERT_TRUE(EventuallyTrue(
+      [&] { return controller.queued(Priority::kInteractive) == 1; }));
+
+  controller.Release(Priority::kBatch, 1000);
+  best_effort.join();
+  interactive.join();
+
+  ASSERT_EQ(grant_order.size(), 2u);
+  EXPECT_EQ(grant_order[0], Priority::kInteractive);
+  EXPECT_EQ(grant_order[1], Priority::kBestEffort);
+}
+
+TEST(AdmissionTest, CancelledWaiterDoesNotBlockThoseBehindIt) {
+  AdmissionOptions options;
+  options.max_concurrency = 1;
+  AdmissionController controller(options, obs::MonotonicClock::Get());
+  ASSERT_EQ(controller.Admit(Priority::kBatch, NoStop()).outcome,
+            Outcome::kAdmitted);
+
+  CancellationToken cancel_me;
+  AdmissionDecision front_decision;
+  std::thread front([&] {
+    front_decision = controller.Admit(
+        Priority::kBatch, StopSignal(&cancel_me, Deadline()));
+  });
+  ASSERT_TRUE(EventuallyTrue(
+      [&] { return controller.queued(Priority::kBatch) == 1; }));
+
+  std::atomic<bool> back_admitted{false};
+  std::thread back([&] {
+    AdmissionDecision decision = controller.Admit(Priority::kBatch, NoStop());
+    EXPECT_EQ(decision.outcome, Outcome::kAdmitted);
+    back_admitted.store(true);
+    controller.Release(Priority::kBatch, 1000);
+  });
+  ASSERT_TRUE(EventuallyTrue(
+      [&] { return controller.queued(Priority::kBatch) == 2; }));
+
+  // Kill the front waiter while it is first in line, then free the
+  // slot: the grant must skip the corpse and reach the back waiter.
+  cancel_me.Cancel();
+  front.join();
+  EXPECT_EQ(front_decision.outcome, Outcome::kCancelled);
+  controller.Release(Priority::kBatch, 1000);
+  ASSERT_TRUE(EventuallyTrue([&] { return back_admitted.load(); }));
+  back.join();
+  EXPECT_EQ(controller.running(), 0);
+}
+
+TEST(AdmissionTest, QueueWaitIsMeasuredOnManualClock) {
+  AdmissionOptions options;
+  options.max_concurrency = 1;
+  obs::ManualClock clock;
+  AdmissionController controller(options, &clock);
+  ASSERT_EQ(controller.Admit(Priority::kBatch, NoStop()).outcome,
+            Outcome::kAdmitted);
+
+  std::atomic<bool> done{false};
+  AdmissionDecision decision;
+  std::thread waiter([&] {
+    decision = controller.Admit(Priority::kBatch, NoStop());
+    done.store(true);
+  });
+  ASSERT_TRUE(EventuallyTrue(
+      [&] { return controller.queued(Priority::kBatch) == 1; }));
+  clock.AdvanceNanos(40ll * 1000 * 1000);
+  controller.Release(Priority::kBatch, 1000);
+  ASSERT_TRUE(EventuallyTrue([&] { return done.load(); }));
+  waiter.join();
+  EXPECT_EQ(decision.outcome, Outcome::kAdmitted);
+  EXPECT_GE(decision.queue_wait_nanos, 40ll * 1000 * 1000);
+  controller.Release(Priority::kBatch, 1000);
+}
+
+}  // namespace
+}  // namespace server
+}  // namespace corrob

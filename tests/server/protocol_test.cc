@@ -1,0 +1,153 @@
+#include "server/protocol.h"
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+namespace corrob {
+namespace server {
+namespace {
+
+TEST(ProtocolTest, PriorityNamesRoundTrip) {
+  for (int cls = 0; cls < kNumPriorities; ++cls) {
+    const Priority priority = static_cast<Priority>(cls);
+    Result<Priority> parsed =
+        ParsePriority(std::string(PriorityName(priority)));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.ValueOrDie(), priority);
+  }
+  EXPECT_EQ(ParsePriority("  Interactive ").ValueOrDie(),
+            Priority::kInteractive);
+  EXPECT_EQ(ParsePriority("best-effort").ValueOrDie(),
+            Priority::kBestEffort);
+  EXPECT_FALSE(ParsePriority("urgent").ok());
+}
+
+TEST(ProtocolTest, CorroborateRequestRoundTrip) {
+  CorroborateRequest request;
+  request.priority = Priority::kInteractive;
+  request.dataset = "flights";
+  request.algorithm = "TwoEstimate";
+  request.timeout_ms = 1500;
+  request.max_rounds = 7;
+  Result<CorroborateRequest> decoded =
+      DecodeCorroborateRequest(EncodeCorroborateRequest(request));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded.ValueOrDie().priority, request.priority);
+  EXPECT_EQ(decoded.ValueOrDie().dataset, request.dataset);
+  EXPECT_EQ(decoded.ValueOrDie().algorithm, request.algorithm);
+  EXPECT_EQ(decoded.ValueOrDie().timeout_ms, request.timeout_ms);
+  EXPECT_EQ(decoded.ValueOrDie().max_rounds, request.max_rounds);
+}
+
+TEST(ProtocolTest, CorroborateResponseBitExactDoubles) {
+  CorroborateResponse response;
+  response.algorithm = "IncEstHeu";
+  response.termination = 2;
+  response.iterations = 42;
+  // Values chosen to catch any lossy round-trip: denormal, -0.0, NaN.
+  response.fact_probability = {0.1, -0.0,
+                               std::numeric_limits<double>::denorm_min(),
+                               std::numeric_limits<double>::quiet_NaN()};
+  response.source_trust = {1.0 / 3.0, 0.9999999999999999};
+  Result<CorroborateResponse> decoded =
+      DecodeCorroborateResponse(EncodeCorroborateResponse(response));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  const CorroborateResponse& got = decoded.ValueOrDie();
+  ASSERT_EQ(got.fact_probability.size(), response.fact_probability.size());
+  for (size_t i = 0; i < response.fact_probability.size(); ++i) {
+    // Bit-pattern comparison: NaN == NaN fails, memcmp does not.
+    EXPECT_EQ(std::memcmp(&got.fact_probability[i],
+                          &response.fact_probability[i], sizeof(double)),
+              0)
+        << "fact " << i;
+  }
+  EXPECT_EQ(got.source_trust, response.source_trust);
+  EXPECT_EQ(got.termination, response.termination);
+  EXPECT_EQ(got.iterations, response.iterations);
+}
+
+TEST(ProtocolTest, ErrorAndOverloadedRoundTrip) {
+  ErrorResponse error;
+  error.code = 10;
+  error.message = "cancelled while queued";
+  Result<ErrorResponse> decoded_error =
+      DecodeErrorResponse(EncodeErrorResponse(error));
+  ASSERT_TRUE(decoded_error.ok());
+  EXPECT_EQ(decoded_error.ValueOrDie().code, error.code);
+  EXPECT_EQ(decoded_error.ValueOrDie().message, error.message);
+
+  OverloadedResponse overloaded;
+  overloaded.retry_after_ms = 750;
+  overloaded.queue_depth = 16;
+  overloaded.message = "interactive queue full";
+  Result<OverloadedResponse> decoded_overloaded =
+      DecodeOverloadedResponse(EncodeOverloadedResponse(overloaded));
+  ASSERT_TRUE(decoded_overloaded.ok());
+  EXPECT_EQ(decoded_overloaded.ValueOrDie().retry_after_ms,
+            overloaded.retry_after_ms);
+  EXPECT_EQ(decoded_overloaded.ValueOrDie().queue_depth,
+            overloaded.queue_depth);
+}
+
+TEST(ProtocolTest, TruncatedPayloadsAreParseErrors) {
+  CorroborateRequest request;
+  request.dataset = "flights";
+  const std::string wire = EncodeCorroborateRequest(request);
+  for (size_t length = 0; length < wire.size(); ++length) {
+    Result<CorroborateRequest> decoded =
+        DecodeCorroborateRequest(wire.substr(0, length));
+    ASSERT_FALSE(decoded.ok()) << "length " << length;
+    EXPECT_EQ(decoded.status().code(), StatusCode::kParseError)
+        << "length " << length;
+  }
+}
+
+TEST(ProtocolTest, TrailingBytesRejected) {
+  const std::string wire =
+      EncodeCorroborateRequest(CorroborateRequest{}) + "extra";
+  Result<CorroborateRequest> decoded = DecodeCorroborateRequest(wire);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kParseError);
+  EXPECT_NE(decoded.status().message().find("trailing"), std::string::npos);
+}
+
+TEST(ProtocolTest, VersionSkewIsFailedPrecondition) {
+  std::string wire = EncodeCorroborateRequest(CorroborateRequest{});
+  wire[0] = static_cast<char>(kProtocolVersion + 1);
+  Result<CorroborateRequest> decoded = DecodeCorroborateRequest(wire);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(ProtocolTest, UnknownPriorityByteRejected) {
+  CorroborateRequest request;
+  std::string wire = EncodeCorroborateRequest(request);
+  wire[1] = static_cast<char>(kNumPriorities);  // one past the last class
+  Result<CorroborateRequest> decoded = DecodeCorroborateRequest(wire);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ProtocolTest, HugeVectorCountRejectedWithoutAllocation) {
+  // An f64 vector claiming ~4 billion entries in a tiny payload must
+  // fail the bounds check before any resize.
+  CorroborateResponse response;
+  response.algorithm = "x";
+  std::string wire = EncodeCorroborateResponse(response);
+  // Overwrite the fact_probability count (after version + algorithm +
+  // termination + iterations) with 0xFFFFFFFF.
+  const size_t count_offset = 1 + (4 + 1) + 1 + 4;
+  for (int i = 0; i < 4; ++i) {
+    wire[count_offset + i] = static_cast<char>(0xFF);
+  }
+  Result<CorroborateResponse> decoded = DecodeCorroborateResponse(wire);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kParseError);
+}
+
+}  // namespace
+}  // namespace server
+}  // namespace corrob

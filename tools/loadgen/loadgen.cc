@@ -1,0 +1,359 @@
+// corrob-loadgen: open-ish-loop load generator and saturation
+// benchmark for corrobd (docs/SERVING.md, "Saturation benchmarking").
+//
+// Sweeps a list of offered QPS levels against a running daemon and
+// reports, per level: achieved QPS, result/shed/error counts, the
+// shed rate, and p50/p99 latency of successful corroborations. The
+// machine-readable sidecar BENCH_serving.json (schema
+// corrob.serving_bench/1, validated by tools/obs/validate_trace.py)
+// carries the whole curve.
+//
+// Response accounting is the chaos-soak contract:
+//   results/errors/overloaded  fully received typed responses
+//   aborted                    the connection died before ANY response
+//                              byte (indistinguishable from a drain
+//                              that never read the request — not proof
+//                              of a drop)
+//   dropped                    response bytes arrived and then the
+//                              connection died mid-frame: the daemon
+//                              started an answer the client never got.
+//                              Always a bug; --fail-on-dropped turns
+//                              any of these into exit code 1.
+//
+//   corrob-loadgen --socket /tmp/corrobd.sock --dataset flights
+//       --qps 50,100,200,400 --duration-ms 2000 --connections 8
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/budget.h"
+#include "common/csv.h"
+#include "common/flags.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "obs/clock.h"
+#include "obs/json.h"
+#include "server/client.h"
+#include "server/protocol.h"
+
+namespace corrob {
+namespace loadgen {
+namespace {
+
+using server::CorrobClient;
+using server::CorroborateOutcome;
+using server::CorroborateRequest;
+
+struct LoadgenConfig {
+  std::string socket_path;
+  std::string dataset;
+  std::string algorithm = "IncEstHeu";
+  server::Priority priority = server::Priority::kBatch;
+  std::vector<double> qps_levels;
+  int64_t duration_ms = 2000;
+  int connections = 8;
+  int64_t timeout_ms = 0;
+  int64_t max_rounds = 0;
+  std::string json_path = "BENCH_serving.json";
+  bool fail_on_dropped = false;
+};
+
+/// Counters and latencies of one offered-QPS level, shared by the
+/// worker pool.
+struct LevelStats {
+  std::mutex mutex;
+  int64_t requests = 0;
+  int64_t results = 0;
+  int64_t shed = 0;
+  int64_t errors = 0;
+  int64_t aborted = 0;
+  int64_t dropped = 0;
+  std::vector<double> latencies_ms;
+};
+
+double Percentile(std::vector<double>* sorted_ms, double fraction) {
+  if (sorted_ms->empty()) return 0.0;
+  std::sort(sorted_ms->begin(), sorted_ms->end());
+  const size_t index = static_cast<size_t>(
+      fraction * static_cast<double>(sorted_ms->size() - 1) + 0.5);
+  return (*sorted_ms)[std::min(index, sorted_ms->size() - 1)];
+}
+
+/// One paced worker: issues requests at `interval_ms` spacing until
+/// `deadline`, reconnecting after transport failures.
+void RunWorker(const LoadgenConfig& config, double interval_ms,
+               double start_offset_ms, Deadline deadline,
+               LevelStats* stats) {
+  const obs::Clock* clock = obs::MonotonicClock::Get();
+  CancellationToken pacer;  // never cancelled; used as a sleeper
+  (void)pacer.WaitForMs(start_offset_ms);
+
+  CorroborateRequest request;
+  request.priority = config.priority;
+  request.dataset = config.dataset;
+  request.algorithm = config.algorithm;
+  request.timeout_ms = static_cast<uint32_t>(config.timeout_ms);
+  request.max_rounds = static_cast<uint32_t>(config.max_rounds);
+
+  Result<CorrobClient> client = CorrobClient::Connect(config.socket_path);
+  int64_t next_fire_nanos = clock->NowNanos();
+  while (!deadline.expired()) {
+    if (!client.ok() || !client.ValueOrDie().connected()) {
+      client = CorrobClient::Connect(config.socket_path);
+      if (!client.ok()) break;  // daemon gone (e.g. drained away)
+    }
+    const int64_t request_started = clock->NowNanos();
+    Result<CorroborateOutcome> outcome =
+        client.ValueOrDie().Corroborate(request, StopSignal());
+    const double latency_ms =
+        static_cast<double>(clock->NowNanos() - request_started) / 1e6;
+
+    {
+      std::lock_guard<std::mutex> lock(stats->mutex);
+      ++stats->requests;
+      if (outcome.ok()) {
+        switch (outcome.ValueOrDie().kind) {
+          case CorroborateOutcome::Kind::kResult:
+            ++stats->results;
+            stats->latencies_ms.push_back(latency_ms);
+            break;
+          case CorroborateOutcome::Kind::kOverloaded:
+            ++stats->shed;
+            break;
+          case CorroborateOutcome::Kind::kError:
+            ++stats->errors;
+            break;
+        }
+      } else if (outcome.status().message().find("mid-read") !=
+                 std::string::npos) {
+        // A response was being written and the stream died under it.
+        ++stats->dropped;
+      } else {
+        ++stats->aborted;
+      }
+    }
+    if (!outcome.ok()) client.ValueOrDie().Close();  // force reconnect
+
+    next_fire_nanos += static_cast<int64_t>(interval_ms * 1e6);
+    const double sleep_ms =
+        static_cast<double>(next_fire_nanos - clock->NowNanos()) / 1e6;
+    if (sleep_ms > 0) {
+      (void)pacer.WaitForMs(sleep_ms);
+    } else {
+      // Running late (service time exceeds the interval): fire
+      // immediately and re-anchor so lateness does not compound into
+      // an unbounded burst.
+      next_fire_nanos = clock->NowNanos();
+    }
+  }
+}
+
+obs::JsonValue RunLevel(const LoadgenConfig& config, double offered_qps) {
+  const obs::Clock* clock = obs::MonotonicClock::Get();
+  LevelStats stats;
+  const double interval_ms =
+      static_cast<double>(config.connections) / offered_qps * 1000.0;
+  const Deadline deadline =
+      Deadline::AfterMs(clock, static_cast<double>(config.duration_ms));
+  const int64_t level_started = clock->NowNanos();
+
+  std::vector<std::thread> workers;
+  workers.reserve(config.connections);
+  for (int w = 0; w < config.connections; ++w) {
+    // Stagger starts so the pool approximates a uniform arrival
+    // process instead of firing in lockstep bursts.
+    const double offset_ms = 1000.0 / offered_qps * w;
+    workers.emplace_back(RunWorker, std::cref(config), interval_ms,
+                         offset_ms, deadline, &stats);
+  }
+  for (std::thread& worker : workers) worker.join();
+  const double elapsed_seconds =
+      static_cast<double>(clock->NowNanos() - level_started) / 1e9;
+
+  const double achieved_qps =
+      elapsed_seconds > 0
+          ? static_cast<double>(stats.requests) / elapsed_seconds
+          : 0.0;
+  const double shed_rate =
+      stats.requests > 0
+          ? static_cast<double>(stats.shed) /
+                static_cast<double>(stats.requests)
+          : 0.0;
+  const double p50 = Percentile(&stats.latencies_ms, 0.50);
+  const double p99 = Percentile(&stats.latencies_ms, 0.99);
+
+  std::printf(
+      "%10.1f %10.1f %9lld %9lld %7lld %7lld %7lld %7lld %9.2f %9.2f %7.1f%%\n",
+      offered_qps, achieved_qps, static_cast<long long>(stats.requests),
+      static_cast<long long>(stats.results),
+      static_cast<long long>(stats.shed),
+      static_cast<long long>(stats.errors),
+      static_cast<long long>(stats.aborted),
+      static_cast<long long>(stats.dropped), p50, p99, shed_rate * 100.0);
+
+  obs::JsonValue level = obs::JsonValue::Object();
+  level.Set("offered_qps", obs::JsonValue::Double(offered_qps));
+  level.Set("achieved_qps", obs::JsonValue::Double(achieved_qps));
+  level.Set("requests", obs::JsonValue::Int(stats.requests));
+  level.Set("results", obs::JsonValue::Int(stats.results));
+  level.Set("shed", obs::JsonValue::Int(stats.shed));
+  level.Set("errors", obs::JsonValue::Int(stats.errors));
+  level.Set("aborted", obs::JsonValue::Int(stats.aborted));
+  level.Set("dropped", obs::JsonValue::Int(stats.dropped));
+  level.Set("shed_rate", obs::JsonValue::Double(shed_rate));
+  level.Set("p50_ms", obs::JsonValue::Double(p50));
+  level.Set("p99_ms", obs::JsonValue::Double(p99));
+  return level;
+}
+
+[[nodiscard]] Status ParseConfig(const FlagParser& flags,
+                                 LoadgenConfig* config) {
+  config->socket_path = flags.GetString("socket", "");
+  if (config->socket_path.empty()) {
+    return Status::InvalidArgument("--socket is required");
+  }
+  config->dataset = flags.GetString("dataset", "");
+  if (config->dataset.empty()) {
+    return Status::InvalidArgument(
+        "--dataset is required (a name the daemon loaded at startup)");
+  }
+  config->algorithm = flags.GetString("algorithm", config->algorithm);
+  CORROB_ASSIGN_OR_RETURN(
+      config->priority,
+      server::ParsePriority(flags.GetString("priority", "batch")));
+  CORROB_ASSIGN_OR_RETURN(config->duration_ms,
+                          flags.TryGetInt("duration-ms", 2000));
+  CORROB_ASSIGN_OR_RETURN(int64_t connections,
+                          flags.TryGetInt("connections", 8));
+  if (connections < 1) {
+    return Status::InvalidArgument("--connections must be >= 1");
+  }
+  config->connections = static_cast<int>(connections);
+  CORROB_ASSIGN_OR_RETURN(config->timeout_ms,
+                          flags.TryGetInt("timeout-ms", 0));
+  CORROB_ASSIGN_OR_RETURN(config->max_rounds,
+                          flags.TryGetInt("max-rounds", 0));
+  config->json_path = flags.GetString("json", config->json_path);
+  config->fail_on_dropped = flags.GetBool("fail-on-dropped", false);
+
+  const std::string qps_text = flags.GetString("qps", "50,100,200");
+  size_t begin = 0;
+  while (begin <= qps_text.size()) {
+    const size_t comma = qps_text.find(',', begin);
+    const std::string part = qps_text.substr(
+        begin, comma == std::string::npos ? std::string::npos : comma - begin);
+    try {
+      const double qps = std::stod(part);
+      if (qps <= 0) throw std::invalid_argument("non-positive");
+      config->qps_levels.push_back(qps);
+    } catch (...) {
+      return Status::InvalidArgument("--qps: '" + part +
+                                     "' is not a positive number");
+    }
+    if (comma == std::string::npos) break;
+    begin = comma + 1;
+  }
+  return Status::OK();
+}
+
+int Run(int argc, char** argv) {
+  Result<FlagParser> flags = FlagParser::Parse(argc - 1, argv + 1);
+  if (!flags.ok()) {
+    std::fprintf(stderr, "loadgen: %s\n",
+                 flags.status().ToString().c_str());
+    return 2;
+  }
+  LoadgenConfig config;
+  if (Status parsed = ParseConfig(flags.ValueOrDie(), &config);
+      !parsed.ok()) {
+    std::fprintf(stderr, "loadgen: %s\n", parsed.ToString().c_str());
+    return 2;
+  }
+
+  // Probe the daemon before unleashing the pool: a typo'd socket path
+  // should be one clear error, not connections*levels of them.
+  {
+    Result<CorrobClient> probe = CorrobClient::Connect(config.socket_path);
+    if (!probe.ok()) {
+      std::fprintf(stderr, "loadgen: %s\n",
+                   probe.status().ToString().c_str());
+      return 1;
+    }
+    Result<std::string> pong =
+        probe.ValueOrDie().Ping("loadgen", StopSignal());
+    if (!pong.ok()) {
+      std::fprintf(stderr, "loadgen: daemon did not answer a ping: %s\n",
+                   pong.status().ToString().c_str());
+      return 1;
+    }
+  }
+
+  std::printf("%10s %10s %9s %9s %7s %7s %7s %7s %9s %9s %8s\n",
+              "offered", "achieved", "requests", "results", "shed",
+              "errors", "aborted", "dropped", "p50_ms", "p99_ms",
+              "shed%");
+  obs::JsonValue levels = obs::JsonValue::Array();
+  int64_t total_dropped = 0;
+  int64_t total_responses = 0;
+  for (double qps : config.qps_levels) {
+    obs::JsonValue level = RunLevel(config, qps);
+    total_dropped += level.Find("dropped")->int_value();
+    total_responses += level.Find("results")->int_value() +
+                       level.Find("shed")->int_value() +
+                       level.Find("errors")->int_value();
+    levels.Append(std::move(level));
+  }
+
+  std::printf("\nloadgen: %lld typed response(s) received, %lld dropped\n",
+              static_cast<long long>(total_responses),
+              static_cast<long long>(total_dropped));
+
+  if (config.json_path != "none" && !config.json_path.empty()) {
+    obs::JsonValue root = obs::JsonValue::Object();
+    root.Set("schema", obs::JsonValue::Str("corrob.serving_bench/1"));
+    obs::JsonValue bench_config = obs::JsonValue::Object();
+    bench_config.Set("socket", obs::JsonValue::Str(config.socket_path));
+    bench_config.Set("dataset", obs::JsonValue::Str(config.dataset));
+    bench_config.Set("algorithm", obs::JsonValue::Str(config.algorithm));
+    bench_config.Set(
+        "priority",
+        obs::JsonValue::Str(std::string(server::PriorityName(config.priority))));
+    bench_config.Set("connections", obs::JsonValue::Int(config.connections));
+    bench_config.Set("duration_ms", obs::JsonValue::Int(config.duration_ms));
+    root.Set("config", std::move(bench_config));
+    root.Set("levels", std::move(levels));
+    obs::JsonValue totals = obs::JsonValue::Object();
+    totals.Set("responses_received", obs::JsonValue::Int(total_responses));
+    totals.Set("dropped", obs::JsonValue::Int(total_dropped));
+    root.Set("totals", std::move(totals));
+    if (Status written =
+            WriteStringToFile(config.json_path, root.Dump(2) + "\n");
+        written.ok()) {
+      std::printf("wrote %s\n", config.json_path.c_str());
+    } else {
+      std::fprintf(stderr, "loadgen: cannot write %s: %s\n",
+                   config.json_path.c_str(), written.ToString().c_str());
+      return 1;
+    }
+  }
+
+  if (config.fail_on_dropped && total_dropped > 0) {
+    std::fprintf(stderr,
+                 "loadgen: %lld dropped response(s) — the daemon started "
+                 "writing an answer the client never received\n",
+                 static_cast<long long>(total_dropped));
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace loadgen
+}  // namespace corrob
+
+int main(int argc, char** argv) { return corrob::loadgen::Run(argc, argv); }

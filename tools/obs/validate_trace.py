@@ -12,6 +12,8 @@ autodetecting each file's kind:
              ({"schema": "corrob.telemetry/1", ...})
   bench      BenchReport JSON from the bench binaries
              ({"schema": "corrob.bench/1", ...})
+  serving    BENCH_serving.json from corrob-loadgen
+             ({"schema": "corrob.serving_bench/1", ...})
 
 Usage: validate_trace.py FILE [FILE...]
 Exit status 0 when every file validates, 1 otherwise. Pure stdlib —
@@ -189,6 +191,63 @@ def validate_stream_telemetry(doc):
     return f"{doc['facts_observed']} facts observed"
 
 
+def validate_serving_bench(doc):
+    expect_keys(doc, ["schema", "config", "levels", "totals"],
+                "serving_bench")
+    expect(doc["schema"] == "corrob.serving_bench/1",
+           f"serving_bench: unknown schema '{doc.get('schema')}'")
+    config = doc["config"]
+    expect_keys(config, ["socket", "dataset", "algorithm", "priority",
+                         "connections", "duration_ms"],
+                "serving_bench: config")
+    expect(config["priority"] in ("interactive", "batch", "best_effort"),
+           f"serving_bench: unknown priority '{config.get('priority')}'")
+    levels = doc["levels"]
+    expect(isinstance(levels, list) and levels,
+           "serving_bench: levels must be a non-empty array")
+    counted_responses = 0
+    counted_dropped = 0
+    for i, level in enumerate(levels):
+        where = f"serving_bench: levels[{i}]"
+        expect_keys(level, ["offered_qps", "achieved_qps", "requests",
+                            "results", "shed", "errors", "aborted",
+                            "dropped", "shed_rate", "p50_ms", "p99_ms"],
+                    where)
+        for key in ("offered_qps", "achieved_qps", "shed_rate",
+                    "p50_ms", "p99_ms"):
+            expect(is_number(level[key]) and level[key] >= 0,
+                   f"{where}: {key} must be a non-negative number")
+        for key in ("requests", "results", "shed", "errors", "aborted",
+                    "dropped"):
+            expect(isinstance(level[key], int) and level[key] >= 0,
+                   f"{where}: {key} must be a non-negative integer")
+        accounted = (level["results"] + level["shed"] + level["errors"]
+                     + level["aborted"] + level["dropped"])
+        expect(accounted == level["requests"],
+               f"{where}: outcome counts sum to {accounted}, "
+               f"requests says {level['requests']}")
+        expect(level["p50_ms"] <= level["p99_ms"],
+               f"{where}: p50_ms must not exceed p99_ms")
+        expect(0.0 <= level["shed_rate"] <= 1.0,
+               f"{where}: shed_rate must be in [0, 1]")
+        counted_responses += (level["results"] + level["shed"]
+                              + level["errors"])
+        counted_dropped += level["dropped"]
+    totals = doc["totals"]
+    expect_keys(totals, ["responses_received", "dropped"],
+                "serving_bench: totals")
+    expect(totals["responses_received"] == counted_responses,
+           f"serving_bench: totals.responses_received "
+           f"{totals['responses_received']} != per-level sum "
+           f"{counted_responses}")
+    expect(totals["dropped"] == counted_dropped,
+           f"serving_bench: totals.dropped {totals['dropped']} != "
+           f"per-level sum {counted_dropped}")
+    return (f"{len(levels)} levels, "
+            f"{totals['responses_received']} responses, "
+            f"{totals['dropped']} dropped")
+
+
 def detect_kind(doc):
     if not isinstance(doc, dict):
         raise Invalid("top level must be a JSON object")
@@ -199,6 +258,8 @@ def detect_kind(doc):
         return "bench", validate_bench
     if schema == "corrob.stream_telemetry/1":
         return "stream_telemetry", validate_stream_telemetry
+    if schema == "corrob.serving_bench/1":
+        return "serving_bench", validate_serving_bench
     if "traceEvents" in doc:
         return "trace", validate_trace
     if "counters" in doc and "histograms" in doc:
