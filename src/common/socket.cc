@@ -129,9 +129,9 @@ Result<bool> ReadExactOrEof(int fd, void* buffer, size_t length,
     }
     if (got == 0) {
       if (done == 0) return false;  // clean close between messages
-      return Status::IoError("connection closed mid-read (" +
-                             std::to_string(done) + " of " +
-                             std::to_string(length) + " bytes)");
+      return Status::ConnectionLost("connection closed mid-read (" +
+                                    std::to_string(done) + " of " +
+                                    std::to_string(length) + " bytes)");
     }
     if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) {
       continue;

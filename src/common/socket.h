@@ -64,9 +64,11 @@ class UniqueFd {
 [[nodiscard]] Result<UniqueFd> ConnectUnixSocket(const std::string& path);
 
 /// Reads exactly `length` bytes into `buffer`. Errors:
-///   Cancelled - `stop` fired first;
-///   IoError   - the peer closed the connection (message says whether
-///               mid-read or before the first byte) or a socket error.
+///   Cancelled       - `stop` fired first;
+///   ConnectionLost  - the peer closed after at least one byte of this
+///                     read had arrived (it died mid-message);
+///   IoError         - the peer closed before the first byte, or a
+///                     socket error.
 [[nodiscard]] Status ReadExact(int fd, void* buffer, size_t length,
                                const StopSignal& stop);
 

@@ -26,6 +26,10 @@ std::string_view StatusCodeName(StatusCode code) {
       return "Internal";
     case StatusCode::kCancelled:
       return "Cancelled";
+    case StatusCode::kQuotaExceeded:
+      return "QuotaExceeded";
+    case StatusCode::kConnectionLost:
+      return "ConnectionLost";
   }
   return "Unknown";
 }

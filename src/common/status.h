@@ -23,6 +23,14 @@ enum class StatusCode {
   kNotConverged = 8,
   kInternal = 9,
   kCancelled = 10,
+  /// A per-tenant quota (QPS token bucket or concurrent-run slots)
+  /// rejected the request; retry after the hint the frame carries.
+  kQuotaExceeded = 11,
+  /// The peer vanished mid-message: bytes of a frame were already on
+  /// the wire when the connection died. Distinct from kIoError so
+  /// clients can tell a dropped in-flight response from a socket that
+  /// failed before anything was promised.
+  kConnectionLost = 12,
 };
 
 /// Returns a stable human-readable name for `code` (e.g. "InvalidArgument").
@@ -82,6 +90,12 @@ class [[nodiscard]] Status {
   }
   [[nodiscard]] static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  [[nodiscard]] static Status QuotaExceeded(std::string msg) {
+    return Status(StatusCode::kQuotaExceeded, std::move(msg));
+  }
+  [[nodiscard]] static Status ConnectionLost(std::string msg) {
+    return Status(StatusCode::kConnectionLost, std::move(msg));
   }
 
   [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }

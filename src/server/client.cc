@@ -5,6 +5,54 @@
 namespace corrob {
 namespace server {
 
+namespace {
+
+/// Decodes one response (frame type + payload) into an outcome. Used
+/// for standalone response frames and for each item of a batch
+/// response; `raw_frame` is always the standalone framing of the
+/// bytes, so equivalence tests compare like with like.
+Result<CorroborateOutcome> DecodeOutcome(FrameType type,
+                                         const std::string& payload) {
+  CorroborateOutcome outcome;
+  Frame framed;
+  framed.type = type;
+  framed.payload = payload;
+  outcome.raw_frame = EncodeFrame(framed);
+  switch (type) {
+    case FrameType::kResultResponse: {
+      outcome.kind = CorroborateOutcome::Kind::kResult;
+      CORROB_ASSIGN_OR_RETURN(outcome.result,
+                              DecodeCorroborateResponse(payload));
+      return outcome;
+    }
+    case FrameType::kErrorResponse: {
+      outcome.kind = CorroborateOutcome::Kind::kError;
+      CORROB_ASSIGN_OR_RETURN(outcome.error, DecodeErrorResponse(payload));
+      return outcome;
+    }
+    case FrameType::kOverloadedResponse: {
+      outcome.kind = CorroborateOutcome::Kind::kOverloaded;
+      CORROB_ASSIGN_OR_RETURN(outcome.overloaded,
+                              DecodeOverloadedResponse(payload));
+      return outcome;
+    }
+    case FrameType::kQuotaExceededResponse: {
+      outcome.kind = CorroborateOutcome::Kind::kQuotaExceeded;
+      CORROB_ASSIGN_OR_RETURN(outcome.quota,
+                              DecodeQuotaExceededResponse(payload));
+      return outcome;
+    }
+    default: {
+      return Status::ParseError(
+          "unexpected response frame '" +
+          std::string(FrameTypeName(type)) +
+          "' to a corroborate request");
+    }
+  }
+}
+
+}  // namespace
+
 Result<CorrobClient> CorrobClient::Connect(const std::string& socket_path) {
   CORROB_ASSIGN_OR_RETURN(UniqueFd fd, ConnectUnixSocket(socket_path));
   return CorrobClient(std::move(fd));
@@ -16,6 +64,9 @@ Result<Frame> CorrobClient::RoundTrip(const Frame& request,
     return Status::FailedPrecondition("client is not connected");
   }
   CORROB_RETURN_NOT_OK(WriteFrame(fd_.get(), request, stop));
+  // ReadFrame's taxonomy flows through untouched: a daemon that died
+  // mid-response surfaces as kConnectionLost, a close on the frame
+  // boundary (it never answered) as kIoError.
   return ReadFrame(fd_.get(), stop);
 }
 
@@ -25,35 +76,61 @@ Result<CorroborateOutcome> CorrobClient::Corroborate(
   wire.type = FrameType::kCorroborateRequest;
   wire.payload = EncodeCorroborateRequest(request);
   CORROB_ASSIGN_OR_RETURN(Frame response, RoundTrip(wire, stop));
+  return DecodeOutcome(response.type, response.payload);
+}
 
-  CorroborateOutcome outcome;
-  outcome.raw_frame = EncodeFrame(response);
-  switch (response.type) {
-    case FrameType::kResultResponse: {
-      outcome.kind = CorroborateOutcome::Kind::kResult;
-      CORROB_ASSIGN_OR_RETURN(outcome.result,
-                              DecodeCorroborateResponse(response.payload));
-      return outcome;
-    }
-    case FrameType::kErrorResponse: {
-      outcome.kind = CorroborateOutcome::Kind::kError;
-      CORROB_ASSIGN_OR_RETURN(outcome.error,
-                              DecodeErrorResponse(response.payload));
-      return outcome;
-    }
-    case FrameType::kOverloadedResponse: {
-      outcome.kind = CorroborateOutcome::Kind::kOverloaded;
-      CORROB_ASSIGN_OR_RETURN(outcome.overloaded,
-                              DecodeOverloadedResponse(response.payload));
-      return outcome;
-    }
-    default: {
+Result<std::vector<CorroborateOutcome>> CorrobClient::BatchCorroborate(
+    const BatchRequest& request, const StopSignal& stop) {
+  Frame wire;
+  wire.type = FrameType::kBatchRequest;
+  wire.payload = EncodeBatchRequest(request);
+  CORROB_ASSIGN_OR_RETURN(Frame response, RoundTrip(wire, stop));
+
+  std::vector<CorroborateOutcome> outcomes;
+  if (response.type == FrameType::kBatchResponse) {
+    CORROB_ASSIGN_OR_RETURN(BatchResponse batch,
+                            DecodeBatchResponse(response.payload));
+    if (batch.items.size() != request.items.size()) {
       return Status::ParseError(
-          "unexpected response frame '" +
-          std::string(FrameTypeName(response.type)) +
-          "' to a corroborate request");
+          "batch response has " + std::to_string(batch.items.size()) +
+          " items for " + std::to_string(request.items.size()) +
+          " requests");
     }
+    outcomes.reserve(batch.items.size());
+    for (const BatchItemResponse& item : batch.items) {
+      CORROB_ASSIGN_OR_RETURN(
+          CorroborateOutcome outcome,
+          DecodeOutcome(static_cast<FrameType>(item.type), item.payload));
+      outcomes.push_back(std::move(outcome));
+    }
+    return outcomes;
   }
+  // A whole-batch rejection (quota, malformed frame): one outcome per
+  // requested item would be a lie — surface the single response as
+  // one outcome so the caller sees exactly what the daemon said.
+  CORROB_ASSIGN_OR_RETURN(CorroborateOutcome outcome,
+                          DecodeOutcome(response.type, response.payload));
+  outcomes.push_back(std::move(outcome));
+  return outcomes;
+}
+
+Result<ReloadResponse> CorrobClient::Reload(const ReloadRequest& request,
+                                            const StopSignal& stop) {
+  Frame wire;
+  wire.type = FrameType::kReloadRequest;
+  wire.payload = EncodeReloadRequest(request);
+  CORROB_ASSIGN_OR_RETURN(Frame response, RoundTrip(wire, stop));
+  if (response.type == FrameType::kErrorResponse) {
+    CORROB_ASSIGN_OR_RETURN(ErrorResponse error,
+                            DecodeErrorResponse(response.payload));
+    return Status(static_cast<StatusCode>(error.code), error.message);
+  }
+  if (response.type != FrameType::kReloadResponse) {
+    return Status::ParseError("unexpected response frame '" +
+                              std::string(FrameTypeName(response.type)) +
+                              "' to a reload request");
+  }
+  return DecodeReloadResponse(response.payload);
 }
 
 Result<std::string> CorrobClient::Ping(const std::string& payload,

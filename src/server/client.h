@@ -2,6 +2,7 @@
 #define CORROB_SERVER_CLIENT_H_
 
 #include <string>
+#include <vector>
 
 #include "common/budget.h"
 #include "common/result.h"
@@ -19,22 +20,25 @@ namespace corrob {
 namespace server {
 
 /// Every way a corroborate request can come back. A transport-level
-/// failure (socket died, cancelled) is a Status error instead; a
-/// daemon that answered — even with an error — always produces an
-/// outcome.
+/// failure (socket died → kConnectionLost mid-message / kIoError on a
+/// boundary, cancelled) is a Status error instead; a daemon that
+/// answered — even with an error — always produces an outcome.
 struct CorroborateOutcome {
   enum class Kind {
-    kResult,      ///< A corroboration result (possibly an early stop).
-    kError,       ///< Typed per-request failure; the daemon is fine.
-    kOverloaded,  ///< Shed by admission control; retry after the hint.
+    kResult,         ///< A corroboration result (possibly an early stop).
+    kError,          ///< Typed per-request failure; the daemon is fine.
+    kOverloaded,     ///< Shed by admission control; retry after the hint.
+    kQuotaExceeded,  ///< This tenant's own quota; retry after the hint.
   };
   Kind kind = Kind::kError;
   CorroborateResponse result;      // valid when kind == kResult
   ErrorResponse error;             // valid when kind == kError
   OverloadedResponse overloaded;   // valid when kind == kOverloaded
+  QuotaExceededResponse quota;     // valid when kind == kQuotaExceeded
   /// The response frame exactly as it crossed the wire (header +
-  /// payload + checksum). The drain parity test compares these bytes
-  /// between a drained and a fresh daemon.
+  /// payload + checksum). The drain parity and serving-equivalence
+  /// tests compare these bytes across daemons and serving paths (for
+  /// batch items: the frame the item would have produced standalone).
   std::string raw_frame;
 };
 
@@ -59,11 +63,23 @@ class CorrobClient {
   [[nodiscard]] Result<CorroborateOutcome> Corroborate(
       const CorroborateRequest& request, const StopSignal& stop);
 
+  /// Sends one batch frame and reads its response. Outcomes line up
+  /// with request.items; each outcome's raw_frame is the frame that
+  /// item would have produced as a standalone request.
+  [[nodiscard]] Result<std::vector<CorroborateOutcome>> BatchCorroborate(
+      const BatchRequest& request, const StopSignal& stop);
+
+  /// Asks the daemon to re-read a dataset (or all of them, for an
+  /// empty name) from disk. A typed error frame becomes a Status with
+  /// the daemon's code.
+  [[nodiscard]] Result<ReloadResponse> Reload(const ReloadRequest& request,
+                                              const StopSignal& stop);
+
   /// Round-trips a ping; the response echoes `payload`.
   [[nodiscard]] Result<std::string> Ping(const std::string& payload,
                                          const StopSignal& stop);
 
-  /// Fetches the daemon's stats JSON (schema corrob.serving_stats/1).
+  /// Fetches the daemon's stats JSON (schema corrob.serving_stats/2).
   [[nodiscard]] Result<std::string> Stats(const StopSignal& stop);
 
  private:

@@ -62,6 +62,35 @@ struct DaemonFlags {
   return Status::OK();
 }
 
+/// Parses a per-tenant override "name=qps:burst:slots", e.g.
+/// "analytics=5:10:2". Any component may be 0 (unlimited).
+[[nodiscard]] Status ParseTenantQuotaSpec(
+    const std::string& spec, std::pair<std::string, TenantLimits>* out) {
+  const Status malformed = Status::InvalidArgument(
+      "--tenant-quota needs name=qps:burst:slots, got '" + spec + "'");
+  const size_t equals = spec.find('=');
+  if (equals == std::string::npos || equals == 0) return malformed;
+  const std::string tenant = spec.substr(0, equals);
+  const std::string limits_text = spec.substr(equals + 1);
+  const size_t first = limits_text.find(':');
+  if (first == std::string::npos) return malformed;
+  const size_t second = limits_text.find(':', first + 1);
+  if (second == std::string::npos) return malformed;
+  TenantLimits limits;
+  try {
+    limits.qps = std::stod(limits_text.substr(0, first));
+    limits.burst = std::stod(limits_text.substr(first + 1, second - first - 1));
+    limits.concurrent_slots = std::stoi(limits_text.substr(second + 1));
+  } catch (...) {
+    return malformed;
+  }
+  if (limits.qps < 0 || limits.burst < 0 || limits.concurrent_slots < 0) {
+    return Status::InvalidArgument("--tenant-quota values must be >= 0");
+  }
+  *out = {tenant, limits};
+  return Status::OK();
+}
+
 [[nodiscard]] Status ParseFlags(const std::vector<std::string>& args,
                                 DaemonFlags* flags) {
   const auto needs_value = [&](size_t i) -> Result<std::string> {
@@ -113,6 +142,33 @@ struct DaemonFlags {
       CORROB_ASSIGN_OR_RETURN(std::string value, needs_value(i));
       flags->server.drain_timeout_ms = std::stoll(value);
       ++i;
+    } else if (arg == "--cache-entries") {
+      CORROB_ASSIGN_OR_RETURN(std::string value, needs_value(i));
+      flags->server.cache.capacity_entries = std::stoi(value);
+      ++i;
+    } else if (arg == "--cache-shards") {
+      CORROB_ASSIGN_OR_RETURN(std::string value, needs_value(i));
+      flags->server.cache.shards = std::stoi(value);
+      ++i;
+    } else if (arg == "--tenant-qps") {
+      CORROB_ASSIGN_OR_RETURN(std::string value, needs_value(i));
+      flags->server.quota.default_limits.qps = std::stod(value);
+      ++i;
+    } else if (arg == "--tenant-burst") {
+      CORROB_ASSIGN_OR_RETURN(std::string value, needs_value(i));
+      flags->server.quota.default_limits.burst = std::stod(value);
+      ++i;
+    } else if (arg == "--tenant-slots") {
+      CORROB_ASSIGN_OR_RETURN(std::string value, needs_value(i));
+      flags->server.quota.default_limits.concurrent_slots =
+          std::stoi(value);
+      ++i;
+    } else if (arg == "--tenant-quota") {
+      CORROB_ASSIGN_OR_RETURN(std::string spec, needs_value(i));
+      std::pair<std::string, TenantLimits> parsed;
+      CORROB_RETURN_NOT_OK(ParseTenantQuotaSpec(spec, &parsed));
+      flags->server.tenant_overrides.push_back(std::move(parsed));
+      ++i;
     } else if (arg == "--failpoint") {
       CORROB_ASSIGN_OR_RETURN(std::string spec, needs_value(i));
       if (!flags->failpoints.empty()) flags->failpoints += ",";
@@ -123,7 +179,9 @@ struct DaemonFlags {
           "unknown flag '" + arg +
           "' (flags: --socket --dataset --max-concurrency "
           "--queue-capacity --default-timeout-ms --default-max-rounds "
-          "--threads --drain-timeout-ms --failpoint)");
+          "--threads --drain-timeout-ms --cache-entries --cache-shards "
+          "--tenant-qps --tenant-burst --tenant-slots --tenant-quota "
+          "--failpoint)");
     }
   }
   return Status::OK();

@@ -70,6 +70,10 @@ std::string_view FrameTypeName(FrameType type) {
       return "ping_request";
     case FrameType::kStatsRequest:
       return "stats_request";
+    case FrameType::kBatchRequest:
+      return "batch_request";
+    case FrameType::kReloadRequest:
+      return "reload_request";
     case FrameType::kResultResponse:
       return "result_response";
     case FrameType::kErrorResponse:
@@ -80,6 +84,12 @@ std::string_view FrameTypeName(FrameType type) {
       return "pong_response";
     case FrameType::kStatsResponse:
       return "stats_response";
+    case FrameType::kBatchResponse:
+      return "batch_response";
+    case FrameType::kQuotaExceededResponse:
+      return "quota_exceeded_response";
+    case FrameType::kReloadResponse:
+      return "reload_response";
   }
   return "unknown";
 }
@@ -89,11 +99,16 @@ bool IsKnownFrameType(uint8_t raw) {
     case FrameType::kCorroborateRequest:
     case FrameType::kPingRequest:
     case FrameType::kStatsRequest:
+    case FrameType::kBatchRequest:
+    case FrameType::kReloadRequest:
     case FrameType::kResultResponse:
     case FrameType::kErrorResponse:
     case FrameType::kOverloadedResponse:
     case FrameType::kPongResponse:
     case FrameType::kStatsResponse:
+    case FrameType::kBatchResponse:
+    case FrameType::kQuotaExceededResponse:
+    case FrameType::kReloadResponse:
       return true;
   }
   return false;
@@ -161,12 +176,25 @@ Result<std::optional<Frame>> ReadFrameOrEof(int fd,
   Frame frame;
   frame.type = static_cast<FrameType>(raw_type);
   frame.payload.resize(payload_length);
+  // Once the header has arrived the frame is in flight: a close on any
+  // later read boundary is still a mid-frame death, so promote the
+  // clean-close IoError to ConnectionLost (the mid-read case already
+  // carries it from the socket layer).
+  const auto read_rest = [&](void* buffer, size_t length) -> Status {
+    CORROB_ASSIGN_OR_RETURN(bool complete,
+                            ReadExactOrEof(fd, buffer, length, stop));
+    if (!complete) {
+      return Status::ConnectionLost(
+          "connection closed mid-frame (header received, " +
+          std::to_string(length) + "-byte continuation missing)");
+    }
+    return Status::OK();
+  };
   if (payload_length > 0) {
-    CORROB_RETURN_NOT_OK(
-        ReadExact(fd, frame.payload.data(), payload_length, stop));
+    CORROB_RETURN_NOT_OK(read_rest(frame.payload.data(), payload_length));
   }
   char trailer[kFrameTrailerBytes];
-  CORROB_RETURN_NOT_OK(ReadExact(fd, trailer, sizeof(trailer), stop));
+  CORROB_RETURN_NOT_OK(read_rest(trailer, sizeof(trailer)));
   const uint32_t stored = GetU32(trailer);
   const uint32_t computed = FrameChecksum(raw_type, frame.payload);
   if (stored != computed) {

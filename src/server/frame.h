@@ -31,11 +31,16 @@ enum class FrameType : uint8_t {
   kCorroborateRequest = 0x01,
   kPingRequest = 0x02,
   kStatsRequest = 0x03,
+  kBatchRequest = 0x04,
+  kReloadRequest = 0x05,
   kResultResponse = 0x81,
   kErrorResponse = 0x82,
   kOverloadedResponse = 0x83,
   kPongResponse = 0x84,
   kStatsResponse = 0x85,
+  kBatchResponse = 0x86,
+  kQuotaExceededResponse = 0x87,
+  kReloadResponse = 0x88,
 };
 
 /// Stable lowercase name, e.g. "corroborate_request".
@@ -73,8 +78,11 @@ std::string EncodeFrame(const Frame& frame);
 
 /// Reads one frame from `fd`, polling `stop`. Error taxonomy of
 /// DecodeFrame plus:
-///   IoError    - the peer closed mid-frame or the socket died;
-///   Cancelled  - `stop` fired.
+///   ConnectionLost - the peer closed mid-frame (bytes of the frame
+///                    were already on the wire);
+///   IoError        - the peer closed on a frame boundary when a
+///                    frame was expected, or the socket died;
+///   Cancelled      - `stop` fired.
 /// The "server.frame.read" failpoint is checked before the read.
 [[nodiscard]] Result<Frame> ReadFrame(int fd, const StopSignal& stop);
 

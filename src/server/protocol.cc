@@ -1,5 +1,6 @@
 #include "server/protocol.h"
 
+#include <algorithm>
 #include <bit>
 #include <cstring>
 
@@ -24,6 +25,12 @@ void PutU32(std::string* out, uint32_t value) {
   }
 }
 
+void PutU64(std::string* out, uint64_t value) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    out->push_back(static_cast<char>((value >> shift) & 0xFF));
+  }
+}
+
 void PutF64(std::string* out, double value) {
   const uint64_t bits = std::bit_cast<uint64_t>(value);
   for (int shift = 0; shift < 64; shift += 8) {
@@ -34,6 +41,19 @@ void PutF64(std::string* out, double value) {
 void PutString(std::string* out, std::string_view text) {
   PutU32(out, static_cast<uint32_t>(text.size()));
   out->append(text);
+}
+
+void PutOptions(std::string* out, const OptionList& options) {
+  // Encode in canonical (sorted) order regardless of the order the
+  // caller assembled the list in: permuted but semantically identical
+  // option maps must be byte-identical on the wire.
+  OptionList sorted = options;
+  std::sort(sorted.begin(), sorted.end());
+  PutU32(out, static_cast<uint32_t>(sorted.size()));
+  for (const auto& [key, value] : sorted) {
+    PutString(out, key);
+    PutString(out, value);
+  }
 }
 
 class PayloadReader {
@@ -55,6 +75,18 @@ class PayloadReader {
                << (8 * i);
     }
     rest_.remove_prefix(4);
+    *out = value;
+    return Status::OK();
+  }
+
+  [[nodiscard]] Status ReadU64(uint64_t* out) {
+    CORROB_RETURN_NOT_OK(Need(8, "u64"));
+    uint64_t value = 0;
+    for (int i = 0; i < 8; ++i) {
+      value |= static_cast<uint64_t>(static_cast<uint8_t>(rest_[i]))
+               << (8 * i);
+    }
+    rest_.remove_prefix(8);
     *out = value;
     return Status::OK();
   }
@@ -91,6 +123,25 @@ class PayloadReader {
     return Status::OK();
   }
 
+  [[nodiscard]] Status ReadOptions(OptionList* out) {
+    uint32_t count = 0;
+    CORROB_RETURN_NOT_OK(ReadU32(&count));
+    // Each entry needs at least its two length prefixes.
+    CORROB_RETURN_NOT_OK(Need(static_cast<size_t>(count) * 8, "options"));
+    out->clear();
+    out->reserve(count);
+    for (uint32_t i = 0; i < count; ++i) {
+      std::string key;
+      std::string value;
+      CORROB_RETURN_NOT_OK(ReadString(&key));
+      CORROB_RETURN_NOT_OK(ReadString(&value));
+      out->emplace_back(std::move(key), std::move(value));
+    }
+    // Canonicalize here too: a hand-rolled client that encoded in a
+    // different order still produces one cache key server-side.
+    return NormalizeOptions(out);
+  }
+
   /// Every decoder's final check: trailing bytes mean a version skew
   /// or a corrupted payload, both worth rejecting loudly.
   [[nodiscard]] Status ExpectEnd() const {
@@ -116,16 +167,21 @@ class PayloadReader {
   std::string_view rest_;
 };
 
-[[nodiscard]] Status CheckVersion(PayloadReader& reader) {
+/// Reads the payload version byte and rejects anything outside the
+/// supported window. Most payloads accept [1, current]; v2-only
+/// payloads pass 2 as the floor.
+[[nodiscard]] Result<uint8_t> ReadVersionInRange(PayloadReader& reader,
+                                                 uint8_t min_version,
+                                                 uint8_t max_version) {
   uint8_t version = 0;
   CORROB_RETURN_NOT_OK(reader.ReadU8(&version));
-  if (version != kProtocolVersion) {
+  if (version < min_version || version > max_version) {
     return Status::FailedPrecondition(
         "payload codec version " + std::to_string(version) +
-        " is not the supported version " +
-        std::to_string(kProtocolVersion));
+        " is outside the supported range [" + std::to_string(min_version) +
+        ", " + std::to_string(max_version) + "]");
   }
-  return Status::OK();
+  return version;
 }
 
 }  // namespace
@@ -155,21 +211,44 @@ Result<Priority> ParsePriority(std::string_view text) {
       "' (expected interactive|batch|best_effort)");
 }
 
+Status NormalizeOptions(OptionList* options) {
+  std::sort(options->begin(), options->end());
+  for (size_t i = 1; i < options->size(); ++i) {
+    if ((*options)[i].first == (*options)[i - 1].first) {
+      return Status::InvalidArgument("duplicate option key '" +
+                                     (*options)[i].first + "'");
+    }
+  }
+  return Status::OK();
+}
+
 std::string EncodeCorroborateRequest(const CorroborateRequest& request) {
+  return EncodeCorroborateRequest(request, kProtocolVersion);
+}
+
+std::string EncodeCorroborateRequest(const CorroborateRequest& request,
+                                     uint8_t version) {
   std::string out;
-  PutU8(&out, kProtocolVersion);
+  PutU8(&out, version);
   PutU8(&out, static_cast<uint8_t>(request.priority));
   PutU32(&out, request.timeout_ms);
   PutU32(&out, request.max_rounds);
   PutString(&out, request.dataset);
   PutString(&out, request.algorithm);
+  if (version >= 2) {
+    PutString(&out, request.tenant);
+    PutOptions(&out, request.options);
+  }
   return out;
 }
 
 Result<CorroborateRequest> DecodeCorroborateRequest(
     std::string_view payload) {
   PayloadReader reader(payload);
-  CORROB_RETURN_NOT_OK(CheckVersion(reader));
+  CORROB_ASSIGN_OR_RETURN(
+      uint8_t version,
+      ReadVersionInRange(reader, kMinCorroborateRequestVersion,
+                         kProtocolVersion));
   CorroborateRequest request;
   uint8_t priority = 0;
   CORROB_RETURN_NOT_OK(reader.ReadU8(&priority));
@@ -182,6 +261,10 @@ Result<CorroborateRequest> DecodeCorroborateRequest(
   CORROB_RETURN_NOT_OK(reader.ReadU32(&request.max_rounds));
   CORROB_RETURN_NOT_OK(reader.ReadString(&request.dataset));
   CORROB_RETURN_NOT_OK(reader.ReadString(&request.algorithm));
+  if (version >= 2) {
+    CORROB_RETURN_NOT_OK(reader.ReadString(&request.tenant));
+    CORROB_RETURN_NOT_OK(reader.ReadOptions(&request.options));
+  }
   CORROB_RETURN_NOT_OK(reader.ExpectEnd());
   return request;
 }
@@ -191,7 +274,10 @@ std::string EncodeCorroborateResponse(
   std::string out;
   out.reserve(32 + 8 * (response.fact_probability.size() +
                         response.source_trust.size()));
-  PutU8(&out, kProtocolVersion);
+  // The response payload is deliberately still version 1: it carries
+  // no v2 field and staying put keeps cached/coalesced/batch replies
+  // byte-identical to any response a v1 peer recorded.
+  PutU8(&out, 1);
   PutString(&out, response.algorithm);
   PutU8(&out, response.termination);
   PutU32(&out, response.iterations);
@@ -205,7 +291,8 @@ std::string EncodeCorroborateResponse(
 Result<CorroborateResponse> DecodeCorroborateResponse(
     std::string_view payload) {
   PayloadReader reader(payload);
-  CORROB_RETURN_NOT_OK(CheckVersion(reader));
+  CORROB_RETURN_NOT_OK(
+      ReadVersionInRange(reader, 1, kProtocolVersion).status());
   CorroborateResponse response;
   CORROB_RETURN_NOT_OK(reader.ReadString(&response.algorithm));
   CORROB_RETURN_NOT_OK(reader.ReadU8(&response.termination));
@@ -218,7 +305,7 @@ Result<CorroborateResponse> DecodeCorroborateResponse(
 
 std::string EncodeErrorResponse(const ErrorResponse& response) {
   std::string out;
-  PutU8(&out, kProtocolVersion);
+  PutU8(&out, 1);
   PutU8(&out, response.code);
   PutString(&out, response.message);
   return out;
@@ -226,7 +313,8 @@ std::string EncodeErrorResponse(const ErrorResponse& response) {
 
 Result<ErrorResponse> DecodeErrorResponse(std::string_view payload) {
   PayloadReader reader(payload);
-  CORROB_RETURN_NOT_OK(CheckVersion(reader));
+  CORROB_RETURN_NOT_OK(
+      ReadVersionInRange(reader, 1, kProtocolVersion).status());
   ErrorResponse response;
   CORROB_RETURN_NOT_OK(reader.ReadU8(&response.code));
   CORROB_RETURN_NOT_OK(reader.ReadString(&response.message));
@@ -236,7 +324,7 @@ Result<ErrorResponse> DecodeErrorResponse(std::string_view payload) {
 
 std::string EncodeOverloadedResponse(const OverloadedResponse& response) {
   std::string out;
-  PutU8(&out, kProtocolVersion);
+  PutU8(&out, 1);
   PutU32(&out, response.retry_after_ms);
   PutU32(&out, response.queue_depth);
   PutString(&out, response.message);
@@ -246,11 +334,158 @@ std::string EncodeOverloadedResponse(const OverloadedResponse& response) {
 Result<OverloadedResponse> DecodeOverloadedResponse(
     std::string_view payload) {
   PayloadReader reader(payload);
-  CORROB_RETURN_NOT_OK(CheckVersion(reader));
+  CORROB_RETURN_NOT_OK(
+      ReadVersionInRange(reader, 1, kProtocolVersion).status());
   OverloadedResponse response;
   CORROB_RETURN_NOT_OK(reader.ReadU32(&response.retry_after_ms));
   CORROB_RETURN_NOT_OK(reader.ReadU32(&response.queue_depth));
   CORROB_RETURN_NOT_OK(reader.ReadString(&response.message));
+  CORROB_RETURN_NOT_OK(reader.ExpectEnd());
+  return response;
+}
+
+std::string EncodeQuotaExceededResponse(
+    const QuotaExceededResponse& response) {
+  std::string out;
+  PutU8(&out, kProtocolVersion);
+  PutU32(&out, response.retry_after_ms);
+  PutString(&out, response.tenant);
+  PutString(&out, response.message);
+  return out;
+}
+
+Result<QuotaExceededResponse> DecodeQuotaExceededResponse(
+    std::string_view payload) {
+  PayloadReader reader(payload);
+  CORROB_RETURN_NOT_OK(
+      ReadVersionInRange(reader, 2, kProtocolVersion).status());
+  QuotaExceededResponse response;
+  CORROB_RETURN_NOT_OK(reader.ReadU32(&response.retry_after_ms));
+  CORROB_RETURN_NOT_OK(reader.ReadString(&response.tenant));
+  CORROB_RETURN_NOT_OK(reader.ReadString(&response.message));
+  CORROB_RETURN_NOT_OK(reader.ExpectEnd());
+  return response;
+}
+
+std::string EncodeBatchRequest(const BatchRequest& request) {
+  std::string out;
+  PutU8(&out, kProtocolVersion);
+  PutU8(&out, static_cast<uint8_t>(request.priority));
+  PutString(&out, request.tenant);
+  PutU32(&out, static_cast<uint32_t>(request.items.size()));
+  for (const BatchItem& item : request.items) {
+    PutU32(&out, item.timeout_ms);
+    PutU32(&out, item.max_rounds);
+    PutString(&out, item.dataset);
+    PutString(&out, item.algorithm);
+    PutOptions(&out, item.options);
+  }
+  return out;
+}
+
+Result<BatchRequest> DecodeBatchRequest(std::string_view payload) {
+  PayloadReader reader(payload);
+  CORROB_RETURN_NOT_OK(
+      ReadVersionInRange(reader, 2, kProtocolVersion).status());
+  BatchRequest request;
+  uint8_t priority = 0;
+  CORROB_RETURN_NOT_OK(reader.ReadU8(&priority));
+  if (priority >= kNumPriorities) {
+    return Status::InvalidArgument("unknown priority class " +
+                                   std::to_string(priority));
+  }
+  request.priority = static_cast<Priority>(priority);
+  CORROB_RETURN_NOT_OK(reader.ReadString(&request.tenant));
+  uint32_t count = 0;
+  CORROB_RETURN_NOT_OK(reader.ReadU32(&count));
+  if (count == 0) {
+    return Status::InvalidArgument("batch request has no items");
+  }
+  if (count > kMaxBatchItems) {
+    return Status::InvalidArgument(
+        "batch request has " + std::to_string(count) +
+        " items; the cap is " + std::to_string(kMaxBatchItems));
+  }
+  request.items.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    BatchItem item;
+    CORROB_RETURN_NOT_OK(reader.ReadU32(&item.timeout_ms));
+    CORROB_RETURN_NOT_OK(reader.ReadU32(&item.max_rounds));
+    CORROB_RETURN_NOT_OK(reader.ReadString(&item.dataset));
+    CORROB_RETURN_NOT_OK(reader.ReadString(&item.algorithm));
+    CORROB_RETURN_NOT_OK(reader.ReadOptions(&item.options));
+    request.items.push_back(std::move(item));
+  }
+  CORROB_RETURN_NOT_OK(reader.ExpectEnd());
+  return request;
+}
+
+std::string EncodeBatchResponse(const BatchResponse& response) {
+  std::string out;
+  PutU8(&out, kProtocolVersion);
+  PutU32(&out, static_cast<uint32_t>(response.items.size()));
+  for (const BatchItemResponse& item : response.items) {
+    PutU8(&out, item.type);
+    PutString(&out, item.payload);
+  }
+  return out;
+}
+
+Result<BatchResponse> DecodeBatchResponse(std::string_view payload) {
+  PayloadReader reader(payload);
+  CORROB_RETURN_NOT_OK(
+      ReadVersionInRange(reader, 2, kProtocolVersion).status());
+  BatchResponse response;
+  uint32_t count = 0;
+  CORROB_RETURN_NOT_OK(reader.ReadU32(&count));
+  if (count > kMaxBatchItems) {
+    return Status::InvalidArgument(
+        "batch response has " + std::to_string(count) +
+        " items; the cap is " + std::to_string(kMaxBatchItems));
+  }
+  response.items.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    BatchItemResponse item;
+    CORROB_RETURN_NOT_OK(reader.ReadU8(&item.type));
+    CORROB_RETURN_NOT_OK(reader.ReadString(&item.payload));
+    response.items.push_back(std::move(item));
+  }
+  CORROB_RETURN_NOT_OK(reader.ExpectEnd());
+  return response;
+}
+
+std::string EncodeReloadRequest(const ReloadRequest& request) {
+  std::string out;
+  PutU8(&out, kProtocolVersion);
+  PutString(&out, request.dataset);
+  return out;
+}
+
+Result<ReloadRequest> DecodeReloadRequest(std::string_view payload) {
+  PayloadReader reader(payload);
+  CORROB_RETURN_NOT_OK(
+      ReadVersionInRange(reader, 2, kProtocolVersion).status());
+  ReloadRequest request;
+  CORROB_RETURN_NOT_OK(reader.ReadString(&request.dataset));
+  CORROB_RETURN_NOT_OK(reader.ExpectEnd());
+  return request;
+}
+
+std::string EncodeReloadResponse(const ReloadResponse& response) {
+  std::string out;
+  PutU8(&out, kProtocolVersion);
+  PutU32(&out, response.datasets_reloaded);
+  PutU64(&out, response.generation);
+  return out;
+}
+
+Result<ReloadResponse> DecodeReloadResponse(std::string_view payload) {
+  PayloadReader reader(payload);
+  CORROB_RETURN_NOT_OK(
+      ReadVersionInRange(reader, 2, kProtocolVersion).status());
+  ReloadResponse response;
+  CORROB_RETURN_NOT_OK(reader.ReadU32(&response.datasets_reloaded));
+  CORROB_RETURN_NOT_OK(reader.ReadU64(&response.generation));
   CORROB_RETURN_NOT_OK(reader.ExpectEnd());
   return response;
 }

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "common/result.h"
@@ -14,12 +15,22 @@
 // without changing the frame layer. Integers are little-endian;
 // doubles travel as their IEEE-754 bit pattern, so a response is
 // byte-identical whenever the underlying corroboration result is —
-// the property the drain parity test asserts end to end.
+// the property the drain parity and serving-equivalence tests assert
+// end to end.
+//
+// Version history:
+//   1  PR 6: corroborate request/response, error, overloaded.
+//   2  serving-efficiency layer: requests carry a tenant id and a
+//      canonically ordered option list; batch, quota-exceeded and
+//      reload frames. Version-1 corroborate requests are still
+//      decoded (empty tenant, no options).
 
 namespace corrob {
 namespace server {
 
-inline constexpr uint8_t kProtocolVersion = 1;
+inline constexpr uint8_t kProtocolVersion = 2;
+/// Oldest corroborate-request version the daemon still accepts.
+inline constexpr uint8_t kMinCorroborateRequestVersion = 1;
 
 /// Admission priority class of a request. Lower values are served
 /// first; each class maps onto a default Deadline + ResourceBudget
@@ -37,19 +48,38 @@ std::string_view PriorityName(Priority priority);
 /// Parses "interactive" | "batch" | "best_effort" (and "besteffort").
 [[nodiscard]] Result<Priority> ParsePriority(std::string_view text);
 
+/// Key=value request options. Semantically a map: the codec
+/// canonicalizes the order (sorted by key) on encode AND decode, so
+/// two requests that differ only in option ordering are
+/// byte-identical on the wire and produce one cache key.
+using OptionList = std::vector<std::pair<std::string, std::string>>;
+
+/// Sorts `options` by key (values break ties) and rejects duplicate
+/// keys. Both codec directions and the result cache key go through
+/// this, so there is exactly one canonical form per option map.
+[[nodiscard]] Status NormalizeOptions(OptionList* options);
+
 /// Client request: corroborate `dataset` (a name the daemon loaded at
 /// startup) with `algorithm`, under the priority class's admission
 /// queue and budget. timeout_ms/max_rounds of 0 inherit the class
-/// defaults configured on the server.
+/// defaults configured on the server. `tenant` selects the quota
+/// buckets ("" = the anonymous tenant); `options` are opaque
+/// key=value pairs folded into the result-cache key.
 struct CorroborateRequest {
   Priority priority = Priority::kBatch;
   std::string dataset;
   std::string algorithm = "IncEstHeu";
   uint32_t timeout_ms = 0;
   uint32_t max_rounds = 0;
+  std::string tenant;
+  OptionList options;
 };
 
+/// Encodes at the current version. The overload taking `version`
+/// exists for compatibility tests; version 1 drops tenant/options.
 std::string EncodeCorroborateRequest(const CorroborateRequest& request);
+std::string EncodeCorroborateRequest(const CorroborateRequest& request,
+                                     uint8_t version);
 [[nodiscard]] Result<CorroborateRequest> DecodeCorroborateRequest(
     std::string_view payload);
 
@@ -92,6 +122,86 @@ struct OverloadedResponse {
 
 std::string EncodeOverloadedResponse(const OverloadedResponse& response);
 [[nodiscard]] Result<OverloadedResponse> DecodeOverloadedResponse(
+    std::string_view payload);
+
+/// Structured per-tenant quota rejection (StatusCode::kQuotaExceeded
+/// on the wire-independent side): the tenant's token bucket ran dry
+/// or its concurrent-run slots are all taken. Unlike kOverloaded this
+/// is about one tenant's allowance, not the daemon's total capacity.
+struct QuotaExceededResponse {
+  uint32_t retry_after_ms = 0;
+  std::string tenant;
+  std::string message;
+};
+
+std::string EncodeQuotaExceededResponse(
+    const QuotaExceededResponse& response);
+[[nodiscard]] Result<QuotaExceededResponse> DecodeQuotaExceededResponse(
+    std::string_view payload);
+
+/// Upper bound on sub-requests in one batch frame; a decoder seeing
+/// more rejects before allocating.
+inline constexpr uint32_t kMaxBatchItems = 1024;
+
+/// One sub-request of a batch. Priority and tenant are batch-wide;
+/// everything else matches CorroborateRequest.
+struct BatchItem {
+  std::string dataset;
+  std::string algorithm = "IncEstHeu";
+  uint32_t timeout_ms = 0;
+  uint32_t max_rounds = 0;
+  OptionList options;
+};
+
+/// Many corroborations in one frame. Admission accounts the batch as
+/// items.size() units (each item takes and releases its own slot);
+/// the tenant's QPS bucket is charged items.size() tokens up front.
+struct BatchRequest {
+  Priority priority = Priority::kBatch;
+  std::string tenant;
+  std::vector<BatchItem> items;
+};
+
+std::string EncodeBatchRequest(const BatchRequest& request);
+[[nodiscard]] Result<BatchRequest> DecodeBatchRequest(
+    std::string_view payload);
+
+/// Outcome of one batch item: `type` is the response frame type this
+/// item would have produced as a standalone request, and `payload` is
+/// that response's encoded payload — byte-identical to the standalone
+/// frame's payload (the serving-equivalence suite pins this).
+struct BatchItemResponse {
+  uint8_t type = 0;  // a response FrameType value
+  std::string payload;
+};
+
+struct BatchResponse {
+  std::vector<BatchItemResponse> items;
+};
+
+std::string EncodeBatchResponse(const BatchResponse& response);
+[[nodiscard]] Result<BatchResponse> DecodeBatchResponse(
+    std::string_view payload);
+
+/// Administrative reload: re-read the named dataset (or every dataset
+/// when `dataset` is empty) from its startup path and bump its
+/// generation, invalidating cached results keyed on the old one.
+struct ReloadRequest {
+  std::string dataset;
+};
+
+std::string EncodeReloadRequest(const ReloadRequest& request);
+[[nodiscard]] Result<ReloadRequest> DecodeReloadRequest(
+    std::string_view payload);
+
+struct ReloadResponse {
+  uint32_t datasets_reloaded = 0;
+  /// Highest generation among the reloaded datasets.
+  uint64_t generation = 0;
+};
+
+std::string EncodeReloadResponse(const ReloadResponse& response);
+[[nodiscard]] Result<ReloadResponse> DecodeReloadResponse(
     std::string_view payload);
 
 }  // namespace server

@@ -1,0 +1,157 @@
+#include "server/quota.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "obs/metrics.h"
+
+namespace corrob {
+namespace server {
+
+namespace {
+
+constexpr double kNanosPerSecond = 1e9;
+
+struct QuotaMetrics {
+  obs::Counter* rate_rejections;
+  obs::Counter* slot_rejections;
+  obs::Gauge* tenants;
+
+  static QuotaMetrics& Get() {
+    static QuotaMetrics metrics = [] {
+      auto& registry = obs::MetricsRegistry::Global();
+      QuotaMetrics m;
+      m.rate_rejections =
+          registry.GetCounter("corrob.server.quota.rate_rejections");
+      m.slot_rejections =
+          registry.GetCounter("corrob.server.quota.slot_rejections");
+      m.tenants = registry.GetGauge("corrob.server.quota.tenants");
+      return m;
+    }();
+    return metrics;
+  }
+};
+
+/// Bucket capacity: at least one token so a tenant with a tiny qps
+/// can ever send anything.
+double EffectiveBurst(const TenantLimits& limits) {
+  return std::max(limits.burst, 1.0);
+}
+
+std::string TenantLabel(const std::string& tenant) {
+  return tenant.empty() ? "(anonymous)" : tenant;
+}
+
+}  // namespace
+
+TenantQuotas::TenantQuotas(const QuotaOptions& options,
+                           const obs::Clock* clock)
+    : options_(options), clock_(clock) {}
+
+void TenantQuotas::SetLimits(const std::string& tenant,
+                             const TenantLimits& limits) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Bucket& bucket = BucketFor(tenant);
+  bucket.limits = limits;
+  bucket.has_override = true;
+  // Start the new allowance full rather than inheriting a drained
+  // bucket from the old limits.
+  bucket.tokens = EffectiveBurst(limits);
+  bucket.last_refill_nanos = clock_->NowNanos();
+}
+
+TenantQuotas::Bucket& TenantQuotas::BucketFor(const std::string& tenant) {
+  auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) {
+    Bucket bucket;
+    bucket.limits = options_.default_limits;
+    bucket.tokens = EffectiveBurst(bucket.limits);
+    bucket.last_refill_nanos = clock_->NowNanos();
+    it = tenants_.emplace(tenant, std::move(bucket)).first;
+    QuotaMetrics::Get().tenants->Set(
+        static_cast<int64_t>(tenants_.size()));
+  }
+  return it->second;
+}
+
+QuotaDecision TenantQuotas::ChargeRate(const std::string& tenant,
+                                       int units) {
+  QuotaDecision decision;
+  if (units <= 0) return decision;
+  std::lock_guard<std::mutex> lock(mutex_);
+  Bucket& bucket = BucketFor(tenant);
+  if (bucket.limits.qps <= 0.0) return decision;  // unlimited
+
+  const double burst = EffectiveBurst(bucket.limits);
+  const int64_t now = clock_->NowNanos();
+  const int64_t elapsed = std::max<int64_t>(0, now - bucket.last_refill_nanos);
+  bucket.tokens = std::min(
+      burst, bucket.tokens + bucket.limits.qps *
+                                 (static_cast<double>(elapsed) /
+                                  kNanosPerSecond));
+  bucket.last_refill_nanos = now;
+
+  const double cost = static_cast<double>(units);
+  if (bucket.tokens + 1e-9 >= cost) {
+    bucket.tokens -= cost;
+    return decision;
+  }
+  // All-or-nothing: leave the bucket untouched and tell the tenant
+  // how long the deficit takes to refill.
+  const double deficit = cost - bucket.tokens;
+  const double wait_ms =
+      std::ceil(deficit / bucket.limits.qps * 1000.0);
+  decision.allowed = false;
+  decision.retry_after_ms =
+      static_cast<uint32_t>(std::max(1.0, wait_ms));
+  decision.reason = "tenant " + TenantLabel(tenant) +
+                    " exceeded its rate limit of " +
+                    std::to_string(bucket.limits.qps) + " qps";
+  ++stats_.rate_rejections;
+  QuotaMetrics::Get().rate_rejections->Add(1);
+  return decision;
+}
+
+QuotaDecision TenantQuotas::TryEnterRun(const std::string& tenant) {
+  QuotaDecision decision;
+  std::lock_guard<std::mutex> lock(mutex_);
+  Bucket& bucket = BucketFor(tenant);
+  if (bucket.limits.concurrent_slots > 0 &&
+      bucket.running >= bucket.limits.concurrent_slots) {
+    decision.allowed = false;
+    decision.retry_after_ms = options_.slot_retry_ms;
+    decision.reason =
+        "tenant " + TenantLabel(tenant) + " is already running " +
+        std::to_string(bucket.running) + " of " +
+        std::to_string(bucket.limits.concurrent_slots) +
+        " concurrent corroborations";
+    ++stats_.slot_rejections;
+    QuotaMetrics::Get().slot_rejections->Add(1);
+    return decision;
+  }
+  ++bucket.running;
+  return decision;
+}
+
+void TenantQuotas::ExitRun(const std::string& tenant) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Bucket& bucket = BucketFor(tenant);
+  if (bucket.running > 0) --bucket.running;
+}
+
+TenantQuotas::Stats TenantQuotas::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+TenantLimits TenantQuotas::LimitsFor(const std::string& tenant) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = tenants_.find(tenant);
+  if (it != tenants_.end() && it->second.has_override) {
+    return it->second.limits;
+  }
+  return options_.default_limits;
+}
+
+}  // namespace server
+}  // namespace corrob

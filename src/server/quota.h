@@ -1,0 +1,114 @@
+#ifndef CORROB_SERVER_QUOTA_H_
+#define CORROB_SERVER_QUOTA_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "obs/clock.h"
+
+// Per-tenant quotas for corrobd. Each tenant id (the `tenant` field
+// of a v2 request; "" is the anonymous tenant) owns a token-bucket
+// rate limit and a concurrent-run slot cap. A request that exceeds
+// either gets a typed kQuotaExceededResponse frame carrying a
+// retry-after hint computed from the bucket's actual deficit — this
+// is about one tenant's allowance, where kOverloadedResponse is about
+// the daemon's total capacity.
+//
+// Limits of 0 mean "unlimited", so a daemon configured with the
+// defaults behaves exactly as before quotas existed (back-compat is
+// opt-in per deployment). Time comes from an injected obs::Clock so
+// the quota tests hand-crank refills with ManualClock.
+
+namespace corrob {
+namespace server {
+
+/// One tenant's limits.
+struct TenantLimits {
+  /// Sustained request rate; each admitted request (each batch item)
+  /// costs one token. 0 = unlimited.
+  double qps = 0.0;
+  /// Bucket capacity (burst allowance). Clamped up to at least 1
+  /// token when qps > 0; ignored when qps == 0.
+  double burst = 0.0;
+  /// Max corroborations running at once for the tenant. 0 = unlimited.
+  int concurrent_slots = 0;
+};
+
+/// Outcome of a quota check.
+struct QuotaDecision {
+  bool allowed = true;
+  /// When not allowed: the server's estimate of when retrying can
+  /// succeed (>= 1 for rate rejections; slot rejections use the
+  /// configured slot_retry_ms since run length is unknowable).
+  uint32_t retry_after_ms = 0;
+  std::string reason;
+};
+
+struct QuotaOptions {
+  /// Limits for tenants without an explicit override.
+  TenantLimits default_limits;
+  /// Retry hint attached to concurrent-slot rejections.
+  uint32_t slot_retry_ms = 100;
+};
+
+/// Thread-safe registry of per-tenant token buckets and slot counts.
+/// Tenants materialize lazily on first use; explicit overrides via
+/// SetLimits survive idle periods.
+class TenantQuotas {
+ public:
+  /// `clock` must outlive the registry (pass MonotonicClock::Get()'s
+  /// instance in production, a ManualClock in tests).
+  TenantQuotas(const QuotaOptions& options, const obs::Clock* clock);
+
+  TenantQuotas(const TenantQuotas&) = delete;
+  TenantQuotas& operator=(const TenantQuotas&) = delete;
+
+  /// Installs per-tenant limits overriding the defaults.
+  void SetLimits(const std::string& tenant, const TenantLimits& limits);
+
+  /// Charges `units` tokens from the tenant's rate bucket (a batch of
+  /// N items charges N). Either all units are taken or none.
+  QuotaDecision ChargeRate(const std::string& tenant, int units);
+
+  /// Claims one concurrent-run slot; pair every success with
+  /// ExitRun(). Cache hits and coalesced followers do not hold slots
+  /// (they cost the daemon no work).
+  QuotaDecision TryEnterRun(const std::string& tenant);
+  void ExitRun(const std::string& tenant);
+
+  /// Monotonic counters across all tenants.
+  struct Stats {
+    int64_t rate_rejections = 0;
+    int64_t slot_rejections = 0;
+  };
+  Stats stats() const;
+
+  /// Current effective limits (override or default) for `tenant`.
+  TenantLimits LimitsFor(const std::string& tenant) const;
+
+ private:
+  struct Bucket {
+    TenantLimits limits;
+    bool has_override = false;
+    double tokens = 0.0;
+    int64_t last_refill_nanos = 0;
+    int running = 0;
+  };
+
+  /// Caller holds mutex_.
+  Bucket& BucketFor(const std::string& tenant);
+
+  QuotaOptions options_;
+  const obs::Clock* clock_;
+  mutable std::mutex mutex_;
+  std::map<std::string, Bucket> tenants_;
+  Stats stats_;
+};
+
+}  // namespace server
+}  // namespace corrob
+
+#endif  // CORROB_SERVER_QUOTA_H_

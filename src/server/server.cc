@@ -1,6 +1,7 @@
 #include "server/server.h"
 
 #include <algorithm>
+#include <optional>
 #include <utility>
 
 #include "common/failpoint.h"
@@ -31,6 +32,7 @@ struct ServerMetrics {
   obs::Counter* requests_admitted;
   obs::Counter* requests_shed;
   obs::Counter* requests_failed;
+  obs::Counter* requests_quota_rejected;
   obs::Counter* responses_sent;
   obs::Histogram* queue_wait_nanos;
   obs::Histogram* service_nanos;
@@ -44,6 +46,8 @@ struct ServerMetrics {
       m.requests_admitted = registry.GetCounter("corrobd.requests.admitted");
       m.requests_shed = registry.GetCounter("corrobd.requests.shed");
       m.requests_failed = registry.GetCounter("corrobd.requests.failed");
+      m.requests_quota_rejected =
+          registry.GetCounter("corrobd.requests.quota_rejected");
       m.responses_sent = registry.GetCounter("corrobd.responses.sent");
       m.queue_wait_nanos =
           registry.GetHistogram("corrobd.request.queue_wait_nanos");
@@ -69,6 +73,24 @@ std::pair<std::string, std::string> SplitDatasetSpec(
   return {spec.substr(start, end - start), spec};
 }
 
+/// True when `termination` is a deterministic full outcome — a
+/// function of (dataset generation, algorithm, round budget) alone,
+/// so the encoded response may be cached and shared with coalesced
+/// followers. Deadline and cancellation truncations depend on
+/// wall-clock timing and are private to the request that hit them.
+bool IsShareableTermination(uint8_t termination) {
+  switch (static_cast<Termination>(termination)) {
+    case Termination::kConverged:
+    case Termination::kIterationCap:
+    case Termination::kBudgetExhausted:
+      return true;
+    case Termination::kDeadlineExceeded:
+    case Termination::kCancelled:
+      return false;
+  }
+  return false;
+}
+
 }  // namespace
 
 /// Per-connection state. The owning thread is the only reader of the
@@ -92,6 +114,11 @@ CorrobdServer::CorrobdServer(ServerOptions options)
                                      : obs::MonotonicClock::Get();
   admission_ =
       std::make_unique<AdmissionController>(options_.admission, clock_);
+  cache_ = std::make_unique<ResultCache>(options_.cache);
+  quotas_ = std::make_unique<TenantQuotas>(options_.quota, clock_);
+  for (const auto& [tenant, limits] : options_.tenant_overrides) {
+    quotas_->SetLimits(tenant, limits);
+  }
 }
 
 CorrobdServer::~CorrobdServer() {
@@ -124,14 +151,17 @@ Status CorrobdServer::Start() {
                                    "' is specified twice");
     }
     CORROB_ASSIGN_OR_RETURN(LabeledDataset loaded, LoadDatasetCsv(path));
-    ServedDataset served;
-    served.name = name;
-    served.dataset = std::move(loaded.dataset);
+    auto served = std::make_unique<ServedDataset>();
+    served->name = name;
+    served->path = path;
+    served->dataset =
+        std::make_shared<const Dataset>(std::move(loaded.dataset));
     datasets_.push_back(std::move(served));
   }
   std::sort(datasets_.begin(), datasets_.end(),
-            [](const ServedDataset& a, const ServedDataset& b) {
-              return a.name < b.name;
+            [](const std::unique_ptr<ServedDataset>& a,
+               const std::unique_ptr<ServedDataset>& b) {
+              return a->name < b->name;
             });
   CORROB_ASSIGN_OR_RETURN(listener_,
                           ListenUnixSocket(options_.socket_path));
@@ -141,16 +171,30 @@ Status CorrobdServer::Start() {
 std::vector<std::string> CorrobdServer::dataset_names() const {
   std::vector<std::string> names;
   names.reserve(datasets_.size());
-  for (const ServedDataset& served : datasets_) names.push_back(served.name);
+  for (const auto& served : datasets_) names.push_back(served->name);
   return names;
 }
 
-const ServedDataset* CorrobdServer::FindDataset(
-    const std::string& name) const {
-  for (const ServedDataset& served : datasets_) {
-    if (served.name == name) return &served;
+ServedDataset* CorrobdServer::FindDataset(const std::string& name) const {
+  for (const auto& served : datasets_) {
+    if (served->name == name) return served.get();
   }
   return nullptr;
+}
+
+Status CorrobdServer::ReloadDataset(ServedDataset* served) {
+  CORROB_ASSIGN_OR_RETURN(LabeledDataset loaded,
+                          LoadDatasetCsv(served->path));
+  auto fresh = std::make_shared<const Dataset>(std::move(loaded.dataset));
+  {
+    std::lock_guard<std::mutex> lock(served->mutex);
+    served->dataset = std::move(fresh);
+    served->generation.fetch_add(1, std::memory_order_release);
+  }
+  // Old-generation keys can never match again (the generation is in
+  // the key); the scan just frees their memory eagerly.
+  cache_->InvalidateDataset(served->name);
+  return Status::OK();
 }
 
 StopSignal CorrobdServer::WriteStop() const {
@@ -311,6 +355,10 @@ Status CorrobdServer::HandleFrame(Connection* connection, FrameType type,
       return HandleStats(connection);
     case FrameType::kCorroborateRequest:
       return HandleCorroborate(connection, payload);
+    case FrameType::kBatchRequest:
+      return HandleBatch(connection, payload);
+    case FrameType::kReloadRequest:
+      return HandleReload(connection, payload);
     default: {
       // A response type arriving at the server: answer in-band and
       // keep the connection (framing itself is intact).
@@ -333,7 +381,7 @@ Status CorrobdServer::HandleFrame(Connection* connection, FrameType type,
 
 Status CorrobdServer::HandleStats(Connection* connection) {
   obs::JsonValue stats = obs::JsonValue::Object();
-  stats.Set("schema", obs::JsonValue::Str("corrob.serving_stats/1"));
+  stats.Set("schema", obs::JsonValue::Str("corrob.serving_stats/2"));
   stats.Set("running",
             obs::JsonValue::Int(admission_->running()));
   obs::JsonValue queued = obs::JsonValue::Object();
@@ -344,8 +392,8 @@ Status CorrobdServer::HandleStats(Connection* connection) {
   }
   stats.Set("queued", std::move(queued));
   obs::JsonValue names = obs::JsonValue::Array();
-  for (const ServedDataset& served : datasets_) {
-    names.Append(obs::JsonValue::Str(served.name));
+  for (const auto& served : datasets_) {
+    names.Append(obs::JsonValue::Str(served->name));
   }
   stats.Set("datasets", std::move(names));
   stats.Set("responses_sent",
@@ -353,6 +401,33 @@ Status CorrobdServer::HandleStats(Connection* connection) {
                 responses_sent_.load(std::memory_order_relaxed)));
   stats.Set("draining",
             obs::JsonValue::Bool(draining_.load(std::memory_order_acquire)));
+
+  const CacheStats cache = cache_->stats();
+  obs::JsonValue cache_json = obs::JsonValue::Object();
+  cache_json.Set("hits", obs::JsonValue::Int(cache.hits));
+  cache_json.Set("misses", obs::JsonValue::Int(cache.misses));
+  cache_json.Set("insertions", obs::JsonValue::Int(cache.insertions));
+  cache_json.Set("evictions", obs::JsonValue::Int(cache.evictions));
+  cache_json.Set("invalidations", obs::JsonValue::Int(cache.invalidations));
+  cache_json.Set("entries", obs::JsonValue::Int(cache.entries));
+  stats.Set("cache", std::move(cache_json));
+
+  const RunCoalescer::Stats coalesce = coalescer_.stats();
+  obs::JsonValue coalesce_json = obs::JsonValue::Object();
+  coalesce_json.Set("leaders", obs::JsonValue::Int(coalesce.leaders));
+  coalesce_json.Set("followers", obs::JsonValue::Int(coalesce.followers));
+  coalesce_json.Set("shared", obs::JsonValue::Int(coalesce.shared));
+  coalesce_json.Set("promotions", obs::JsonValue::Int(coalesce.promotions));
+  coalesce_json.Set("abandoned", obs::JsonValue::Int(coalesce.abandoned));
+  stats.Set("coalesce", std::move(coalesce_json));
+
+  const TenantQuotas::Stats quota = quotas_->stats();
+  obs::JsonValue quota_json = obs::JsonValue::Object();
+  quota_json.Set("rate_rejections",
+                 obs::JsonValue::Int(quota.rate_rejections));
+  quota_json.Set("slot_rejections",
+                 obs::JsonValue::Int(quota.slot_rejections));
+  stats.Set("quota", std::move(quota_json));
 
   Frame response;
   response.type = FrameType::kStatsResponse;
@@ -365,142 +440,368 @@ Status CorrobdServer::HandleStats(Connection* connection) {
   return written;
 }
 
-Status CorrobdServer::HandleCorroborate(Connection* connection,
-                                        const std::string& payload) {
+CorrobdServer::SubResponse CorrobdServer::ExecuteOne(
+    Connection* connection, const SubRequest& request, bool charge_rate) {
   ServerMetrics& metrics = ServerMetrics::Get();
-  Frame response;
+  SubResponse out;
 
-  // Everything below fills `response`; a single write at the end
-  // keeps the one-request-one-response invariant easy to audit.
-  const auto respond_error = [&](const Status& status) {
-    response.type = FrameType::kErrorResponse;
+  const auto fail = [&](const Status& status) {
+    out.type = FrameType::kErrorResponse;
     ErrorResponse body;
     body.code = static_cast<uint8_t>(status.code());
     body.message = status.message();
-    response.payload = EncodeErrorResponse(body);
+    out.payload = EncodeErrorResponse(body);
     metrics.requests_failed->Add(1);
   };
+  const auto quota_reject = [&](const QuotaDecision& decision) {
+    out.type = FrameType::kQuotaExceededResponse;
+    QuotaExceededResponse body;
+    body.retry_after_ms = decision.retry_after_ms;
+    body.tenant = request.tenant;
+    body.message = decision.reason;
+    out.payload = EncodeQuotaExceededResponse(body);
+    metrics.requests_quota_rejected->Add(1);
+  };
 
+  if (charge_rate) {
+    const QuotaDecision rate = quotas_->ChargeRate(request.tenant, 1);
+    if (!rate.allowed) {
+      quota_reject(rate);
+      return out;
+    }
+  }
+
+  const int cls = static_cast<int>(request.priority);
+  ServedDataset* served = FindDataset(request.dataset);
+  if (served == nullptr) {
+    fail(Status::NotFound(
+        "dataset '" + request.dataset +
+        "' is not loaded (corrobd serves only datasets named at "
+        "startup)"));
+    return out;
+  }
+  Result<std::unique_ptr<Corroborator>> corroborator = MakeCorroborator(
+      request.algorithm,
+      CorroboratorOptions{.num_threads = options_.run_threads});
+  if (!corroborator.ok()) {
+    fail(corroborator.status());
+    return out;
+  }
+
+  // Snapshot data + generation together so a concurrent reload cannot
+  // pair new data with an old cache key (or vice versa).
+  std::shared_ptr<const Dataset> data;
+  uint64_t generation = 0;
+  {
+    std::lock_guard<std::mutex> lock(served->mutex);
+    data = served->dataset;
+    generation = served->generation.load(std::memory_order_acquire);
+  }
+
+  const int64_t effective_rounds =
+      request.max_rounds > 0
+          ? static_cast<int64_t>(request.max_rounds)
+          : options_.admission.default_max_rounds[cls];
+  const std::string key =
+      CacheKey(request.dataset, generation, request.algorithm,
+               effective_rounds, request.options);
+
+  // Cache fast path: replay the exact bytes of the original cold run.
+  // No admission slot, no tenant run slot — a hit costs the daemon no
+  // corroboration work (the rate token above was still charged).
+  if (std::optional<std::string> cached = cache_->Lookup(key)) {
+    out.type = FrameType::kResultResponse;
+    out.payload = *std::move(cached);
+    return out;
+  }
+
+  const QuotaDecision slot = quotas_->TryEnterRun(request.tenant);
+  if (!slot.allowed) {
+    quota_reject(slot);
+    return out;
+  }
+
+  // Per-request isolation: child token (disconnect watcher and abort
+  // fan-in) + class-defaulted deadline and budget.
+  CancellationToken request_token(&abort_token_);
+  const int64_t timeout_ms =
+      request.timeout_ms > 0
+          ? static_cast<int64_t>(request.timeout_ms)
+          : options_.admission.default_timeout_ms[cls];
+  const Deadline deadline =
+      timeout_ms > 0
+          ? Deadline::AfterMs(clock_, static_cast<double>(timeout_ms))
+          : Deadline();
+  const StopSignal request_stop(&request_token, deadline);
+
+  const AdmissionDecision admitted =
+      admission_->Admit(request.priority, request_stop);
+  metrics.queue_wait_nanos->Record(admitted.queue_wait_nanos);
+  switch (admitted.outcome) {
+    case AdmissionDecision::Outcome::kShed: {
+      out.type = FrameType::kOverloadedResponse;
+      OverloadedResponse body;
+      body.retry_after_ms = admitted.retry_after_ms;
+      body.queue_depth = admitted.queue_depth;
+      body.message = "admission queue for class '" +
+                     std::string(PriorityName(request.priority)) +
+                     "' is full";
+      out.payload = EncodeOverloadedResponse(body);
+      metrics.requests_shed->Add(1);
+      quotas_->ExitRun(request.tenant);
+      return out;
+    }
+    case AdmissionDecision::Outcome::kCancelled:
+      fail(Status::Cancelled(
+          request_stop.deadline_expired()
+              ? "request deadline expired while queued for admission"
+              : "request cancelled while queued for admission"));
+      quotas_->ExitRun(request.tenant);
+      return out;
+    case AdmissionDecision::Outcome::kAdmitted:
+      break;
+  }
+  metrics.requests_admitted->Add(1);
+  metrics.running->Set(admission_->running());
+  {
+    std::lock_guard<std::mutex> lock(connection->mutex);
+    connection->active_request = &request_token;
+  }
+
+  // Coalesce: first arrival for the key runs; the rest wait for its
+  // bytes. Followers keep holding their admission slot while waiting
+  // (they are occupying daemon patience either way); a follower whose
+  // own stop fires detaches without touching the leader, and a leader
+  // that cannot share (error or timing-truncated run) hands the key
+  // to one follower, which re-runs — the promotion loop below.
+  RunCoalescer::Ticket ticket = coalescer_.Attach(key);
+  const int64_t section_started = clock_->NowNanos();
+  for (;;) {
+    if (ticket.role() == RunCoalescer::Role::kFollower) {
+      RunCoalescer::WaitResult waited =
+          coalescer_.Wait(&ticket, request_stop);
+      if (waited.outcome == RunCoalescer::WaitOutcome::kGotResult) {
+        out.type = FrameType::kResultResponse;
+        out.payload = std::move(waited.payload);
+        break;
+      }
+      if (waited.outcome == RunCoalescer::WaitOutcome::kCancelled) {
+        fail(Status::Cancelled(
+            request_stop.deadline_expired()
+                ? "request deadline expired while awaiting a "
+                  "coalesced result"
+                : "request cancelled while awaiting a coalesced "
+                  "result"));
+        break;
+      }
+      // kPromoted: this ticket is now the leader; run it ourselves.
+      continue;
+    }
+
+    // Leader path. Test hook: holds the request in-flight while
+    // armed, so overload and drain scenarios are deterministic.
+    while (Failpoints::IsArmed("server.request.stall") &&
+           !request_stop.ShouldStop()) {
+      (void)request_token.WaitForMs(1.0);  // lint: discard-ok: stall hook polls stop each slice
+    }
+
+    ResourceBudget budget;
+    budget.max_rounds = effective_rounds;
+    RunContext context;
+    context.WithCancellation(&request_token)
+        .WithDeadline(deadline)
+        .WithBudget(budget);
+
+    const int64_t run_started = clock_->NowNanos();
+    Result<CorroborationResult> run =
+        Status::Internal("request failpoint");
+    Status injected = Failpoints::Check("server.request.fail");
+    if (injected.ok()) {
+      run = corroborator.ValueOrDie()->Run(*data, context);
+    } else {
+      run = injected;
+    }
+    metrics.service_nanos->Record(clock_->NowNanos() - run_started);
+
+    if (!run.ok()) {
+      fail(run.status());
+      coalescer_.Abandon(ticket);
+      break;
+    }
+    const CorroborationResult& result = run.ValueOrDie();
+    CorroborateResponse body;
+    body.algorithm = result.algorithm;
+    body.termination = static_cast<uint8_t>(result.termination);
+    body.iterations = static_cast<uint32_t>(result.iterations);
+    body.fact_probability = result.fact_probability;
+    body.source_trust = result.source_trust;
+    out.type = FrameType::kResultResponse;
+    out.payload = EncodeCorroborateResponse(body);
+    if (IsShareableTermination(body.termination)) {
+      cache_->Insert(key, request.dataset, out.payload);
+      coalescer_.Publish(ticket, out.payload);
+    } else {
+      coalescer_.Abandon(ticket);
+    }
+    break;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(connection->mutex);
+    connection->active_request = nullptr;
+  }
+  admission_->Release(request.priority,
+                      clock_->NowNanos() - section_started);
+  metrics.running->Set(admission_->running());
+  quotas_->ExitRun(request.tenant);
+  return out;
+}
+
+Status CorrobdServer::HandleCorroborate(Connection* connection,
+                                        const std::string& payload) {
+  Frame response;
   Result<CorroborateRequest> decoded = DecodeCorroborateRequest(payload);
   if (!decoded.ok()) {
-    respond_error(decoded.status());
+    response.type = FrameType::kErrorResponse;
+    ErrorResponse body;
+    body.code = static_cast<uint8_t>(decoded.status().code());
+    body.message = decoded.status().message();
+    response.payload = EncodeErrorResponse(body);
+    ServerMetrics::Get().requests_failed->Add(1);
   } else {
     const CorroborateRequest& request = decoded.ValueOrDie();
-    const int cls = static_cast<int>(request.priority);
-    const ServedDataset* served = FindDataset(request.dataset);
-    Result<std::unique_ptr<Corroborator>> corroborator =
-        Status::InvalidArgument("unresolved");
-    if (served == nullptr) {
-      respond_error(Status::NotFound(
-          "dataset '" + request.dataset +
-          "' is not loaded (corrobd serves only datasets named at "
-          "startup)"));
-    } else if (corroborator = MakeCorroborator(
-                   request.algorithm,
-                   CorroboratorOptions{.num_threads = options_.run_threads});
-               !corroborator.ok()) {
-      respond_error(corroborator.status());
+    SubRequest sub;
+    sub.priority = request.priority;
+    sub.tenant = request.tenant;
+    sub.dataset = request.dataset;
+    sub.algorithm = request.algorithm;
+    sub.timeout_ms = request.timeout_ms;
+    sub.max_rounds = request.max_rounds;
+    sub.options = request.options;
+    SubResponse result = ExecuteOne(connection, sub, /*charge_rate=*/true);
+    response.type = result.type;
+    response.payload = std::move(result.payload);
+  }
+
+  Status written = WriteFrame(connection->fd.get(), response, WriteStop());
+  if (written.ok()) {
+    responses_sent_.fetch_add(1, std::memory_order_relaxed);
+    ServerMetrics::Get().responses_sent->Add(1);
+  }
+  return written;
+}
+
+Status CorrobdServer::HandleBatch(Connection* connection,
+                                  const std::string& payload) {
+  Frame response;
+  Result<BatchRequest> decoded = DecodeBatchRequest(payload);
+  if (!decoded.ok()) {
+    response.type = FrameType::kErrorResponse;
+    ErrorResponse body;
+    body.code = static_cast<uint8_t>(decoded.status().code());
+    body.message = decoded.status().message();
+    response.payload = EncodeErrorResponse(body);
+    ServerMetrics::Get().requests_failed->Add(1);
+  } else {
+    const BatchRequest& request = decoded.ValueOrDie();
+    // The whole batch charges the tenant's rate bucket up front —
+    // items.size() admission units, all or nothing.
+    const QuotaDecision rate = quotas_->ChargeRate(
+        request.tenant, static_cast<int>(request.items.size()));
+    if (!rate.allowed) {
+      response.type = FrameType::kQuotaExceededResponse;
+      QuotaExceededResponse body;
+      body.retry_after_ms = rate.retry_after_ms;
+      body.tenant = request.tenant;
+      body.message = rate.reason;
+      response.payload = EncodeQuotaExceededResponse(body);
+      ServerMetrics::Get().requests_quota_rejected->Add(1);
     } else {
-      // Per-request isolation: child token (disconnect watcher and
-      // abort fan-in) + class-defaulted deadline and budget.
-      CancellationToken request_token(&abort_token_);
-      const int64_t timeout_ms =
-          request.timeout_ms > 0
-              ? static_cast<int64_t>(request.timeout_ms)
-              : options_.admission.default_timeout_ms[cls];
-      const Deadline deadline =
-          timeout_ms > 0
-              ? Deadline::AfterMs(clock_, static_cast<double>(timeout_ms))
-              : Deadline();
-      const StopSignal request_stop(&request_token, deadline);
-
-      const AdmissionDecision admitted =
-          admission_->Admit(request.priority, request_stop);
-      metrics.queue_wait_nanos->Record(admitted.queue_wait_nanos);
-      switch (admitted.outcome) {
-        case AdmissionDecision::Outcome::kShed: {
-          response.type = FrameType::kOverloadedResponse;
-          OverloadedResponse body;
-          body.retry_after_ms = admitted.retry_after_ms;
-          body.queue_depth = admitted.queue_depth;
-          body.message = "admission queue for class '" +
-                         std::string(PriorityName(request.priority)) +
-                         "' is full";
-          response.payload = EncodeOverloadedResponse(body);
-          metrics.requests_shed->Add(1);
-          break;
-        }
-        case AdmissionDecision::Outcome::kCancelled:
-          respond_error(Status::Cancelled(
-              request_stop.deadline_expired()
-                  ? "request deadline expired while queued for admission"
-                  : "request cancelled while queued for admission"));
-          break;
-        case AdmissionDecision::Outcome::kAdmitted: {
-          metrics.requests_admitted->Add(1);
-          metrics.running->Set(admission_->running());
-          {
-            std::lock_guard<std::mutex> lock(connection->mutex);
-            connection->active_request = &request_token;
-          }
-          // Test hook: holds the request in-flight while armed, so
-          // overload and drain scenarios are deterministic.
-          while (Failpoints::IsArmed("server.request.stall") &&
-                 !request_stop.ShouldStop()) {
-            (void)request_token.WaitForMs(1.0);  // lint: discard-ok: stall hook polls stop each slice
-          }
-
-          ResourceBudget budget;
-          budget.max_rounds =
-              request.max_rounds > 0
-                  ? static_cast<int64_t>(request.max_rounds)
-                  : options_.admission.default_max_rounds[cls];
-          RunContext context;
-          context.WithCancellation(&request_token)
-              .WithDeadline(deadline)
-              .WithBudget(budget);
-
-          const int64_t run_started = clock_->NowNanos();
-          Result<CorroborationResult> run =
-              Status::Internal("request failpoint");
-          Status injected = Failpoints::Check("server.request.fail");
-          if (injected.ok()) {
-            run = corroborator.ValueOrDie()->Run(served->dataset, context);
-          } else {
-            run = injected;
-          }
-          const int64_t service_nanos = clock_->NowNanos() - run_started;
-          {
-            std::lock_guard<std::mutex> lock(connection->mutex);
-            connection->active_request = nullptr;
-          }
-          admission_->Release(request.priority, service_nanos);
-          metrics.service_nanos->Record(service_nanos);
-          metrics.running->Set(admission_->running());
-
-          if (!run.ok()) {
-            respond_error(run.status());
-          } else {
-            const CorroborationResult& result = run.ValueOrDie();
-            response.type = FrameType::kResultResponse;
-            CorroborateResponse body;
-            body.algorithm = result.algorithm;
-            body.termination = static_cast<uint8_t>(result.termination);
-            body.iterations = static_cast<uint32_t>(result.iterations);
-            body.fact_probability = result.fact_probability;
-            body.source_trust = result.source_trust;
-            response.payload = EncodeCorroborateResponse(body);
-          }
-          break;
-        }
+      BatchResponse batch;
+      batch.items.reserve(request.items.size());
+      for (const BatchItem& item : request.items) {
+        SubRequest sub;
+        sub.priority = request.priority;
+        sub.tenant = request.tenant;
+        sub.dataset = item.dataset;
+        sub.algorithm = item.algorithm;
+        sub.timeout_ms = item.timeout_ms;
+        sub.max_rounds = item.max_rounds;
+        sub.options = item.options;
+        SubResponse result =
+            ExecuteOne(connection, sub, /*charge_rate=*/false);
+        BatchItemResponse encoded;
+        encoded.type = static_cast<uint8_t>(result.type);
+        encoded.payload = std::move(result.payload);
+        batch.items.push_back(std::move(encoded));
       }
+      response.type = FrameType::kBatchResponse;
+      response.payload = EncodeBatchResponse(batch);
     }
   }
 
   Status written = WriteFrame(connection->fd.get(), response, WriteStop());
   if (written.ok()) {
     responses_sent_.fetch_add(1, std::memory_order_relaxed);
-    metrics.responses_sent->Add(1);
+    ServerMetrics::Get().responses_sent->Add(1);
+  }
+  return written;
+}
+
+Status CorrobdServer::HandleReload(Connection* connection,
+                                   const std::string& payload) {
+  Frame response;
+  const auto respond_error = [&](const Status& status) {
+    response.type = FrameType::kErrorResponse;
+    ErrorResponse body;
+    body.code = static_cast<uint8_t>(status.code());
+    body.message = status.message();
+    response.payload = EncodeErrorResponse(body);
+    ServerMetrics::Get().requests_failed->Add(1);
+  };
+
+  Result<ReloadRequest> decoded = DecodeReloadRequest(payload);
+  if (!decoded.ok()) {
+    respond_error(decoded.status());
+  } else {
+    const ReloadRequest& request = decoded.ValueOrDie();
+    ReloadResponse body;
+    Status reloaded = Status::OK();
+    if (!request.dataset.empty()) {
+      ServedDataset* served = FindDataset(request.dataset);
+      if (served == nullptr) {
+        reloaded = Status::NotFound("dataset '" + request.dataset +
+                                    "' is not loaded");
+      } else {
+        reloaded = ReloadDataset(served);
+        if (reloaded.ok()) {
+          body.datasets_reloaded = 1;
+          body.generation =
+              served->generation.load(std::memory_order_acquire);
+        }
+      }
+    } else {
+      for (const auto& served : datasets_) {
+        reloaded = ReloadDataset(served.get());
+        if (!reloaded.ok()) break;
+        ++body.datasets_reloaded;
+        body.generation =
+            std::max(body.generation,
+                     served->generation.load(std::memory_order_acquire));
+      }
+    }
+    if (!reloaded.ok()) {
+      respond_error(reloaded);
+    } else {
+      response.type = FrameType::kReloadResponse;
+      response.payload = EncodeReloadResponse(body);
+    }
+  }
+
+  Status written = WriteFrame(connection->fd.get(), response, WriteStop());
+  if (written.ok()) {
+    responses_sent_.fetch_add(1, std::memory_order_relaxed);
+    ServerMetrics::Get().responses_sent->Add(1);
   }
   return written;
 }

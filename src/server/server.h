@@ -8,6 +8,7 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "common/budget.h"
@@ -17,19 +18,27 @@
 #include "data/dataset.h"
 #include "obs/clock.h"
 #include "server/admission.h"
+#include "server/cache.h"
+#include "server/coalesce.h"
 #include "server/frame.h"
 #include "server/protocol.h"
+#include "server/quota.h"
 
 // corrobd: the corroboration daemon. Datasets are loaded once at
-// startup into shared read-only state; each connection gets a thread
-// whose requests run under their own child CancellationToken,
+// startup into shared read-only state (reloadable in place, bumping a
+// generation that invalidates cached results); each connection gets a
+// thread whose requests run under their own child CancellationToken,
 // Deadline and ResourceBudget, behind the AdmissionController's
-// bounded queues. One request's failure (failpoint, bad payload,
-// budget exhaustion, client disconnect) produces a typed response
-// frame and never takes the daemon down. SIGTERM drains: accepting
-// stops, in-flight requests finish (bit-identical to a fresh daemon)
-// under a drain deadline, and the process exits 0. docs/SERVING.md
-// is the operator-facing description of all of this.
+// bounded queues. The serving-efficiency layer sits in front of the
+// run: a sharded LRU result cache replays bit-identical responses,
+// a coalescer lets concurrent identical requests share one run, and
+// per-tenant quotas shed with typed retry-after frames. One request's
+// failure (failpoint, bad payload, budget exhaustion, client
+// disconnect) produces a typed response frame and never takes the
+// daemon down. SIGTERM drains: accepting stops, in-flight requests
+// finish (bit-identical to a fresh daemon) under a drain deadline,
+// and the process exits 0. docs/SERVING.md is the operator-facing
+// description of all of this.
 
 namespace corrob {
 namespace server {
@@ -42,6 +51,12 @@ struct ServerOptions {
   std::vector<std::string> dataset_specs;
   /// Admission control: slot pool + bounded per-class queues.
   AdmissionOptions admission;
+  /// Result cache sizing; capacity_entries = 0 disables caching.
+  CacheOptions cache;
+  /// Default per-tenant limits (0 = unlimited = pre-quota behavior).
+  QuotaOptions quota;
+  /// Per-tenant overrides of quota.default_limits, keyed by tenant id.
+  std::vector<std::pair<std::string, TenantLimits>> tenant_overrides;
   /// Worker threads each corroboration run may use (results are
   /// bit-identical at any value).
   int run_threads = 1;
@@ -55,10 +70,16 @@ struct ServerOptions {
 };
 
 /// One dataset resident in the daemon, shared read-only by every
-/// request that names it.
+/// request that names it. Requests snapshot the shared_ptr under the
+/// mutex; HandleReload swaps in a fresh load and bumps `generation`,
+/// so in-flight runs keep their snapshot while new cache keys see the
+/// new generation.
 struct ServedDataset {
   std::string name;
-  Dataset dataset;
+  std::string path;
+  mutable std::mutex mutex;
+  std::shared_ptr<const Dataset> dataset;
+  std::atomic<uint64_t> generation{1};
 };
 
 class CorrobdServer {
@@ -87,6 +108,9 @@ class CorrobdServer {
 
   const ServerOptions& options() const { return options_; }
   const AdmissionController& admission() const { return *admission_; }
+  const ResultCache& cache() const { return *cache_; }
+  const RunCoalescer& coalescer() const { return coalescer_; }
+  const TenantQuotas& quotas() const { return *quotas_; }
 
   /// Requests fully served (any response frame written).
   int64_t responses_sent() const {
@@ -95,6 +119,26 @@ class CorrobdServer {
 
  private:
   struct Connection;
+
+  /// The request-shaped core shared by the standalone corroborate
+  /// path and each batch item: everything but the frame write.
+  struct SubRequest {
+    Priority priority = Priority::kBatch;
+    std::string tenant;
+    std::string dataset;
+    std::string algorithm;
+    uint32_t timeout_ms = 0;
+    uint32_t max_rounds = 0;
+    OptionList options;  // already normalized by the codec
+  };
+
+  /// What ExecuteOne produced: the response frame type and its
+  /// payload, byte-identical whether it is written standalone or
+  /// embedded as a batch item.
+  struct SubResponse {
+    FrameType type = FrameType::kErrorResponse;
+    std::string payload;
+  };
 
   /// Runs one connection: frame loop until EOF, drain, or a framing
   /// error. Never throws; never exits the process.
@@ -108,20 +152,42 @@ class CorrobdServer {
                                    FrameType type,
                                    const std::string& payload);
 
-  /// The corroborate path: admission, RunContext assembly, the run
-  /// itself, and the response/error/overloaded frame.
+  /// The corroborate path: decode, then ExecuteOne, then the frame.
   [[nodiscard]] Status HandleCorroborate(Connection* connection,
                                          const std::string& payload);
 
-  /// Serves the stats frame: a JSON snapshot of queues, slots and
-  /// request counters.
+  /// The batch path: one rate charge of items.size() units, then each
+  /// item through ExecuteOne sequentially (per-item admission — a
+  /// batch takes N units of daemon capacity, not one).
+  [[nodiscard]] Status HandleBatch(Connection* connection,
+                                   const std::string& payload);
+
+  /// Administrative dataset reload: swap in a fresh load, bump the
+  /// generation, invalidate the cache.
+  [[nodiscard]] Status HandleReload(Connection* connection,
+                                    const std::string& payload);
+
+  /// Serves the stats frame: a JSON snapshot of queues, slots, cache,
+  /// coalescer, quota and request counters.
   [[nodiscard]] Status HandleStats(Connection* connection);
+
+  /// Cache lookup → quota → admission → coalesce → run. When
+  /// `charge_rate` (standalone requests), the tenant's rate bucket is
+  /// charged one token up front; batch items are pre-charged by
+  /// HandleBatch.
+  SubResponse ExecuteOne(Connection* connection, const SubRequest& request,
+                         bool charge_rate);
+
+  /// Re-reads `served` from its startup path. On success the new data
+  /// is swapped in, the generation bumps, and cached results for the
+  /// dataset are invalidated; on failure the old data stays live.
+  [[nodiscard]] Status ReloadDataset(ServedDataset* served);
 
   /// Background loop that cancels the request token of any executing
   /// request whose client closed its end of the socket.
   void WatchDisconnects();
 
-  const ServedDataset* FindDataset(const std::string& name) const;
+  ServedDataset* FindDataset(const std::string& name) const;
 
   /// Stop signal for response writes: a bounded write deadline and
   /// nothing else, so a request cut short by its own deadline — or by
@@ -132,9 +198,12 @@ class CorrobdServer {
   ServerOptions options_;
   const obs::Clock* clock_ = nullptr;
 
-  std::vector<ServedDataset> datasets_;
+  std::vector<std::unique_ptr<ServedDataset>> datasets_;
   UniqueFd listener_;
   std::unique_ptr<AdmissionController> admission_;
+  std::unique_ptr<ResultCache> cache_;
+  RunCoalescer coalescer_;
+  std::unique_ptr<TenantQuotas> quotas_;
 
   /// Fires only when drain patience runs out (or at shutdown): the
   /// parent of every request token. Deliberately NOT the drain token,

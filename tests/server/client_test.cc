@@ -1,0 +1,158 @@
+#include "server/client.h"
+
+#include <string>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "common/budget.h"
+#include "common/socket.h"
+#include "common/status.h"
+#include "server/frame.h"
+#include "server/protocol.h"
+
+// CorrobClient transport-failure taxonomy, pinned against a scripted
+// fake server: a daemon that dies mid-response must surface as the
+// typed kConnectionLost (the peer died while talking to us), while a
+// close on a clean frame boundary stays kIoError (it never answered).
+// tools/loadgen keys its dropped-response accounting on this split.
+
+namespace corrob {
+namespace server {
+namespace {
+
+StopSignal NoStop() { return StopSignal(); }
+
+/// A Unix-socket server that accepts one connection, reads the
+/// client's request frame, writes `response_bytes` verbatim (possibly
+/// a deliberately truncated frame) and hangs up.
+class ScriptedServer {
+ public:
+  explicit ScriptedServer(std::string response_bytes)
+      : response_bytes_(std::move(response_bytes)) {
+    const ::testing::TestInfo* info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    path_ = ::testing::TempDir() + "/scripted_" + info->name() + ".sock";
+  }
+
+  ~ScriptedServer() {
+    if (thread_.joinable()) thread_.join();
+  }
+
+  [[nodiscard]] Status Launch() {
+    CORROB_ASSIGN_OR_RETURN(listener_, ListenUnixSocket(path_));
+    thread_ = std::thread([this] { ServeOne(); });
+    return Status::OK();
+  }
+
+  const std::string& path() const { return path_; }
+
+ private:
+  void ServeOne() {
+    Result<UniqueFd> conn = AcceptWithStop(listener_.get(), NoStop());
+    if (!conn.ok()) return;
+    // Consume the request so the client's write never sees a reset,
+    // then answer with the scripted bytes and hang up. The UniqueFd
+    // closing at scope exit is the "daemon died" part of the script.
+    Result<Frame> request = ReadFrame(conn.ValueOrDie().get(), NoStop());
+    if (!request.ok()) return;
+    if (!response_bytes_.empty()) {
+      // lint: discard-ok: a scripted peer failing to write simulates the crash
+      (void)WriteAll(conn.ValueOrDie().get(), response_bytes_.data(),
+                     response_bytes_.size(), NoStop());
+    }
+  }
+
+  std::string path_;
+  std::string response_bytes_;
+  UniqueFd listener_;
+  std::thread thread_;
+};
+
+std::string WellFormedResultFrame() {
+  CorroborateResponse body;
+  body.algorithm = "IncEstHeu";
+  body.iterations = 3;
+  body.fact_probability = {0.5, 0.25};
+  body.source_trust = {0.75};
+  Frame frame;
+  frame.type = FrameType::kResultResponse;
+  frame.payload = EncodeCorroborateResponse(body);
+  return EncodeFrame(frame);
+}
+
+TEST(CorrobClientTest, MidFrameServerDeathIsConnectionLost) {
+  const std::string whole = WellFormedResultFrame();
+  // Cut inside the payload: header delivered, body truncated.
+  ScriptedServer server(whole.substr(0, whole.size() - 3));
+  ASSERT_TRUE(server.Launch().ok());
+
+  Result<CorrobClient> client = CorrobClient::Connect(server.path());
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  CorroborateRequest request;
+  request.dataset = "table1";
+  Result<CorroborateOutcome> outcome =
+      client.ValueOrDie().Corroborate(request, NoStop());
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.status().code(), StatusCode::kConnectionLost)
+      << outcome.status().ToString();
+}
+
+TEST(CorrobClientTest, HeaderOnlyServerDeathIsConnectionLost) {
+  // Even a close exactly between the header and the payload is a
+  // mid-message death: the server committed to a response length and
+  // never delivered it.
+  const std::string whole = WellFormedResultFrame();
+  ScriptedServer server(whole.substr(0, kFrameHeaderBytes));
+  ASSERT_TRUE(server.Launch().ok());
+
+  Result<CorrobClient> client = CorrobClient::Connect(server.path());
+  ASSERT_TRUE(client.ok());
+  Result<CorroborateOutcome> outcome =
+      client.ValueOrDie().Corroborate(CorroborateRequest{}, NoStop());
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.status().code(), StatusCode::kConnectionLost);
+}
+
+TEST(CorrobClientTest, BoundaryCloseBeforeAnyResponseIsIoError) {
+  ScriptedServer server("");  // reads the request, answers nothing
+  ASSERT_TRUE(server.Launch().ok());
+
+  Result<CorrobClient> client = CorrobClient::Connect(server.path());
+  ASSERT_TRUE(client.ok());
+  Result<CorroborateOutcome> outcome =
+      client.ValueOrDie().Corroborate(CorroborateRequest{}, NoStop());
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.status().code(), StatusCode::kIoError)
+      << outcome.status().ToString();
+}
+
+TEST(CorrobClientTest, IntactScriptedResponseStillDecodes) {
+  // Control arm: the same scripted server delivering the whole frame
+  // produces a normal outcome, so the failures above are about the
+  // truncation, not the harness.
+  ScriptedServer server(WellFormedResultFrame());
+  ASSERT_TRUE(server.Launch().ok());
+
+  Result<CorrobClient> client = CorrobClient::Connect(server.path());
+  ASSERT_TRUE(client.ok());
+  Result<CorroborateOutcome> outcome =
+      client.ValueOrDie().Corroborate(CorroborateRequest{}, NoStop());
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_EQ(outcome.ValueOrDie().kind, CorroborateOutcome::Kind::kResult);
+  EXPECT_EQ(outcome.ValueOrDie().result.iterations, 3u);
+  EXPECT_EQ(outcome.ValueOrDie().raw_frame, WellFormedResultFrame());
+}
+
+TEST(CorrobClientTest, DisconnectedClientFailsFast) {
+  CorrobClient never_connected;
+  EXPECT_FALSE(never_connected.connected());
+  Result<CorroborateOutcome> outcome =
+      never_connected.Corroborate(CorroborateRequest{}, NoStop());
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.status().code(), StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace server
+}  // namespace corrob

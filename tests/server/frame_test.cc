@@ -143,19 +143,38 @@ TEST(FrameSocketTest, CleanCloseOnBoundaryIsEofNotError) {
   EXPECT_EQ(frame.status().code(), StatusCode::kIoError);
 }
 
-TEST(FrameSocketTest, MidFrameDisconnectIsIoError) {
+TEST(FrameSocketTest, MidFrameDisconnectIsConnectionLost) {
   SocketPair pair;
   const std::string wire =
       EncodeFrame({FrameType::kCorroborateRequest, "abcdefgh"});
-  // Send only part of the frame, then vanish.
+  // Send only part of the frame, then vanish: a typed ConnectionLost,
+  // distinct from the boundary-close IoError, so clients can tell a
+  // dropped in-flight message from a peer that never answered.
   ASSERT_EQ(::send(pair.a.get(), wire.data(), kFrameHeaderBytes + 3,
                    MSG_NOSIGNAL),
             static_cast<ssize_t>(kFrameHeaderBytes + 3));
   pair.a.Reset();
   Result<Frame> read = ReadFrame(pair.b.get(), NoStop());
   ASSERT_FALSE(read.ok());
-  EXPECT_EQ(read.status().code(), StatusCode::kIoError);
+  EXPECT_EQ(read.status().code(), StatusCode::kConnectionLost);
   EXPECT_NE(read.status().message().find("mid-read"), std::string::npos);
+}
+
+TEST(FrameSocketTest, HeaderOnlyDisconnectIsConnectionLost) {
+  SocketPair pair;
+  const std::string wire =
+      EncodeFrame({FrameType::kCorroborateRequest, "abcdefgh"});
+  // The peer dies exactly on the header/payload boundary: the frame
+  // was announced and never delivered, which is still a mid-frame
+  // death, not a clean goodbye.
+  ASSERT_EQ(::send(pair.a.get(), wire.data(), kFrameHeaderBytes,
+                   MSG_NOSIGNAL),
+            static_cast<ssize_t>(kFrameHeaderBytes));
+  pair.a.Reset();
+  Result<Frame> read = ReadFrame(pair.b.get(), NoStop());
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kConnectionLost);
+  EXPECT_NE(read.status().message().find("mid-frame"), std::string::npos);
 }
 
 TEST(FrameSocketTest, GarbageBytesAreParseErrorNotCrash) {

@@ -131,6 +131,182 @@ TEST(ProtocolTest, UnknownPriorityByteRejected) {
   EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
 }
 
+TEST(ProtocolTest, PermutedOptionsEncodeByteIdentically) {
+  // The codec canonicalizes option order, so two requests that differ
+  // only in assembly order are the same bytes on the wire — the
+  // property that gives permuted requests one cache key.
+  CorroborateRequest forward;
+  forward.dataset = "flights";
+  forward.tenant = "analytics";
+  forward.options = {{"alpha", "1"}, {"beta", "2"}, {"gamma", "3"}};
+  CorroborateRequest shuffled = forward;
+  shuffled.options = {{"gamma", "3"}, {"alpha", "1"}, {"beta", "2"}};
+  EXPECT_EQ(EncodeCorroborateRequest(forward),
+            EncodeCorroborateRequest(shuffled));
+
+  Result<CorroborateRequest> decoded =
+      DecodeCorroborateRequest(EncodeCorroborateRequest(shuffled));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.ValueOrDie().tenant, "analytics");
+  const OptionList sorted = {{"alpha", "1"}, {"beta", "2"}, {"gamma", "3"}};
+  EXPECT_EQ(decoded.ValueOrDie().options, sorted);
+}
+
+TEST(ProtocolTest, DuplicateOptionKeysRejected) {
+  OptionList duplicated = {{"k", "a"}, {"k", "b"}};
+  Status normalized = NormalizeOptions(&duplicated);
+  ASSERT_FALSE(normalized.ok());
+  EXPECT_EQ(normalized.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(normalized.message().find("duplicate"), std::string::npos);
+
+  // The decoder applies the same rule to hostile payloads.
+  CorroborateRequest request;
+  request.dataset = "d";
+  request.options = {{"k", "a"}, {"k", "b"}};
+  Result<CorroborateRequest> decoded =
+      DecodeCorroborateRequest(EncodeCorroborateRequest(request));
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ProtocolTest, VersionOneRequestsStillDecode) {
+  // Daemons speak v2 but accept the v1 request layout from older
+  // clients: no tenant, no options.
+  CorroborateRequest request;
+  request.priority = Priority::kInteractive;
+  request.dataset = "flights";
+  request.algorithm = "TwoEstimate";
+  request.timeout_ms = 250;
+  request.tenant = "ignored-at-v1";
+  request.options = {{"also", "ignored"}};
+  const std::string wire = EncodeCorroborateRequest(request, 1);
+  Result<CorroborateRequest> decoded = DecodeCorroborateRequest(wire);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded.ValueOrDie().dataset, "flights");
+  EXPECT_EQ(decoded.ValueOrDie().timeout_ms, 250u);
+  EXPECT_TRUE(decoded.ValueOrDie().tenant.empty());
+  EXPECT_TRUE(decoded.ValueOrDie().options.empty());
+}
+
+TEST(ProtocolTest, QuotaExceededRoundTrip) {
+  QuotaExceededResponse response;
+  response.retry_after_ms = 1250;
+  response.tenant = "analytics";
+  response.message = "rate limit";
+  Result<QuotaExceededResponse> decoded =
+      DecodeQuotaExceededResponse(EncodeQuotaExceededResponse(response));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.ValueOrDie().retry_after_ms, response.retry_after_ms);
+  EXPECT_EQ(decoded.ValueOrDie().tenant, response.tenant);
+  EXPECT_EQ(decoded.ValueOrDie().message, response.message);
+}
+
+TEST(ProtocolTest, BatchRequestRoundTrip) {
+  BatchRequest request;
+  request.priority = Priority::kInteractive;
+  request.tenant = "analytics";
+  request.items.resize(2);
+  request.items[0].dataset = "flights";
+  request.items[0].max_rounds = 9;
+  request.items[1].dataset = "books";
+  request.items[1].algorithm = "TwoEstimate";
+  request.items[1].options = {{"k", "v"}};
+
+  Result<BatchRequest> decoded =
+      DecodeBatchRequest(EncodeBatchRequest(request));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  const BatchRequest& got = decoded.ValueOrDie();
+  EXPECT_EQ(got.priority, request.priority);
+  EXPECT_EQ(got.tenant, request.tenant);
+  ASSERT_EQ(got.items.size(), 2u);
+  EXPECT_EQ(got.items[0].dataset, "flights");
+  EXPECT_EQ(got.items[0].max_rounds, 9u);
+  EXPECT_EQ(got.items[1].algorithm, "TwoEstimate");
+  EXPECT_EQ(got.items[1].options, request.items[1].options);
+}
+
+TEST(ProtocolTest, BatchRequestBoundsEnforced) {
+  BatchRequest empty;
+  Result<BatchRequest> decoded_empty =
+      DecodeBatchRequest(EncodeBatchRequest(empty));
+  ASSERT_FALSE(decoded_empty.ok());
+  EXPECT_EQ(decoded_empty.status().code(), StatusCode::kInvalidArgument);
+
+  // A count beyond kMaxBatchItems is rejected from the header alone,
+  // before any per-item allocation.
+  BatchRequest one;
+  one.items.resize(1);
+  one.items[0].dataset = "d";
+  std::string wire = EncodeBatchRequest(one);
+  // Count sits after version + priority + tenant string.
+  const size_t count_offset = 1 + 1 + 4 + one.tenant.size();
+  const uint32_t huge = kMaxBatchItems + 1;
+  std::memcpy(&wire[count_offset], &huge, sizeof(huge));
+  Result<BatchRequest> decoded_huge = DecodeBatchRequest(wire);
+  ASSERT_FALSE(decoded_huge.ok());
+  EXPECT_EQ(decoded_huge.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(decoded_huge.status().message().find("cap"), std::string::npos);
+}
+
+TEST(ProtocolTest, BatchResponseRoundTrip) {
+  BatchResponse response;
+  response.items.resize(2);
+  response.items[0].type = 0x81;  // kResultResponse
+  response.items[0].payload = "result bytes";
+  response.items[1].type = 0x82;  // kErrorResponse
+  response.items[1].payload = "error bytes";
+  Result<BatchResponse> decoded =
+      DecodeBatchResponse(EncodeBatchResponse(response));
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded.ValueOrDie().items.size(), 2u);
+  EXPECT_EQ(decoded.ValueOrDie().items[0].payload, "result bytes");
+  EXPECT_EQ(decoded.ValueOrDie().items[1].type, 0x82);
+}
+
+TEST(ProtocolTest, ReloadRoundTripAndTruncation) {
+  ReloadRequest request;
+  request.dataset = "flights";
+  Result<ReloadRequest> decoded_request =
+      DecodeReloadRequest(EncodeReloadRequest(request));
+  ASSERT_TRUE(decoded_request.ok());
+  EXPECT_EQ(decoded_request.ValueOrDie().dataset, "flights");
+
+  ReloadResponse response;
+  response.datasets_reloaded = 3;
+  response.generation = uint64_t{1} << 40;
+  const std::string wire = EncodeReloadResponse(response);
+  Result<ReloadResponse> decoded = DecodeReloadResponse(wire);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.ValueOrDie().datasets_reloaded, 3u);
+  EXPECT_EQ(decoded.ValueOrDie().generation, uint64_t{1} << 40);
+
+  for (size_t length = 0; length < wire.size(); ++length) {
+    Result<ReloadResponse> truncated =
+        DecodeReloadResponse(wire.substr(0, length));
+    ASSERT_FALSE(truncated.ok()) << "length " << length;
+    EXPECT_EQ(truncated.status().code(), StatusCode::kParseError)
+        << "length " << length;
+  }
+  Result<ReloadResponse> trailing = DecodeReloadResponse(wire + "x");
+  ASSERT_FALSE(trailing.ok());
+  EXPECT_EQ(trailing.status().code(), StatusCode::kParseError);
+}
+
+TEST(ProtocolTest, BatchTruncationIsAlwaysAParseError) {
+  BatchRequest request;
+  request.tenant = "t";
+  request.items.resize(1);
+  request.items[0].dataset = "d";
+  request.items[0].options = {{"k", "v"}};
+  const std::string wire = EncodeBatchRequest(request);
+  for (size_t length = 0; length < wire.size(); ++length) {
+    Result<BatchRequest> decoded = DecodeBatchRequest(wire.substr(0, length));
+    ASSERT_FALSE(decoded.ok()) << "length " << length;
+    EXPECT_EQ(decoded.status().code(), StatusCode::kParseError)
+        << "length " << length;
+  }
+}
+
 TEST(ProtocolTest, HugeVectorCountRejectedWithoutAllocation) {
   // An f64 vector claiming ~4 billion entries in a tiny payload must
   // fail the bounds check before any resize.

@@ -1,0 +1,185 @@
+#include "server/quota.h"
+
+#include <cmath>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/clock.h"
+
+// Unit tests for per-tenant quotas. Time is a hand-cranked
+// ManualClock, so every refill is exact arithmetic, not a sleep.
+
+namespace corrob {
+namespace server {
+namespace {
+
+TEST(TenantQuotasTest, DefaultLimitsAreUnlimited) {
+  obs::ManualClock clock;
+  TenantQuotas quotas(QuotaOptions{}, &clock);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(quotas.ChargeRate("t", 1).allowed);
+    EXPECT_TRUE(quotas.TryEnterRun("t").allowed);
+  }
+  const TenantQuotas::Stats stats = quotas.stats();
+  EXPECT_EQ(stats.rate_rejections, 0);
+  EXPECT_EQ(stats.slot_rejections, 0);
+}
+
+TEST(TenantQuotasTest, BucketStartsFullAndDrainsPerToken) {
+  obs::ManualClock clock;
+  QuotaOptions options;
+  options.default_limits = {.qps = 2.0, .burst = 4.0};
+  TenantQuotas quotas(options, &clock);
+
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(quotas.ChargeRate("t", 1).allowed) << "token " << i;
+  }
+  const QuotaDecision rejected = quotas.ChargeRate("t", 1);
+  EXPECT_FALSE(rejected.allowed);
+  // Deficit of one token at 2 qps: 500 ms.
+  EXPECT_EQ(rejected.retry_after_ms, 500u);
+  EXPECT_NE(rejected.reason.find("rate limit"), std::string::npos);
+  EXPECT_EQ(quotas.stats().rate_rejections, 1);
+}
+
+TEST(TenantQuotasTest, TokensRefillWithElapsedTime) {
+  obs::ManualClock clock;
+  QuotaOptions options;
+  options.default_limits = {.qps = 10.0, .burst = 1.0};
+  TenantQuotas quotas(options, &clock);
+
+  EXPECT_TRUE(quotas.ChargeRate("t", 1).allowed);
+  EXPECT_FALSE(quotas.ChargeRate("t", 1).allowed);
+  // 100 ms at 10 qps refills exactly one token.
+  clock.AdvanceNanos(100'000'000);
+  EXPECT_TRUE(quotas.ChargeRate("t", 1).allowed);
+  EXPECT_FALSE(quotas.ChargeRate("t", 1).allowed);
+}
+
+TEST(TenantQuotasTest, RefillIsCappedAtBurst) {
+  obs::ManualClock clock;
+  QuotaOptions options;
+  options.default_limits = {.qps = 100.0, .burst = 3.0};
+  TenantQuotas quotas(options, &clock);
+
+  // Drain the full bucket, then go idle for an hour: only `burst`
+  // tokens may accumulate, not qps * 3600.
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(quotas.ChargeRate("t", 1).allowed);
+  }
+  clock.AdvanceNanos(int64_t{3600} * 1'000'000'000);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(quotas.ChargeRate("t", 1).allowed) << "token " << i;
+  }
+  EXPECT_FALSE(quotas.ChargeRate("t", 1).allowed);
+}
+
+TEST(TenantQuotasTest, BatchChargeIsAllOrNothing) {
+  obs::ManualClock clock;
+  QuotaOptions options;
+  options.default_limits = {.qps = 1.0, .burst = 3.0};
+  TenantQuotas quotas(options, &clock);
+
+  // 3 tokens available: a 5-unit batch is refused and, crucially,
+  // takes nothing — the 3 singles afterwards still succeed.
+  const QuotaDecision rejected = quotas.ChargeRate("t", 5);
+  EXPECT_FALSE(rejected.allowed);
+  // Deficit of 2 tokens at 1 qps: 2000 ms.
+  EXPECT_EQ(rejected.retry_after_ms, 2000u);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(quotas.ChargeRate("t", 1).allowed) << "token " << i;
+  }
+  EXPECT_FALSE(quotas.ChargeRate("t", 1).allowed);
+}
+
+TEST(TenantQuotasTest, RetryAfterIsAtLeastOneMillisecond) {
+  obs::ManualClock clock;
+  QuotaOptions options;
+  options.default_limits = {.qps = 1'000'000.0, .burst = 1.0};
+  TenantQuotas quotas(options, &clock);
+  ASSERT_TRUE(quotas.ChargeRate("t", 1).allowed);
+  const QuotaDecision rejected = quotas.ChargeRate("t", 1);
+  ASSERT_FALSE(rejected.allowed);
+  // The true wait is a microsecond; the hint still rounds up to 1 ms
+  // so clients never busy-spin on a zero.
+  EXPECT_GE(rejected.retry_after_ms, 1u);
+}
+
+TEST(TenantQuotasTest, ConcurrentSlotsAreCappedAndReleased) {
+  obs::ManualClock clock;
+  QuotaOptions options;
+  options.default_limits = {.concurrent_slots = 2};
+  options.slot_retry_ms = 77;
+  TenantQuotas quotas(options, &clock);
+
+  EXPECT_TRUE(quotas.TryEnterRun("t").allowed);
+  EXPECT_TRUE(quotas.TryEnterRun("t").allowed);
+  const QuotaDecision rejected = quotas.TryEnterRun("t");
+  EXPECT_FALSE(rejected.allowed);
+  EXPECT_EQ(rejected.retry_after_ms, 77u);
+  EXPECT_NE(rejected.reason.find("concurrent"), std::string::npos);
+  EXPECT_EQ(quotas.stats().slot_rejections, 1);
+
+  // Slots are per tenant, not global.
+  EXPECT_TRUE(quotas.TryEnterRun("other").allowed);
+
+  quotas.ExitRun("t");
+  EXPECT_TRUE(quotas.TryEnterRun("t").allowed);
+}
+
+TEST(TenantQuotasTest, OverridesBeatDefaultsAndStartFull) {
+  obs::ManualClock clock;
+  QuotaOptions options;
+  options.default_limits = {.qps = 1.0, .burst = 1.0};
+  TenantQuotas quotas(options, &clock);
+
+  // Drain the tenant under the default limits, then install a wider
+  // override: the new allowance starts full rather than inheriting
+  // the drained bucket.
+  ASSERT_TRUE(quotas.ChargeRate("vip", 1).allowed);
+  ASSERT_FALSE(quotas.ChargeRate("vip", 1).allowed);
+  quotas.SetLimits("vip", {.qps = 100.0, .burst = 10.0});
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(quotas.ChargeRate("vip", 1).allowed) << "token " << i;
+  }
+
+  // Other tenants keep the defaults.
+  const TenantLimits vip = quotas.LimitsFor("vip");
+  EXPECT_DOUBLE_EQ(vip.qps, 100.0);
+  const TenantLimits other = quotas.LimitsFor("someone-else");
+  EXPECT_DOUBLE_EQ(other.qps, 1.0);
+}
+
+TEST(TenantQuotasTest, AnonymousTenantIsItsOwnBucket) {
+  obs::ManualClock clock;
+  QuotaOptions options;
+  options.default_limits = {.qps = 1.0, .burst = 1.0};
+  TenantQuotas quotas(options, &clock);
+
+  ASSERT_TRUE(quotas.ChargeRate("", 1).allowed);
+  const QuotaDecision rejected = quotas.ChargeRate("", 1);
+  ASSERT_FALSE(rejected.allowed);
+  EXPECT_NE(rejected.reason.find("(anonymous)"), std::string::npos);
+  // Draining "" does not touch a named tenant.
+  EXPECT_TRUE(quotas.ChargeRate("named", 1).allowed);
+}
+
+TEST(TenantQuotasTest, TinyQpsStillGetsOneBurstToken) {
+  obs::ManualClock clock;
+  QuotaOptions options;
+  options.default_limits = {.qps = 0.5, .burst = 0.0};
+  TenantQuotas quotas(options, &clock);
+  // burst = 0 is clamped to one token's worth of capacity so the
+  // tenant is slow, not silenced.
+  EXPECT_TRUE(quotas.ChargeRate("t", 1).allowed);
+  const QuotaDecision rejected = quotas.ChargeRate("t", 1);
+  ASSERT_FALSE(rejected.allowed);
+  EXPECT_EQ(rejected.retry_after_ms, 2000u);
+  clock.AdvanceNanos(int64_t{2} * 1'000'000'000);
+  EXPECT_TRUE(quotas.ChargeRate("t", 1).allowed);
+}
+
+}  // namespace
+}  // namespace server
+}  // namespace corrob

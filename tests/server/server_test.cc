@@ -154,9 +154,13 @@ TEST_F(CorrobdServerTest, PingEchoesAndStatsReportSchema) {
 
   Result<std::string> stats = client.ValueOrDie().Stats(NoStop());
   ASSERT_TRUE(stats.ok()) << stats.status().ToString();
-  EXPECT_NE(stats.ValueOrDie().find("corrob.serving_stats/1"),
+  EXPECT_NE(stats.ValueOrDie().find("corrob.serving_stats/2"),
             std::string::npos);
   EXPECT_NE(stats.ValueOrDie().find("table1"), std::string::npos);
+  // The serving-efficiency layer reports its own stats objects.
+  EXPECT_NE(stats.ValueOrDie().find("\"cache\""), std::string::npos);
+  EXPECT_NE(stats.ValueOrDie().find("\"coalesce\""), std::string::npos);
+  EXPECT_NE(stats.ValueOrDie().find("\"quota\""), std::string::npos);
 
   EXPECT_TRUE(daemon.Drain().ok());
   EXPECT_EQ(daemon.server().responses_sent(), 2);
@@ -510,6 +514,315 @@ TEST_F(CorrobdServerTest, DrainExpiryCancelsStragglersButStillAnswers) {
   ASSERT_EQ(outcome.ValueOrDie().kind, CorroborateOutcome::Kind::kResult);
   EXPECT_EQ(static_cast<Termination>(outcome.ValueOrDie().result.termination),
             Termination::kCancelled);
+}
+
+TEST_F(CorrobdServerTest, CacheHitReplaysAndCountsOneHit) {
+  Daemon daemon(BaseOptions());
+  ASSERT_TRUE(daemon.Launch().ok());
+  Result<CorrobClient> client = Connect();
+  ASSERT_TRUE(client.ok());
+
+  CorroborateRequest request;
+  request.dataset = "table1";
+  Result<CorroborateOutcome> cold =
+      client.ValueOrDie().Corroborate(request, NoStop());
+  ASSERT_TRUE(cold.ok());
+  ASSERT_EQ(cold.ValueOrDie().kind, CorroborateOutcome::Kind::kResult);
+  Result<CorroborateOutcome> warm =
+      client.ValueOrDie().Corroborate(request, NoStop());
+  ASSERT_TRUE(warm.ok());
+  ASSERT_EQ(warm.ValueOrDie().kind, CorroborateOutcome::Kind::kResult);
+
+  EXPECT_EQ(warm.ValueOrDie().raw_frame, cold.ValueOrDie().raw_frame);
+  const CacheStats stats = daemon.server().cache().stats();
+  EXPECT_EQ(stats.hits, 1);
+  EXPECT_EQ(stats.misses, 1);
+  EXPECT_EQ(stats.entries, 1);
+  EXPECT_TRUE(daemon.Drain().ok());
+  EXPECT_EQ(daemon.server().responses_sent(), 2);
+}
+
+TEST_F(CorrobdServerTest, RateQuotaShedsWithTypedRetryAfter) {
+  ServerOptions options = BaseOptions();
+  // 0.1 qps: the one burst token refills over ten seconds, far beyond
+  // any sanitizer-slowed run, so the second request deterministically
+  // finds the bucket empty.
+  options.tenant_overrides = {
+      {"metered", TenantLimits{.qps = 0.1, .burst = 1.0}}};
+  Daemon daemon(options);
+  ASSERT_TRUE(daemon.Launch().ok());
+  Result<CorrobClient> client = Connect();
+  ASSERT_TRUE(client.ok());
+
+  CorroborateRequest request;
+  request.dataset = "table1";
+  request.tenant = "metered";
+  Result<CorroborateOutcome> first =
+      client.ValueOrDie().Corroborate(request, NoStop());
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first.ValueOrDie().kind, CorroborateOutcome::Kind::kResult);
+
+  // The second request lands inside the same one-token second; it is
+  // rejected BEFORE the cache could answer it — quota protects the
+  // daemon's fairness contract, not just its CPU.
+  Result<CorroborateOutcome> second =
+      client.ValueOrDie().Corroborate(request, NoStop());
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  ASSERT_EQ(second.ValueOrDie().kind,
+            CorroborateOutcome::Kind::kQuotaExceeded);
+  EXPECT_GE(second.ValueOrDie().quota.retry_after_ms, 1u);
+  EXPECT_LE(second.ValueOrDie().quota.retry_after_ms, 10000u);
+  EXPECT_EQ(second.ValueOrDie().quota.tenant, "metered");
+  EXPECT_NE(second.ValueOrDie().quota.message.find("rate limit"),
+            std::string::npos);
+  EXPECT_EQ(daemon.server().quotas().stats().rate_rejections, 1);
+
+  // Other tenants are untouched by the metered tenant's exhaustion.
+  request.tenant.clear();
+  Result<CorroborateOutcome> anonymous =
+      client.ValueOrDie().Corroborate(request, NoStop());
+  ASSERT_TRUE(anonymous.ok());
+  EXPECT_EQ(anonymous.ValueOrDie().kind, CorroborateOutcome::Kind::kResult);
+}
+
+TEST_F(CorrobdServerTest, SlotQuotaShedsConcurrentTenantRuns) {
+  ServerOptions options = BaseOptions();
+  options.tenant_overrides = {
+      {"slotted", TenantLimits{.concurrent_slots = 1}}};
+  Daemon daemon(options);
+  ASSERT_TRUE(daemon.Launch().ok());
+
+  Failpoints::Arm("server.request.stall",
+                  {.code = StatusCode::kInternal, .message = "stall"});
+  Result<CorrobClient> holder = Connect();
+  ASSERT_TRUE(holder.ok());
+  Result<CorroborateOutcome> held = Status::Internal("not yet run");
+  std::thread holder_thread([&] {
+    CorroborateRequest request;
+    request.dataset = "table1";
+    request.tenant = "slotted";
+    request.options = {{"k", "1"}};
+    held = holder.ValueOrDie().Corroborate(request, NoStop());
+  });
+  ASSERT_TRUE(EventuallyTrue(
+      [&] { return daemon.server().admission().running() == 1; }));
+
+  // Different options → different cache key, so the second request
+  // cannot ride the cache or the coalescer; it needs a run slot the
+  // tenant does not have.
+  Result<CorrobClient> second_client = Connect();
+  ASSERT_TRUE(second_client.ok());
+  CorroborateRequest request;
+  request.dataset = "table1";
+  request.tenant = "slotted";
+  request.options = {{"k", "2"}};
+  Result<CorroborateOutcome> rejected =
+      second_client.ValueOrDie().Corroborate(request, NoStop());
+  ASSERT_TRUE(rejected.ok()) << rejected.status().ToString();
+  ASSERT_EQ(rejected.ValueOrDie().kind,
+            CorroborateOutcome::Kind::kQuotaExceeded);
+  EXPECT_EQ(rejected.ValueOrDie().quota.retry_after_ms, 100u);
+  EXPECT_NE(rejected.ValueOrDie().quota.message.find("concurrent"),
+            std::string::npos);
+  EXPECT_EQ(daemon.server().quotas().stats().slot_rejections, 1);
+
+  Failpoints::DisarmAll();
+  holder_thread.join();
+  ASSERT_TRUE(held.ok()) << held.status().ToString();
+  EXPECT_EQ(held.ValueOrDie().kind, CorroborateOutcome::Kind::kResult);
+}
+
+TEST_F(CorrobdServerTest, BatchReportsPerItemStatuses) {
+  Daemon daemon(BaseOptions());
+  ASSERT_TRUE(daemon.Launch().ok());
+  Result<CorrobClient> client = Connect();
+  ASSERT_TRUE(client.ok());
+
+  BatchRequest batch;
+  batch.items.resize(2);
+  batch.items[0].dataset = "table1";
+  batch.items[1].dataset = "no-such-table";
+  Result<std::vector<CorroborateOutcome>> outcomes =
+      client.ValueOrDie().BatchCorroborate(batch, NoStop());
+  ASSERT_TRUE(outcomes.ok()) << outcomes.status().ToString();
+  ASSERT_EQ(outcomes.ValueOrDie().size(), 2u);
+  EXPECT_EQ(outcomes.ValueOrDie()[0].kind,
+            CorroborateOutcome::Kind::kResult);
+  ASSERT_EQ(outcomes.ValueOrDie()[1].kind, CorroborateOutcome::Kind::kError);
+  EXPECT_EQ(outcomes.ValueOrDie()[1].error.code,
+            static_cast<uint8_t>(StatusCode::kNotFound));
+
+  // One frame went over the wire, and the good item's standalone
+  // framing matches an actual standalone request (a cache hit now).
+  EXPECT_EQ(daemon.server().responses_sent(), 1);
+  CorroborateRequest standalone;
+  standalone.dataset = "table1";
+  Result<CorroborateOutcome> reference =
+      client.ValueOrDie().Corroborate(standalone, NoStop());
+  ASSERT_TRUE(reference.ok());
+  EXPECT_EQ(outcomes.ValueOrDie()[0].raw_frame,
+            reference.ValueOrDie().raw_frame);
+}
+
+TEST_F(CorrobdServerTest, BatchRateChargeIsAllOrNothing) {
+  ServerOptions options = BaseOptions();
+  options.tenant_overrides = {
+      {"batcher", TenantLimits{.qps = 1.0, .burst = 2.0}}};
+  Daemon daemon(options);
+  ASSERT_TRUE(daemon.Launch().ok());
+  Result<CorrobClient> client = Connect();
+  ASSERT_TRUE(client.ok());
+
+  // Two tokens in the bucket: a three-item batch is refused as a
+  // whole (one typed frame, nothing executed, nothing charged)...
+  BatchRequest batch;
+  batch.tenant = "batcher";
+  batch.items.resize(3);
+  for (BatchItem& item : batch.items) item.dataset = "table1";
+  Result<std::vector<CorroborateOutcome>> refused =
+      client.ValueOrDie().BatchCorroborate(batch, NoStop());
+  ASSERT_TRUE(refused.ok()) << refused.status().ToString();
+  ASSERT_EQ(refused.ValueOrDie().size(), 1u);
+  ASSERT_EQ(refused.ValueOrDie()[0].kind,
+            CorroborateOutcome::Kind::kQuotaExceeded);
+  EXPECT_GE(refused.ValueOrDie()[0].quota.retry_after_ms, 1u);
+  EXPECT_EQ(daemon.server().cache().stats().misses, 0);
+
+  // ...so the untouched two tokens still cover a two-item batch.
+  batch.items.resize(2);
+  Result<std::vector<CorroborateOutcome>> accepted =
+      client.ValueOrDie().BatchCorroborate(batch, NoStop());
+  ASSERT_TRUE(accepted.ok()) << accepted.status().ToString();
+  ASSERT_EQ(accepted.ValueOrDie().size(), 2u);
+  for (const CorroborateOutcome& outcome : accepted.ValueOrDie()) {
+    EXPECT_EQ(outcome.kind, CorroborateOutcome::Kind::kResult);
+  }
+}
+
+TEST_F(CorrobdServerTest, LeaderDisconnectPromotesExactlyOneFollower) {
+  ServerOptions options = BaseOptions();
+  options.admission.max_concurrency = 4;
+  Daemon daemon(options);
+  ASSERT_TRUE(daemon.Launch().ok());
+
+  Failpoints::Arm("server.request.stall",
+                  {.code = StatusCode::kInternal, .message = "stall"});
+  CorroborateRequest request;
+  request.dataset = "table1";
+  request.options = {{"lane", "promote"}};
+
+  // The doomed leader never reads its response: fire-and-forget the
+  // frame, let it take the flight, then vanish.
+  Result<CorrobClient> doomed = Connect();
+  ASSERT_TRUE(doomed.ok());
+  Frame doomed_frame;
+  doomed_frame.type = FrameType::kCorroborateRequest;
+  doomed_frame.payload = EncodeCorroborateRequest(request);
+  ASSERT_TRUE(
+      WriteFrame(doomed.ValueOrDie().fd(), doomed_frame, NoStop()).ok());
+  ASSERT_TRUE(EventuallyTrue(
+      [&] { return daemon.server().admission().running() == 1; }));
+
+  Result<CorrobClient> survivor = Connect();
+  ASSERT_TRUE(survivor.ok());
+  Result<CorroborateOutcome> survived = Status::Internal("not yet run");
+  std::thread survivor_thread([&] {
+    survived = survivor.ValueOrDie().Corroborate(request, NoStop());
+  });
+  ASSERT_TRUE(EventuallyTrue(
+      [&] { return daemon.server().coalescer().stats().followers == 1; }));
+
+  // Disconnect the leader: its run is cancelled (not shareable), the
+  // flight is handed to the one follower, which re-runs it whole.
+  // lint: discard-ok: Close() returns void; only the side effect matters
+  doomed.ValueOrDie().Close();
+  ASSERT_TRUE(EventuallyTrue(
+      [&] { return daemon.server().coalescer().stats().promotions == 1; }));
+
+  Failpoints::DisarmAll();
+  survivor_thread.join();
+  ASSERT_TRUE(survived.ok()) << survived.status().ToString();
+  ASSERT_EQ(survived.ValueOrDie().kind, CorroborateOutcome::Kind::kResult);
+  EXPECT_FALSE(TerminatedEarly(
+      static_cast<Termination>(survived.ValueOrDie().result.termination)));
+  const RunCoalescer::Stats stats = daemon.server().coalescer().stats();
+  EXPECT_EQ(stats.promotions, 1);
+  EXPECT_EQ(stats.abandoned, 1);
+  EXPECT_EQ(stats.shared, 0);
+}
+
+TEST_F(CorrobdServerTest, FollowerDisconnectNeverCancelsLeader) {
+  ServerOptions options = BaseOptions();
+  options.admission.max_concurrency = 4;
+  Daemon daemon(options);
+  ASSERT_TRUE(daemon.Launch().ok());
+
+  Failpoints::Arm("server.request.stall",
+                  {.code = StatusCode::kInternal, .message = "stall"});
+  CorroborateRequest request;
+  request.dataset = "table1";
+  request.options = {{"lane", "isolate"}};
+
+  Result<CorrobClient> leader_client = Connect();
+  ASSERT_TRUE(leader_client.ok());
+  Result<CorroborateOutcome> led = Status::Internal("not yet run");
+  std::thread leader_thread([&] {
+    led = leader_client.ValueOrDie().Corroborate(request, NoStop());
+  });
+  ASSERT_TRUE(EventuallyTrue(
+      [&] { return daemon.server().admission().running() == 1; }));
+
+  // A fire-and-forget follower joins the stalled flight, then
+  // vanishes. Its cancellation must detach it — slot released — while
+  // the leader keeps stalling, untouched.
+  Result<CorrobClient> doomed = Connect();
+  ASSERT_TRUE(doomed.ok());
+  Frame doomed_frame;
+  doomed_frame.type = FrameType::kCorroborateRequest;
+  doomed_frame.payload = EncodeCorroborateRequest(request);
+  ASSERT_TRUE(
+      WriteFrame(doomed.ValueOrDie().fd(), doomed_frame, NoStop()).ok());
+  ASSERT_TRUE(EventuallyTrue(
+      [&] { return daemon.server().coalescer().stats().followers == 1; }));
+  ASSERT_TRUE(EventuallyTrue(
+      [&] { return daemon.server().admission().running() == 2; }));
+
+  // lint: discard-ok: Close() returns void; only the side effect matters
+  doomed.ValueOrDie().Close();
+  ASSERT_TRUE(EventuallyTrue(
+      [&] { return daemon.server().admission().running() == 1; }));
+
+  Failpoints::DisarmAll();
+  leader_thread.join();
+  ASSERT_TRUE(led.ok()) << led.status().ToString();
+  ASSERT_EQ(led.ValueOrDie().kind, CorroborateOutcome::Kind::kResult);
+  EXPECT_FALSE(TerminatedEarly(
+      static_cast<Termination>(led.ValueOrDie().result.termination)));
+  const RunCoalescer::Stats stats = daemon.server().coalescer().stats();
+  EXPECT_EQ(stats.promotions, 0);
+  EXPECT_EQ(stats.shared, 0);
+  EXPECT_EQ(stats.abandoned, 0);
+}
+
+TEST_F(CorrobdServerTest, ReloadUnknownDatasetIsTypedNotFound) {
+  Daemon daemon(BaseOptions());
+  ASSERT_TRUE(daemon.Launch().ok());
+  Result<CorrobClient> client = Connect();
+  ASSERT_TRUE(client.ok());
+
+  ReloadRequest reload;
+  reload.dataset = "no-such-table";
+  Result<ReloadResponse> outcome =
+      client.ValueOrDie().Reload(reload, NoStop());
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.status().code(), StatusCode::kNotFound);
+
+  // An empty name reloads everything the daemon serves.
+  reload.dataset.clear();
+  Result<ReloadResponse> all = client.ValueOrDie().Reload(reload, NoStop());
+  ASSERT_TRUE(all.ok()) << all.status().ToString();
+  EXPECT_EQ(all.ValueOrDie().datasets_reloaded, 1u);
+  EXPECT_EQ(all.ValueOrDie().generation, 2u);
 }
 
 }  // namespace

@@ -2,31 +2,41 @@
 // benchmark for corrobd (docs/SERVING.md, "Saturation benchmarking").
 //
 // Sweeps a list of offered QPS levels against a running daemon and
-// reports, per level: achieved QPS, result/shed/error counts, the
-// shed rate, and p50/p99 latency of successful corroborations. The
-// machine-readable sidecar BENCH_serving.json (schema
-// corrob.serving_bench/1, validated by tools/obs/validate_trace.py)
-// carries the whole curve.
+// reports, per level: achieved QPS, result/shed/error/quota counts,
+// the shed rate, p50/p99 latency of successful corroborations, and —
+// when the daemon's result cache is on — the level's cache hit rate
+// plus the cold-vs-hit latency split. The machine-readable sidecar
+// BENCH_serving.json (schema corrob.serving_bench/2, validated by
+// tools/obs/validate_trace.py) carries the whole curve.
+//
+// Key diversity and tenancy:
+//   --unique-keys N   spread requests over N distinct cache keys via
+//                     a synthetic request option ("lg_key"); 0 (the
+//                     default) sends identical requests, the
+//                     repeated-query regime where the cache shines
+//   --tenants a,b,c   round-robin requests over tenant ids (empty =
+//                     the anonymous tenant)
 //
 // Response accounting is the chaos-soak contract:
-//   results/errors/overloaded  fully received typed responses
-//   aborted                    the connection died before ANY response
+//   results/errors/overloaded/quota  fully received typed responses
+//   aborted                   the connection died before ANY response
 //                              byte (indistinguishable from a drain
 //                              that never read the request — not proof
 //                              of a drop)
 //   dropped                    response bytes arrived and then the
-//                              connection died mid-frame: the daemon
-//                              started an answer the client never got.
-//                              Always a bug; --fail-on-dropped turns
-//                              any of these into exit code 1.
+//                              connection died mid-frame (typed
+//                              kConnectionLost): the daemon started an
+//                              answer the client never got. Always a
+//                              bug; --fail-on-dropped turns any of
+//                              these into exit code 1.
 //
 //   corrob-loadgen --socket /tmp/corrobd.sock --dataset flights
 //       --qps 50,100,200,400 --duration-ms 2000 --connections 8
 
 #include <algorithm>
-#include <atomic>
 #include <cstdio>
 #include <mutex>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -59,6 +69,10 @@ struct LoadgenConfig {
   int connections = 8;
   int64_t timeout_ms = 0;
   int64_t max_rounds = 0;
+  /// Tenant ids requests round-robin over; empty = anonymous only.
+  std::vector<std::string> tenants;
+  /// Distinct cache keys to spread requests over (0 = one key).
+  int64_t unique_keys = 0;
   std::string json_path = "BENCH_serving.json";
   bool fail_on_dropped = false;
 };
@@ -67,13 +81,21 @@ struct LoadgenConfig {
 /// worker pool.
 struct LevelStats {
   std::mutex mutex;
+  /// Global request sequence: assigns tenants and synthetic keys.
+  int64_t next_sequence = 0;
+  /// Synthetic key indices already issued this level; the first
+  /// request of each index is the key's cold run.
+  std::set<int64_t> seen_keys;
   int64_t requests = 0;
   int64_t results = 0;
   int64_t shed = 0;
   int64_t errors = 0;
+  int64_t quota = 0;
   int64_t aborted = 0;
   int64_t dropped = 0;
   std::vector<double> latencies_ms;
+  std::vector<double> cold_latencies_ms;
+  std::vector<double> hit_latencies_ms;
 };
 
 double Percentile(std::vector<double>* sorted_ms, double fraction) {
@@ -82,6 +104,32 @@ double Percentile(std::vector<double>* sorted_ms, double fraction) {
   const size_t index = static_cast<size_t>(
       fraction * static_cast<double>(sorted_ms->size() - 1) + 0.5);
   return (*sorted_ms)[std::min(index, sorted_ms->size() - 1)];
+}
+
+/// Snapshot of the daemon's cache counters, via the stats frame.
+struct CacheCounters {
+  bool ok = false;
+  int64_t hits = 0;
+  int64_t misses = 0;
+};
+
+CacheCounters FetchCacheCounters(const LoadgenConfig& config) {
+  CacheCounters counters;
+  Result<CorrobClient> client = CorrobClient::Connect(config.socket_path);
+  if (!client.ok()) return counters;
+  Result<std::string> stats = client.ValueOrDie().Stats(StopSignal());
+  if (!stats.ok()) return counters;
+  obs::JsonValue parsed;
+  if (!obs::JsonValue::Parse(stats.ValueOrDie(), &parsed)) return counters;
+  const obs::JsonValue* cache = parsed.Find("cache");
+  if (cache == nullptr) return counters;
+  const obs::JsonValue* hits = cache->Find("hits");
+  const obs::JsonValue* misses = cache->Find("misses");
+  if (hits == nullptr || misses == nullptr) return counters;
+  counters.ok = true;
+  counters.hits = hits->int_value();
+  counters.misses = misses->int_value();
+  return counters;
 }
 
 /// One paced worker: issues requests at `interval_ms` spacing until
@@ -107,6 +155,24 @@ void RunWorker(const LoadgenConfig& config, double interval_ms,
       client = CorrobClient::Connect(config.socket_path);
       if (!client.ok()) break;  // daemon gone (e.g. drained away)
     }
+    // Claim this request's slot in the level-wide sequence: tenant
+    // round-robin, synthetic key, and whether this is the key's cold
+    // (first-ever) issue.
+    bool cold;
+    {
+      std::lock_guard<std::mutex> lock(stats->mutex);
+      const int64_t sequence = stats->next_sequence++;
+      if (!config.tenants.empty()) {
+        request.tenant = config.tenants[static_cast<size_t>(
+            sequence % static_cast<int64_t>(config.tenants.size()))];
+      }
+      int64_t key_index = 0;
+      if (config.unique_keys > 0) {
+        key_index = sequence % config.unique_keys;
+        request.options = {{"lg_key", std::to_string(key_index)}};
+      }
+      cold = stats->seen_keys.insert(key_index).second;
+    }
     const int64_t request_started = clock->NowNanos();
     Result<CorroborateOutcome> outcome =
         client.ValueOrDie().Corroborate(request, StopSignal());
@@ -121,16 +187,23 @@ void RunWorker(const LoadgenConfig& config, double interval_ms,
           case CorroborateOutcome::Kind::kResult:
             ++stats->results;
             stats->latencies_ms.push_back(latency_ms);
+            if (cold) {
+              stats->cold_latencies_ms.push_back(latency_ms);
+            } else {
+              stats->hit_latencies_ms.push_back(latency_ms);
+            }
             break;
           case CorroborateOutcome::Kind::kOverloaded:
             ++stats->shed;
+            break;
+          case CorroborateOutcome::Kind::kQuotaExceeded:
+            ++stats->quota;
             break;
           case CorroborateOutcome::Kind::kError:
             ++stats->errors;
             break;
         }
-      } else if (outcome.status().message().find("mid-read") !=
-                 std::string::npos) {
+      } else if (outcome.status().code() == StatusCode::kConnectionLost) {
         // A response was being written and the stream died under it.
         ++stats->dropped;
       } else {
@@ -158,6 +231,7 @@ obs::JsonValue RunLevel(const LoadgenConfig& config, double offered_qps) {
   LevelStats stats;
   const double interval_ms =
       static_cast<double>(config.connections) / offered_qps * 1000.0;
+  const CacheCounters cache_before = FetchCacheCounters(config);
   const Deadline deadline =
       Deadline::AfterMs(clock, static_cast<double>(config.duration_ms));
   const int64_t level_started = clock->NowNanos();
@@ -174,6 +248,7 @@ obs::JsonValue RunLevel(const LoadgenConfig& config, double offered_qps) {
   for (std::thread& worker : workers) worker.join();
   const double elapsed_seconds =
       static_cast<double>(clock->NowNanos() - level_started) / 1e9;
+  const CacheCounters cache_after = FetchCacheCounters(config);
 
   const double achieved_qps =
       elapsed_seconds > 0
@@ -184,17 +259,32 @@ obs::JsonValue RunLevel(const LoadgenConfig& config, double offered_qps) {
           ? static_cast<double>(stats.shed) /
                 static_cast<double>(stats.requests)
           : 0.0;
+  // Hit rate from the daemon's own counters, so coalesced followers
+  // and other clients' traffic do not skew the arithmetic.
+  double hit_rate = 0.0;
+  if (cache_before.ok && cache_after.ok) {
+    const int64_t hits = cache_after.hits - cache_before.hits;
+    const int64_t lookups =
+        hits + (cache_after.misses - cache_before.misses);
+    if (lookups > 0) {
+      hit_rate = static_cast<double>(hits) / static_cast<double>(lookups);
+    }
+  }
   const double p50 = Percentile(&stats.latencies_ms, 0.50);
   const double p99 = Percentile(&stats.latencies_ms, 0.99);
+  const double cold_p50 = Percentile(&stats.cold_latencies_ms, 0.50);
+  const double hit_p50 = Percentile(&stats.hit_latencies_ms, 0.50);
 
   std::printf(
-      "%10.1f %10.1f %9lld %9lld %7lld %7lld %7lld %7lld %9.2f %9.2f %7.1f%%\n",
+      "%10.1f %10.1f %9lld %9lld %7lld %7lld %7lld %7lld %7lld %9.2f "
+      "%9.2f %8.1f%%\n",
       offered_qps, achieved_qps, static_cast<long long>(stats.requests),
       static_cast<long long>(stats.results),
       static_cast<long long>(stats.shed),
       static_cast<long long>(stats.errors),
+      static_cast<long long>(stats.quota),
       static_cast<long long>(stats.aborted),
-      static_cast<long long>(stats.dropped), p50, p99, shed_rate * 100.0);
+      static_cast<long long>(stats.dropped), p50, p99, hit_rate * 100.0);
 
   obs::JsonValue level = obs::JsonValue::Object();
   level.Set("offered_qps", obs::JsonValue::Double(offered_qps));
@@ -203,11 +293,15 @@ obs::JsonValue RunLevel(const LoadgenConfig& config, double offered_qps) {
   level.Set("results", obs::JsonValue::Int(stats.results));
   level.Set("shed", obs::JsonValue::Int(stats.shed));
   level.Set("errors", obs::JsonValue::Int(stats.errors));
+  level.Set("quota", obs::JsonValue::Int(stats.quota));
   level.Set("aborted", obs::JsonValue::Int(stats.aborted));
   level.Set("dropped", obs::JsonValue::Int(stats.dropped));
   level.Set("shed_rate", obs::JsonValue::Double(shed_rate));
+  level.Set("hit_rate", obs::JsonValue::Double(hit_rate));
   level.Set("p50_ms", obs::JsonValue::Double(p50));
   level.Set("p99_ms", obs::JsonValue::Double(p99));
+  level.Set("cold_p50_ms", obs::JsonValue::Double(cold_p50));
+  level.Set("hit_p50_ms", obs::JsonValue::Double(hit_p50));
   return level;
 }
 
@@ -238,6 +332,23 @@ obs::JsonValue RunLevel(const LoadgenConfig& config, double offered_qps) {
                           flags.TryGetInt("timeout-ms", 0));
   CORROB_ASSIGN_OR_RETURN(config->max_rounds,
                           flags.TryGetInt("max-rounds", 0));
+  CORROB_ASSIGN_OR_RETURN(config->unique_keys,
+                          flags.TryGetInt("unique-keys", 0));
+  if (config->unique_keys < 0) {
+    return Status::InvalidArgument("--unique-keys must be >= 0");
+  }
+  const std::string tenants_text = flags.GetString("tenants", "");
+  if (!tenants_text.empty()) {
+    size_t begin = 0;
+    while (begin <= tenants_text.size()) {
+      const size_t comma = tenants_text.find(',', begin);
+      config->tenants.push_back(tenants_text.substr(
+          begin,
+          comma == std::string::npos ? std::string::npos : comma - begin));
+      if (comma == std::string::npos) break;
+      begin = comma + 1;
+    }
+  }
   config->json_path = flags.GetString("json", config->json_path);
   config->fail_on_dropped = flags.GetBool("fail-on-dropped", false);
 
@@ -293,10 +404,10 @@ int Run(int argc, char** argv) {
     }
   }
 
-  std::printf("%10s %10s %9s %9s %7s %7s %7s %7s %9s %9s %8s\n",
+  std::printf("%10s %10s %9s %9s %7s %7s %7s %7s %7s %9s %9s %9s\n",
               "offered", "achieved", "requests", "results", "shed",
-              "errors", "aborted", "dropped", "p50_ms", "p99_ms",
-              "shed%");
+              "errors", "quota", "aborted", "dropped", "p50_ms",
+              "p99_ms", "hit%");
   obs::JsonValue levels = obs::JsonValue::Array();
   int64_t total_dropped = 0;
   int64_t total_responses = 0;
@@ -305,7 +416,8 @@ int Run(int argc, char** argv) {
     total_dropped += level.Find("dropped")->int_value();
     total_responses += level.Find("results")->int_value() +
                        level.Find("shed")->int_value() +
-                       level.Find("errors")->int_value();
+                       level.Find("errors")->int_value() +
+                       level.Find("quota")->int_value();
     levels.Append(std::move(level));
   }
 
@@ -315,7 +427,7 @@ int Run(int argc, char** argv) {
 
   if (config.json_path != "none" && !config.json_path.empty()) {
     obs::JsonValue root = obs::JsonValue::Object();
-    root.Set("schema", obs::JsonValue::Str("corrob.serving_bench/1"));
+    root.Set("schema", obs::JsonValue::Str("corrob.serving_bench/2"));
     obs::JsonValue bench_config = obs::JsonValue::Object();
     bench_config.Set("socket", obs::JsonValue::Str(config.socket_path));
     bench_config.Set("dataset", obs::JsonValue::Str(config.dataset));
@@ -325,6 +437,12 @@ int Run(int argc, char** argv) {
         obs::JsonValue::Str(std::string(server::PriorityName(config.priority))));
     bench_config.Set("connections", obs::JsonValue::Int(config.connections));
     bench_config.Set("duration_ms", obs::JsonValue::Int(config.duration_ms));
+    bench_config.Set("unique_keys", obs::JsonValue::Int(config.unique_keys));
+    obs::JsonValue tenants = obs::JsonValue::Array();
+    for (const std::string& tenant : config.tenants) {
+      tenants.Append(obs::JsonValue::Str(tenant));
+    }
+    bench_config.Set("tenants", std::move(tenants));
     root.Set("config", std::move(bench_config));
     root.Set("levels", std::move(levels));
     obs::JsonValue totals = obs::JsonValue::Object();

@@ -13,7 +13,8 @@ autodetecting each file's kind:
   bench      BenchReport JSON from the bench binaries
              ({"schema": "corrob.bench/1", ...})
   serving    BENCH_serving.json from corrob-loadgen
-             ({"schema": "corrob.serving_bench/1", ...})
+             ({"schema": "corrob.serving_bench/1" or
+               "corrob.serving_bench/2", ...})
 
 Usage: validate_trace.py FILE [FILE...]
 Exit status 0 when every file validates, 1 otherwise. Pure stdlib —
@@ -194,14 +195,26 @@ def validate_stream_telemetry(doc):
 def validate_serving_bench(doc):
     expect_keys(doc, ["schema", "config", "levels", "totals"],
                 "serving_bench")
-    expect(doc["schema"] == "corrob.serving_bench/1",
-           f"serving_bench: unknown schema '{doc.get('schema')}'")
+    schema = doc.get("schema")
+    expect(schema in ("corrob.serving_bench/1", "corrob.serving_bench/2"),
+           f"serving_bench: unknown schema '{schema}'")
+    v2 = schema == "corrob.serving_bench/2"
     config = doc["config"]
-    expect_keys(config, ["socket", "dataset", "algorithm", "priority",
-                         "connections", "duration_ms"],
-                "serving_bench: config")
+    config_keys = ["socket", "dataset", "algorithm", "priority",
+                   "connections", "duration_ms"]
+    if v2:
+        config_keys += ["unique_keys", "tenants"]
+    expect_keys(config, config_keys, "serving_bench: config")
     expect(config["priority"] in ("interactive", "batch", "best_effort"),
            f"serving_bench: unknown priority '{config.get('priority')}'")
+    if v2:
+        expect(isinstance(config["unique_keys"], int)
+               and config["unique_keys"] >= 0,
+               "serving_bench: config.unique_keys must be a "
+               "non-negative integer")
+        expect(isinstance(config["tenants"], list)
+               and all(isinstance(t, str) for t in config["tenants"]),
+               "serving_bench: config.tenants must be an array of strings")
     levels = doc["levels"]
     expect(isinstance(levels, list) and levels,
            "serving_bench: levels must be a non-empty array")
@@ -209,20 +222,23 @@ def validate_serving_bench(doc):
     counted_dropped = 0
     for i, level in enumerate(levels):
         where = f"serving_bench: levels[{i}]"
-        expect_keys(level, ["offered_qps", "achieved_qps", "requests",
-                            "results", "shed", "errors", "aborted",
-                            "dropped", "shed_rate", "p50_ms", "p99_ms"],
-                    where)
-        for key in ("offered_qps", "achieved_qps", "shed_rate",
-                    "p50_ms", "p99_ms"):
+        number_keys = ["offered_qps", "achieved_qps", "shed_rate",
+                       "p50_ms", "p99_ms"]
+        int_keys = ["requests", "results", "shed", "errors", "aborted",
+                    "dropped"]
+        if v2:
+            number_keys += ["hit_rate", "cold_p50_ms", "hit_p50_ms"]
+            int_keys += ["quota"]
+        expect_keys(level, number_keys + int_keys, where)
+        for key in number_keys:
             expect(is_number(level[key]) and level[key] >= 0,
                    f"{where}: {key} must be a non-negative number")
-        for key in ("requests", "results", "shed", "errors", "aborted",
-                    "dropped"):
+        for key in int_keys:
             expect(isinstance(level[key], int) and level[key] >= 0,
                    f"{where}: {key} must be a non-negative integer")
+        quota = level.get("quota", 0) if v2 else 0
         accounted = (level["results"] + level["shed"] + level["errors"]
-                     + level["aborted"] + level["dropped"])
+                     + quota + level["aborted"] + level["dropped"])
         expect(accounted == level["requests"],
                f"{where}: outcome counts sum to {accounted}, "
                f"requests says {level['requests']}")
@@ -230,8 +246,11 @@ def validate_serving_bench(doc):
                f"{where}: p50_ms must not exceed p99_ms")
         expect(0.0 <= level["shed_rate"] <= 1.0,
                f"{where}: shed_rate must be in [0, 1]")
+        if v2:
+            expect(0.0 <= level["hit_rate"] <= 1.0,
+                   f"{where}: hit_rate must be in [0, 1]")
         counted_responses += (level["results"] + level["shed"]
-                              + level["errors"])
+                              + level["errors"] + quota)
         counted_dropped += level["dropped"]
     totals = doc["totals"]
     expect_keys(totals, ["responses_received", "dropped"],
@@ -258,7 +277,7 @@ def detect_kind(doc):
         return "bench", validate_bench
     if schema == "corrob.stream_telemetry/1":
         return "stream_telemetry", validate_stream_telemetry
-    if schema == "corrob.serving_bench/1":
+    if schema in ("corrob.serving_bench/1", "corrob.serving_bench/2"):
         return "serving_bench", validate_serving_bench
     if "traceEvents" in doc:
         return "trace", validate_trace
