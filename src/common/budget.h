@@ -17,6 +17,13 @@
 // ever interrupted preemptively — so a run that honors its budget is
 // interrupted only at well-defined sequential boundaries and can hand
 // back a consistent best-so-far answer.
+//
+// Lock discipline: this header deliberately owns no mutexes — every
+// type is built from atomics (Cancel() must be async-signal-safe, so
+// it can never take a lock), which is why nothing here carries
+// common/thread_annotations.h capability annotations. Keep it that
+// way: code that wants a lock around budget state belongs above this
+// layer.
 
 namespace corrob {
 

@@ -7,6 +7,7 @@
 
 #include "common/random.h"
 #include "common/string_util.h"
+#include "common/thread_annotations.h"
 
 namespace corrob {
 
@@ -25,7 +26,7 @@ struct ArmedFailpoint {
 
 struct Registry {
   std::mutex mu;
-  std::map<std::string, ArmedFailpoint> armed;
+  std::map<std::string, ArmedFailpoint> armed CORROB_GUARDED_BY(mu);
 };
 
 Registry& GetRegistry() {

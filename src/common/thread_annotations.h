@@ -1,0 +1,93 @@
+#ifndef CORROB_COMMON_THREAD_ANNOTATIONS_H_
+#define CORROB_COMMON_THREAD_ANNOTATIONS_H_
+
+// Clang thread-safety annotation macros for the concurrent core.
+//
+// These wrap Clang's capability-analysis attributes so that lock
+// discipline — which member a mutex guards, which functions require a
+// lock held, which acquire and release one — is stated in the type
+// system and checked at compile time by the `thread-safety` CI job
+// (`-Wthread-safety -Wthread-safety-beta -Werror`). On compilers
+// without the attributes (GCC, MSVC) every macro expands to nothing,
+// so annotated code builds everywhere; the annotations are
+// enforcement, not behavior.
+//
+// Cookbook (see docs/STATIC_ANALYSIS.md for the full version):
+//
+//   std::mutex mutex_;
+//   std::vector<int> items_ CORROB_GUARDED_BY(mutex_);
+//
+//   // Caller must hold mutex_ (the "FooLocked" convention):
+//   void CompactLocked() CORROB_REQUIRES(mutex_);
+//
+//   // Caller must NOT hold mutex_ (re-entrancy guard):
+//   void Publish() CORROB_EXCLUDES(mutex_);
+//
+//   // A custom RAII lock type:
+//   class CORROB_SCOPED_CAPABILITY ShardLock { ... };
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(guarded_by)
+#define CORROB_THREAD_ANNOTATION_ATTRIBUTE(x) __attribute__((x))
+#endif
+#endif
+
+#ifndef CORROB_THREAD_ANNOTATION_ATTRIBUTE
+#define CORROB_THREAD_ANNOTATION_ATTRIBUTE(x)  // no-op off Clang
+#endif
+
+// Marks a type as a lockable capability ("mutex"-like). std::mutex is
+// already annotated in libc++/libstdc++ under Clang; this is for
+// project-defined lock types.
+#define CORROB_CAPABILITY(x) \
+  CORROB_THREAD_ANNOTATION_ATTRIBUTE(capability(x))
+
+// Marks an RAII lock holder (constructor acquires, destructor
+// releases) so the analysis tracks its scope as a critical section.
+#define CORROB_SCOPED_CAPABILITY \
+  CORROB_THREAD_ANNOTATION_ATTRIBUTE(scoped_lockable)
+
+// Declares that a data member may only be read or written while
+// holding the given capability.
+#define CORROB_GUARDED_BY(x) \
+  CORROB_THREAD_ANNOTATION_ATTRIBUTE(guarded_by(x))
+
+// As CORROB_GUARDED_BY, but for the data *pointed to* by a pointer
+// member (the pointer itself is unguarded).
+#define CORROB_PT_GUARDED_BY(x) \
+  CORROB_THREAD_ANNOTATION_ATTRIBUTE(pt_guarded_by(x))
+
+// Declares that callers must hold the capability exclusively before
+// calling (the "Locked" suffix convention made checkable).
+#define CORROB_REQUIRES(...) \
+  CORROB_THREAD_ANNOTATION_ATTRIBUTE(requires_capability(__VA_ARGS__))
+
+// Declares that callers must hold the capability at least shared.
+#define CORROB_REQUIRES_SHARED(...) \
+  CORROB_THREAD_ANNOTATION_ATTRIBUTE(requires_shared_capability(__VA_ARGS__))
+
+// Declares that a function acquires the capability and holds it on
+// return (e.g. a Lock() method or an acquiring constructor).
+#define CORROB_ACQUIRE(...) \
+  CORROB_THREAD_ANNOTATION_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+
+// Declares that a function releases a held capability on return.
+#define CORROB_RELEASE(...) \
+  CORROB_THREAD_ANNOTATION_ATTRIBUTE(release_capability(__VA_ARGS__))
+
+// Declares that callers must NOT hold the capability (deadlock guard
+// for functions that acquire it themselves).
+#define CORROB_EXCLUDES(...) \
+  CORROB_THREAD_ANNOTATION_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+
+// Declares a function that returns a reference to the capability
+// guarding some state (lets accessors participate in the analysis).
+#define CORROB_RETURN_CAPABILITY(x) \
+  CORROB_THREAD_ANNOTATION_ATTRIBUTE(lock_returned(x))
+
+// Escape hatch: disables the analysis for one function. Every use
+// must carry a comment justifying why the discipline holds anyway.
+#define CORROB_NO_THREAD_SAFETY_ANALYSIS \
+  CORROB_THREAD_ANNOTATION_ATTRIBUTE(no_thread_safety_analysis)
+
+#endif  // CORROB_COMMON_THREAD_ANNOTATIONS_H_

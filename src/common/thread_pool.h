@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/budget.h"
+#include "common/thread_annotations.h"
 
 namespace corrob {
 
@@ -48,10 +49,13 @@ class ThreadPool {
   std::mutex mutex_;
   std::condition_variable work_available_;
   std::condition_variable work_done_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<std::function<void()>> queue_ CORROB_GUARDED_BY(mutex_);
+  /// Written only by the constructor and joined by Shutdown(); never
+  /// touched by workers, so it needs no mutex_ guard.
   std::vector<std::thread> workers_;
-  int64_t in_flight_ = 0;  // queued + currently executing
-  bool shutting_down_ = false;
+  /// Queued + currently executing.
+  int64_t in_flight_ CORROB_GUARDED_BY(mutex_) = 0;
+  bool shutting_down_ CORROB_GUARDED_BY(mutex_) = false;
 };
 
 /// Runs fn(i) for i in [0, count) across `num_threads` workers and

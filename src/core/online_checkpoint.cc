@@ -253,7 +253,9 @@ std::string DeriveInterruptCheckpointPath(std::string_view input_path,
   crc.Update(input_path);
   crc.Update(std::string_view("\n", 1));
   crc.Update(output_path);
-  char suffix[24];
+  // ".interrupt-" (11) + 8 hex digits + ".snap" (5) + NUL = 25 bytes;
+  // a 24-byte buffer silently dropped the trailing 'p'.
+  char suffix[32];
   std::snprintf(suffix, sizeof(suffix), ".interrupt-%08x.snap",
                 crc.Digest());
   return std::string(base) + suffix;

@@ -10,6 +10,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "obs/json.h"
 
 // Process-wide metrics: lock-cheap counters, gauges and log-scale
@@ -185,9 +186,12 @@ class MetricsRegistry {
 
  private:
   mutable std::mutex mutex_;
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      CORROB_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+      CORROB_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_
+      CORROB_GUARDED_BY(mutex_);
 };
 
 }  // namespace obs

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "obs/clock.h"
 #include "obs/json.h"
 
@@ -89,10 +90,14 @@ class TraceRecorder {
   ThreadBuffer* ThisThreadBuffer();
 
   std::atomic<bool> enabled_{false};
+  /// clock_ and epoch_nanos_ are written only by Start(), which the
+  /// concurrency contract above forbids racing with spans — they are
+  /// protected by protocol, not by mutex_, so no guard is expressible.
   const Clock* clock_ = MonotonicClock::Get();
   int64_t epoch_nanos_ = 0;
   mutable std::mutex mutex_;
-  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_
+      CORROB_GUARDED_BY(mutex_);
   /// Bumped by Clear() so threads drop cached buffer pointers.
   std::atomic<uint64_t> generation_{0};
 };

@@ -9,6 +9,7 @@
 #include <string>
 
 #include "common/budget.h"
+#include "common/thread_annotations.h"
 #include "obs/clock.h"
 #include "server/protocol.h"
 
@@ -74,39 +75,42 @@ class AdmissionController {
   /// is busy. Lower-numbered classes are granted slots first;
   /// within a class, grants follow arrival order. `stop` is the
   /// request's own deadline/cancellation and bounds the queue wait.
-  AdmissionDecision Admit(Priority priority, const StopSignal& stop);
+  [[nodiscard]] AdmissionDecision Admit(Priority priority,
+                                        const StopSignal& stop);
 
   /// Returns the slot taken by an admitted request. `service_nanos`
   /// (the request's execution time) feeds the retry-after estimate.
   void Release(Priority priority, int64_t service_nanos);
 
   /// Executing requests (slots in use).
-  int running() const;
+  [[nodiscard]] int running() const;
   /// Current wait-queue depth of one class.
-  int queued(Priority priority) const;
+  [[nodiscard]] int queued(Priority priority) const;
 
-  const AdmissionOptions& options() const { return options_; }
+  [[nodiscard]] const AdmissionOptions& options() const { return options_; }
 
  private:
   /// Millisecond retry-after estimate from the current backlog:
   /// (work ahead of a new arrival) x (EWMA service time) spread over
   /// the slot pool. Callers hold `mutex_`.
-  uint32_t RetryAfterMsLocked(Priority priority) const;
+  uint32_t RetryAfterMsLocked(Priority priority) const
+      CORROB_REQUIRES(mutex_);
 
   AdmissionOptions options_;
   const obs::Clock* clock_;
 
   mutable std::mutex mutex_;
   std::condition_variable slot_freed_;
-  int running_ = 0;
+  int running_ CORROB_GUARDED_BY(mutex_) = 0;
   /// Tickets of queued requests, in arrival order, one deque per
   /// class; a waiter whose StopSignal fires removes its own ticket,
   /// so a dead waiter can never block the ones behind it. Bounded by
   /// options_.queue_capacity.
-  std::array<std::deque<uint64_t>, kNumPriorities> queue_;
-  uint64_t next_ticket_ = 0;
+  std::array<std::deque<uint64_t>, kNumPriorities> queue_
+      CORROB_GUARDED_BY(mutex_);
+  uint64_t next_ticket_ CORROB_GUARDED_BY(mutex_) = 0;
   /// EWMA of request service time (nanos), the retry-after basis.
-  double ewma_service_nanos_ = 0.0;
+  double ewma_service_nanos_ CORROB_GUARDED_BY(mutex_) = 0.0;
 };
 
 }  // namespace server

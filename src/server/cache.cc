@@ -19,7 +19,7 @@ constexpr int kMaxShards = 64;
 std::string FoldAlgorithmName(const std::string& name) {
   std::string out;
   out.reserve(name.size());
-  for (char c : name) {
+  for (const char c : name) {
     if (c == '_' || c == '-') continue;
     out.push_back(
         static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
@@ -108,7 +108,7 @@ std::optional<std::string> ResultCache::Lookup(const std::string& key) {
   Shard& shard = ShardFor(key);
   {
     std::lock_guard<std::mutex> lock(shard.mutex);
-    auto it = shard.index.find(key);
+    const auto it = shard.index.find(key);
     if (it != shard.index.end()) {
       shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
       hits_.fetch_add(1, std::memory_order_relaxed);
@@ -129,7 +129,7 @@ void ResultCache::Insert(const std::string& key,
   int64_t evicted = 0;
   {
     std::lock_guard<std::mutex> lock(shard.mutex);
-    auto it = shard.index.find(key);
+    const auto it = shard.index.find(key);
     if (it != shard.index.end()) {
       // Concurrent cold runs of the same request race to insert; the
       // payloads are bit-identical, so refreshing recency is enough.
@@ -156,7 +156,7 @@ void ResultCache::Insert(const std::string& key,
 void ResultCache::InvalidateDataset(const std::string& dataset) {
   if (!enabled()) return;
   int64_t dropped = 0;
-  for (auto& shard_ptr : shards_) {
+  for (const auto& shard_ptr : shards_) {
     Shard& shard = *shard_ptr;
     std::lock_guard<std::mutex> lock(shard.mutex);
     for (auto it = shard.lru.begin(); it != shard.lru.end();) {

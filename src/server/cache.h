@@ -11,6 +11,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "server/protocol.h"
 
 // Bounded, sharded LRU result cache for corrobd. Keys are the
@@ -55,10 +56,11 @@ struct CacheStats {
 /// normalized (DecodeCorroborateRequest guarantees it); the algorithm
 /// name is canonicalized the same way the registry matches it, so
 /// "IncEstHeu" and "inc_est_heu" share an entry.
-std::string CacheKey(const std::string& dataset, uint64_t generation,
-                     const std::string& algorithm,
-                     int64_t effective_max_rounds,
-                     const OptionList& options);
+[[nodiscard]] std::string CacheKey(const std::string& dataset,
+                                   uint64_t generation,
+                                   const std::string& algorithm,
+                                   int64_t effective_max_rounds,
+                                   const OptionList& options);
 
 /// Thread-safe sharded LRU map from canonical key to encoded
 /// response payload. All methods may be called from any connection
@@ -70,11 +72,11 @@ class ResultCache {
   ResultCache(const ResultCache&) = delete;
   ResultCache& operator=(const ResultCache&) = delete;
 
-  bool enabled() const { return per_shard_capacity_ > 0; }
+  [[nodiscard]] bool enabled() const { return per_shard_capacity_ > 0; }
 
   /// Returns the cached payload and refreshes its recency, or nullopt
   /// (also counting the miss).
-  std::optional<std::string> Lookup(const std::string& key);
+  [[nodiscard]] std::optional<std::string> Lookup(const std::string& key);
 
   /// Inserts (or refreshes) `key`. `dataset` tags the entry for
   /// InvalidateDataset. Evicts the shard's least-recently-used entry
@@ -87,9 +89,9 @@ class ResultCache {
   /// rather than aging out.
   void InvalidateDataset(const std::string& dataset);
 
-  CacheStats stats() const;
+  [[nodiscard]] CacheStats stats() const;
 
-  const CacheOptions& options() const { return options_; }
+  [[nodiscard]] const CacheOptions& options() const { return options_; }
 
  private:
   struct Entry {
@@ -100,8 +102,9 @@ class ResultCache {
   /// One LRU shard: list front = most recent; map points into the list.
   struct Shard {
     mutable std::mutex mutex;
-    std::list<Entry> lru;
-    std::unordered_map<std::string, std::list<Entry>::iterator> index;
+    std::list<Entry> lru CORROB_GUARDED_BY(mutex);
+    std::unordered_map<std::string, std::list<Entry>::iterator> index
+        CORROB_GUARDED_BY(mutex);
   };
 
   Shard& ShardFor(const std::string& key);

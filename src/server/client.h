@@ -52,9 +52,9 @@ class CorrobClient {
   CorrobClient(CorrobClient&&) noexcept = default;
   CorrobClient& operator=(CorrobClient&&) noexcept = default;
 
-  bool connected() const { return fd_.valid(); }
+  [[nodiscard]] bool connected() const { return fd_.valid(); }
   /// Raw descriptor (tests use it to fault the transport mid-call).
-  int fd() const { return fd_.get(); }
+  [[nodiscard]] int fd() const { return fd_.get(); }
   /// Hard-closes the connection; a request in flight on the server is
   /// cancelled by its disconnect watcher.
   void Close() { fd_.Reset(); }

@@ -55,7 +55,7 @@ struct RunCoalescer::Ticket::Flight {
 RunCoalescer::Ticket RunCoalescer::Attach(const std::string& key) {
   Ticket ticket;
   std::lock_guard<std::mutex> lock(mutex_);
-  auto it = flights_.find(key);
+  const auto it = flights_.find(key);
   if (it == flights_.end()) {
     auto flight = std::make_shared<Ticket::Flight>();
     flight->key = key;
@@ -80,7 +80,7 @@ void RunCoalescer::Publish(const Ticket& ticket,
   std::lock_guard<std::mutex> lock(mutex_);
   flight.published = true;
   flight.payload = payload;
-  auto it = flights_.find(flight.key);
+  const auto it = flights_.find(flight.key);
   if (it != flights_.end() && it->second == ticket.flight_) {
     flights_.erase(it);
   }
@@ -99,14 +99,20 @@ void RunCoalescer::Abandon(const Ticket& ticket) {
     flight.cv.notify_all();
     return;
   }
-  auto it = flights_.find(flight.key);
+  const auto it = flights_.find(flight.key);
   if (it != flights_.end() && it->second == ticket.flight_) {
     flights_.erase(it);
   }
 }
 
+// Justified: the bounded-slice cv wait needs std::unique_lock, which
+// carries no capability annotations, so the analysis would flag the
+// flights_/stats_ accesses in the wait loop as unlocked. The
+// discipline is pinned dynamically by the TSan job and the
+// coalescing race tests.
 RunCoalescer::WaitResult RunCoalescer::Wait(Ticket* ticket,
-                                            const StopSignal& stop) {
+                                            const StopSignal& stop)
+    CORROB_NO_THREAD_SAFETY_ANALYSIS {
   auto& flight = *ticket->flight_;
   WaitResult result;
   std::unique_lock<std::mutex> lock(mutex_);
@@ -128,7 +134,7 @@ RunCoalescer::WaitResult RunCoalescer::Wait(Ticket* ticket,
       // start fresh instead of following a ghost.
       if (flight.waiters == 0 && flight.orphaned) {
         flight.orphaned = false;
-        auto it = flights_.find(flight.key);
+        const auto it = flights_.find(flight.key);
         if (it != flights_.end() && it->second == ticket->flight_) {
           flights_.erase(it);
         }
@@ -147,6 +153,7 @@ RunCoalescer::WaitResult RunCoalescer::Wait(Ticket* ticket,
       CoalesceMetrics::Get().leaders->Add(1);
       return result;
     }
+    // lint: cvwait-ok: bounded poll slice; the loop re-checks published/orphaned and stop.ShouldStop(), which no cv predicate can observe (StopSignal has no wakeup channel)
     flight.cv.wait_for(lock, kWaitPollInterval);
   }
 }

@@ -9,6 +9,7 @@
 #include <unordered_map>
 
 #include "common/budget.h"
+#include "common/thread_annotations.h"
 
 // Request coalescing (single-flight) for corrobd. When several
 // connections ask for the same canonical cache key at once, exactly
@@ -63,7 +64,7 @@ class RunCoalescer {
   /// Attach(); pass back to Wait/Publish/Abandon.
   class Ticket {
    public:
-    Role role() const { return role_; }
+    [[nodiscard]] Role role() const { return role_; }
 
    private:
     friend class RunCoalescer;
@@ -79,7 +80,7 @@ class RunCoalescer {
   /// Joins (or starts) the flight for `key`. Leader tickets MUST be
   /// settled with exactly one Publish or Abandon; follower tickets
   /// MUST be settled with one Wait.
-  Ticket Attach(const std::string& key);
+  [[nodiscard]] Ticket Attach(const std::string& key);
 
   /// Leader only: shares the complete encoded response with every
   /// waiting follower and retires the flight. Later Attach(key) calls
@@ -95,15 +96,15 @@ class RunCoalescer {
   /// Follower only: blocks until the leader publishes, this follower
   /// is promoted, or `stop` fires. On kPromoted the ticket's role
   /// becomes kLeader and the settle obligation switches accordingly.
-  WaitResult Wait(Ticket* ticket, const StopSignal& stop);
+  [[nodiscard]] WaitResult Wait(Ticket* ticket, const StopSignal& stop);
 
-  Stats stats() const;
+  [[nodiscard]] Stats stats() const;
 
  private:
   mutable std::mutex mutex_;
   std::unordered_map<std::string, std::shared_ptr<Ticket::Flight>>
-      flights_;
-  Stats stats_;
+      flights_ CORROB_GUARDED_BY(mutex_);
+  Stats stats_ CORROB_GUARDED_BY(mutex_);
 };
 
 }  // namespace server

@@ -190,12 +190,12 @@ struct DaemonFlags {
 int RunDaemon(const std::vector<std::string>& args, std::ostream& out,
               std::ostream& err) {
   DaemonFlags flags;
-  if (Status parsed = ParseFlags(args, &flags); !parsed.ok()) {
+  if (const Status parsed = ParseFlags(args, &flags); !parsed.ok()) {
     err << "corrobd: " << parsed.ToString() << "\n";
     return 2;
   }
   if (!flags.failpoints.empty()) {
-    if (Status armed = Failpoints::ArmFromSpecList(flags.failpoints);
+    if (const Status armed = Failpoints::ArmFromSpecList(flags.failpoints);
         !armed.ok()) {
       err << "corrobd: " << armed.ToString() << "\n";
       return 2;
@@ -203,7 +203,7 @@ int RunDaemon(const std::vector<std::string>& args, std::ostream& out,
   }
 
   CorrobdServer daemon(flags.server);
-  if (Status started = daemon.Start(); !started.ok()) {
+  if (const Status started = daemon.Start(); !started.ok()) {
     err << "corrobd: " << started.ToString() << "\n";
     return 1;
   }
@@ -218,7 +218,7 @@ int RunDaemon(const std::vector<std::string>& args, std::ostream& out,
   ScopedShutdownHandlers signals(
       ScopedShutdownHandlers::Options{.token = &drain_token});
 
-  if (Status served = daemon.Serve(&drain_token); !served.ok()) {
+  if (const Status served = daemon.Serve(&drain_token); !served.ok()) {
     err << "corrobd: " << served.ToString() << "\n";
     return 1;
   }
@@ -232,7 +232,7 @@ int RunDaemon(const std::vector<std::string>& args, std::ostream& out,
 }  // namespace corrob
 
 int main(int argc, char** argv) {
-  std::vector<std::string> args(argv + 1, argv + argc);
+  const std::vector<std::string> args(argv + 1, argv + argc);
   return corrob::server::RunDaemon(
       args, std::cout, std::cerr);  // lint: io-ok: binary entry point
 }

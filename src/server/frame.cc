@@ -146,7 +146,8 @@ Result<Frame> DecodeFrame(std::string_view wire, size_t* consumed) {
         "truncated frame: header announces " + std::to_string(total) +
         " bytes, got " + std::to_string(wire.size()));
   }
-  std::string_view payload = wire.substr(kFrameHeaderBytes, payload_length);
+  const std::string_view payload =
+      wire.substr(kFrameHeaderBytes, payload_length);
   const uint32_t stored =
       GetU32(wire.data() + kFrameHeaderBytes + payload_length);
   const uint32_t computed = FrameChecksum(raw_type, payload);

@@ -44,10 +44,10 @@ enum class FrameType : uint8_t {
 };
 
 /// Stable lowercase name, e.g. "corroborate_request".
-std::string_view FrameTypeName(FrameType type);
+[[nodiscard]] std::string_view FrameTypeName(FrameType type);
 
 /// True when `raw` is one of the FrameType values.
-bool IsKnownFrameType(uint8_t raw);
+[[nodiscard]] bool IsKnownFrameType(uint8_t raw);
 
 inline constexpr uint32_t kFrameMagic = 0x31425243;  // "CRB1"
 /// Frame header: magic + type + payload length.
@@ -65,7 +65,7 @@ struct Frame {
 };
 
 /// Serializes `frame` (header + payload + checksum).
-std::string EncodeFrame(const Frame& frame);
+[[nodiscard]] std::string EncodeFrame(const Frame& frame);
 
 /// Decodes one complete frame from the front of `wire`. Typed errors:
 ///   ParseError       - bad magic, checksum mismatch, or `wire` is

@@ -282,9 +282,9 @@ std::string EncodeCorroborateResponse(
   PutU8(&out, response.termination);
   PutU32(&out, response.iterations);
   PutU32(&out, static_cast<uint32_t>(response.fact_probability.size()));
-  for (double p : response.fact_probability) PutF64(&out, p);
+  for (const double p : response.fact_probability) PutF64(&out, p);
   PutU32(&out, static_cast<uint32_t>(response.source_trust.size()));
-  for (double t : response.source_trust) PutF64(&out, t);
+  for (const double t : response.source_trust) PutF64(&out, t);
   return out;
 }
 

@@ -43,7 +43,7 @@ enum class Priority : uint8_t {
 inline constexpr int kNumPriorities = 3;
 
 /// Stable lowercase name, e.g. "interactive".
-std::string_view PriorityName(Priority priority);
+[[nodiscard]] std::string_view PriorityName(Priority priority);
 
 /// Parses "interactive" | "batch" | "best_effort" (and "besteffort").
 [[nodiscard]] Result<Priority> ParsePriority(std::string_view text);
@@ -77,9 +77,10 @@ struct CorroborateRequest {
 
 /// Encodes at the current version. The overload taking `version`
 /// exists for compatibility tests; version 1 drops tenant/options.
-std::string EncodeCorroborateRequest(const CorroborateRequest& request);
-std::string EncodeCorroborateRequest(const CorroborateRequest& request,
-                                     uint8_t version);
+[[nodiscard]] std::string EncodeCorroborateRequest(
+    const CorroborateRequest& request);
+[[nodiscard]] std::string EncodeCorroborateRequest(
+    const CorroborateRequest& request, uint8_t version);
 [[nodiscard]] Result<CorroborateRequest> DecodeCorroborateRequest(
     std::string_view payload);
 
@@ -96,7 +97,8 @@ struct CorroborateResponse {
   std::vector<double> source_trust;
 };
 
-std::string EncodeCorroborateResponse(const CorroborateResponse& response);
+[[nodiscard]] std::string EncodeCorroborateResponse(
+    const CorroborateResponse& response);
 [[nodiscard]] Result<CorroborateResponse> DecodeCorroborateResponse(
     std::string_view payload);
 
@@ -107,7 +109,7 @@ struct ErrorResponse {
   std::string message;
 };
 
-std::string EncodeErrorResponse(const ErrorResponse& response);
+[[nodiscard]] std::string EncodeErrorResponse(const ErrorResponse& response);
 [[nodiscard]] Result<ErrorResponse> DecodeErrorResponse(
     std::string_view payload);
 
@@ -120,7 +122,8 @@ struct OverloadedResponse {
   std::string message;
 };
 
-std::string EncodeOverloadedResponse(const OverloadedResponse& response);
+[[nodiscard]] std::string EncodeOverloadedResponse(
+    const OverloadedResponse& response);
 [[nodiscard]] Result<OverloadedResponse> DecodeOverloadedResponse(
     std::string_view payload);
 
@@ -134,7 +137,7 @@ struct QuotaExceededResponse {
   std::string message;
 };
 
-std::string EncodeQuotaExceededResponse(
+[[nodiscard]] std::string EncodeQuotaExceededResponse(
     const QuotaExceededResponse& response);
 [[nodiscard]] Result<QuotaExceededResponse> DecodeQuotaExceededResponse(
     std::string_view payload);
@@ -162,7 +165,7 @@ struct BatchRequest {
   std::vector<BatchItem> items;
 };
 
-std::string EncodeBatchRequest(const BatchRequest& request);
+[[nodiscard]] std::string EncodeBatchRequest(const BatchRequest& request);
 [[nodiscard]] Result<BatchRequest> DecodeBatchRequest(
     std::string_view payload);
 
@@ -179,7 +182,7 @@ struct BatchResponse {
   std::vector<BatchItemResponse> items;
 };
 
-std::string EncodeBatchResponse(const BatchResponse& response);
+[[nodiscard]] std::string EncodeBatchResponse(const BatchResponse& response);
 [[nodiscard]] Result<BatchResponse> DecodeBatchResponse(
     std::string_view payload);
 
@@ -190,7 +193,7 @@ struct ReloadRequest {
   std::string dataset;
 };
 
-std::string EncodeReloadRequest(const ReloadRequest& request);
+[[nodiscard]] std::string EncodeReloadRequest(const ReloadRequest& request);
 [[nodiscard]] Result<ReloadRequest> DecodeReloadRequest(
     std::string_view payload);
 
@@ -200,7 +203,7 @@ struct ReloadResponse {
   uint64_t generation = 0;
 };
 
-std::string EncodeReloadResponse(const ReloadResponse& response);
+[[nodiscard]] std::string EncodeReloadResponse(const ReloadResponse& response);
 [[nodiscard]] Result<ReloadResponse> DecodeReloadResponse(
     std::string_view payload);
 

@@ -146,7 +146,7 @@ TenantQuotas::Stats TenantQuotas::stats() const {
 
 TenantLimits TenantQuotas::LimitsFor(const std::string& tenant) const {
   std::lock_guard<std::mutex> lock(mutex_);
-  auto it = tenants_.find(tenant);
+  const auto it = tenants_.find(tenant);
   if (it != tenants_.end() && it->second.has_override) {
     return it->second.limits;
   }

@@ -7,6 +7,7 @@
 #include <mutex>
 #include <string>
 
+#include "common/thread_annotations.h"
 #include "obs/clock.h"
 
 // Per-tenant quotas for corrobd. Each tenant id (the `tenant` field
@@ -71,12 +72,13 @@ class TenantQuotas {
 
   /// Charges `units` tokens from the tenant's rate bucket (a batch of
   /// N items charges N). Either all units are taken or none.
-  QuotaDecision ChargeRate(const std::string& tenant, int units);
+  [[nodiscard]] QuotaDecision ChargeRate(const std::string& tenant,
+                                         int units);
 
   /// Claims one concurrent-run slot; pair every success with
   /// ExitRun(). Cache hits and coalesced followers do not hold slots
   /// (they cost the daemon no work).
-  QuotaDecision TryEnterRun(const std::string& tenant);
+  [[nodiscard]] QuotaDecision TryEnterRun(const std::string& tenant);
   void ExitRun(const std::string& tenant);
 
   /// Monotonic counters across all tenants.
@@ -84,10 +86,10 @@ class TenantQuotas {
     int64_t rate_rejections = 0;
     int64_t slot_rejections = 0;
   };
-  Stats stats() const;
+  [[nodiscard]] Stats stats() const;
 
   /// Current effective limits (override or default) for `tenant`.
-  TenantLimits LimitsFor(const std::string& tenant) const;
+  [[nodiscard]] TenantLimits LimitsFor(const std::string& tenant) const;
 
  private:
   struct Bucket {
@@ -99,13 +101,13 @@ class TenantQuotas {
   };
 
   /// Caller holds mutex_.
-  Bucket& BucketFor(const std::string& tenant);
+  Bucket& BucketFor(const std::string& tenant) CORROB_REQUIRES(mutex_);
 
   QuotaOptions options_;
   const obs::Clock* clock_;
   mutable std::mutex mutex_;
-  std::map<std::string, Bucket> tenants_;
-  Stats stats_;
+  std::map<std::string, Bucket> tenants_ CORROB_GUARDED_BY(mutex_);
+  Stats stats_ CORROB_GUARDED_BY(mutex_);
 };
 
 }  // namespace server

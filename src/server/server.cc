@@ -102,10 +102,9 @@ struct CorrobdServer::Connection {
   std::atomic<bool> done{false};
 
   std::mutex mutex;
-  /// Token of the request this connection is executing, or null.
-  /// Guarded by `mutex`; the watcher cancels through it when the
-  /// peer vanishes.
-  CancellationToken* active_request = nullptr;
+  /// Token of the request this connection is executing, or null; the
+  /// watcher cancels through it when the peer vanishes.
+  CancellationToken* active_request CORROB_GUARDED_BY(mutex) = nullptr;
 };
 
 CorrobdServer::CorrobdServer(ServerOptions options)
@@ -154,8 +153,14 @@ Status CorrobdServer::Start() {
     auto served = std::make_unique<ServedDataset>();
     served->name = name;
     served->path = path;
-    served->dataset =
-        std::make_shared<const Dataset>(std::move(loaded.dataset));
+    {
+      // No other thread exists yet, but the guard on `dataset` is
+      // unconditional; the uncontended lock keeps the discipline
+      // checkable instead of special-cased.
+      std::lock_guard<std::mutex> lock(served->mutex);
+      served->dataset =
+          std::make_shared<const Dataset>(std::move(loaded.dataset));
+    }
     datasets_.push_back(std::move(served));
   }
   std::sort(datasets_.begin(), datasets_.end(),
@@ -331,7 +336,7 @@ void CorrobdServer::RunConnection(Connection* connection) {
     }
     if (!next.ValueOrDie().has_value()) break;  // clean goodbye
     const Frame& frame = *next.ValueOrDie();
-    Status handled = HandleFrame(connection, frame.type, frame.payload);
+    const Status handled = HandleFrame(connection, frame.type, frame.payload);
     if (!handled.ok()) break;
   }
   connection->fd.Reset();
@@ -615,7 +620,7 @@ CorrobdServer::SubResponse CorrobdServer::ExecuteOne(
     const int64_t run_started = clock_->NowNanos();
     Result<CorroborationResult> run =
         Status::Internal("request failpoint");
-    Status injected = Failpoints::Check("server.request.fail");
+    const Status injected = Failpoints::Check("server.request.fail");
     if (injected.ok()) {
       run = corroborator.ValueOrDie()->Run(*data, context);
     } else {

@@ -15,6 +15,7 @@
 #include "common/result.h"
 #include "common/socket.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "data/dataset.h"
 #include "obs/clock.h"
 #include "server/admission.h"
@@ -78,7 +79,7 @@ struct ServedDataset {
   std::string name;
   std::string path;
   mutable std::mutex mutex;
-  std::shared_ptr<const Dataset> dataset;
+  std::shared_ptr<const Dataset> dataset CORROB_GUARDED_BY(mutex);
   std::atomic<uint64_t> generation{1};
 };
 
@@ -104,16 +105,18 @@ class CorrobdServer {
 
   /// Datasets resident after Start(), sorted by name (for startup
   /// logs and tests).
-  std::vector<std::string> dataset_names() const;
+  [[nodiscard]] std::vector<std::string> dataset_names() const;
 
-  const ServerOptions& options() const { return options_; }
-  const AdmissionController& admission() const { return *admission_; }
-  const ResultCache& cache() const { return *cache_; }
-  const RunCoalescer& coalescer() const { return coalescer_; }
-  const TenantQuotas& quotas() const { return *quotas_; }
+  [[nodiscard]] const ServerOptions& options() const { return options_; }
+  [[nodiscard]] const AdmissionController& admission() const {
+    return *admission_;
+  }
+  [[nodiscard]] const ResultCache& cache() const { return *cache_; }
+  [[nodiscard]] const RunCoalescer& coalescer() const { return coalescer_; }
+  [[nodiscard]] const TenantQuotas& quotas() const { return *quotas_; }
 
   /// Requests fully served (any response frame written).
-  int64_t responses_sent() const {
+  [[nodiscard]] int64_t responses_sent() const {
     return responses_sent_.load(std::memory_order_relaxed);
   }
 
@@ -175,8 +178,9 @@ class CorrobdServer {
   /// `charge_rate` (standalone requests), the tenant's rate bucket is
   /// charged one token up front; batch items are pre-charged by
   /// HandleBatch.
-  SubResponse ExecuteOne(Connection* connection, const SubRequest& request,
-                         bool charge_rate);
+  [[nodiscard]] SubResponse ExecuteOne(Connection* connection,
+                                       const SubRequest& request,
+                                       bool charge_rate);
 
   /// Re-reads `served` from its startup path. On success the new data
   /// is swapped in, the generation bumps, and cached results for the
@@ -187,7 +191,7 @@ class CorrobdServer {
   /// request whose client closed its end of the socket.
   void WatchDisconnects();
 
-  ServedDataset* FindDataset(const std::string& name) const;
+  [[nodiscard]] ServedDataset* FindDataset(const std::string& name) const;
 
   /// Stop signal for response writes: a bounded write deadline and
   /// nothing else, so a request cut short by its own deadline — or by
@@ -221,7 +225,8 @@ class CorrobdServer {
   std::atomic<bool> stopping_{false};
 
   mutable std::mutex connections_mutex_;
-  std::vector<std::unique_ptr<Connection>> connections_;
+  std::vector<std::unique_ptr<Connection>> connections_
+      CORROB_GUARDED_BY(connections_mutex_);
 
   std::atomic<int64_t> responses_sent_{0};
 };

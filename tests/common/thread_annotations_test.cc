@@ -1,0 +1,76 @@
+// Smoke test that common/thread_annotations.h works as a standalone
+// include on every supported compiler: the macros must expand to valid
+// attributes under Clang and to nothing elsewhere, with no other
+// header pulled in first. The include below is deliberately the first
+// thing in this TU (before gtest) so a hidden dependency on another
+// header would fail to compile.
+#include "common/thread_annotations.h"
+
+#include <mutex>
+
+#include "gtest/gtest.h"
+
+namespace corrob {
+namespace {
+
+// One use of every macro the header defines. Compiling (and under
+// Clang: compiling without -Wthread-safety complaints) is the test.
+class CORROB_CAPABILITY("mutex") AnnotatedMutex {
+ public:
+  void Lock() CORROB_ACQUIRE() { inner_.lock(); }
+  void Unlock() CORROB_RELEASE() { inner_.unlock(); }
+  std::mutex& inner() CORROB_RETURN_CAPABILITY(this) { return inner_; }
+
+ private:
+  std::mutex inner_;
+};
+
+class CORROB_SCOPED_CAPABILITY AnnotatedLock {
+ public:
+  explicit AnnotatedLock(AnnotatedMutex& mutex) CORROB_ACQUIRE(mutex)
+      : mutex_(mutex) {
+    mutex_.Lock();
+  }
+  ~AnnotatedLock() CORROB_RELEASE() { mutex_.Unlock(); }
+
+ private:
+  AnnotatedMutex& mutex_;
+};
+
+class Annotated {
+ public:
+  void Set(int value) CORROB_EXCLUDES(mutex_) {
+    AnnotatedLock lock(mutex_);
+    guarded_ = value;
+    *pt_guarded_ = value;
+  }
+
+  int GetLocked() const CORROB_REQUIRES(mutex_) { return guarded_; }
+
+  int Peek() const CORROB_NO_THREAD_SAFETY_ANALYSIS { return guarded_; }
+
+ private:
+  mutable AnnotatedMutex mutex_;
+  int guarded_ CORROB_GUARDED_BY(mutex_) = 0;
+  int storage_ = 0;
+  int* pt_guarded_ CORROB_PT_GUARDED_BY(mutex_) = &storage_;
+};
+
+TEST(ThreadAnnotationsTest, AnnotatedCodeRunsCorrectly) {
+  Annotated annotated;
+  annotated.Set(42);
+  EXPECT_EQ(annotated.Peek(), 42);
+}
+
+TEST(ThreadAnnotationsTest, MacrosAreInertOrAttributes) {
+  // Under GCC every CORROB_* macro above expanded to nothing; under
+  // Clang they expanded to real attributes. Either way this TU built,
+  // which is the property the serving headers rely on.
+  AnnotatedMutex mutex;
+  mutex.Lock();
+  mutex.Unlock();
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace corrob

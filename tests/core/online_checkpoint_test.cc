@@ -319,6 +319,20 @@ TEST(OnlineCheckpointTest, InjectedSaveFaultLeavesOldSnapshotIntact) {
   std::remove(path.c_str());
 }
 
+TEST(OnlineCheckpointTest, InterruptCheckpointPathKeepsFullSuffix) {
+  // Regression: the suffix buffer used to be one byte short, so the
+  // formatted ".interrupt-<crc32>.snap" lost its final character and
+  // interrupt checkpoints landed on ".sna" paths.
+  const std::string path =
+      DeriveInterruptCheckpointPath("in.csv", "out.csv");
+  ASSERT_GE(path.size(), 5u);
+  EXPECT_EQ(path.substr(path.size() - 5), ".snap");
+  EXPECT_EQ(path.size(), std::string("out.csv").size() + 11 + 8 + 5);
+  // Different input paths against the same output stem must still get
+  // distinct checkpoint files.
+  EXPECT_NE(path, DeriveInterruptCheckpointPath("other.csv", "out.csv"));
+}
+
 TEST(OnlineCheckpointTest, RetryMasksTransientSaveFault) {
   ScopedFailpointDisarmer disarmer;
   std::string path = ::testing::TempDir() + "/corrob_snapshot_retry.snap";

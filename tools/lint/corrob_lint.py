@@ -35,14 +35,30 @@ we want flagged before a compiler ever runs):
                         and trailing rationale.
   bad-suppression       A `// lint:` comment that does not parse, names an
                         unknown rule tag, or omits the rationale.
+  unguarded-mutex       A std::mutex member declared in src/ with no
+                        CORROB_GUARDED_BY / CORROB_REQUIRES (etc.) user
+                        naming it anywhere in the file. Every lock must
+                        state what it protects (common/thread_annotations.h).
+  manual-lock           Raw `.lock()` / `.unlock()` on a mutex instead of
+                        RAII lock_guard/unique_lock/scoped_lock. Early
+                        release through a unique_lock variable is fine.
+  cv-wait-predicate     condition_variable wait/wait_for/wait_until called
+                        without a predicate overload — a bare wait is
+                        lost-wakeup- and spurious-wakeup-prone. Bounded
+                        poll slices that re-check a StopSignal suppress
+                        with a rationale.
+  blocking-under-lock   A known blocking call (frame/socket I/O, WaitForMs,
+                        Retry) made lexically inside a RAII lock scope.
+                        Blocking while holding a mutex stalls every other
+                        thread that needs it.
 
 Suppression grammar (same line as the violation, or alone on the line
 directly above it):
 
     // lint: <tag>-ok: <reason>
 
-where <tag> is one of discard, nondet, io, new, include, guard and
-<reason> is non-empty free text. Example:
+where <tag> is one of discard, nondet, io, new, include, guard, mutex,
+lock, cvwait, blocking and <reason> is non-empty free text. Example:
 
     (void)Failpoints::Disarm(name);  // lint: discard-ok: best-effort cleanup
 
@@ -72,6 +88,10 @@ RULES = {
     "guard-style": "missing/incorrect CORROB_*_H_ include guard or #pragma once",
     "bare-nolint": "NOLINT without a check list and trailing rationale",
     "bad-suppression": "malformed `// lint:` suppression comment",
+    "unguarded-mutex": "mutex member with no CORROB_GUARDED_BY/REQUIRES user",
+    "manual-lock": "manual .lock()/.unlock() instead of an RAII lock",
+    "cv-wait-predicate": "condition_variable wait without a predicate",
+    "blocking-under-lock": "blocking call made while a RAII lock is held",
 }
 
 # Suppression tag accepted by each suppressible rule.
@@ -84,6 +104,10 @@ RULE_TAG = {
     "naked-new": "new",
     "include-order": "include",
     "guard-style": "guard",
+    "unguarded-mutex": "mutex",
+    "manual-lock": "lock",
+    "cv-wait-predicate": "cvwait",
+    "blocking-under-lock": "blocking",
 }
 KNOWN_TAGS = set(RULE_TAG.values())
 
@@ -619,6 +643,195 @@ def check_discards(sf: SourceFile, sup: Suppressions, status_fns,
 
 
 # --------------------------------------------------------------------------
+# Concurrency rules (lexical complements to Clang -Wthread-safety)
+# --------------------------------------------------------------------------
+
+MUTEX_DECL_RE = re.compile(
+    r"\b(?:mutable\s+)?std\s*::\s*"
+    r"(?:shared_|recursive_|timed_|recursive_timed_)?mutex\s+"
+    r"([A-Za-z_]\w*)\s*;")
+
+# Any capability annotation whose argument list names the mutex counts
+# as a "user": the mutex then states what it protects.
+ANNOTATION_USE_RE = re.compile(
+    r"\bCORROB_(?:GUARDED_BY|PT_GUARDED_BY|REQUIRES|REQUIRES_SHARED|"
+    r"ACQUIRE|RELEASE|EXCLUDES|RETURN_CAPABILITY)\s*\(([^)]*)\)")
+
+RAII_LOCK_DECL_RE = re.compile(
+    r"\bstd\s*::\s*(?:lock_guard|unique_lock|scoped_lock|shared_lock)\s*<")
+
+# Adoptable wrappers whose .lock()/.unlock() is deliberate deferred /
+# early release, not a raw mutex operation.
+ADOPTABLE_LOCK_DECL_RE = re.compile(
+    r"\bstd\s*::\s*(?:unique_lock|shared_lock)\s*<[^;{}>]*>\s+"
+    r"([A-Za-z_]\w*)")
+
+MANUAL_LOCK_RE = re.compile(
+    r"\b([A-Za-z_]\w*)\s*(?:\.|->)\s*(lock|unlock|try_lock)\s*\(")
+
+CV_DECL_RE = re.compile(
+    r"\bstd\s*::\s*condition_variable(?:_any)?\s+([A-Za-z_]\w*)\s*;")
+
+CV_WAIT_RE = re.compile(
+    r"\b([A-Za-z_]\w*)\s*\.\s*(wait|wait_for|wait_until)\s*\(")
+
+# Calls that can block the calling thread for macroscopic time: frame
+# and socket I/O, the interruptible sleep, and the retry loop. Holding
+# a mutex across any of these stalls every thread that needs it.
+BLOCKING_CALL_RE = re.compile(
+    r"\b(ReadFrameOrEof|ReadFrame|WriteFrame|AcceptWithStop|ReadFull|"
+    r"WriteAll|WaitForMs|Retry)\s*\(")
+
+
+def collect_cv_names(files) -> set:
+    """Names of condition_variable members/locals declared anywhere in
+    the tree. A member cv is declared in the header but waited on in
+    the .cc, so this pass is tree-wide like collect_status_returning."""
+    names = set()
+    for sf in files:
+        for code in sf.code_lines:
+            names.update(CV_DECL_RE.findall(code))
+    return names
+
+
+def _top_level_comma_count(text: str, open_pos: int):
+    """Counts top-level commas in the balanced parens starting at
+    `open_pos` (which must index a '('). Returns (count, found_close);
+    lambda braces nest like parens for the purpose of "top level"."""
+    depth = 0
+    commas = 0
+    for i in range(open_pos, len(text)):
+        ch = text[i]
+        if ch in "([{":
+            depth += 1
+        elif ch in ")]}":
+            depth -= 1
+            if depth == 0:
+                return commas, True
+        elif ch == "," and depth == 1:
+            commas += 1
+    return commas, False
+
+
+def check_concurrency(sf: SourceFile, sup: Suppressions, cv_names,
+                      out: list[Violation]):
+    """The four lexical lock-discipline rules. They complement the Clang
+    thread-safety analysis (docs/STATIC_ANALYSIS.md): Clang proves the
+    annotated guards, these catch what analysis can't see — missing
+    annotations, manual lock calls, predicate-less cv waits, and
+    blocking work inside a critical section."""
+    if not sf.path.startswith("src/"):
+        return
+    if sf.path == "src/common/thread_annotations.h":
+        return  # the macro definitions themselves
+
+    joined = "\n".join(sf.code_lines)
+    line_starts = []
+    pos = 0
+    for code in sf.code_lines:
+        line_starts.append(pos)
+        pos += len(code) + 1
+
+    def line_of(offset: int) -> int:
+        lo, hi = 0, len(line_starts) - 1
+        while lo < hi:
+            mid = (lo + hi + 1) // 2
+            if line_starts[mid] <= offset:
+                lo = mid
+            else:
+                hi = mid - 1
+        return lo + 1
+
+    # unguarded-mutex: every mutex member must be named by at least one
+    # capability annotation somewhere in the file.
+    annotated = set()
+    for m in ANNOTATION_USE_RE.finditer(joined):
+        annotated.update(re.findall(r"[A-Za-z_]\w*", m.group(1)))
+    for m in MUTEX_DECL_RE.finditer(joined):
+        name = m.group(1)
+        lineno = line_of(m.start())
+        if name in annotated:
+            continue
+        if not sup.active("unguarded-mutex", lineno):
+            out.append(Violation(
+                sf.path, lineno, "unguarded-mutex",
+                f"mutex '{name}' has no CORROB_GUARDED_BY/CORROB_REQUIRES "
+                "user: annotate what it protects "
+                "(common/thread_annotations.h)"))
+
+    # manual-lock: .lock()/.unlock()/.try_lock() on anything that is not
+    # a unique_lock/shared_lock variable declared in this file.
+    adoptable = set(ADOPTABLE_LOCK_DECL_RE.findall(joined))
+    for m in MANUAL_LOCK_RE.finditer(joined):
+        receiver, method = m.group(1), m.group(2)
+        if receiver in adoptable:
+            continue
+        lineno = line_of(m.start())
+        if not sup.active("manual-lock", lineno):
+            out.append(Violation(
+                sf.path, lineno, "manual-lock",
+                f"manual {receiver}.{method}(): use std::lock_guard/"
+                "std::unique_lock/std::scoped_lock so the unlock is "
+                "exception- and early-return-safe"))
+
+    # cv-wait-predicate: bare waits on known condition variables.
+    # wait(lock) has 1 argument, the predicate overloads have 2 (wait)
+    # or 3 (wait_for/wait_until).
+    for m in CV_WAIT_RE.finditer(joined):
+        receiver, method = m.group(1), m.group(2)
+        if receiver not in cv_names:
+            continue
+        open_pos = joined.index("(", m.end() - 1)
+        commas, closed = _top_level_comma_count(joined, open_pos)
+        if not closed:
+            continue
+        want = 1 if method == "wait" else 2
+        if commas >= want:
+            continue
+        lineno = line_of(m.start())
+        if not sup.active("cv-wait-predicate", lineno):
+            out.append(Violation(
+                sf.path, lineno, "cv-wait-predicate",
+                f"{receiver}.{method}() without a predicate: spurious "
+                "wakeups make a bare wait a latent hang — pass the "
+                "condition as a lambda (bounded poll slices that re-check "
+                "a stop signal suppress with `// lint: cvwait-ok: <why>`)"))
+
+    # blocking-under-lock: a blocking call lexically inside the brace
+    # scope opened at or after an RAII lock declaration.
+    lock_depths: list[int] = []
+    depth = 0
+    for idx, code in enumerate(sf.code_lines):
+        lineno = idx + 1
+        events = []
+        for m in RAII_LOCK_DECL_RE.finditer(code):
+            events.append((m.start(), "lock", None))
+        for m in BLOCKING_CALL_RE.finditer(code):
+            events.append((m.start(), "call", m.group(1)))
+        events.sort()
+        event_i = 0
+        for col, ch in enumerate(code):
+            while event_i < len(events) and events[event_i][0] == col:
+                _, kind, name = events[event_i]
+                event_i += 1
+                if kind == "lock":
+                    lock_depths.append(depth)
+                elif lock_depths and not sup.active(
+                        "blocking-under-lock", lineno):
+                    out.append(Violation(
+                        sf.path, lineno, "blocking-under-lock",
+                        f"{name}() can block while a RAII lock is held: "
+                        "move the blocking work outside the critical "
+                        "section (or `// lint: blocking-ok: <why>`)"))
+            if ch == "{":
+                depth += 1
+            elif ch == "}":
+                depth -= 1
+                while lock_depths and depth < lock_depths[-1]:
+                    lock_depths.pop()
+
+
+# --------------------------------------------------------------------------
 # Driver
 # --------------------------------------------------------------------------
 
@@ -658,12 +871,14 @@ def run_lint(root: str, only_paths=None) -> list[Violation]:
     # single file still knows every Status-returning name.
     decl_files = files if only_paths is None else gather_files(root)
     status_fns = collect_status_returning(decl_files)
+    cv_names = collect_cv_names(decl_files)
 
     violations: list[Violation] = []
     for sf in files:
         sup = Suppressions(sf, violations)
         check_text_rules(sf, sup, violations)
         check_discards(sf, sup, status_fns, violations)
+        check_concurrency(sf, sup, cv_names, violations)
 
     known_headers = {sf.path for sf in decl_files}
     for sf in files:
@@ -674,6 +889,18 @@ def run_lint(root: str, only_paths=None) -> list[Violation]:
     return violations
 
 
+def render_summary(violations: list[Violation]) -> str:
+    """Per-rule count table, widest-count-first, for CI failure logs."""
+    counts: dict[str, int] = {}
+    for violation in violations:
+        counts[violation.rule] = counts.get(violation.rule, 0) + 1
+    width = max(len(rule) for rule in counts)
+    lines = ["", "corrob_lint summary (violations by rule):"]
+    for rule, count in sorted(counts.items(), key=lambda kv: (-kv[1], kv[0])):
+        lines.append(f"  {rule:<{width}}  {count:>4}")
+    return "\n".join(lines)
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="corrob_lint",
@@ -682,6 +909,9 @@ def main(argv=None) -> int:
                         help="repository root (default: cwd)")
     parser.add_argument("--list-rules", action="store_true",
                         help="print rule IDs and exit")
+    parser.add_argument("--summary", action="store_true",
+                        help="on failure, append a per-rule violation-count "
+                             "table after the raw lines (used by CI)")
     parser.add_argument("paths", nargs="*",
                         help="lint only these files (default: src/ and tests/)")
     args = parser.parse_args(argv)
@@ -701,6 +931,8 @@ def main(argv=None) -> int:
     for violation in violations:
         print(violation.render())
     if violations:
+        if args.summary:
+            print(render_summary(violations), file=sys.stderr)
         print(f"corrob_lint: {len(violations)} violation(s)", file=sys.stderr)
         return 1
     return 0

@@ -46,6 +46,15 @@ EXPECTED = [
     ("src/core/bad_suppression.cc", 14, "undocumented-discard"),
     ("src/core/bad_suppression.cc", 15, "bad-suppression"),
     ("src/core/bad_suppression.cc", 15, "undocumented-discard"),
+    ("src/server/bad_blocking_under_lock.cc", 22, "blocking-under-lock"),
+    ("src/server/bad_blocking_under_lock.cc", 27, "blocking-under-lock"),
+    ("src/server/bad_cv_wait.cc", 18, "cv-wait-predicate"),
+    ("src/server/bad_cv_wait.cc", 23, "cv-wait-predicate"),
+    ("src/server/bad_manual_lock.cc", 15, "manual-lock"),
+    ("src/server/bad_manual_lock.cc", 17, "manual-lock"),
+    ("src/server/bad_manual_lock.cc", 21, "manual-lock"),
+    ("src/server/bad_unguarded_mutex.h", 19, "unguarded-mutex"),
+    ("src/server/bad_unguarded_mutex.h", 24, "unguarded-mutex"),
 ]
 
 
@@ -73,6 +82,22 @@ class FixtureCorpusTest(unittest.TestCase):
         lines = {(v.path, v.line) for v in self.violations}
         self.assertNotIn(("src/core/bad_nondet.cc", 25), lines)
         self.assertNotIn(("src/core/bad_discard.cc", 35), lines)
+
+    def test_concurrency_suppressions_do_not_fire(self):
+        # Each concurrency fixture carries one suppressed occurrence:
+        # mutex-ok (bad_unguarded_mutex.h:37), lock-ok
+        # (bad_manual_lock.cc:23), cvwait-ok (bad_cv_wait.cc:34),
+        # blocking-ok (bad_blocking_under_lock.cc:41).
+        lines = {(v.path, v.line) for v in self.violations}
+        self.assertNotIn(("src/server/bad_unguarded_mutex.h", 37), lines)
+        self.assertNotIn(("src/server/bad_manual_lock.cc", 23), lines)
+        self.assertNotIn(("src/server/bad_cv_wait.cc", 34), lines)
+        self.assertNotIn(("src/server/bad_blocking_under_lock.cc", 41), lines)
+
+    def test_raii_early_release_is_not_flagged(self):
+        # unique_lock::unlock() (bad_manual_lock.cc:30) is sanctioned.
+        lines = {(v.path, v.line) for v in self.violations}
+        self.assertNotIn(("src/server/bad_manual_lock.cc", 30), lines)
 
 
 def lex(text, path="src/core/x.cc"):
@@ -174,6 +199,95 @@ class DeclarationScanTest(unittest.TestCase):
         self.assertIn("Load", names)
         self.assertIn("Weights", names)
         self.assertNotIn("NotCollected", names)
+
+    def test_cv_names_are_collected_tree_wide(self):
+        header = lex("std::condition_variable slot_freed_;\n",
+                     path="src/server/x.h")
+        other = lex("std::condition_variable_any any_cv_;\n"
+                    "std::mutex not_a_cv_;\n")
+        names = corrob_lint.collect_cv_names([header, other])
+        self.assertIn("slot_freed_", names)
+        self.assertIn("any_cv_", names)
+        self.assertNotIn("not_a_cv_", names)
+
+
+class ConcurrencyHelperTest(unittest.TestCase):
+    def test_top_level_comma_count(self):
+        count = corrob_lint._top_level_comma_count
+        self.assertEqual(count("(lock)", 0), (0, True))
+        self.assertEqual(count("(lock, ms)", 0), (1, True))
+        self.assertEqual(count("(lock, ms, [&] { return a, b; })", 0),
+                         (2, True))
+        self.assertEqual(count("(f(a, b))", 0), (0, True))
+        self.assertEqual(count("(unclosed", 0), (0, False))
+
+    def run_concurrency(self, text, path="src/server/x.cc"):
+        sf = lex(text, path=path)
+        sup = corrob_lint.Suppressions(sf, [])
+        cv_names = corrob_lint.collect_cv_names([sf])
+        out = []
+        corrob_lint.check_concurrency(sf, sup, cv_names, out)
+        return out
+
+    def test_member_cv_wait_across_files_uses_global_names(self):
+        # The cv is declared in a header; the bare wait in the .cc must
+        # still fire because cv names are collected tree-wide.
+        header = lex("std::condition_variable slot_freed_;\n",
+                     path="src/server/x.h")
+        cc = lex("void F() {\n"
+                 "  std::unique_lock<std::mutex> lock(mutex_);\n"
+                 "  slot_freed_.wait(lock);\n"
+                 "}\n", path="src/server/x.cc")
+        cv_names = corrob_lint.collect_cv_names([header, cc])
+        out = []
+        corrob_lint.check_concurrency(
+            cc, corrob_lint.Suppressions(cc, []), cv_names, out)
+        self.assertEqual([(v.line, v.rule) for v in out],
+                         [(3, "cv-wait-predicate")])
+
+    def test_lock_scope_ends_at_closing_brace(self):
+        out = self.run_concurrency(
+            "void F(const Token& t) {\n"
+            "  {\n"
+            "    std::lock_guard<std::mutex> lock(annotated_);\n"
+            "  }\n"
+            "  t.WaitForMs(5);\n"
+            "}\n"
+            "int x CORROB_GUARDED_BY(annotated_);\n"
+            "std::mutex annotated_;\n")
+        self.assertEqual(out, [])
+
+    def test_non_src_paths_are_skipped(self):
+        out = self.run_concurrency(
+            "std::mutex naked_;\n", path="tests/server/x.cc")
+        self.assertEqual(out, [])
+
+
+class SummaryTest(unittest.TestCase):
+    def test_render_summary_counts_by_rule(self):
+        V = corrob_lint.Violation
+        text = corrob_lint.render_summary([
+            V("a.cc", 1, "manual-lock", "m"),
+            V("a.cc", 2, "manual-lock", "m"),
+            V("b.h", 3, "unguarded-mutex", "m"),
+        ])
+        lines = text.splitlines()
+        self.assertIn("corrob_lint summary (violations by rule):", lines)
+        # Highest count first, then alphabetical.
+        self.assertRegex(lines[-2], r"^  manual-lock\s+2$")
+        self.assertRegex(lines[-1], r"^  unguarded-mutex\s+1$")
+
+    def test_summary_flag_prints_table_on_failure(self):
+        import contextlib
+        import io
+        err = io.StringIO()
+        with contextlib.redirect_stdout(io.StringIO()), \
+                contextlib.redirect_stderr(err):
+            status = corrob_lint.main(
+                ["--root", FIXTURES, "--summary"])
+        self.assertEqual(status, 1)
+        self.assertIn("corrob_lint summary (violations by rule):",
+                      err.getvalue())
 
 
 if __name__ == "__main__":

@@ -1,0 +1,51 @@
+// Fixture for the blocking-under-lock rule: frame/socket I/O, the
+// interruptible sleep and the retry loop can block for macroscopic
+// time; doing so inside a RAII lock scope stalls every thread that
+// needs the mutex.
+
+#include <mutex>
+#include <string>
+
+#include "common/thread_annotations.h"
+
+namespace corrob {
+
+struct FakeToken {
+  bool WaitForMs(int ms) const;
+};
+
+class BlockingHolder {
+ public:
+  void BadWriteUnderLock(int fd, const std::string& payload) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++writes_;
+    WriteFrame(fd, payload);
+  }
+
+  void BadSleepUnderLock(const FakeToken& token) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    token.WaitForMs(50);
+  }
+
+  void GoodWriteOutsideLock(int fd, const std::string& payload) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++writes_;
+    }
+    WriteFrame(fd, payload);
+  }
+
+  void SanctionedProbeUnderLock(const FakeToken& token) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    // lint: blocking-ok: fixture exercising the suppression grammar.
+    token.WaitForMs(0);
+  }
+
+ private:
+  void WriteFrame(int fd, const std::string& payload);
+
+  std::mutex mutex_;
+  int writes_ CORROB_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace corrob

@@ -1,0 +1,43 @@
+// Fixture for the cv-wait-predicate rule: a condition_variable wait
+// without a predicate overload silently tolerates spurious wakeups and
+// lost notifications. Bounded poll slices that re-check a stop signal
+// are the one sanctioned exception, suppressed with a rationale.
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+namespace corrob {
+
+class Waiter {
+ public:
+  void BareWait() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    ready_cv_.wait(lock);
+  }
+
+  void BareTimedWait() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    ready_cv_.wait_for(lock, std::chrono::milliseconds(10));
+  }
+
+  void PredicateWait() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    ready_cv_.wait(lock, [this] { return ready_; });
+  }
+
+  void SanctionedPollSlice() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    // lint: cvwait-ok: fixture exercising the suppression grammar.
+    ready_cv_.wait_for(lock, std::chrono::milliseconds(5));
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable ready_cv_;
+  bool ready_ CORROB_GUARDED_BY(mutex_) = false;
+};
+
+}  // namespace corrob

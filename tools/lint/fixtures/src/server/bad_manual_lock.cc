@@ -1,0 +1,38 @@
+// Fixture for the manual-lock rule: raw .lock()/.unlock() on a mutex
+// is exception- and early-return-unsafe; critical sections are spelled
+// with std::lock_guard / std::unique_lock / std::scoped_lock. Early
+// release through a unique_lock variable is the sanctioned exception.
+
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+namespace corrob {
+
+class ManualLocker {
+ public:
+  void Bad() {
+    mutex_.lock();
+    ++count_;
+    mutex_.unlock();
+  }
+
+  void StillBad() {
+    if (mutex_.try_lock()) {
+      ++count_;
+      mutex_.unlock();  // lint: lock-ok: fixture exercising the suppression grammar.
+    }
+  }
+
+  void Good() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    ++count_;
+    lock.unlock();  // early release of an RAII wrapper: sanctioned
+  }
+
+ private:
+  std::mutex mutex_;
+  int count_ CORROB_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace corrob

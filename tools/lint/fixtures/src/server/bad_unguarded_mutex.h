@@ -1,0 +1,42 @@
+// Fixture for the unguarded-mutex rule: every std::mutex member must
+// be named by at least one CORROB_GUARDED_BY / CORROB_REQUIRES (etc.)
+// annotation, so the lock states what it protects.
+#ifndef CORROB_SERVER_BAD_UNGUARDED_MUTEX_H_
+#define CORROB_SERVER_BAD_UNGUARDED_MUTEX_H_
+
+#include <mutex>
+#include <vector>
+
+#include "common/thread_annotations.h"
+
+namespace corrob {
+
+class NoGuardUser {
+ public:
+  void Push(int v);
+
+ private:
+  std::mutex queue_mutex_;
+  std::vector<int> values_;  // should be CORROB_GUARDED_BY(queue_mutex_)
+};
+
+struct AlsoUnguarded {
+  mutable std::mutex mu;
+  int count = 0;
+};
+
+class ProperlyGuarded {
+ private:
+  std::mutex mutex_;
+  std::vector<int> values_ CORROB_GUARDED_BY(mutex_);
+};
+
+class SuppressedGuard {
+ private:
+  // lint: mutex-ok: fixture exercising the suppression grammar.
+  std::mutex stats_mutex_;
+};
+
+}  // namespace corrob
+
+#endif  // CORROB_SERVER_BAD_UNGUARDED_MUTEX_H_
