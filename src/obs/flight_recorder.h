@@ -1,0 +1,266 @@
+#ifndef CORROB_OBS_FLIGHT_RECORDER_H_
+#define CORROB_OBS_FLIGHT_RECORDER_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/thread_annotations.h"
+#include "obs/clock.h"
+#include "obs/json.h"
+
+// Flight recorder: the per-request black box of a serving daemon. A
+// lock-sharded, fixed-capacity ring of completed RequestRecords plus
+// an active-request table for in-flight inspection, so a stuck
+// request, a misbehaving tenant or a tail-latency regression can be
+// examined live instead of inferred from aggregate counters.
+//
+// Layering: src/obs sits below src/common, so the recorder never
+// touches Status, logging or metrics — it returns plain data and the
+// caller (src/server) decides what to log and count. Time comes from
+// an injected Clock; under a ManualClock every duration is scripted,
+// which is how the deterministic-snapshot test pins byte-identical
+// JSON across server thread counts.
+//
+// Determinism contract: records carry a global sequence number
+// assigned at Begin(). SnapshotJson() merges the shards and emits
+// records in ascending sequence order with integer-only fields, so a
+// scripted request sequence produces byte-identical snapshots no
+// matter how the shards were scheduled.
+
+namespace corrob {
+namespace obs {
+
+/// How a request's bytes were produced by the serving-efficiency
+/// layer (docs/SERVING.md): a cold run, a cache replay, or one of the
+/// coalescing roles.
+enum class RequestRole : uint8_t {
+  kCold = 0,        ///< Ran the corroboration itself, no sharing.
+  kCacheHit = 1,    ///< Replayed from the result cache.
+  kLeader = 2,      ///< Ran and published for coalesced followers.
+  kFollower = 3,    ///< Waited for a leader's published bytes.
+  kPromoted = 4,    ///< Follower promoted to leader; re-ran whole.
+  kRejected = 5,    ///< Never ran: shed, quota-rejected, or failed.
+};
+
+/// Stable lowercase name, e.g. "cache_hit".
+std::string_view RequestRoleName(RequestRole role);
+
+/// One named point on a request's lifecycle timeline, relative to the
+/// request's start.
+struct RequestSpan {
+  std::string name;
+  int64_t at_nanos = 0;
+};
+
+/// A completed request as the ring remembers it. Every numeric field
+/// is an integer (nanos / bytes / counts) so the JSON rendering is
+/// byte-deterministic.
+struct RequestRecord {
+  /// Global arrival order, assigned by Begin(); never reused.
+  uint64_t sequence = 0;
+  /// Client-supplied request id (protocol v3), empty when absent.
+  std::string client_request_id;
+  std::string tenant;
+  std::string dataset;
+  /// Corroboration method (algorithm registry name).
+  std::string method;
+  /// Priority-class name ("interactive" | "batch" | "best_effort").
+  std::string priority;
+  RequestRole role = RequestRole::kCold;
+  /// Why the request ended: a core Termination name for runs, or one
+  /// of the serving labels ("cached", "coalesced", "shed",
+  /// "quota_rejected", "error").
+  std::string termination;
+  int64_t start_nanos = 0;
+  int64_t admission_wait_nanos = 0;
+  int64_t service_nanos = 0;
+  int64_t total_nanos = 0;
+  int64_t response_bytes = 0;
+  /// Lifecycle timeline; retained only when the request ran at least
+  /// as long as the recorder's slow threshold (empty otherwise).
+  std::vector<RequestSpan> spans;
+};
+
+/// What Begin() needs to know about an arriving request.
+struct RequestStart {
+  std::string client_request_id;
+  std::string tenant;
+  std::string dataset;
+  std::string method;
+  std::string priority;
+  /// The request's effective deadline allowance (its own timeout or
+  /// the class default), 0 when unbounded. The stuck-request watchdog
+  /// flags in-flight requests exceeding a multiple of this.
+  int64_t deadline_nanos = 0;
+};
+
+/// What End() needs to finalize a record.
+struct RequestFinish {
+  RequestRole role = RequestRole::kCold;
+  std::string termination;
+  int64_t admission_wait_nanos = 0;
+  int64_t service_nanos = 0;
+  int64_t response_bytes = 0;
+};
+
+/// End()'s receipt, so the caller can log/count without re-locking.
+struct FinishSummary {
+  int64_t total_nanos = 0;
+  /// True when total_nanos reached the slow threshold (the record
+  /// retained its span timeline).
+  bool slow = false;
+};
+
+/// An in-flight request as introspection sees it.
+struct ActiveSnapshot {
+  uint64_t sequence = 0;
+  std::string client_request_id;
+  std::string tenant;
+  std::string dataset;
+  std::string method;
+  std::string priority;
+  int64_t age_nanos = 0;
+  int64_t deadline_nanos = 0;
+  bool flagged_stuck = false;
+};
+
+/// Cumulative recorder totals (never reset; survive ring wrap).
+struct FlightRecorderStats {
+  int64_t started = 0;
+  int64_t completed = 0;
+  int64_t active = 0;
+  /// Completed records that fell off the ring.
+  int64_t dropped = 0;
+  /// Completed records that retained their span timeline.
+  int64_t slow = 0;
+};
+
+class FlightRecorder {
+ public:
+  static constexpr int kLatencyBuckets = 64;
+
+  struct Options {
+    /// Completed-record ring capacity across all shards; 0 disarms
+    /// the recorder (every call becomes a no-op).
+    int capacity = 1024;
+    /// Lock shards for the completed ring (clamped to [1, capacity]).
+    int shards = 8;
+    /// Records with total_nanos >= this keep their span timeline;
+    /// 0 disables retention entirely.
+    int64_t slow_threshold_nanos = 0;
+    /// Time source; null → MonotonicClock::Get().
+    const Clock* clock = nullptr;
+  };
+
+  explicit FlightRecorder(const Options& options);
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// False when capacity is 0: every mutator is a no-op and every
+  /// snapshot is empty.
+  [[nodiscard]] bool armed() const { return capacity_ > 0; }
+
+  /// Registers an in-flight request, returning its handle (the global
+  /// sequence number). Returns 0 when disarmed.
+  [[nodiscard]] uint64_t Begin(RequestStart start);
+
+  /// Appends a lifecycle span to an in-flight request's timeline.
+  /// No-op for handle 0 or an already-finished handle.
+  void AddSpan(uint64_t handle, std::string_view name);
+
+  /// Completes a request: moves it from the active table into the
+  /// ring, computing total_nanos from the injected clock.
+  FinishSummary End(uint64_t handle, RequestFinish finish);
+
+  /// The active table, ordered by sequence, with ages at `now_nanos`.
+  [[nodiscard]] std::vector<ActiveSnapshot> ActiveRequests(
+      int64_t now_nanos) const;
+
+  /// Flags in-flight requests whose age exceeds `multiplier` times
+  /// their deadline allowance (requests without a deadline are never
+  /// flagged). Returns only the NEWLY flagged entries — each request
+  /// is reported once — so the caller can log and count them without
+  /// deduplicating.
+  [[nodiscard]] std::vector<ActiveSnapshot> FlagStuck(int64_t now_nanos,
+                                                      double multiplier);
+
+  /// In-flight requests currently flagged as stuck.
+  [[nodiscard]] int64_t stuck_now() const;
+
+  [[nodiscard]] FlightRecorderStats stats() const;
+
+  /// The recorder's introspection subtree: cumulative counts, the
+  /// most recent `max_recent` completed records (ascending sequence),
+  /// per-tenant aggregates (top `top_k` by request count), and the
+  /// log2 latency histograms split cold/hit. Deterministic: byte-
+  /// identical for identical record sets.
+  [[nodiscard]] JsonValue SnapshotJson(int top_k, int max_recent) const;
+
+ private:
+  struct ActiveEntry {
+    RequestStart start;
+    int64_t start_nanos = 0;
+    std::vector<RequestSpan> spans;
+    bool flagged_stuck = false;
+  };
+
+  /// One lock shard of the completed ring.
+  struct Shard {
+    mutable std::mutex mutex;
+    /// Circular buffer of the shard's most recent records.
+    std::vector<RequestRecord> ring CORROB_GUARDED_BY(mutex);
+    /// Next write slot in `ring` once it is full.
+    size_t next CORROB_GUARDED_BY(mutex) = 0;
+    int64_t completed CORROB_GUARDED_BY(mutex) = 0;
+    int64_t dropped CORROB_GUARDED_BY(mutex) = 0;
+  };
+
+  /// Per-tenant cumulative aggregates (survive ring wrap).
+  struct TenantTotals {
+    int64_t requests = 0;
+    int64_t total_nanos = 0;
+    int64_t max_nanos = 0;
+  };
+
+  Shard* ShardOf(uint64_t sequence) {
+    return shards_[sequence % shards_.size()].get();
+  }
+
+  int capacity_ = 0;
+  int per_shard_capacity_ = 0;
+  int64_t slow_threshold_nanos_ = 0;
+  const Clock* clock_ = nullptr;
+
+  mutable std::mutex active_mutex_;
+  std::map<uint64_t, ActiveEntry> active_ CORROB_GUARDED_BY(active_mutex_);
+  uint64_t next_sequence_ CORROB_GUARDED_BY(active_mutex_) = 1;
+  int64_t started_ CORROB_GUARDED_BY(active_mutex_) = 0;
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  /// Cumulative aggregates updated at End(); separate from the ring
+  /// so wrap never loses tenant/latency history.
+  mutable std::mutex totals_mutex_;
+  std::map<std::string, TenantTotals> tenants_
+      CORROB_GUARDED_BY(totals_mutex_);
+  int64_t cold_buckets_[kLatencyBuckets] CORROB_GUARDED_BY(totals_mutex_) =
+      {};
+  int64_t cold_count_ CORROB_GUARDED_BY(totals_mutex_) = 0;
+  int64_t cold_sum_nanos_ CORROB_GUARDED_BY(totals_mutex_) = 0;
+  int64_t hit_buckets_[kLatencyBuckets] CORROB_GUARDED_BY(totals_mutex_) =
+      {};
+  int64_t hit_count_ CORROB_GUARDED_BY(totals_mutex_) = 0;
+  int64_t hit_sum_nanos_ CORROB_GUARDED_BY(totals_mutex_) = 0;
+  int64_t slow_ CORROB_GUARDED_BY(totals_mutex_) = 0;
+};
+
+}  // namespace obs
+}  // namespace corrob
+
+#endif  // CORROB_OBS_FLIGHT_RECORDER_H_

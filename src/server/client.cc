@@ -159,5 +159,24 @@ Result<std::string> CorrobClient::Stats(const StopSignal& stop) {
   return response.payload;
 }
 
+Result<std::string> CorrobClient::Introspect(const IntrospectRequest& request,
+                                             const StopSignal& stop) {
+  Frame wire;
+  wire.type = FrameType::kIntrospectRequest;
+  wire.payload = EncodeIntrospectRequest(request);
+  CORROB_ASSIGN_OR_RETURN(Frame response, RoundTrip(wire, stop));
+  if (response.type == FrameType::kErrorResponse) {
+    CORROB_ASSIGN_OR_RETURN(ErrorResponse error,
+                            DecodeErrorResponse(response.payload));
+    return Status(static_cast<StatusCode>(error.code), error.message);
+  }
+  if (response.type != FrameType::kIntrospectResponse) {
+    return Status::ParseError("unexpected response frame '" +
+                              std::string(FrameTypeName(response.type)) +
+                              "' to an introspect request");
+  }
+  return response.payload;
+}
+
 }  // namespace server
 }  // namespace corrob

@@ -79,8 +79,17 @@ class CorrobClient {
   [[nodiscard]] Result<std::string> Ping(const std::string& payload,
                                          const StopSignal& stop);
 
-  /// Fetches the daemon's stats JSON (schema corrob.serving_stats/2).
+  /// Fetches the daemon's stats JSON (schema corrob.serving_stats/3).
   [[nodiscard]] Result<std::string> Stats(const StopSignal& stop);
+
+  /// Fetches the daemon's live-introspection JSON (schema
+  /// corrob.introspect/1): active requests, the flight-recorder ring,
+  /// per-tenant aggregates, latency histograms, watchdog counters and
+  /// the full metrics dump. A typed error frame (e.g. a daemon too
+  /// old for the v3 introspect codec) becomes a Status with the
+  /// daemon's code.
+  [[nodiscard]] Result<std::string> Introspect(
+      const IntrospectRequest& request, const StopSignal& stop);
 
  private:
   explicit CorrobClient(UniqueFd fd) : fd_(std::move(fd)) {}

@@ -174,6 +174,22 @@ struct DaemonFlags {
       if (!flags->failpoints.empty()) flags->failpoints += ",";
       flags->failpoints += spec;
       ++i;
+    } else if (arg == "--flight-recorder-entries") {
+      CORROB_ASSIGN_OR_RETURN(std::string value, needs_value(i));
+      flags->server.flight_recorder_entries = std::stoi(value);
+      ++i;
+    } else if (arg == "--slow-request-ms") {
+      CORROB_ASSIGN_OR_RETURN(std::string value, needs_value(i));
+      flags->server.slow_request_ms = std::stoll(value);
+      ++i;
+    } else if (arg == "--watchdog-interval-ms") {
+      CORROB_ASSIGN_OR_RETURN(std::string value, needs_value(i));
+      flags->server.watchdog_interval_ms = std::stoll(value);
+      ++i;
+    } else if (arg == "--watchdog-multiplier") {
+      CORROB_ASSIGN_OR_RETURN(std::string value, needs_value(i));
+      flags->server.watchdog_deadline_multiplier = std::stod(value);
+      ++i;
     } else {
       return Status::InvalidArgument(
           "unknown flag '" + arg +
@@ -181,7 +197,8 @@ struct DaemonFlags {
           "--queue-capacity --default-timeout-ms --default-max-rounds "
           "--threads --drain-timeout-ms --cache-entries --cache-shards "
           "--tenant-qps --tenant-burst --tenant-slots --tenant-quota "
-          "--failpoint)");
+          "--failpoint --flight-recorder-entries --slow-request-ms "
+          "--watchdog-interval-ms --watchdog-multiplier)");
     }
   }
   return Status::OK();

@@ -74,6 +74,8 @@ std::string_view FrameTypeName(FrameType type) {
       return "batch_request";
     case FrameType::kReloadRequest:
       return "reload_request";
+    case FrameType::kIntrospectRequest:
+      return "introspect_request";
     case FrameType::kResultResponse:
       return "result_response";
     case FrameType::kErrorResponse:
@@ -90,6 +92,8 @@ std::string_view FrameTypeName(FrameType type) {
       return "quota_exceeded_response";
     case FrameType::kReloadResponse:
       return "reload_response";
+    case FrameType::kIntrospectResponse:
+      return "introspect_response";
   }
   return "unknown";
 }
@@ -107,8 +111,10 @@ bool IsKnownFrameType(uint8_t raw) {
     case FrameType::kPongResponse:
     case FrameType::kStatsResponse:
     case FrameType::kBatchResponse:
+    case FrameType::kIntrospectRequest:
     case FrameType::kQuotaExceededResponse:
     case FrameType::kReloadResponse:
+    case FrameType::kIntrospectResponse:
       return true;
   }
   return false;

@@ -33,6 +33,7 @@ enum class FrameType : uint8_t {
   kStatsRequest = 0x03,
   kBatchRequest = 0x04,
   kReloadRequest = 0x05,
+  kIntrospectRequest = 0x06,
   kResultResponse = 0x81,
   kErrorResponse = 0x82,
   kOverloadedResponse = 0x83,
@@ -41,6 +42,7 @@ enum class FrameType : uint8_t {
   kBatchResponse = 0x86,
   kQuotaExceededResponse = 0x87,
   kReloadResponse = 0x88,
+  kIntrospectResponse = 0x89,
 };
 
 /// Stable lowercase name, e.g. "corroborate_request".

@@ -239,6 +239,9 @@ std::string EncodeCorroborateRequest(const CorroborateRequest& request,
     PutString(&out, request.tenant);
     PutOptions(&out, request.options);
   }
+  if (version >= 3) {
+    PutString(&out, request.request_id);
+  }
   return out;
 }
 
@@ -264,6 +267,9 @@ Result<CorroborateRequest> DecodeCorroborateRequest(
   if (version >= 2) {
     CORROB_RETURN_NOT_OK(reader.ReadString(&request.tenant));
     CORROB_RETURN_NOT_OK(reader.ReadOptions(&request.options));
+  }
+  if (version >= 3) {
+    CORROB_RETURN_NOT_OK(reader.ReadString(&request.request_id));
   }
   CORROB_RETURN_NOT_OK(reader.ExpectEnd());
   return request;
@@ -291,14 +297,17 @@ std::string EncodeCorroborateResponse(
 Result<CorroborateResponse> DecodeCorroborateResponse(
     std::string_view payload) {
   PayloadReader reader(payload);
-  CORROB_RETURN_NOT_OK(
-      ReadVersionInRange(reader, 1, kProtocolVersion).status());
+  CORROB_ASSIGN_OR_RETURN(
+      uint8_t version, ReadVersionInRange(reader, 1, kProtocolVersion));
   CorroborateResponse response;
   CORROB_RETURN_NOT_OK(reader.ReadString(&response.algorithm));
   CORROB_RETURN_NOT_OK(reader.ReadU8(&response.termination));
   CORROB_RETURN_NOT_OK(reader.ReadU32(&response.iterations));
   CORROB_RETURN_NOT_OK(reader.ReadF64Vector(&response.fact_probability));
   CORROB_RETURN_NOT_OK(reader.ReadF64Vector(&response.source_trust));
+  if (version >= 3) {
+    CORROB_RETURN_NOT_OK(reader.ReadString(&response.request_id));
+  }
   CORROB_RETURN_NOT_OK(reader.ExpectEnd());
   return response;
 }
@@ -313,11 +322,14 @@ std::string EncodeErrorResponse(const ErrorResponse& response) {
 
 Result<ErrorResponse> DecodeErrorResponse(std::string_view payload) {
   PayloadReader reader(payload);
-  CORROB_RETURN_NOT_OK(
-      ReadVersionInRange(reader, 1, kProtocolVersion).status());
+  CORROB_ASSIGN_OR_RETURN(
+      uint8_t version, ReadVersionInRange(reader, 1, kProtocolVersion));
   ErrorResponse response;
   CORROB_RETURN_NOT_OK(reader.ReadU8(&response.code));
   CORROB_RETURN_NOT_OK(reader.ReadString(&response.message));
+  if (version >= 3) {
+    CORROB_RETURN_NOT_OK(reader.ReadString(&response.request_id));
+  }
   CORROB_RETURN_NOT_OK(reader.ExpectEnd());
   return response;
 }
@@ -334,12 +346,15 @@ std::string EncodeOverloadedResponse(const OverloadedResponse& response) {
 Result<OverloadedResponse> DecodeOverloadedResponse(
     std::string_view payload) {
   PayloadReader reader(payload);
-  CORROB_RETURN_NOT_OK(
-      ReadVersionInRange(reader, 1, kProtocolVersion).status());
+  CORROB_ASSIGN_OR_RETURN(
+      uint8_t version, ReadVersionInRange(reader, 1, kProtocolVersion));
   OverloadedResponse response;
   CORROB_RETURN_NOT_OK(reader.ReadU32(&response.retry_after_ms));
   CORROB_RETURN_NOT_OK(reader.ReadU32(&response.queue_depth));
   CORROB_RETURN_NOT_OK(reader.ReadString(&response.message));
+  if (version >= 3) {
+    CORROB_RETURN_NOT_OK(reader.ReadString(&response.request_id));
+  }
   CORROB_RETURN_NOT_OK(reader.ExpectEnd());
   return response;
 }
@@ -347,7 +362,9 @@ Result<OverloadedResponse> DecodeOverloadedResponse(
 std::string EncodeQuotaExceededResponse(
     const QuotaExceededResponse& response) {
   std::string out;
-  PutU8(&out, kProtocolVersion);
+  // Pinned at version 2: version 3 means "plus a trailing request id",
+  // which only AttachRequestId produces.
+  PutU8(&out, 2);
   PutU32(&out, response.retry_after_ms);
   PutString(&out, response.tenant);
   PutString(&out, response.message);
@@ -357,19 +374,29 @@ std::string EncodeQuotaExceededResponse(
 Result<QuotaExceededResponse> DecodeQuotaExceededResponse(
     std::string_view payload) {
   PayloadReader reader(payload);
-  CORROB_RETURN_NOT_OK(
-      ReadVersionInRange(reader, 2, kProtocolVersion).status());
+  CORROB_ASSIGN_OR_RETURN(
+      uint8_t version, ReadVersionInRange(reader, 2, kProtocolVersion));
   QuotaExceededResponse response;
   CORROB_RETURN_NOT_OK(reader.ReadU32(&response.retry_after_ms));
   CORROB_RETURN_NOT_OK(reader.ReadString(&response.tenant));
   CORROB_RETURN_NOT_OK(reader.ReadString(&response.message));
+  if (version >= 3) {
+    CORROB_RETURN_NOT_OK(reader.ReadString(&response.request_id));
+  }
   CORROB_RETURN_NOT_OK(reader.ExpectEnd());
   return response;
 }
 
+void AttachRequestId(std::string* payload, const std::string& request_id) {
+  if (request_id.empty() || payload->empty()) return;
+  (*payload)[0] = static_cast<char>(kProtocolVersion);
+  PutString(payload, request_id);
+}
+
 std::string EncodeBatchRequest(const BatchRequest& request) {
   std::string out;
-  PutU8(&out, kProtocolVersion);
+  // Batch payloads carry no v3 field; pinned at 2 (see version history).
+  PutU8(&out, 2);
   PutU8(&out, static_cast<uint8_t>(request.priority));
   PutString(&out, request.tenant);
   PutU32(&out, static_cast<uint32_t>(request.items.size()));
@@ -422,7 +449,7 @@ Result<BatchRequest> DecodeBatchRequest(std::string_view payload) {
 
 std::string EncodeBatchResponse(const BatchResponse& response) {
   std::string out;
-  PutU8(&out, kProtocolVersion);
+  PutU8(&out, 2);
   PutU32(&out, static_cast<uint32_t>(response.items.size()));
   for (const BatchItemResponse& item : response.items) {
     PutU8(&out, item.type);
@@ -456,7 +483,8 @@ Result<BatchResponse> DecodeBatchResponse(std::string_view payload) {
 
 std::string EncodeReloadRequest(const ReloadRequest& request) {
   std::string out;
-  PutU8(&out, kProtocolVersion);
+  // Reload payloads carry no v3 field; pinned at 2 (see version history).
+  PutU8(&out, 2);
   PutString(&out, request.dataset);
   return out;
 }
@@ -473,7 +501,7 @@ Result<ReloadRequest> DecodeReloadRequest(std::string_view payload) {
 
 std::string EncodeReloadResponse(const ReloadResponse& response) {
   std::string out;
-  PutU8(&out, kProtocolVersion);
+  PutU8(&out, 2);
   PutU32(&out, response.datasets_reloaded);
   PutU64(&out, response.generation);
   return out;
@@ -488,6 +516,26 @@ Result<ReloadResponse> DecodeReloadResponse(std::string_view payload) {
   CORROB_RETURN_NOT_OK(reader.ReadU64(&response.generation));
   CORROB_RETURN_NOT_OK(reader.ExpectEnd());
   return response;
+}
+
+std::string EncodeIntrospectRequest(const IntrospectRequest& request) {
+  std::string out;
+  PutU8(&out, kProtocolVersion);
+  PutU32(&out, request.top_k);
+  PutU32(&out, request.max_recent);
+  return out;
+}
+
+Result<IntrospectRequest> DecodeIntrospectRequest(
+    std::string_view payload) {
+  PayloadReader reader(payload);
+  CORROB_RETURN_NOT_OK(
+      ReadVersionInRange(reader, 3, kProtocolVersion).status());
+  IntrospectRequest request;
+  CORROB_RETURN_NOT_OK(reader.ReadU32(&request.top_k));
+  CORROB_RETURN_NOT_OK(reader.ReadU32(&request.max_recent));
+  CORROB_RETURN_NOT_OK(reader.ExpectEnd());
+  return request;
 }
 
 }  // namespace server

@@ -24,11 +24,19 @@
 //      canonically ordered option list; batch, quota-exceeded and
 //      reload frames. Version-1 corroborate requests are still
 //      decoded (empty tenant, no options).
+//   3  live introspection: corroborate requests may carry a client-
+//      supplied request id, echoed back as a trailing string on the
+//      per-request response payloads (result, error, overloaded,
+//      quota-exceeded) via AttachRequestId; introspect frames. A
+//      version byte of 3 on a response payload means exactly "the
+//      version-1/2 fields plus a trailing request id", so the batch
+//      and reload payloads — which never carry an id — stay pinned
+//      at version 2 on the wire.
 
 namespace corrob {
 namespace server {
 
-inline constexpr uint8_t kProtocolVersion = 2;
+inline constexpr uint8_t kProtocolVersion = 3;
 /// Oldest corroborate-request version the daemon still accepts.
 inline constexpr uint8_t kMinCorroborateRequestVersion = 1;
 
@@ -73,10 +81,16 @@ struct CorroborateRequest {
   uint32_t max_rounds = 0;
   std::string tenant;
   OptionList options;
+  /// Optional client-chosen correlation id (v3). The daemon echoes it
+  /// on the response payload and records it in the flight recorder,
+  /// so a client-observed latency can be matched to the server-side
+  /// record. Never part of the cache key.
+  std::string request_id;
 };
 
 /// Encodes at the current version. The overload taking `version`
-/// exists for compatibility tests; version 1 drops tenant/options.
+/// exists for compatibility tests; version 1 drops tenant/options,
+/// versions below 3 drop request_id.
 [[nodiscard]] std::string EncodeCorroborateRequest(
     const CorroborateRequest& request);
 [[nodiscard]] std::string EncodeCorroborateRequest(
@@ -95,6 +109,10 @@ struct CorroborateResponse {
   uint32_t iterations = 0;
   std::vector<double> fact_probability;
   std::vector<double> source_trust;
+  /// Echo of the request's id (v3); empty when the client sent none.
+  /// Attached after encoding via AttachRequestId, never by the
+  /// encoder itself — the canonical cached payload stays id-free.
+  std::string request_id;
 };
 
 [[nodiscard]] std::string EncodeCorroborateResponse(
@@ -107,6 +125,8 @@ struct CorroborateResponse {
 struct ErrorResponse {
   uint8_t code = 0;
   std::string message;
+  /// Echo of the request's id (v3); empty when the client sent none.
+  std::string request_id;
 };
 
 [[nodiscard]] std::string EncodeErrorResponse(const ErrorResponse& response);
@@ -120,6 +140,8 @@ struct OverloadedResponse {
   uint32_t retry_after_ms = 0;
   uint32_t queue_depth = 0;
   std::string message;
+  /// Echo of the request's id (v3); empty when the client sent none.
+  std::string request_id;
 };
 
 [[nodiscard]] std::string EncodeOverloadedResponse(
@@ -135,12 +157,23 @@ struct QuotaExceededResponse {
   uint32_t retry_after_ms = 0;
   std::string tenant;
   std::string message;
+  /// Echo of the request's id (v3); empty when the client sent none.
+  std::string request_id;
 };
 
 [[nodiscard]] std::string EncodeQuotaExceededResponse(
     const QuotaExceededResponse& response);
 [[nodiscard]] Result<QuotaExceededResponse> DecodeQuotaExceededResponse(
     std::string_view payload);
+
+/// Splices a client request id onto an already-encoded per-request
+/// response payload: rewrites the leading version byte to 3 and
+/// appends the id as a length-prefixed string. With an empty id the
+/// payload is untouched, byte for byte — the property that keeps
+/// cached, coalesced and batch replies identical to what a v2 peer
+/// recorded. The daemon calls this after the cache/coalescer, so the
+/// shared canonical payload never carries any one client's id.
+void AttachRequestId(std::string* payload, const std::string& request_id);
 
 /// Upper bound on sub-requests in one batch frame; a decoder seeing
 /// more rejects before allocating.
@@ -205,6 +238,23 @@ struct ReloadResponse {
 
 [[nodiscard]] std::string EncodeReloadResponse(const ReloadResponse& response);
 [[nodiscard]] Result<ReloadResponse> DecodeReloadResponse(
+    std::string_view payload);
+
+/// Live-introspection query (v3): how much of each introspection
+/// table to return. The response frame's payload is the raw
+/// corrob.introspect/1 JSON document (no version byte), mirroring the
+/// stats frame.
+struct IntrospectRequest {
+  /// Per-tenant aggregate rows to include (by request count).
+  uint32_t top_k = 10;
+  /// Completed records from the flight-recorder ring to include;
+  /// capped server-side by the ring capacity.
+  uint32_t max_recent = 100;
+};
+
+[[nodiscard]] std::string EncodeIntrospectRequest(
+    const IntrospectRequest& request);
+[[nodiscard]] Result<IntrospectRequest> DecodeIntrospectRequest(
     std::string_view payload);
 
 }  // namespace server

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/failpoint.h"
+#include "common/logging.h"
 #include "core/registry.h"
 #include "core/run_context.h"
 #include "data/dataset_io.h"
@@ -34,6 +35,10 @@ struct ServerMetrics {
   obs::Counter* requests_failed;
   obs::Counter* requests_quota_rejected;
   obs::Counter* responses_sent;
+  obs::Counter* slow_requests;
+  obs::Counter* watchdog_scans;
+  obs::Counter* watchdog_flagged;
+  obs::Gauge* watchdog_stuck;
   obs::Histogram* queue_wait_nanos;
   obs::Histogram* service_nanos;
   obs::Gauge* running;
@@ -49,6 +54,12 @@ struct ServerMetrics {
       m.requests_quota_rejected =
           registry.GetCounter("corrobd.requests.quota_rejected");
       m.responses_sent = registry.GetCounter("corrobd.responses.sent");
+      m.slow_requests = registry.GetCounter("corrob.server.slow_requests");
+      m.watchdog_scans =
+          registry.GetCounter("corrob.server.watchdog.scans");
+      m.watchdog_flagged =
+          registry.GetCounter("corrob.server.watchdog.flagged");
+      m.watchdog_stuck = registry.GetGauge("corrob.server.watchdog.stuck");
       m.queue_wait_nanos =
           registry.GetHistogram("corrobd.request.queue_wait_nanos");
       m.service_nanos = registry.GetHistogram("corrobd.request.service_nanos");
@@ -118,6 +129,12 @@ CorrobdServer::CorrobdServer(ServerOptions options)
   for (const auto& [tenant, limits] : options_.tenant_overrides) {
     quotas_->SetLimits(tenant, limits);
   }
+  obs::FlightRecorder::Options recorder_options;
+  recorder_options.capacity = options_.flight_recorder_entries;
+  recorder_options.slow_threshold_nanos =
+      options_.slow_request_ms * 1'000'000;
+  recorder_options.clock = clock_;
+  recorder_ = std::make_unique<obs::FlightRecorder>(recorder_options);
 }
 
 CorrobdServer::~CorrobdServer() {
@@ -214,6 +231,10 @@ Status CorrobdServer::Serve(const CancellationToken* drain) {
     return Status::FailedPrecondition("Serve() called before Start()");
   }
   std::thread watcher([this] { WatchDisconnects(); });
+  std::thread watchdog;
+  if (options_.watchdog_interval_ms > 0 && recorder_->armed()) {
+    watchdog = std::thread([this] { WatchStuckRequests(); });
+  }
 
   const StopSignal accept_stop(drain, Deadline());
   while (!accept_stop.ShouldStop()) {
@@ -288,7 +309,43 @@ Status CorrobdServer::Serve(const CancellationToken* drain) {
     connections_.clear();
   }
   watcher.join();
+  if (watchdog.joinable()) watchdog.join();
   return Status::OK();
+}
+
+void CorrobdServer::WatchStuckRequests() {
+  ServerMetrics& metrics = ServerMetrics::Get();
+  int64_t last_scan = clock_->NowNanos();
+  const int64_t interval_nanos = options_.watchdog_interval_ms * 1'000'000;
+  while (!stopping_.load(std::memory_order_acquire)) {
+    // Housekeeping-sized slices so shutdown never waits out a full
+    // watchdog interval.
+    (void)abort_token_.WaitForMs(kHousekeepingSliceMs);  // lint: discard-ok: watchdog cadence sleep
+    const int64_t now = clock_->NowNanos();
+    if (now - last_scan < interval_nanos) continue;
+    last_scan = now;
+    const std::vector<obs::ActiveSnapshot> flagged =
+        recorder_->FlagStuck(now, options_.watchdog_deadline_multiplier);
+    metrics.watchdog_scans->Add(1);
+    watchdog_scans_.fetch_add(1, std::memory_order_relaxed);
+    for (const obs::ActiveSnapshot& request : flagged) {
+      CORROB_LOG_WARNING
+          << "watchdog: stuck request seq=" << request.sequence
+          << " id=" << request.client_request_id
+          << " tenant=" << request.tenant
+          << " dataset=" << request.dataset
+          << " method=" << request.method
+          << " priority=" << request.priority
+          << " age_ms=" << request.age_nanos / 1'000'000
+          << " deadline_ms=" << request.deadline_nanos / 1'000'000;
+    }
+    if (!flagged.empty()) {
+      metrics.watchdog_flagged->Add(static_cast<int64_t>(flagged.size()));
+      watchdog_flagged_.fetch_add(static_cast<int64_t>(flagged.size()),
+                                  std::memory_order_relaxed);
+    }
+    metrics.watchdog_stuck->Set(recorder_->stuck_now());
+  }
 }
 
 void CorrobdServer::WatchDisconnects() {
@@ -358,6 +415,8 @@ Status CorrobdServer::HandleFrame(Connection* connection, FrameType type,
     }
     case FrameType::kStatsRequest:
       return HandleStats(connection);
+    case FrameType::kIntrospectRequest:
+      return HandleIntrospect(connection, payload);
     case FrameType::kCorroborateRequest:
       return HandleCorroborate(connection, payload);
     case FrameType::kBatchRequest:
@@ -386,7 +445,7 @@ Status CorrobdServer::HandleFrame(Connection* connection, FrameType type,
 
 Status CorrobdServer::HandleStats(Connection* connection) {
   obs::JsonValue stats = obs::JsonValue::Object();
-  stats.Set("schema", obs::JsonValue::Str("corrob.serving_stats/2"));
+  stats.Set("schema", obs::JsonValue::Str("corrob.serving_stats/3"));
   stats.Set("running",
             obs::JsonValue::Int(admission_->running()));
   obs::JsonValue queued = obs::JsonValue::Object();
@@ -434,9 +493,97 @@ Status CorrobdServer::HandleStats(Connection* connection) {
                  obs::JsonValue::Int(quota.slot_rejections));
   stats.Set("quota", std::move(quota_json));
 
+  const obs::FlightRecorderStats recorder = recorder_->stats();
+  obs::JsonValue recorder_json = obs::JsonValue::Object();
+  recorder_json.Set("started", obs::JsonValue::Int(recorder.started));
+  recorder_json.Set("completed", obs::JsonValue::Int(recorder.completed));
+  recorder_json.Set("active", obs::JsonValue::Int(recorder.active));
+  recorder_json.Set("dropped", obs::JsonValue::Int(recorder.dropped));
+  recorder_json.Set("slow", obs::JsonValue::Int(recorder.slow));
+  stats.Set("recorder", std::move(recorder_json));
+
+  obs::JsonValue watchdog_json = obs::JsonValue::Object();
+  watchdog_json.Set("scans",
+                    obs::JsonValue::Int(watchdog_scans_.load(
+                        std::memory_order_relaxed)));
+  watchdog_json.Set("flagged",
+                    obs::JsonValue::Int(watchdog_flagged_.load(
+                        std::memory_order_relaxed)));
+  watchdog_json.Set("stuck", obs::JsonValue::Int(recorder_->stuck_now()));
+  stats.Set("watchdog", std::move(watchdog_json));
+
   Frame response;
   response.type = FrameType::kStatsResponse;
   response.payload = stats.Dump();
+  Status written = WriteFrame(connection->fd.get(), response, WriteStop());
+  if (written.ok()) {
+    responses_sent_.fetch_add(1, std::memory_order_relaxed);
+    ServerMetrics::Get().responses_sent->Add(1);
+  }
+  return written;
+}
+
+Status CorrobdServer::HandleIntrospect(Connection* connection,
+                                       const std::string& payload) {
+  Frame response;
+  Result<IntrospectRequest> decoded = DecodeIntrospectRequest(payload);
+  if (!decoded.ok()) {
+    response.type = FrameType::kErrorResponse;
+    ErrorResponse body;
+    body.code = static_cast<uint8_t>(decoded.status().code());
+    body.message = decoded.status().message();
+    response.payload = EncodeErrorResponse(body);
+    ServerMetrics::Get().requests_failed->Add(1);
+  } else {
+    const IntrospectRequest& request = decoded.ValueOrDie();
+    // Bound both knobs by the ring capacity: asking for more than the
+    // recorder can hold is harmless, but the caps keep a hostile u32
+    // from turning into an int overflow.
+    const int top_k = static_cast<int>(
+        std::min<uint32_t>(request.top_k, 1u << 20));
+    const int max_recent = static_cast<int>(
+        std::min<uint32_t>(request.max_recent, 1u << 20));
+
+    obs::JsonValue doc = obs::JsonValue::Object();
+    doc.Set("schema", obs::JsonValue::Str("corrob.introspect/1"));
+    const int64_t now = clock_->NowNanos();
+    doc.Set("now_nanos", obs::JsonValue::Int(now));
+
+    obs::JsonValue active = obs::JsonValue::Array();
+    for (const obs::ActiveSnapshot& snap : recorder_->ActiveRequests(now)) {
+      obs::JsonValue row = obs::JsonValue::Object();
+      row.Set("seq",
+              obs::JsonValue::Int(static_cast<int64_t>(snap.sequence)));
+      row.Set("id", obs::JsonValue::Str(snap.client_request_id));
+      row.Set("tenant", obs::JsonValue::Str(snap.tenant));
+      row.Set("dataset", obs::JsonValue::Str(snap.dataset));
+      row.Set("method", obs::JsonValue::Str(snap.method));
+      row.Set("priority", obs::JsonValue::Str(snap.priority));
+      row.Set("age_nanos", obs::JsonValue::Int(snap.age_nanos));
+      row.Set("deadline_nanos", obs::JsonValue::Int(snap.deadline_nanos));
+      row.Set("flagged", obs::JsonValue::Bool(snap.flagged_stuck));
+      active.Append(std::move(row));
+    }
+    doc.Set("active", std::move(active));
+
+    doc.Set("recorder", recorder_->SnapshotJson(top_k, max_recent));
+
+    obs::JsonValue watchdog = obs::JsonValue::Object();
+    watchdog.Set("scans",
+                 obs::JsonValue::Int(watchdog_scans_.load(
+                     std::memory_order_relaxed)));
+    watchdog.Set("flagged",
+                 obs::JsonValue::Int(watchdog_flagged_.load(
+                     std::memory_order_relaxed)));
+    watchdog.Set("stuck", obs::JsonValue::Int(recorder_->stuck_now()));
+    doc.Set("watchdog", std::move(watchdog));
+
+    doc.Set("metrics", obs::MetricsRegistry::Global().Snapshot().ToJson());
+
+    response.type = FrameType::kIntrospectResponse;
+    response.payload = doc.Dump();
+  }
+
   Status written = WriteFrame(connection->fd.get(), response, WriteStop());
   if (written.ok()) {
     responses_sent_.fetch_add(1, std::memory_order_relaxed);
@@ -450,6 +597,49 @@ CorrobdServer::SubResponse CorrobdServer::ExecuteOne(
   ServerMetrics& metrics = ServerMetrics::Get();
   SubResponse out;
 
+  const int cls = static_cast<int>(request.priority);
+  const int64_t timeout_ms =
+      request.timeout_ms > 0
+          ? static_cast<int64_t>(request.timeout_ms)
+          : options_.admission.default_timeout_ms[cls];
+
+  // Flight-recorder entry. Every outcome below funnels through
+  // finish_record exactly once; paths that never produced bytes of
+  // their own (shed, quota, error) record role=rejected, which keeps
+  // them out of the cold/hit latency histograms. A disarmed recorder
+  // must cost a branch and nothing else — the metadata strings are
+  // only assembled when a record will actually be kept
+  // (bench_flight_recorder pins this).
+  uint64_t record = 0;
+  if (recorder_->armed()) {
+    obs::RequestStart start;
+    start.client_request_id = request.request_id;
+    start.tenant = request.tenant;
+    start.dataset = request.dataset;
+    start.method = request.algorithm;
+    start.priority = std::string(PriorityName(request.priority));
+    start.deadline_nanos = timeout_ms > 0 ? timeout_ms * 1'000'000 : 0;
+    record = recorder_->Begin(std::move(start));
+  }
+  obs::RequestFinish finish;
+  finish.role = obs::RequestRole::kRejected;
+  const auto finish_record = [&](std::string_view termination) {
+    if (record == 0) return;
+    finish.termination = std::string(termination);
+    finish.response_bytes = static_cast<int64_t>(out.payload.size());
+    const obs::FinishSummary summary = recorder_->End(record, finish);
+    if (summary.slow) {
+      metrics.slow_requests->Add(1);
+      CORROB_LOG_WARNING
+          << "slow request seq=" << record << " id=" << request.request_id
+          << " tenant=" << request.tenant
+          << " dataset=" << request.dataset
+          << " priority=" << PriorityName(request.priority)
+          << " termination=" << finish.termination
+          << " total_ms=" << summary.total_nanos / 1'000'000;
+    }
+  };
+
   const auto fail = [&](const Status& status) {
     out.type = FrameType::kErrorResponse;
     ErrorResponse body;
@@ -457,6 +647,7 @@ CorrobdServer::SubResponse CorrobdServer::ExecuteOne(
     body.message = status.message();
     out.payload = EncodeErrorResponse(body);
     metrics.requests_failed->Add(1);
+    finish_record("error");
   };
   const auto quota_reject = [&](const QuotaDecision& decision) {
     out.type = FrameType::kQuotaExceededResponse;
@@ -466,6 +657,7 @@ CorrobdServer::SubResponse CorrobdServer::ExecuteOne(
     body.message = decision.reason;
     out.payload = EncodeQuotaExceededResponse(body);
     metrics.requests_quota_rejected->Add(1);
+    finish_record("quota_rejected");
   };
 
   if (charge_rate) {
@@ -476,7 +668,6 @@ CorrobdServer::SubResponse CorrobdServer::ExecuteOne(
     }
   }
 
-  const int cls = static_cast<int>(request.priority);
   ServedDataset* served = FindDataset(request.dataset);
   if (served == nullptr) {
     fail(Status::NotFound(
@@ -517,8 +708,11 @@ CorrobdServer::SubResponse CorrobdServer::ExecuteOne(
   if (std::optional<std::string> cached = cache_->Lookup(key)) {
     out.type = FrameType::kResultResponse;
     out.payload = *std::move(cached);
+    finish.role = obs::RequestRole::kCacheHit;
+    finish_record("cached");
     return out;
   }
+  recorder_->AddSpan(record, "cache_miss");
 
   const QuotaDecision slot = quotas_->TryEnterRun(request.tenant);
   if (!slot.allowed) {
@@ -529,10 +723,6 @@ CorrobdServer::SubResponse CorrobdServer::ExecuteOne(
   // Per-request isolation: child token (disconnect watcher and abort
   // fan-in) + class-defaulted deadline and budget.
   CancellationToken request_token(&abort_token_);
-  const int64_t timeout_ms =
-      request.timeout_ms > 0
-          ? static_cast<int64_t>(request.timeout_ms)
-          : options_.admission.default_timeout_ms[cls];
   const Deadline deadline =
       timeout_ms > 0
           ? Deadline::AfterMs(clock_, static_cast<double>(timeout_ms))
@@ -542,6 +732,7 @@ CorrobdServer::SubResponse CorrobdServer::ExecuteOne(
   const AdmissionDecision admitted =
       admission_->Admit(request.priority, request_stop);
   metrics.queue_wait_nanos->Record(admitted.queue_wait_nanos);
+  finish.admission_wait_nanos = admitted.queue_wait_nanos;
   switch (admitted.outcome) {
     case AdmissionDecision::Outcome::kShed: {
       out.type = FrameType::kOverloadedResponse;
@@ -553,6 +744,7 @@ CorrobdServer::SubResponse CorrobdServer::ExecuteOne(
                      "' is full";
       out.payload = EncodeOverloadedResponse(body);
       metrics.requests_shed->Add(1);
+      finish_record("shed");
       quotas_->ExitRun(request.tenant);
       return out;
     }
@@ -568,6 +760,7 @@ CorrobdServer::SubResponse CorrobdServer::ExecuteOne(
   }
   metrics.requests_admitted->Add(1);
   metrics.running->Set(admission_->running());
+  recorder_->AddSpan(record, "admitted");
   {
     std::lock_guard<std::mutex> lock(connection->mutex);
     connection->active_request = &request_token;
@@ -580,6 +773,9 @@ CorrobdServer::SubResponse CorrobdServer::ExecuteOne(
   // that cannot share (error or timing-truncated run) hands the key
   // to one follower, which re-runs — the promotion loop below.
   RunCoalescer::Ticket ticket = coalescer_.Attach(key);
+  recorder_->AddSpan(record, "coalesce_attach");
+  const bool was_follower =
+      ticket.role() == RunCoalescer::Role::kFollower;
   const int64_t section_started = clock_->NowNanos();
   for (;;) {
     if (ticket.role() == RunCoalescer::Role::kFollower) {
@@ -588,6 +784,8 @@ CorrobdServer::SubResponse CorrobdServer::ExecuteOne(
       if (waited.outcome == RunCoalescer::WaitOutcome::kGotResult) {
         out.type = FrameType::kResultResponse;
         out.payload = std::move(waited.payload);
+        finish.role = obs::RequestRole::kFollower;
+        finish_record("coalesced");
         break;
       }
       if (waited.outcome == RunCoalescer::WaitOutcome::kCancelled) {
@@ -609,6 +807,14 @@ CorrobdServer::SubResponse CorrobdServer::ExecuteOne(
            !request_stop.ShouldStop()) {
       (void)request_token.WaitForMs(1.0);  // lint: discard-ok: stall hook polls stop each slice
     }
+    // Harder stall for the watchdog tests: deliberately ignores the
+    // request deadline so an in-flight request can exceed N× its
+    // allowance; only cancellation (disconnect, drain abort) or
+    // disarming the failpoint releases it.
+    while (Failpoints::IsArmed("server.request.stall_hard") &&
+           !request_token.cancelled()) {
+      (void)request_token.WaitForMs(1.0);  // lint: discard-ok: stall hook polls cancellation each slice
+    }
 
     ResourceBudget budget;
     budget.max_rounds = effective_rounds;
@@ -617,6 +823,7 @@ CorrobdServer::SubResponse CorrobdServer::ExecuteOne(
         .WithDeadline(deadline)
         .WithBudget(budget);
 
+    recorder_->AddSpan(record, "run_start");
     const int64_t run_started = clock_->NowNanos();
     Result<CorroborationResult> run =
         Status::Internal("request failpoint");
@@ -626,7 +833,10 @@ CorrobdServer::SubResponse CorrobdServer::ExecuteOne(
     } else {
       run = injected;
     }
-    metrics.service_nanos->Record(clock_->NowNanos() - run_started);
+    const int64_t service_nanos = clock_->NowNanos() - run_started;
+    metrics.service_nanos->Record(service_nanos);
+    finish.service_nanos = service_nanos;
+    recorder_->AddSpan(record, "run_end");
 
     if (!run.ok()) {
       fail(run.status());
@@ -645,9 +855,15 @@ CorrobdServer::SubResponse CorrobdServer::ExecuteOne(
     if (IsShareableTermination(body.termination)) {
       cache_->Insert(key, request.dataset, out.payload);
       coalescer_.Publish(ticket, out.payload);
+      finish.role = was_follower ? obs::RequestRole::kPromoted
+                                 : obs::RequestRole::kLeader;
     } else {
       coalescer_.Abandon(ticket);
+      // A truncated-but-answered run produced its own private bytes.
+      finish.role = was_follower ? obs::RequestRole::kPromoted
+                                 : obs::RequestRole::kCold;
     }
+    finish_record(TerminationName(result.termination));
     break;
   }
 
@@ -683,9 +899,13 @@ Status CorrobdServer::HandleCorroborate(Connection* connection,
     sub.timeout_ms = request.timeout_ms;
     sub.max_rounds = request.max_rounds;
     sub.options = request.options;
+    sub.request_id = request.request_id;
     SubResponse result = ExecuteOne(connection, sub, /*charge_rate=*/true);
     response.type = result.type;
     response.payload = std::move(result.payload);
+    // After the cache/coalescer: the shared canonical payload stays
+    // id-free; only this client's copy grows the echo.
+    AttachRequestId(&response.payload, request.request_id);
   }
 
   Status written = WriteFrame(connection->fd.get(), response, WriteStop());

@@ -18,6 +18,7 @@
 #include "common/thread_annotations.h"
 #include "data/dataset.h"
 #include "obs/clock.h"
+#include "obs/flight_recorder.h"
 #include "server/admission.h"
 #include "server/cache.h"
 #include "server/coalesce.h"
@@ -66,6 +67,20 @@ struct ServerOptions {
   /// respond (termination=cancelled) — polling runs are never left
   /// without an answer.
   int64_t drain_timeout_ms = 10000;
+  /// Completed-request ring capacity of the flight recorder; 0
+  /// disarms it (Begin/End become no-ops, introspection returns
+  /// empty tables).
+  int flight_recorder_entries = 1024;
+  /// Requests whose total time reaches this threshold keep their span
+  /// timeline in the flight recorder and emit a structured warning;
+  /// 0 disables the slow-request log.
+  int64_t slow_request_ms = 0;
+  /// Cadence of the stuck-request watchdog; 0 disables the watchdog
+  /// thread entirely.
+  int64_t watchdog_interval_ms = 1000;
+  /// An in-flight request is flagged as stuck once its age exceeds
+  /// this multiple of its effective deadline allowance.
+  double watchdog_deadline_multiplier = 4.0;
   /// Time source for deadlines and latency metrics.
   const obs::Clock* clock = nullptr;  // null → MonotonicClock::Get()
 };
@@ -133,6 +148,9 @@ class CorrobdServer {
     uint32_t timeout_ms = 0;
     uint32_t max_rounds = 0;
     OptionList options;  // already normalized by the codec
+    /// Client correlation id (v3); recorded in the flight recorder.
+    /// Batch items never carry one.
+    std::string request_id;
   };
 
   /// What ExecuteOne produced: the response frame type and its
@@ -174,6 +192,13 @@ class CorrobdServer {
   /// coalescer, quota and request counters.
   [[nodiscard]] Status HandleStats(Connection* connection);
 
+  /// Serves the introspect frame: the corrob.introspect/1 JSON
+  /// document (active requests, flight-recorder ring, per-tenant
+  /// aggregates, latency histograms, watchdog counters, full metrics
+  /// dump).
+  [[nodiscard]] Status HandleIntrospect(Connection* connection,
+                                        const std::string& payload);
+
   /// Cache lookup → quota → admission → coalesce → run. When
   /// `charge_rate` (standalone requests), the tenant's rate bucket is
   /// charged one token up front; batch items are pre-charged by
@@ -190,6 +215,12 @@ class CorrobdServer {
   /// Background loop that cancels the request token of any executing
   /// request whose client closed its end of the socket.
   void WatchDisconnects();
+
+  /// Watchdog loop: every watchdog_interval_ms, flags in-flight
+  /// requests whose age exceeds watchdog_deadline_multiplier times
+  /// their deadline allowance, logging each once and keeping the
+  /// corrob.server.watchdog.* metrics current.
+  void WatchStuckRequests();
 
   [[nodiscard]] ServedDataset* FindDataset(const std::string& name) const;
 
@@ -208,6 +239,12 @@ class CorrobdServer {
   std::unique_ptr<ResultCache> cache_;
   RunCoalescer coalescer_;
   std::unique_ptr<TenantQuotas> quotas_;
+  std::unique_ptr<obs::FlightRecorder> recorder_;
+
+  /// Watchdog tallies mirrored into the introspection document (the
+  /// metrics registry is process-global; these are this daemon's own).
+  std::atomic<int64_t> watchdog_scans_{0};
+  std::atomic<int64_t> watchdog_flagged_{0};
 
   /// Fires only when drain patience runs out (or at shutdown): the
   /// parent of every request token. Deliberately NOT the drain token,

@@ -64,6 +64,25 @@ TEST(FrameCodecTest, BadMagicIsParseError) {
   EXPECT_NE(decoded.status().message().find("magic"), std::string::npos);
 }
 
+TEST(FrameCodecTest, IntrospectFrameTypesAreKnownAndRoundTrip) {
+  EXPECT_TRUE(IsKnownFrameType(static_cast<uint8_t>(0x06)));
+  EXPECT_TRUE(IsKnownFrameType(static_cast<uint8_t>(0x89)));
+  EXPECT_EQ(FrameTypeName(FrameType::kIntrospectRequest),
+            std::string_view("introspect_request"));
+  EXPECT_EQ(FrameTypeName(FrameType::kIntrospectResponse),
+            std::string_view("introspect_response"));
+  for (const FrameType type :
+       {FrameType::kIntrospectRequest, FrameType::kIntrospectResponse}) {
+    Frame frame;
+    frame.type = type;
+    frame.payload = "payload";
+    Result<Frame> decoded = DecodeFrame(EncodeFrame(frame));
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    EXPECT_EQ(decoded.ValueOrDie().type, type);
+    EXPECT_EQ(decoded.ValueOrDie().payload, "payload");
+  }
+}
+
 TEST(FrameCodecTest, UnknownTypeIsInvalidArgument) {
   std::string wire = EncodeFrame({FrameType::kPingRequest, "x"});
   wire[4] = 0x7F;  // not a FrameType value

@@ -324,6 +324,119 @@ TEST(ProtocolTest, HugeVectorCountRejectedWithoutAllocation) {
   EXPECT_EQ(decoded.status().code(), StatusCode::kParseError);
 }
 
+TEST(ProtocolTest, RequestIdRoundTripsAtVersionThree) {
+  CorroborateRequest request;
+  request.dataset = "flights";
+  request.tenant = "alpha";
+  request.request_id = "client-42";
+  Result<CorroborateRequest> decoded =
+      DecodeCorroborateRequest(EncodeCorroborateRequest(request));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded.ValueOrDie().request_id, "client-42");
+
+  // Encoding at version 2 drops the id; decoding still succeeds and
+  // leaves it empty — the v2 wire format is unchanged.
+  Result<CorroborateRequest> old_wire =
+      DecodeCorroborateRequest(EncodeCorroborateRequest(request, 2));
+  ASSERT_TRUE(old_wire.ok());
+  EXPECT_EQ(old_wire.ValueOrDie().request_id, "");
+}
+
+TEST(ProtocolTest, AttachRequestIdSplicesTrailingIdOntoEveryResponse) {
+  CorroborateResponse response;
+  response.algorithm = "IncEstHeu";
+  response.fact_probability = {0.25, 0.75};
+  const std::string canonical = EncodeCorroborateResponse(response);
+
+  // An empty id must leave the canonical bytes untouched — cache
+  // replays of id-less requests stay byte-identical to v1 responses.
+  std::string untouched = canonical;
+  AttachRequestId(&untouched, "");
+  EXPECT_EQ(untouched, canonical);
+
+  std::string spliced = canonical;
+  AttachRequestId(&spliced, "client-42");
+  EXPECT_EQ(static_cast<uint8_t>(spliced[0]), kProtocolVersion);
+  Result<CorroborateResponse> decoded = DecodeCorroborateResponse(spliced);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded.ValueOrDie().request_id, "client-42");
+  EXPECT_EQ(decoded.ValueOrDie().fact_probability,
+            response.fact_probability);
+
+  ErrorResponse error;
+  error.code = static_cast<uint8_t>(StatusCode::kNotFound);
+  error.message = "no such dataset";
+  std::string error_wire = EncodeErrorResponse(error);
+  AttachRequestId(&error_wire, "client-43");
+  Result<ErrorResponse> error_decoded = DecodeErrorResponse(error_wire);
+  ASSERT_TRUE(error_decoded.ok());
+  EXPECT_EQ(error_decoded.ValueOrDie().request_id, "client-43");
+  EXPECT_EQ(error_decoded.ValueOrDie().message, "no such dataset");
+
+  OverloadedResponse overloaded;
+  overloaded.retry_after_ms = 25;
+  std::string overloaded_wire = EncodeOverloadedResponse(overloaded);
+  AttachRequestId(&overloaded_wire, "client-44");
+  Result<OverloadedResponse> overloaded_decoded =
+      DecodeOverloadedResponse(overloaded_wire);
+  ASSERT_TRUE(overloaded_decoded.ok());
+  EXPECT_EQ(overloaded_decoded.ValueOrDie().request_id, "client-44");
+  EXPECT_EQ(overloaded_decoded.ValueOrDie().retry_after_ms, 25u);
+
+  QuotaExceededResponse quota;
+  quota.retry_after_ms = 50;
+  std::string quota_wire = EncodeQuotaExceededResponse(quota);
+  AttachRequestId(&quota_wire, "client-45");
+  Result<QuotaExceededResponse> quota_decoded =
+      DecodeQuotaExceededResponse(quota_wire);
+  ASSERT_TRUE(quota_decoded.ok());
+  EXPECT_EQ(quota_decoded.ValueOrDie().request_id, "client-45");
+}
+
+TEST(ProtocolTest, NonCorroboratePayloadsStayPinnedBelowVersionThree) {
+  // Version 3 means exactly "plus a trailing request id", and only
+  // AttachRequestId produces it: every other payload encoder must
+  // keep emitting its pre-v3 version byte so old decoders still work.
+  EXPECT_LT(static_cast<uint8_t>(
+                EncodeQuotaExceededResponse(QuotaExceededResponse())[0]),
+            3);
+  BatchRequest batch;
+  BatchItem item;
+  item.dataset = "flights";
+  batch.items.push_back(item);
+  EXPECT_LT(static_cast<uint8_t>(EncodeBatchRequest(batch)[0]), 3);
+  EXPECT_LT(static_cast<uint8_t>(EncodeBatchResponse(BatchResponse())[0]), 3);
+  EXPECT_LT(static_cast<uint8_t>(EncodeReloadRequest(ReloadRequest())[0]), 3);
+  EXPECT_LT(static_cast<uint8_t>(EncodeReloadResponse(ReloadResponse())[0]),
+            3);
+}
+
+TEST(ProtocolTest, IntrospectRequestRoundTripAndBounds) {
+  IntrospectRequest request;
+  request.top_k = 7;
+  request.max_recent = 42;
+  Result<IntrospectRequest> decoded =
+      DecodeIntrospectRequest(EncodeIntrospectRequest(request));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded.ValueOrDie().top_k, 7u);
+  EXPECT_EQ(decoded.ValueOrDie().max_recent, 42u);
+
+  // Introspection is a v3 frame: older version bytes are rejected.
+  std::string wire = EncodeIntrospectRequest(request);
+  wire[0] = 2;
+  EXPECT_EQ(DecodeIntrospectRequest(wire).status().code(),
+            StatusCode::kFailedPrecondition);
+
+  // Truncation anywhere is a parse error.
+  const std::string full = EncodeIntrospectRequest(request);
+  for (size_t len = 0; len < full.size(); ++len) {
+    EXPECT_EQ(
+        DecodeIntrospectRequest(full.substr(0, len)).status().code(),
+        StatusCode::kParseError)
+        << "truncated at " << len;
+  }
+}
+
 }  // namespace
 }  // namespace server
 }  // namespace corrob

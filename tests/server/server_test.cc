@@ -154,13 +154,16 @@ TEST_F(CorrobdServerTest, PingEchoesAndStatsReportSchema) {
 
   Result<std::string> stats = client.ValueOrDie().Stats(NoStop());
   ASSERT_TRUE(stats.ok()) << stats.status().ToString();
-  EXPECT_NE(stats.ValueOrDie().find("corrob.serving_stats/2"),
+  EXPECT_NE(stats.ValueOrDie().find("corrob.serving_stats/3"),
             std::string::npos);
   EXPECT_NE(stats.ValueOrDie().find("table1"), std::string::npos);
   // The serving-efficiency layer reports its own stats objects.
   EXPECT_NE(stats.ValueOrDie().find("\"cache\""), std::string::npos);
   EXPECT_NE(stats.ValueOrDie().find("\"coalesce\""), std::string::npos);
   EXPECT_NE(stats.ValueOrDie().find("\"quota\""), std::string::npos);
+  // The introspection layer summarizes itself in stats too.
+  EXPECT_NE(stats.ValueOrDie().find("\"recorder\""), std::string::npos);
+  EXPECT_NE(stats.ValueOrDie().find("\"watchdog\""), std::string::npos);
 
   EXPECT_TRUE(daemon.Drain().ok());
   EXPECT_EQ(daemon.server().responses_sent(), 2);

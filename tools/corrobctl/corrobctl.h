@@ -1,0 +1,68 @@
+#ifndef CORROB_TOOLS_CORROBCTL_CORROBCTL_H_
+#define CORROB_TOOLS_CORROBCTL_CORROBCTL_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "obs/json.h"
+
+// corrobctl: the operator CLI over corrobd's introspection surface
+// (docs/SERVING.md, "corrobctl"). Speaks the same wire protocol as
+// every other client — kStatsRequest and the v3 kIntrospectRequest —
+// and renders the JSON documents as aligned tables:
+//
+//   corrobctl status   --socket /tmp/corrobd.sock
+//   corrobctl requests --socket /tmp/corrobd.sock --recent 50
+//   corrobctl tenants  --socket /tmp/corrobd.sock --top 10
+//   corrobctl watch    --socket /tmp/corrobd.sock --interval-ms 1000
+//
+// --raw replaces the tables with the daemon's JSON verbatim, which is
+// what CI pipes into tools/obs/validate_trace.py.
+
+namespace corrob {
+namespace ctl {
+
+struct CtlOptions {
+  /// "status" | "requests" | "tenants" | "watch".
+  std::string command;
+  /// Unix socket of the daemon (--socket, required).
+  std::string socket;
+  /// Dump the daemon's JSON verbatim instead of rendering tables.
+  bool raw = false;
+  /// Per-tenant rows to request (--top).
+  int64_t top = 10;
+  /// Completed-request ring rows to request (--recent).
+  int64_t recent = 20;
+  /// Cadence of `watch` (--interval-ms).
+  int64_t interval_ms = 1000;
+  /// Iterations of `watch`; 0 = until interrupted (--count).
+  int64_t count = 0;
+};
+
+/// Parses the subcommand and flags; rejects unknown subcommands,
+/// unknown flags, and a missing --socket.
+[[nodiscard]] Result<CtlOptions> ParseCtlArgs(
+    const std::vector<std::string>& args);
+
+// Pure renderers from the parsed corrob.serving_stats/3 and
+// corrob.introspect/1 documents to table text; exposed for tests.
+[[nodiscard]] Result<std::string> RenderStatus(
+    const obs::JsonValue& stats, const obs::JsonValue& introspect);
+[[nodiscard]] Result<std::string> RenderRequests(
+    const obs::JsonValue& introspect);
+[[nodiscard]] Result<std::string> RenderTenants(
+    const obs::JsonValue& introspect);
+
+/// Entry point shared by main() and the tests. Returns 0 on success,
+/// 1 on a daemon/transport error, 2 on a usage error.
+int RunCorrobctl(const std::vector<std::string>& args, std::ostream& out,
+                 std::ostream& err);
+
+}  // namespace ctl
+}  // namespace corrob
+
+#endif  // CORROB_TOOLS_CORROBCTL_CORROBCTL_H_

@@ -1,0 +1,11 @@
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "tools/corrobctl/corrobctl.h"
+
+int main(int argc, char** argv) {
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  return corrob::ctl::RunCorrobctl(
+      args, std::cout, std::cerr);  // lint: io-ok: binary entry point
+}

@@ -433,7 +433,7 @@ def in_dirs(path: str, dirs) -> bool:
 
 
 NONDET_SCOPE = ("src/core", "src/eval", "src/synth", "src/ml", "src/obs",
-                "src/server")
+                "src/server", "tools/corrobctl")
 NONDET_PATTERNS = [
     (re.compile(r"\b(?:rand|srand)\s*\("), "rand()/srand()"),
     (re.compile(r"\bstd\s*::\s*random_device\b"), "std::random_device"),
@@ -583,12 +583,22 @@ INCLUDE_RE = re.compile(r'\s*#\s*include\s+(["<])([^">]+)[">]')
 
 def check_include_order(sf: SourceFile, sup: Suppressions,
                         known_headers, out: list[Violation]):
-    """A src/**/*.cc file must include its own header first."""
-    if not sf.path.startswith("src/") or not sf.path.endswith((".cc", ".cpp", ".cxx")):
+    """A src/**/*.cc or tools/**/*.cc file must include its own header
+    first. src/ headers are included without the src/ prefix; tool
+    headers by their full repo-relative path (tool targets add the
+    repo root as the include dir)."""
+    if not sf.path.endswith((".cc", ".cpp", ".cxx")):
         return
-    own = re.sub(r"\.(cc|cpp|cxx)$", ".h", re.sub(r"^src/", "", sf.path))
-    if "src/" + own not in known_headers:
-        return  # e.g. main.cc with no header of its own
+    if sf.path.startswith("src/"):
+        own = re.sub(r"\.(cc|cpp|cxx)$", ".h", re.sub(r"^src/", "", sf.path))
+        if "src/" + own not in known_headers:
+            return  # e.g. main.cc with no header of its own
+    elif sf.path.startswith("tools/"):
+        own = re.sub(r"\.(cc|cpp|cxx)$", ".h", sf.path)
+        if own not in known_headers:
+            return
+    else:
+        return
     for idx, code in enumerate(sf.code_lines):
         if not code.lstrip().startswith("#"):
             continue
@@ -835,7 +845,7 @@ def check_concurrency(sf: SourceFile, sup: Suppressions, cv_names,
 # Driver
 # --------------------------------------------------------------------------
 
-SCAN_ROOTS = ("src", "tests")
+SCAN_ROOTS = ("src", "tests", "tools/corrobctl")
 
 
 def gather_files(root: str, only_paths=None):

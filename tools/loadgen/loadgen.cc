@@ -3,11 +3,21 @@
 //
 // Sweeps a list of offered QPS levels against a running daemon and
 // reports, per level: achieved QPS, result/shed/error/quota counts,
-// the shed rate, p50/p99 latency of successful corroborations, and —
-// when the daemon's result cache is on — the level's cache hit rate
-// plus the cold-vs-hit latency split. The machine-readable sidecar
-// BENCH_serving.json (schema corrob.serving_bench/2, validated by
-// tools/obs/validate_trace.py) carries the whole curve.
+// the shed rate, p50/p90/p99/p999 latency of successful
+// corroborations, and — when the daemon's result cache is on — the
+// level's cache hit rate plus the cold-vs-hit latency split. The
+// machine-readable sidecar BENCH_serving.json (schema
+// corrob.serving_bench/3, validated by tools/obs/validate_trace.py)
+// carries the whole curve.
+//
+// Every request carries a client-generated id ("lg<level>-<seq>")
+// that the daemon echoes back (protocol v3) and keeps in its flight
+// recorder. At the end of each level the generator fetches the
+// introspection document and joins the two views by id, reporting
+// client-observed vs server-side p50 and their delta — the time spent
+// outside the daemon's own measurement window (transport, framing,
+// accept queues). The delta can be slightly negative: the two p50s
+// come from the joined sample set but are independent medians.
 //
 // Key diversity and tenancy:
 //   --unique-keys N   spread requests over N distinct cache keys via
@@ -35,10 +45,12 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <map>
 #include <mutex>
 #include <set>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "common/budget.h"
@@ -81,6 +93,8 @@ struct LoadgenConfig {
 /// worker pool.
 struct LevelStats {
   std::mutex mutex;
+  /// Request-id prefix of this level ("lg<level>-").
+  std::string id_prefix;
   /// Global request sequence: assigns tenants and synthetic keys.
   int64_t next_sequence = 0;
   /// Synthetic key indices already issued this level; the first
@@ -96,14 +110,19 @@ struct LevelStats {
   std::vector<double> latencies_ms;
   std::vector<double> cold_latencies_ms;
   std::vector<double> hit_latencies_ms;
+  /// (request id, client-observed latency) of each result, for the
+  /// end-of-level join against the daemon's flight recorder.
+  std::vector<std::pair<std::string, double>> client_by_id;
 };
 
-double Percentile(std::vector<double>* sorted_ms, double fraction) {
-  if (sorted_ms->empty()) return 0.0;
-  std::sort(sorted_ms->begin(), sorted_ms->end());
+/// Nearest-rank percentile over an ALREADY SORTED sample buffer; the
+/// caller sorts once and reads every percentile from the same sort.
+double PercentileSorted(const std::vector<double>& sorted_ms,
+                        double fraction) {
+  if (sorted_ms.empty()) return 0.0;
   const size_t index = static_cast<size_t>(
-      fraction * static_cast<double>(sorted_ms->size() - 1) + 0.5);
-  return (*sorted_ms)[std::min(index, sorted_ms->size() - 1)];
+      fraction * static_cast<double>(sorted_ms.size() - 1) + 0.5);
+  return sorted_ms[std::min(index, sorted_ms.size() - 1)];
 }
 
 /// Snapshot of the daemon's cache counters, via the stats frame.
@@ -130,6 +149,69 @@ CacheCounters FetchCacheCounters(const LoadgenConfig& config) {
   counters.hits = hits->int_value();
   counters.misses = misses->int_value();
   return counters;
+}
+
+/// The client-vs-server latency join of one level: every request this
+/// level issued that is still in the daemon's flight-recorder ring
+/// contributes a (client ms, server ms) pair.
+struct LatencyCorrelation {
+  int64_t count = 0;
+  double client_p50_ms = 0.0;
+  double server_p50_ms = 0.0;
+  /// client p50 minus server p50 — transport, framing, and accept
+  /// queues outside the daemon's window. Independent medians over the
+  /// joined set, so slightly negative values are legitimate.
+  double delta_p50_ms = 0.0;
+};
+
+LatencyCorrelation CorrelateWithRecorder(
+    const LoadgenConfig& config,
+    const std::vector<std::pair<std::string, double>>& client_by_id) {
+  LatencyCorrelation correlation;
+  if (client_by_id.empty()) return correlation;
+  Result<CorrobClient> client = CorrobClient::Connect(config.socket_path);
+  if (!client.ok()) return correlation;
+  server::IntrospectRequest request;
+  request.top_k = 1;
+  // Ask for the whole ring; the daemon trims to its capacity.
+  request.max_recent = 1u << 20;
+  Result<std::string> payload =
+      client.ValueOrDie().Introspect(request, StopSignal());
+  if (!payload.ok()) return correlation;  // daemon predates introspection
+  obs::JsonValue doc;
+  if (!obs::JsonValue::Parse(payload.ValueOrDie(), &doc)) return correlation;
+  const obs::JsonValue* recorder = doc.Find("recorder");
+  const obs::JsonValue* recent =
+      recorder != nullptr ? recorder->Find("recent") : nullptr;
+  if (recent == nullptr || !recent->is_array()) return correlation;
+
+  std::map<std::string, int64_t> server_total_nanos;
+  for (const obs::JsonValue& row : recent->items()) {
+    const obs::JsonValue* id = row.Find("id");
+    const obs::JsonValue* total = row.Find("total_nanos");
+    if (id != nullptr && id->is_string() && !id->string_value().empty() &&
+        total != nullptr && total->is_int()) {
+      server_total_nanos[id->string_value()] = total->int_value();
+    }
+  }
+
+  std::vector<double> client_ms;
+  std::vector<double> server_ms;
+  for (const auto& [id, latency_ms] : client_by_id) {
+    const auto it = server_total_nanos.find(id);
+    if (it == server_total_nanos.end()) continue;
+    client_ms.push_back(latency_ms);
+    server_ms.push_back(static_cast<double>(it->second) / 1e6);
+  }
+  correlation.count = static_cast<int64_t>(client_ms.size());
+  if (correlation.count == 0) return correlation;
+  std::sort(client_ms.begin(), client_ms.end());
+  std::sort(server_ms.begin(), server_ms.end());
+  correlation.client_p50_ms = PercentileSorted(client_ms, 0.50);
+  correlation.server_p50_ms = PercentileSorted(server_ms, 0.50);
+  correlation.delta_p50_ms =
+      correlation.client_p50_ms - correlation.server_p50_ms;
+  return correlation;
 }
 
 /// One paced worker: issues requests at `interval_ms` spacing until
@@ -162,6 +244,7 @@ void RunWorker(const LoadgenConfig& config, double interval_ms,
     {
       std::lock_guard<std::mutex> lock(stats->mutex);
       const int64_t sequence = stats->next_sequence++;
+      request.request_id = stats->id_prefix + std::to_string(sequence);
       if (!config.tenants.empty()) {
         request.tenant = config.tenants[static_cast<size_t>(
             sequence % static_cast<int64_t>(config.tenants.size()))];
@@ -187,6 +270,7 @@ void RunWorker(const LoadgenConfig& config, double interval_ms,
           case CorroborateOutcome::Kind::kResult:
             ++stats->results;
             stats->latencies_ms.push_back(latency_ms);
+            stats->client_by_id.emplace_back(request.request_id, latency_ms);
             if (cold) {
               stats->cold_latencies_ms.push_back(latency_ms);
             } else {
@@ -226,9 +310,11 @@ void RunWorker(const LoadgenConfig& config, double interval_ms,
   }
 }
 
-obs::JsonValue RunLevel(const LoadgenConfig& config, double offered_qps) {
+obs::JsonValue RunLevel(const LoadgenConfig& config, double offered_qps,
+                        int level_index) {
   const obs::Clock* clock = obs::MonotonicClock::Get();
   LevelStats stats;
+  stats.id_prefix = "lg" + std::to_string(level_index) + "-";
   const double interval_ms =
       static_cast<double>(config.connections) / offered_qps * 1000.0;
   const CacheCounters cache_before = FetchCacheCounters(config);
@@ -270,10 +356,17 @@ obs::JsonValue RunLevel(const LoadgenConfig& config, double offered_qps) {
       hit_rate = static_cast<double>(hits) / static_cast<double>(lookups);
     }
   }
-  const double p50 = Percentile(&stats.latencies_ms, 0.50);
-  const double p99 = Percentile(&stats.latencies_ms, 0.99);
-  const double cold_p50 = Percentile(&stats.cold_latencies_ms, 0.50);
-  const double hit_p50 = Percentile(&stats.hit_latencies_ms, 0.50);
+  std::sort(stats.latencies_ms.begin(), stats.latencies_ms.end());
+  std::sort(stats.cold_latencies_ms.begin(), stats.cold_latencies_ms.end());
+  std::sort(stats.hit_latencies_ms.begin(), stats.hit_latencies_ms.end());
+  const double p50 = PercentileSorted(stats.latencies_ms, 0.50);
+  const double p90 = PercentileSorted(stats.latencies_ms, 0.90);
+  const double p99 = PercentileSorted(stats.latencies_ms, 0.99);
+  const double p999 = PercentileSorted(stats.latencies_ms, 0.999);
+  const double cold_p50 = PercentileSorted(stats.cold_latencies_ms, 0.50);
+  const double hit_p50 = PercentileSorted(stats.hit_latencies_ms, 0.50);
+  const LatencyCorrelation correlation =
+      CorrelateWithRecorder(config, stats.client_by_id);
 
   std::printf(
       "%10.1f %10.1f %9lld %9lld %7lld %7lld %7lld %7lld %7lld %9.2f "
@@ -299,9 +392,18 @@ obs::JsonValue RunLevel(const LoadgenConfig& config, double offered_qps) {
   level.Set("shed_rate", obs::JsonValue::Double(shed_rate));
   level.Set("hit_rate", obs::JsonValue::Double(hit_rate));
   level.Set("p50_ms", obs::JsonValue::Double(p50));
+  level.Set("p90_ms", obs::JsonValue::Double(p90));
   level.Set("p99_ms", obs::JsonValue::Double(p99));
+  level.Set("p999_ms", obs::JsonValue::Double(p999));
   level.Set("cold_p50_ms", obs::JsonValue::Double(cold_p50));
   level.Set("hit_p50_ms", obs::JsonValue::Double(hit_p50));
+  level.Set("corr_count", obs::JsonValue::Int(correlation.count));
+  level.Set("corr_client_p50_ms",
+            obs::JsonValue::Double(correlation.client_p50_ms));
+  level.Set("corr_server_p50_ms",
+            obs::JsonValue::Double(correlation.server_p50_ms));
+  level.Set("corr_transport_delta_p50_ms",
+            obs::JsonValue::Double(correlation.delta_p50_ms));
   return level;
 }
 
@@ -411,8 +513,9 @@ int Run(int argc, char** argv) {
   obs::JsonValue levels = obs::JsonValue::Array();
   int64_t total_dropped = 0;
   int64_t total_responses = 0;
-  for (double qps : config.qps_levels) {
-    obs::JsonValue level = RunLevel(config, qps);
+  for (size_t index = 0; index < config.qps_levels.size(); ++index) {
+    const double qps = config.qps_levels[index];
+    obs::JsonValue level = RunLevel(config, qps, static_cast<int>(index));
     total_dropped += level.Find("dropped")->int_value();
     total_responses += level.Find("results")->int_value() +
                        level.Find("shed")->int_value() +
@@ -427,7 +530,7 @@ int Run(int argc, char** argv) {
 
   if (config.json_path != "none" && !config.json_path.empty()) {
     obs::JsonValue root = obs::JsonValue::Object();
-    root.Set("schema", obs::JsonValue::Str("corrob.serving_bench/2"));
+    root.Set("schema", obs::JsonValue::Str("corrob.serving_bench/3"));
     obs::JsonValue bench_config = obs::JsonValue::Object();
     bench_config.Set("socket", obs::JsonValue::Str(config.socket_path));
     bench_config.Set("dataset", obs::JsonValue::Str(config.dataset));

@@ -13,8 +13,11 @@ autodetecting each file's kind:
   bench      BenchReport JSON from the bench binaries
              ({"schema": "corrob.bench/1", ...})
   serving    BENCH_serving.json from corrob-loadgen
-             ({"schema": "corrob.serving_bench/1" or
-               "corrob.serving_bench/2", ...})
+             ({"schema": "corrob.serving_bench/1" through
+               "corrob.serving_bench/3", ...})
+  introspect live-introspection document from corrobd's 0x06 frame
+             (e.g. `corrobctl requests --raw`)
+             ({"schema": "corrob.introspect/1", ...})
 
 Usage: validate_trace.py FILE [FILE...]
 Exit status 0 when every file validates, 1 otherwise. Pure stdlib —
@@ -196,9 +199,11 @@ def validate_serving_bench(doc):
     expect_keys(doc, ["schema", "config", "levels", "totals"],
                 "serving_bench")
     schema = doc.get("schema")
-    expect(schema in ("corrob.serving_bench/1", "corrob.serving_bench/2"),
+    expect(schema in ("corrob.serving_bench/1", "corrob.serving_bench/2",
+                      "corrob.serving_bench/3"),
            f"serving_bench: unknown schema '{schema}'")
-    v2 = schema == "corrob.serving_bench/2"
+    v3 = schema == "corrob.serving_bench/3"
+    v2 = v3 or schema == "corrob.serving_bench/2"
     config = doc["config"]
     config_keys = ["socket", "dataset", "algorithm", "priority",
                    "connections", "duration_ms"]
@@ -229,6 +234,16 @@ def validate_serving_bench(doc):
         if v2:
             number_keys += ["hit_rate", "cold_p50_ms", "hit_p50_ms"]
             int_keys += ["quota"]
+        if v3:
+            number_keys += ["p90_ms", "p999_ms", "corr_client_p50_ms",
+                            "corr_server_p50_ms"]
+            int_keys += ["corr_count"]
+            # The transport delta is client p50 minus server p50 over
+            # the joined sample set: legitimately negative when the
+            # two independent medians land on different requests.
+            expect_keys(level, ["corr_transport_delta_p50_ms"], where)
+            expect(is_number(level["corr_transport_delta_p50_ms"]),
+                   f"{where}: corr_transport_delta_p50_ms must be a number")
         expect_keys(level, number_keys + int_keys, where)
         for key in number_keys:
             expect(is_number(level[key]) and level[key] >= 0,
@@ -236,6 +251,13 @@ def validate_serving_bench(doc):
         for key in int_keys:
             expect(isinstance(level[key], int) and level[key] >= 0,
                    f"{where}: {key} must be a non-negative integer")
+        if v3:
+            expect(level["p50_ms"] <= level["p90_ms"] <= level["p99_ms"]
+                   <= level["p999_ms"],
+                   f"{where}: percentiles must be non-decreasing "
+                   "(p50 <= p90 <= p99 <= p999)")
+            expect(level["corr_count"] <= level["results"],
+                   f"{where}: corr_count cannot exceed results")
         quota = level.get("quota", 0) if v2 else 0
         accounted = (level["results"] + level["shed"] + level["errors"]
                      + quota + level["aborted"] + level["dropped"])
@@ -267,6 +289,121 @@ def validate_serving_bench(doc):
             f"{totals['dropped']} dropped")
 
 
+REQUEST_ROLES = {"cold", "cache_hit", "leader", "follower", "promoted",
+                 "rejected"}
+
+
+def validate_latency_split(split, where):
+    expect_keys(split, ["count", "sum_nanos", "buckets"], where)
+    expect(isinstance(split["count"], int) and split["count"] >= 0,
+           f"{where}: count must be a non-negative integer")
+    expect(isinstance(split["sum_nanos"], int) and split["sum_nanos"] >= 0,
+           f"{where}: sum_nanos must be a non-negative integer")
+    expect(isinstance(split["buckets"], dict),
+           f"{where}: buckets must be an object")
+    bucket_total = 0
+    for bucket, count in split["buckets"].items():
+        expect(bucket.isdigit() and 0 <= int(bucket) < 64,
+               f"{where}: bucket key '{bucket}' must be an index in [0, 64)")
+        expect(isinstance(count, int) and count > 0,
+               f"{where}: buckets['{bucket}'] must be a positive integer")
+        bucket_total += count
+    expect(bucket_total == split["count"],
+           f"{where}: bucket counts sum to {bucket_total}, "
+           f"count says {split['count']}")
+
+
+def validate_introspect(doc):
+    expect_keys(doc, ["schema", "now_nanos", "active", "recorder",
+                      "watchdog", "metrics"], "introspect")
+    expect(doc["schema"] == "corrob.introspect/1",
+           f"introspect: unknown schema '{doc.get('schema')}'")
+    expect(isinstance(doc["now_nanos"], int) and doc["now_nanos"] >= 0,
+           "introspect: now_nanos must be a non-negative integer")
+
+    active = doc["active"]
+    expect(isinstance(active, list), "introspect: active must be an array")
+    for i, row in enumerate(active):
+        where = f"introspect: active[{i}]"
+        expect_keys(row, ["seq", "id", "tenant", "dataset", "method",
+                          "priority", "age_nanos", "deadline_nanos",
+                          "flagged"], where)
+        for key in ("seq", "age_nanos", "deadline_nanos"):
+            expect(isinstance(row[key], int) and row[key] >= 0,
+                   f"{where}: {key} must be a non-negative integer")
+        for key in ("id", "tenant", "dataset", "method", "priority"):
+            expect(isinstance(row[key], str),
+                   f"{where}: {key} must be a string")
+        expect(isinstance(row["flagged"], bool),
+               f"{where}: flagged must be a boolean")
+
+    recorder = doc["recorder"]
+    expect_keys(recorder, ["capacity", "started", "completed", "dropped",
+                           "slow", "recent", "tenants", "latency"],
+                "introspect: recorder")
+    for key in ("capacity", "started", "completed", "dropped", "slow"):
+        expect(isinstance(recorder[key], int) and recorder[key] >= 0,
+               f"introspect: recorder.{key} must be a non-negative integer")
+    recent = recorder["recent"]
+    expect(isinstance(recent, list),
+           "introspect: recorder.recent must be an array")
+    last_seq = None
+    for i, row in enumerate(recent):
+        where = f"introspect: recorder.recent[{i}]"
+        expect_keys(row, ["seq", "id", "tenant", "dataset", "method",
+                          "priority", "role", "termination",
+                          "admission_wait_nanos", "service_nanos",
+                          "total_nanos", "response_bytes"], where)
+        for key in ("seq", "admission_wait_nanos", "service_nanos",
+                    "total_nanos", "response_bytes"):
+            expect(isinstance(row[key], int) and row[key] >= 0,
+                   f"{where}: {key} must be a non-negative integer")
+        expect(row["role"] in REQUEST_ROLES,
+               f"{where}: unknown role '{row['role']}'")
+        expect(isinstance(row["termination"], str) and row["termination"],
+               f"{where}: termination must be a non-empty string")
+        if last_seq is not None:
+            expect(row["seq"] > last_seq,
+                   f"{where}: recent must be sorted by ascending seq")
+        last_seq = row["seq"]
+        if "spans" in row:
+            expect(isinstance(row["spans"], list) and row["spans"],
+                   f"{where}: spans, when present, must be a non-empty array")
+            for j, span in enumerate(row["spans"]):
+                expect_keys(span, ["name", "at_nanos"],
+                            f"{where}: spans[{j}]")
+    tenants = recorder["tenants"]
+    expect(isinstance(tenants, list),
+           "introspect: recorder.tenants must be an array")
+    last_requests = None
+    for i, row in enumerate(tenants):
+        where = f"introspect: recorder.tenants[{i}]"
+        expect_keys(row, ["tenant", "requests", "total_nanos", "max_nanos"],
+                    where)
+        for key in ("requests", "total_nanos", "max_nanos"):
+            expect(isinstance(row[key], int) and row[key] >= 0,
+                   f"{where}: {key} must be a non-negative integer")
+        if last_requests is not None:
+            expect(row["requests"] <= last_requests,
+                   f"{where}: tenants must be ranked by descending requests")
+        last_requests = row["requests"]
+    latency = recorder["latency"]
+    expect_keys(latency, ["cold", "hit"], "introspect: recorder.latency")
+    validate_latency_split(latency["cold"], "introspect: recorder.latency.cold")
+    validate_latency_split(latency["hit"], "introspect: recorder.latency.hit")
+
+    watchdog = doc["watchdog"]
+    expect_keys(watchdog, ["scans", "flagged", "stuck"],
+                "introspect: watchdog")
+    for key in ("scans", "flagged", "stuck"):
+        expect(isinstance(watchdog[key], int) and watchdog[key] >= 0,
+               f"introspect: watchdog.{key} must be a non-negative integer")
+
+    validate_metrics(doc["metrics"])
+    return (f"{len(active)} active, {len(recent)} recent, "
+            f"{len(tenants)} tenants")
+
+
 def detect_kind(doc):
     if not isinstance(doc, dict):
         raise Invalid("top level must be a JSON object")
@@ -277,8 +414,11 @@ def detect_kind(doc):
         return "bench", validate_bench
     if schema == "corrob.stream_telemetry/1":
         return "stream_telemetry", validate_stream_telemetry
-    if schema in ("corrob.serving_bench/1", "corrob.serving_bench/2"):
+    if schema in ("corrob.serving_bench/1", "corrob.serving_bench/2",
+                  "corrob.serving_bench/3"):
         return "serving_bench", validate_serving_bench
+    if schema == "corrob.introspect/1":
+        return "introspect", validate_introspect
     if "traceEvents" in doc:
         return "trace", validate_trace
     if "counters" in doc and "histograms" in doc:
