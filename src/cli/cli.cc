@@ -14,9 +14,11 @@
 #include "core/inc_estimate.h"
 #include "core/online.h"
 #include "core/online_checkpoint.h"
+#include "core/delta_apply.h"
 #include "core/registry.h"
 #include "core/run_context.h"
 #include "data/dataset_io.h"
+#include "data/wal.h"
 #include "data/dataset_stats.h"
 #include "data/golden_io.h"
 #include "eval/metrics.h"
@@ -95,6 +97,14 @@ USAGE
       selection round (kind, group signatures, |FG+|, |FG-|, ΔH,
       committed n) or per fixpoint iteration (max trust delta,
       trust distribution).
+
+  corrob wal-inspect --dir wal/flights [--export-csv state.csv]
+      Read-only inspection of a corrobd write-ahead vote-delta log:
+      segment count, record tallies by type, snapshot presence, and
+      whether the final segment ends in a torn (partial) record. A
+      torn tail is reported, never repaired — only corrobd's own
+      recovery truncates. --export-csv replays snapshot + deltas into
+      the dataset CSV corrobd would serve after restart.
 
   corrob help
       This text.
@@ -835,6 +845,69 @@ int CmdExplain(const FlagParser& flags, std::ostream& out,
   return 0;
 }
 
+/// Read-only WAL inspection: tallies the log without repairing it
+/// (InspectWal never truncates; only WalWriter::Open does).
+int CmdWalInspect(const FlagParser& flags, std::ostream& out,
+                  std::ostream& err) {
+  std::string dir = flags.GetString("dir", "");
+  if (dir.empty() && !flags.positional().empty()) {
+    dir = flags.positional().front();
+  }
+  if (dir.empty()) {
+    return Fail(err, "usage: corrob wal-inspect --dir <wal-directory>");
+  }
+  auto inspected = InspectWal(dir);
+  if (!inspected.ok()) return Fail(err, inspected.status());
+  const WalRecovery& recovery = inspected.ValueOrDie();
+
+  int64_t add_sources = 0;
+  int64_t add_votes = 0;
+  int64_t retractions = 0;
+  int64_t markers = 0;
+  for (const WalRecord& record : recovery.records) {
+    switch (record.type) {
+      case WalRecordType::kAddSource:
+        ++add_sources;
+        break;
+      case WalRecordType::kAddVote:
+        ++add_votes;
+        break;
+      case WalRecordType::kRetractVote:
+        ++retractions;
+        break;
+      case WalRecordType::kSnapshotMarker:
+        ++markers;
+        break;
+    }
+  }
+  out << "wal: " << dir << "\n"
+      << "segments: " << recovery.segments_scanned << "\n"
+      << "snapshot: " << (recovery.has_snapshot ? "present" : "none")
+      << "\n"
+      << "records: " << recovery.records.size() << " (add-source "
+      << add_sources << ", add-vote " << add_votes << ", retract "
+      << retractions << ", snapshot-marker " << markers << ")\n";
+  if (recovery.tail_truncated) {
+    out << "torn tail: " << recovery.tail_bytes_dropped
+        << " byte(s) of a partial final record (corrobd will truncate "
+           "on its next recovery)\n";
+  } else {
+    out << "torn tail: none\n";
+  }
+
+  const std::string export_path = flags.GetString("export-csv", "");
+  if (!export_path.empty()) {
+    auto replayed = DatasetFromWalRecovery(recovery);
+    if (!replayed.ok()) return Fail(err, replayed.status());
+    const Dataset& dataset = replayed.ValueOrDie();
+    Status written = SaveDatasetCsv(export_path, dataset);
+    if (!written.ok()) return Fail(err, written);
+    out << "exported " << dataset.num_facts() << " facts x "
+        << dataset.num_sources() << " sources to " << export_path << "\n";
+  }
+  return 0;
+}
+
 }  // namespace
 
 int RunCli(const std::vector<std::string>& args, std::ostream& out,
@@ -898,6 +971,8 @@ int RunCli(const std::vector<std::string>& args, std::ostream& out,
     code = CmdStream(parsed, out, err);
   } else if (command == "explain") {
     code = CmdExplain(parsed, out, err);
+  } else if (command == "wal-inspect") {
+    code = CmdWalInspect(parsed, out, err);
   } else {
     if (!trace_path.empty()) obs::TraceRecorder::Global().Stop();
     return Fail(err, "unknown command '" + command +

@@ -40,7 +40,12 @@ RetryPolicy DefaultIoRetryPolicy() {
 }
 
 bool IsTransientCode(StatusCode code) {
-  return code == StatusCode::kIoError;
+  // kConnectionLost is transient from the caller's perspective — the
+  // peer may come back after a restart — but retrying it is only safe
+  // for idempotent operations, so callers opt in (see
+  // CorrobClient::EnableReconnect).
+  return code == StatusCode::kIoError ||
+         code == StatusCode::kConnectionLost;
 }
 
 namespace retry_internal {

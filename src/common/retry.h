@@ -41,9 +41,12 @@ struct RetryPolicy {
 RetryPolicy DefaultIoRetryPolicy();
 
 /// True for codes worth retrying: the failure may heal on its own
-/// (flaky disk, transient contention). Everything else — parse
+/// (flaky disk, transient contention, a peer that restarts). Today
+/// that is kIoError and kConnectionLost. Everything else — parse
 /// errors, bad arguments, missing files — is deterministic and
-/// retrying would only repeat the same failure.
+/// retrying would only repeat the same failure. Retrying
+/// kConnectionLost is only safe for idempotent work; non-idempotent
+/// callers must filter it out themselves.
 bool IsTransientCode(StatusCode code);
 
 /// Observability of one Retry() call.

@@ -30,6 +30,8 @@ std::string_view StatusCodeName(StatusCode code) {
       return "QuotaExceeded";
     case StatusCode::kConnectionLost:
       return "ConnectionLost";
+    case StatusCode::kWalUnavailable:
+      return "WalUnavailable";
   }
   return "Unknown";
 }

@@ -31,6 +31,11 @@ enum class StatusCode {
   /// clients can tell a dropped in-flight response from a socket that
   /// failed before anything was promised.
   kConnectionLost = 12,
+  /// The write-ahead vote-delta log cannot accept appends (disk full,
+  /// I/O failure). The daemon degrades to read-only serving: reads
+  /// keep working from the resident dataset, mutations are rejected
+  /// with this code until the WAL is healthy again.
+  kWalUnavailable = 13,
 };
 
 /// Returns a stable human-readable name for `code` (e.g. "InvalidArgument").
@@ -96,6 +101,9 @@ class [[nodiscard]] Status {
   }
   [[nodiscard]] static Status ConnectionLost(std::string msg) {
     return Status(StatusCode::kConnectionLost, std::move(msg));
+  }
+  [[nodiscard]] static Status WalUnavailable(std::string msg) {
+    return Status(StatusCode::kWalUnavailable, std::move(msg));
   }
 
   [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }

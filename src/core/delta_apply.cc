@@ -1,0 +1,97 @@
+#include "core/delta_apply.h"
+
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "data/dataset_io.h"
+
+namespace corrob {
+
+Result<Dataset> ApplyDeltasToDataset(const Dataset& base,
+                                     std::span<const WalRecord> deltas) {
+  DatasetBuilder builder;
+  // Name -> id maps mirroring the builder's assignment; DatasetBuilder
+  // has no name lookup of its own and SetVoteByName would register
+  // names that a retraction must not create.
+  std::unordered_map<std::string, SourceId> sources;
+  std::unordered_map<std::string, FactId> facts;
+  sources.reserve(static_cast<size_t>(base.num_sources()));
+  facts.reserve(static_cast<size_t>(base.num_facts()));
+
+  // Re-register the base in id order so the rebuilt ids match.
+  for (SourceId s = 0; s < base.num_sources(); ++s) {
+    sources.emplace(base.source_name(s), builder.AddSource(base.source_name(s)));
+  }
+  for (FactId f = 0; f < base.num_facts(); ++f) {
+    facts.emplace(base.fact_name(f), builder.AddFact(base.fact_name(f)));
+  }
+  for (SourceId s = 0; s < base.num_sources(); ++s) {
+    for (const FactVote& fact_vote : base.VotesBySource(s)) {
+      CORROB_RETURN_NOT_OK(builder.SetVote(s, fact_vote.fact, fact_vote.vote));
+    }
+  }
+
+  for (size_t i = 0; i < deltas.size(); ++i) {
+    const WalRecord& record = deltas[i];
+    switch (record.type) {
+      case WalRecordType::kAddSource: {
+        sources.emplace(record.source, builder.AddSource(record.source));
+        break;
+      }
+      case WalRecordType::kAddVote: {
+        if (record.vote == Vote::kNone) {
+          return Status::InvalidArgument(
+              "delta " + std::to_string(i) +
+              ": add-vote carries '-'; use retract-vote to erase");
+        }
+        SourceId s;
+        auto source_it = sources.find(record.source);
+        if (source_it != sources.end()) {
+          s = source_it->second;
+        } else {
+          s = builder.AddSource(record.source);
+          sources.emplace(record.source, s);
+        }
+        FactId f;
+        auto fact_it = facts.find(record.fact);
+        if (fact_it != facts.end()) {
+          f = fact_it->second;
+        } else {
+          f = builder.AddFact(record.fact);
+          facts.emplace(record.fact, f);
+        }
+        CORROB_RETURN_NOT_OK(builder.SetVote(s, f, record.vote));
+        break;
+      }
+      case WalRecordType::kRetractVote: {
+        auto source_it = sources.find(record.source);
+        auto fact_it = facts.find(record.fact);
+        if (source_it == sources.end() || fact_it == facts.end()) {
+          break;  // retracting a vote that never existed is a no-op
+        }
+        CORROB_RETURN_NOT_OK(
+            builder.SetVote(source_it->second, fact_it->second, Vote::kNone));
+        break;
+      }
+      case WalRecordType::kSnapshotMarker:
+        return Status::InvalidArgument(
+            "delta " + std::to_string(i) +
+            ": snapshot markers are log metadata, not mutations; filter "
+            "them out (WalRecovery::Mutations)");
+    }
+  }
+  return builder.Build();
+}
+
+Result<Dataset> DatasetFromWalRecovery(const WalRecovery& recovery) {
+  Dataset base;
+  if (recovery.has_snapshot) {
+    CORROB_ASSIGN_OR_RETURN(LabeledDataset labeled,
+                            ParseDatasetCsv(recovery.snapshot_csv));
+    base = std::move(labeled.dataset);
+  }
+  return ApplyDeltasToDataset(base, recovery.Mutations());
+}
+
+}  // namespace corrob

@@ -1,0 +1,757 @@
+#include "data/wal.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/crc32.h"
+#include "common/csv.h"
+#include "common/failpoint.h"
+#include "common/logging.h"
+
+namespace corrob {
+namespace {
+
+constexpr std::string_view kSegmentMagic = "CORROBWL";
+constexpr uint32_t kSegmentVersion = 1;
+constexpr std::string_view kSnapshotMagic = "CORROBWS";
+constexpr uint32_t kSnapshotVersion = 1;
+// magic + u32 version.
+constexpr size_t kSegmentHeaderBytes = kSegmentMagic.size() + 4;
+// u8 type + u32 payload length.
+constexpr size_t kRecordHeaderBytes = 5;
+// u32 CRC.
+constexpr size_t kRecordTrailerBytes = 4;
+// A vote delta is two names and a vote; anything near this bound is
+// a corrupt length field, not a record.
+constexpr size_t kMaxRecordPayload = 16 * 1024 * 1024;
+
+constexpr std::string_view kSnapshotFileName = "snapshot.snap";
+
+void PutU8(std::string* out, uint8_t value) {
+  out->push_back(static_cast<char>(value));
+}
+
+void PutU32(std::string* out, uint32_t value) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    out->push_back(static_cast<char>((value >> shift) & 0xFF));
+  }
+}
+
+void PutU64(std::string* out, uint64_t value) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    out->push_back(static_cast<char>((value >> shift) & 0xFF));
+  }
+}
+
+void PutLenString(std::string* out, std::string_view text) {
+  PutU32(out, static_cast<uint32_t>(text.size()));
+  out->append(text);
+}
+
+/// Cursor over a record payload; all reads are bounds-checked.
+class PayloadCursor {
+ public:
+  explicit PayloadCursor(std::string_view bytes) : bytes_(bytes) {}
+
+  bool ReadU8(uint8_t* out) {
+    if (offset_ + 1 > bytes_.size()) return false;
+    *out = static_cast<uint8_t>(bytes_[offset_]);
+    offset_ += 1;
+    return true;
+  }
+
+  bool ReadU32(uint32_t* out) {
+    if (offset_ + 4 > bytes_.size()) return false;
+    uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) {
+      value |= static_cast<uint32_t>(
+                   static_cast<uint8_t>(bytes_[offset_ + i]))
+               << (8 * i);
+    }
+    offset_ += 4;
+    *out = value;
+    return true;
+  }
+
+  bool ReadU64(uint64_t* out) {
+    if (offset_ + 8 > bytes_.size()) return false;
+    uint64_t value = 0;
+    for (int i = 0; i < 8; ++i) {
+      value |= static_cast<uint64_t>(
+                   static_cast<uint8_t>(bytes_[offset_ + i]))
+               << (8 * i);
+    }
+    offset_ += 8;
+    *out = value;
+    return true;
+  }
+
+  bool ReadLenString(std::string* out) {
+    uint32_t length = 0;
+    if (!ReadU32(&length)) return false;
+    if (offset_ + length > bytes_.size()) return false;
+    out->assign(bytes_.substr(offset_, length));
+    offset_ += length;
+    return true;
+  }
+
+  bool AtEnd() const { return offset_ == bytes_.size(); }
+
+ private:
+  std::string_view bytes_;
+  size_t offset_ = 0;
+};
+
+std::string EncodePayload(const WalRecord& record) {
+  std::string payload;
+  switch (record.type) {
+    case WalRecordType::kAddSource:
+      PutLenString(&payload, record.source);
+      break;
+    case WalRecordType::kAddVote:
+      PutLenString(&payload, record.source);
+      PutLenString(&payload, record.fact);
+      PutU8(&payload, static_cast<uint8_t>(VoteToChar(record.vote)));
+      break;
+    case WalRecordType::kRetractVote:
+      PutLenString(&payload, record.source);
+      PutLenString(&payload, record.fact);
+      break;
+    case WalRecordType::kSnapshotMarker:
+      PutU32(&payload, record.snapshot_crc);
+      PutU64(&payload, record.records_folded);
+      break;
+  }
+  return payload;
+}
+
+/// Decodes a CRC-valid payload. Failure here is version skew or a
+/// writer bug, never a torn tail — the CRC already matched — so the
+/// caller reports it as corruption regardless of position.
+Result<WalRecord> DecodePayload(uint8_t type_byte, std::string_view payload) {
+  WalRecord record;
+  PayloadCursor cursor(payload);
+  switch (type_byte) {
+    case static_cast<uint8_t>(WalRecordType::kAddSource): {
+      record.type = WalRecordType::kAddSource;
+      if (!cursor.ReadLenString(&record.source)) {
+        return Status::ParseError("wal: short add-source payload");
+      }
+      break;
+    }
+    case static_cast<uint8_t>(WalRecordType::kAddVote): {
+      record.type = WalRecordType::kAddVote;
+      uint8_t vote_char = 0;
+      if (!cursor.ReadLenString(&record.source) ||
+          !cursor.ReadLenString(&record.fact) ||
+          !cursor.ReadU8(&vote_char)) {
+        return Status::ParseError("wal: short add-vote payload");
+      }
+      CORROB_ASSIGN_OR_RETURN(record.vote,
+                              VoteFromChar(static_cast<char>(vote_char)));
+      if (record.vote == Vote::kNone) {
+        return Status::ParseError(
+            "wal: add-vote carries '-'; retract-vote erases votes");
+      }
+      break;
+    }
+    case static_cast<uint8_t>(WalRecordType::kRetractVote): {
+      record.type = WalRecordType::kRetractVote;
+      if (!cursor.ReadLenString(&record.source) ||
+          !cursor.ReadLenString(&record.fact)) {
+        return Status::ParseError("wal: short retract-vote payload");
+      }
+      break;
+    }
+    case static_cast<uint8_t>(WalRecordType::kSnapshotMarker): {
+      record.type = WalRecordType::kSnapshotMarker;
+      if (!cursor.ReadU32(&record.snapshot_crc) ||
+          !cursor.ReadU64(&record.records_folded)) {
+        return Status::ParseError("wal: short snapshot-marker payload");
+      }
+      break;
+    }
+    default:
+      return Status::ParseError("wal: unknown record type " +
+                                std::to_string(type_byte));
+  }
+  if (!cursor.AtEnd()) {
+    return Status::ParseError("wal: trailing bytes after " +
+                              std::string(WalRecordTypeName(record.type)) +
+                              " payload");
+  }
+  return record;
+}
+
+/// Outcome of scanning one segment's bytes.
+struct SegmentScan {
+  std::vector<WalRecord> records;
+  /// Byte offset just past the last intact record (or 0 when even the
+  /// header is incomplete).
+  uint64_t valid_bytes = 0;
+  /// Bytes past valid_bytes that do not decode — a torn tail when
+  /// this is the final segment, corruption otherwise.
+  bool torn = false;
+};
+
+/// Scans segment bytes up to the first undecodable record. Returns
+/// ParseError only for damage that can never be a torn tail (full
+/// header with wrong magic/version, or a CRC-valid record that fails
+/// to decode); framing-level damage is reported via `torn` and left
+/// for the caller to classify by segment position.
+Result<SegmentScan> ScanSegmentBytes(std::string_view contents,
+                                     const std::string& path) {
+  SegmentScan scan;
+  if (contents.size() < kSegmentHeaderBytes) {
+    scan.torn = !contents.empty();
+    return scan;
+  }
+  if (contents.substr(0, kSegmentMagic.size()) != kSegmentMagic) {
+    return Status::ParseError("wal: bad segment magic in " + path);
+  }
+  PayloadCursor header(contents.substr(kSegmentMagic.size(), 4));
+  uint32_t version = 0;
+  (void)header.ReadU32(&version);  // lint: discard-ok: 4 bytes are present
+  if (version != kSegmentVersion) {
+    return Status::FailedPrecondition(
+        "wal: segment version " + std::to_string(version) + " in " + path +
+        "; this build reads version " + std::to_string(kSegmentVersion));
+  }
+  size_t offset = kSegmentHeaderBytes;
+  scan.valid_bytes = offset;
+  while (offset < contents.size()) {
+    if (offset + kRecordHeaderBytes > contents.size()) {
+      scan.torn = true;
+      return scan;
+    }
+    const uint8_t type_byte = static_cast<uint8_t>(contents[offset]);
+    PayloadCursor length_cursor(contents.substr(offset + 1, 4));
+    uint32_t payload_length = 0;
+    (void)length_cursor.ReadU32(&payload_length);  // lint: discard-ok: 4 bytes are present
+    if (payload_length > kMaxRecordPayload) {
+      scan.torn = true;
+      return scan;
+    }
+    const size_t record_end =
+        offset + kRecordHeaderBytes + payload_length + kRecordTrailerBytes;
+    if (record_end > contents.size()) {
+      scan.torn = true;
+      return scan;
+    }
+    const std::string_view payload =
+        contents.substr(offset + kRecordHeaderBytes, payload_length);
+    PayloadCursor crc_cursor(
+        contents.substr(offset + kRecordHeaderBytes + payload_length, 4));
+    uint32_t stored_crc = 0;
+    (void)crc_cursor.ReadU32(&stored_crc);  // lint: discard-ok: 4 bytes are present
+    Crc32 crc;
+    crc.Update(contents.substr(offset, 1));
+    crc.Update(payload);
+    if (crc.Digest() != stored_crc) {
+      scan.torn = true;
+      return scan;
+    }
+    CORROB_ASSIGN_OR_RETURN(WalRecord record,
+                            DecodePayload(type_byte, payload));
+    scan.records.push_back(std::move(record));
+    offset = record_end;
+    scan.valid_bytes = offset;
+  }
+  return scan;
+}
+
+/// Segment indices present in `dir`, sorted ascending. NotFound when
+/// the directory itself is missing.
+Result<std::vector<int64_t>> ListSegments(const std::string& dir) {
+  DIR* handle = ::opendir(dir.c_str());
+  if (handle == nullptr) {
+    if (errno == ENOENT) {
+      return Status::NotFound("wal: no such directory: " + dir);
+    }
+    return Status::IoError("wal: cannot open directory: " + dir + ": " +
+                           std::strerror(errno));
+  }
+  std::vector<int64_t> indices;
+  for (struct dirent* entry = ::readdir(handle); entry != nullptr;
+       entry = ::readdir(handle)) {
+    const std::string name = entry->d_name;
+    // Strict "wal-<digits>.log" match; anything else in the directory
+    // (snapshot, temp files, stray editors' droppings) is ignored.
+    if (name.size() < 9 || name.substr(0, 4) != "wal-" ||
+        name.substr(name.size() - 4) != ".log") {
+      continue;
+    }
+    const std::string digits = name.substr(4, name.size() - 8);
+    if (digits.empty() ||
+        digits.find_first_not_of("0123456789") != std::string::npos) {
+      continue;
+    }
+    indices.push_back(std::stoll(digits));
+  }
+  ::closedir(handle);
+  std::sort(indices.begin(), indices.end());
+  return indices;
+}
+
+/// Loads and verifies snapshot.snap. NotFound when absent.
+Status LoadSnapshot(const std::string& dir, WalRecovery* out) {
+  const std::string path = dir + "/" + std::string(kSnapshotFileName);
+  Result<std::string> contents = ReadFileToString(path);
+  if (!contents.ok()) return contents.status();
+  const std::string& blob = contents.ValueOrDie();
+  // magic + u32 version + u64 payload size.
+  const size_t header_bytes = kSnapshotMagic.size() + 4 + 8;
+  if (blob.size() < header_bytes) {
+    return Status::ParseError("wal: truncated snapshot header: " + path);
+  }
+  if (std::string_view(blob).substr(0, kSnapshotMagic.size()) !=
+      kSnapshotMagic) {
+    return Status::ParseError("wal: bad snapshot magic: " + path);
+  }
+  PayloadCursor cursor(
+      std::string_view(blob).substr(kSnapshotMagic.size()));
+  uint32_t version = 0;
+  uint64_t payload_size = 0;
+  (void)cursor.ReadU32(&version);      // lint: discard-ok: bounds checked above
+  (void)cursor.ReadU64(&payload_size); // lint: discard-ok: bounds checked above
+  if (version != kSnapshotVersion) {
+    return Status::FailedPrecondition(
+        "wal: snapshot version " + std::to_string(version) + " in " + path +
+        "; this build reads version " + std::to_string(kSnapshotVersion));
+  }
+  if (blob.size() != header_bytes + payload_size + 4) {
+    return Status::ParseError("wal: snapshot size mismatch: " + path);
+  }
+  const std::string_view payload =
+      std::string_view(blob).substr(header_bytes, payload_size);
+  PayloadCursor crc_cursor(
+      std::string_view(blob).substr(header_bytes + payload_size, 4));
+  uint32_t stored_crc = 0;
+  (void)crc_cursor.ReadU32(&stored_crc);  // lint: discard-ok: bounds checked above
+  const uint32_t computed = ComputeCrc32(payload);
+  if (computed != stored_crc) {
+    return Status::ParseError("wal: snapshot CRC mismatch: " + path);
+  }
+  out->has_snapshot = true;
+  out->snapshot_csv.assign(payload);
+  out->snapshot_crc = computed;
+  return Status::OK();
+}
+
+/// Creates each component of `dir` that does not exist yet.
+Status MakeDirs(const std::string& dir) {
+  std::string prefix;
+  size_t start = 0;
+  while (start <= dir.size()) {
+    size_t slash = dir.find('/', start);
+    if (slash == std::string::npos) slash = dir.size();
+    prefix = dir.substr(0, slash);
+    start = slash + 1;
+    if (prefix.empty()) continue;  // leading '/'
+    if (::mkdir(prefix.c_str(), 0755) != 0 && errno != EEXIST) {
+      return Status::IoError("wal: cannot create directory: " + prefix +
+                             ": " + std::strerror(errno));
+    }
+  }
+  return Status::OK();
+}
+
+/// Shared scan behind InspectWal (repair=false) and WalWriter::Open
+/// (repair=true). In repair mode a torn tail in the final segment is
+/// physically truncated so the segment ends on a record boundary.
+Status ScanWal(const std::string& dir, bool repair, WalRecovery* out) {
+  CORROB_FAILPOINT("wal.replay");
+  *out = WalRecovery{};
+  Status snapshot_status = LoadSnapshot(dir, out);
+  if (!snapshot_status.ok() &&
+      snapshot_status.code() != StatusCode::kNotFound) {
+    return snapshot_status;
+  }
+  CORROB_ASSIGN_OR_RETURN(std::vector<int64_t> indices, ListSegments(dir));
+  out->segments_scanned = static_cast<int64_t>(indices.size());
+  for (size_t i = 0; i < indices.size(); ++i) {
+    const bool is_final = i + 1 == indices.size();
+    const std::string path =
+        dir + "/" + wal_internal::SegmentFileName(indices[i]);
+    CORROB_ASSIGN_OR_RETURN(std::string contents, ReadFileToString(path));
+    CORROB_ASSIGN_OR_RETURN(SegmentScan scan,
+                            ScanSegmentBytes(contents, path));
+    if (scan.torn) {
+      if (!is_final) {
+        return Status::ParseError(
+            "wal: corrupt record mid-log in non-final segment " + path);
+      }
+      out->tail_truncated = true;
+      out->tail_bytes_dropped = contents.size() - scan.valid_bytes;
+      // The single torn-tail WARNING the crash-soak job greps for:
+      // a partial final record after kill -9 is expected damage, not
+      // an error.
+      CORROB_LOG_WARNING << "wal: torn tail in " << path << ": dropped "
+                         << out->tail_bytes_dropped
+                         << " byte(s) of partial final record"
+                         << (repair ? " (truncated)" : " (inspect only)");
+      if (repair) {
+        // A tail shorter than the header means the segment file was
+        // born in a crashed rotation; empty it so OpenSegment writes
+        // a fresh header.
+        const uint64_t keep =
+            scan.valid_bytes < kSegmentHeaderBytes ? 0 : scan.valid_bytes;
+        if (::truncate(path.c_str(), static_cast<off_t>(keep)) != 0) {
+          return Status::IoError("wal: cannot truncate torn tail: " + path +
+                                 ": " + std::strerror(errno));
+        }
+      }
+    }
+    for (WalRecord& record : scan.records) {
+      if (record.type == WalRecordType::kSnapshotMarker) {
+        if (!out->has_snapshot) {
+          return Status::ParseError(
+              "wal: snapshot marker in " + path +
+              " but no snapshot.snap; the log cannot be replayed alone");
+        }
+        if (record.snapshot_crc != out->snapshot_crc) {
+          return Status::ParseError(
+              "wal: snapshot marker CRC does not match snapshot.snap in " +
+              path + " (mismatched snapshot/log pair)");
+        }
+      }
+      out->records.push_back(std::move(record));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string_view WalRecordTypeName(WalRecordType type) {
+  switch (type) {
+    case WalRecordType::kAddSource:
+      return "add-source";
+    case WalRecordType::kAddVote:
+      return "add-vote";
+    case WalRecordType::kRetractVote:
+      return "retract-vote";
+    case WalRecordType::kSnapshotMarker:
+      return "snapshot-marker";
+  }
+  return "unknown";
+}
+
+WalRecord MakeAddSource(std::string source) {
+  WalRecord record;
+  record.type = WalRecordType::kAddSource;
+  record.source = std::move(source);
+  return record;
+}
+
+WalRecord MakeAddVote(std::string source, std::string fact, Vote vote) {
+  WalRecord record;
+  record.type = WalRecordType::kAddVote;
+  record.source = std::move(source);
+  record.fact = std::move(fact);
+  record.vote = vote;
+  return record;
+}
+
+WalRecord MakeRetractVote(std::string source, std::string fact) {
+  WalRecord record;
+  record.type = WalRecordType::kRetractVote;
+  record.source = std::move(source);
+  record.fact = std::move(fact);
+  return record;
+}
+
+Result<WalFsyncPolicy> ParseWalFsyncPolicy(std::string_view text) {
+  if (text == "always") return WalFsyncPolicy::kAlways;
+  if (text == "interval") return WalFsyncPolicy::kInterval;
+  if (text == "never") return WalFsyncPolicy::kNever;
+  return Status::InvalidArgument("unknown wal fsync policy '" +
+                                 std::string(text) +
+                                 "' (want always|interval|never)");
+}
+
+std::string_view WalFsyncPolicyName(WalFsyncPolicy policy) {
+  switch (policy) {
+    case WalFsyncPolicy::kAlways:
+      return "always";
+    case WalFsyncPolicy::kInterval:
+      return "interval";
+    case WalFsyncPolicy::kNever:
+      return "never";
+  }
+  return "unknown";
+}
+
+Status ValidateWalOptions(const WalOptions& options) {
+  if (options.fsync_interval_records < 1) {
+    return Status::InvalidArgument(
+        "wal fsync_interval_records must be >= 1, got " +
+        std::to_string(options.fsync_interval_records));
+  }
+  if (options.segment_bytes < 1) {
+    return Status::InvalidArgument("wal segment_bytes must be >= 1, got " +
+                                   std::to_string(options.segment_bytes));
+  }
+  return Status::OK();
+}
+
+std::vector<WalRecord> WalRecovery::Mutations() const {
+  std::vector<WalRecord> mutations;
+  mutations.reserve(records.size());
+  for (const WalRecord& record : records) {
+    if (record.type != WalRecordType::kSnapshotMarker) {
+      mutations.push_back(record);
+    }
+  }
+  return mutations;
+}
+
+Result<WalRecovery> InspectWal(const std::string& dir) {
+  WalRecovery recovery;
+  CORROB_RETURN_NOT_OK(ScanWal(dir, /*repair=*/false, &recovery));
+  return recovery;
+}
+
+namespace wal_internal {
+
+std::string EncodeRecord(const WalRecord& record) {
+  const std::string payload = EncodePayload(record);
+  std::string framed;
+  framed.reserve(kRecordHeaderBytes + payload.size() + kRecordTrailerBytes);
+  PutU8(&framed, static_cast<uint8_t>(record.type));
+  PutU32(&framed, static_cast<uint32_t>(payload.size()));
+  framed.append(payload);
+  Crc32 crc;
+  crc.Update(std::string_view(framed).substr(0, 1));
+  crc.Update(payload);
+  PutU32(&framed, crc.Digest());
+  return framed;
+}
+
+std::string SegmentHeader() {
+  std::string header(kSegmentMagic);
+  PutU32(&header, kSegmentVersion);
+  return header;
+}
+
+std::string SegmentFileName(int64_t index) {
+  std::string digits = std::to_string(index);
+  while (digits.size() < 6) digits.insert(digits.begin(), '0');
+  return "wal-" + digits + ".log";
+}
+
+}  // namespace wal_internal
+
+WalWriter::WalWriter(std::string dir, WalOptions options)
+    : dir_(std::move(dir)), options_(options) {}
+
+WalWriter::WalWriter(WalWriter&& other) noexcept
+    : dir_(std::move(other.dir_)),
+      options_(other.options_),
+      fd_(other.fd_),
+      segment_index_(other.segment_index_),
+      segment_bytes_written_(other.segment_bytes_written_),
+      records_appended_(other.records_appended_),
+      records_since_sync_(other.records_since_sync_) {
+  other.fd_ = -1;
+}
+
+WalWriter& WalWriter::operator=(WalWriter&& other) noexcept {
+  if (this != &other) {
+    CloseActive();
+    dir_ = std::move(other.dir_);
+    options_ = other.options_;
+    fd_ = other.fd_;
+    segment_index_ = other.segment_index_;
+    segment_bytes_written_ = other.segment_bytes_written_;
+    records_appended_ = other.records_appended_;
+    records_since_sync_ = other.records_since_sync_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+WalWriter::~WalWriter() { CloseActive(); }
+
+void WalWriter::CloseActive() {
+  if (fd_ < 0) return;
+  if (options_.fsync_policy != WalFsyncPolicy::kNever &&
+      records_since_sync_ > 0) {
+    // Best-effort: a close-time fsync failure has no caller to report
+    // to; the next recovery truncates whatever did not land.
+    (void)::fsync(fd_);  // lint: discard-ok: best-effort close-time flush
+  }
+  (void)::close(fd_);  // lint: discard-ok: destructor has no error channel
+  fd_ = -1;
+}
+
+Status WalWriter::OpenSegment(int64_t index, bool truncate) {
+  CloseActive();
+  const std::string path = dir_ + "/" + wal_internal::SegmentFileName(index);
+  int flags = O_WRONLY | O_CREAT | O_APPEND;
+  if (truncate) flags |= O_TRUNC;
+  fd_ = ::open(path.c_str(), flags, 0644);
+  if (fd_ < 0) {
+    return Status::IoError("wal: cannot open segment: " + path + ": " +
+                           std::strerror(errno));
+  }
+  struct stat info;
+  if (::fstat(fd_, &info) != 0) {
+    return Status::IoError("wal: cannot stat segment: " + path + ": " +
+                           std::strerror(errno));
+  }
+  segment_index_ = index;
+  segment_bytes_written_ = static_cast<int64_t>(info.st_size);
+  records_since_sync_ = 0;
+  if (segment_bytes_written_ == 0) {
+    CORROB_RETURN_NOT_OK(WriteBytes(wal_internal::SegmentHeader()));
+    if (options_.fsync_policy != WalFsyncPolicy::kNever) {
+      if (::fsync(fd_) != 0) {
+        return Status::IoError("wal: fsync failed on fresh segment: " + path +
+                               ": " + std::strerror(errno));
+      }
+      // Make the new directory entry itself durable; without this a
+      // crash can forget the file existed even though its bytes were
+      // synced.
+      int dir_fd = ::open(dir_.c_str(), O_RDONLY | O_DIRECTORY);
+      if (dir_fd >= 0) {
+        (void)::fsync(dir_fd);  // lint: discard-ok: best-effort dir sync
+        (void)::close(dir_fd);  // lint: discard-ok: read-only fd
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status WalWriter::WriteBytes(std::string_view bytes) {
+  size_t written = 0;
+  while (written < bytes.size()) {
+    ssize_t n = ::write(fd_, bytes.data() + written, bytes.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(
+          "wal: write failed on segment " +
+          wal_internal::SegmentFileName(segment_index_) + ": " +
+          std::strerror(errno));
+    }
+    written += static_cast<size_t>(n);
+  }
+  segment_bytes_written_ += static_cast<int64_t>(bytes.size());
+  return Status::OK();
+}
+
+Status WalWriter::Sync() {
+  CORROB_FAILPOINT("wal.fsync");
+  if (fd_ < 0) {
+    return Status::FailedPrecondition("wal: Sync on a closed writer");
+  }
+  if (::fsync(fd_) != 0) {
+    return Status::IoError("wal: fsync failed on segment " +
+                           wal_internal::SegmentFileName(segment_index_) +
+                           ": " + std::strerror(errno));
+  }
+  records_since_sync_ = 0;
+  return Status::OK();
+}
+
+Status WalWriter::MaybeSync() {
+  switch (options_.fsync_policy) {
+    case WalFsyncPolicy::kAlways:
+      return Sync();
+    case WalFsyncPolicy::kInterval:
+      if (records_since_sync_ >= options_.fsync_interval_records) {
+        return Sync();
+      }
+      return Status::OK();
+    case WalFsyncPolicy::kNever:
+      return Status::OK();
+  }
+  return Status::OK();
+}
+
+Status WalWriter::Rotate() {
+  CORROB_FAILPOINT("wal.rotate");
+  if (options_.fsync_policy != WalFsyncPolicy::kNever &&
+      records_since_sync_ > 0) {
+    CORROB_RETURN_NOT_OK(Sync());
+  }
+  return OpenSegment(segment_index_ + 1, /*truncate=*/false);
+}
+
+Status WalWriter::Append(const WalRecord& record) {
+  CORROB_FAILPOINT("wal.append");
+  if (fd_ < 0) {
+    return Status::FailedPrecondition("wal: Append on a closed writer");
+  }
+  if (segment_bytes_written_ >= options_.segment_bytes) {
+    CORROB_RETURN_NOT_OK(Rotate());
+  }
+  CORROB_RETURN_NOT_OK(WriteBytes(wal_internal::EncodeRecord(record)));
+  ++records_appended_;
+  ++records_since_sync_;
+  return MaybeSync();
+}
+
+Status WalWriter::Compact(std::string_view dataset_csv,
+                          uint64_t records_folded) {
+  if (fd_ < 0) {
+    return Status::FailedPrecondition("wal: Compact on a closed writer");
+  }
+  // 1. Durably publish the snapshot. A crash after this point leaves
+  //    snapshot + old segments: replay folds the old records onto the
+  //    snapshot idempotently, so nothing is lost or doubled.
+  const uint32_t crc = ComputeCrc32(dataset_csv);
+  std::string blob(kSnapshotMagic);
+  PutU32(&blob, kSnapshotVersion);
+  PutU64(&blob, static_cast<uint64_t>(dataset_csv.size()));
+  blob.append(dataset_csv);
+  PutU32(&blob, crc);
+  CORROB_RETURN_NOT_OK(WriteFileAtomic(
+      dir_ + "/" + std::string(kSnapshotFileName), blob));
+  // 2. Start a fresh segment whose first record pins the snapshot CRC.
+  const int64_t last_old_segment = segment_index_;
+  CORROB_RETURN_NOT_OK(Rotate());
+  WalRecord marker;
+  marker.type = WalRecordType::kSnapshotMarker;
+  marker.snapshot_crc = crc;
+  marker.records_folded = records_folded;
+  CORROB_RETURN_NOT_OK(WriteBytes(wal_internal::EncodeRecord(marker)));
+  CORROB_RETURN_NOT_OK(Sync());
+  // 3. Drop the folded segments. Failure here is cosmetic — replaying
+  //    a stale segment on top of the snapshot is a no-op — so log and
+  //    keep serving rather than flip the WAL unhealthy.
+  for (int64_t index = 0; index <= last_old_segment; ++index) {
+    const std::string path =
+        dir_ + "/" + wal_internal::SegmentFileName(index);
+    if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+      CORROB_LOG_WARNING << "wal: cannot remove folded segment " << path
+                         << ": " << std::strerror(errno)
+                         << " (harmless: replay is idempotent)";
+    }
+  }
+  return Status::OK();
+}
+
+Result<WalWriter> WalWriter::Open(const std::string& dir,
+                                  const WalOptions& options,
+                                  WalRecovery* recovery) {
+  CORROB_RETURN_NOT_OK(ValidateWalOptions(options));
+  CORROB_RETURN_NOT_OK(MakeDirs(dir));
+  WalRecovery local;
+  WalRecovery* scan_out = recovery != nullptr ? recovery : &local;
+  CORROB_RETURN_NOT_OK(ScanWal(dir, /*repair=*/true, scan_out));
+  WalWriter writer(dir, options);
+  CORROB_ASSIGN_OR_RETURN(std::vector<int64_t> indices, ListSegments(dir));
+  const int64_t start_index = indices.empty() ? 0 : indices.back();
+  CORROB_RETURN_NOT_OK(writer.OpenSegment(start_index, /*truncate=*/false));
+  return writer;
+}
+
+}  // namespace corrob

@@ -1,0 +1,237 @@
+#ifndef CORROB_DATA_WAL_H_
+#define CORROB_DATA_WAL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "data/vote.h"
+
+namespace corrob {
+
+/// Durable, append-only write-ahead log of vote deltas — the
+/// crash-safe ingestion path between a live stream of mutations and
+/// the immutable Dataset the corroborators run on (ROADMAP item 3).
+///
+/// On-disk layout under a WAL directory:
+///
+///   wal-000000.log, wal-000001.log, ...   record segments
+///   snapshot.snap                          optional compaction snapshot
+///
+/// Segment format (all integers little-endian):
+///
+///   [8]  magic "CORROBWL"
+///   [4]  u32 format version (currently 1)
+///   then zero or more records:
+///   [1]  u8 record type
+///   [4]  u32 payload length
+///   [n]  payload
+///   [4]  u32 CRC-32 of the type byte + payload
+///
+/// Snapshot format mirrors the checkpoint framing
+/// (core/online_checkpoint):
+///
+///   [8]  magic "CORROBWS"
+///   [4]  u32 format version (currently 1)
+///   [8]  u64 payload size
+///   [n]  payload — dataset CSV text (data/dataset_io layout)
+///   [4]  u32 CRC-32 of the payload
+///
+/// Recovery semantics: a torn tail — a partial or CRC-failing record
+/// at the end of the *final* segment, the signature of `kill -9`
+/// mid-append — is truncated with a single WARNING and the load
+/// succeeds with the surviving prefix. The same damage anywhere else
+/// (a non-final segment, or a snapshot that fails its CRC) is real
+/// corruption and fails with ParseError.
+///
+/// Replay is idempotent: records carry names (not dense ids) and votes
+/// are last-writer-wins, so re-applying an already-folded prefix after
+/// a crash mid-compaction converges to the same dataset.
+
+/// Kind of one logged mutation.
+enum class WalRecordType : uint8_t {
+  /// Registers a source by name (no-op when already known).
+  kAddSource = 1,
+  /// Sets `source`'s vote on `fact` (last writer wins).
+  kAddVote = 2,
+  /// Erases `source`'s vote on `fact` (no-op when absent).
+  kRetractVote = 3,
+  /// Marks that every earlier record is folded into snapshot.snap;
+  /// carries the snapshot payload CRC so replay can detect a
+  /// mismatched snapshot/log pair.
+  kSnapshotMarker = 4,
+};
+
+/// Stable name for a record type (e.g. "add-vote").
+std::string_view WalRecordTypeName(WalRecordType type);
+
+/// One logged mutation. Which fields are meaningful depends on `type`;
+/// unused fields stay at their defaults and are not serialized.
+struct WalRecord {
+  WalRecordType type = WalRecordType::kAddVote;
+  std::string source;             // kAddSource, kAddVote, kRetractVote
+  std::string fact;               // kAddVote, kRetractVote
+  Vote vote = Vote::kNone;        // kAddVote (kTrue or kFalse)
+  uint32_t snapshot_crc = 0;      // kSnapshotMarker
+  uint64_t records_folded = 0;    // kSnapshotMarker
+
+  friend bool operator==(const WalRecord&, const WalRecord&) = default;
+};
+
+/// Convenience constructors for the three mutation kinds.
+WalRecord MakeAddSource(std::string source);
+WalRecord MakeAddVote(std::string source, std::string fact, Vote vote);
+WalRecord MakeRetractVote(std::string source, std::string fact);
+
+/// When appends reach the disk.
+enum class WalFsyncPolicy {
+  /// fsync after every append: a record acked is a record on disk.
+  kAlways,
+  /// fsync every `fsync_interval_records` appends (and on rotation /
+  /// close): bounded loss window, much higher throughput.
+  kInterval,
+  /// Never fsync from the writer; the OS flushes when it pleases.
+  kNever,
+};
+
+/// Parses "always" / "interval" / "never" (case-sensitive).
+[[nodiscard]] Result<WalFsyncPolicy> ParseWalFsyncPolicy(std::string_view text);
+
+/// Stable name of a policy, inverse of ParseWalFsyncPolicy.
+std::string_view WalFsyncPolicyName(WalFsyncPolicy policy);
+
+struct WalOptions {
+  WalFsyncPolicy fsync_policy = WalFsyncPolicy::kAlways;
+  /// Appends between fsyncs under WalFsyncPolicy::kInterval (>= 1).
+  int64_t fsync_interval_records = 64;
+  /// Rotate to a fresh segment once the active one exceeds this many
+  /// bytes (>= 1); keeps any single replay read bounded.
+  int64_t segment_bytes = 4 * 1024 * 1024;
+};
+
+/// Validates option ranges; InvalidArgument names the first bad field.
+[[nodiscard]] Status ValidateWalOptions(const WalOptions& options);
+
+/// Everything recovery learned from a WAL directory.
+struct WalRecovery {
+  /// Surviving records across all segments, in append order
+  /// (snapshot markers included).
+  std::vector<WalRecord> records;
+  /// True when snapshot.snap exists and passed its CRC.
+  bool has_snapshot = false;
+  /// The snapshot's dataset CSV payload when has_snapshot.
+  std::string snapshot_csv;
+  /// CRC-32 of snapshot_csv when has_snapshot.
+  uint32_t snapshot_crc = 0;
+  /// True when a torn tail was found in the final segment.
+  bool tail_truncated = false;
+  /// Bytes of torn tail dropped (0 when !tail_truncated).
+  uint64_t tail_bytes_dropped = 0;
+  /// Segment files scanned, in index order.
+  int64_t segments_scanned = 0;
+
+  /// Mutation records only (markers filtered out).
+  std::vector<WalRecord> Mutations() const;
+};
+
+/// Read-only scan of a WAL directory: reports a torn tail via
+/// `tail_truncated` but never modifies any file — safe to run against
+/// a live writer's directory (`corrob wal-inspect` uses this).
+/// NotFound when `dir` does not exist.
+[[nodiscard]] Result<WalRecovery> InspectWal(const std::string& dir);
+
+/// Append handle on a WAL directory.
+///
+/// Open() recovers first — truncating a torn tail so the invariant
+/// "only the final segment may end mid-record" is re-established —
+/// then appends to the last segment (or creates wal-000000.log).
+///
+/// Thread-compatible: callers serialize Append/Sync/Compact
+/// externally (corrobd holds the ServedDataset mutex).
+///
+/// Fault-injection sites: "wal.append", "wal.fsync", "wal.rotate",
+/// "wal.replay".
+class WalWriter {
+ public:
+  /// Opens (creating `dir` if needed) and recovers. When `recovery`
+  /// is non-null it receives the surviving records so the caller can
+  /// rebuild its resident state from the same scan.
+  [[nodiscard]] static Result<WalWriter> Open(const std::string& dir,
+                                              const WalOptions& options,
+                                              WalRecovery* recovery = nullptr);
+
+  WalWriter(WalWriter&& other) noexcept;
+  WalWriter& operator=(WalWriter&& other) noexcept;
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+  ~WalWriter();
+
+  /// Appends one record (rotating first when the active segment is
+  /// full) and applies the fsync policy. On failure the writer is
+  /// left usable; the record may or may not have reached the disk,
+  /// so callers must not ack the mutation.
+  [[nodiscard]] Status Append(const WalRecord& record);
+
+  /// Forces an fsync of the active segment regardless of policy.
+  [[nodiscard]] Status Sync();
+
+  /// Folds the log into a snapshot: durably writes `dataset_csv` to
+  /// snapshot.snap, starts a fresh segment whose first record is a
+  /// kSnapshotMarker, then deletes the older segments. Crash-safe at
+  /// every step — replay after an interrupted compaction re-applies
+  /// old records idempotently on top of the snapshot.
+  [[nodiscard]] Status Compact(std::string_view dataset_csv,
+                               uint64_t records_folded);
+
+  /// Directory this writer appends under.
+  const std::string& dir() const { return dir_; }
+
+  /// Index of the segment currently accepting appends.
+  int64_t active_segment_index() const { return segment_index_; }
+
+  /// Records appended through this handle (not counting recovery).
+  int64_t records_appended() const { return records_appended_; }
+
+ private:
+  WalWriter(std::string dir, WalOptions options);
+
+  /// Closes the active segment fd (fsyncing under kAlways/kInterval).
+  void CloseActive();
+  /// Opens segment `index` for append, writing a header when fresh.
+  [[nodiscard]] Status OpenSegment(int64_t index, bool truncate);
+  /// Rotates to segment `segment_index_ + 1`.
+  [[nodiscard]] Status Rotate();
+  /// Appends raw bytes to the active segment.
+  [[nodiscard]] Status WriteBytes(std::string_view bytes);
+  /// Applies the fsync policy after a successful append.
+  [[nodiscard]] Status MaybeSync();
+
+  std::string dir_;
+  WalOptions options_;
+  int fd_ = -1;
+  int64_t segment_index_ = 0;
+  int64_t segment_bytes_written_ = 0;
+  int64_t records_appended_ = 0;
+  int64_t records_since_sync_ = 0;
+};
+
+namespace wal_internal {
+
+/// Serializes one record into its on-disk framing (type byte, length,
+/// payload, CRC). Exposed for tests that build corrupt frames.
+std::string EncodeRecord(const WalRecord& record);
+
+/// The fixed segment header ("CORROBWL" + version).
+std::string SegmentHeader();
+
+/// Name of segment `index`, e.g. "wal-000012.log".
+std::string SegmentFileName(int64_t index);
+
+}  // namespace wal_internal
+
+}  // namespace corrob
+
+#endif  // CORROB_DATA_WAL_H_

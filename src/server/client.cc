@@ -55,7 +55,7 @@ Result<CorroborateOutcome> DecodeOutcome(FrameType type,
 
 Result<CorrobClient> CorrobClient::Connect(const std::string& socket_path) {
   CORROB_ASSIGN_OR_RETURN(UniqueFd fd, ConnectUnixSocket(socket_path));
-  return CorrobClient(std::move(fd));
+  return CorrobClient(std::move(fd), socket_path);
 }
 
 Result<Frame> CorrobClient::RoundTrip(const Frame& request,
@@ -70,12 +70,39 @@ Result<Frame> CorrobClient::RoundTrip(const Frame& request,
   return ReadFrame(fd_.get(), stop);
 }
 
+Result<Frame> CorrobClient::RoundTripWithReconnect(const Frame& request,
+                                                   const StopSignal& stop) {
+  if (!reconnect_enabled_) return RoundTrip(request, stop);
+  return Retry(reconnect_policy_, [&]() -> Result<Frame> {
+    if (!fd_.valid()) {
+      Result<UniqueFd> redial = ConnectUnixSocket(socket_path_);
+      if (!redial.ok()) {
+        // A refused dial while the daemon restarts is the same
+        // transient condition as the lost connection that got us
+        // here; keep the retry loop alive with the transient code.
+        return Status::ConnectionLost("reconnect to '" + socket_path_ +
+                                      "' failed: " +
+                                      redial.status().message());
+      }
+      fd_ = std::move(redial).ValueOrDie();
+    }
+    Result<Frame> response = RoundTrip(request, stop);
+    if (!response.ok() && IsTransientCode(response.status().code())) {
+      // The stream may no longer be frame-aligned; the next attempt
+      // dials fresh.
+      Close();
+    }
+    return response;
+  });
+}
+
 Result<CorroborateOutcome> CorrobClient::Corroborate(
     const CorroborateRequest& request, const StopSignal& stop) {
   Frame wire;
   wire.type = FrameType::kCorroborateRequest;
   wire.payload = EncodeCorroborateRequest(request);
-  CORROB_ASSIGN_OR_RETURN(Frame response, RoundTrip(wire, stop));
+  CORROB_ASSIGN_OR_RETURN(Frame response,
+                          RoundTripWithReconnect(wire, stop));
   return DecodeOutcome(response.type, response.payload);
 }
 
@@ -133,6 +160,27 @@ Result<ReloadResponse> CorrobClient::Reload(const ReloadRequest& request,
   return DecodeReloadResponse(response.payload);
 }
 
+Result<ApplyDeltaResponse> CorrobClient::ApplyDelta(
+    const ApplyDeltaRequest& request, const StopSignal& stop) {
+  Frame wire;
+  wire.type = FrameType::kApplyDeltaRequest;
+  wire.payload = EncodeApplyDeltaRequest(request);
+  // Deliberately the plain RoundTrip: a delta batch the daemon may
+  // have logged before dying must not be silently resent.
+  CORROB_ASSIGN_OR_RETURN(Frame response, RoundTrip(wire, stop));
+  if (response.type == FrameType::kErrorResponse) {
+    CORROB_ASSIGN_OR_RETURN(ErrorResponse error,
+                            DecodeErrorResponse(response.payload));
+    return Status(static_cast<StatusCode>(error.code), error.message);
+  }
+  if (response.type != FrameType::kApplyDeltaResponse) {
+    return Status::ParseError("unexpected response frame '" +
+                              std::string(FrameTypeName(response.type)) +
+                              "' to an apply-delta request");
+  }
+  return DecodeApplyDeltaResponse(response.payload);
+}
+
 Result<std::string> CorrobClient::Ping(const std::string& payload,
                                        const StopSignal& stop) {
   Frame wire;
@@ -150,7 +198,8 @@ Result<std::string> CorrobClient::Ping(const std::string& payload,
 Result<std::string> CorrobClient::Stats(const StopSignal& stop) {
   Frame wire;
   wire.type = FrameType::kStatsRequest;
-  CORROB_ASSIGN_OR_RETURN(Frame response, RoundTrip(wire, stop));
+  CORROB_ASSIGN_OR_RETURN(Frame response,
+                          RoundTripWithReconnect(wire, stop));
   if (response.type != FrameType::kStatsResponse) {
     return Status::ParseError("unexpected response frame '" +
                               std::string(FrameTypeName(response.type)) +
@@ -164,7 +213,8 @@ Result<std::string> CorrobClient::Introspect(const IntrospectRequest& request,
   Frame wire;
   wire.type = FrameType::kIntrospectRequest;
   wire.payload = EncodeIntrospectRequest(request);
-  CORROB_ASSIGN_OR_RETURN(Frame response, RoundTrip(wire, stop));
+  CORROB_ASSIGN_OR_RETURN(Frame response,
+                          RoundTripWithReconnect(wire, stop));
   if (response.type == FrameType::kErrorResponse) {
     CORROB_ASSIGN_OR_RETURN(ErrorResponse error,
                             DecodeErrorResponse(response.payload));

@@ -6,6 +6,7 @@
 
 #include "common/budget.h"
 #include "common/result.h"
+#include "common/retry.h"
 #include "common/socket.h"
 #include "common/status.h"
 #include "server/frame.h"
@@ -59,6 +60,20 @@ class CorrobClient {
   /// cancelled by its disconnect watcher.
   void Close() { fd_.Reset(); }
 
+  /// Opt-in bounded reconnect-and-retry for the idempotent read paths
+  /// (Corroborate, Introspect, Stats): when one of them fails with a
+  /// transient transport code (kConnectionLost, kIoError — a daemon
+  /// that restarted under the client), the connection is redialed and
+  /// the request resent, up to policy.max_attempts with the policy's
+  /// jittered backoff. Mutating paths (ApplyDelta, Reload, Batch)
+  /// never auto-retry: a request the daemon may have executed before
+  /// dying must not be silently repeated.
+  void EnableReconnect(const RetryPolicy& policy) {
+    reconnect_policy_ = policy;
+    reconnect_enabled_ = true;
+  }
+  [[nodiscard]] bool reconnect_enabled() const { return reconnect_enabled_; }
+
   /// Sends one corroborate request and reads its response frame.
   [[nodiscard]] Result<CorroborateOutcome> Corroborate(
       const CorroborateRequest& request, const StopSignal& stop);
@@ -75,11 +90,20 @@ class CorrobClient {
   [[nodiscard]] Result<ReloadResponse> Reload(const ReloadRequest& request,
                                               const StopSignal& stop);
 
+  /// Sends vote deltas for durable application. The response arrives
+  /// only after every delta is on the daemon's write-ahead log, so a
+  /// successful return means the mutation survives kill -9. A typed
+  /// error frame becomes a Status with the daemon's code — notably
+  /// kWalUnavailable when the dataset has degraded to read-only
+  /// serving. Never auto-retried, even with reconnect enabled.
+  [[nodiscard]] Result<ApplyDeltaResponse> ApplyDelta(
+      const ApplyDeltaRequest& request, const StopSignal& stop);
+
   /// Round-trips a ping; the response echoes `payload`.
   [[nodiscard]] Result<std::string> Ping(const std::string& payload,
                                          const StopSignal& stop);
 
-  /// Fetches the daemon's stats JSON (schema corrob.serving_stats/3).
+  /// Fetches the daemon's stats JSON (schema corrob.serving_stats/4).
   [[nodiscard]] Result<std::string> Stats(const StopSignal& stop);
 
   /// Fetches the daemon's live-introspection JSON (schema
@@ -92,13 +116,23 @@ class CorrobClient {
       const IntrospectRequest& request, const StopSignal& stop);
 
  private:
-  explicit CorrobClient(UniqueFd fd) : fd_(std::move(fd)) {}
+  CorrobClient(UniqueFd fd, std::string socket_path)
+      : fd_(std::move(fd)), socket_path_(std::move(socket_path)) {}
 
   /// Writes `request` and reads one response frame.
   [[nodiscard]] Result<Frame> RoundTrip(const Frame& request,
                                         const StopSignal& stop);
 
+  /// RoundTrip for the idempotent read paths: with reconnect enabled,
+  /// transient transport failures redial socket_path_ and resend
+  /// under reconnect_policy_; otherwise identical to RoundTrip.
+  [[nodiscard]] Result<Frame> RoundTripWithReconnect(
+      const Frame& request, const StopSignal& stop);
+
   UniqueFd fd_;
+  std::string socket_path_;
+  bool reconnect_enabled_ = false;
+  RetryPolicy reconnect_policy_;
 };
 
 }  // namespace server

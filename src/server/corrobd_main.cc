@@ -190,6 +190,30 @@ struct DaemonFlags {
       CORROB_ASSIGN_OR_RETURN(std::string value, needs_value(i));
       flags->server.watchdog_deadline_multiplier = std::stod(value);
       ++i;
+    } else if (arg == "--wal") {
+      CORROB_ASSIGN_OR_RETURN(flags->server.wal_dir, needs_value(i));
+      ++i;
+    } else if (arg == "--wal-fsync") {
+      CORROB_ASSIGN_OR_RETURN(std::string value, needs_value(i));
+      CORROB_ASSIGN_OR_RETURN(flags->server.wal_fsync,
+                              ParseWalFsyncPolicy(value));
+      ++i;
+    } else if (arg == "--wal-fsync-interval") {
+      CORROB_ASSIGN_OR_RETURN(std::string value, needs_value(i));
+      const int64_t interval = std::stoll(value);
+      if (interval <= 0) {
+        return Status::InvalidArgument("--wal-fsync-interval must be > 0");
+      }
+      flags->server.wal_fsync_interval_records = interval;
+      ++i;
+    } else if (arg == "--wal-segment-bytes") {
+      CORROB_ASSIGN_OR_RETURN(std::string value, needs_value(i));
+      const int64_t bytes = std::stoll(value);
+      if (bytes <= 0) {
+        return Status::InvalidArgument("--wal-segment-bytes must be > 0");
+      }
+      flags->server.wal_segment_bytes = bytes;
+      ++i;
     } else {
       return Status::InvalidArgument(
           "unknown flag '" + arg +
@@ -198,7 +222,8 @@ struct DaemonFlags {
           "--threads --drain-timeout-ms --cache-entries --cache-shards "
           "--tenant-qps --tenant-burst --tenant-slots --tenant-quota "
           "--failpoint --flight-recorder-entries --slow-request-ms "
-          "--watchdog-interval-ms --watchdog-multiplier)");
+          "--watchdog-interval-ms --watchdog-multiplier "
+          "--wal --wal-fsync --wal-fsync-interval --wal-segment-bytes)");
     }
   }
   return Status::OK();

@@ -76,6 +76,8 @@ std::string_view FrameTypeName(FrameType type) {
       return "reload_request";
     case FrameType::kIntrospectRequest:
       return "introspect_request";
+    case FrameType::kApplyDeltaRequest:
+      return "apply_delta_request";
     case FrameType::kResultResponse:
       return "result_response";
     case FrameType::kErrorResponse:
@@ -94,6 +96,8 @@ std::string_view FrameTypeName(FrameType type) {
       return "reload_response";
     case FrameType::kIntrospectResponse:
       return "introspect_response";
+    case FrameType::kApplyDeltaResponse:
+      return "apply_delta_response";
   }
   return "unknown";
 }
@@ -115,6 +119,8 @@ bool IsKnownFrameType(uint8_t raw) {
     case FrameType::kQuotaExceededResponse:
     case FrameType::kReloadResponse:
     case FrameType::kIntrospectResponse:
+    case FrameType::kApplyDeltaRequest:
+    case FrameType::kApplyDeltaResponse:
       return true;
   }
   return false;

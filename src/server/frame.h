@@ -34,6 +34,7 @@ enum class FrameType : uint8_t {
   kBatchRequest = 0x04,
   kReloadRequest = 0x05,
   kIntrospectRequest = 0x06,
+  kApplyDeltaRequest = 0x07,
   kResultResponse = 0x81,
   kErrorResponse = 0x82,
   kOverloadedResponse = 0x83,
@@ -43,6 +44,7 @@ enum class FrameType : uint8_t {
   kQuotaExceededResponse = 0x87,
   kReloadResponse = 0x88,
   kIntrospectResponse = 0x89,
+  kApplyDeltaResponse = 0x8A,
 };
 
 /// Stable lowercase name, e.g. "corroborate_request".

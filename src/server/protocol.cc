@@ -518,6 +518,99 @@ Result<ReloadResponse> DecodeReloadResponse(std::string_view payload) {
   return response;
 }
 
+std::string EncodeApplyDeltaRequest(const ApplyDeltaRequest& request) {
+  std::string out;
+  PutU8(&out, kApplyDeltaVersion);
+  PutString(&out, request.dataset);
+  PutU32(&out, static_cast<uint32_t>(request.deltas.size()));
+  for (const WalRecord& record : request.deltas) {
+    PutU8(&out, static_cast<uint8_t>(record.type));
+    PutString(&out, record.source);
+    PutString(&out, record.fact);
+    // The vote byte travels for every record type so the layout stays
+    // fixed-shape; it is only meaningful for add-vote.
+    PutU8(&out, static_cast<uint8_t>(VoteToChar(record.vote)));
+  }
+  return out;
+}
+
+Result<ApplyDeltaRequest> DecodeApplyDeltaRequest(std::string_view payload) {
+  PayloadReader reader(payload);
+  CORROB_RETURN_NOT_OK(
+      ReadVersionInRange(reader, kApplyDeltaVersion, kApplyDeltaVersion)
+          .status());
+  ApplyDeltaRequest request;
+  CORROB_RETURN_NOT_OK(reader.ReadString(&request.dataset));
+  uint32_t count = 0;
+  CORROB_RETURN_NOT_OK(reader.ReadU32(&count));
+  if (count == 0) {
+    return Status::InvalidArgument("apply-delta request has no deltas");
+  }
+  if (count > kMaxDeltaItems) {
+    return Status::InvalidArgument(
+        "apply-delta request has " + std::to_string(count) +
+        " deltas; the cap is " + std::to_string(kMaxDeltaItems));
+  }
+  request.deltas.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    WalRecord record;
+    uint8_t type = 0;
+    uint8_t vote_char = 0;
+    CORROB_RETURN_NOT_OK(reader.ReadU8(&type));
+    CORROB_RETURN_NOT_OK(reader.ReadString(&record.source));
+    CORROB_RETURN_NOT_OK(reader.ReadString(&record.fact));
+    CORROB_RETURN_NOT_OK(reader.ReadU8(&vote_char));
+    switch (static_cast<WalRecordType>(type)) {
+      case WalRecordType::kAddSource:
+      case WalRecordType::kAddVote:
+      case WalRecordType::kRetractVote:
+        record.type = static_cast<WalRecordType>(type);
+        break;
+      case WalRecordType::kSnapshotMarker:
+        return Status::InvalidArgument(
+            "delta " + std::to_string(i) +
+            ": snapshot markers are log metadata, not mutations");
+      default:
+        return Status::InvalidArgument("delta " + std::to_string(i) +
+                                       ": unknown record type " +
+                                       std::to_string(type));
+    }
+    if (record.type == WalRecordType::kAddVote) {
+      CORROB_ASSIGN_OR_RETURN(record.vote,
+                              VoteFromChar(static_cast<char>(vote_char)));
+      if (record.vote == Vote::kNone) {
+        return Status::InvalidArgument(
+            "delta " + std::to_string(i) +
+            ": add-vote carries '-'; use retract-vote to erase");
+      }
+    }
+    request.deltas.push_back(std::move(record));
+  }
+  CORROB_RETURN_NOT_OK(reader.ExpectEnd());
+  return request;
+}
+
+std::string EncodeApplyDeltaResponse(const ApplyDeltaResponse& response) {
+  std::string out;
+  PutU8(&out, kApplyDeltaVersion);
+  PutU32(&out, response.applied);
+  PutU64(&out, response.generation);
+  return out;
+}
+
+Result<ApplyDeltaResponse> DecodeApplyDeltaResponse(
+    std::string_view payload) {
+  PayloadReader reader(payload);
+  CORROB_RETURN_NOT_OK(
+      ReadVersionInRange(reader, kApplyDeltaVersion, kApplyDeltaVersion)
+          .status());
+  ApplyDeltaResponse response;
+  CORROB_RETURN_NOT_OK(reader.ReadU32(&response.applied));
+  CORROB_RETURN_NOT_OK(reader.ReadU64(&response.generation));
+  CORROB_RETURN_NOT_OK(reader.ExpectEnd());
+  return response;
+}
+
 std::string EncodeIntrospectRequest(const IntrospectRequest& request) {
   std::string out;
   PutU8(&out, kProtocolVersion);

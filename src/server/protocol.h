@@ -9,6 +9,7 @@
 
 #include "common/result.h"
 #include "common/status.h"
+#include "data/wal.h"
 
 // Payload encodings of the corrobd frames (docs/SERVING.md). Each
 // payload starts with a u8 codec version so the format can evolve
@@ -32,6 +33,10 @@
 //      version-1/2 fields plus a trailing request id", so the batch
 //      and reload payloads — which never carry an id — stay pinned
 //      at version 2 on the wire.
+//   4  durable delta ingestion: apply-delta frames carrying WAL vote
+//      deltas (data/wal.h record types). Both apply-delta payloads
+//      are pinned at version 4; every other payload keeps its pinned
+//      version, so responses recorded by a v3 peer stay byte-valid.
 
 namespace corrob {
 namespace server {
@@ -238,6 +243,43 @@ struct ReloadResponse {
 
 [[nodiscard]] std::string EncodeReloadResponse(const ReloadResponse& response);
 [[nodiscard]] Result<ReloadResponse> DecodeReloadResponse(
+    std::string_view payload);
+
+/// Codec version of the apply-delta payloads (v4); they are pinned
+/// here rather than at kProtocolVersion because no other payload
+/// gained a field in v4.
+inline constexpr uint8_t kApplyDeltaVersion = 4;
+
+/// Upper bound on deltas in one apply-delta frame; a decoder seeing
+/// more rejects before allocating.
+inline constexpr uint32_t kMaxDeltaItems = 4096;
+
+/// Durable mutation of a served dataset (v4): append `deltas` to the
+/// dataset's write-ahead log, then apply them to the resident
+/// Dataset. The daemon acks only after the WAL append (and fsync,
+/// under the always policy) succeeded — an acked delta survives
+/// kill -9. Deltas are data/wal.h records; snapshot markers are log
+/// metadata and are rejected by the codec.
+struct ApplyDeltaRequest {
+  std::string dataset;
+  std::vector<WalRecord> deltas;
+};
+
+[[nodiscard]] std::string EncodeApplyDeltaRequest(
+    const ApplyDeltaRequest& request);
+[[nodiscard]] Result<ApplyDeltaRequest> DecodeApplyDeltaRequest(
+    std::string_view payload);
+
+/// Ack of an apply-delta request: every delta is on the log and the
+/// resident dataset now serves `generation`.
+struct ApplyDeltaResponse {
+  uint32_t applied = 0;
+  uint64_t generation = 0;
+};
+
+[[nodiscard]] std::string EncodeApplyDeltaResponse(
+    const ApplyDeltaResponse& response);
+[[nodiscard]] Result<ApplyDeltaResponse> DecodeApplyDeltaResponse(
     std::string_view payload);
 
 /// Live-introspection query (v3): how much of each introspection

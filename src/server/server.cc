@@ -6,6 +6,7 @@
 
 #include "common/failpoint.h"
 #include "common/logging.h"
+#include "core/delta_apply.h"
 #include "core/registry.h"
 #include "core/run_context.h"
 #include "data/dataset_io.h"
@@ -35,6 +36,8 @@ struct ServerMetrics {
   obs::Counter* requests_failed;
   obs::Counter* requests_quota_rejected;
   obs::Counter* responses_sent;
+  obs::Counter* deltas_applied;
+  obs::Counter* wal_failures;
   obs::Counter* slow_requests;
   obs::Counter* watchdog_scans;
   obs::Counter* watchdog_flagged;
@@ -54,6 +57,8 @@ struct ServerMetrics {
       m.requests_quota_rejected =
           registry.GetCounter("corrobd.requests.quota_rejected");
       m.responses_sent = registry.GetCounter("corrobd.responses.sent");
+      m.deltas_applied = registry.GetCounter("corrobd.deltas.applied");
+      m.wal_failures = registry.GetCounter("corrobd.wal.failures");
       m.slow_requests = registry.GetCounter("corrob.server.slow_requests");
       m.watchdog_scans =
           registry.GetCounter("corrob.server.watchdog.scans");
@@ -170,13 +175,47 @@ Status CorrobdServer::Start() {
     auto served = std::make_unique<ServedDataset>();
     served->name = name;
     served->path = path;
+    Dataset resident = std::move(loaded.dataset);
+    if (!options_.wal_dir.empty()) {
+      WalOptions wal_options;
+      wal_options.fsync_policy = options_.wal_fsync;
+      wal_options.fsync_interval_records =
+          options_.wal_fsync_interval_records;
+      wal_options.segment_bytes = options_.wal_segment_bytes;
+      WalRecovery recovery;
+      CORROB_ASSIGN_OR_RETURN(
+          WalWriter writer,
+          WalWriter::Open(options_.wal_dir + "/" + name, wal_options,
+                          &recovery));
+      const std::vector<WalRecord> mutations = recovery.Mutations();
+      if (recovery.has_snapshot) {
+        // The snapshot already folds the state the daemon logged
+        // against plus every compacted delta; it replaces the CSV
+        // load wholesale.
+        CORROB_ASSIGN_OR_RETURN(resident,
+                                DatasetFromWalRecovery(recovery));
+      } else if (!mutations.empty()) {
+        CORROB_ASSIGN_OR_RETURN(
+            resident, ApplyDeltasToDataset(resident, mutations));
+      }
+      if (recovery.has_snapshot || !mutations.empty()) {
+        CORROB_LOG_INFO << "corrobd: dataset '" << name << "' recovered "
+                        << mutations.size() << " delta(s)"
+                        << (recovery.has_snapshot ? " on a snapshot"
+                                                  : "")
+                        << " from " << options_.wal_dir << "/" << name;
+      }
+      served->deltas_applied.store(mutations.size(),
+                                   std::memory_order_relaxed);
+      std::lock_guard<std::mutex> wal_lock(served->wal_mutex);
+      served->wal = std::make_unique<WalWriter>(std::move(writer));
+    }
     {
       // No other thread exists yet, but the guard on `dataset` is
       // unconditional; the uncontended lock keeps the discipline
       // checkable instead of special-cased.
       std::lock_guard<std::mutex> lock(served->mutex);
-      served->dataset =
-          std::make_shared<const Dataset>(std::move(loaded.dataset));
+      served->dataset = std::make_shared<const Dataset>(std::move(resident));
     }
     datasets_.push_back(std::move(served));
   }
@@ -423,6 +462,8 @@ Status CorrobdServer::HandleFrame(Connection* connection, FrameType type,
       return HandleBatch(connection, payload);
     case FrameType::kReloadRequest:
       return HandleReload(connection, payload);
+    case FrameType::kApplyDeltaRequest:
+      return HandleApplyDelta(connection, payload);
     default: {
       // A response type arriving at the server: answer in-band and
       // keep the connection (framing itself is intact).
@@ -445,7 +486,7 @@ Status CorrobdServer::HandleFrame(Connection* connection, FrameType type,
 
 Status CorrobdServer::HandleStats(Connection* connection) {
   obs::JsonValue stats = obs::JsonValue::Object();
-  stats.Set("schema", obs::JsonValue::Str("corrob.serving_stats/3"));
+  stats.Set("schema", obs::JsonValue::Str("corrob.serving_stats/4"));
   stats.Set("running",
             obs::JsonValue::Int(admission_->running()));
   obs::JsonValue queued = obs::JsonValue::Object();
@@ -465,6 +506,20 @@ Status CorrobdServer::HandleStats(Connection* connection) {
                 responses_sent_.load(std::memory_order_relaxed)));
   stats.Set("draining",
             obs::JsonValue::Bool(draining_.load(std::memory_order_acquire)));
+
+  obs::JsonValue wal_json = obs::JsonValue::Object();
+  wal_json.Set("enabled", obs::JsonValue::Bool(!options_.wal_dir.empty()));
+  int64_t deltas_total = 0;
+  int64_t unhealthy = 0;
+  for (const auto& served : datasets_) {
+    deltas_total += static_cast<int64_t>(
+        served->deltas_applied.load(std::memory_order_relaxed));
+    std::lock_guard<std::mutex> wal_lock(served->wal_mutex);
+    if (served->wal != nullptr && !served->wal_healthy) ++unhealthy;
+  }
+  wal_json.Set("deltas_applied", obs::JsonValue::Int(deltas_total));
+  wal_json.Set("unhealthy_datasets", obs::JsonValue::Int(unhealthy));
+  stats.Set("wal", std::move(wal_json));
 
   const CacheStats cache = cache_->stats();
   obs::JsonValue cache_json = obs::JsonValue::Object();
@@ -1020,6 +1075,113 @@ Status CorrobdServer::HandleReload(Connection* connection,
     } else {
       response.type = FrameType::kReloadResponse;
       response.payload = EncodeReloadResponse(body);
+    }
+  }
+
+  Status written = WriteFrame(connection->fd.get(), response, WriteStop());
+  if (written.ok()) {
+    responses_sent_.fetch_add(1, std::memory_order_relaxed);
+    ServerMetrics::Get().responses_sent->Add(1);
+  }
+  return written;
+}
+
+Status CorrobdServer::HandleApplyDelta(Connection* connection,
+                                       const std::string& payload) {
+  Frame response;
+  const auto respond_error = [&](const Status& status) {
+    response.type = FrameType::kErrorResponse;
+    ErrorResponse body;
+    body.code = static_cast<uint8_t>(status.code());
+    body.message = status.message();
+    response.payload = EncodeErrorResponse(body);
+    ServerMetrics::Get().requests_failed->Add(1);
+  };
+
+  Result<ApplyDeltaRequest> decoded = DecodeApplyDeltaRequest(payload);
+  if (!decoded.ok()) {
+    respond_error(decoded.status());
+  } else if (options_.wal_dir.empty()) {
+    respond_error(Status::FailedPrecondition(
+        "corrobd is running without --wal; delta ingestion is "
+        "disabled"));
+  } else {
+    const ApplyDeltaRequest& request = decoded.ValueOrDie();
+    ServedDataset* served = FindDataset(request.dataset);
+    if (served == nullptr) {
+      respond_error(Status::NotFound("dataset '" + request.dataset +
+                                     "' is not loaded"));
+    } else {
+      // One mutator at a time. Readers never wait on this lock: they
+      // snapshot the shared_ptr under served->mutex, which an apply
+      // only takes for the final swap.
+      std::lock_guard<std::mutex> wal_lock(served->wal_mutex);
+      Status applied = Status::OK();
+      if (!served->wal_healthy || served->wal == nullptr) {
+        applied = Status::WalUnavailable(
+            "dataset '" + served->name +
+            "' is serving read-only: its write-ahead log previously "
+            "failed (restart corrobd to recover)");
+      }
+      std::shared_ptr<const Dataset> current;
+      if (applied.ok()) {
+        std::lock_guard<std::mutex> lock(served->mutex);
+        current = served->dataset;
+      }
+      // Validate-and-build before the log sees anything, so a delta
+      // batch the core rejects leaves both the WAL and the resident
+      // dataset untouched.
+      Result<Dataset> rebuilt =
+          Status::FailedPrecondition("delta rebuild never ran");
+      if (applied.ok()) {
+        rebuilt = ApplyDeltasToDataset(*current, request.deltas);
+        if (!rebuilt.ok()) applied = rebuilt.status();
+      }
+      if (applied.ok()) {
+        // Durability before the ack: every delta reaches the log (and
+        // the disk, under the always policy — Append fsyncs per
+        // record there) before the client hears anything.
+        for (const WalRecord& record : request.deltas) {
+          applied = served->wal->Append(record);
+          if (!applied.ok()) break;
+        }
+        if (!applied.ok()) {
+          // The log can no longer be trusted to be ahead of the
+          // resident state, so stop mutating: reads continue from
+          // the snapshot, writes get the typed code below.
+          served->wal_healthy = false;
+          ServerMetrics::Get().wal_failures->Add(1);
+          CORROB_LOG_WARNING
+              << "corrobd: WAL append failed for dataset '"
+              << served->name << "' (" << applied.message()
+              << "); dataset degrades to read-only serving";
+          applied = Status::WalUnavailable(
+              "WAL append failed for dataset '" + served->name +
+              "': " + applied.message() +
+              " (dataset now serves read-only)");
+        }
+      }
+      if (!applied.ok()) {
+        respond_error(applied);
+      } else {
+        {
+          std::lock_guard<std::mutex> lock(served->mutex);
+          served->dataset = std::make_shared<const Dataset>(
+              std::move(rebuilt).ValueOrDie());
+          served->generation.fetch_add(1, std::memory_order_release);
+        }
+        cache_->InvalidateDataset(served->name);
+        served->deltas_applied.fetch_add(request.deltas.size(),
+                                         std::memory_order_relaxed);
+        ServerMetrics::Get().deltas_applied->Add(
+            static_cast<int64_t>(request.deltas.size()));
+        ApplyDeltaResponse body;
+        body.applied = static_cast<uint32_t>(request.deltas.size());
+        body.generation =
+            served->generation.load(std::memory_order_acquire);
+        response.type = FrameType::kApplyDeltaResponse;
+        response.payload = EncodeApplyDeltaResponse(body);
+      }
     }
   }
 

@@ -17,6 +17,7 @@
 #include "common/status.h"
 #include "common/thread_annotations.h"
 #include "data/dataset.h"
+#include "data/wal.h"
 #include "obs/clock.h"
 #include "obs/flight_recorder.h"
 #include "server/admission.h"
@@ -81,6 +82,19 @@ struct ServerOptions {
   /// An in-flight request is flagged as stuck once its age exceeds
   /// this multiple of its effective deadline allowance.
   double watchdog_deadline_multiplier = 4.0;
+  /// Root directory of the per-dataset write-ahead vote-delta logs
+  /// (each dataset logs under <wal_dir>/<name>). Empty disables delta
+  /// ingestion: apply-delta frames are answered with
+  /// FailedPrecondition and the daemon never touches the disk after
+  /// startup. When set, Start() replays any surviving log onto the
+  /// CSV load, so acked deltas outlive kill -9.
+  std::string wal_dir;
+  /// Durability/throughput trade of the logs (docs/ROBUSTNESS.md).
+  WalFsyncPolicy wal_fsync = WalFsyncPolicy::kAlways;
+  /// Records between fsyncs under the interval policy.
+  int64_t wal_fsync_interval_records = 64;
+  /// Segment rotation threshold in bytes.
+  int64_t wal_segment_bytes = 4 * 1024 * 1024;
   /// Time source for deadlines and latency metrics.
   const obs::Clock* clock = nullptr;  // null → MonotonicClock::Get()
 };
@@ -96,6 +110,24 @@ struct ServedDataset {
   mutable std::mutex mutex;
   std::shared_ptr<const Dataset> dataset CORROB_GUARDED_BY(mutex);
   std::atomic<uint64_t> generation{1};
+  /// Serializes mutators (apply-delta requests). Separate from
+  /// `mutex` so a long delta rebuild never blocks readers, which only
+  /// take `mutex` for the shared_ptr snapshot; the swap at the end of
+  /// an apply briefly takes both (wal_mutex before mutex, always).
+  mutable std::mutex wal_mutex;
+  /// Durable vote-delta log, present only when the daemon runs with a
+  /// --wal directory. Appends happen under wal_mutex (one writer at a
+  /// time; the log is strictly ordered), so the WAL order always
+  /// matches the order deltas were applied to `dataset`.
+  std::unique_ptr<WalWriter> wal CORROB_GUARDED_BY(wal_mutex);
+  /// Cleared when a WAL append or fsync fails. From then on the
+  /// dataset serves read-only: reads keep working from the resident
+  /// snapshot, apply-delta requests get a typed kWalUnavailable
+  /// error, and the daemon stays up.
+  bool wal_healthy CORROB_GUARDED_BY(wal_mutex) = true;
+  /// Mutations appended since startup (markers excluded); reported in
+  /// the stats document so operators can size compaction.
+  std::atomic<uint64_t> deltas_applied{0};
 };
 
 class CorrobdServer {
@@ -187,6 +219,16 @@ class CorrobdServer {
   /// generation, invalidate the cache.
   [[nodiscard]] Status HandleReload(Connection* connection,
                                     const std::string& payload);
+
+  /// Durable mutation path: append the decoded deltas to the
+  /// dataset's WAL (ack only after the append — and fsync, under the
+  /// always policy — succeeded), then rebuild the resident dataset
+  /// through core delta-apply, bump the generation and invalidate
+  /// cached results. A WAL failure flips the dataset to read-only
+  /// serving with a typed kWalUnavailable error; it never takes the
+  /// daemon down.
+  [[nodiscard]] Status HandleApplyDelta(Connection* connection,
+                                        const std::string& payload);
 
   /// Serves the stats frame: a JSON snapshot of queues, slots, cache,
   /// coalescer, quota and request counters.

@@ -50,9 +50,12 @@ TEST(RetryTest, InvalidPolicyFailsWithoutCallingFn) {
 
 TEST(RetryTest, TransientCodes) {
   EXPECT_TRUE(IsTransientCode(StatusCode::kIoError));
+  EXPECT_TRUE(IsTransientCode(StatusCode::kConnectionLost));
   EXPECT_FALSE(IsTransientCode(StatusCode::kNotFound));
   EXPECT_FALSE(IsTransientCode(StatusCode::kParseError));
   EXPECT_FALSE(IsTransientCode(StatusCode::kInvalidArgument));
+  EXPECT_FALSE(IsTransientCode(StatusCode::kCancelled));
+  EXPECT_FALSE(IsTransientCode(StatusCode::kWalUnavailable));
   EXPECT_FALSE(IsTransientCode(StatusCode::kOk));
 }
 
@@ -209,6 +212,50 @@ TEST(BackoffScheduleTest, GrowsExponentiallyAndCaps) {
   EXPECT_DOUBLE_EQ(schedule.NextDelayMs(), 2.0);
   EXPECT_DOUBLE_EQ(schedule.NextDelayMs(), 4.0);
   EXPECT_DOUBLE_EQ(schedule.NextDelayMs(), 4.0);  // capped
+}
+
+TEST(BackoffScheduleTest, EveryJitteredDelayStaysWithinTheEnvelope) {
+  // Property over a sweep of seeds and policy shapes: no delay a
+  // schedule ever produces may leave [initial*(1-jitter),
+  // cap*(1+jitter)], and once the unjittered schedule reaches the cap
+  // it must stay there. A jitter draw outside the envelope would turn
+  // "bounded backoff" into an unbounded sleep under an adversarial
+  // seed, which is exactly what a reconnect loop cannot afford.
+  const double initials[] = {0.5, 1.0, 10.0};
+  const double multipliers[] = {1.0, 1.6180339887, 2.0, 4.0};
+  const double jitters[] = {0.0, 0.1, 0.25, 0.99};
+  uint64_t seed = 0xB0A710AD;
+  for (double initial : initials) {
+    for (double multiplier : multipliers) {
+      for (double jitter : jitters) {
+        for (int trial = 0; trial < 8; ++trial) {
+          // SplitMix64 step keeps the seed stream deterministic.
+          seed += 0x9E3779B97F4A7C15ULL;
+          RetryPolicy policy;
+          policy.initial_backoff_ms = initial;
+          policy.backoff_multiplier = multiplier;
+          policy.max_backoff_ms = 50.0;
+          policy.jitter = jitter;
+          policy.seed = seed;
+          ASSERT_TRUE(ValidateRetryPolicy(policy).ok());
+          retry_internal::BackoffSchedule schedule(policy);
+          const double floor = initial * (1.0 - jitter);
+          const double ceiling = policy.max_backoff_ms * (1.0 + jitter);
+          for (int step = 0; step < 64; ++step) {
+            const double delay = schedule.NextDelayMs();
+            EXPECT_GE(delay, floor)
+                << "initial=" << initial << " mult=" << multiplier
+                << " jitter=" << jitter << " seed=" << seed
+                << " step=" << step;
+            EXPECT_LE(delay, ceiling)
+                << "initial=" << initial << " mult=" << multiplier
+                << " jitter=" << jitter << " seed=" << seed
+                << " step=" << step;
+          }
+        }
+      }
+    }
+  }
 }
 
 TEST(BackoffScheduleTest, JitterIsBoundedAndSeeded) {

@@ -1,15 +1,22 @@
 #include "server/client.h"
 
+#include <memory>
 #include <string>
 #include <thread>
+#include <utility>
 
 #include <gtest/gtest.h>
 
 #include "common/budget.h"
+#include "common/retry.h"
 #include "common/socket.h"
 #include "common/status.h"
+#include "data/dataset_io.h"
+#include "data/motivating_example.h"
+#include "data/wal.h"
 #include "server/frame.h"
 #include "server/protocol.h"
+#include "server/server.h"
 
 // CorrobClient transport-failure taxonomy, pinned against a scripted
 // fake server: a daemon that dies mid-response must surface as the
@@ -151,6 +158,155 @@ TEST(CorrobClientTest, DisconnectedClientFailsFast) {
       never_connected.Corroborate(CorroborateRequest{}, NoStop());
   ASSERT_FALSE(outcome.ok());
   EXPECT_EQ(outcome.status().code(), StatusCode::kFailedPrecondition);
+}
+
+// ----- Reconnect-and-retry against a deliberately restarted daemon ----
+
+/// A real corrobd on its own socket, drained on destruction; letting
+/// one instance die and starting another on the same path is the
+/// "daemon restarted under the client" scenario reconnect exists for.
+class RestartableDaemon {
+ public:
+  explicit RestartableDaemon(ServerOptions options)
+      : options_(std::move(options)) {}
+
+  ~RestartableDaemon() { Stop(); }
+
+  [[nodiscard]] Status Launch() {
+    server_ = std::make_unique<CorrobdServer>(options_);
+    CORROB_RETURN_NOT_OK(server_->Start());
+    drain_ = std::make_unique<CancellationToken>();
+    thread_ = std::thread([this] {
+      // lint: discard-ok: drain status is checked via Stop() callers' asserts
+      (void)server_->Serve(drain_.get());
+    });
+    return Status::OK();
+  }
+
+  void Stop() {
+    if (drain_ != nullptr) drain_->Cancel();
+    if (thread_.joinable()) thread_.join();
+    server_.reset();
+    drain_.reset();
+  }
+
+ private:
+  ServerOptions options_;
+  std::unique_ptr<CorrobdServer> server_;
+  std::unique_ptr<CancellationToken> drain_;
+  std::thread thread_;
+};
+
+class ReconnectTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const ::testing::TestInfo* info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    const std::string stem =
+        ::testing::TempDir() + "/reconnect_" + info->name();
+    csv_path_ = stem + ".csv";
+    const MotivatingExample example = MakeMotivatingExample();
+    ASSERT_TRUE(SaveDatasetCsv(csv_path_, example.dataset).ok());
+    options_.socket_path = stem + ".sock";
+    options_.dataset_specs = {"table1=" + csv_path_};
+    options_.drain_timeout_ms = 10000;
+  }
+
+  static RetryPolicy FastReconnectPolicy() {
+    RetryPolicy policy;
+    policy.max_attempts = 5;
+    policy.initial_backoff_ms = 1.0;
+    policy.max_backoff_ms = 5.0;
+    return policy;
+  }
+
+  std::string csv_path_;
+  ServerOptions options_;
+};
+
+TEST_F(ReconnectTest, IdempotentReadsSurviveADaemonRestart) {
+  RestartableDaemon first(options_);
+  ASSERT_TRUE(first.Launch().ok());
+  Result<CorrobClient> client =
+      CorrobClient::Connect(options_.socket_path);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  CorrobClient& conn = client.ValueOrDie();
+  conn.EnableReconnect(FastReconnectPolicy());
+  EXPECT_TRUE(conn.reconnect_enabled());
+
+  CorroborateRequest request;
+  request.dataset = "table1";
+  request.algorithm = "TwoEstimate";
+  Result<CorroborateOutcome> before =
+      client.ValueOrDie().Corroborate(request, NoStop());
+  ASSERT_TRUE(before.ok()) << before.status().ToString();
+
+  // The daemon the client is attached to dies; a replacement comes up
+  // on the same socket before the retry budget runs out.
+  first.Stop();
+  RestartableDaemon second(options_);
+  ASSERT_TRUE(second.Launch().ok());
+
+  Result<CorroborateOutcome> after =
+      client.ValueOrDie().Corroborate(request, NoStop());
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  ASSERT_EQ(after.ValueOrDie().kind, CorroborateOutcome::Kind::kResult);
+  // Same CSV, same algorithm: the replacement serves identical bytes.
+  EXPECT_EQ(after.ValueOrDie().raw_frame, before.ValueOrDie().raw_frame);
+
+  // Stats ride the same reconnect path.
+  Result<std::string> stats = client.ValueOrDie().Stats(NoStop());
+  EXPECT_TRUE(stats.ok()) << stats.status().ToString();
+}
+
+TEST_F(ReconnectTest, WithoutOptInARestartIsATransientFailure) {
+  RestartableDaemon first(options_);
+  ASSERT_TRUE(first.Launch().ok());
+  Result<CorrobClient> client =
+      CorrobClient::Connect(options_.socket_path);
+  ASSERT_TRUE(client.ok());
+  EXPECT_FALSE(client.ValueOrDie().reconnect_enabled());
+
+  first.Stop();
+  RestartableDaemon second(options_);
+  ASSERT_TRUE(second.Launch().ok());
+
+  CorroborateRequest request;
+  request.dataset = "table1";
+  Result<CorroborateOutcome> outcome =
+      client.ValueOrDie().Corroborate(request, NoStop());
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_TRUE(IsTransientCode(outcome.status().code()))
+      << outcome.status().ToString();
+}
+
+TEST_F(ReconnectTest, MutatingRequestsNeverAutoReconnect) {
+  RestartableDaemon daemon(options_);
+  ASSERT_TRUE(daemon.Launch().ok());
+  Result<CorrobClient> client =
+      CorrobClient::Connect(options_.socket_path);
+  ASSERT_TRUE(client.ok());
+  CorrobClient& conn = client.ValueOrDie();
+  conn.EnableReconnect(FastReconnectPolicy());
+
+  // After a hard close, the reconnect path redials transparently for
+  // a read...
+  conn.Close();
+  CorroborateRequest read;
+  read.dataset = "table1";
+  Result<CorroborateOutcome> outcome = conn.Corroborate(read, NoStop());
+  EXPECT_TRUE(outcome.ok()) << outcome.status().ToString();
+
+  // ...but an apply-delta on the same closed client fails fast: a
+  // mutation the daemon might already have logged must never be
+  // silently resent.
+  conn.Close();
+  ApplyDeltaRequest mutation;
+  mutation.dataset = "table1";
+  mutation.deltas = {MakeAddVote("w", "f", Vote::kTrue)};
+  Result<ApplyDeltaResponse> applied = conn.ApplyDelta(mutation, NoStop());
+  ASSERT_FALSE(applied.ok());
+  EXPECT_EQ(applied.status().code(), StatusCode::kFailedPrecondition);
 }
 
 }  // namespace

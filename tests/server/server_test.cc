@@ -154,7 +154,7 @@ TEST_F(CorrobdServerTest, PingEchoesAndStatsReportSchema) {
 
   Result<std::string> stats = client.ValueOrDie().Stats(NoStop());
   ASSERT_TRUE(stats.ok()) << stats.status().ToString();
-  EXPECT_NE(stats.ValueOrDie().find("corrob.serving_stats/3"),
+  EXPECT_NE(stats.ValueOrDie().find("corrob.serving_stats/4"),
             std::string::npos);
   EXPECT_NE(stats.ValueOrDie().find("table1"), std::string::npos);
   // The serving-efficiency layer reports its own stats objects.

@@ -1,0 +1,324 @@
+#include <dirent.h>
+#include <unistd.h>
+
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/budget.h"
+#include "common/failpoint.h"
+#include "core/delta_apply.h"
+#include "core/registry.h"
+#include "data/dataset_io.h"
+#include "data/motivating_example.h"
+#include "data/wal.h"
+#include "server/client.h"
+#include "server/server.h"
+
+// Durable delta ingestion end to end: apply-delta changes the served
+// answers and bumps the generation, acked deltas survive a daemon
+// restart (the crash-soak CI job does the kill -9 variant of this),
+// and a WAL disk failure degrades the dataset to read-only serving
+// instead of taking the daemon down.
+
+namespace corrob {
+namespace server {
+namespace {
+
+StopSignal NoStop() { return StopSignal(); }
+
+/// A corrobd on its own socket with Serve() on a background thread;
+/// drains on destruction. Mirrors the helper in server_test.cc.
+class Daemon {
+ public:
+  explicit Daemon(ServerOptions options) : options_(std::move(options)) {}
+
+  ~Daemon() {
+    drain_.Cancel();
+    if (thread_.joinable()) thread_.join();
+  }
+
+  [[nodiscard]] Status Launch() {
+    server_ = std::make_unique<CorrobdServer>(options_);
+    CORROB_RETURN_NOT_OK(server_->Start());
+    thread_ = std::thread([this] { serve_status_ = server_->Serve(&drain_); });
+    return Status::OK();
+  }
+
+  Status Drain() {
+    drain_.Cancel();
+    if (thread_.joinable()) thread_.join();
+    return serve_status_;
+  }
+
+  CorrobdServer& server() { return *server_; }
+
+ private:
+  ServerOptions options_;
+  std::unique_ptr<CorrobdServer> server_;
+  CancellationToken drain_;
+  std::thread thread_;
+  Status serve_status_;
+};
+
+/// Removes every file in `dir` and the directory itself, so each test
+/// starts with a WAL directory that does not exist.
+void RemoveTree(const std::string& dir) {
+  DIR* handle = ::opendir(dir.c_str());
+  if (handle == nullptr) return;
+  std::vector<std::string> names;
+  for (struct dirent* entry = ::readdir(handle); entry != nullptr;
+       entry = ::readdir(handle)) {
+    const std::string name = entry->d_name;
+    if (name != "." && name != "..") names.push_back(name);
+  }
+  ::closedir(handle);
+  for (const std::string& name : names) {
+    const std::string path = dir + "/" + name;
+    if (::unlink(path.c_str()) != 0) RemoveTree(path);
+  }
+  ::rmdir(dir.c_str());
+}
+
+class WalServingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const ::testing::TestInfo* info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    const std::string stem =
+        ::testing::TempDir() + "/wal_serving_" + info->name();
+    csv_path_ = stem + ".csv";
+    socket_path_ = stem + ".sock";
+    wal_dir_ = stem + ".wal";
+    RemoveTree(wal_dir_);
+    const MotivatingExample example = MakeMotivatingExample();
+    ASSERT_TRUE(SaveDatasetCsv(csv_path_, example.dataset).ok());
+  }
+
+  void TearDown() override {
+    Failpoints::DisarmAll();
+    RemoveTree(wal_dir_);
+  }
+
+  ServerOptions WalOptionsBase() const {
+    ServerOptions options;
+    options.socket_path = socket_path_;
+    options.dataset_specs = {"table1=" + csv_path_};
+    options.drain_timeout_ms = 10000;
+    options.wal_dir = wal_dir_;
+    return options;
+  }
+
+  static ApplyDeltaRequest SampleDeltaRequest() {
+    ApplyDeltaRequest request;
+    request.dataset = "table1";
+    request.deltas = {
+        MakeAddVote("new-witness", "obama-born-hawaii", Vote::kTrue),
+        MakeAddVote("new-witness", "obama-born-kenya", Vote::kFalse),
+    };
+    return request;
+  }
+
+  static CorroborateRequest SampleCorroborate() {
+    CorroborateRequest request;
+    request.dataset = "table1";
+    request.algorithm = "TwoEstimate";
+    return request;
+  }
+
+  std::string csv_path_;
+  std::string socket_path_;
+  std::string wal_dir_;
+};
+
+TEST_F(WalServingTest, ApplyDeltaWithoutWalIsFailedPrecondition) {
+  ServerOptions options = WalOptionsBase();
+  options.wal_dir.clear();
+  Daemon daemon(options);
+  ASSERT_TRUE(daemon.Launch().ok());
+  Result<CorrobClient> client = CorrobClient::Connect(socket_path_);
+  ASSERT_TRUE(client.ok());
+  Result<ApplyDeltaResponse> applied =
+      client.ValueOrDie().ApplyDelta(SampleDeltaRequest(), NoStop());
+  EXPECT_EQ(applied.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(applied.status().message().find("--wal"), std::string::npos);
+}
+
+TEST_F(WalServingTest, ApplyDeltaToUnknownDatasetIsNotFound) {
+  Daemon daemon(WalOptionsBase());
+  ASSERT_TRUE(daemon.Launch().ok());
+  Result<CorrobClient> client = CorrobClient::Connect(socket_path_);
+  ASSERT_TRUE(client.ok());
+  ApplyDeltaRequest request = SampleDeltaRequest();
+  request.dataset = "no-such-table";
+  Result<ApplyDeltaResponse> applied =
+      client.ValueOrDie().ApplyDelta(request, NoStop());
+  EXPECT_EQ(applied.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(WalServingTest, ApplyDeltaChangesServedAnswersBitExactly) {
+  Daemon daemon(WalOptionsBase());
+  ASSERT_TRUE(daemon.Launch().ok());
+  Result<CorrobClient> client = CorrobClient::Connect(socket_path_);
+  ASSERT_TRUE(client.ok());
+
+  // Answer before the delta (also warms the result cache, so this
+  // exercises invalidation too).
+  Result<CorroborateOutcome> before =
+      client.ValueOrDie().Corroborate(SampleCorroborate(), NoStop());
+  ASSERT_TRUE(before.ok());
+  ASSERT_EQ(before.ValueOrDie().kind, CorroborateOutcome::Kind::kResult);
+
+  const ApplyDeltaRequest delta = SampleDeltaRequest();
+  Result<ApplyDeltaResponse> applied =
+      client.ValueOrDie().ApplyDelta(delta, NoStop());
+  ASSERT_TRUE(applied.ok()) << applied.status().ToString();
+  EXPECT_EQ(applied.ValueOrDie().applied, 2u);
+  EXPECT_GE(applied.ValueOrDie().generation, 2u);
+
+  Result<CorroborateOutcome> after =
+      client.ValueOrDie().Corroborate(SampleCorroborate(), NoStop());
+  ASSERT_TRUE(after.ok());
+  ASSERT_EQ(after.ValueOrDie().kind, CorroborateOutcome::Kind::kResult);
+  // The cached pre-delta answer must not leak through.
+  EXPECT_NE(after.ValueOrDie().raw_frame, before.ValueOrDie().raw_frame);
+
+  // The served answer equals an in-process rebuild from the same CSV
+  // and the same deltas, bit for bit.
+  Result<LabeledDataset> loaded = LoadDatasetCsv(csv_path_);
+  ASSERT_TRUE(loaded.ok());
+  Result<Dataset> rebuilt =
+      ApplyDeltasToDataset(loaded.ValueOrDie().dataset, delta.deltas);
+  ASSERT_TRUE(rebuilt.ok());
+  Result<std::unique_ptr<Corroborator>> direct =
+      MakeCorroborator("TwoEstimate", CorroboratorOptions{.num_threads = 1});
+  ASSERT_TRUE(direct.ok());
+  Result<CorroborationResult> run =
+      direct.ValueOrDie()->Run(rebuilt.ValueOrDie());
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(after.ValueOrDie().result.fact_probability,
+            run.ValueOrDie().fact_probability);
+  EXPECT_EQ(after.ValueOrDie().result.source_trust,
+            run.ValueOrDie().source_trust);
+}
+
+TEST_F(WalServingTest, AckedDeltasSurviveDaemonRestart) {
+  const ApplyDeltaRequest delta = SampleDeltaRequest();
+  std::vector<double> probabilities_before_restart;
+  {
+    Daemon daemon(WalOptionsBase());
+    ASSERT_TRUE(daemon.Launch().ok());
+    Result<CorrobClient> client = CorrobClient::Connect(socket_path_);
+    ASSERT_TRUE(client.ok());
+    Result<ApplyDeltaResponse> applied =
+        client.ValueOrDie().ApplyDelta(delta, NoStop());
+    ASSERT_TRUE(applied.ok()) << applied.status().ToString();
+    Result<CorroborateOutcome> answer =
+        client.ValueOrDie().Corroborate(SampleCorroborate(), NoStop());
+    ASSERT_TRUE(answer.ok());
+    ASSERT_EQ(answer.ValueOrDie().kind, CorroborateOutcome::Kind::kResult);
+    probabilities_before_restart =
+        answer.ValueOrDie().result.fact_probability;
+    EXPECT_TRUE(daemon.Drain().ok());
+  }
+  // A fresh daemon on the same WAL directory replays the acked deltas
+  // before serving its first request.
+  {
+    Daemon daemon(WalOptionsBase());
+    ASSERT_TRUE(daemon.Launch().ok());
+    Result<CorrobClient> client = CorrobClient::Connect(socket_path_);
+    ASSERT_TRUE(client.ok());
+    Result<CorroborateOutcome> answer =
+        client.ValueOrDie().Corroborate(SampleCorroborate(), NoStop());
+    ASSERT_TRUE(answer.ok());
+    ASSERT_EQ(answer.ValueOrDie().kind, CorroborateOutcome::Kind::kResult);
+    EXPECT_EQ(answer.ValueOrDie().result.fact_probability,
+              probabilities_before_restart);
+    // Stats report the replayed deltas.
+    Result<std::string> stats = client.ValueOrDie().Stats(NoStop());
+    ASSERT_TRUE(stats.ok());
+    EXPECT_NE(stats.ValueOrDie().find("\"wal\""), std::string::npos);
+    EXPECT_NE(stats.ValueOrDie().find("\"deltas_applied\""),
+              std::string::npos);
+  }
+}
+
+TEST_F(WalServingTest, WalFailureDegradesToReadOnlyServing) {
+  Daemon daemon(WalOptionsBase());
+  ASSERT_TRUE(daemon.Launch().ok());
+  Result<CorrobClient> client = CorrobClient::Connect(socket_path_);
+  ASSERT_TRUE(client.ok());
+
+  // First apply succeeds and is on the log.
+  Result<ApplyDeltaResponse> applied =
+      client.ValueOrDie().ApplyDelta(SampleDeltaRequest(), NoStop());
+  ASSERT_TRUE(applied.ok()) << applied.status().ToString();
+
+  // The disk starts failing: the next apply reports the typed code
+  // and flips the dataset read-only.
+  Failpoints::Arm("wal.append");
+  ApplyDeltaRequest second;
+  second.dataset = "table1";
+  second.deltas = {MakeAddVote("late-witness", "obama-born-hawaii",
+                               Vote::kTrue)};
+  Result<ApplyDeltaResponse> failed =
+      client.ValueOrDie().ApplyDelta(second, NoStop());
+  EXPECT_EQ(failed.status().code(), StatusCode::kWalUnavailable);
+
+  // Sticky even after the disk recovers: the log can no longer be
+  // trusted to be ahead of the resident state.
+  Failpoints::DisarmAll();
+  Result<ApplyDeltaResponse> still_failed =
+      client.ValueOrDie().ApplyDelta(second, NoStop());
+  EXPECT_EQ(still_failed.status().code(), StatusCode::kWalUnavailable);
+  EXPECT_NE(still_failed.status().message().find("read-only"),
+            std::string::npos);
+
+  // Reads are unaffected; no in-flight response was dropped and the
+  // daemon is still healthy.
+  Result<CorroborateOutcome> answer =
+      client.ValueOrDie().Corroborate(SampleCorroborate(), NoStop());
+  ASSERT_TRUE(answer.ok()) << answer.status().ToString();
+  EXPECT_EQ(answer.ValueOrDie().kind, CorroborateOutcome::Kind::kResult);
+  Result<std::string> stats = client.ValueOrDie().Stats(NoStop());
+  ASSERT_TRUE(stats.ok());
+  EXPECT_NE(stats.ValueOrDie().find("\"unhealthy_datasets\":1"),
+            std::string::npos)
+      << stats.ValueOrDie();
+  EXPECT_TRUE(daemon.Drain().ok());
+}
+
+TEST_F(WalServingTest, RejectedDeltaBatchLeavesWalAndStateUntouched) {
+  Daemon daemon(WalOptionsBase());
+  ASSERT_TRUE(daemon.Launch().ok());
+  Result<CorrobClient> client = CorrobClient::Connect(socket_path_);
+  ASSERT_TRUE(client.ok());
+
+  Result<CorroborateOutcome> before =
+      client.ValueOrDie().Corroborate(SampleCorroborate(), NoStop());
+  ASSERT_TRUE(before.ok());
+
+  // An empty batch is rejected at the codec layer; the WAL never
+  // sees it and later applies still work.
+  ApplyDeltaRequest empty;
+  empty.dataset = "table1";
+  Result<ApplyDeltaResponse> rejected =
+      client.ValueOrDie().ApplyDelta(empty, NoStop());
+  EXPECT_FALSE(rejected.ok());
+
+  Result<CorroborateOutcome> after =
+      client.ValueOrDie().Corroborate(SampleCorroborate(), NoStop());
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after.ValueOrDie().raw_frame, before.ValueOrDie().raw_frame);
+
+  Result<ApplyDeltaResponse> applied =
+      client.ValueOrDie().ApplyDelta(SampleDeltaRequest(), NoStop());
+  EXPECT_TRUE(applied.ok()) << applied.status().ToString();
+}
+
+}  // namespace
+}  // namespace server
+}  // namespace corrob

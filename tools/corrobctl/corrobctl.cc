@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/budget.h"
+#include "common/string_util.h"
 #include "common/table_printer.h"
 #include "server/client.h"
 #include "server/protocol.h"
@@ -22,7 +23,11 @@ using server::IntrospectRequest;
 constexpr char kUsage[] =
     "usage: corrobctl <status|requests|tenants|watch> --socket PATH\n"
     "                 [--raw] [--top N] [--recent N]\n"
-    "                 [--interval-ms N] [--count N]\n";
+    "                 [--interval-ms N] [--count N]\n"
+    "       corrobctl apply-delta --socket PATH --dataset NAME\n"
+    "                 --delta vote:SOURCE:FACT:T|F\n"
+    "                 --delta retract:SOURCE:FACT\n"
+    "                 --delta source:SOURCE  (each --delta repeatable)\n";
 
 /// Formats nanoseconds as milliseconds with microsecond resolution.
 std::string Ms(int64_t nanos) {
@@ -68,6 +73,38 @@ std::string BoolField(const obs::JsonValue& doc, std::string_view key) {
 
 }  // namespace
 
+Result<WalRecord> ParseDeltaSpec(const std::string& spec) {
+  const std::vector<std::string> fields = Split(spec, ':');
+  const std::string& kind = fields[0];
+  const auto bad = [&](const std::string& why) {
+    return Status::InvalidArgument("--delta '" + spec + "': " + why);
+  };
+  if (kind == "vote") {
+    if (fields.size() != 4) return bad("want vote:SOURCE:FACT:T|F");
+    if (fields[1].empty() || fields[2].empty()) {
+      return bad("source and fact must be non-empty");
+    }
+    if (fields[3] != "T" && fields[3] != "F") {
+      return bad("vote must be T or F, got '" + fields[3] + "'");
+    }
+    return MakeAddVote(fields[1], fields[2],
+                       fields[3] == "T" ? Vote::kTrue : Vote::kFalse);
+  }
+  if (kind == "retract") {
+    if (fields.size() != 3) return bad("want retract:SOURCE:FACT");
+    if (fields[1].empty() || fields[2].empty()) {
+      return bad("source and fact must be non-empty");
+    }
+    return MakeRetractVote(fields[1], fields[2]);
+  }
+  if (kind == "source") {
+    if (fields.size() != 2) return bad("want source:SOURCE");
+    if (fields[1].empty()) return bad("source must be non-empty");
+    return MakeAddSource(fields[1]);
+  }
+  return bad("unknown delta kind '" + kind + "'");
+}
+
 Result<CtlOptions> ParseCtlArgs(const std::vector<std::string>& args) {
   CtlOptions options;
   const auto needs_value = [&](size_t i) -> Result<std::string> {
@@ -104,6 +141,14 @@ Result<CtlOptions> ParseCtlArgs(const std::vector<std::string>& args) {
     } else if (arg == "--count") {
       CORROB_ASSIGN_OR_RETURN(options.count, needs_int(i));
       ++i;
+    } else if (arg == "--dataset") {
+      CORROB_ASSIGN_OR_RETURN(options.dataset, needs_value(i));
+      ++i;
+    } else if (arg == "--delta") {
+      CORROB_ASSIGN_OR_RETURN(std::string spec, needs_value(i));
+      CORROB_ASSIGN_OR_RETURN(WalRecord record, ParseDeltaSpec(spec));
+      options.deltas.push_back(std::move(record));
+      ++i;
     } else if (!arg.empty() && arg[0] == '-') {
       return Status::InvalidArgument("unknown flag '" + arg + "'");
     } else if (options.command.empty()) {
@@ -113,7 +158,8 @@ Result<CtlOptions> ParseCtlArgs(const std::vector<std::string>& args) {
     }
   }
   if (options.command != "status" && options.command != "requests" &&
-      options.command != "tenants" && options.command != "watch") {
+      options.command != "tenants" && options.command != "watch" &&
+      options.command != "apply-delta") {
     return Status::InvalidArgument(
         options.command.empty()
             ? "missing subcommand"
@@ -121,6 +167,18 @@ Result<CtlOptions> ParseCtlArgs(const std::vector<std::string>& args) {
   }
   if (options.socket.empty()) {
     return Status::InvalidArgument("--socket is required");
+  }
+  if (options.command == "apply-delta") {
+    if (options.dataset.empty()) {
+      return Status::InvalidArgument("apply-delta requires --dataset");
+    }
+    if (options.deltas.empty()) {
+      return Status::InvalidArgument(
+          "apply-delta requires at least one --delta");
+    }
+  } else if (!options.dataset.empty() || !options.deltas.empty()) {
+    return Status::InvalidArgument(
+        "--dataset/--delta only apply to apply-delta");
   }
   if (options.top < 1 || options.recent < 1) {
     return Status::InvalidArgument("--top and --recent must be >= 1");
@@ -134,7 +192,7 @@ Result<CtlOptions> ParseCtlArgs(const std::vector<std::string>& args) {
 
 Result<std::string> RenderStatus(const obs::JsonValue& stats,
                                  const obs::JsonValue& introspect) {
-  CORROB_RETURN_NOT_OK(ExpectSchema(stats, "corrob.serving_stats/3"));
+  CORROB_RETURN_NOT_OK(ExpectSchema(stats, "corrob.serving_stats/4"));
   CORROB_RETURN_NOT_OK(ExpectSchema(introspect, "corrob.introspect/1"));
 
   TablePrinter table({"field", "value"});
@@ -325,6 +383,22 @@ int RunCorrobctl(const std::vector<std::string>& args, std::ostream& out,
     err << "corrobctl: cannot connect to '" << options.socket
         << "': " << client.status().ToString() << "\n";
     return 1;
+  }
+
+  if (options.command == "apply-delta") {
+    server::ApplyDeltaRequest request;
+    request.dataset = options.dataset;
+    request.deltas = options.deltas;
+    const Result<server::ApplyDeltaResponse> response =
+        client.ValueOrDie().ApplyDelta(request, StopSignal());
+    if (!response.ok()) {
+      err << "corrobctl: " << response.status().ToString() << "\n";
+      return 1;
+    }
+    out << "applied " << response.ValueOrDie().applied
+        << " delta(s); dataset '" << options.dataset << "' at generation "
+        << response.ValueOrDie().generation << "\n";
+    return 0;
   }
 
   const int64_t passes = options.command == "watch"

@@ -8,6 +8,7 @@
 
 #include "common/result.h"
 #include "common/status.h"
+#include "data/wal.h"
 #include "obs/json.h"
 
 // corrobctl: the operator CLI over corrobd's introspection surface
@@ -22,15 +23,26 @@
 //
 // --raw replaces the tables with the daemon's JSON verbatim, which is
 // what CI pipes into tools/obs/validate_trace.py.
+//
+// apply-delta sends vote deltas over the kApplyDeltaRequest frame to
+// a daemon running with --wal — the shell-scriptable counterpart of
+// CorrobClient::ApplyDelta that the crash-soak CI job drives:
+//
+//   corrobctl apply-delta --socket /tmp/corrobd.sock --dataset serve
+//     --delta vote:wiki:obama-born-hawaii:T --delta retract:blog:fact-3
 
 namespace corrob {
 namespace ctl {
 
 struct CtlOptions {
-  /// "status" | "requests" | "tenants" | "watch".
+  /// "status" | "requests" | "tenants" | "watch" | "apply-delta".
   std::string command;
   /// Unix socket of the daemon (--socket, required).
   std::string socket;
+  /// Target dataset of `apply-delta` (--dataset, required there).
+  std::string dataset;
+  /// Parsed --delta specs, in flag order (apply-delta only).
+  std::vector<WalRecord> deltas;
   /// Dump the daemon's JSON verbatim instead of rendering tables.
   bool raw = false;
   /// Per-tenant rows to request (--top).
@@ -48,7 +60,13 @@ struct CtlOptions {
 [[nodiscard]] Result<CtlOptions> ParseCtlArgs(
     const std::vector<std::string>& args);
 
-// Pure renderers from the parsed corrob.serving_stats/3 and
+/// Parses one --delta spec into a WAL record:
+///   vote:SOURCE:FACT:T|F    add (or overwrite) a vote
+///   retract:SOURCE:FACT     retract a vote
+///   source:SOURCE           register a source with no votes yet
+[[nodiscard]] Result<WalRecord> ParseDeltaSpec(const std::string& spec);
+
+// Pure renderers from the parsed corrob.serving_stats/4 and
 // corrob.introspect/1 documents to table text; exposed for tests.
 [[nodiscard]] Result<std::string> RenderStatus(
     const obs::JsonValue& stats, const obs::JsonValue& introspect);

@@ -307,9 +307,11 @@ DECL_RE = re.compile(
 # Declarations that return Status/Result but whose *name* collides with
 # too-generic identifiers: CorrobdServer::Start() returns Status, but
 # TraceRecorder::Start() returns void, so flagging every `Start(` call
-# would misfire. [[nodiscard]] on the Status-returning overloads keeps
-# the compiler enforcing what the lint skips here.
-DECL_NAME_BLOCKLIST = {"Start"}
+# would misfire; likewise WalWriter::Append() returns Status while
+# obs::JsonValue::Append() returns void. [[nodiscard]] on the
+# Status-returning overloads keeps the compiler enforcing what the
+# lint skips here.
+DECL_NAME_BLOCKLIST = {"Start", "Append"}
 
 
 def collect_status_returning(files) -> set:
