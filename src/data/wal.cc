@@ -7,6 +7,7 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <charconv>
 #include <cstring>
 #include <utility>
 
@@ -19,15 +20,20 @@ namespace corrob {
 namespace {
 
 constexpr std::string_view kSegmentMagic = "CORROBWL";
-constexpr uint32_t kSegmentVersion = 1;
+constexpr uint32_t kSegmentVersion = 2;
 constexpr std::string_view kSnapshotMagic = "CORROBWS";
-constexpr uint32_t kSnapshotVersion = 1;
+constexpr uint32_t kSnapshotVersion = 2;
 // magic + u32 version.
 constexpr size_t kSegmentHeaderBytes = kSegmentMagic.size() + 4;
 // u8 type + u32 payload length.
 constexpr size_t kRecordHeaderBytes = 5;
 // u32 CRC.
 constexpr size_t kRecordTrailerBytes = 4;
+// Type byte of a batch record: a count-prefixed run of mutation
+// sub-records under one CRC. Deliberately not a WalRecordType —
+// recovery expands a batch into its constituent records, so no
+// WalRecord ever carries this type.
+constexpr uint8_t kBatchTypeByte = 5;
 // A vote delta is two names and a vote; anything near this bound is
 // a corrupt length field, not a record.
 constexpr size_t kMaxRecordPayload = 16 * 1024 * 1024;
@@ -127,9 +133,24 @@ std::string EncodePayload(const WalRecord& record) {
     case WalRecordType::kSnapshotMarker:
       PutU32(&payload, record.snapshot_crc);
       PutU64(&payload, record.records_folded);
+      PutU64(&payload, record.compaction_seq);
       break;
   }
   return payload;
+}
+
+/// Frames `payload` under `type_byte`: header (type + length), the
+/// payload, then a CRC over header + payload — the length bytes are
+/// inside the CRC, so a flipped length can never silently re-frame
+/// the rest of the segment.
+std::string FrameRecord(uint8_t type_byte, std::string_view payload) {
+  std::string framed;
+  framed.reserve(kRecordHeaderBytes + payload.size() + kRecordTrailerBytes);
+  PutU8(&framed, type_byte);
+  PutU32(&framed, static_cast<uint32_t>(payload.size()));
+  framed.append(payload);
+  PutU32(&framed, ComputeCrc32(framed));
+  return framed;
 }
 
 /// Decodes a CRC-valid payload. Failure here is version skew or a
@@ -173,7 +194,8 @@ Result<WalRecord> DecodePayload(uint8_t type_byte, std::string_view payload) {
     case static_cast<uint8_t>(WalRecordType::kSnapshotMarker): {
       record.type = WalRecordType::kSnapshotMarker;
       if (!cursor.ReadU32(&record.snapshot_crc) ||
-          !cursor.ReadU64(&record.records_folded)) {
+          !cursor.ReadU64(&record.records_folded) ||
+          !cursor.ReadU64(&record.compaction_seq)) {
         return Status::ParseError("wal: short snapshot-marker payload");
       }
       break;
@@ -188,6 +210,44 @@ Result<WalRecord> DecodePayload(uint8_t type_byte, std::string_view payload) {
                               " payload");
   }
   return record;
+}
+
+/// Expands one CRC-valid record payload into `out`: a mutation or
+/// marker payload appends one record, a batch payload appends each of
+/// its sub-records. Like DecodePayload, failure here is corruption or
+/// version skew, never a torn tail.
+Status AppendDecodedRecords(uint8_t type_byte, std::string_view payload,
+                            std::vector<WalRecord>* out) {
+  if (type_byte != kBatchTypeByte) {
+    CORROB_ASSIGN_OR_RETURN(WalRecord record,
+                            DecodePayload(type_byte, payload));
+    out->push_back(std::move(record));
+    return Status::OK();
+  }
+  PayloadCursor cursor(payload);
+  uint32_t count = 0;
+  if (!cursor.ReadU32(&count) || count == 0) {
+    return Status::ParseError("wal: empty or short batch record");
+  }
+  for (uint32_t i = 0; i < count; ++i) {
+    uint8_t sub_type = 0;
+    std::string sub_payload;
+    if (!cursor.ReadU8(&sub_type) || !cursor.ReadLenString(&sub_payload)) {
+      return Status::ParseError("wal: short batch record");
+    }
+    if (sub_type == kBatchTypeByte ||
+        sub_type == static_cast<uint8_t>(WalRecordType::kSnapshotMarker)) {
+      return Status::ParseError(
+          "wal: batch record may hold only mutation sub-records");
+    }
+    CORROB_ASSIGN_OR_RETURN(WalRecord record,
+                            DecodePayload(sub_type, sub_payload));
+    out->push_back(std::move(record));
+  }
+  if (!cursor.AtEnd()) {
+    return Status::ParseError("wal: trailing bytes after batch payload");
+  }
+  return Status::OK();
 }
 
 /// Outcome of scanning one segment's bytes.
@@ -251,20 +311,53 @@ Result<SegmentScan> ScanSegmentBytes(std::string_view contents,
         contents.substr(offset + kRecordHeaderBytes + payload_length, 4));
     uint32_t stored_crc = 0;
     (void)crc_cursor.ReadU32(&stored_crc);  // lint: discard-ok: 4 bytes are present
-    Crc32 crc;
-    crc.Update(contents.substr(offset, 1));
-    crc.Update(payload);
-    if (crc.Digest() != stored_crc) {
+    // The CRC spans header + payload, so the length field itself is
+    // covered: a flipped length fails here instead of silently
+    // re-framing everything after it.
+    if (ComputeCrc32(contents.substr(
+            offset, kRecordHeaderBytes + payload_length)) != stored_crc) {
       scan.torn = true;
       return scan;
     }
-    CORROB_ASSIGN_OR_RETURN(WalRecord record,
-                            DecodePayload(type_byte, payload));
-    scan.records.push_back(std::move(record));
+    CORROB_RETURN_NOT_OK(
+        AppendDecodedRecords(type_byte, payload, &scan.records));
     offset = record_end;
     scan.valid_bytes = offset;
   }
   return scan;
+}
+
+/// True when a complete, CRC-valid record starts anywhere in
+/// [from, contents.size()). Recovery uses this to tell mid-segment
+/// corruption from a torn tail: a genuine kill -9 leaves at most one
+/// partial record at the very end, so any intact record past the
+/// damage point means acked data follows it and truncating would
+/// silently drop that data. The header sanity checks (known type
+/// byte, plausible length) reject almost every offset before the CRC
+/// is computed, so the resync is cheap on real segments.
+bool HasIntactRecordAfter(std::string_view contents, size_t from) {
+  for (size_t offset = from;
+       offset + kRecordHeaderBytes + kRecordTrailerBytes <= contents.size();
+       ++offset) {
+    const uint8_t type_byte = static_cast<uint8_t>(contents[offset]);
+    if (type_byte < 1 || type_byte > kBatchTypeByte) continue;
+    PayloadCursor length_cursor(contents.substr(offset + 1, 4));
+    uint32_t payload_length = 0;
+    (void)length_cursor.ReadU32(&payload_length);  // lint: discard-ok: 4 bytes are present
+    if (payload_length > kMaxRecordPayload) continue;
+    const size_t record_end =
+        offset + kRecordHeaderBytes + payload_length + kRecordTrailerBytes;
+    if (record_end > contents.size()) continue;
+    PayloadCursor crc_cursor(
+        contents.substr(offset + kRecordHeaderBytes + payload_length, 4));
+    uint32_t stored_crc = 0;
+    (void)crc_cursor.ReadU32(&stored_crc);  // lint: discard-ok: 4 bytes are present
+    if (ComputeCrc32(contents.substr(
+            offset, kRecordHeaderBytes + payload_length)) == stored_crc) {
+      return true;
+    }
+  }
+  return false;
 }
 
 /// Segment indices present in `dir`, sorted ascending. NotFound when
@@ -293,7 +386,16 @@ Result<std::vector<int64_t>> ListSegments(const std::string& dir) {
         digits.find_first_not_of("0123456789") != std::string::npos) {
       continue;
     }
-    indices.push_back(std::stoll(digits));
+    // from_chars instead of stoll: a stray all-digits name longer
+    // than int64 must be skipped like any other foreign file, not
+    // throw out_of_range through startup recovery.
+    int64_t index = 0;
+    const auto [end, error] =
+        std::from_chars(digits.data(), digits.data() + digits.size(), index);
+    if (error != std::errc() || end != digits.data() + digits.size()) {
+      continue;
+    }
+    indices.push_back(index);
   }
   ::closedir(handle);
   std::sort(indices.begin(), indices.end());
@@ -306,8 +408,8 @@ Status LoadSnapshot(const std::string& dir, WalRecovery* out) {
   Result<std::string> contents = ReadFileToString(path);
   if (!contents.ok()) return contents.status();
   const std::string& blob = contents.ValueOrDie();
-  // magic + u32 version + u64 payload size.
-  const size_t header_bytes = kSnapshotMagic.size() + 4 + 8;
+  // magic + u32 version + u64 compaction seq + u64 payload size.
+  const size_t header_bytes = kSnapshotMagic.size() + 4 + 8 + 8;
   if (blob.size() < header_bytes) {
     return Status::ParseError("wal: truncated snapshot header: " + path);
   }
@@ -318,9 +420,11 @@ Status LoadSnapshot(const std::string& dir, WalRecovery* out) {
   PayloadCursor cursor(
       std::string_view(blob).substr(kSnapshotMagic.size()));
   uint32_t version = 0;
+  uint64_t compaction_seq = 0;
   uint64_t payload_size = 0;
-  (void)cursor.ReadU32(&version);      // lint: discard-ok: bounds checked above
-  (void)cursor.ReadU64(&payload_size); // lint: discard-ok: bounds checked above
+  (void)cursor.ReadU32(&version);        // lint: discard-ok: bounds checked above
+  (void)cursor.ReadU64(&compaction_seq); // lint: discard-ok: bounds checked above
+  (void)cursor.ReadU64(&payload_size);   // lint: discard-ok: bounds checked above
   if (version != kSnapshotVersion) {
     return Status::FailedPrecondition(
         "wal: snapshot version " + std::to_string(version) + " in " + path +
@@ -342,6 +446,7 @@ Status LoadSnapshot(const std::string& dir, WalRecovery* out) {
   out->has_snapshot = true;
   out->snapshot_csv.assign(payload);
   out->snapshot_crc = computed;
+  out->snapshot_seq = compaction_seq;
   return Status::OK();
 }
 
@@ -388,6 +493,16 @@ Status ScanWal(const std::string& dir, bool repair, WalRecovery* out) {
         return Status::ParseError(
             "wal: corrupt record mid-log in non-final segment " + path);
       }
+      // Resync before classifying: if any intact record decodes past
+      // the damage, acked data follows it — that is mid-segment
+      // corruption (bit rot, an edited file), and truncating here
+      // would silently drop those acked records. A genuine kill -9
+      // tail is at most one partial record with nothing after it.
+      if (HasIntactRecordAfter(contents, scan.valid_bytes + 1)) {
+        return Status::ParseError(
+            "wal: damaged record followed by intact records in " + path +
+            " (mid-segment corruption, not a torn tail)");
+      }
       out->tail_truncated = true;
       out->tail_bytes_dropped = contents.size() - scan.valid_bytes;
       // The single torn-tail WARNING the crash-soak job greps for:
@@ -416,7 +531,21 @@ Status ScanWal(const std::string& dir, bool repair, WalRecovery* out) {
               "wal: snapshot marker in " + path +
               " but no snapshot.snap; the log cannot be replayed alone");
         }
-        if (record.snapshot_crc != out->snapshot_crc) {
+        if (record.compaction_seq < out->snapshot_seq) {
+          // Residue of a superseded compaction: the crash (or unlink
+          // failure) left this marker's segment behind after a later
+          // compaction published its snapshot. Its records are
+          // already folded in; replay is idempotent, so tolerate it.
+          ++out->stale_markers;
+        } else if (record.compaction_seq > out->snapshot_seq) {
+          return Status::ParseError(
+              "wal: snapshot marker in " + path +
+              " carries compaction seq " +
+              std::to_string(record.compaction_seq) +
+              " but snapshot.snap is at seq " +
+              std::to_string(out->snapshot_seq) +
+              " (snapshot was rolled back or replaced)");
+        } else if (record.snapshot_crc != out->snapshot_crc) {
           return Status::ParseError(
               "wal: snapshot marker CRC does not match snapshot.snap in " +
               path + " (mismatched snapshot/log pair)");
@@ -522,17 +651,18 @@ Result<WalRecovery> InspectWal(const std::string& dir) {
 namespace wal_internal {
 
 std::string EncodeRecord(const WalRecord& record) {
-  const std::string payload = EncodePayload(record);
-  std::string framed;
-  framed.reserve(kRecordHeaderBytes + payload.size() + kRecordTrailerBytes);
-  PutU8(&framed, static_cast<uint8_t>(record.type));
-  PutU32(&framed, static_cast<uint32_t>(payload.size()));
-  framed.append(payload);
-  Crc32 crc;
-  crc.Update(std::string_view(framed).substr(0, 1));
-  crc.Update(payload);
-  PutU32(&framed, crc.Digest());
-  return framed;
+  return FrameRecord(static_cast<uint8_t>(record.type),
+                     EncodePayload(record));
+}
+
+std::string EncodeBatchRecord(std::span<const WalRecord> records) {
+  std::string payload;
+  PutU32(&payload, static_cast<uint32_t>(records.size()));
+  for (const WalRecord& record : records) {
+    PutU8(&payload, static_cast<uint8_t>(record.type));
+    PutLenString(&payload, EncodePayload(record));
+  }
+  return FrameRecord(kBatchTypeByte, payload);
 }
 
 std::string SegmentHeader() {
@@ -559,7 +689,8 @@ WalWriter::WalWriter(WalWriter&& other) noexcept
       segment_index_(other.segment_index_),
       segment_bytes_written_(other.segment_bytes_written_),
       records_appended_(other.records_appended_),
-      records_since_sync_(other.records_since_sync_) {
+      records_since_sync_(other.records_since_sync_),
+      compaction_seq_(other.compaction_seq_) {
   other.fd_ = -1;
 }
 
@@ -573,6 +704,7 @@ WalWriter& WalWriter::operator=(WalWriter&& other) noexcept {
     segment_bytes_written_ = other.segment_bytes_written_;
     records_appended_ = other.records_appended_;
     records_since_sync_ = other.records_since_sync_;
+    compaction_seq_ = other.compaction_seq_;
     other.fd_ = -1;
   }
   return *this;
@@ -699,22 +831,89 @@ Status WalWriter::Append(const WalRecord& record) {
   return MaybeSync();
 }
 
+Status WalWriter::AppendBatch(std::span<const WalRecord> records) {
+  CORROB_FAILPOINT("wal.append");
+  if (fd_ < 0) {
+    return Status::FailedPrecondition("wal: AppendBatch on a closed writer");
+  }
+  if (records.empty()) return Status::OK();
+  for (const WalRecord& record : records) {
+    if (record.type == WalRecordType::kSnapshotMarker) {
+      return Status::InvalidArgument(
+          "wal: AppendBatch takes mutation records only; markers are "
+          "written by Compact");
+    }
+  }
+  if (segment_bytes_written_ >= options_.segment_bytes) {
+    CORROB_RETURN_NOT_OK(Rotate());
+  }
+  // One frame, one CRC, at most one fsync: the batch is the
+  // durability unit, so replay can never surface a strict prefix of
+  // it. A lone record keeps the cheaper single-record framing — it is
+  // already atomic on its own.
+  const std::string framed =
+      records.size() == 1 ? wal_internal::EncodeRecord(records.front())
+                          : wal_internal::EncodeBatchRecord(records);
+  const int64_t pre_bytes = segment_bytes_written_;
+  const int64_t pre_since_sync = records_since_sync_;
+  Status written = WriteBytes(framed);
+  if (written.ok()) {
+    records_appended_ += static_cast<int64_t>(records.size());
+    records_since_sync_ += static_cast<int64_t>(records.size());
+    written = MaybeSync();
+  }
+  if (!written.ok()) {
+    // Roll the frame back so a NACKed batch leaves no trace for a
+    // later replay. If even the rollback fails, the frame stays
+    // behind — still all-or-nothing (one CRC unit: replay applies the
+    // whole batch or truncates it as a torn tail), but it may become
+    // durable despite the NACK; the caller's read-only degradation
+    // keeps that indeterminacy from compounding.
+    if (::ftruncate(fd_, static_cast<off_t>(pre_bytes)) == 0) {
+      if (segment_bytes_written_ != pre_bytes) {
+        // The write itself landed (the fsync failed): undo its
+        // accounting along with its bytes.
+        records_appended_ -= static_cast<int64_t>(records.size());
+      }
+      segment_bytes_written_ = pre_bytes;
+      records_since_sync_ = pre_since_sync;
+    } else {
+      CORROB_LOG_WARNING
+          << "wal: cannot roll back failed batch append on segment "
+          << wal_internal::SegmentFileName(segment_index_) << ": "
+          << std::strerror(errno)
+          << " (the frame is atomic but may become durable despite the "
+             "NACK)";
+    }
+  }
+  return written;
+}
+
 Status WalWriter::Compact(std::string_view dataset_csv,
                           uint64_t records_folded) {
   if (fd_ < 0) {
     return Status::FailedPrecondition("wal: Compact on a closed writer");
   }
-  // 1. Durably publish the snapshot. A crash after this point leaves
-  //    snapshot + old segments: replay folds the old records onto the
-  //    snapshot idempotently, so nothing is lost or doubled.
+  // 1. Durably publish the snapshot under the next compaction
+  //    sequence number. A crash after this point leaves snapshot +
+  //    old segments: replay folds the old records onto the snapshot
+  //    idempotently, and any marker those segments carry has an older
+  //    sequence, which recovery recognizes as superseded instead of
+  //    failing the CRC pairing.
+  const uint64_t seq = compaction_seq_ + 1;
   const uint32_t crc = ComputeCrc32(dataset_csv);
   std::string blob(kSnapshotMagic);
   PutU32(&blob, kSnapshotVersion);
+  PutU64(&blob, seq);
   PutU64(&blob, static_cast<uint64_t>(dataset_csv.size()));
   blob.append(dataset_csv);
   PutU32(&blob, crc);
   CORROB_RETURN_NOT_OK(WriteFileAtomic(
       dir_ + "/" + std::string(kSnapshotFileName), blob));
+  // The on-disk snapshot is the authority from here on: even if a
+  // later step fails, a retried Compact must supersede this sequence,
+  // not reuse it against a different payload.
+  compaction_seq_ = seq;
   // 2. Start a fresh segment whose first record pins the snapshot CRC.
   const int64_t last_old_segment = segment_index_;
   CORROB_RETURN_NOT_OK(Rotate());
@@ -722,11 +921,13 @@ Status WalWriter::Compact(std::string_view dataset_csv,
   marker.type = WalRecordType::kSnapshotMarker;
   marker.snapshot_crc = crc;
   marker.records_folded = records_folded;
+  marker.compaction_seq = seq;
   CORROB_RETURN_NOT_OK(WriteBytes(wal_internal::EncodeRecord(marker)));
   CORROB_RETURN_NOT_OK(Sync());
-  // 3. Drop the folded segments. Failure here is cosmetic — replaying
-  //    a stale segment on top of the snapshot is a no-op — so log and
-  //    keep serving rather than flip the WAL unhealthy.
+  // 3. Drop the folded segments. Failure here is cosmetic — a stale
+  //    segment replays idempotently on top of the snapshot and its
+  //    marker is tolerated by sequence — so log and keep serving
+  //    rather than flip the WAL unhealthy.
   for (int64_t index = 0; index <= last_old_segment; ++index) {
     const std::string path =
         dir_ + "/" + wal_internal::SegmentFileName(index);
@@ -748,6 +949,7 @@ Result<WalWriter> WalWriter::Open(const std::string& dir,
   WalRecovery* scan_out = recovery != nullptr ? recovery : &local;
   CORROB_RETURN_NOT_OK(ScanWal(dir, /*repair=*/true, scan_out));
   WalWriter writer(dir, options);
+  writer.compaction_seq_ = scan_out->snapshot_seq;
   CORROB_ASSIGN_OR_RETURN(std::vector<int64_t> indices, ListSegments(dir));
   const int64_t start_index = indices.empty() ? 0 : indices.back();
   CORROB_RETURN_NOT_OK(writer.OpenSegment(start_index, /*truncate=*/false));

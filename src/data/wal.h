@@ -2,6 +2,7 @@
 #define CORROB_DATA_WAL_H_
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -24,18 +25,29 @@ namespace corrob {
 /// Segment format (all integers little-endian):
 ///
 ///   [8]  magic "CORROBWL"
-///   [4]  u32 format version (currently 1)
+///   [4]  u32 format version (currently 2)
 ///   then zero or more records:
 ///   [1]  u8 record type
 ///   [4]  u32 payload length
 ///   [n]  payload
-///   [4]  u32 CRC-32 of the type byte + payload
+///   [4]  u32 CRC-32 of the type byte + length bytes + payload
+///
+/// The CRC covers the length field, so a bit flip in a length can
+/// never silently re-frame the rest of the segment — it fails the
+/// record's CRC like any other damage.
+///
+/// Besides the four WalRecordType payloads, a segment may hold a
+/// *batch* record (type byte 5, never surfaced as a WalRecord): a
+/// count-prefixed sequence of mutation sub-records framed under one
+/// CRC. A batch is the durability unit of a multi-delta apply — replay
+/// sees all of its mutations or, when the batch is the torn tail, none.
 ///
 /// Snapshot format mirrors the checkpoint framing
 /// (core/online_checkpoint):
 ///
 ///   [8]  magic "CORROBWS"
-///   [4]  u32 format version (currently 1)
+///   [4]  u32 format version (currently 2)
+///   [8]  u64 compaction sequence number
 ///   [8]  u64 payload size
 ///   [n]  payload — dataset CSV text (data/dataset_io layout)
 ///   [4]  u32 CRC-32 of the payload
@@ -44,12 +56,22 @@ namespace corrob {
 /// at the end of the *final* segment, the signature of `kill -9`
 /// mid-append — is truncated with a single WARNING and the load
 /// succeeds with the surviving prefix. The same damage anywhere else
-/// (a non-final segment, or a snapshot that fails its CRC) is real
-/// corruption and fails with ParseError.
+/// is real corruption and fails with ParseError. "Anywhere else"
+/// includes the middle of the final segment: when any intact record
+/// decodes past the damage point the damage cannot be a torn tail
+/// (a genuine kill -9 leaves at most one partial record, at the very
+/// end), so recovery resyncs before classifying and refuses to drop
+/// acked records silently.
 ///
 /// Replay is idempotent: records carry names (not dense ids) and votes
 /// are last-writer-wins, so re-applying an already-folded prefix after
-/// a crash mid-compaction converges to the same dataset.
+/// a crash mid-compaction converges to the same dataset. Compactions
+/// are numbered by a monotonic sequence carried in both the snapshot
+/// and its marker: recovery enforces the marker CRC only for the
+/// marker whose sequence matches the resident snapshot, and skips
+/// markers with older sequences — the residue of a compaction that
+/// crashed (or failed to unlink) before cleaning up its predecessor's
+/// segments.
 
 /// Kind of one logged mutation.
 enum class WalRecordType : uint8_t {
@@ -60,8 +82,9 @@ enum class WalRecordType : uint8_t {
   /// Erases `source`'s vote on `fact` (no-op when absent).
   kRetractVote = 3,
   /// Marks that every earlier record is folded into snapshot.snap;
-  /// carries the snapshot payload CRC so replay can detect a
-  /// mismatched snapshot/log pair.
+  /// carries the snapshot payload CRC and the compaction sequence
+  /// number so replay can detect a mismatched snapshot/log pair while
+  /// tolerating markers superseded by a later compaction.
   kSnapshotMarker = 4,
 };
 
@@ -77,6 +100,7 @@ struct WalRecord {
   Vote vote = Vote::kNone;        // kAddVote (kTrue or kFalse)
   uint32_t snapshot_crc = 0;      // kSnapshotMarker
   uint64_t records_folded = 0;    // kSnapshotMarker
+  uint64_t compaction_seq = 0;    // kSnapshotMarker
 
   friend bool operator==(const WalRecord&, const WalRecord&) = default;
 };
@@ -126,12 +150,18 @@ struct WalRecovery {
   std::string snapshot_csv;
   /// CRC-32 of snapshot_csv when has_snapshot.
   uint32_t snapshot_crc = 0;
+  /// Compaction sequence number of the snapshot when has_snapshot.
+  uint64_t snapshot_seq = 0;
   /// True when a torn tail was found in the final segment.
   bool tail_truncated = false;
   /// Bytes of torn tail dropped (0 when !tail_truncated).
   uint64_t tail_bytes_dropped = 0;
   /// Segment files scanned, in index order.
   int64_t segments_scanned = 0;
+  /// Markers whose compaction sequence predates the resident
+  /// snapshot's — the residue of an interrupted compaction. Their CRC
+  /// is not enforced; their segments replay idempotently.
+  int64_t stale_markers = 0;
 
   /// Mutation records only (markers filtered out).
   std::vector<WalRecord> Mutations() const;
@@ -172,17 +202,32 @@ class WalWriter {
   /// Appends one record (rotating first when the active segment is
   /// full) and applies the fsync policy. On failure the writer is
   /// left usable; the record may or may not have reached the disk,
-  /// so callers must not ack the mutation.
+  /// so callers must not ack the mutation. The record is one CRC
+  /// frame, so replay after a crash sees it whole or not at all.
   [[nodiscard]] Status Append(const WalRecord& record);
+
+  /// Appends `records` as one durability unit: the whole batch is a
+  /// single CRC-covered frame, written and (per policy) fsynced once.
+  /// Replay can never surface a strict prefix of the batch — a crash
+  /// mid-write leaves a torn tail that recovery truncates wholly. On
+  /// failure the partial write is rolled back when the disk still
+  /// cooperates; either way the batch is all-or-nothing, so a
+  /// negative ack never leaves part of it durable. Markers are
+  /// rejected (compaction is the only marker writer).
+  [[nodiscard]] Status AppendBatch(std::span<const WalRecord> records);
 
   /// Forces an fsync of the active segment regardless of policy.
   [[nodiscard]] Status Sync();
 
   /// Folds the log into a snapshot: durably writes `dataset_csv` to
-  /// snapshot.snap, starts a fresh segment whose first record is a
-  /// kSnapshotMarker, then deletes the older segments. Crash-safe at
-  /// every step — replay after an interrupted compaction re-applies
-  /// old records idempotently on top of the snapshot.
+  /// snapshot.snap under the next compaction sequence number, starts
+  /// a fresh segment whose first record is a kSnapshotMarker pinning
+  /// that sequence, then deletes the older segments. Crash-safe at
+  /// every step: replay after an interrupted compaction re-applies
+  /// old records idempotently on top of the snapshot, and markers
+  /// from superseded compactions (old segments that survived a crash
+  /// or an unlink failure) are recognized by their older sequence and
+  /// tolerated.
   [[nodiscard]] Status Compact(std::string_view dataset_csv,
                                uint64_t records_folded);
 
@@ -216,6 +261,9 @@ class WalWriter {
   int64_t segment_bytes_written_ = 0;
   int64_t records_appended_ = 0;
   int64_t records_since_sync_ = 0;
+  /// Sequence number of the resident snapshot (0 before the first
+  /// compaction); the next Compact publishes under this + 1.
+  uint64_t compaction_seq_ = 0;
 };
 
 namespace wal_internal {
@@ -223,6 +271,11 @@ namespace wal_internal {
 /// Serializes one record into its on-disk framing (type byte, length,
 /// payload, CRC). Exposed for tests that build corrupt frames.
 std::string EncodeRecord(const WalRecord& record);
+
+/// Serializes a mutation batch into one framed batch record (type
+/// byte 5): the whole batch shares one length and one CRC, so replay
+/// is all-or-nothing. Exposed for tests that cut batch frames.
+std::string EncodeBatchRecord(std::span<const WalRecord> records);
 
 /// The fixed segment header ("CORROBWL" + version).
 std::string SegmentHeader();

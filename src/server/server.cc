@@ -244,6 +244,22 @@ ServedDataset* CorrobdServer::FindDataset(const std::string& name) const {
 }
 
 Status CorrobdServer::ReloadDataset(ServedDataset* served) {
+  {
+    // A WAL-backed dataset's resident state is CSV + replayed log;
+    // swapping in the raw CSV would drop acked durable deltas from
+    // live serving while the next restart replays them anyway —
+    // live answers and post-restart answers would diverge. Mutate
+    // through apply-delta instead, or restart against a fresh --wal
+    // directory to re-base on the CSV.
+    std::lock_guard<std::mutex> wal_lock(served->wal_mutex);
+    if (served->wal != nullptr) {
+      return Status::FailedPrecondition(
+          "dataset '" + served->name +
+          "' has a durable vote-delta log; a CSV reload would diverge "
+          "from the log's replay (ingest via apply-delta, or restart "
+          "corrobd with a fresh --wal directory to re-base)");
+    }
+  }
   CORROB_ASSIGN_OR_RETURN(LabeledDataset loaded,
                           LoadDatasetCsv(served->path));
   auto fresh = std::make_shared<const Dataset>(std::move(loaded.dataset));
@@ -1138,13 +1154,12 @@ Status CorrobdServer::HandleApplyDelta(Connection* connection,
         if (!rebuilt.ok()) applied = rebuilt.status();
       }
       if (applied.ok()) {
-        // Durability before the ack: every delta reaches the log (and
-        // the disk, under the always policy — Append fsyncs per
-        // record there) before the client hears anything.
-        for (const WalRecord& record : request.deltas) {
-          applied = served->wal->Append(record);
-          if (!applied.ok()) break;
-        }
+        // Durability before the ack: the whole batch reaches the log
+        // (and the disk, under the always policy) as ONE framed
+        // record before the client hears anything. One frame means
+        // all-or-nothing: a NACKed batch can never leave a durable
+        // prefix of itself for the next restart to replay.
+        applied = served->wal->AppendBatch(request.deltas);
         if (!applied.ok()) {
           // The log can no longer be trusted to be ahead of the
           // resident state, so stop mutating: reads continue from

@@ -216,13 +216,17 @@ class CorrobdServer {
                                    const std::string& payload);
 
   /// Administrative dataset reload: swap in a fresh load, bump the
-  /// generation, invalidate the cache.
+  /// generation, invalidate the cache. Rejected with
+  /// FailedPrecondition for WAL-backed datasets — a raw CSV swap
+  /// would diverge from the log's replay.
   [[nodiscard]] Status HandleReload(Connection* connection,
                                     const std::string& payload);
 
   /// Durable mutation path: append the decoded deltas to the
-  /// dataset's WAL (ack only after the append — and fsync, under the
-  /// always policy — succeeded), then rebuild the resident dataset
+  /// dataset's WAL as one atomic batch frame (ack only after the
+  /// append — and fsync, under the always policy — succeeded; a
+  /// NACKed batch never leaves a durable prefix of itself behind),
+  /// then rebuild the resident dataset
   /// through core delta-apply, bump the generation and invalidate
   /// cached results. A WAL failure flips the dataset to read-only
   /// serving with a typed kWalUnavailable error; it never takes the
@@ -252,6 +256,9 @@ class CorrobdServer {
   /// Re-reads `served` from its startup path. On success the new data
   /// is swapped in, the generation bumps, and cached results for the
   /// dataset are invalidated; on failure the old data stays live.
+  /// FailedPrecondition when the dataset has a WAL: its resident
+  /// state is CSV + replayed log, and swapping in the raw CSV would
+  /// make live serving diverge from what the next restart replays.
   [[nodiscard]] Status ReloadDataset(ServedDataset* served);
 
   /// Background loop that cancels the request token of any executing

@@ -389,6 +389,83 @@ TEST_F(WalTest, CompactFoldsLogIntoSnapshot) {
   }
 }
 
+TEST_F(WalTest, CompactInterruptedBeforeMarkerRecoversWithStaleMarker) {
+  // The review scenario: a second compaction publishes its snapshot
+  // (step 1) and crashes before logging the new marker — the live log
+  // still ends with the FIRST compaction's marker, whose CRC pins the
+  // superseded snapshot. Recovery must tolerate that marker by its
+  // older compaction sequence, not refuse to start.
+  Result<WalWriter> writer = WalWriter::Open(dir_, FastOptions());
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE(writer.ValueOrDie().Append(MakeAddSource("a")).ok());
+  ASSERT_TRUE(writer.ValueOrDie().Compact("fact,s0\nf,T\n", 1).ok());
+  ASSERT_TRUE(
+      writer.ValueOrDie().Append(MakeAddVote("b", "f", Vote::kTrue)).ok());
+  // Second compaction dies between snapshot publish and rotation.
+  Failpoints::Arm("wal.rotate");
+  EXPECT_EQ(writer.ValueOrDie().Compact("fact,s0,b\nf,T,T\n", 2).code(),
+            StatusCode::kIoError);
+  Failpoints::Disarm("wal.rotate");
+  writer = Status::FailedPrecondition("closed");
+
+  WalRecovery recovery;
+  Result<WalWriter> reopened =
+      WalWriter::Open(dir_, FastOptions(), &recovery);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_TRUE(recovery.has_snapshot);
+  EXPECT_EQ(recovery.snapshot_csv, "fact,s0,b\nf,T,T\n");
+  EXPECT_EQ(recovery.snapshot_seq, 2u);
+  EXPECT_EQ(recovery.stale_markers, 1);
+  // The surviving mutation replays idempotently on the new snapshot.
+  const std::vector<WalRecord> mutations = recovery.Mutations();
+  ASSERT_EQ(mutations.size(), 1u);
+  EXPECT_EQ(mutations[0], MakeAddVote("b", "f", Vote::kTrue));
+  // A third compaction supersedes cleanly on the reopened writer.
+  ASSERT_TRUE(
+      reopened.ValueOrDie().Compact("fact,s0,b\nf,T,T\n", 1).ok());
+  Result<WalRecovery> after = InspectWal(dir_);
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  EXPECT_EQ(after.ValueOrDie().snapshot_seq, 3u);
+  EXPECT_EQ(after.ValueOrDie().stale_markers, 0);
+}
+
+TEST_F(WalTest, SurvivingFoldedSegmentAfterCompactionRecovers) {
+  // The unlink-failure flavor: a folded segment (holding the OLD
+  // marker) survives a completed second compaction. Its marker's
+  // older sequence makes it stale, and its records replay
+  // idempotently under the new snapshot.
+  Result<WalWriter> writer = WalWriter::Open(dir_, FastOptions());
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE(writer.ValueOrDie().Append(MakeAddSource("a")).ok());
+  ASSERT_TRUE(writer.ValueOrDie().Compact("fact,s0\nf,T\n", 1).ok());
+  const int64_t folded_index = writer.ValueOrDie().active_segment_index();
+  ASSERT_TRUE(
+      writer.ValueOrDie().Append(MakeAddVote("b", "f", Vote::kTrue)).ok());
+  Result<std::string> folded_bytes = ReadFileToString(SegmentPath(folded_index));
+  ASSERT_TRUE(folded_bytes.ok());
+  ASSERT_TRUE(writer.ValueOrDie().Compact("fact,s0,b\nf,T,T\n", 1).ok());
+  ASSERT_TRUE(writer.ValueOrDie().Append(MakeAddSource("c")).ok());
+  writer = Status::FailedPrecondition("closed");
+  // Resurrect the folded segment, as if its unlink had failed.
+  ASSERT_TRUE(WriteStringToFile(SegmentPath(folded_index),
+                                folded_bytes.ValueOrDie())
+                  .ok());
+
+  WalRecovery recovery;
+  Result<WalWriter> reopened =
+      WalWriter::Open(dir_, FastOptions(), &recovery);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ(recovery.snapshot_seq, 2u);
+  EXPECT_EQ(recovery.stale_markers, 1);
+  EXPECT_EQ(recovery.segments_scanned, 2);
+  // Stale-segment mutations come first (idempotent re-fold), then the
+  // post-compaction ones.
+  const std::vector<WalRecord> mutations = recovery.Mutations();
+  ASSERT_EQ(mutations.size(), 2u);
+  EXPECT_EQ(mutations[0], MakeAddVote("b", "f", Vote::kTrue));
+  EXPECT_EQ(mutations[1], MakeAddSource("c"));
+}
+
 TEST_F(WalTest, SnapshotMarkerWithoutSnapshotIsParseError) {
   ASSERT_EQ(::mkdir(dir_.c_str(), 0755), 0);
   WalRecord marker;
@@ -431,6 +508,202 @@ TEST_F(WalTest, MismatchedSnapshotPairIsParseError) {
   EXPECT_EQ(inspected.status().code(), StatusCode::kParseError);
   EXPECT_NE(inspected.status().message().find("mismatched snapshot"),
             std::string::npos);
+}
+
+TEST_F(WalTest, CorruptionFollowedByIntactRecordsIsParseError) {
+  // A flipped payload byte in the MIDDLE of the final (here: only)
+  // segment, with intact acked records after it, is corruption — not
+  // a torn tail. Truncating would silently drop the acked records
+  // behind the damage, so recovery must refuse instead.
+  const std::vector<WalRecord> records = SampleRecords();
+  {
+    Result<WalWriter> writer = WalWriter::Open(dir_, FastOptions());
+    ASSERT_TRUE(writer.ok());
+    for (const WalRecord& record : records) {
+      ASSERT_TRUE(writer.ValueOrDie().Append(record).ok());
+    }
+  }
+  Result<std::string> contents = ReadFileToString(SegmentPath(0));
+  ASSERT_TRUE(contents.ok());
+  std::string damaged = contents.ValueOrDie();
+  // Flip a byte inside the second record's frame (well before the
+  // final record).
+  const size_t second_record =
+      wal_internal::SegmentHeader().size() +
+      wal_internal::EncodeRecord(records[0]).size();
+  damaged[second_record + 7] ^= 0x01;
+  ASSERT_TRUE(WriteStringToFile(SegmentPath(0), damaged).ok());
+
+  Result<WalRecovery> inspected = InspectWal(dir_);
+  EXPECT_EQ(inspected.status().code(), StatusCode::kParseError);
+  EXPECT_NE(inspected.status().message().find("corruption"),
+            std::string::npos);
+  EXPECT_EQ(WalWriter::Open(dir_, FastOptions()).status().code(),
+            StatusCode::kParseError);
+}
+
+TEST_F(WalTest, LengthFieldBitFlipMidSegmentIsParseError) {
+  // The record CRC covers the length field, so a flipped length bit
+  // mid-segment fails that record's CRC; the intact records after it
+  // then classify the damage as corruption. Before the fix this
+  // silently discarded every record from the flip onward.
+  const std::vector<WalRecord> records = SampleRecords();
+  {
+    Result<WalWriter> writer = WalWriter::Open(dir_, FastOptions());
+    ASSERT_TRUE(writer.ok());
+    for (const WalRecord& record : records) {
+      ASSERT_TRUE(writer.ValueOrDie().Append(record).ok());
+    }
+  }
+  Result<std::string> contents = ReadFileToString(SegmentPath(0));
+  ASSERT_TRUE(contents.ok());
+  std::string damaged = contents.ValueOrDie();
+  // Byte 1 of a record frame is the low byte of its u32 length.
+  const size_t second_record =
+      wal_internal::SegmentHeader().size() +
+      wal_internal::EncodeRecord(records[0]).size();
+  damaged[second_record + 1] ^= 0x04;
+  ASSERT_TRUE(WriteStringToFile(SegmentPath(0), damaged).ok());
+
+  Result<WalRecovery> inspected = InspectWal(dir_);
+  EXPECT_EQ(inspected.status().code(), StatusCode::kParseError)
+      << inspected.status().ToString();
+}
+
+TEST_F(WalTest, OversizeDigitRunInSegmentNameIsIgnored) {
+  // A stray all-digits name wider than int64 must be skipped like any
+  // other foreign file — stoll would throw out_of_range through
+  // startup recovery and abort the daemon.
+  {
+    Result<WalWriter> writer = WalWriter::Open(dir_, FastOptions());
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer.ValueOrDie().Append(MakeAddSource("a")).ok());
+  }
+  ASSERT_TRUE(WriteStringToFile(
+                  dir_ + "/wal-99999999999999999999999.log", "junk")
+                  .ok());
+  WalRecovery recovery;
+  Result<WalWriter> reopened =
+      WalWriter::Open(dir_, FastOptions(), &recovery);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ(recovery.segments_scanned, 1);
+  ASSERT_EQ(recovery.records.size(), 1u);
+  EXPECT_EQ(recovery.records[0], MakeAddSource("a"));
+}
+
+TEST_F(WalTest, AppendBatchRoundTripsAndCountsOneFsync) {
+  const std::vector<WalRecord> batch = {
+      MakeAddVote("alice", "sky-is-blue", Vote::kTrue),
+      MakeAddVote("bob", "sky-is-blue", Vote::kFalse),
+      MakeRetractVote("alice", "sky-is-blue"),
+  };
+  {
+    WalOptions options;
+    options.fsync_policy = WalFsyncPolicy::kAlways;
+    Result<WalWriter> writer = WalWriter::Open(dir_, options);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer.ValueOrDie().Append(MakeAddSource("alice")).ok());
+    // The batch is one frame and one fsync, not one per record.
+    FailpointConfig observe;
+    observe.probability = 0.0;
+    Failpoints::Arm("wal.fsync", observe);
+    ASSERT_TRUE(writer.ValueOrDie().AppendBatch(batch).ok());
+    EXPECT_EQ(Failpoints::HitCount("wal.fsync"), 1);
+    Failpoints::Disarm("wal.fsync");
+    EXPECT_EQ(writer.ValueOrDie().records_appended(), 4);
+    // Markers may only enter the log through Compact.
+    WalRecord marker;
+    marker.type = WalRecordType::kSnapshotMarker;
+    EXPECT_EQ(writer.ValueOrDie().AppendBatch({&marker, 1}).code(),
+              StatusCode::kInvalidArgument);
+  }
+  WalRecovery recovery;
+  Result<WalWriter> reopened =
+      WalWriter::Open(dir_, FastOptions(), &recovery);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  ASSERT_EQ(recovery.records.size(), 4u);
+  EXPECT_EQ(recovery.records[0], MakeAddSource("alice"));
+  for (size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ(recovery.records[i + 1], batch[i]);
+  }
+}
+
+TEST_F(WalTest, TornBatchFrameIsAllOrNothing) {
+  // Cut the file at every byte inside the batch frame: recovery must
+  // yield either the whole batch or none of it — never a strict
+  // prefix — because the batch shares one length and one CRC.
+  const WalRecord before = MakeAddSource("pre-batch");
+  const std::vector<WalRecord> batch = {
+      MakeAddVote("alice", "sky-is-blue", Vote::kTrue),
+      MakeAddVote("bob", "sky-is-blue", Vote::kFalse),
+      MakeAddVote("carol", "grass-is-green", Vote::kTrue),
+  };
+  {
+    Result<WalWriter> writer = WalWriter::Open(dir_, FastOptions());
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer.ValueOrDie().Append(before).ok());
+    ASSERT_TRUE(writer.ValueOrDie().AppendBatch(batch).ok());
+  }
+  Result<std::string> full = ReadFileToString(SegmentPath(0));
+  ASSERT_TRUE(full.ok());
+  const std::string intact = full.ValueOrDie();
+  const size_t batch_start = wal_internal::SegmentHeader().size() +
+                             wal_internal::EncodeRecord(before).size();
+  ASSERT_EQ(batch_start + wal_internal::EncodeBatchRecord(batch).size(),
+            intact.size());
+
+  for (size_t cut = batch_start; cut <= intact.size(); ++cut) {
+    SCOPED_TRACE("cut=" + std::to_string(cut));
+    RemoveWalDir(dir_);
+    {
+      Result<WalWriter> writer = WalWriter::Open(dir_, FastOptions());
+      ASSERT_TRUE(writer.ok());
+    }
+    ASSERT_TRUE(WriteStringToFile(
+                    SegmentPath(0), std::string_view(intact).substr(0, cut))
+                    .ok());
+    WalRecovery recovery;
+    Result<WalWriter> reopened =
+        WalWriter::Open(dir_, FastOptions(), &recovery);
+    ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+    if (cut == intact.size()) {
+      ASSERT_EQ(recovery.records.size(), 1u + batch.size());
+    } else {
+      ASSERT_EQ(recovery.records.size(), 1u);
+      EXPECT_EQ(recovery.records[0], before);
+      EXPECT_EQ(recovery.tail_truncated, cut != batch_start);
+    }
+  }
+}
+
+TEST_F(WalTest, FailedBatchFsyncRollsTheFrameBack) {
+  WalOptions options;
+  options.fsync_policy = WalFsyncPolicy::kAlways;
+  Result<WalWriter> writer = WalWriter::Open(dir_, options);
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE(writer.ValueOrDie().Append(MakeAddSource("a")).ok());
+
+  const std::vector<WalRecord> batch = {
+      MakeAddVote("b", "f", Vote::kTrue),
+      MakeAddVote("c", "f", Vote::kFalse),
+  };
+  Failpoints::Arm("wal.fsync");
+  EXPECT_EQ(writer.ValueOrDie().AppendBatch(batch).code(),
+            StatusCode::kIoError);
+  Failpoints::Disarm("wal.fsync");
+  // The NACKed frame left no trace: accounting and bytes both rolled
+  // back, and the next append lands right after the surviving record.
+  EXPECT_EQ(writer.ValueOrDie().records_appended(), 1);
+  ASSERT_TRUE(writer.ValueOrDie().Append(MakeAddSource("d")).ok());
+  writer = Status::FailedPrecondition("closed");
+
+  WalRecovery recovery;
+  Result<WalWriter> reopened = WalWriter::Open(dir_, options, &recovery);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  ASSERT_EQ(recovery.records.size(), 2u);
+  EXPECT_EQ(recovery.records[0], MakeAddSource("a"));
+  EXPECT_EQ(recovery.records[1], MakeAddSource("d"));
+  EXPECT_FALSE(recovery.tail_truncated);
 }
 
 TEST_F(WalTest, FailpointsCoverEveryDurabilityEdge) {

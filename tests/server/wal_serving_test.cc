@@ -246,6 +246,44 @@ TEST_F(WalServingTest, AckedDeltasSurviveDaemonRestart) {
   }
 }
 
+TEST_F(WalServingTest, ReloadIsRejectedForWalBackedDatasets) {
+  // A CSV reload would resurrect the startup file and silently drop
+  // every acked delta from live serving (restart would then replay
+  // them — live and recovered state diverging). corrobd refuses.
+  Daemon daemon(WalOptionsBase());
+  ASSERT_TRUE(daemon.Launch().ok());
+  Result<CorrobClient> client = CorrobClient::Connect(socket_path_);
+  ASSERT_TRUE(client.ok());
+  Result<ApplyDeltaResponse> applied =
+      client.ValueOrDie().ApplyDelta(SampleDeltaRequest(), NoStop());
+  ASSERT_TRUE(applied.ok()) << applied.status().ToString();
+  Result<CorroborateOutcome> before =
+      client.ValueOrDie().Corroborate(SampleCorroborate(), NoStop());
+  ASSERT_TRUE(before.ok());
+  ASSERT_EQ(before.ValueOrDie().kind, CorroborateOutcome::Kind::kResult);
+
+  ReloadRequest named;
+  named.dataset = "table1";
+  Result<ReloadResponse> reloaded =
+      client.ValueOrDie().Reload(named, NoStop());
+  EXPECT_EQ(reloaded.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(reloaded.status().message().find("vote-delta log"),
+            std::string::npos);
+  // The bulk variant walks the same per-dataset path.
+  Result<ReloadResponse> bulk =
+      client.ValueOrDie().Reload(ReloadRequest(), NoStop());
+  EXPECT_EQ(bulk.status().code(), StatusCode::kFailedPrecondition);
+
+  // The refusal leaves serving untouched: the applied deltas still
+  // shape the answers.
+  Result<CorroborateOutcome> after =
+      client.ValueOrDie().Corroborate(SampleCorroborate(), NoStop());
+  ASSERT_TRUE(after.ok());
+  ASSERT_EQ(after.ValueOrDie().kind, CorroborateOutcome::Kind::kResult);
+  EXPECT_EQ(after.ValueOrDie().result.fact_probability,
+            before.ValueOrDie().result.fact_probability);
+}
+
 TEST_F(WalServingTest, WalFailureDegradesToReadOnlyServing) {
   Daemon daemon(WalOptionsBase());
   ASSERT_TRUE(daemon.Launch().ok());
